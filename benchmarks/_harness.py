@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures, times the
+underlying simulation with pytest-benchmark, asserts the result *shape*
+against the paper, and writes the rendered artifact to
+``benchmarks/out/<name>.txt`` so the reproduction can be inspected and
+diffed against the published values.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.reporting import ComparisonRow, Table, comparison_table
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def save_artifact(name: str, text: str) -> str:
+    """Write a rendered table/figure to benchmarks/out/ and echo it."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+    return path
+
+
+def check_rows(rows: list[ComparisonRow], rel_tol: float, title: str) -> str:
+    """Assert paper-vs-measured rows within tolerance; return rendering."""
+    text = comparison_table(rows, title=title).render()
+    bad = [r for r in rows if not r.within(rel_tol)]
+    assert not bad, (
+        f"{title}: rows outside {rel_tol:.0%} of the paper: "
+        + ", ".join(f"{r.name} ({r.ratio:.3f}x)" for r in bad)
+        + "\n" + text)
+    return text

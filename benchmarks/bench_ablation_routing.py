@@ -1,0 +1,70 @@
+"""Ablation — minimal vs Valiant vs UGAL routing on the dragonfly.
+
+§3.2: "Direct networks ... use non-minimal routing to take advantage of
+additional paths through the fabric to achieve higher bandwidth".  This
+bench runs the same adversarial pattern (every endpoint of group g sends
+to group g+1 — the worst case for minimal routing) and a uniform pattern
+under each policy.
+"""
+
+import numpy as np
+
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.network import SlingshotNetwork
+from repro.fabric.routing import RoutingPolicy
+from repro.reporting import Table
+
+from _harness import save_artifact
+
+CFG = DragonflyConfig().scaled(8, 4, 4)
+
+
+def _adversarial_rates(policy: RoutingPolicy) -> np.ndarray:
+    net = SlingshotNetwork(CFG, policy=policy, rng=5)
+    g = CFG.endpoints_per_group
+    flows = net.shift_pattern(g)     # whole-group shift: all global
+    return np.array([f.bandwidth for f in flows])
+
+
+def _uniform_rates(policy: RoutingPolicy, rng_seed: int = 7) -> np.ndarray:
+    net = SlingshotNetwork(CFG, policy=policy, rng=rng_seed)
+    gen = np.random.default_rng(rng_seed)
+    n = CFG.total_endpoints
+    perm = gen.permutation(n)
+    pairs = [(i, int(perm[i])) for i in range(n) if perm[i] != i]
+    flows, _ = net.flow_bandwidths(pairs)
+    return np.array([f.bandwidth for f in flows])
+
+
+def test_adversarial_pattern(benchmark):
+    def run():
+        return {p.value: _adversarial_rates(p) for p in RoutingPolicy}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(["policy", "mean GB/s", "min GB/s"],
+                  title="Ablation: adversarial group-shift traffic",
+                  float_fmt="{:.2f}")
+    for name, r in rates.items():
+        table.add_row([name, r.mean() / 1e9, r.min() / 1e9])
+    save_artifact("ablation_routing_adversarial", table.render())
+    # Non-minimal routing must beat minimal on the adversarial pattern:
+    # minimal jams everything through one bundle per group pair.
+    assert rates["valiant"].mean() > 1.5 * rates["minimal"].mean()
+    assert rates["ugal"].mean() > 1.5 * rates["minimal"].mean()
+
+
+def test_uniform_pattern(benchmark):
+    def run():
+        return {p.value: _uniform_rates(p) for p in RoutingPolicy}
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(["policy", "mean GB/s"],
+                  title="Ablation: uniform random traffic",
+                  float_fmt="{:.2f}")
+    for name, r in rates.items():
+        table.add_row([name, r.mean() / 1e9])
+    save_artifact("ablation_routing_uniform", table.render())
+    # On friendly traffic minimal is at least as good as Valiant (which
+    # burns two global hops per flow); UGAL should track minimal.
+    assert rates["minimal"].mean() >= 0.95 * rates["valiant"].mean()
+    assert rates["ugal"].mean() >= 0.9 * rates["minimal"].mean()

@@ -1,0 +1,62 @@
+"""Figure 3 — CoralGemm: peak vs achieved FP64/FP32/FP16 on one GCD.
+
+Regenerates the figure's bar values from the GEMM execution model (size
+sweep to N=16384) and times a real host DGEMM as the compute payload.
+"""
+
+import pytest
+
+from repro.microbench.coralgemm import coralgemm_sweep
+from repro.node.gemm import GemmModel, run_host_dgemm
+from repro.node.gpu import Precision
+from repro.reporting import ComparisonRow, Table
+
+from _harness import check_rows, save_artifact
+
+FIG3_PAPER = {
+    "FP64": (23.95, 47.9, 33.8),
+    "FP32": (23.95, 47.9, 24.1),
+    "FP16": (47.9, 191.5, 111.2),
+}
+
+
+def test_figure3_reproduction(benchmark):
+    model = GemmModel()
+    fig = benchmark(model.figure3)
+    rows = []
+    for prec, (vec, mat, achieved) in FIG3_PAPER.items():
+        rows.append(ComparisonRow(f"{prec} vector peak", vec,
+                                  fig[prec]["vector_peak_tflops"], "TF/s"))
+        rows.append(ComparisonRow(f"{prec} matrix peak", mat,
+                                  fig[prec]["matrix_peak_tflops"], "TF/s"))
+        rows.append(ComparisonRow(f"{prec} achieved", achieved,
+                                  fig[prec]["achieved_tflops"], "TF/s"))
+    text = check_rows(rows, rel_tol=0.01,
+                      title="Figure 3: CoralGemm (paper vs model)")
+    # the paper's headline: FP64/FP32 exceed the vector peak (matrix cores)
+    assert fig["FP64"]["achieved_tflops"] > fig["FP64"]["vector_peak_tflops"]
+    assert fig["FP32"]["achieved_tflops"] > fig["FP32"]["vector_peak_tflops"]
+
+    sweep_table = Table(["N", "FP64 TF/s", "FP32 TF/s", "FP16 TF/s"],
+                        title="Modelled CoralGemm sweep", float_fmt="{:.1f}")
+    sweeps = {p: model.sweep(p) for p in (Precision.FP64, Precision.FP32,
+                                          Precision.FP16)}
+    for i, point in enumerate(sweeps[Precision.FP64]):
+        sweep_table.add_row([point.n, point.tflops,
+                             sweeps[Precision.FP32][i].tflops,
+                             sweeps[Precision.FP16][i].tflops])
+    save_artifact("fig3_coralgemm", text + "\n\n" + sweep_table.render())
+
+
+def test_host_dgemm_payload(benchmark):
+    flops, _ = benchmark(run_host_dgemm, 384, 1)
+    assert flops > 0
+
+
+def test_sweep_harness(benchmark):
+    result = benchmark.pedantic(coralgemm_sweep,
+                                kwargs={"sizes": [512, 4096, 16384],
+                                        "host_n": 128},
+                                rounds=2, iterations=1)
+    assert result.achieved_tflops(Precision.FP64) == pytest.approx(33.8,
+                                                                   rel=0.01)

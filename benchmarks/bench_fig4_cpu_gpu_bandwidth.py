@@ -1,0 +1,50 @@
+"""Figure 4 — aggregate CPU-to-GPU bandwidth, 8 ranks feeding their GCDs.
+
+The plateau must land at the Trento STREAM rate (~180 GB/s), not at the
+8 x 36 GB/s xGMI aggregate — the paper's point about DRAM being the
+bottleneck for host-to-device traffic.
+"""
+
+import pytest
+
+from repro.node.transfers import (aggregate_host_to_gcd_bandwidth,
+                                  figure4_series, host_to_gcd_bandwidth)
+from repro.reporting import Table
+
+from _harness import save_artifact
+
+
+def test_figure4_series(benchmark):
+    series = benchmark(figure4_series)
+    table = Table(["message bytes", "aggregate GB/s"],
+                  title="Figure 4: 8-rank CPU->GCD bandwidth vs size",
+                  float_fmt="{:.1f}")
+    for size, gbs in series:
+        table.add_row([size, gbs])
+    save_artifact("fig4_cpu_gpu_bandwidth", table.render())
+    # monotone ramp to the DRAM plateau
+    values = [gbs for _, gbs in series]
+    assert values == sorted(values)
+    assert values[-1] == pytest.approx(179.2, rel=0.02)   # "about 180 GB/s"
+    assert values[-1] < 8 * 36                             # NOT the link sum
+
+
+def test_single_core_rate(benchmark):
+    bw = benchmark(host_to_gcd_bandwidth, 1 << 30)
+    # "we see it reach 25.5 GB/s, ~71% of the peak xGMI 2.0 bandwidth"
+    assert bw == pytest.approx(25.5e9, rel=0.01)
+    assert bw / 36e9 == pytest.approx(0.71, abs=0.01)
+
+
+def test_rank_scaling_crossover(benchmark):
+    """Between 1 and 8 ranks the bottleneck moves from link to DRAM."""
+
+    def sweep():
+        return [aggregate_host_to_gcd_bandwidth(r, 1 << 30)
+                for r in (1, 2, 4, 8)]
+
+    rates = benchmark(sweep)
+    # linear while link-limited...
+    assert rates[1] == pytest.approx(2 * rates[0], rel=0.01)
+    # ...then saturating at DRAM
+    assert rates[3] < 2 * rates[2]

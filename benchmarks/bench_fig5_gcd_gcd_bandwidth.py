@@ -1,0 +1,61 @@
+"""Figure 5 — GCD-to-GCD bandwidth: CU kernels (top) vs SDMA (bottom).
+
+Reproduces both panels over the 1-, 2- and 4-link GCD pairs of the twisted
+ladder, including the paper's key observation that SDMA engines cannot
+stripe and cap at ~50 GB/s regardless of link count.
+"""
+
+import pytest
+
+from repro.node.transfers import (TransferEngine, cu_kernel_bandwidth,
+                                  figure5_series, sdma_bandwidth)
+from repro.reporting import ComparisonRow, Table
+
+from _harness import check_rows, save_artifact
+
+BIG = 1 << 30
+#: Figure 5 plateau values, GB/s: width -> (CU kernel, SDMA).
+FIG5_PAPER = {1: (37.5, 50.0), 2: (74.9, 50.0), 4: (145.5, 50.0)}
+#: One representative adjacent pair per gang width in the twisted ladder.
+PAIRS = {1: (0, 2), 2: (0, 4), 4: (0, 1)}
+
+
+def test_figure5_plateaus(benchmark):
+    def measure():
+        out = {}
+        for width, pair in PAIRS.items():
+            out[width] = (cu_kernel_bandwidth(*pair, BIG).bandwidth / 1e9,
+                          sdma_bandwidth(*pair, BIG).bandwidth / 1e9)
+        return out
+
+    got = benchmark(measure)
+    rows = []
+    for width, (cu, sdma) in FIG5_PAPER.items():
+        rows.append(ComparisonRow(f"{width}-link CU kernel", cu,
+                                  got[width][0], "GB/s"))
+        rows.append(ComparisonRow(f"{width}-link SDMA", sdma,
+                                  got[width][1], "GB/s"))
+    text = check_rows(rows, rel_tol=0.02,
+                      title="Figure 5: GCD<->GCD bandwidth (paper vs model)")
+    save_artifact("fig5_gcd_gcd_bandwidth", text)
+    # CU kernels stripe; SDMA does not
+    assert got[4][0] > 3.5 * got[1][0]
+    assert got[4][1] == pytest.approx(got[1][1], rel=0.02)
+
+
+def test_figure5_size_ramps(benchmark):
+    def series():
+        return (figure5_series(TransferEngine.CU_KERNEL),
+                figure5_series(TransferEngine.SDMA))
+
+    cu, sdma = benchmark(series)
+    table = Table(["size", "CU 1-link", "CU 2-link", "CU 4-link",
+                   "SDMA 4-link"], title="Figure 5 ramps (GB/s)",
+                  float_fmt="{:.1f}")
+    for i, (size, _) in enumerate(cu[1]):
+        table.add_row([size, cu[1][i][1], cu[2][i][1], cu[4][i][1],
+                       sdma[4][i][1]])
+    save_artifact("fig5_ramps", table.render())
+    for width in (1, 2, 4):
+        values = [v for _, v in cu[width]]
+        assert values == sorted(values)   # monotone in message size

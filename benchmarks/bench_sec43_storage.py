@@ -1,0 +1,126 @@
+"""§4.3 — storage evaluation: node-local fio and Orion streaming rates."""
+
+import pytest
+
+from repro.reporting import ComparisonRow
+from repro.storage.fio import FioJob, aggregate_over_nodes, run_fio
+from repro.storage.iosim import CheckpointScenario, ingest_time
+from repro.storage.lustre import OrionFilesystem
+from repro.storage.pfl import Tier
+from repro.units import TiB
+
+from _harness import check_rows, save_artifact
+
+
+def test_node_local_fio(benchmark):
+    """§4.3.1's measured node-local rates and full-system aggregates."""
+
+    def run_jobs():
+        return (run_fio(FioJob.sequential_read()),
+                run_fio(FioJob.sequential_write()),
+                run_fio(FioJob.random_read_4k()))
+
+    read, write, rand = benchmark(run_jobs)
+    rows = [
+        ComparisonRow("node seq read", 7.1, read.bandwidth / 1e9, "GB/s"),
+        ComparisonRow("node seq write", 4.2, write.bandwidth / 1e9, "GB/s"),
+        ComparisonRow("node 4k rand read", 1.58, rand.iops / 1e6, "M IOPS"),
+        ComparisonRow("system read", 67.3,
+                      aggregate_over_nodes(read, 9472).bandwidth / 1e12,
+                      "TB/s"),
+        ComparisonRow("system write", 39.8,
+                      aggregate_over_nodes(write, 9472).bandwidth / 1e12,
+                      "TB/s"),
+        ComparisonRow("system IOPS", 15.0,
+                      aggregate_over_nodes(rand, 9472).iops / 1e9, "B IOPS"),
+    ]
+    text = check_rows(rows, rel_tol=0.03,
+                      title="Section 4.3.1: node-local storage (fio)")
+    save_artifact("sec431_node_local", text)
+
+
+def test_orion_streaming(benchmark):
+    """§4.3.2's measured PFS rates and the 700 TiB ingest calculation."""
+    fs = OrionFilesystem()
+
+    def measure():
+        flash = fs.tier_stats(Tier.PERFORMANCE, measured=True)
+        disk = fs.tier_stats(Tier.CAPACITY, measured=True)
+        return flash, disk, ingest_time(700 * TiB, fs)
+
+    flash, disk, ingest = benchmark(measure)
+    rows = [
+        ComparisonRow("flash read", 11.7, flash.read / 1e12, "TB/s"),
+        ComparisonRow("flash write", 9.4, flash.write / 1e12, "TB/s"),
+        ComparisonRow("capacity read", 4.9, disk.read / 1e12, "TB/s"),
+        ComparisonRow("capacity write", 4.3, disk.write / 1e12, "TB/s"),
+        ComparisonRow("700 TiB ingest", 180.0, ingest, "s"),
+    ]
+    text = check_rows(rows, rel_tol=0.03,
+                      title="Section 4.3.2: Orion streaming (measured)")
+    save_artifact("sec432_orion", text)
+
+
+def test_pfl_tiering_ablation(benchmark):
+    """Tiering on vs off.  The PFL's wins: (a) files <= 8 MB never touch a
+    hard drive, (b) files <= 256 KB are answered at open from the MDS
+    (DoM), (c) small-file streaming beats the capacity-only layout."""
+    fs = OrionFilesystem()
+
+    def effective(size):
+        return fs.effective_write_bandwidth(size)
+
+    small = benchmark(effective, 6 * 10 ** 6)
+    large = fs.effective_write_bandwidth(10 ** 12)
+    # (a) the flash tier absorbs the whole small file
+    per_tier = fs.layout.bytes_per_tier(6 * 10 ** 6)
+    assert per_tier[Tier.CAPACITY] == 0
+    # (b) DoM answers tiny opens without contacting an object server
+    assert fs.small_file_open_served(200 * 1024)
+    assert not fs.small_file_open_served(9 * 10 ** 6)
+    # (c) small files stream faster than the capacity tier alone
+    assert small > 1.05 * large
+    save_artifact("sec43_pfl_ablation",
+                  f"6 MB file effective write: {small / 1e12:.2f} TB/s "
+                  f"(0 bytes on HDD)\n"
+                  f"1 TB file effective write: {large / 1e12:.2f} TB/s\n"
+                  f"200 KB open served by DoM: True")
+
+
+def test_checkpoint_scenario(benchmark):
+    scenario = benchmark(CheckpointScenario)
+    summary = scenario.summary()
+    assert summary["blocking_fraction"] < 0.01
+    assert scenario.drain_fits_interval
+    save_artifact("sec43_checkpoint",
+                  "\n".join(f"{k}: {v:.3f}" for k, v in summary.items()))
+
+
+def test_ior_campaign(benchmark):
+    """IOR-style sweep: access pattern x alignment x transfer size, the
+    methodology behind the §4.3.2 streaming numbers."""
+    from repro.microbench.ior import IorAccess, IorJob, run_ior
+    from repro.reporting import Table
+
+    def sweep():
+        out = {}
+        for access in IorAccess:
+            for aligned in (True, False):
+                for transfer in (256 * 1024, 16 * 1024 * 1024):
+                    job = IorJob(access=access, aligned=aligned,
+                                 transfer_bytes=transfer)
+                    out[(access.value, aligned, transfer)] = run_ior(job)
+        return out
+
+    results = benchmark(sweep)
+    table = Table(["access", "aligned", "transfer", "TB/s", "bound by"],
+                  title="IOR campaign on the Orion flash tier",
+                  float_fmt="{:.2f}")
+    for (access, aligned, transfer), r in results.items():
+        table.add_row([access, str(aligned), transfer, r.bandwidth_tbs,
+                       r.bound_by])
+    save_artifact("sec43_ior_campaign", table.render())
+    best = results[("fpp", True, 16 * 1024 * 1024)]
+    worst = results[("ssf", False, 256 * 1024)]
+    assert best.bandwidth_tbs > 9.0       # the measured 9.4 TB/s regime
+    assert worst.bandwidth < 0.4 * best.bandwidth

@@ -1,0 +1,95 @@
+"""Section 5 — Frontier vs the 2008 exascale report (all four challenges).
+
+Regenerates the power (§5.1), memory/storage (§5.2), concurrency (§5.3)
+and resiliency (§5.4) verdicts from the live models.
+"""
+
+import pytest
+
+from repro.core.report_card import ChallengeGrade, ExascaleReportCard
+from repro.power.model import FrontierPowerModel
+from repro.reporting import ComparisonRow, Table
+from repro.resilience.mtti import MttiModel, monte_carlo_mtti
+
+from _harness import check_rows, save_artifact
+
+
+def test_section5_scorecard(benchmark):
+    card = ExascaleReportCard()
+    results = benchmark(card.evaluate)
+    table = Table(["Challenge", "Grade"], title="Section 5: the four "
+                  "challenges of the 2008 exascale report")
+    for name, result in results.items():
+        table.add_row([result.challenge, result.grade.value])
+    save_artifact("sec5_report_card", table.render())
+    assert results["energy_and_power"].grade is ChallengeGrade.PASS
+    assert results["memory_and_storage"].grade is ChallengeGrade.PARTIAL
+    assert results["concurrency_and_locality"].grade is ChallengeGrade.PASS
+    assert results["resiliency"].grade is ChallengeGrade.STRUGGLE
+    assert card.meets_spirit_of_exascale()
+
+
+def test_sec51_power(benchmark):
+    model = FrontierPowerModel()
+    power = benchmark(lambda: (model.hpl_power, model.gflops_per_watt,
+                               model.mw_per_exaflop))
+    rows = [
+        ComparisonRow("HPL power", 21.1, power[0] / 1e6, "MW"),
+        ComparisonRow("efficiency", 52.0, power[1], "GF/W"),
+    ]
+    text = check_rows(rows, rel_tol=0.02, title="Section 5.1: energy & power")
+    save_artifact("sec51_power", text)
+    assert power[2] < 20.0   # under the 20 MW/EF line
+
+
+def test_sec54_resiliency(benchmark):
+    model = MttiModel.frontier()
+
+    def run():
+        analytic = model.system_mtti_hours
+        mc, _ = monte_carlo_mtti(model.inventory, trials=200, rng=1)
+        return analytic, mc
+
+    analytic, mc = benchmark.pedantic(run, rounds=2, iterations=1)
+    # "not much better than their projected four-hour target"
+    assert 2.0 <= analytic <= 8.0
+    assert mc == pytest.approx(analytic, rel=0.1)
+    leading = model.inventory.leading_contributors(2)
+    save_artifact("sec54_resiliency",
+                  f"analytic MTTI: {analytic:.2f} h\n"
+                  f"monte-carlo MTTI: {mc:.2f} h\n"
+                  f"leading contributors: {', '.join(leading)}")
+    assert any("HBM" in name for name in leading)
+    assert any("Power" in name for name in leading)
+
+
+def test_energy_to_solution(benchmark):
+    """Energy per unit of science across the application suite: every KPP
+    speedup dwarfs the Frontier/baseline power growth, so the whole suite
+    is a net energy win — the application-level face of §5.1."""
+    from repro.power.energy import suite_energy_table
+
+    comparisons = benchmark(suite_energy_table)
+    table = Table(["Application", "Speedup", "Power ratio", "Energy gain"],
+                  title="Energy per unit of science, Frontier vs baseline",
+                  float_fmt="{:.1f}")
+    for c in comparisons:
+        table.add_row([c.application, c.speedup, c.power_ratio,
+                       c.energy_gain])
+    save_artifact("sec51_energy_to_solution", table.render())
+    assert all(c.is_energy_win for c in comparisons)
+    assert min(c.energy_gain for c in comparisons) > 2.0
+
+
+def test_cost_arithmetic(benchmark):
+    """§2 footnote 1 and §5's cost argument, regenerated."""
+    from repro.economics import SystemCostModel
+
+    model = SystemCostModel()
+    rationale = benchmark(model.twenty_mw_rationale)
+    assert rationale["implied_power_cap_mw"] == pytest.approx(20.0)
+    assert rationale["frontier_meets_rule"]
+    args = model.why_not_1000x()
+    save_artifact("sec5_cost_arithmetic", "\n".join(
+        f"{k}: {v}" for k, v in {**rationale, **args}.items()))
+    assert args["budget_growth_vs_2008"] <= 6.0

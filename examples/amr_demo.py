@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""AMR demo — the machinery under WarpX (AMReX) and AthenaPK (Parthenon).
+
+Advects a sharp pulse with block-structured adaptive refinement and shows
+the trade the frameworks exist for: near-fine-grid accuracy at a fraction
+of the cells, with composite conservation exact through refluxing.
+
+Run:  python examples/amr_demo.py
+"""
+
+from repro.apps.kernels.amr import AmrHierarchy
+from repro.reporting import Table
+
+
+def main() -> None:
+    t_end = 0.3
+    configs = {
+        "coarse only (64 cells)": AmrHierarchy(n_coarse=64,
+                                               refine_threshold=1e9),
+        "AMR (64 + flagged blocks)": AmrHierarchy(n_coarse=64),
+        "fine everywhere (128)": AmrHierarchy(n_coarse=128,
+                                              refine_threshold=1e9),
+    }
+    table = Table(["configuration", "effective cells", "L1 error",
+                   "mass drift"], title="Advected pulse after t=0.3",
+                  float_fmt="{:.2e}")
+    for name, h in configs.items():
+        m0 = h.total_mass()
+        h.run(t_end)
+        cells = h.n_coarse + sum(
+            len(f) - h.block_size for f in h.fine.values())
+        table.add_row([name, cells, h.composite_error(),
+                       abs(h.total_mass() - m0)])
+    print(table.render())
+
+    amr = configs["AMR (64 + flagged blocks)"]
+    print(f"\nAMR refined {amr.refined_fraction:.0%} of blocks; the pulse "
+          "dragged its fine patches along as it moved.")
+    print("Refluxing keeps the composite integral conserved to round-off — "
+          "the invariant AMReX and Parthenon guard in their own suites.")
+
+    print("\nRefinement-threshold sweep (accuracy vs cost):")
+    sweep = Table(["threshold", "refined fraction", "L1 error"],
+                  float_fmt="{:.3f}")
+    for threshold in (0.02, 0.05, 0.1, 0.3, 1e9):
+        h = AmrHierarchy(n_coarse=64, refine_threshold=threshold)
+        h.run(t_end)
+        label = f"{threshold:g}" if threshold < 1e8 else "never refine"
+        sweep.add_row([label, h.refined_fraction, h.composite_error()])
+    print(sweep.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Checkpoint planning — resiliency meets storage.
+
+Given the modeled MTTI (§5.4) and the storage rates (§4.3), compute the
+optimal checkpoint strategy for jobs of different sizes and the expected
+useful-work efficiency — the analysis a Frontier user would actually run
+before a big campaign.
+
+Run:  python examples/checkpoint_planning.py
+"""
+
+from repro.reporting import Table
+from repro.resilience.checkpoint import CheckpointPlan
+from repro.resilience.mtti import MttiModel
+from repro.storage.iosim import CheckpointScenario
+from repro.units import GiB
+
+
+def main() -> None:
+    mtti = MttiModel.frontier()
+    print(f"System MTTI: {mtti.system_mtti_hours:.1f} h; leading "
+          f"contributors: {', '.join(mtti.inventory.leading_contributors())}\n")
+
+    table = Table(["job nodes", "job MTTI (h)", "P(interrupt, 12h)",
+                   "ckpt cost (s)", "optimal interval (min)", "efficiency"],
+                  title="Checkpoint plans (burst buffer path)",
+                  float_fmt="{:.2f}")
+    for nodes in (512, 2048, 8192, 9472):
+        job_mtti_h = mtti.job_mtti_hours(nodes)
+        p12 = mtti.job_interrupt_probability(nodes, 12.0)
+        scenario = CheckpointScenario(nodes=nodes, hbm_fraction=0.15)
+        plan = CheckpointPlan(checkpoint_cost_s=scenario.burst_time,
+                              mtti_s=job_mtti_h * 3600.0)
+        table.add_row([nodes, job_mtti_h, p12, scenario.burst_time,
+                       plan.daly_interval_s / 60.0,
+                       plan.efficiency_at_optimum])
+    print(table.render())
+
+    print("\nBurst buffer vs direct-to-PFS for a full-machine job:")
+    scenario = CheckpointScenario()
+    mtti_s = mtti.system_mtti_hours * 3600.0
+    for name, cost in (("burst buffer", scenario.burst_time),
+                       ("direct PFS", scenario.direct_pfs_time)):
+        plan = CheckpointPlan(checkpoint_cost_s=cost, mtti_s=mtti_s)
+        print(f"  {name:13s}: cost {cost:6.1f} s, interval "
+              f"{plan.daly_interval_s / 60:5.1f} min, efficiency "
+              f"{plan.efficiency_at_optimum:.4f}")
+    print(f"\nDrain time to Orion between checkpoints: "
+          f"{scenario.drain_time:.0f} s "
+          f"(fits the hourly cadence: {scenario.drain_fits_interval})")
+
+    print("\nSweep: checkpointed HBM fraction vs blocking overhead")
+    sweep = Table(["HBM fraction", "volume (TiB)", "burst (s)",
+                   "blocking fraction"], float_fmt="{:.3f}")
+    for frac in (0.05, 0.15, 0.5, 1.0):
+        s = CheckpointScenario(hbm_fraction=frac)
+        sweep.add_row([frac, s.checkpoint_bytes / 2 ** 40, s.burst_time,
+                       s.blocking_fraction])
+    print(sweep.render())
+
+
+if __name__ == "__main__":
+    main()

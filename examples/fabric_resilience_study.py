@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fabric resilience study — failures, sweeps, reroutes, blast radii.
+
+Walks the §3.4.2 + §5.4 machinery end to end: cables fail on a reduced
+dragonfly, the Fabric Manager's sweep discovers them and pushes routes,
+traffic detours; then the component blast-radius model quantifies what
+one failure costs a running job, including HPE's planned PSU mitigation.
+
+Run:  python examples/fabric_resilience_study.py
+"""
+
+import numpy as np
+
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.network import SlingshotNetwork
+from repro.fabric.topology import LinkKind
+from repro.reporting import Table
+from repro.resilience.blast_radius import FailureDomainModel
+from repro.software.fabric_manager import FabricManager
+
+
+def fabric_failure_walkthrough() -> None:
+    print("=== Losing a bundle, watching the Fabric Manager cope ===")
+    cfg = DragonflyConfig().scaled(8, 4, 4)
+    net = SlingshotNetwork(cfg, rng=11)
+    fm = FabricManager(net)
+    print(f"boot: pushed configuration to {fm.boot()} blank switches")
+
+    pairs = set()
+    for link in net.topology.links:
+        if link.kind is LinkKind.L2:
+            ga = net.topology.group_of_switch(link.src[1])
+            gb = net.topology.group_of_switch(link.dst[1])
+            if {ga, gb} == {0, 1}:
+                pairs.add((min(link.src[1], link.dst[1]),
+                           max(link.src[1], link.dst[1])))
+    for a, b in pairs:
+        fm.fail_cable(a, b)
+    print(f"failed every cable between groups 0 and 1 "
+          f"({len(pairs)} cables); sweep handles "
+          f"{fm.sweep()} directed links")
+    print(f"global capacity degraded by "
+          f"{fm.degraded_global_capacity():.1%}; fabric routable: "
+          f"{fm.fabric_is_routable()}")
+    path = net.router.path(0, cfg.endpoints_per_group + 1, register=False)
+    print(f"group-0 -> group-1 traffic now takes "
+          f"{net.router.global_hops(path)} global hops (Valiant detour)\n")
+
+
+def blast_radius_study() -> None:
+    print("=== What one failure costs a job (blast radii) ===")
+    model = FailureDomainModel()
+    table = Table(["component", "nodes lost", "failures/h",
+                   "node-hours lost/h"], float_fmt="{:.4f}")
+    for b in sorted(model.blast_radii(),
+                    key=lambda b: -b.node_hours_lost_per_hour)[:5]:
+        table.add_row([b.component, b.nodes_lost, b.failures_per_hour,
+                       b.node_hours_lost_per_hour])
+    print(table.render())
+    print(f"dominant source: {model.dominant_blast_source()} "
+          "(the §5.4 mitigation target)\n")
+
+    print("Job interrupt rates by size, before/after the PSU mitigation:")
+    mitigated = model.what_if_radius("Power supply / rectifier", 1)
+    table = Table(["job nodes", "MTTI (h)", "MTTI with PSU fix (h)"],
+                  float_fmt="{:.1f}")
+    for nodes in (512, 2048, 8192, 9472):
+        table.add_row([nodes, model.job_mtti_hours(nodes),
+                       mitigated.job_mtti_hours(nodes)])
+    print(table.render())
+    print("\n'Over time, we expect Frontier's resiliency to increase' — "
+          "the what-if shows where the next factor comes from.")
+
+
+if __name__ == "__main__":
+    fabric_failure_walkthrough()
+    blast_radius_study()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart — build Frontier and regenerate the paper's headline results.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FrontierMachine
+from repro.apps import all_apps
+from repro.core.report_card import ExascaleReportCard
+from repro.reporting import Table, render_kv
+
+
+def main() -> None:
+    machine = FrontierMachine()
+
+    # --- Table 1: the machine, from its components -----------------------
+    t1 = machine.table1()
+    print(render_kv({
+        "Nodes": f"{t1['nodes']:.0f}",
+        "FP64 DGEMM": f"{t1['fp64_dgemm_EF']:.1f} EF",
+        "DDR4 capacity": f"{t1['ddr4_capacity_PiB']:.1f} PiB",
+        "DDR4 bandwidth": f"{t1['ddr4_bandwidth_PBps']:.2f} PB/s",
+        "HBM2e capacity": f"{t1['hbm2e_capacity_PiB']:.1f} PiB",
+        "HBM2e bandwidth": f"{t1['hbm2e_bandwidth_PBps']:.1f} PB/s",
+        "Injection bandwidth/node": f"{t1['injection_bandwidth_GBps_per_node']:.0f} GB/s",
+        "Global bandwidth": f"{t1['global_bandwidth_TBps']:.1f}+{t1['global_bandwidth_TBps']:.1f} TB/s",
+        "GPU hardware threads": f"{t1['gpu_threads_millions']:.0f} million",
+    }, title="Frontier Compute Peak Specifications (computed)"))
+
+    # --- power, storage, resiliency in one line each ----------------------
+    summary = machine.summary()
+    print(f"\nPower: {summary['power_MW']:.1f} MW at HPL "
+          f"-> {summary['gflops_per_watt']:.1f} GF/W "
+          f"(report target: 50 GF/W, 20 MW/EF)")
+    print(f"Orion capacity: {summary['orion_capacity_PB']:.0f} PB; "
+          f"node-local reads: {machine.node_local_read_bandwidth / 1e12:.1f} TB/s")
+    print(f"System MTTI: {summary['system_mtti_hours']:.1f} hours "
+          f"(the 2008 report projected 4 h with a 10x FIT improvement)")
+
+    # --- Tables 6 & 7: every application beats its KPP --------------------
+    table = Table(["Application", "Baseline", "Target", "Achieved"],
+                  title="\nCAAR + ECP application KPPs", float_fmt="{:.1f}")
+    for app in all_apps():
+        r = app.kpp_result()
+        table.add_row([r.application, r.baseline, f"{r.target:.0f}x",
+                       f"{r.achieved:.1f}x"])
+    print(table.render())
+
+    # --- the paper's thesis ------------------------------------------------
+    card = ExascaleReportCard()
+    grades = {name: res.grade.value for name, res in card.evaluate().items()}
+    print("\n2008 exascale report scorecard:", grades)
+    print("Meets the spirit of exascale (all KPPs exceeded):",
+          card.meets_spirit_of_exascale())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Weak-scaling study — why the NIC-per-GPU node design matters.
+
+Reproduces the §4.4 parallel-efficiency story: the same AthenaPK halo
+exchange weak-scales at 96% on Frontier but ~48% on Summit, because
+Summit's six GPUs funnel through a shared, host-staged rail while each
+Frontier OAM owns a NIC.  Also shows the other calibrated curves and a
+what-if: Summit with Frontier's NIC topology.
+
+Run:  python examples/weak_scaling_study.py
+"""
+
+from repro.apps.scaling import CommPattern, WeakScalingModel
+from repro.core.baselines import SUMMIT
+from repro.reporting import Table
+
+COUNTS = [1, 64, 512, 4096, 9216]
+
+
+def calibrated_curves() -> None:
+    print("=== Calibrated weak-scaling curves (paper claims in §4.4) ===")
+    models = {
+        "PIConGPU (paper: 90%)": WeakScalingModel.picongpu(),
+        "Shift (paper: 97.8%)": WeakScalingModel.shift(),
+        "AthenaPK Frontier (96%)": WeakScalingModel.athenapk(),
+        "AthenaPK Summit (48%)": WeakScalingModel.athenapk(machine=SUMMIT),
+        "GESTS 1-D": WeakScalingModel.gests("1d"),
+        "GESTS 2-D": WeakScalingModel.gests("2d"),
+    }
+    table = Table(["nodes"] + list(models), float_fmt="{:.3f}")
+    for i, n in enumerate(COUNTS):
+        table.add_row([n] + [m.efficiency(n) for m in models.values()])
+    print(table.render())
+    print()
+
+
+def the_nic_per_gpu_what_if() -> None:
+    print("=== What if Summit had Frontier's NIC topology? ===")
+    summit_real = WeakScalingModel.athenapk(machine=SUMMIT)
+    summit_fixed = WeakScalingModel(
+        pattern=CommPattern.HALO,
+        compute_seconds=summit_real.compute_seconds,
+        comm_bytes_per_rank=summit_real.comm_bytes_per_rank,
+        machine=SUMMIT, ppn=6, staging_factor=1.0)
+    table = Table(["configuration", "efficiency at 4,600 nodes"],
+                  float_fmt="{:.3f}")
+    table.add_row(["Summit as built (host-staged shared rail)",
+                   summit_real.efficiency(4600)])
+    table.add_row(["Summit with NIC-per-GPU (hypothetical)",
+                   summit_fixed.efficiency(4600)])
+    table.add_row(["Frontier as built",
+                   WeakScalingModel.athenapk().efficiency(9200)])
+    print(table.render())
+    print("\nThe node design, not the application, owns the efficiency gap "
+          "— the paper's §4.4.1 conclusion.\n")
+
+
+def overlap_sensitivity() -> None:
+    print("=== Sensitivity: how much does communication overlap buy? ===")
+    table = Table(["overlap", "PIConGPU-class efficiency at 9,216 nodes"],
+                  float_fmt="{:.3f}")
+    for overlap in (0.0, 0.2, 0.5, 0.8):
+        m = WeakScalingModel(pattern=CommPattern.HALO,
+                             compute_seconds=9.5e-3,
+                             comm_bytes_per_rank=2.6e6, overlap=overlap)
+        table.add_row([f"{overlap:.0%}", m.efficiency(9216)])
+    print(table.render())
+
+
+if __name__ == "__main__":
+    calibrated_curves()
+    the_nic_per_gpu_what_if()
+    overlap_sensitivity()

@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate the paper's tables and scorecards in the terminal:
+
+=============  =======================================================
+``specs``      Table 1 — compute peak specifications
+``storage``    Table 2 + the §4.3 measured rates
+``stream``     Tables 3 and 4 — CPU and GPU STREAM
+``gpcnet``     Table 5 — isolated vs congested
+``apps``       Tables 6 and 7 — every KPP row
+``scorecard``  §5 — the four-challenge report card
+``software``   §3.4.3 — the programming-environment matrix
+``evaluate``   everything above as JSON (for scripting)
+=============  =======================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any
+
+from repro.reporting import Table, render_kv
+
+__all__ = ["main"]
+
+
+def _cmd_specs() -> None:
+    from repro.core.specs_table import compute_table1
+    t1 = compute_table1()
+    print(render_kv({
+        "Nodes": f"{t1['nodes']:.0f}",
+        "FP64 DGEMM": f"{t1['fp64_dgemm_EF']:.1f} EF",
+        "DDR4 Memory Capacity": f"{t1['ddr4_capacity_PiB']:.1f} PiB",
+        "DDR4 Memory Bandwidth": f"{t1['ddr4_bandwidth_PBps']:.2f} PB/s",
+        "HBM2e Memory Capacity": f"{t1['hbm2e_capacity_PiB']:.1f} PiB",
+        "HBM2e Memory Bandwidth": f"{t1['hbm2e_bandwidth_PBps']:.1f} PB/s",
+        "Injection Bandwidth/node": "100 GB/s",
+        "Global Bandwidth": f"{t1['global_bandwidth_TBps']:.1f}+"
+                            f"{t1['global_bandwidth_TBps']:.1f} TB/s",
+    }, title="Frontier Compute Peak Specifications"))
+
+
+def _cmd_storage() -> None:
+    from repro.storage.lustre import OrionFilesystem
+    from repro.storage.pfl import Tier
+    fs = OrionFilesystem()
+    table = Table(["Tier", "Capacity PB", "Read TB/s", "Write TB/s",
+                   "Measured R/W TB/s"],
+                  title="I/O Subsystem", float_fmt="{:.1f}")
+    for tier in Tier:
+        c = fs.tier_stats(tier)
+        m = fs.tier_stats(tier, measured=True)
+        table.add_row([f"Orion {tier.value}", c.capacity / 1e15,
+                       c.read / 1e12, c.write / 1e12,
+                       f"{m.read / 1e12:.1f}/{m.write / 1e12:.1f}"])
+    print(table.render())
+
+
+def _cmd_stream() -> None:
+    from repro.node.dram import CpuStreamModel
+    from repro.node.hbm import GpuStreamModel
+    cpu = Table(["Function", "Temporal (MB/s)", "Non-Temporal (MB/s)"],
+                title="CPU STREAM (Table 3)", float_fmt="{:.1f}")
+    for name, row in CpuStreamModel().table3().items():
+        cpu.add_row([name, row["temporal_MBps"], row["non_temporal_MBps"]])
+    print(cpu.render())
+    gpu = Table(["Function", "Bandwidth (MB/s)"],
+                title="\nGPU STREAM (Table 4)", float_fmt="{:.1f}")
+    for name, value in GpuStreamModel().table4().items():
+        gpu.add_row([name, value])
+    print(gpu.render())
+
+
+def _cmd_gpcnet() -> None:
+    from repro.microbench.gpcnet import run_gpcnet
+    iso = run_gpcnet(congested=False)
+    con = run_gpcnet(congested=True)
+    table = Table(["Name", "Average", "99%", "Units"],
+                  title="GPCNeT, 9,400 nodes, 8 PPN (Table 5)",
+                  float_fmt="{:.1f}")
+    for title, report in (("Isolated", iso), ("Congested", con)):
+        table.add_row([f"-- {title} --", "", "", ""])
+        for name, row in report.rows.items():
+            table.add_row([name, row.average, row.p99, row.units])
+    print(table.render())
+
+
+def _cmd_apps() -> None:
+    from repro.apps import CAAR_APPS, ECP_APPS
+    for title, apps in (("CAAR and INCITE Application Results (Table 6)",
+                         CAAR_APPS()),
+                        ("ECP Application Results (Table 7)", ECP_APPS())):
+        table = Table(["Application", "Baseline", "Target", "Achieved"],
+                      title=title, float_fmt="{:.1f}")
+        for app in apps:
+            r = app.kpp_result()
+            table.add_row([r.application, r.baseline, f"{r.target:.0f}x",
+                           f"{r.achieved:.1f}x"])
+        print(table.render())
+        print()
+
+
+def _cmd_scorecard() -> None:
+    from repro.core.report_card import ExascaleReportCard
+    card = ExascaleReportCard()
+    table = Table(["Challenge", "Grade", "Key metric"],
+                  title="Frontier vs the 2008 exascale report (Section 5)")
+    results = card.evaluate()
+    highlights = {
+        "energy_and_power": lambda m: f"{m['gflops_per_watt']:.1f} GF/W",
+        "memory_and_storage": lambda m: (
+            f"{m['memory_scaling_vs_2008']:.0f}x memory vs 2008 (ask: 1000x)"),
+        "concurrency_and_locality": lambda m: (
+            f"{m['gpu_threads'] / 1e6:.0f}M GPU threads"),
+        "resiliency": lambda m: f"MTTI {m['system_mtti_hours']:.1f} h",
+    }
+    for name, result in results.items():
+        table.add_row([result.challenge, result.grade.value,
+                       highlights[name](result.metrics)])
+    print(table.render())
+    print("\nMeets the spirit of exascale (all application KPPs exceeded):",
+          card.meets_spirit_of_exascale())
+
+
+def _cmd_software() -> None:
+    from repro.software.environment import (ProgrammingModel,
+                                            frontier_environment)
+    env = frontier_environment()
+    table = Table(["Compiler", "Stack", "LLVM", "OpenMP offload", "OpenACC",
+                   "HIP", "SYCL"],
+                  title="Programming environment (Section 3.4.3)")
+    for c in env.compilers:
+        table.add_row([
+            c.name, c.stack.value.split()[0], "yes" if c.llvm_based else "no",
+            c.supports.get(ProgrammingModel.OPENMP_OFFLOAD, "-"),
+            c.supports.get(ProgrammingModel.OPENACC, "-"),
+            "yes" if ProgrammingModel.HIP in c.supports else "-",
+            c.supports.get(ProgrammingModel.SYCL, "-"),
+        ])
+    print(table.render())
+    print(f"\nLow-level GPU model: {env.low_level_gpu_model().value}; "
+          f"leading portable model: {env.leading_portable_model().value}")
+    print("Vendor OpenACC commitment:", env.vendor_openacc_commitment())
+
+
+def _cmd_evaluate() -> None:
+    from repro.core.evaluation import run_full_evaluation
+
+    def default(o: Any):
+        return str(o)
+
+    print(json.dumps(run_full_evaluation(mpigraph_samples=1), indent=2,
+                     default=default))
+
+
+COMMANDS = {
+    "specs": _cmd_specs,
+    "storage": _cmd_storage,
+    "stream": _cmd_stream,
+    "gpcnet": _cmd_gpcnet,
+    "apps": _cmd_apps,
+    "scorecard": _cmd_scorecard,
+    "software": _cmd_software,
+    "evaluate": _cmd_evaluate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the evaluation of 'Frontier: Exploring "
+                    "Exascale' (SC '23) from the simulator models.")
+    parser.add_argument("command", choices=sorted(COMMANDS),
+                        help="which part of the paper to regenerate")
+    args = parser.parse_args(argv)
+    COMMANDS[args.command]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,51 @@
+"""The CAAR and ECP application suite (paper §4.4, Tables 6 and 7).
+
+Each application module provides two things:
+
+1. a **real, scaled-down computational kernel** (NumPy) exercising the
+   same numerics the production code runs — PIC pushes, Riemann solvers,
+   pseudo-spectral transforms, Monte-Carlo transport, trajectory
+   splicing... — with physical invariants checked by the test suite;
+2. a **calibrated FOM projection model** that maps machine models
+   (:mod:`repro.core.baselines`) to the paper's figure-of-merit speedups.
+
+CAAR/INCITE apps (Table 6, target 4x over Summit): CoMet, LSMS, PIConGPU,
+Cholla, GESTS, AthenaPK.  ECP apps (Table 7, target 50x over a ~20 PF
+system): WarpX, ExaSky/HACC, EXAALT, ExaSMR, WDMApp.
+"""
+
+from repro.apps.base import Application, FomProjection, KppResult
+from repro.apps.scaling import CommPattern, WeakScalingModel
+from repro.apps.comet import CoMet
+from repro.apps.lsms import Lsms
+from repro.apps.picongpu import PIConGPU
+from repro.apps.cholla import Cholla
+from repro.apps.gests import Gests
+from repro.apps.athenapk import AthenaPK
+from repro.apps.warpx import WarpX
+from repro.apps.exasky import ExaSky
+from repro.apps.exaalt import Exaalt
+from repro.apps.exasmr import ExaSMR
+from repro.apps.wdmapp import WdmApp
+
+__all__ = [
+    "Application", "FomProjection", "KppResult",
+    "CommPattern", "WeakScalingModel",
+    "CoMet", "Lsms", "PIConGPU", "Cholla", "Gests", "AthenaPK",
+    "WarpX", "ExaSky", "Exaalt", "ExaSMR", "WdmApp",
+    "CAAR_APPS", "ECP_APPS", "all_apps",
+]
+
+
+def CAAR_APPS() -> list[Application]:
+    """The Table 6 suite, in the paper's row order."""
+    return [CoMet(), Lsms(), PIConGPU(), Cholla(), Gests(), AthenaPK()]
+
+
+def ECP_APPS() -> list[Application]:
+    """The Table 7 suite, in the paper's row order."""
+    return [WarpX(), ExaSky(), Exaalt(), ExaSMR(), WdmApp()]
+
+
+def all_apps() -> list[Application]:
+    return CAAR_APPS() + ECP_APPS()

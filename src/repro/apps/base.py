@@ -1,0 +1,114 @@
+"""Application abstractions: figures of merit, KPP results, projections.
+
+The KPP (Key Performance Parameter) methodology (paper §4.4, §5): an
+application defines a *figure of merit* — a science-output rate such as
+particle updates per second — measures it on a baseline system, and must
+exceed ``target x baseline`` on Frontier, via strong scaling, weak scaling,
+or both.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.core.baselines import FRONTIER, MachineModel
+from repro.errors import ConfigurationError
+
+__all__ = ["FomProjection", "KppResult", "Application"]
+
+
+@dataclass(frozen=True)
+class FomProjection:
+    """A multiplicative decomposition of one machine-to-machine speedup.
+
+    The product of ``factors`` is the projected FOM ratio.  Keeping the
+    decomposition explicit (device ratio, per-device kernel speedup,
+    algorithmic work reduction, scaling-efficiency ratio...) is what makes
+    the calibration auditable against the paper's narrative.
+    """
+
+    factors: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name, value in self.factors.items():
+            if value <= 0:
+                raise ConfigurationError(f"non-positive projection factor {name}")
+
+    @property
+    def speedup(self) -> float:
+        out = 1.0
+        for value in self.factors.values():
+            out *= value
+        return out
+
+    def explained(self) -> str:
+        parts = [f"{k}={v:.3g}" for k, v in self.factors.items()]
+        return " * ".join(parts) + f" = {self.speedup:.3g}x"
+
+
+@dataclass(frozen=True)
+class KppResult:
+    """One row of Table 6 or Table 7."""
+
+    application: str
+    baseline: str
+    target: float
+    achieved: float
+
+    @property
+    def met(self) -> bool:
+        return self.achieved >= self.target
+
+    @property
+    def margin(self) -> float:
+        """achieved / target: >1 means the KPP is exceeded."""
+        return self.achieved / self.target
+
+
+class Application(abc.ABC):
+    """One paper application: kernel + calibrated projection."""
+
+    #: Row name as the paper's tables print it.
+    name: str = "app"
+    #: Science domain (for documentation and the evaluation report).
+    domain: str = ""
+    #: FOM units, e.g. "comparisons/s".
+    fom_units: str = ""
+    #: KPP target factor (4.0 for CAAR, 50.0 for ECP).
+    kpp_target: float = 4.0
+
+    @property
+    @abc.abstractmethod
+    def baseline_machine(self) -> MachineModel:
+        """The system the speedup is measured against."""
+
+    @abc.abstractmethod
+    def projection(self, machine: MachineModel | None = None) -> FomProjection:
+        """Decomposed speedup of ``machine`` (default Frontier) vs baseline."""
+
+    @abc.abstractmethod
+    def run_kernel(self, scale: float = 1.0) -> dict[str, float]:
+        """Execute the scaled-down computational kernel.
+
+        Returns a metrics dict including at least ``fom`` (the kernel's own
+        science rate at laptop scale) plus physics diagnostics the tests
+        assert on (conservation errors, convergence orders, ...).
+        """
+
+    # -- derived -----------------------------------------------------------
+
+    def speedup(self, machine: MachineModel | None = None) -> float:
+        return self.projection(machine).speedup
+
+    def kpp_result(self, machine: MachineModel | None = None) -> KppResult:
+        m = machine if machine is not None else FRONTIER
+        return KppResult(application=self.name,
+                         baseline=self.baseline_machine.name,
+                         target=self.kpp_target,
+                         achieved=self.speedup(m))
+
+    def describe(self) -> str:
+        proj = self.projection()
+        return (f"{self.name} ({self.domain}): {proj.explained()} vs "
+                f"{self.baseline_machine.name}, target {self.kpp_target}x")

@@ -1,0 +1,133 @@
+"""ExaSMR — coupled Monte-Carlo neutronics + CFD (ECP, Table 7).
+
+Models a NuScale-style small modular reactor with a nonlinear Picard
+iteration between continuous-energy Monte Carlo (Shift) and spectral-
+element CFD (NekRS).  Paper data points: Shift reached 912M particles/s
+on 8,192 nodes with 97.8% weak-scaling efficiency; the coupled run on
+6,400 nodes scored FOMs of 54 (Shift) and 99.6 (NekRS) vs Titan; the
+combined KPP is their **harmonic average: 70x**.
+
+This module implements the coupling for real at laptop scale: the slab
+Monte-Carlo reactor's fission tally feeds the CFD heat source; the CFD
+temperature feeds back into the absorption cross-section (a Doppler-like
+negative feedback); the Picard loop converges to a self-consistent pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import Application, FomProjection
+from repro.apps.kernels.cfd import HeatAdvectionSolver
+from repro.apps.kernels.montecarlo import SlabReactor
+from repro.core.baselines import FRONTIER, TITAN, MachineModel
+from repro.errors import SimulationError
+from repro.rng import RngLike, as_generator
+from repro.units import harmonic_mean
+
+__all__ = ["PicardCoupling", "ExaSMR"]
+
+SHIFT_FOM_VS_TITAN = 54.0
+NEKRS_FOM_VS_TITAN = 99.6
+FRONTIER_NODES_COUPLED = 6400
+SHIFT_MAX_PARTICLES_PER_S = 912e6
+SHIFT_WEAK_SCALING_EFF = 0.978
+
+
+@dataclass
+class PicardCoupling:
+    """Fixed-point iteration between neutronics and thermal hydraulics."""
+
+    nx: int = 16
+    ny: int = 20
+    histories: int = 1500
+    doppler_coefficient: float = 0.02   # d(sigma_a)/dT feedback strength
+    relaxation: float = 0.5
+
+    def run(self, max_iterations: int = 12, tol: float = 0.15,
+            rng: RngLike = None) -> dict[str, float]:
+        """Iterate until the power shape stabilises; returns diagnostics."""
+        gen = as_generator(rng)
+        cfd = HeatAdvectionSolver(nx=self.nx, ny=self.ny)
+        sigma_a_boost = 0.0
+        prev_power: np.ndarray | None = None
+        k_history: list[float] = []
+        for iteration in range(1, max_iterations + 1):
+            reactor = SlabReactor(
+                sigma_t=1.0 + sigma_a_boost,
+                sigma_s=0.7,
+                sigma_f=0.12,
+                n_tally_bins=self.ny,
+            )
+            result = reactor.power_iteration(histories=self.histories,
+                                             generations=12, discard=4,
+                                             rng=gen)
+            k_history.append(result.k_eff)
+            power = result.fission_tally
+            norm = power.sum()
+            if norm <= 0:
+                raise SimulationError("reactor produced no fission power")
+            power = power / norm
+            if prev_power is not None:
+                # damp Monte-Carlo noise between Picard iterations
+                power = 0.5 * (power + prev_power)
+            # feed the (1-D axial) power shape into the 2-D CFD heat source
+            q = np.tile(power, (self.nx, 1)) * 5.0
+            cfd.set_heat_source(q)
+            cfd.run(300)
+            t_mean = cfd.mean_temperature()
+            # Doppler-like feedback: hotter coolant/fuel -> more absorption
+            target = self.doppler_coefficient * t_mean
+            sigma_a_boost += self.relaxation * (target - sigma_a_boost)
+            if prev_power is not None:
+                delta = float(np.abs(power - prev_power).sum())
+                if delta < tol:
+                    return {
+                        "iterations": float(iteration),
+                        "k_eff": result.k_eff,
+                        "mean_temperature": t_mean,
+                        "outlet_temperature": cfd.outlet_temperature(),
+                        "power_residual": delta,
+                        "converged": 1.0,
+                    }
+            prev_power = power
+        return {
+            "iterations": float(max_iterations),
+            "k_eff": k_history[-1],
+            "mean_temperature": cfd.mean_temperature(),
+            "outlet_temperature": cfd.outlet_temperature(),
+            "power_residual": float("nan"),
+            "converged": 0.0,
+        }
+
+
+class ExaSMR(Application):
+    name = "ExaSMR"
+    domain = "nuclear reactor multiphysics"
+    fom_units = "harmonic mean of particle/s and DOF/s rates"
+    kpp_target = 50.0
+
+    @property
+    def baseline_machine(self) -> MachineModel:
+        return TITAN
+
+    def projection(self, machine: MachineModel | None = None) -> FomProjection:
+        """The combined FOM is the harmonic average of the two codes'
+        speedups — kept as a single explicit factor so the decomposition
+        matches the paper's own arithmetic: 2/(1/54 + 1/99.6) = 70."""
+        del machine
+        combined = harmonic_mean([SHIFT_FOM_VS_TITAN, NEKRS_FOM_VS_TITAN])
+        return FomProjection(factors={"harmonic_mean_shift_nekrs": combined})
+
+    def component_foms(self) -> dict[str, float]:
+        return {"shift": SHIFT_FOM_VS_TITAN, "nekrs": NEKRS_FOM_VS_TITAN,
+                "combined": harmonic_mean([SHIFT_FOM_VS_TITAN,
+                                           NEKRS_FOM_VS_TITAN])}
+
+    def run_kernel(self, scale: float = 1.0) -> dict[str, float]:
+        coupling = PicardCoupling(histories=max(400, int(1500 * scale)))
+        metrics = coupling.run()
+        metrics["fom"] = metrics["k_eff"]  # placeholder rate; see harness
+        return metrics

@@ -1,0 +1,24 @@
+"""Scaled-down computational kernels backing the application models.
+
+Every kernel is a genuine NumPy implementation of the numerical method the
+production application runs, validated by physics invariants in the test
+suite (conservation laws, dispersion relations, convergence orders), and
+timed by the benchmark harness to produce laptop-scale FOM rates.
+
+=================  ====================================================
+module             method
+=================  ====================================================
+:mod:`pic`         electrostatic particle-in-cell + 2-D FDTD Maxwell
+:mod:`hydro`       finite-volume Euler with HLLC Riemann solver
+:mod:`spectral`    pseudo-spectral incompressible Navier-Stokes (3-D)
+:mod:`pm`          particle-mesh gravity (CIC + FFT Poisson)
+:mod:`md`          Lennard-Jones molecular dynamics (velocity Verlet)
+:mod:`montecarlo`  slab-geometry k-eigenvalue Monte-Carlo neutronics
+:mod:`ccc`         CoMet's custom correlation coefficient (2/3-way)
+:mod:`scattering`  LSMS-style multiple-scattering block solves
+:mod:`cfd`         finite-difference heat/advection solver (NekRS stand-in)
+:mod:`cg`          HPCG-style SymGS-preconditioned conjugate gradient
+:mod:`amr`         block-structured AMR with conservative refluxing
+:mod:`hydro2d`     2-D Euler (Strang-split MUSCL+HLLC), KH instability
+=================  ====================================================
+"""

@@ -1,0 +1,157 @@
+"""HPCG-style preconditioned conjugate gradient kernel.
+
+The conclusion's companion analysis [Kogge & Dally 2022] uses HPCG as the
+"honest" exascale metric; this kernel implements HPCG's numerical core for
+real: a 27-point (here 2-D 5-point / 3-D 7-point) Poisson operator on a
+regular grid stored as a scipy CSR matrix, conjugate gradient iteration
+with a symmetric Gauss-Seidel preconditioner, and the standard
+flops-per-iteration accounting used to report HPCG FLOP/s.
+
+Validation: CG converges to the analytic solution with the expected
+O(sqrt(kappa)) iteration count; the preconditioner cuts iterations; the
+measured arithmetic intensity sits far below the GCD ridge point — the
+quantitative version of "HPCG is memory bound".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as spla
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["poisson_operator", "PcgResult", "pcg_solve", "measure_fom",
+           "hpcg_arithmetic_intensity"]
+
+
+def poisson_operator(n: int, dims: int = 3) -> sparse.csr_matrix:
+    """The (2*dims+1)-point Laplacian on an n^dims grid, Dirichlet BCs."""
+    if n < 3:
+        raise ConfigurationError("grid must be at least 3 per dimension")
+    if dims not in (2, 3):
+        raise ConfigurationError("dims must be 2 or 3")
+    one = sparse.diags([-1.0, 2.0, -1.0], [-1, 0, 1], shape=(n, n))
+    eye = sparse.identity(n)
+    if dims == 2:
+        a = sparse.kron(one, eye) + sparse.kron(eye, one)
+    else:
+        a = (sparse.kron(sparse.kron(one, eye), eye)
+             + sparse.kron(sparse.kron(eye, one), eye)
+             + sparse.kron(sparse.kron(eye, eye), one))
+    return a.tocsr()
+
+
+def _symgs(a: sparse.csr_matrix, r: np.ndarray, sweeps: int = 1) -> np.ndarray:
+    """Symmetric Gauss-Seidel preconditioner: M^-1 r via fwd+bwd sweeps.
+
+    Implemented with the triangular splits (exact, vectorised through
+    scipy's sparse triangular solve), matching HPCG's SymGS reference.
+    """
+    lower = sparse.tril(a, 0).tocsr()
+    upper = sparse.triu(a, 0).tocsr()
+    z = np.zeros_like(r)
+    for _ in range(sweeps):
+        # forward Gauss-Seidel correction, then backward — applied to the
+        # residual equation A z = r from z = 0 this is the SymGS
+        # preconditioner (symmetric for symmetric A).
+        z = z + spla.spsolve_triangular(lower, r - a @ z, lower=True)
+        z = z + spla.spsolve_triangular(upper, r - a @ z, lower=False)
+    return z
+
+
+@dataclass(frozen=True)
+class PcgResult:
+    """Outcome of a (preconditioned) CG solve."""
+
+    iterations: int
+    residual: float
+    flops: float
+    seconds: float
+    converged: bool
+
+    @property
+    def flops_per_second(self) -> float:
+        return self.flops / self.seconds if self.seconds > 0 else 0.0
+
+
+def pcg_solve(a: sparse.csr_matrix, b: np.ndarray, *, tol: float = 1e-8,
+              max_iterations: int = 2000,
+              preconditioned: bool = True) -> tuple[np.ndarray, PcgResult]:
+    """Conjugate gradients with optional SymGS preconditioning.
+
+    Flop accounting follows HPCG: SpMV = 2*nnz, dot = 2n, axpy = 2n,
+    SymGS ~ 4*nnz per application.
+    """
+    n = b.size
+    if a.shape != (n, n):
+        raise ConfigurationError("matrix/vector shape mismatch")
+    nnz = a.nnz
+    x = np.zeros(n)
+    r = b.copy()
+    z = _symgs(a, r) if preconditioned else r
+    p = z.copy()
+    rz = float(r @ z)
+    b_norm = float(np.linalg.norm(b))
+    if b_norm == 0:
+        return x, PcgResult(0, 0.0, 0.0, 0.0, True)
+    flops = 0.0
+    t0 = time.perf_counter()
+    for it in range(1, max_iterations + 1):
+        ap = a @ p
+        flops += 2.0 * nnz
+        alpha = rz / float(p @ ap)
+        x += alpha * p
+        r -= alpha * ap
+        flops += 3 * 2.0 * n
+        res = float(np.linalg.norm(r)) / b_norm
+        flops += 2.0 * n
+        if res < tol:
+            return x, PcgResult(it, res, flops,
+                                time.perf_counter() - t0, True)
+        z = _symgs(a, r) if preconditioned else r
+        if preconditioned:
+            flops += 4.0 * nnz
+        rz_new = float(r @ z)
+        flops += 2.0 * n
+        beta = rz_new / rz
+        p = z + beta * p
+        flops += 2.0 * n
+        rz = rz_new
+    return x, PcgResult(max_iterations,
+                        float(np.linalg.norm(r)) / b_norm, flops,
+                        time.perf_counter() - t0, False)
+
+
+def hpcg_arithmetic_intensity(a: sparse.csr_matrix) -> float:
+    """FLOP per byte of the SpMV: 2*nnz flops over the CSR stream.
+
+    CSR traffic per SpMV: 8 B value + 4 B column index per nonzero, plus
+    the row pointers and the two vectors — ~12.6 B/nnz on these stencils,
+    giving the ~0.16-0.25 FLOP/byte regime HPCG lives in.
+    """
+    n = a.shape[0]
+    bytes_moved = a.nnz * (8 + 4) + (n + 1) * 4 + 2 * n * 8
+    return 2.0 * a.nnz / bytes_moved
+
+
+def measure_fom(n: int = 16, dims: int = 3) -> dict[str, float]:
+    """HPCG-like FOM at laptop scale: preconditioned CG FLOP/s."""
+    a = poisson_operator(n, dims)
+    rng = np.random.default_rng(3)
+    x_true = rng.standard_normal(a.shape[0])
+    b = a @ x_true
+    x, result = pcg_solve(a, b, tol=1e-8)
+    err = float(np.linalg.norm(x - x_true) / np.linalg.norm(x_true))
+    if not result.converged:
+        raise SimulationError("PCG failed to converge on the model problem")
+    return {
+        "fom": result.flops_per_second,
+        "iterations": float(result.iterations),
+        "solution_error": err,
+        "arithmetic_intensity": hpcg_arithmetic_intensity(a),
+        "steps": float(result.iterations),
+    }

@@ -1,0 +1,225 @@
+"""Finite-volume Euler solver with HLLC Riemann fluxes (Cholla / AthenaPK
+stand-in).
+
+1-D compressible Euler on a uniform grid: piecewise-linear (MUSCL) minmod
+reconstruction, HLLC approximate Riemann solver, forward-Euler or RK2 time
+stepping.  Validation hooks used by the tests:
+
+* Sod shock tube against the exact contact/shock ordering;
+* exact conservation of mass, momentum, energy on periodic domains;
+* linear sound-wave advection (AthenaPK's benchmark problem) with
+  second-order convergence.
+
+The FOM is cell-updates per second (both Cholla's and AthenaPK's metric).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["Euler1d", "sod_shock_tube", "linear_wave_error",
+           "measure_cell_update_rate"]
+
+GAMMA = 1.4
+
+
+@dataclass
+class Euler1d:
+    """Conserved-variable state [rho, rho*u, E] on a periodic/outflow grid."""
+
+    nx: int
+    length: float = 1.0
+    gamma: float = GAMMA
+    boundary: str = "periodic"   # or "outflow"
+    cfl: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.nx < 8:
+            raise ConfigurationError("need at least 8 cells")
+        if self.boundary not in ("periodic", "outflow"):
+            raise ConfigurationError(f"unknown boundary {self.boundary!r}")
+        self.dx = self.length / self.nx
+        self.u = np.zeros((3, self.nx))
+        self.time = 0.0
+        self.steps_taken = 0
+
+    # -- state helpers -------------------------------------------------------
+
+    def set_primitive(self, rho: np.ndarray, vel: np.ndarray,
+                      pressure: np.ndarray) -> None:
+        if np.any(rho <= 0) or np.any(pressure <= 0):
+            raise ConfigurationError("density and pressure must be positive")
+        self.u[0] = rho
+        self.u[1] = rho * vel
+        self.u[2] = pressure / (self.gamma - 1.0) + 0.5 * rho * vel ** 2
+
+    def primitive(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        rho = self.u[0]
+        vel = self.u[1] / rho
+        pressure = (self.gamma - 1.0) * (self.u[2] - 0.5 * rho * vel ** 2)
+        return rho, vel, pressure
+
+    def sound_speed(self) -> np.ndarray:
+        rho, _, p = self.primitive()
+        if np.any(p <= 0) or np.any(rho <= 0):
+            raise SimulationError("state lost positivity")
+        return np.sqrt(self.gamma * p / rho)
+
+    def conserved_totals(self) -> np.ndarray:
+        """(mass, momentum, energy) integrals."""
+        return self.u.sum(axis=1) * self.dx
+
+    # -- numerics --------------------------------------------------------------
+
+    def _ghost(self, arr: np.ndarray) -> np.ndarray:
+        """Append 2 ghost cells on each side along the last axis."""
+        if self.boundary == "periodic":
+            return np.concatenate([arr[..., -2:], arr, arr[..., :2]], axis=-1)
+        return np.concatenate([arr[..., :1], arr[..., :1], arr,
+                               arr[..., -1:], arr[..., -1:]], axis=-1)
+
+    @staticmethod
+    def _minmod(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.where(a * b > 0, np.where(np.abs(a) < np.abs(b), a, b), 0.0)
+
+    def _flux(self, u: np.ndarray) -> np.ndarray:
+        rho = u[0]
+        vel = u[1] / rho
+        p = (self.gamma - 1.0) * (u[2] - 0.5 * rho * vel ** 2)
+        return np.stack([u[1], u[1] * vel + p, (u[2] + p) * vel])
+
+    def _hllc(self, ul: np.ndarray, ur: np.ndarray) -> np.ndarray:
+        """HLLC flux for left/right conserved states at each interface."""
+        g = self.gamma
+        rl, vl = ul[0], ul[1] / ul[0]
+        pl = (g - 1.0) * (ul[2] - 0.5 * rl * vl ** 2)
+        rr, vr = ur[0], ur[1] / ur[0]
+        pr = (g - 1.0) * (ur[2] - 0.5 * rr * vr ** 2)
+        pl = np.maximum(pl, 1e-12)
+        pr = np.maximum(pr, 1e-12)
+        cl = np.sqrt(g * pl / rl)
+        cr = np.sqrt(g * pr / rr)
+        # Davis wave-speed estimates.
+        sl = np.minimum(vl - cl, vr - cr)
+        sr = np.maximum(vl + cl, vr + cr)
+        # Contact speed.
+        num = pr - pl + rl * vl * (sl - vl) - rr * vr * (sr - vr)
+        den = rl * (sl - vl) - rr * (sr - vr)
+        sm = np.where(np.abs(den) > 1e-30, num / np.where(den == 0, 1, den),
+                      0.5 * (vl + vr))
+        fl = self._flux(ul)
+        fr = self._flux(ur)
+
+        def star(u, f, rho, vel, p, s):
+            factor = rho * (s - vel) / np.where(s - sm == 0, 1e-30, s - sm)
+            ustar = np.empty_like(u)
+            ustar[0] = factor
+            ustar[1] = factor * sm
+            e = u[2]
+            ustar[2] = factor * (e / rho + (sm - vel)
+                                 * (sm + p / (rho * np.where(s - vel == 0, 1e-30,
+                                                             s - vel))))
+            return f + s * (ustar - u)
+
+        flux = np.where(sl >= 0, fl,
+                        np.where(sr <= 0, fr,
+                                 np.where(sm >= 0,
+                                          star(ul, fl, rl, vl, pl, sl),
+                                          star(ur, fr, rr, vr, pr, sr))))
+        return flux
+
+    def step(self) -> float:
+        """One MUSCL-Hancock-lite step; returns dt used."""
+        c = self.sound_speed()
+        _, vel, _ = self.primitive()
+        dt = self.cfl * self.dx / float(np.max(np.abs(vel) + c))
+        ug = self._ghost(self.u)
+        # minmod-limited slopes
+        dl = ug[:, 1:-1] - ug[:, :-2]
+        dr = ug[:, 2:] - ug[:, 1:-1]
+        slope = self._minmod(dl, dr)           # for cells 1..n+2 of ghosted
+        uc = ug[:, 1:-1]
+        left = uc + 0.5 * slope                # right face of each cell
+        right = uc - 0.5 * slope               # left face of each cell
+        # interface i+1/2 between ghosted cells i and i+1
+        ul = left[:, :-1]
+        ur = right[:, 1:]
+        flux = self._hllc(ul, ur)              # nx+1 interfaces (with ghosts)
+        self.u = self.u - dt / self.dx * (flux[:, 1:] - flux[:, :-1])
+        self.time += dt
+        self.steps_taken += 1
+        return dt
+
+    def run(self, t_end: float, max_steps: int = 100_000) -> None:
+        for _ in range(max_steps):
+            if self.time >= t_end:
+                return
+            self.step()
+        raise SimulationError("hydro run exceeded max_steps")
+
+
+def sod_shock_tube(nx: int = 256, t_end: float = 0.2) -> dict[str, float]:
+    """Run the Sod problem; return diagnostics the tests assert on."""
+    sim = Euler1d(nx=nx, boundary="outflow")
+    x = (np.arange(nx) + 0.5) * sim.dx
+    left = x < 0.5
+    rho = np.where(left, 1.0, 0.125)
+    p = np.where(left, 1.0, 0.1)
+    sim.set_primitive(rho, np.zeros(nx), p)
+    sim.run(t_end)
+    rho_f, vel_f, p_f = sim.primitive()
+    # Shock position from the exact solution: x = 0.5 + s*t, s ~ 1.7522.
+    shock_x = 0.5 + 1.7522 * t_end
+    i_shock = int(np.argmax(np.abs(np.diff(rho_f))[nx // 2:]) + nx // 2)
+    return {
+        "rho_min": float(rho_f.min()),
+        "p_min": float(p_f.min()),
+        "max_velocity": float(vel_f.max()),
+        "shock_position_error": abs(x[i_shock] - shock_x),
+        "steps": float(sim.steps_taken),
+    }
+
+
+def linear_wave_error(nx: int, amplitude: float = 1e-4) -> float:
+    """L1 error of a sound wave advected one period (AthenaPK's test).
+
+    Second-order convergence: error(2n) ~ error(n)/4.
+    """
+    sim = Euler1d(nx=nx, boundary="periodic", cfl=0.4)
+    x = (np.arange(nx) + 0.5) * sim.dx
+    c0 = 1.0
+    rho0, p0 = 1.0, 1.0 / GAMMA     # c = sqrt(gamma p / rho) = 1
+    drho = amplitude * np.sin(2.0 * np.pi * x)
+    rho = rho0 + drho
+    vel = c0 * drho / rho0
+    p = p0 + c0 ** 2 * drho
+    sim.set_primitive(rho, vel, p)
+    sim.run(t_end=1.0 / c0)          # one crossing of the unit domain
+    rho_f, _, _ = sim.primitive()
+    return float(np.mean(np.abs(rho_f - rho)))
+
+
+def measure_cell_update_rate(nx: int = 4096, n_steps: int = 50) -> dict[str, float]:
+    """Cholla/AthenaPK FOM at laptop scale: cell updates per second."""
+    sim = Euler1d(nx=nx, boundary="periodic")
+    x = (np.arange(nx) + 0.5) * sim.dx
+    sim.set_primitive(1.0 + 0.1 * np.sin(2 * np.pi * x), np.zeros(nx),
+                      np.full(nx, 1.0))
+    before = sim.conserved_totals()
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        sim.step()
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    after = sim.conserved_totals()
+    return {
+        "fom": nx * n_steps / elapsed,
+        "mass_error": abs(after[0] - before[0]),
+        "momentum_error": abs(after[1] - before[1]),
+        "energy_error": abs(after[2] - before[2]),
+        "steps": float(n_steps),
+    }

@@ -1,0 +1,134 @@
+"""Lennard-Jones molecular dynamics (EXAALT / LAMMPS stand-in).
+
+Velocity-Verlet integration of an N-body Lennard-Jones system in a
+periodic box with minimum-image convention and a smooth potential cutoff.
+Small systems (the ParSplice replicas hold only 4,000 atoms) are computed
+with a fully vectorised O(N^2) pair loop, which is faster than neighbour
+lists at this size in NumPy.
+
+Validation hooks: energy conservation (drift << thermal energy), momentum
+conservation, and the FCC ground-state structure staying bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LennardJonesMd", "make_fcc_lattice", "measure_fom"]
+
+
+def make_fcc_lattice(cells: int = 3, density: float = 0.8442
+                     ) -> tuple[np.ndarray, float]:
+    """FCC positions for ``4*cells^3`` atoms; returns (positions, box)."""
+    if cells < 1:
+        raise ConfigurationError("need at least one unit cell")
+    n_atoms = 4 * cells ** 3
+    box = (n_atoms / density) ** (1.0 / 3.0)
+    a = box / cells
+    base = np.array([[0, 0, 0], [0.5, 0.5, 0], [0.5, 0, 0.5], [0, 0.5, 0.5]])
+    pos = []
+    for i in range(cells):
+        for j in range(cells):
+            for k in range(cells):
+                pos.append((base + np.array([i, j, k])) * a)
+    return np.concatenate(pos), box
+
+
+class LennardJonesMd:
+    """NVE Lennard-Jones in reduced units (sigma = epsilon = mass = 1)."""
+
+    def __init__(self, positions: np.ndarray, box: float,
+                 cutoff: float = 2.5, dt: float = 0.004,
+                 temperature: float = 0.1,
+                 rng: np.random.Generator | None = None):
+        if positions.ndim != 2 or positions.shape[1] != 3:
+            raise ConfigurationError("positions must be (N,3)")
+        if cutoff <= 0 or cutoff > box / 2:
+            raise ConfigurationError("cutoff must be in (0, box/2]")
+        self.x = positions.copy()
+        self.box = box
+        self.rc = cutoff
+        self.dt = dt
+        gen = rng if rng is not None else np.random.default_rng(11)
+        self.v = gen.normal(scale=np.sqrt(temperature), size=self.x.shape)
+        self.v -= self.v.mean(axis=0)   # zero total momentum
+        # shift so the potential is continuous at the cutoff
+        self._u_shift = 4.0 * (self.rc ** -12 - self.rc ** -6)
+        self._f = self._forces()
+        self.time = 0.0
+        self.steps_taken = 0
+
+    @property
+    def n_atoms(self) -> int:
+        return self.x.shape[0]
+
+    def _pair_geometry(self) -> tuple[np.ndarray, np.ndarray]:
+        """Minimum-image displacement matrix and squared distances."""
+        d = self.x[:, None, :] - self.x[None, :, :]
+        d -= self.box * np.round(d / self.box)
+        r2 = np.sum(d * d, axis=-1)
+        np.fill_diagonal(r2, np.inf)
+        return d, r2
+
+    def _forces(self) -> np.ndarray:
+        d, r2 = self._pair_geometry()
+        inside = r2 < self.rc ** 2
+        inv_r2 = np.where(inside, 1.0 / r2, 0.0)
+        inv_r6 = inv_r2 ** 3
+        # F = 24 (2 r^-12 - r^-6) / r^2 * d
+        fmag = 24.0 * (2.0 * inv_r6 ** 2 - inv_r6) * inv_r2
+        return np.sum(fmag[:, :, None] * d, axis=1)
+
+    def potential_energy(self) -> float:
+        _, r2 = self._pair_geometry()
+        inside = r2 < self.rc ** 2
+        inv_r6 = np.where(inside, 1.0 / r2, 0.0) ** 3
+        u = np.where(inside, 4.0 * (inv_r6 ** 2 - inv_r6) - self._u_shift, 0.0)
+        return float(0.5 * u.sum())
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * np.sum(self.v ** 2))
+
+    def total_energy(self) -> float:
+        return self.potential_energy() + self.kinetic_energy()
+
+    def temperature(self) -> float:
+        return 2.0 * self.kinetic_energy() / (3.0 * self.n_atoms)
+
+    def total_momentum(self) -> np.ndarray:
+        return self.v.sum(axis=0)
+
+    def step(self) -> None:
+        """Velocity Verlet."""
+        dt = self.dt
+        self.v += 0.5 * dt * self._f
+        self.x = (self.x + dt * self.v) % self.box
+        self._f = self._forces()
+        self.v += 0.5 * dt * self._f
+        self.time += dt
+        self.steps_taken += 1
+
+    def run(self, n_steps: int) -> None:
+        for _ in range(n_steps):
+            self.step()
+
+
+def measure_fom(cells: int = 3, n_steps: int = 20) -> dict[str, float]:
+    """EXAALT-style FOM at laptop scale: atom-steps per wall-clock second."""
+    pos, box = make_fcc_lattice(cells)
+    sim = LennardJonesMd(pos, box, cutoff=min(2.5, 0.49 * box))
+    e0 = sim.total_energy()
+    t0 = time.perf_counter()
+    sim.run(n_steps)
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    drift = abs(sim.total_energy() - e0) / max(abs(e0), 1e-12)
+    return {
+        "fom": sim.n_atoms * n_steps / elapsed,
+        "energy_drift": drift,
+        "momentum_norm": float(np.linalg.norm(sim.total_momentum())),
+        "steps": float(n_steps),
+    }

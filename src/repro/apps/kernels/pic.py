@@ -1,0 +1,204 @@
+"""Particle-in-cell kernels (PIConGPU / WarpX stand-ins).
+
+Two pieces:
+
+* :class:`ElectrostaticPic1d` — the canonical 1-D electrostatic PIC loop:
+  CIC deposit -> spectral Poisson solve -> field gather -> leapfrog push.
+  A cold-plasma displacement oscillates at the plasma frequency
+  ``w_p = sqrt(n q^2 / (eps0 m))`` — the classic PIC validation, asserted
+  by the tests.
+* :class:`Fdtd2d` — a 2-D TE-mode Yee FDTD Maxwell stepper (vacuum), the
+  field half of the electromagnetic PIC loop, validated by energy
+  conservation and the CFL limit.
+
+The FOM both PIConGPU and WarpX report is (weighted) particle+cell updates
+per second, which :func:`measure_update_rate` produces at laptop scale.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["ElectrostaticPic1d", "Fdtd2d", "measure_update_rate"]
+
+EPS0 = 1.0  # normalised units throughout
+
+
+class ElectrostaticPic1d:
+    """1-D electrostatic PIC on a periodic domain, normalised units."""
+
+    def __init__(self, n_cells: int = 64, particles_per_cell: int = 20,
+                 length: float = 2.0 * np.pi, charge: float = -1.0,
+                 mass: float = 1.0, dt: float = 0.05):
+        if n_cells < 4 or particles_per_cell < 1:
+            raise ConfigurationError("PIC needs >=4 cells and >=1 particle/cell")
+        self.nx = n_cells
+        self.L = length
+        self.dx = length / n_cells
+        self.dt = dt
+        self.q = charge
+        self.m = mass
+        n_p = n_cells * particles_per_cell
+        # Uniform lattice of particles; neutralising background ion charge.
+        self.x = (np.arange(n_p) + 0.5) * (length / n_p)
+        self.v = np.zeros(n_p)
+        self.weight = -1.0 * length / (n_p * self.q)  # density n0 = 1
+        self.background = 1.0                          # ion charge density
+        self.time = 0.0
+        self.steps_taken = 0
+
+    @property
+    def n_particles(self) -> int:
+        return self.x.size
+
+    @property
+    def plasma_frequency(self) -> float:
+        """w_p for the normalised density n0=1: sqrt(n q^2/(eps0 m))."""
+        return float(np.sqrt(1.0 * self.q ** 2 / (EPS0 * self.m)))
+
+    # -- PIC stages ---------------------------------------------------------
+
+    def deposit(self) -> np.ndarray:
+        """CIC charge deposition onto the grid (returns charge density)."""
+        xg = self.x / self.dx
+        i0 = np.floor(xg).astype(int) % self.nx
+        frac = xg - np.floor(xg)
+        rho = np.zeros(self.nx)
+        contrib = self.q * self.weight / self.dx
+        np.add.at(rho, i0, contrib * (1.0 - frac))
+        np.add.at(rho, (i0 + 1) % self.nx, contrib * frac)
+        return rho + self.background
+
+    def solve_field(self, rho: np.ndarray) -> np.ndarray:
+        """Spectral Poisson solve: E from div E = rho/eps0 (periodic)."""
+        rho_k = np.fft.rfft(rho)
+        k = 2.0 * np.pi * np.fft.rfftfreq(self.nx, d=self.dx)
+        e_k = np.zeros_like(rho_k)
+        nonzero = k != 0
+        e_k[nonzero] = rho_k[nonzero] / (1j * k[nonzero] * EPS0)
+        return np.fft.irfft(e_k, n=self.nx)
+
+    def gather(self, e_grid: np.ndarray) -> np.ndarray:
+        """CIC field gather at particle positions."""
+        xg = self.x / self.dx
+        i0 = np.floor(xg).astype(int) % self.nx
+        frac = xg - np.floor(xg)
+        return e_grid[i0] * (1.0 - frac) + e_grid[(i0 + 1) % self.nx] * frac
+
+    def step(self) -> None:
+        """One leapfrog step of the full PIC loop."""
+        rho = self.deposit()
+        e_grid = self.solve_field(rho)
+        e_part = self.gather(e_grid)
+        self.v += (self.q / self.m) * e_part * self.dt
+        self.x = (self.x + self.v * self.dt) % self.L
+        self.time += self.dt
+        self.steps_taken += 1
+
+    # -- diagnostics -------------------------------------------------------------
+
+    def total_charge(self) -> float:
+        """Net charge including background — zero by construction."""
+        return float(np.sum(self.deposit()) * self.dx)
+
+    def field_energy(self) -> float:
+        rho = self.deposit()
+        e = self.solve_field(rho)
+        return float(0.5 * EPS0 * np.sum(e ** 2) * self.dx)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * self.m * self.weight * np.sum(self.v ** 2))
+
+    def total_energy(self) -> float:
+        return self.field_energy() + self.kinetic_energy()
+
+    def perturb(self, amplitude: float = 1e-3, mode: int = 1) -> None:
+        """Apply a sinusoidal displacement (launches a Langmuir oscillation)."""
+        self.x = (self.x + amplitude * np.sin(
+            2.0 * np.pi * mode * self.x / self.L)) % self.L
+
+    def measure_oscillation_frequency(self, n_steps: int = 400) -> float:
+        """Frequency of the field-energy oscillation (= 2 w_p, since energy
+        oscillates at twice the field frequency)."""
+        history = np.empty(n_steps)
+        for i in range(n_steps):
+            self.step()
+            history[i] = self.field_energy()
+        history -= history.mean()
+        spectrum = np.abs(np.fft.rfft(history))
+        freqs = 2.0 * np.pi * np.fft.rfftfreq(n_steps, d=self.dt)
+        peak = int(np.argmax(spectrum[1:]) + 1)
+        return float(freqs[peak]) / 2.0
+
+
+class Fdtd2d:
+    """2-D TE-mode Yee FDTD in vacuum (Ez, Hx, Hy), periodic boundaries."""
+
+    def __init__(self, nx: int = 64, ny: int = 64, courant: float = 0.5):
+        if nx < 4 or ny < 4:
+            raise ConfigurationError("FDTD grid must be at least 4x4")
+        if not 0 < courant <= 1.0 / np.sqrt(2.0):
+            raise SimulationError(
+                f"Courant number {courant} violates the 2-D CFL limit 1/sqrt(2)")
+        self.nx, self.ny = nx, ny
+        self.dt = courant  # dx = dy = c = 1
+        self.ez = np.zeros((nx, ny))
+        self.hx = np.zeros((nx, ny))
+        self.hy = np.zeros((nx, ny))
+        self.steps_taken = 0
+
+    def inject_pulse(self, amplitude: float = 1.0, width: float = 4.0) -> None:
+        x, y = np.meshgrid(np.arange(self.nx), np.arange(self.ny), indexing="ij")
+        cx, cy = self.nx // 2, self.ny // 2
+        self.ez += amplitude * np.exp(-((x - cx) ** 2 + (y - cy) ** 2)
+                                      / (2.0 * width ** 2))
+
+    def step(self) -> None:
+        dt = self.dt
+        # H updates from curl E (periodic rolls are the Yee staggering).
+        self.hx -= dt * (np.roll(self.ez, -1, axis=1) - self.ez)
+        self.hy += dt * (np.roll(self.ez, -1, axis=0) - self.ez)
+        # E update from curl H.
+        self.ez += dt * ((self.hy - np.roll(self.hy, 1, axis=0))
+                         - (self.hx - np.roll(self.hx, 1, axis=1)))
+        self.steps_taken += 1
+
+    def energy(self) -> float:
+        return float(0.5 * np.sum(self.ez ** 2 + self.hx ** 2 + self.hy ** 2))
+
+    @property
+    def cells(self) -> int:
+        return self.nx * self.ny
+
+
+def measure_update_rate(n_cells: int = 64, particles_per_cell: int = 20,
+                        n_steps: int = 50,
+                        particle_weight: float = 0.9,
+                        cell_weight: float = 0.1) -> dict[str, float]:
+    """PIConGPU's FOM at laptop scale: weighted particle+cell updates/s.
+
+    The paper weights particle updates 90% and cell updates 10%.
+    """
+    sim = ElectrostaticPic1d(n_cells=n_cells,
+                             particles_per_cell=particles_per_cell)
+    sim.perturb()
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        sim.step()
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    particle_updates = sim.n_particles * n_steps
+    cell_updates = sim.nx * n_steps
+    fom = (particle_weight * particle_updates
+           + cell_weight * cell_updates) / elapsed
+    return {
+        "fom": fom,
+        "particle_updates_per_s": particle_updates / elapsed,
+        "cell_updates_per_s": cell_updates / elapsed,
+        "charge_error": abs(sim.total_charge()),
+        "steps": float(n_steps),
+    }

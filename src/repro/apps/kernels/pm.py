@@ -1,0 +1,142 @@
+"""Particle-mesh gravity solver (HACC / ExaSky stand-in).
+
+HACC's long-range force is a spectral particle-mesh solve: cloud-in-cell
+(CIC) mass deposition, FFT Poisson solve with a periodic Green's function,
+finite-difference gradient, and CIC force interpolation back to particles.
+This kernel implements exactly that loop in 3-D, plus a leapfrog
+integrator.
+
+Validation hooks: Newton's third law (total momentum change ~ 0), the
+attraction of a two-body configuration, and mass conservation of the CIC
+deposit — all asserted in the tests.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ParticleMesh3d", "measure_fom"]
+
+
+class ParticleMesh3d:
+    """PM gravity in a periodic unit cube, G=1 units."""
+
+    def __init__(self, n_grid: int = 32, n_particles: int = 1024,
+                 dt: float = 1e-3, rng: np.random.Generator | None = None):
+        if n_grid < 8:
+            raise ConfigurationError("PM grid must be at least 8^3")
+        if n_particles < 2:
+            raise ConfigurationError("need at least two particles")
+        self.n = n_grid
+        self.dt = dt
+        gen = rng if rng is not None else np.random.default_rng(7)
+        self.x = gen.random((n_particles, 3))
+        self.v = np.zeros((n_particles, 3))
+        self.mass = np.full(n_particles, 1.0 / n_particles)
+        k1 = np.fft.fftfreq(n_grid, 1.0 / n_grid) * 2.0 * np.pi
+        kx = k1[:, None, None]
+        ky = k1[None, :, None]
+        kz = (np.fft.rfftfreq(n_grid, 1.0 / n_grid) * 2.0 * np.pi)[None, None, :]
+        self.k2 = kx ** 2 + ky ** 2 + kz ** 2
+        self.k2[0, 0, 0] = 1.0
+        self.time = 0.0
+        self.steps_taken = 0
+
+    @property
+    def n_particles(self) -> int:
+        return self.x.shape[0]
+
+    # -- PM stages ------------------------------------------------------------
+
+    def deposit(self, positions: np.ndarray | None = None) -> np.ndarray:
+        """CIC mass deposition; returns the density grid."""
+        pos = self.x if positions is None else positions
+        n = self.n
+        rho = np.zeros((n, n, n))
+        g = pos * n
+        i0 = np.floor(g).astype(int)
+        frac = g - i0
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    w = (np.where(dx, frac[:, 0], 1 - frac[:, 0])
+                         * np.where(dy, frac[:, 1], 1 - frac[:, 1])
+                         * np.where(dz, frac[:, 2], 1 - frac[:, 2]))
+                    idx = ((i0[:, 0] + dx) % n, (i0[:, 1] + dy) % n,
+                           (i0[:, 2] + dz) % n)
+                    np.add.at(rho, idx, self.mass * w)
+        return rho * n ** 3  # density, not mass per cell
+
+    def potential(self, rho: np.ndarray) -> np.ndarray:
+        """Periodic Poisson solve: lap(phi) = 4*pi*(rho - rho_mean)."""
+        rho_hat = np.fft.rfftn(rho - rho.mean())
+        phi_hat = -4.0 * np.pi * rho_hat / self.k2
+        phi_hat[0, 0, 0] = 0.0
+        return np.fft.irfftn(phi_hat, s=(self.n,) * 3, axes=(0, 1, 2))
+
+    def acceleration(self) -> np.ndarray:
+        """CIC-gathered -grad(phi) at each particle."""
+        n = self.n
+        phi = self.potential(self.deposit())
+        h = 1.0 / n
+        grad = np.stack([
+            (np.roll(phi, -1, axis=a) - np.roll(phi, 1, axis=a)) / (2 * h)
+            for a in range(3)
+        ], axis=-1)
+        g = self.x * n
+        i0 = np.floor(g).astype(int)
+        frac = g - i0
+        acc = np.zeros_like(self.x)
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    w = (np.where(dx, frac[:, 0], 1 - frac[:, 0])
+                         * np.where(dy, frac[:, 1], 1 - frac[:, 1])
+                         * np.where(dz, frac[:, 2], 1 - frac[:, 2]))
+                    idx = ((i0[:, 0] + dx) % n, (i0[:, 1] + dy) % n,
+                           (i0[:, 2] + dz) % n)
+                    acc -= grad[idx] * w[:, None]
+        return acc
+
+    def step(self) -> None:
+        """Kick-drift-kick leapfrog."""
+        acc = self.acceleration()
+        self.v += 0.5 * self.dt * acc
+        self.x = (self.x + self.dt * self.v) % 1.0
+        acc = self.acceleration()
+        self.v += 0.5 * self.dt * acc
+        self.time += self.dt
+        self.steps_taken += 1
+
+    # -- diagnostics -----------------------------------------------------------------
+
+    def total_mass(self) -> float:
+        return float(self.mass.sum())
+
+    def deposited_mass(self) -> float:
+        return float(self.deposit().sum() / self.n ** 3)
+
+    def total_momentum(self) -> np.ndarray:
+        return (self.mass[:, None] * self.v).sum(axis=0)
+
+
+def measure_fom(n_grid: int = 32, n_particles: int = 4096,
+                n_steps: int = 3) -> dict[str, float]:
+    """HACC-style FOM at laptop scale: particle-steps per second."""
+    sim = ParticleMesh3d(n_grid=n_grid, n_particles=n_particles)
+    p0 = sim.total_momentum()
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        sim.step()
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    p1 = sim.total_momentum()
+    return {
+        "fom": sim.n_particles * n_steps / elapsed,
+        "momentum_drift": float(np.linalg.norm(p1 - p0)),
+        "mass_error": abs(sim.deposited_mass() - sim.total_mass()),
+        "steps": float(n_steps),
+    }

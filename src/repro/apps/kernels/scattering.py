@@ -1,0 +1,127 @@
+"""Multiple-scattering linear algebra (LSMS stand-in).
+
+LSMS computes the electronic Green's function by solving, for every atom,
+the multiple-scattering (KKR) equation restricted to a Local Interaction
+Zone (LIZ):
+
+``tau_i = (I - t G0)^-1 t``   (dense double-complex block inversion)
+
+Because each atom's LIZ has bounded size, the work is O(1) per atom and
+the whole calculation scales **linearly** with atom count — the property
+that lets LSMS treat million-atom systems (§4.4.1) where conventional DFT
+is cubic.  This kernel builds random-but-well-conditioned scattering
+blocks, performs the per-atom inversions (zgetrf/zgetri territory — the
+7.5x CAAR kernel), and exposes the linear-scaling measurement the tests
+assert.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, as_generator
+
+__all__ = ["ScatteringProblem", "solve_tau", "linear_scaling_times",
+           "measure_fom", "block_size_for_lmax"]
+
+
+def block_size_for_lmax(lmax: int) -> int:
+    """KKR block dimension: (lmax+1)^2 angular momentum channels x 2 spins.
+
+    The paper's benchmark case is lmax = 7 -> 128 x 128 double-complex
+    blocks per LIZ atom.
+    """
+    if lmax < 0:
+        raise ConfigurationError("lmax must be non-negative")
+    return 2 * (lmax + 1) ** 2
+
+
+class ScatteringProblem:
+    """Per-atom scattering matrices for a synthetic alloy."""
+
+    def __init__(self, n_atoms: int = 8, liz_size: int = 13, lmax: int = 3,
+                 rng: RngLike = None):
+        if n_atoms < 1 or liz_size < 1:
+            raise ConfigurationError("need >=1 atom and >=1 LIZ site")
+        self.n_atoms = n_atoms
+        self.liz = liz_size
+        self.block = block_size_for_lmax(lmax)
+        gen = as_generator(rng)
+        dim = self.liz * self.block
+        # t: block-diagonal single-site scattering; G0: structure constants.
+        # Scaled so ||t G0|| < 1 => (I - t G0) is comfortably invertible.
+        self.t = {}
+        self.g0 = {}
+        for atom in range(n_atoms):
+            t_diag = (0.3 * (gen.standard_normal(dim)
+                             + 1j * gen.standard_normal(dim)))
+            self.t[atom] = np.diag(t_diag)
+            g = (gen.standard_normal((dim, dim))
+                 + 1j * gen.standard_normal((dim, dim))) / np.sqrt(dim)
+            np.fill_diagonal(g, 0.0)   # no on-site propagation in G0
+            self.g0[atom] = 0.5 * g
+
+    @property
+    def matrix_dim(self) -> int:
+        return self.liz * self.block
+
+
+def solve_tau(problem: ScatteringProblem, atom: int) -> np.ndarray:
+    """Solve tau = (I - t G0)^-1 t for one atom's LIZ."""
+    t = problem.t[atom]
+    g0 = problem.g0[atom]
+    dim = t.shape[0]
+    m = np.eye(dim, dtype=np.complex128) - t @ g0
+    tau = np.linalg.solve(m, t)
+    return tau
+
+
+def residual(problem: ScatteringProblem, atom: int, tau: np.ndarray) -> float:
+    """|| (I - t G0) tau - t || — zero for an exact solve."""
+    t = problem.t[atom]
+    g0 = problem.g0[atom]
+    dim = t.shape[0]
+    m = np.eye(dim, dtype=np.complex128) - t @ g0
+    return float(np.linalg.norm(m @ tau - t) / np.linalg.norm(t))
+
+
+def linear_scaling_times(atom_counts: list[int], lmax: int = 2,
+                         liz_size: int = 8, rng: RngLike = None
+                         ) -> list[tuple[int, float]]:
+    """Wall time vs atom count — should grow ~linearly (LSMS's headline).
+
+    Each atom's LIZ solve is constant work, so doubling atoms doubles time
+    (up to noise); the tests assert sub-quadratic growth.
+    """
+    out = []
+    for count in atom_counts:
+        prob = ScatteringProblem(n_atoms=count, liz_size=liz_size, lmax=lmax,
+                                 rng=rng)
+        t0 = time.perf_counter()
+        for atom in range(count):
+            solve_tau(prob, atom)
+        out.append((count, time.perf_counter() - t0))
+    return out
+
+
+def measure_fom(n_atoms: int = 4, lmax: int = 3, liz_size: int = 10
+                ) -> dict[str, float]:
+    """LSMS-style FOM at laptop scale: atom-solves per second, weighted by
+    the cubic block work (the paper's FOM folds in algorithmic complexity)."""
+    prob = ScatteringProblem(n_atoms=n_atoms, liz_size=liz_size, lmax=lmax)
+    t0 = time.perf_counter()
+    worst = 0.0
+    for atom in range(n_atoms):
+        tau = solve_tau(prob, atom)
+        worst = max(worst, residual(prob, atom, tau))
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    dim = prob.matrix_dim
+    return {
+        "fom": n_atoms * dim ** 3 / elapsed,   # ~flop rate of the inversions
+        "atoms_per_second": n_atoms / elapsed,
+        "max_residual": worst,
+        "steps": float(n_atoms),
+    }

@@ -1,0 +1,165 @@
+"""Pseudo-spectral incompressible Navier-Stokes (GESTS stand-in).
+
+A 3-D periodic-box spectral solver in the same family as the GESTS PSDNS
+code: Fourier-space velocity, rotational-form nonlinear term with 2/3-rule
+dealiasing, exact integrating factor for viscosity, RK2 time stepping.
+Validation hooks:
+
+* spectral projection keeps the velocity divergence-free to round-off;
+* Taylor-Green initial data decays with the expected early-time energy
+  dissipation rate;
+* the 3-D FFT dominates runtime, as in the production code.
+
+GESTS's FOM is ``N^3 / t_wall`` (grid points over seconds per step), which
+:func:`measure_fom` reports at laptop scale.  The pencil-decomposition
+transpose volume (the communication the paper's 1-D vs 2-D decompositions
+trade off) is modeled by :func:`transpose_bytes_per_step`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SpectralNavierStokes3d", "measure_fom", "transpose_bytes_per_step"]
+
+
+class SpectralNavierStokes3d:
+    """Incompressible NS in a 2*pi periodic cube, spectral Galerkin."""
+
+    def __init__(self, n: int = 32, viscosity: float = 0.01, dt: float = 0.005):
+        if n < 8 or n % 2:
+            raise ConfigurationError("grid size must be even and >= 8")
+        if viscosity <= 0:
+            raise ConfigurationError("viscosity must be positive")
+        self.n = n
+        self.nu = viscosity
+        self.dt = dt
+        k1 = np.fft.fftfreq(n, 1.0 / n)
+        self.kx = k1[:, None, None]
+        self.ky = k1[None, :, None]
+        self.kz = np.fft.rfftfreq(n, 1.0 / n)[None, None, :]
+        self.k2 = self.kx ** 2 + self.ky ** 2 + self.kz ** 2
+        self.k2_safe = np.where(self.k2 == 0, 1.0, self.k2)
+        kmax = n // 3
+        self.dealias = ((np.abs(self.kx) <= kmax) & (np.abs(self.ky) <= kmax)
+                        & (np.abs(self.kz) <= kmax))
+        shape = self.k2.shape
+        self.u_hat = np.zeros((3,) + shape, dtype=np.complex128)
+        self.time = 0.0
+        self.steps_taken = 0
+
+    # -- setup ------------------------------------------------------------
+
+    def set_taylor_green(self, amplitude: float = 1.0) -> None:
+        n = self.n
+        x = np.linspace(0, 2 * np.pi, n, endpoint=False)
+        X, Y, Z = np.meshgrid(x, x, x, indexing="ij")
+        u = amplitude * np.cos(X) * np.sin(Y) * np.sin(Z)
+        v = -amplitude * np.sin(X) * np.cos(Y) * np.sin(Z)
+        w = np.zeros_like(u)
+        for i, comp in enumerate((u, v, w)):
+            self.u_hat[i] = np.fft.rfftn(comp)
+        self._project()
+
+    # -- core ----------------------------------------------------------------
+
+    def _project(self) -> None:
+        """Leray projection onto divergence-free fields."""
+        div = (self.kx * self.u_hat[0] + self.ky * self.u_hat[1]
+               + self.kz * self.u_hat[2])
+        for i, k in enumerate((self.kx, self.ky, self.kz)):
+            self.u_hat[i] -= k * div / self.k2_safe
+
+    def _nonlinear(self, u_hat: np.ndarray) -> np.ndarray:
+        """Rotational form: N = u x omega, dealiased, projected."""
+        n = self.n
+        u = np.array([np.fft.irfftn(u_hat[i], s=(n, n, n), axes=(0, 1, 2)) for i in range(3)])
+        omega_hat = np.array([
+            1j * (self.ky * u_hat[2] - self.kz * u_hat[1]),
+            1j * (self.kz * u_hat[0] - self.kx * u_hat[2]),
+            1j * (self.kx * u_hat[1] - self.ky * u_hat[0]),
+        ])
+        w = np.array([np.fft.irfftn(omega_hat[i], s=(n, n, n), axes=(0, 1, 2)) for i in range(3)])
+        cross = np.array([
+            u[1] * w[2] - u[2] * w[1],
+            u[2] * w[0] - u[0] * w[2],
+            u[0] * w[1] - u[1] * w[0],
+        ])
+        nl = np.array([np.fft.rfftn(cross[i]) * self.dealias for i in range(3)])
+        div = self.kx * nl[0] + self.ky * nl[1] + self.kz * nl[2]
+        for i, k in enumerate((self.kx, self.ky, self.kz)):
+            nl[i] -= k * div / self.k2_safe
+        return nl
+
+    def step(self) -> None:
+        """RK2 with integrating-factor viscosity."""
+        dt = self.dt
+        ef = np.exp(-self.nu * self.k2 * dt)
+        ef_half = np.exp(-self.nu * self.k2 * dt / 2.0)
+        n1 = self._nonlinear(self.u_hat)
+        u_mid = (self.u_hat + 0.5 * dt * n1) * ef_half
+        n2 = self._nonlinear(u_mid)
+        self.u_hat = self.u_hat * ef + dt * ef_half * n2
+        self.time += dt
+        self.steps_taken += 1
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def divergence_max(self) -> float:
+        div_hat = (self.kx * self.u_hat[0] + self.ky * self.u_hat[1]
+                   + self.kz * self.u_hat[2])
+        div = np.fft.irfftn(1j * div_hat, s=(self.n,) * 3, axes=(0, 1, 2))
+        return float(np.max(np.abs(div)))
+
+    def kinetic_energy(self) -> float:
+        n = self.n
+        u = np.array([np.fft.irfftn(self.u_hat[i], s=(n, n, n), axes=(0, 1, 2)) for i in range(3)])
+        return float(0.5 * np.mean(np.sum(u ** 2, axis=0)))
+
+    def enstrophy(self) -> float:
+        w2 = (self.k2 * np.abs(self.u_hat) ** 2).sum()
+        # rfft stores half the modes; weight interior planes twice.
+        return float(w2) / self.n ** 6
+
+    @property
+    def grid_points(self) -> int:
+        return self.n ** 3
+
+
+def transpose_bytes_per_step(n: int, ranks: int, decomposition: str = "1d",
+                             itemsize: int = 8, transforms: int = 3) -> float:
+    """All-to-all volume per rank per step for the pencil/slab transposes.
+
+    A 1-D (slab) decomposition needs one global transpose per 3-D FFT; a
+    2-D (pencil) decomposition needs two, but each moves data only within
+    a sqrt(ranks)-sized communicator row — the trade GESTS studied.
+    """
+    if decomposition not in ("1d", "2d"):
+        raise ConfigurationError("decomposition must be '1d' or '2d'")
+    if ranks < 1:
+        raise ConfigurationError("ranks must be positive")
+    per_rank_points = n ** 3 / ranks
+    per_transpose = per_rank_points * itemsize
+    count = 1 if decomposition == "1d" else 2
+    return per_transpose * count * transforms
+
+
+def measure_fom(n: int = 32, n_steps: int = 5) -> dict[str, float]:
+    """GESTS FOM at laptop scale: N^3 / seconds-per-step."""
+    sim = SpectralNavierStokes3d(n=n)
+    sim.set_taylor_green()
+    e0 = sim.kinetic_energy()
+    t0 = time.perf_counter()
+    for _ in range(n_steps):
+        sim.step()
+    elapsed = max(time.perf_counter() - t0, 1e-9)
+    return {
+        "fom": sim.grid_points / (elapsed / n_steps),
+        "divergence_max": sim.divergence_max(),
+        "energy_ratio": sim.kinetic_energy() / e0,
+        "steps": float(n_steps),
+    }

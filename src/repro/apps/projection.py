@@ -1,0 +1,64 @@
+"""Shared projection building blocks for the application models.
+
+Most FOM speedups decompose the same way:
+
+``speedup = device_ratio * per_device_kernel * algorithmic * scaling_ratio``
+
+where ``device_ratio`` counts accelerators (or nodes for CPU baselines),
+``per_device_kernel`` is the measured single-device kernel speedup (e.g.
+LSMS's 7.5x GCD-vs-V100), ``algorithmic`` captures work-reducing rewrites
+(Cholla's 4-5x), and ``scaling_ratio`` compares parallel efficiencies at
+the measured scales.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import FomProjection
+from repro.core.baselines import MachineModel
+from repro.errors import ConfigurationError
+
+__all__ = ["device_ratio", "standard_projection"]
+
+
+def device_ratio(baseline: MachineModel, target: MachineModel,
+                 baseline_nodes: int | None = None,
+                 target_nodes: int | None = None) -> float:
+    """Accelerator-count (or node-count) ratio between two runs.
+
+    Uses GPUs when both machines have them; for CPU baselines the ratio is
+    node-based and the per-device kernel factor must absorb the node-level
+    hardware difference.
+    """
+    b_nodes = baseline_nodes if baseline_nodes is not None else baseline.nodes
+    t_nodes = target_nodes if target_nodes is not None else target.nodes
+    if b_nodes < 1 or t_nodes < 1:
+        raise ConfigurationError("node counts must be positive")
+    if baseline.gpus_per_node > 0 and target.gpus_per_node > 0:
+        return (t_nodes * target.gpus_per_node) / (b_nodes * baseline.gpus_per_node)
+    return t_nodes / b_nodes
+
+
+def standard_projection(baseline: MachineModel, target: MachineModel, *,
+                        per_device_kernel: float,
+                        algorithmic: float = 1.0,
+                        baseline_nodes: int | None = None,
+                        target_nodes: int | None = None,
+                        baseline_efficiency: float = 1.0,
+                        target_efficiency: float = 1.0,
+                        extra: dict[str, float] | None = None) -> FomProjection:
+    """Assemble the standard multiplicative decomposition."""
+    if not 0 < baseline_efficiency <= 1.0 or not 0 < target_efficiency <= 1.0:
+        raise ConfigurationError("efficiencies must be in (0,1]")
+    factors = {
+        "device_ratio": device_ratio(baseline, target,
+                                     baseline_nodes, target_nodes),
+        "per_device_kernel": per_device_kernel,
+    }
+    if algorithmic != 1.0:
+        factors["algorithmic"] = algorithmic
+    eff = target_efficiency / baseline_efficiency
+    if eff != 1.0:
+        factors["scaling_efficiency"] = eff
+    if extra:
+        factors.update(extra)
+    return FomProjection(factors=factors)

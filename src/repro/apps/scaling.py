@@ -1,0 +1,167 @@
+"""Weak-scaling models — the paper's parallel-efficiency claims.
+
+Several §4.4 results are efficiency statements: PIConGPU weak-scales at
+90% to 9,216 nodes; Shift at 97.8% to 8,192; AthenaPK at 96% on Frontier
+but only ~48% on Summit — a gap the paper pins on Frontier's NIC-per-GPU
+node design; WarpX is "near-ideal over multiple orders of magnitude";
+GESTS trades 1-D vs 2-D decompositions on transpose volume.
+
+The model is mechanistic:
+
+``eff(n) = t(1 node) / t(n nodes)``,  ``t = compute + comm``
+
+* On **one node**, communication rides the intra-node fabric (xGMI /
+  NVLink) with no NIC involved.
+* At **scale**, halo/collective traffic crosses the NIC: per-rank share =
+  injection bandwidth / PPN, times a ``staging_factor`` for machines
+  whose GPUs must stage through the host to reach a shared rail (Summit);
+  Frontier's NIC-per-OAM keeps that factor at 1.0 — the paper's AthenaPK
+  explanation, made quantitative.
+* Latency-class overheads grow slowly with job size
+  (``latency_growth`` per doubling), and iterative/MC codes carry a load
+  -imbalance term (``imbalance_per_doubling``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.core.baselines import FRONTIER, SUMMIT, MachineModel
+from repro.errors import ConfigurationError
+from repro.fabric.collectives import allreduce_latency
+from repro.fabric.dragonfly import DragonflyConfig
+
+__all__ = ["CommPattern", "WeakScalingModel", "PAPER_EFFICIENCIES"]
+
+#: Efficiency claims from §4.4, for calibration checks.
+PAPER_EFFICIENCIES = {
+    "PIConGPU": (9216, 0.90),
+    "Shift": (8192, 0.978),
+    "AthenaPK-Frontier": (9200, 0.96),
+    "AthenaPK-Summit": (4600, 0.48),
+}
+
+
+class CommPattern(enum.Enum):
+    """Dominant communication pattern of a weak-scaled application."""
+
+    HALO = "halo exchange"        # stencil/PIC domain decomposition
+    ALLREDUCE = "allreduce"       # iterative solvers, MC tallies
+    TRANSPOSE = "all-to-all"      # spectral transposes
+
+
+@dataclass(frozen=True)
+class WeakScalingModel:
+    """Weak-scaling efficiency for one application on one machine."""
+
+    pattern: CommPattern
+    compute_seconds: float
+    comm_bytes_per_rank: float
+    machine: MachineModel = FRONTIER
+    ppn: int = 8
+    fabric: DragonflyConfig = field(default_factory=DragonflyConfig)
+    overlap: float = 0.0                 # comms hidden behind compute
+    intra_node_bandwidth: float = 37.5e9  # per-rank on-node link share
+    staging_factor: float = 1.0          # host-staging penalty off-node
+    latency_growth: float = 0.033        # fabric-depth cost per doubling
+    imbalance_per_doubling: float = 0.0  # load imbalance (MC banks etc.)
+
+    def __post_init__(self) -> None:
+        if self.compute_seconds <= 0 or self.comm_bytes_per_rank < 0:
+            raise ConfigurationError("compute time must be positive and "
+                                     "communication volume non-negative")
+        if not 0.0 <= self.overlap < 1.0:
+            raise ConfigurationError("overlap must be in [0, 1)")
+        if self.staging_factor < 1.0:
+            raise ConfigurationError("staging factor must be >= 1")
+
+    # -- communication time ---------------------------------------------------
+
+    def _nic_share(self) -> float:
+        """Off-node injection bandwidth available to one rank (bytes/s)."""
+        return self.machine.node_injection / self.ppn
+
+    def comm_seconds(self, nodes: int) -> float:
+        if nodes < 1:
+            raise ConfigurationError("need at least one node")
+        doublings = math.log2(max(nodes, 2)) if nodes > 1 else 0.0
+        if nodes == 1:
+            # all neighbours on-node: intra-node links, no staging
+            t = 6.0 * self.comm_bytes_per_rank / self.intra_node_bandwidth
+            if self.pattern is CommPattern.TRANSPOSE:
+                t = self.comm_bytes_per_rank / self.intra_node_bandwidth
+            return t * (1.0 - self.overlap)
+        growth = 1.0 + self.latency_growth * doublings
+        if self.pattern is CommPattern.HALO:
+            t = (6.0 * self.comm_bytes_per_rank * self.staging_factor
+                 / self._nic_share()) * growth
+        elif self.pattern is CommPattern.ALLREDUCE:
+            ranks = nodes * self.ppn
+            t = (allreduce_latency(ranks)
+                 + self.comm_bytes_per_rank * self.staging_factor
+                 / self._nic_share())
+        else:  # TRANSPOSE: the taper binds as the job grows
+            from repro.fabric.collectives import alltoall_per_node_bandwidth
+            est = alltoall_per_node_bandwidth(self.fabric, nodes=max(nodes, 2))
+            per_node_bytes = self.comm_bytes_per_rank * self.ppn
+            t = per_node_bytes * self.staging_factor / est.per_node
+        t += self.imbalance_per_doubling * self.compute_seconds * doublings
+        return t * (1.0 - self.overlap)
+
+    # -- efficiency -----------------------------------------------------------------
+
+    def step_time(self, nodes: int) -> float:
+        return self.compute_seconds + self.comm_seconds(nodes)
+
+    def efficiency(self, nodes: int) -> float:
+        """t(1 node) / t(n nodes) under weak scaling."""
+        return self.step_time(1) / self.step_time(nodes)
+
+    def curve(self, node_counts: list[int] | None = None
+              ) -> list[tuple[int, float]]:
+        counts = node_counts or [1, 64, 512, 4096, 9216]
+        return [(n, self.efficiency(n)) for n in counts]
+
+    # -- calibrated instances ---------------------------------------------------------
+
+    @classmethod
+    def picongpu(cls, machine: MachineModel = FRONTIER) -> "WeakScalingModel":
+        """90% at 9,216 nodes: bandwidth-heavy halos, partial overlap."""
+        return cls(pattern=CommPattern.HALO, compute_seconds=9.5e-3,
+                   comm_bytes_per_rank=2.6e6, machine=machine, overlap=0.2)
+
+    @classmethod
+    def shift(cls, machine: MachineModel = FRONTIER) -> "WeakScalingModel":
+        """97.8% at 8,192 nodes: independent histories; the small loss is
+        fission-bank imbalance plus one tally allreduce per generation."""
+        return cls(pattern=CommPattern.ALLREDUCE, compute_seconds=0.12,
+                   comm_bytes_per_rank=1.7e6, machine=machine,
+                   imbalance_per_doubling=0.0017)
+
+    @classmethod
+    def athenapk(cls, machine: MachineModel = FRONTIER,
+                 ppn: int | None = None) -> "WeakScalingModel":
+        """96% on Frontier vs ~48% on Summit with the *same* halo volume:
+        Summit's six GPUs share one effective rail and stage through the
+        host (staging_factor 6.9 covers PCIe + host-memory crossings),
+        while Frontier's OAM-attached NICs keep the factor at 1."""
+        if machine is SUMMIT:
+            return cls(pattern=CommPattern.HALO, compute_seconds=3.4e-3,
+                       comm_bytes_per_rank=2.71e5, machine=machine,
+                       ppn=ppn if ppn is not None else 6,
+                       staging_factor=6.9)
+        return cls(pattern=CommPattern.HALO, compute_seconds=3.4e-3,
+                   comm_bytes_per_rank=2.71e5, machine=machine,
+                   ppn=ppn if ppn is not None else 8)
+
+    @classmethod
+    def gests(cls, decomposition: str = "1d",
+              machine: MachineModel = FRONTIER) -> "WeakScalingModel":
+        """Transpose-dominated; 2-D pencils move twice the slab volume."""
+        if decomposition not in ("1d", "2d"):
+            raise ConfigurationError("decomposition must be '1d' or '2d'")
+        volume = 45e6 if decomposition == "1d" else 90e6
+        return cls(pattern=CommPattern.TRANSPOSE, compute_seconds=0.55,
+                   comm_bytes_per_rank=volume, machine=machine)

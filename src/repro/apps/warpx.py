@@ -1,0 +1,90 @@
+"""WarpX — exascale electromagnetic PIC for accelerator design (ECP, Table 7).
+
+First ECP application to hit its KPP (July 2022): **500x** over the Warp
+baseline on Cori, on near-full Frontier, with near-ideal weak scaling.
+2022 Gordon Bell winner (mesh-refined PIC).
+
+Calibration: the 500x folds together (i) slightly *fewer* nodes than
+Cori (0.98), (ii) the per-node hardware leap from dual-KNL to 8 GCDs
+(~80x on memory-bound PIC kernels), and (iii) the Warp->WarpX rewrite —
+AMReX block-structured mesh refinement, boosted-frame method,
+pseudo-spectral solvers (~6.4x algorithmic).  0.98 x 80 x 6.4 = 500.
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import Application, FomProjection
+from repro.apps.kernels import pic
+from repro.core.baselines import CORI, FRONTIER, MachineModel
+
+__all__ = ["WarpX"]
+
+FRONTIER_NODES_USED = 9472   # "nearly the full size of Frontier"
+PER_NODE_HARDWARE = 80.0     # 8 GCDs vs dual-socket KNL on PIC kernels
+ALGORITHMIC_REWRITE = 6.45   # Warp (Python/Fortran) -> WarpX (AMReX, GPU)
+
+
+class WarpX(Application):
+    name = "WarpX (vs Warp)"
+    domain = "plasma accelerator modeling"
+    fom_units = "weighted particle+cell updates/s"
+    kpp_target = 50.0
+
+    @property
+    def baseline_machine(self) -> MachineModel:
+        return CORI
+
+    def projection(self, machine: MachineModel | None = None) -> FomProjection:
+        m = machine if machine is not None else FRONTIER
+        nodes = FRONTIER_NODES_USED if m is FRONTIER else m.nodes
+        return FomProjection(factors={
+            "node_ratio": nodes / CORI.nodes,
+            "per_node_hardware": PER_NODE_HARDWARE,
+            "algorithmic_rewrite": ALGORITHMIC_REWRITE,
+        })
+
+    def run_kernel(self, scale: float = 1.0) -> dict[str, float]:
+        """The electromagnetic side: FDTD Maxwell + the ES PIC loop."""
+        n = max(16, int(48 * scale))
+        fdtd = pic.Fdtd2d(nx=n, ny=n)
+        fdtd.inject_pulse()
+        e0 = fdtd.energy()
+        for _ in range(100):
+            fdtd.step()
+        metrics = pic.measure_update_rate(n_cells=max(16, int(64 * scale)))
+        metrics["fdtd_energy_ratio"] = fdtd.energy() / e0
+        return metrics
+
+    def mesh_refinement_check(self) -> dict[str, float]:
+        """WarpX's Gordon-Bell-winning feature is mesh-refined PIC; run the
+        real block-structured AMR kernel and report the accuracy-per-cell
+        win with conservation intact."""
+        from repro.apps.kernels.amr import AmrHierarchy
+
+        amr = AmrHierarchy(n_coarse=64)
+        uniform = AmrHierarchy(n_coarse=64, refine_threshold=1e9)
+        m0 = amr.total_mass()
+        amr.run(0.25)
+        uniform.run(0.25)
+        return {
+            "amr_error": amr.composite_error(),
+            "uniform_error": uniform.composite_error(),
+            "error_ratio": amr.composite_error() / uniform.composite_error(),
+            "refined_fraction": amr.refined_fraction,
+            "mass_drift": abs(amr.total_mass() - m0),
+        }
+
+    def weak_scaling_model(self, node_counts: list[int] | None = None
+                           ) -> list[tuple[int, float]]:
+        """Near-ideal weak scaling over orders of magnitude (the KPP story).
+
+        Efficiency model: eff(n) = 1 / (1 + c*log2(n)) with c calibrated to
+        ~96% at full machine, matching "near-ideal" in the paper.
+        """
+        counts = node_counts or [64, 512, 4096, 9472]
+        out = []
+        for n in counts:
+            import math
+            eff = 1.0 / (1.0 + 0.003 * math.log2(max(n, 2)))
+            out.append((n, eff))
+        return out

@@ -1,0 +1,123 @@
+"""Calibration registry — every tuned constant, with its provenance.
+
+A reproduction lives or dies on whether its calibrated constants are
+*auditable*.  This module collects every number in the library that was
+chosen to match the paper (as opposed to derived from first principles),
+together with the paper statement it matches and the module that holds it.
+The test suite asserts the registry agrees with the live modules, so a
+drive-by edit to a constant without updating its provenance fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["CalibratedConstant", "REGISTRY", "constants_by_module", "lookup"]
+
+
+@dataclass(frozen=True)
+class CalibratedConstant:
+    """One tuned value and where it came from."""
+
+    name: str
+    module: str
+    value: float
+    paper_anchor: str          # the statement it is calibrated against
+
+    def matches(self, live_value: float, rel: float = 1e-9) -> bool:
+        if self.value == 0:
+            return live_value == 0
+        return abs(live_value - self.value) <= rel * abs(self.value)
+
+
+REGISTRY: tuple[CalibratedConstant, ...] = (
+    # --- node ---------------------------------------------------------------
+    CalibratedConstant(
+        "nt_efficiency[NPS4]", "repro.node.dram", 0.875,
+        "§4.1.1: 'Trento is able to achieve up to 180 GB/s using "
+        "non-temporal loads and stores in NPS-4 mode' (0.875 x 204.8)"),
+    CalibratedConstant(
+        "nt_efficiency[NPS1]", "repro.node.dram", 0.610,
+        "§4.1.1: 'When operating in NPS-1, that rate drops to ~125 GB/s'"),
+    CalibratedConstant(
+        "temporal_raw_fraction", "repro.node.dram", 0.90,
+        "Table 3: temporal Scale/Add/Triad imply a cached-path bus rate "
+        "~90% of the non-temporal one"),
+    CalibratedConstant(
+        "gpu_stream_efficiency[DOT]", "repro.node.hbm", 0.8403,
+        "Table 4: Dot 1374240.6 MB/s over the 1.6354 TB/s peak"),
+    CalibratedConstant(
+        "gemm_eff_inf[FP64]", "repro.node.gemm", 0.733,
+        "Figure 3: FP64 achieved 33.8 TF/s on the 47.9 TF/s matrix peak"),
+    CalibratedConstant(
+        "cu_kernel_efficiency[4-link]", "repro.node.transfers", 0.7275,
+        "Figure 5: 145.5 GB/s over the 200 GB/s 4-link gang"),
+    CalibratedConstant(
+        "single_core_xgmi2_efficiency", "repro.node.transfers", 0.7083,
+        "§4.2.1: '25.5 GB/s, ~71% of the peak xGMI 2.0 bandwidth'"),
+    CalibratedConstant(
+        "hpcg_bandwidth_efficiency", "repro.node.roofline", 0.454,
+        "June 2022 HPCG list entry: 14.05 PF over 75,776 GCDs at "
+        "0.25 FLOP/byte"),
+    # --- fabric -------------------------------------------------------------
+    CalibratedConstant(
+        "stream_efficiency", "repro.fabric.network", 0.70,
+        "Figure 6: intra-group pairs reach ~17.5 GB/s of the 25 GB/s line"),
+    CalibratedConstant(
+        "host_overhead_s", "repro.fabric.latency", 1.04e-6,
+        "Table 5: RR Two-sided Lat (8 B) average 2.6 usec"),
+    CalibratedConstant(
+        "allreduce_stage_sw_s", "repro.fabric.collectives", 0.43e-6,
+        "Table 5: Multiple Allreduce (8 B) average 51.5 usec at 75,200 "
+        "ranks (17 stages)"),
+    CalibratedConstant(
+        "victim_queue_protection", "repro.fabric.congestion", 0.01,
+        "Table 5: congested == isolated at 8 PPN (impact 1.0x)"),
+    # --- storage -------------------------------------------------------------
+    CalibratedConstant(
+        "nvme_sustained_read_fraction", "repro.storage.nvme", 0.8875,
+        "§4.3.1: measured 7.1 GB/s vs the 8 GB/s contract"),
+    CalibratedConstant(
+        "flash_read_measured_fraction", "repro.storage.ssu", 1.17,
+        "§4.3.2: 'up to 11.7 TB/s for reads' vs the 10.0 TB/s contract"),
+    CalibratedConstant(
+        "disk_write_measured_fraction", "repro.storage.ssu", 0.935,
+        "§4.3.2: large-file writes 4.3 TB/s vs the 4.6 TB/s contract"),
+    # --- resilience ------------------------------------------------------------
+    CalibratedConstant(
+        "hbm_stack_fit", "repro.resilience.fit", 295.0,
+        "§5.4: MTTI near the 4-hour projection with memory the leading "
+        "contributor; uncorrectable rate in line with Summit HBM2 scaled "
+        "to HBM2e capacity"),
+    CalibratedConstant(
+        "power_supply_fit", "repro.resilience.fit", 4000.0,
+        "§5.4: 'Power supplies continue to be a large source of upsets'"),
+    # --- apps ---------------------------------------------------------------
+    CalibratedConstant(
+        "comet_per_device_kernel", "repro.apps.comet", 1.966,
+        "§4.4.1: 419.9 vs 81.2 quadrillion comparisons/s on the measured "
+        "node counts"),
+    CalibratedConstant(
+        "cholla_algorithmic", "repro.apps.cholla", 4.5,
+        "§4.4.1: 'About 4-5X of these speedups can be attributed to the "
+        "intensive algorithmic optimizations'"),
+    CalibratedConstant(
+        "exaalt_snap_rewrite", "repro.apps.exaalt", 25.0,
+        "§4.4.2: '~25x performance increase on a single V100 due to a "
+        "near complete rewrite of the SNAP kernels'"),
+    CalibratedConstant(
+        "athenapk_summit_staging", "repro.apps.scaling", 6.9,
+        "§4.4.1: 96% vs 48% parallel efficiency attributed to the "
+        "NIC-per-GPU node design"),
+)
+
+
+def constants_by_module(module: str) -> list[CalibratedConstant]:
+    return [c for c in REGISTRY if c.module == module]
+
+
+def lookup(name: str) -> CalibratedConstant:
+    for c in REGISTRY:
+        if c.name == name:
+            return c
+    raise KeyError(f"no calibrated constant named {name!r}")

@@ -1,0 +1,28 @@
+"""The integrated Frontier machine model and evaluation drivers.
+
+* :mod:`repro.core.baselines` — Summit, Titan, Mira, Theta, Cori, Sequoia
+  machine models (the KPP comparison systems).
+* :mod:`repro.core.machine` — :class:`FrontierMachine`: node + fabric +
+  storage + scheduler + power + resilience behind one facade.
+* :mod:`repro.core.specs_table` — Table 1 aggregation.
+* :mod:`repro.core.report_card` — the §5 scorecard against the 2008 DARPA
+  exascale report's four challenges.
+* :mod:`repro.core.evaluation` — run-everything driver used by the
+  benchmark harnesses and EXPERIMENTS.md generator.
+"""
+
+from repro.core.baselines import (
+    MachineModel, FRONTIER, SUMMIT, TITAN, MIRA, THETA, CORI, SEQUOIA,
+    BASELINES,
+)
+from repro.core.machine import FrontierMachine
+from repro.core.specs_table import compute_table1
+from repro.core.report_card import ExascaleReportCard
+
+__all__ = [
+    "MachineModel", "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA", "CORI",
+    "SEQUOIA", "BASELINES",
+    "FrontierMachine",
+    "compute_table1",
+    "ExascaleReportCard",
+]

@@ -1,0 +1,123 @@
+"""Machine models for Frontier and the KPP baseline systems (§4.4, §5).
+
+DOE measured exascale success as *real application speedup* over the
+</= 20 PF generation: CAAR apps target 4x over **Summit**; ECP apps target
+50x over **Titan, Sequoia, Cori, Mira, or Theta**.  These lightweight
+models carry exactly the quantities the projections need: node counts,
+accelerator counts and per-accelerator rates, memory, interconnect, power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GiB, PETA, TERA
+
+__all__ = ["MachineModel", "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA",
+           "CORI", "SEQUOIA", "BASELINES"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A system as the application projections see it."""
+
+    name: str
+    year: int
+    nodes: int
+    gpus_per_node: int                 # accelerator *devices* the OS sees
+    fp64_per_gpu: float                # FLOP/s; 0 for CPU-only machines
+    fp64_per_node_cpu: float           # CPU contribution per node
+    memory_per_node: float             # fastest tier capacity, bytes
+    node_injection: float              # bytes/s into the interconnect
+    power_mw: float
+    peak_fp64: float = 0.0             # override; else derived
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ConfigurationError(f"{self.name}: node count must be positive")
+
+    @property
+    def gpus(self) -> int:
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def system_fp64(self) -> float:
+        if self.peak_fp64:
+            return self.peak_fp64
+        return self.nodes * (self.gpus_per_node * self.fp64_per_gpu
+                             + self.fp64_per_node_cpu)
+
+    @property
+    def system_memory(self) -> float:
+        return self.nodes * self.memory_per_node
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.system_fp64 / 1e9 / (self.power_mw * 1e6)
+
+    def nics_per_gpu(self) -> float:
+        """NIC-per-accelerator ratio — the AthenaPK scaling-efficiency story."""
+        if self.gpus_per_node == 0:
+            return 0.0
+        nics = max(1.0, self.node_injection / 25e9)
+        return nics / self.gpus_per_node
+
+
+#: Frontier as the applications see it: 8 GCDs of 26.5 TF sustainable DGEMM
+#: FP64 each (the "2.0 EF FP64 DGEMM" of Table 1), 128 GiB HBM per GCD pair.
+FRONTIER = MachineModel(
+    name="Frontier", year=2022, nodes=9472, gpus_per_node=8,
+    fp64_per_gpu=26.5 * TERA, fp64_per_node_cpu=2.0 * TERA,
+    memory_per_node=512 * GiB, node_injection=100e9, power_mw=21.1,
+)
+
+#: Summit: 4,608 nodes x 6 V100 (7.8 TF FP64), dual EDR rails.
+SUMMIT = MachineModel(
+    name="Summit", year=2018, nodes=4608, gpus_per_node=6,
+    fp64_per_gpu=7.8 * TERA, fp64_per_node_cpu=1.0 * TERA,
+    memory_per_node=96 * GiB, node_injection=25e9, power_mw=13.0,
+)
+
+#: Titan: 18,688 nodes x 1 K20X (1.31 TF FP64), Gemini interconnect.
+TITAN = MachineModel(
+    name="Titan", year=2012, nodes=18688, gpus_per_node=1,
+    fp64_per_gpu=1.31 * TERA, fp64_per_node_cpu=0.14 * TERA,
+    memory_per_node=6 * GiB, node_injection=8e9, power_mw=8.2,
+)
+
+#: Mira: 49,152-node Blue Gene/Q, 10 PF peak, CPU only.
+MIRA = MachineModel(
+    name="Mira", year=2012, nodes=49152, gpus_per_node=0,
+    fp64_per_gpu=0.0, fp64_per_node_cpu=0.2048 * TERA,
+    memory_per_node=16 * GiB, node_injection=10e9, power_mw=3.9,
+    peak_fp64=10.07 * PETA,
+)
+
+#: Theta: 4,392-node KNL (Xeon Phi 7230), 11.7 PF peak.
+THETA = MachineModel(
+    name="Theta", year=2017, nodes=4392, gpus_per_node=0,
+    fp64_per_gpu=0.0, fp64_per_node_cpu=2.66 * TERA,
+    memory_per_node=16 * GiB, node_injection=12e9, power_mw=1.7,
+    peak_fp64=11.69 * PETA,
+)
+
+#: Cori (Phase II): 9,688-node KNL partition, ~29.5 PF peak.
+CORI = MachineModel(
+    name="Cori", year=2016, nodes=9688, gpus_per_node=0,
+    fp64_per_gpu=0.0, fp64_per_node_cpu=3.05 * TERA,
+    memory_per_node=16 * GiB, node_injection=10e9, power_mw=3.9,
+    peak_fp64=29.5 * PETA,
+)
+
+#: Sequoia: 98,304-node Blue Gene/Q, 20.1 PF peak.
+SEQUOIA = MachineModel(
+    name="Sequoia", year=2012, nodes=98304, gpus_per_node=0,
+    fp64_per_gpu=0.0, fp64_per_node_cpu=0.2048 * TERA,
+    memory_per_node=16 * GiB, node_injection=10e9, power_mw=7.9,
+    peak_fp64=20.13 * PETA,
+)
+
+BASELINES: dict[str, MachineModel] = {
+    m.name: m for m in (FRONTIER, SUMMIT, TITAN, MIRA, THETA, CORI, SEQUOIA)
+}

@@ -1,0 +1,95 @@
+"""The integrated Frontier machine facade.
+
+``FrontierMachine`` wires every subsystem model together behind one object:
+node design, Slingshot fabric, Orion + node-local storage, the Slurm
+scheduler, the power model, and the resilience model.  It is the natural
+entry point for examples and for users who want "a Frontier" without
+assembling the pieces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.specs_table import FRONTIER_NODE_COUNT, compute_table1
+from repro.errors import ConfigurationError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.node.node import BardPeakNode
+from repro.power.model import FrontierPowerModel
+from repro.resilience.mtti import MttiModel
+from repro.scheduler.slurm import SlurmScheduler
+from repro.storage.lustre import OrionFilesystem
+from repro.storage.nvme import Raid0Array, node_local_storage
+from repro.storage.pfl import Tier
+
+__all__ = ["FrontierMachine"]
+
+
+@dataclass
+class FrontierMachine:
+    """Frontier, assembled."""
+
+    node_count: int = FRONTIER_NODE_COUNT
+    node: BardPeakNode = field(default_factory=BardPeakNode)
+    fabric: DragonflyConfig = field(default_factory=DragonflyConfig)
+    filesystem: OrionFilesystem = field(default_factory=OrionFilesystem)
+    node_local: Raid0Array = field(default_factory=node_local_storage)
+    power: FrontierPowerModel = field(default_factory=FrontierPowerModel)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError("machine needs at least one node")
+        expected = self.fabric.total_endpoints // self.node.nic_count
+        if self.node_count > expected:
+            raise ConfigurationError(
+                f"{self.node_count} nodes need {self.node_count * self.node.nic_count} "
+                f"endpoints; the fabric has {self.fabric.total_endpoints}")
+        self.resilience = MttiModel.frontier()
+        self.resilience.total_nodes = self.node_count
+
+    # -- aggregates ---------------------------------------------------------
+
+    @property
+    def gcd_count(self) -> int:
+        return self.node_count * self.node.gcd_count
+
+    @property
+    def gpu_threads(self) -> int:
+        """>500M concurrent GPU threads (§5.3)."""
+        return self.node_count * self.node.gpu_threads
+
+    @property
+    def hbm_capacity_bytes(self) -> float:
+        return self.node_count * self.node.hbm_capacity_bytes
+
+    @property
+    def ddr_capacity_bytes(self) -> float:
+        return self.node_count * self.node.ddr_capacity_bytes
+
+    @property
+    def node_local_read_bandwidth(self) -> float:
+        """§4.3.1's 67.3 TB/s full-system node-local read rate."""
+        return self.node_count * self.node_local.sustained_seq_read
+
+    @property
+    def node_local_write_bandwidth(self) -> float:
+        return self.node_count * self.node_local.sustained_seq_write
+
+    def table1(self) -> dict[str, float]:
+        return compute_table1(self.node_count, self.node, self.fabric)
+
+    # -- factories ------------------------------------------------------------
+
+    def scheduler(self, checknode=None) -> SlurmScheduler:
+        return SlurmScheduler(n_nodes=self.node_count, checknode=checknode)
+
+    def summary(self) -> dict[str, float]:
+        t1 = self.table1()
+        return {
+            **t1,
+            "power_MW": self.power.hpl_power / 1e6,
+            "gflops_per_watt": self.power.gflops_per_watt,
+            "system_mtti_hours": self.resilience.system_mtti_hours,
+            "orion_capacity_PB": sum(
+                self.filesystem.tier_stats(t).capacity for t in Tier) / 1e15,
+        }

@@ -1,0 +1,42 @@
+"""Table 1 — Frontier compute peak specifications, computed from components.
+
+Every row of the paper's Table 1 is derived here from the node model, so a
+change to any component propagates.  Unit note: the paper's bandwidth rows
+mix prefixes (its "1.9 PiB/s" DDR row is actually 1.94 PB/s = 1.72 PiB/s);
+we emit both and EXPERIMENTS.md compares on the SI values.
+"""
+
+from __future__ import annotations
+
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.node.node import BardPeakNode
+from repro.node.gpu import Precision
+from repro.units import EXA, PiB, TERA
+
+__all__ = ["compute_table1", "FRONTIER_NODE_COUNT", "SUSTAINED_DGEMM_PER_GCD"]
+
+FRONTIER_NODE_COUNT = 9472
+#: Sustained full-system DGEMM rate per GCD backing Table 1's "2.0 EF".
+SUSTAINED_DGEMM_PER_GCD = 26.5 * TERA
+
+
+def compute_table1(nodes: int = FRONTIER_NODE_COUNT,
+                   node: BardPeakNode | None = None,
+                   fabric: DragonflyConfig | None = None) -> dict[str, float]:
+    """Aggregate the Table 1 rows (values in the units the paper uses)."""
+    n = node if node is not None else BardPeakNode()
+    f = fabric if fabric is not None else DragonflyConfig()
+    return {
+        "nodes": float(nodes),
+        "fp64_dgemm_EF": nodes * n.gcd_count * SUSTAINED_DGEMM_PER_GCD / EXA,
+        "fp64_peak_matrix_EF": nodes * n.peak_flops(Precision.FP64) / EXA,
+        "ddr4_capacity_PiB": nodes * n.ddr_capacity_bytes / PiB,
+        "ddr4_bandwidth_PBps": nodes * n.ddr_bandwidth / 1e15,
+        "ddr4_bandwidth_PiBps": nodes * n.ddr_bandwidth / PiB,
+        "hbm2e_capacity_PiB": nodes * n.hbm_capacity_bytes / PiB,
+        "hbm2e_bandwidth_PBps": nodes * n.hbm_bandwidth / 1e15,
+        "injection_bandwidth_GBps_per_node": n.injection_bandwidth / 1e9,
+        "global_bandwidth_TBps": f.total_global_bandwidth / 1e12,
+        "hbm_to_ddr_bw_ratio": n.hbm_to_ddr_bandwidth_ratio,
+        "gpu_threads_millions": nodes * n.gpu_threads / 1e6,
+    }

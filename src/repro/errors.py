@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch one type.  Subsystems raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TopologyError",
+    "RoutingError",
+    "PlacementError",
+    "SchedulerError",
+    "StorageError",
+    "SimulationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A hardware or model configuration is inconsistent or out of range."""
+
+
+class TopologyError(ReproError):
+    """A network topology violates its structural constraints."""
+
+
+class RoutingError(ReproError):
+    """No route exists, or a routing policy was asked for an invalid path."""
+
+
+class PlacementError(ReproError):
+    """A job placement request cannot be satisfied."""
+
+
+class SchedulerError(ReproError):
+    """Invalid scheduler operation (double-free, unknown job, ...)."""
+
+
+class StorageError(ReproError):
+    """Invalid storage operation or layout."""
+
+
+class SimulationError(ReproError):
+    """A simulation reached an invalid state (non-convergence, overflow...)."""

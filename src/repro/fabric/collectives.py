@@ -1,0 +1,105 @@
+"""Collective-operation performance models (§4.2.2 and Table 5).
+
+* **Allreduce** (small message): recursive-doubling style — ``ceil(log2 P)``
+  stages, each costing one fabric round-trip leg plus per-stage software.
+  Calibrated to Table 5's 51.5 us average for 8 B on 9,400 nodes x 8 PPN.
+* **All-to-all**: bandwidth-dominated.  Per-node throughput is capped by
+  the smaller of injection bandwidth and the node's share of global
+  bandwidth; on Frontier the 57% taper makes the global share the binding
+  constraint for full-system jobs (~29-31 GB/s/node at 128 KiB messages,
+  the paper's "~30-32 GB/s/node, ~7.5-8.0 GB/s/NIC").  Bundles to the five
+  I/O groups and the management group add usable non-minimal capacity at
+  half efficiency (two global hops), which is included by default.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.latency import LatencyModel
+
+__all__ = ["allreduce_latency", "alltoall_per_node_bandwidth", "AllToAllEstimate"]
+
+#: Per-stage software cost of the reduction tree (progress engine, add).
+ALLREDUCE_STAGE_SW_S = 0.43e-6
+#: Service-group bundles per compute group: 5 I/O + 1 management, 2 links each.
+SERVICE_BUNDLE_LINKS = 12
+
+
+def allreduce_latency(n_ranks: int, *, size_bytes: float = 8.0,
+                      latency: LatencyModel | None = None,
+                      groups: int = 74, switches_per_group: int = 32) -> float:
+    """Expected small-message allreduce latency in seconds.
+
+    >>> allreduce_latency(9400 * 8) * 1e6  # doctest: +SKIP
+    51.5
+    """
+    if n_ranks < 1:
+        raise ConfigurationError("allreduce needs at least one rank")
+    if n_ranks == 1:
+        return 0.0
+    lat = latency if latency is not None else LatencyModel()
+    stages = math.ceil(math.log2(n_ranks))
+    per_stage = lat.average_minimal_latency(
+        size_bytes=size_bytes, groups=groups,
+        switches_per_group=switches_per_group) + ALLREDUCE_STAGE_SW_S
+    return stages * per_stage
+
+
+class AllToAllEstimate:
+    """Breakdown of the all-to-all bandwidth estimate."""
+
+    def __init__(self, per_node: float, per_nic: float, intra_fraction: float,
+                 global_limit: float, injection_limit: float):
+        self.per_node = per_node
+        self.per_nic = per_nic
+        self.intra_fraction = intra_fraction
+        self.global_limit = global_limit
+        self.injection_limit = injection_limit
+
+    @property
+    def binding_constraint(self) -> str:
+        return ("injection" if self.injection_limit <= self.global_limit
+                else "global")
+
+
+def alltoall_per_node_bandwidth(config: DragonflyConfig | None = None, *,
+                                nodes: int | None = None,
+                                nics_per_node: int = 4,
+                                message_bytes: float = 128 * 1024,
+                                include_service_groups: bool = True,
+                                message_efficiency_bytes: float = 4 * 1024,
+                                ) -> AllToAllEstimate:
+    """Sustained all-to-all throughput per node (bytes/s each direction).
+
+    ``message_efficiency_bytes`` is the half-saturation message size of the
+    per-message overhead ramp (matching pair-wise exchange protocols).
+    """
+    cfg = config if config is not None else DragonflyConfig()
+    eps_per_node = nics_per_node
+    if nodes is None:
+        nodes = cfg.total_endpoints // eps_per_node
+    if nodes < 2:
+        raise ConfigurationError("all-to-all needs at least two nodes")
+    nodes_per_group = cfg.endpoints_per_group // eps_per_node
+    # Fraction of each node's traffic staying inside its group.
+    intra = min(nodes_per_group - 1, nodes - 1) / (nodes - 1)
+    global_bw = cfg.total_global_bandwidth
+    if include_service_groups:
+        # Non-minimal detours through service groups: each link is crossed
+        # twice, so the added capacity counts at half rate.
+        extra = cfg.groups * SERVICE_BUNDLE_LINKS * cfg.link_rate / 2.0
+        global_bw += extra
+    # Inter-group portion is limited by the global share; total rate scales
+    # it back up by the (free) intra-group fraction.
+    global_limit = (global_bw / nodes) / max(1e-12, (1.0 - intra)) if intra < 1 else float("inf")
+    injection_limit = eps_per_node * cfg.link_rate
+    ramp = message_bytes / (message_bytes + message_efficiency_bytes)
+    per_node = min(global_limit, injection_limit) * ramp
+    return AllToAllEstimate(per_node=per_node,
+                            per_nic=per_node / eps_per_node,
+                            intra_fraction=intra,
+                            global_limit=global_limit,
+                            injection_limit=injection_limit)

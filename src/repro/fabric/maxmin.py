@@ -1,0 +1,153 @@
+"""Max-min fair bandwidth allocation by progressive filling.
+
+Given link capacities and a set of flows (each a list of link indices), the
+classic water-filling algorithm raises every unfrozen flow's rate at the
+same speed; when a link saturates, all flows crossing it freeze at their
+current rate.  The result is the unique max-min fair allocation, which is a
+good steady-state model for credit-based, congestion-controlled fabrics
+like Slingshot (and for InfiniBand under static routing).
+
+The implementation is vectorised over a sparse link x flow incidence matrix
+so full-machine experiments (tens of thousands of flows) run in milliseconds
+per traffic phase.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro.errors import SimulationError
+
+__all__ = ["maxmin_allocate", "MaxMinResult"]
+
+
+class MaxMinResult:
+    """Allocation produced by :func:`maxmin_allocate`."""
+
+    def __init__(self, rates: np.ndarray, link_utilisation: np.ndarray,
+                 bottleneck_link: np.ndarray):
+        #: bytes/s per flow, max-min fair
+        self.rates = rates
+        #: fraction of each link's capacity in use
+        self.link_utilisation = link_utilisation
+        #: index of the link that froze each flow (-1 if the flow was never
+        #: constrained, which can only happen for flows with empty paths)
+        self.bottleneck_link = bottleneck_link
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"MaxMinResult(n_flows={len(self.rates)}, "
+                f"max_util={self.link_utilisation.max():.3f})")
+
+
+def _incidence(paths: Sequence[Sequence[int]], n_links: int) -> sparse.csr_matrix:
+    rows, cols = [], []
+    for f, path in enumerate(paths):
+        for l in path:
+            rows.append(l)
+            cols.append(f)
+    data = np.ones(len(rows), dtype=np.float64)
+    return sparse.csr_matrix((data, (rows, cols)), shape=(n_links, len(paths)))
+
+
+def maxmin_allocate(capacities: Sequence[float],
+                    paths: Sequence[Sequence[int]],
+                    demands: Sequence[float] | None = None,
+                    max_iterations: int | None = None) -> MaxMinResult:
+    """Compute the max-min fair rate for each flow.
+
+    Parameters
+    ----------
+    capacities:
+        Per-link capacity in bytes/s (dense link indexing).
+    paths:
+        One link-index list per flow.  A flow with an empty path is
+        unconstrained (rate = demand or +inf).
+    demands:
+        Optional per-flow rate caps (e.g. the sender's injection limit).
+        ``None`` means every flow is elastic.
+
+    Invariants (asserted by the property tests):
+
+    * feasibility: for every link, the sum of crossing rates <= capacity;
+    * saturation: every flow's bottleneck link is fully utilised;
+    * fairness: no flow can be raised without lowering a flow whose rate is
+      already lower or equal.
+    """
+    n_links = len(capacities)
+    n_flows = len(paths)
+    cap = np.asarray(capacities, dtype=np.float64)
+    if np.any(cap <= 0):
+        raise SimulationError("all link capacities must be positive")
+    if n_flows == 0:
+        return MaxMinResult(np.zeros(0), np.zeros(n_links), np.zeros(0, dtype=np.int64))
+
+    A = _incidence(paths, n_links)
+    dem = (np.full(n_flows, np.inf) if demands is None
+           else np.asarray(demands, dtype=np.float64))
+    if dem.shape != (n_flows,):
+        raise SimulationError("demands must have one entry per flow")
+
+    rates = np.zeros(n_flows)
+    active = np.ones(n_flows, dtype=bool)
+    bottleneck = np.full(n_flows, -1, dtype=np.int64)
+    remaining = cap.copy()
+    # Flows with no links are only demand-limited.
+    path_lens = np.asarray([len(p) for p in paths])
+    linkless = path_lens == 0
+    if np.any(linkless & ~np.isfinite(dem)):
+        raise SimulationError("unbounded allocation: a flow has no "
+                              "constraining link and no demand cap")
+    rates[linkless] = dem[linkless]
+    active[linkless] = False
+
+    limit = max_iterations if max_iterations is not None else n_links + n_flows + 1
+    eps = 1e-12
+    for _ in range(limit):
+        if not active.any():
+            break
+        n_active = A @ active.astype(np.float64)
+        used = n_active > 0
+        with np.errstate(divide="ignore", invalid="ignore"):
+            slack = np.where(used, remaining / np.maximum(n_active, 1), np.inf)
+        # How far can rates rise before a demand cap binds?
+        head = dem - rates
+        head_active = np.where(active, head, np.inf)
+        inc = min(slack.min(), head_active.min())
+        if not np.isfinite(inc):
+            raise SimulationError("unbounded allocation: a flow has no "
+                                  "constraining link and no demand cap")
+        inc = max(inc, 0.0)
+        rates[active] += inc
+        remaining -= inc * n_active
+        remaining = np.maximum(remaining, 0.0)
+        # Freeze flows at saturated links.
+        saturated = used & (remaining <= eps * cap)
+        if saturated.any():
+            touching = (A[saturated].T @ np.ones(int(saturated.sum()))) > 0
+            newly = active & touching
+            if newly.any():
+                sat_idx = np.flatnonzero(saturated)
+                sub = A[saturated][:, newly].toarray()
+                first = sat_idx[np.argmax(sub > 0, axis=0)]
+                bottleneck[np.flatnonzero(newly)] = first
+            active &= ~touching
+        # Freeze flows that reached their (finite) demand cap.
+        finite_dem = np.isfinite(dem)
+        capped = active & finite_dem & (
+            rates >= np.where(finite_dem, dem, 0.0)
+            - eps * np.where(finite_dem, np.maximum(dem, 1.0), 1.0))
+        active &= ~capped
+        if inc == 0.0 and not saturated.any() and not capped.any():
+            raise SimulationError("progressive filling stalled")
+    else:
+        raise SimulationError("max-min allocation did not converge")
+
+    flow_per_link = A @ rates
+    with np.errstate(divide="ignore", invalid="ignore"):
+        util = np.where(cap > 0, flow_per_link / cap, 0.0)
+    if np.any(flow_per_link > cap * (1 + 1e-9)):
+        raise SimulationError("allocation exceeded a link capacity")
+    return MaxMinResult(rates, util, bottleneck)

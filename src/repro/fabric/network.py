@@ -1,0 +1,155 @@
+"""Slingshot network facade.
+
+Bundles a dragonfly (or fat-tree) topology, a router, the latency model,
+and the max-min flow solver behind one object that the micro-benchmarks
+(:mod:`repro.microbench`) and the MPI layer (:mod:`repro.mpi`) drive.
+
+Because materialising the full 9,472-node fabric is expensive, the facade
+supports *reduced-scale* instantiation (taper preserved, see
+:meth:`DragonflyConfig.scaled`) for flow-level experiments, alongside
+*analytic* full-scale estimates for latency and collective numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
+from repro.fabric.fattree import FatTreeConfig, build_fattree
+from repro.fabric.latency import LatencyModel
+from repro.fabric.maxmin import MaxMinResult, maxmin_allocate
+from repro.fabric.routing import FatTreeRouter, Router, RoutingPolicy
+from repro.fabric.topology import Topology
+from repro.rng import RngLike
+
+__all__ = ["SlingshotNetwork", "FatTreeNetwork"]
+
+#: Protocol efficiency of a single stream relative to line rate: headers,
+#: credits, and software overheads.  17.5/25 GB/s for intra-group pairs in
+#: Figure 6 corresponds to ~0.70.
+STREAM_EFFICIENCY = 0.70
+
+
+@dataclass(frozen=True)
+class FlowResult:
+    """Per-flow achieved bandwidth, annotated with its endpoints."""
+
+    src: int
+    dst: int
+    bandwidth: float
+
+
+class SlingshotNetwork:
+    """A materialised Slingshot dragonfly with routing and flow allocation."""
+
+    def __init__(self, config: DragonflyConfig,
+                 policy: RoutingPolicy = RoutingPolicy.UGAL,
+                 latency: LatencyModel | None = None,
+                 rng: RngLike = None):
+        self.config = config
+        self.policy = policy
+        self.latency = latency if latency is not None else LatencyModel()
+        self.topology: Topology = build_dragonfly(config)
+        self.router = Router(self.topology, config, policy, rng=rng)
+
+    # -- flow-level bandwidth ------------------------------------------------
+
+    def flow_bandwidths(self, pairs: list[tuple[int, int]],
+                        demand_per_flow: float | None = None
+                        ) -> tuple[list[FlowResult], MaxMinResult]:
+        """Max-min fair rates for simultaneous endpoint-pair flows.
+
+        ``demand_per_flow`` defaults to the protocol-limited single-stream
+        rate (70% of line rate); pass ``None``-> default, or a number to
+        override (e.g. float('inf') for fully elastic flows).
+        """
+        if not pairs:
+            raise ConfigurationError("no flows given")
+        self.router.reset_load()
+        paths = [self.router.path(s, d) for s, d in pairs]
+        if demand_per_flow is None:
+            demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
+        demands = [demand_per_flow] * len(pairs)
+        result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
+        return flows, result
+
+    def shift_pattern(self, offset_endpoints: int,
+                      demand_per_flow: float | None = None
+                      ) -> list[FlowResult]:
+        """mpiGraph's pattern: endpoint i sends to endpoint (i+k) mod N."""
+        n = self.config.total_endpoints
+        if not 0 < offset_endpoints < n:
+            raise ConfigurationError("shift offset must be in (0, n_endpoints)")
+        pairs = [(i, (i + offset_endpoints) % n) for i in range(n)]
+        flows, _ = self.flow_bandwidths(pairs, demand_per_flow)
+        return flows
+
+    # -- latency -------------------------------------------------------------
+
+    def p2p_latency(self, src_ep: int, dst_ep: int,
+                    size_bytes: float = 8.0) -> float:
+        path = self.router.path(src_ep, dst_ep, register=False)
+        return self.latency.path_latency(self.topology, path, size_bytes)
+
+    def latency_sample(self, n_pairs: int = 200, size_bytes: float = 8.0,
+                       rng: RngLike = None) -> np.ndarray:
+        """One-way latencies of random distinct endpoint pairs."""
+        from repro.rng import as_generator
+        gen = as_generator(rng)
+        n = self.config.total_endpoints
+        out = []
+        for _ in range(n_pairs):
+            s = int(gen.integers(n))
+            d = int(gen.integers(n - 1))
+            if d >= s:
+                d += 1
+            out.append(self.p2p_latency(s, d, size_bytes))
+        return np.asarray(out)
+
+    # -- full-scale analytic results ------------------------------------------
+
+    def allreduce_latency(self, n_ranks: int, size_bytes: float = 8.0) -> float:
+        return allreduce_latency(n_ranks, size_bytes=size_bytes,
+                                 latency=self.latency,
+                                 groups=self.config.groups,
+                                 switches_per_group=self.config.switches_per_group)
+
+    def alltoall_bandwidth(self, nodes: int | None = None, **kw):
+        return alltoall_per_node_bandwidth(self.config, nodes=nodes, **kw)
+
+
+class FatTreeNetwork:
+    """Summit's non-blocking Clos with ECMP routing (comparison system)."""
+
+    def __init__(self, config: FatTreeConfig, rng: RngLike = None):
+        self.config = config
+        self.topology = build_fattree(config)
+        self.router = FatTreeRouter(self.topology, config, rng=rng)
+
+    def flow_bandwidths(self, pairs: list[tuple[int, int]],
+                        demand_per_flow: float | None = None
+                        ) -> tuple[list[FlowResult], MaxMinResult]:
+        if not pairs:
+            raise ConfigurationError("no flows given")
+        self.router.reset_load()
+        paths = [self.router.path(s, d) for s, d in pairs]
+        if demand_per_flow is None:
+            demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
+        demands = [demand_per_flow] * len(pairs)
+        result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
+        return flows, result
+
+    def shift_pattern(self, offset_endpoints: int,
+                      demand_per_flow: float | None = None) -> list[FlowResult]:
+        n = self.config.total_endpoints
+        if not 0 < offset_endpoints < n:
+            raise ConfigurationError("shift offset must be in (0, n_endpoints)")
+        pairs = [(i, (i + offset_endpoints) % n) for i in range(n)]
+        flows, _ = self.flow_bandwidths(pairs, demand_per_flow)
+        return flows

@@ -1,0 +1,140 @@
+"""Discrete-event queue simulation of a shared switch port.
+
+The congestion-control model in :mod:`repro.fabric.congestion` is an
+analytic queueing abstraction; this module provides the *simulation*
+counterpart so the analytic factors can be validated rather than trusted:
+a single output port serves fixed-size packets from two classes — victim
+canaries and congestor bulk — under one of two disciplines:
+
+* ``fifo``: no protection; congestor bursts sit in front of victims
+  (EDR-class behaviour);
+* ``per_flow_fair``: Slingshot-style per-flow queues with round-robin
+  service — a victim packet waits at most one congestor packet per
+  round (the hardware-congestion-control idealisation).
+
+The tests compare victim latency distributions across disciplines and
+against the analytic impact factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rng import RngLike, as_generator
+
+__all__ = ["PortSimulation", "QueueResult"]
+
+
+@dataclass(frozen=True)
+class QueueResult:
+    """Victim-class latency statistics from one simulation run."""
+
+    mean_wait: float
+    p99_wait: float
+    served_victims: int
+    served_congestors: int
+    utilisation: float
+
+    def impact_vs(self, baseline: "QueueResult") -> dict[str, float]:
+        return {
+            "avg": self.mean_wait / max(baseline.mean_wait, 1e-12),
+            "p99": self.p99_wait / max(baseline.p99_wait, 1e-12),
+        }
+
+
+class PortSimulation:
+    """One output port, two traffic classes, Poisson arrivals."""
+
+    def __init__(self, *, service_time: float = 1.0,
+                 victim_rate: float = 0.1, congestor_rate: float = 0.0,
+                 discipline: str = "fifo", rng: RngLike = None):
+        if service_time <= 0:
+            raise ConfigurationError("service time must be positive")
+        if victim_rate <= 0 or congestor_rate < 0:
+            raise ConfigurationError("rates must be positive (victim) / "
+                                     "non-negative (congestor)")
+        total = (victim_rate + congestor_rate) * service_time
+        if total >= 1.0:
+            raise ConfigurationError(
+                f"offered load {total:.2f} >= 1: the queue is unstable")
+        if discipline not in ("fifo", "per_flow_fair"):
+            raise ConfigurationError("discipline must be fifo|per_flow_fair")
+        self.service = service_time
+        self.victim_rate = victim_rate
+        self.congestor_rate = congestor_rate
+        self.discipline = discipline
+        self.rng = as_generator(rng)
+
+    def _arrivals(self, rate: float, horizon: float) -> np.ndarray:
+        if rate == 0:
+            return np.empty(0)
+        n = self.rng.poisson(rate * horizon)
+        return np.sort(self.rng.uniform(0.0, horizon, size=n))
+
+    def run(self, horizon: float = 50_000.0) -> QueueResult:
+        """Simulate to ``horizon`` and report victim waiting times."""
+        victims = self._arrivals(self.victim_rate, horizon)
+        congestors = self._arrivals(self.congestor_rate, horizon)
+        # merged event list: (arrival time, is_victim)
+        events = [(t, True) for t in victims] + [(t, False) for t in congestors]
+        events.sort()
+        waits: list[float] = []
+        served_v = served_c = 0
+        busy_until = 0.0
+        busy_time = 0.0
+        if self.discipline == "fifo":
+            for t, is_victim in events:
+                start = max(t, busy_until)
+                if is_victim:
+                    waits.append(start - t)
+                    served_v += 1
+                else:
+                    served_c += 1
+                busy_until = start + self.service
+                busy_time += self.service
+        else:
+            # per-flow fair: two queues, round-robin one packet each.
+            vq: list[float] = []
+            cq: list[float] = []
+            vi = ci = 0
+            clock = 0.0
+            turn_victim = True
+            while vi < len(victims) or ci < len(congestors) or vq or cq:
+                # admit arrivals up to the clock
+                while vi < len(victims) and victims[vi] <= clock:
+                    vq.append(victims[vi])
+                    vi += 1
+                while ci < len(congestors) and congestors[ci] <= clock:
+                    cq.append(congestors[ci])
+                    ci += 1
+                if not vq and not cq:
+                    nxt = []
+                    if vi < len(victims):
+                        nxt.append(victims[vi])
+                    if ci < len(congestors):
+                        nxt.append(congestors[ci])
+                    if not nxt:
+                        break
+                    clock = min(nxt)
+                    continue
+                # round-robin service
+                take_victim = (vq and turn_victim) or (vq and not cq)
+                if take_victim:
+                    arrival = vq.pop(0)
+                    waits.append(clock - arrival)
+                    served_v += 1
+                else:
+                    cq.pop(0)
+                    served_c += 1
+                clock += self.service
+                busy_time += self.service
+                turn_victim = not turn_victim
+        mean = float(np.mean(waits)) if waits else 0.0
+        p99 = float(np.percentile(waits, 99)) if waits else 0.0
+        return QueueResult(mean_wait=mean, p99_wait=p99,
+                           served_victims=served_v,
+                           served_congestors=served_c,
+                           utilisation=busy_time / max(horizon, 1e-12))

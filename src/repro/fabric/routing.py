@@ -1,0 +1,283 @@
+"""Routing policies over the fabric topologies.
+
+Dragonfly routing (paper §3.2): a *direct* network uses **minimal** paths
+(at most source-group hop, one global hop, destination-group hop — the
+"three-hop dragonfly") plus **non-minimal** paths through a random
+intermediate group (Valiant) to spread adversarial traffic.  Production
+Slingshot uses adaptive **UGAL**-style selection: take the minimal path
+unless its global link looks congested, otherwise divert — at the price of
+consuming *two* global hops, which is why all-global traffic sees half the
+nominal global bandwidth (§4.2.2's 3 GB/s floor).
+
+Fat-tree routing is ECMP up/down: any core switch reaches any edge, chosen
+per-flow by load or hash.
+
+Routers are *stateful load balancers*: each returned path increments a
+per-link flow counter used by subsequent UGAL/ECMP decisions.  Call
+:meth:`reset_load` between independent experiments.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import RoutingError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.fattree import FatTreeConfig
+from repro.fabric.topology import LinkKind, Topology
+from repro.rng import RngLike, as_generator
+
+__all__ = ["RoutingPolicy", "Router", "FatTreeRouter"]
+
+
+class RoutingPolicy(enum.Enum):
+    MINIMAL = "minimal"
+    VALIANT = "valiant"
+    UGAL = "ugal"
+
+
+class _LoadTracker:
+    """Per-link assigned-flow counters shared by the routers."""
+
+    def __init__(self, n_links: int):
+        self.counts = np.zeros(n_links, dtype=np.int64)
+
+    def add_path(self, path: list[int]) -> None:
+        for idx in path:
+            self.counts[idx] += 1
+
+    def load(self, idx: int) -> int:
+        return int(self.counts[idx])
+
+    def reset(self) -> None:
+        self.counts[:] = 0
+
+
+class Router:
+    """Dragonfly router implementing minimal / Valiant / UGAL path selection."""
+
+    def __init__(self, topo: Topology, config: DragonflyConfig,
+                 policy: RoutingPolicy = RoutingPolicy.UGAL,
+                 rng: RngLike = None):
+        self.topo = topo
+        self.config = config
+        self.policy = policy
+        self.rng = as_generator(rng)
+        self._load = _LoadTracker(topo.n_links)
+        self._gateways = self._index_gateways()
+        #: links the fabric manager has routed around (failed cables)
+        self.disabled: set[int] = set()
+
+    def _index_gateways(self) -> dict[tuple[int, int], list[tuple[int, int, int]]]:
+        """(src_group, dst_group) -> [(link_idx, src_switch, dst_switch)]."""
+        gw: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for link in self.topo.links:
+            if link.kind is not LinkKind.L2:
+                continue
+            sa, sb = link.src[1], link.dst[1]
+            ga = self.topo.group_of_switch(sa)
+            gb = self.topo.group_of_switch(sb)
+            gw.setdefault((ga, gb), []).append((link.index, sa, sb))
+        return gw
+
+    # -- public API ---------------------------------------------------------
+
+    def reset_load(self) -> None:
+        self._load.reset()
+
+    @property
+    def link_loads(self) -> np.ndarray:
+        return self._load.counts.copy()
+
+    def disable_link(self, index: int) -> None:
+        """Route around a failed link (the Fabric Manager's job, §3.4.2)."""
+        if not 0 <= index < self.topo.n_links:
+            raise RoutingError(f"no link {index}")
+        self.disabled.add(index)
+
+    def enable_link(self, index: int) -> None:
+        self.disabled.discard(index)
+
+    def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
+        """Select a path (list of link indices) for one flow.
+
+        With ``register=True`` the path's links are charged to the load
+        tracker so later UGAL decisions see this flow.  Disabled (failed)
+        links are routed around: intra-group via an intermediate switch,
+        inter-group via surviving bundle lanes or a Valiant detour.
+        """
+        if src_ep == dst_ep:
+            raise RoutingError("source and destination endpoints coincide")
+        path = self._select(src_ep, dst_ep)
+        self.topo.validate_path(path)
+        if any(i in self.disabled for i in path):  # pragma: no cover - guard
+            raise RoutingError("internal: selected path crosses a failed link")
+        if register:
+            self._load.add_path(path)
+        return path
+
+    # -- path construction ----------------------------------------------------
+
+    def _select(self, src_ep: int, dst_ep: int) -> list[int]:
+        g_src = self.topo.group_of_endpoint(src_ep)
+        g_dst = self.topo.group_of_endpoint(dst_ep)
+        if g_src == g_dst:
+            return self._local_path(src_ep, dst_ep)
+        try:
+            minimal = self._minimal_path(src_ep, dst_ep)
+        except RoutingError:
+            # every direct lane between the groups is down: detour
+            return self._valiant_path(src_ep, dst_ep)
+        if self.policy is RoutingPolicy.MINIMAL:
+            return minimal
+        if self.policy is RoutingPolicy.VALIANT:
+            return self._valiant_path(src_ep, dst_ep)
+        # UGAL-L approximation: divert when the minimal path's most loaded
+        # link carries more than twice the Valiant candidate's.
+        valiant = self._valiant_path(src_ep, dst_ep)
+        min_load = max((self._load.load(i) for i in minimal), default=0)
+        val_load = max((self._load.load(i) for i in valiant), default=0)
+        return minimal if min_load <= 2 * val_load + 1 else valiant
+
+    def _edge_link(self, node_a, node_b) -> int:
+        link = self.topo.link_between(node_a, node_b)
+        if link is None:
+            raise RoutingError(f"no link {node_a}->{node_b}")
+        if link.index in self.disabled:
+            raise RoutingError(f"link {node_a}->{node_b} is failed")
+        return link.index
+
+    def _local_path(self, src_ep: int, dst_ep: int) -> list[int]:
+        """Within a group: at most one L1 hop (switches fully connected)."""
+        sw_s = self.topo.switch_of_endpoint(src_ep)
+        sw_d = self.topo.switch_of_endpoint(dst_ep)
+        path = [self._edge_link(("ep", src_ep), ("sw", sw_s))]
+        path += self._switch_segment(sw_s, sw_d)
+        path.append(self._edge_link(("sw", sw_d), ("ep", dst_ep)))
+        return path
+
+    def _pick_gateway(self, g_src: int, g_dst: int) -> tuple[int, int, int]:
+        """Least-loaded *surviving* global link between two groups."""
+        candidates = [c for c in self._gateways.get((g_src, g_dst), [])
+                      if c[0] not in self.disabled]
+        if not candidates:
+            raise RoutingError(f"groups {g_src} and {g_dst} have no "
+                               "surviving direct links")
+        loads = [self._load.load(idx) for idx, _, _ in candidates]
+        best = int(np.argmin(loads))
+        return candidates[best]
+
+    def _switch_segment(self, sw_from: int, sw_to: int) -> list[int]:
+        """Intra-group segment: empty if same switch, else one L1 hop —
+        or two hops via an intermediate switch if the direct cable failed."""
+        if sw_from == sw_to:
+            return []
+        try:
+            return [self._edge_link(("sw", sw_from), ("sw", sw_to))]
+        except RoutingError:
+            group = self.topo.group_of_switch(sw_from)
+            for mid in self.topo.switches_in_group(group):
+                if mid in (sw_from, sw_to):
+                    continue
+                try:
+                    return [self._edge_link(("sw", sw_from), ("sw", mid)),
+                            self._edge_link(("sw", mid), ("sw", sw_to))]
+                except RoutingError:
+                    continue
+            raise RoutingError(
+                f"switches {sw_from} and {sw_to} are disconnected")
+
+    def _minimal_path(self, src_ep: int, dst_ep: int) -> list[int]:
+        sw_s = self.topo.switch_of_endpoint(src_ep)
+        sw_d = self.topo.switch_of_endpoint(dst_ep)
+        g_src = self.topo.group_of_switch(sw_s)
+        g_dst = self.topo.group_of_switch(sw_d)
+        glink, gw_s, gw_d = self._pick_gateway(g_src, g_dst)
+        path = [self._edge_link(("ep", src_ep), ("sw", sw_s))]
+        path += self._switch_segment(sw_s, gw_s)
+        path.append(glink)
+        path += self._switch_segment(gw_d, sw_d)
+        path.append(self._edge_link(("sw", sw_d), ("ep", dst_ep)))
+        return path
+
+    def _valiant_path(self, src_ep: int, dst_ep: int) -> list[int]:
+        """Route via a random intermediate group (two global hops).
+
+        Retries over the intermediate groups (random order) so a fabric
+        with failed bundles still finds a detour if one exists.
+        """
+        sw_s = self.topo.switch_of_endpoint(src_ep)
+        sw_d = self.topo.switch_of_endpoint(dst_ep)
+        g_src = self.topo.group_of_switch(sw_s)
+        g_dst = self.topo.group_of_switch(sw_d)
+        choices = [g for g in range(self.config.groups) if g not in (g_src, g_dst)]
+        if not choices:
+            return self._minimal_path(src_ep, dst_ep)
+        order = list(self.rng.permutation(choices))
+        for g_mid in order:
+            try:
+                l1, gw_s, mid_in = self._pick_gateway(g_src, int(g_mid))
+                l2, mid_out, gw_d = self._pick_gateway(int(g_mid), g_dst)
+                path = [self._edge_link(("ep", src_ep), ("sw", sw_s))]
+                path += self._switch_segment(sw_s, gw_s)
+                path.append(l1)
+                path += self._switch_segment(mid_in, mid_out)
+                path.append(l2)
+                path += self._switch_segment(gw_d, sw_d)
+                path.append(self._edge_link(("sw", sw_d), ("ep", dst_ep)))
+                return path
+            except RoutingError:
+                continue
+        raise RoutingError(
+            f"no surviving route from group {g_src} to {g_dst}")
+
+    # -- path metrics ----------------------------------------------------------
+
+    def switch_hops(self, path: list[int]) -> int:
+        """Number of switch-to-switch hops in a path (paper's hop counting)."""
+        return sum(1 for i in path
+                   if self.topo.link(i).kind in (LinkKind.L1, LinkKind.L2))
+
+    def global_hops(self, path: list[int]) -> int:
+        return sum(1 for i in path if self.topo.link(i).kind is LinkKind.L2)
+
+
+class FatTreeRouter:
+    """ECMP up/down routing on the folded Clos."""
+
+    def __init__(self, topo: Topology, config: FatTreeConfig, rng: RngLike = None):
+        self.topo = topo
+        self.config = config
+        self.rng = as_generator(rng)
+        self._load = _LoadTracker(topo.n_links)
+
+    def reset_load(self) -> None:
+        self._load.reset()
+
+    def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
+        if src_ep == dst_ep:
+            raise RoutingError("source and destination endpoints coincide")
+        sw_s = self.topo.switch_of_endpoint(src_ep)
+        sw_d = self.topo.switch_of_endpoint(dst_ep)
+        path = [self.topo.link_between(("ep", src_ep), ("sw", sw_s)).index]
+        if sw_s != sw_d:
+            # pick the least-loaded core plane
+            E = self.config.edge_switches
+            ups = [l for l in self.topo.out_links(("sw", sw_s))
+                   if l.dst[0] == "sw" and l.dst[1] >= E]
+            if not ups:
+                raise RoutingError(f"edge switch {sw_s} has no uplinks")
+            loads = [self._load.load(l.index) for l in ups]
+            up = ups[int(np.argmin(loads))]
+            core = up.dst
+            down = self.topo.link_between(core, ("sw", sw_d))
+            if down is None:
+                raise RoutingError(f"core {core} does not reach edge {sw_d}")
+            path += [up.index, down.index]
+        path.append(self.topo.link_between(("sw", sw_d), ("ep", dst_ep)).index)
+        self.topo.validate_path(path)
+        if register:
+            self._load.add_path(path)
+        return path

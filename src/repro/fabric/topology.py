@@ -1,0 +1,182 @@
+"""Generic network topology: switches, endpoints, capacitated links.
+
+The fabric simulators operate on an explicit directed graph.  Nodes are
+identified by small tuples (``("sw", i)`` for switches, ``("ep", i)`` for
+endpoints); links are directed and indexed densely so the max-min solver can
+work on flat arrays.  Both directions of a cable are independent links,
+matching the paper's "N+N GB/s" convention.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import TopologyError
+
+__all__ = ["LinkKind", "NodeId", "Link", "Topology"]
+
+NodeId = tuple[str, int]
+
+
+class LinkKind(enum.Enum):
+    """Link roles, matching HPE's port taxonomy for Slingshot switches."""
+
+    L0 = "edge"      # switch <-> endpoint (NIC)
+    L1 = "local"     # switch <-> switch within a group
+    L2 = "global"    # switch <-> switch between groups
+
+
+@dataclass(frozen=True)
+class Link:
+    """One directed link."""
+
+    index: int
+    src: NodeId
+    dst: NodeId
+    capacity: float          # bytes/s in this direction
+    kind: LinkKind
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise TopologyError(f"link {self.src}->{self.dst} needs positive capacity")
+
+
+class Topology:
+    """A directed, capacitated network graph.
+
+    Switches may carry a ``group`` tag (dragonfly group id, fat-tree level);
+    endpoints record which switch they hang off.  Link addition is
+    append-only; the dense link index is stable and used by the flow solver.
+    """
+
+    def __init__(self) -> None:
+        self._switch_group: dict[int, int] = {}
+        self._endpoint_switch: dict[int, int] = {}
+        self._links: list[Link] = []
+        self._out: dict[NodeId, list[int]] = {}
+        self._by_pair: dict[tuple[NodeId, NodeId], int] = {}
+
+    # -- construction ------------------------------------------------------
+
+    def add_switch(self, switch: int, group: int = 0) -> None:
+        if switch in self._switch_group:
+            raise TopologyError(f"switch {switch} already exists")
+        self._switch_group[switch] = group
+
+    def add_endpoint(self, endpoint: int, switch: int) -> None:
+        if endpoint in self._endpoint_switch:
+            raise TopologyError(f"endpoint {endpoint} already exists")
+        if switch not in self._switch_group:
+            raise TopologyError(f"endpoint {endpoint} references unknown switch {switch}")
+        self._endpoint_switch[endpoint] = switch
+
+    def add_link(self, src: NodeId, dst: NodeId, capacity: float,
+                 kind: LinkKind) -> int:
+        """Add one directed link; returns its dense index."""
+        self._validate_node(src)
+        self._validate_node(dst)
+        if (src, dst) in self._by_pair:
+            raise TopologyError(f"duplicate link {src}->{dst}; "
+                                "aggregate parallel cables into one capacity")
+        idx = len(self._links)
+        link = Link(idx, src, dst, capacity, kind)
+        self._links.append(link)
+        self._out.setdefault(src, []).append(idx)
+        self._by_pair[(src, dst)] = idx
+        return idx
+
+    def add_bidirectional(self, a: NodeId, b: NodeId, capacity: float,
+                          kind: LinkKind) -> tuple[int, int]:
+        """Add both directions of a cable at ``capacity`` per direction."""
+        return self.add_link(a, b, capacity, kind), self.add_link(b, a, capacity, kind)
+
+    def _validate_node(self, node: NodeId) -> None:
+        tag, idx = node
+        if tag == "sw":
+            if idx not in self._switch_group:
+                raise TopologyError(f"unknown switch {idx}")
+        elif tag == "ep":
+            if idx not in self._endpoint_switch:
+                raise TopologyError(f"unknown endpoint {idx}")
+        else:
+            raise TopologyError(f"unknown node tag {tag!r}")
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def n_switches(self) -> int:
+        return len(self._switch_group)
+
+    @property
+    def n_endpoints(self) -> int:
+        return len(self._endpoint_switch)
+
+    @property
+    def links(self) -> list[Link]:
+        return list(self._links)
+
+    def link(self, index: int) -> Link:
+        return self._links[index]
+
+    def link_between(self, src: NodeId, dst: NodeId) -> Link | None:
+        idx = self._by_pair.get((src, dst))
+        return self._links[idx] if idx is not None else None
+
+    def out_links(self, node: NodeId) -> list[Link]:
+        return [self._links[i] for i in self._out.get(node, [])]
+
+    def switches(self) -> Iterator[int]:
+        return iter(self._switch_group)
+
+    def endpoints(self) -> Iterator[int]:
+        return iter(self._endpoint_switch)
+
+    def group_of_switch(self, switch: int) -> int:
+        try:
+            return self._switch_group[switch]
+        except KeyError:
+            raise TopologyError(f"unknown switch {switch}") from None
+
+    def switch_of_endpoint(self, endpoint: int) -> int:
+        try:
+            return self._endpoint_switch[endpoint]
+        except KeyError:
+            raise TopologyError(f"unknown endpoint {endpoint}") from None
+
+    def group_of_endpoint(self, endpoint: int) -> int:
+        return self.group_of_switch(self.switch_of_endpoint(endpoint))
+
+    def switches_in_group(self, group: int) -> list[int]:
+        return sorted(s for s, g in self._switch_group.items() if g == group)
+
+    def endpoints_on_switch(self, switch: int) -> list[int]:
+        return sorted(e for e, s in self._endpoint_switch.items() if s == switch)
+
+    def capacities(self) -> list[float]:
+        """Per-link capacities, indexed by dense link index."""
+        return [l.capacity for l in self._links]
+
+    # -- invariants ----------------------------------------------------------
+
+    def port_counts(self, switch: int) -> dict[LinkKind, int]:
+        """Outgoing port usage of a switch per link kind (cable count view)."""
+        counts = {k: 0 for k in LinkKind}
+        for link in self.out_links(("sw", switch)):
+            counts[link.kind] += 1
+        return counts
+
+    def validate_path(self, path: Iterable[int]) -> None:
+        """Check that consecutive links in a path chain head-to-tail."""
+        prev: Link | None = None
+        for idx in path:
+            link = self._links[idx]
+            if prev is not None and prev.dst != link.src:
+                raise TopologyError(
+                    f"path breaks at link {idx}: {prev.dst} != {link.src}")
+            prev = link

@@ -1,0 +1,28 @@
+"""Network and node micro-benchmark simulators.
+
+* :mod:`repro.microbench.mpigraph` — the mpiGraph shift-pattern bandwidth
+  survey behind Figure 6 (Frontier dragonfly vs Summit fat tree).
+* :mod:`repro.microbench.gpcnet` — the GPCNeT congestion benchmark behind
+  Table 5 (isolated vs congested, 8 vs 32 PPN).
+* :mod:`repro.microbench.coralgemm` — the CoralGemm sweep behind Figure 3.
+"""
+
+from repro.microbench.mpigraph import (
+    MpiGraphHistogram,
+    frontier_mpigraph_histogram,
+    summit_mpigraph_histogram,
+    simulate_mpigraph,
+)
+from repro.microbench.gpcnet import GpcnetConfig, GpcnetReport, run_gpcnet
+from repro.microbench.coralgemm import coralgemm_sweep
+from repro.microbench.ior import IorAccess, IorJob, run_ior
+
+__all__ = [
+    "MpiGraphHistogram",
+    "frontier_mpigraph_histogram",
+    "summit_mpigraph_histogram",
+    "simulate_mpigraph",
+    "GpcnetConfig", "GpcnetReport", "run_gpcnet",
+    "coralgemm_sweep",
+    "IorAccess", "IorJob", "run_ior",
+]

@@ -1,0 +1,39 @@
+"""CoralGemm sweep orchestration (Figure 3).
+
+Thin harness over :class:`repro.node.gemm.GemmModel` that sweeps matrix
+sizes per precision and also exercises the real host DGEMM kernel so the
+benchmark has genuine compute to time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.node.gemm import GemmModel, GemmPoint, run_host_dgemm
+from repro.node.gpu import Precision
+
+__all__ = ["CoralGemmResult", "coralgemm_sweep"]
+
+
+@dataclass(frozen=True)
+class CoralGemmResult:
+    """Per-precision sweep plus the Figure 3 endpoint summary."""
+
+    points: dict[Precision, list[GemmPoint]]
+    figure3: dict[str, dict[str, float]]
+    host_dgemm_flops: float
+
+    def achieved_tflops(self, precision: Precision) -> float:
+        return self.points[precision][-1].tflops
+
+
+def coralgemm_sweep(sizes: list[int] | None = None,
+                    host_n: int = 256,
+                    model: GemmModel | None = None) -> CoralGemmResult:
+    """Run the modelled sweep for FP64/FP32/FP16 plus one real host GEMM."""
+    gm = model if model is not None else GemmModel()
+    precisions = (Precision.FP64, Precision.FP32, Precision.FP16)
+    points = {p: gm.sweep(p, sizes) for p in precisions}
+    host_flops, _ = run_host_dgemm(host_n, repeats=1)
+    return CoralGemmResult(points=points, figure3=gm.figure3(),
+                           host_dgemm_flops=host_flops)

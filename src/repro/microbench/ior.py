@@ -1,0 +1,105 @@
+"""IOR-style parallel filesystem benchmark model (§4.3.2 methodology).
+
+The paper's Orion numbers come from IOR-class streaming measurements.
+This model adds the knobs any IOR campaign sweeps, with the standard
+Lustre behaviours:
+
+* **file-per-process** (FPP) avoids extent-lock contention entirely;
+* **single-shared-file** (SSF) pays distributed-lock overhead that grows
+  with the ratio of writers to OSTs;
+* transfers below the stripe/RPC size pay a per-op overhead ramp;
+* unaligned transfers pay read-modify-write on the RAID stripes;
+* client-side throughput caps at a per-node Lustre-client limit before
+  the server tier saturates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.lustre import OrionFilesystem
+from repro.storage.pfl import Tier
+
+__all__ = ["IorAccess", "IorJob", "IorResult", "run_ior"]
+
+#: Sustained Lustre-client write rate per node (network + client stack).
+CLIENT_NODE_LIMIT = 8e9
+#: Half-saturation transfer size for per-RPC overheads.
+TRANSFER_HALF_SIZE = 256 * 1024
+#: Read-modify-write penalty for unaligned transfers on dRAID stripes.
+UNALIGNED_FACTOR = 0.62
+#: Lock-contention coefficient for single-shared-file writes.
+SSF_LOCK_COEFFICIENT = 0.9
+
+
+class IorAccess(enum.Enum):
+    FILE_PER_PROCESS = "fpp"
+    SINGLE_SHARED_FILE = "ssf"
+
+
+@dataclass(frozen=True)
+class IorJob:
+    """One IOR run description."""
+
+    nodes: int = 9408
+    ppn: int = 8
+    transfer_bytes: int = 16 * 1024 * 1024
+    block_bytes_per_rank: int = 1 << 30
+    access: IorAccess = IorAccess.FILE_PER_PROCESS
+    aligned: bool = True
+    tier: Tier = Tier.PERFORMANCE
+    read: bool = False
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ppn < 1:
+            raise ConfigurationError("nodes and ppn must be positive")
+        if self.transfer_bytes <= 0 or self.block_bytes_per_rank <= 0:
+            raise ConfigurationError("transfer and block sizes must be positive")
+
+    @property
+    def ranks(self) -> int:
+        return self.nodes * self.ppn
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.ranks) * self.block_bytes_per_rank
+
+
+@dataclass(frozen=True)
+class IorResult:
+    job: IorJob
+    bandwidth: float          # aggregate bytes/s
+    seconds: float
+    bound_by: str             # "clients" or "servers"
+
+    @property
+    def bandwidth_tbs(self) -> float:
+        return self.bandwidth / 1e12
+
+
+def run_ior(job: IorJob, fs: OrionFilesystem | None = None) -> IorResult:
+    """Model one IOR run against Orion."""
+    filesystem = fs if fs is not None else OrionFilesystem()
+    stats = filesystem.tier_stats(job.tier, measured=True)
+    server_peak = stats.read if job.read else stats.write
+
+    # per-RPC overhead ramp
+    ramp = job.transfer_bytes / (job.transfer_bytes + TRANSFER_HALF_SIZE)
+    efficiency = ramp
+    if not job.aligned and not job.read:
+        efficiency *= UNALIGNED_FACTOR
+    if job.access is IorAccess.SINGLE_SHARED_FILE:
+        # extent-lock contention grows with writers per OST (2 OSTs/SSU)
+        osts = filesystem.ssu_count * 2
+        contention = 1.0 + SSF_LOCK_COEFFICIENT * max(
+            0.0, job.ranks / osts - 1.0) ** 0.5 / 10.0
+        efficiency /= contention
+
+    server_rate = server_peak * efficiency
+    client_rate = job.nodes * CLIENT_NODE_LIMIT
+    bandwidth = min(server_rate, client_rate)
+    bound = "servers" if server_rate <= client_rate else "clients"
+    return IorResult(job=job, bandwidth=bandwidth,
+                     seconds=job.total_bytes / bandwidth, bound_by=bound)

@@ -1,0 +1,14 @@
+"""A small simulated-MPI layer on top of the fabric models.
+
+Real applications on Frontier are MPI programs; the micro-benchmarks
+(mpiGraph, GPCNeT) and the application projections all reason about
+*ranks* placed on *nodes* with some processes-per-node (PPN), where each
+rank injects through the NIC serving its GCD.  This subpackage provides
+that mapping (:mod:`repro.mpi.job`) and a simulated communicator with
+cost estimates for the common operations (:mod:`repro.mpi.simmpi`).
+"""
+
+from repro.mpi.job import JobLayout, RankPlacement
+from repro.mpi.simmpi import SimComm
+
+__all__ = ["JobLayout", "RankPlacement", "SimComm"]

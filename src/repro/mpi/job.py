@@ -1,0 +1,91 @@
+"""Rank-to-node-to-endpoint placement for simulated MPI jobs.
+
+On Frontier a node exposes four NICs (one per OAM package); the expected
+production configuration is 8 PPN — one rank per GCD — so two ranks share
+each NIC (§4.2.2, Table 5).  The mapping here mirrors that: rank ``r`` of a
+node lives on GCD ``r mod 8`` and injects through NIC ``(r mod 8) // 2``,
+i.e. endpoint ``node*4 + gcd//2`` in fabric numbering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["RankPlacement", "JobLayout"]
+
+NICS_PER_NODE = 4
+GCDS_PER_NODE = 8
+
+
+@dataclass(frozen=True)
+class RankPlacement:
+    """Where one MPI rank lives."""
+
+    rank: int
+    node: int
+    local_rank: int
+    gcd: int
+    nic: int          # node-local NIC index, 0..3
+
+    @property
+    def endpoint(self) -> int:
+        """Fabric endpoint id (node-major, NIC-minor)."""
+        return self.node * NICS_PER_NODE + self.nic
+
+
+@dataclass(frozen=True)
+class JobLayout:
+    """An MPI job: ``nodes`` nodes at ``ppn`` ranks per node.
+
+    Ranks are laid out node-major (ranks 0..ppn-1 on node 0, etc.), the
+    Slurm default.  Node ids are *machine* node ids, so a layout can
+    describe a job placed on an arbitrary subset of the system.
+    """
+
+    node_ids: tuple[int, ...]
+    ppn: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ppn < 1:
+            raise ConfigurationError("ppn must be >= 1")
+        if len(self.node_ids) == 0:
+            raise ConfigurationError("a job needs at least one node")
+        if len(set(self.node_ids)) != len(self.node_ids):
+            raise ConfigurationError("duplicate node ids in layout")
+
+    @classmethod
+    def contiguous(cls, nodes: int, ppn: int = 8, first_node: int = 0) -> "JobLayout":
+        return cls(node_ids=tuple(range(first_node, first_node + nodes)), ppn=ppn)
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * self.ppn
+
+    def placement(self, rank: int) -> RankPlacement:
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(f"rank {rank} out of range [0,{self.n_ranks})")
+        node_index, local = divmod(rank, self.ppn)
+        gcd = local % GCDS_PER_NODE
+        nic = gcd // (GCDS_PER_NODE // NICS_PER_NODE)
+        return RankPlacement(rank=rank, node=self.node_ids[node_index],
+                             local_rank=local, gcd=gcd, nic=nic)
+
+    def endpoints(self) -> list[int]:
+        """Fabric endpoint of every rank (with repeats when ranks share NICs)."""
+        return [self.placement(r).endpoint for r in range(self.n_ranks)]
+
+    def ranks_per_nic(self) -> float:
+        """How many ranks share one NIC (2.0 at the production 8 PPN)."""
+        return self.ppn / NICS_PER_NODE
+
+    def pair_endpoints(self, pairs: list[tuple[int, int]]
+                       ) -> list[tuple[int, int]]:
+        """Map rank pairs to endpoint pairs (drops rank identity)."""
+        return [(self.placement(a).endpoint, self.placement(b).endpoint)
+                for a, b in pairs]

@@ -1,0 +1,103 @@
+"""A simulated MPI communicator with cost estimates.
+
+``SimComm`` answers "how long would this MPI operation take on Frontier?"
+using the fabric models: point-to-point times combine the latency model and
+per-NIC bandwidth sharing; collectives use the models in
+:mod:`repro.fabric.collectives`.  It does **not** move data — application
+kernels do their real math locally and consult SimComm for communication
+cost when projecting scaled runs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.latency import LatencyModel
+from repro.mpi.job import JobLayout
+
+__all__ = ["SimComm"]
+
+
+class SimComm:
+    """Communication-cost oracle for a job on the Frontier fabric."""
+
+    def __init__(self, layout: JobLayout,
+                 config: DragonflyConfig | None = None,
+                 latency: LatencyModel | None = None):
+        self.layout = layout
+        self.config = config if config is not None else DragonflyConfig()
+        self.latency = latency if latency is not None else LatencyModel()
+
+    # -- point to point --------------------------------------------------------
+
+    def _same_node(self, a: int, b: int) -> bool:
+        return self.layout.placement(a).node == self.layout.placement(b).node
+
+    def p2p_time(self, src: int, dst: int, size_bytes: float) -> float:
+        """Expected time for one message between two ranks."""
+        if src == dst:
+            raise ConfigurationError("p2p between a rank and itself")
+        if self._same_node(src, dst):
+            # On-node transfers ride InfinityFabric; model one CU-kernel hop.
+            xgmi_bw = 37.5e9
+            return 2e-6 + size_bytes / xgmi_bw
+        lat = self.latency.average_minimal_latency(
+            size_bytes=8.0, groups=self.config.groups,
+            switches_per_group=self.config.switches_per_group)
+        nic_share = self.config.link_rate / max(1.0, self.layout.ranks_per_nic())
+        return lat + size_bytes / nic_share
+
+    def effective_bandwidth(self, src: int, dst: int, size_bytes: float) -> float:
+        t = self.p2p_time(src, dst, size_bytes)
+        return size_bytes / t if t > 0 else 0.0
+
+    # -- collectives -----------------------------------------------------------
+
+    def allreduce_time(self, size_bytes: float = 8.0) -> float:
+        """Latency-bound for small messages; adds a bandwidth term for large.
+
+        Rabenseifner-style: large messages pay ``2*(P-1)/P * size`` over the
+        per-rank share of injection bandwidth on top of the latency tree.
+        """
+        P = self.layout.n_ranks
+        if P == 1:
+            return 0.0
+        lat = allreduce_latency(P, size_bytes=min(size_bytes, 8.0),
+                                latency=self.latency,
+                                groups=self.config.groups,
+                                switches_per_group=self.config.switches_per_group)
+        per_rank_bw = self.config.link_rate / max(1.0, self.layout.ranks_per_nic())
+        bw_term = 2.0 * (P - 1) / P * size_bytes / per_rank_bw
+        return lat + bw_term
+
+    def alltoall_time(self, per_rank_bytes: float) -> float:
+        """Time for each rank to exchange ``per_rank_bytes`` with every other."""
+        est = alltoall_per_node_bandwidth(
+            self.config, nodes=self.layout.n_nodes,
+            message_bytes=max(1.0, per_rank_bytes / max(1, self.layout.n_ranks)))
+        per_node_volume = per_rank_bytes * self.layout.ppn * (
+            (self.layout.n_ranks - 1) / max(1, self.layout.n_ranks))
+        return per_node_volume / est.per_node
+
+    def barrier_time(self) -> float:
+        return self.allreduce_time(8.0)
+
+    # -- halo exchange (stencil apps) -------------------------------------------
+
+    def halo_exchange_time(self, face_bytes: float, neighbors: int = 6) -> float:
+        """Nearest-neighbour exchange: overlapped sends to ``neighbors`` peers.
+
+        With topology-aware placement most neighbours are on-node or
+        in-group; the NIC is the bottleneck: total bytes / NIC share.
+        """
+        if neighbors < 1:
+            raise ConfigurationError("need at least one neighbour")
+        lat = self.latency.average_minimal_latency(
+            groups=self.config.groups,
+            switches_per_group=self.config.switches_per_group)
+        nic_share = self.config.link_rate / max(1.0, self.layout.ranks_per_nic())
+        return lat * math.ceil(math.log2(neighbors + 1)) + (
+            neighbors * face_bytes) / nic_share

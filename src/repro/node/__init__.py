@@ -1,0 +1,50 @@
+"""Bard Peak node models: Trento CPU, MI250X GPUs, InfinityFabric, NICs.
+
+This subpackage reproduces Section 3.1 (node design) and Section 4.1/4.2.1
+(node-level and intra-node evaluation) of the Frontier paper:
+
+* :mod:`repro.node.cpu` — AMD EPYC 7A53 "Trento" (CCDs, NPS modes, DDR4).
+* :mod:`repro.node.dram` — DDR4 channel model and the CPU STREAM bandwidth
+  model with temporal vs non-temporal stores (Table 3).
+* :mod:`repro.node.gpu` / :mod:`repro.node.hbm` — MI250X Graphics Compute
+  Dies, HBM2e, and the GPU STREAM model (Table 4).
+* :mod:`repro.node.gemm` — the CoralGemm execution model (Figure 3).
+* :mod:`repro.node.xgmi` — InfinityFabric links and the 8-GCD twisted-ladder
+  topology (Figure 2).
+* :mod:`repro.node.transfers` — SDMA vs CU-kernel transfer engines and
+  host↔device bandwidth under contention (Figures 4 and 5).
+* :mod:`repro.node.stream` — executable NumPy STREAM kernels (semantics) and
+  the calibrated reported-bandwidth models.
+* :mod:`repro.node.node` — the assembled Bard Peak node.
+"""
+
+from repro.node.cpu import NpsMode, TrentoCpu
+from repro.node.dram import DdrConfig, StreamCalibration, CpuStreamModel
+from repro.node.gpu import Gcd, Mi250x, Precision
+from repro.node.hbm import HbmConfig, GpuStreamModel
+from repro.node.gemm import GemmModel, GemmPoint
+from repro.node.xgmi import XgmiLink, XgmiClass, GcdTopology, twisted_ladder
+from repro.node.transfers import (
+    TransferEngine,
+    cu_kernel_bandwidth,
+    sdma_bandwidth,
+    host_to_gcd_bandwidth,
+    aggregate_host_to_gcd_bandwidth,
+)
+from repro.node.node import BardPeakNode
+from repro.node.roofline import GcdRoofline, project_hpcg, project_hpl
+from repro.node.memory import MemoryPlanner, Placement
+
+__all__ = [
+    "NpsMode", "TrentoCpu",
+    "DdrConfig", "StreamCalibration", "CpuStreamModel",
+    "Gcd", "Mi250x", "Precision",
+    "HbmConfig", "GpuStreamModel",
+    "GemmModel", "GemmPoint",
+    "XgmiLink", "XgmiClass", "GcdTopology", "twisted_ladder",
+    "TransferEngine", "cu_kernel_bandwidth", "sdma_bandwidth",
+    "host_to_gcd_bandwidth", "aggregate_host_to_gcd_bandwidth",
+    "BardPeakNode",
+    "GcdRoofline", "project_hpl", "project_hpcg",
+    "MemoryPlanner", "Placement",
+]

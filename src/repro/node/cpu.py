@@ -1,0 +1,108 @@
+"""AMD EPYC 7A53 "Trento" CPU model (paper §3.1.1).
+
+Trento is a Milan-class part built for Frontier: 64 Zen3 cores across eight
+Core Complex Dies (CCDs) around a custom I/O die whose PCIe lanes were
+replaced with InfinityFabric links to the GPUs.  Eight DDR4-3200 DIMMs give a
+peak memory bandwidth of ~205 GB/s.  The part supports NUMA-Per-Socket (NPS)
+modes 1, 2 and 4; Frontier runs NPS-4 (allocations striped over the two DIMMs
+of the local quadrant: slightly lower latency, higher aggregate bandwidth
+under concurrent access).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GiB
+
+__all__ = ["NpsMode", "TrentoCpu"]
+
+
+class NpsMode(enum.IntEnum):
+    """NUMA-Per-Socket configuration.
+
+    The value is the number of NUMA domains the socket is split into.
+    """
+
+    NPS1 = 1
+    NPS2 = 2
+    NPS4 = 4
+
+    @property
+    def dimms_per_domain(self) -> int:
+        """DIMMs striped together within one NUMA domain (8 DIMMs total)."""
+        return 8 // self.value
+
+
+@dataclass(frozen=True)
+class TrentoCpu:
+    """Static description of one Trento socket.
+
+    Attributes mirror the paper: 64 cores / 8 CCDs, 8 x 64 GiB DDR4-3200
+    DIMMs, and one xGMI-2 connection per CCD to its paired GCD.
+    """
+
+    name: str = "AMD EPYC 7A53 (Trento)"
+    cores: int = 64
+    ccds: int = 8
+    smt: int = 2
+    base_clock_hz: float = 2.0e9
+    dimm_count: int = 8
+    dimm_capacity_bytes: float = 64 * GiB
+    ddr_mt_per_s: float = 3.2e9          # DDR4-3200: 3200 MT/s
+    ddr_bus_bytes: int = 8               # 64-bit channel
+    nps: NpsMode = NpsMode.NPS4
+
+    def __post_init__(self) -> None:
+        if self.cores % self.ccds != 0:
+            raise ConfigurationError(
+                f"cores ({self.cores}) must divide evenly over CCDs ({self.ccds})"
+            )
+        if self.dimm_count % self.nps.value != 0:
+            raise ConfigurationError(
+                f"NPS-{self.nps.value} needs DIMM count divisible by {self.nps.value}"
+            )
+
+    @property
+    def cores_per_ccd(self) -> int:
+        return self.cores // self.ccds
+
+    @property
+    def hardware_threads(self) -> int:
+        return self.cores * self.smt
+
+    @property
+    def memory_capacity_bytes(self) -> float:
+        """512 GiB per socket (8 x 64 GiB)."""
+        return self.dimm_count * self.dimm_capacity_bytes
+
+    @property
+    def peak_dram_bandwidth(self) -> float:
+        """Peak DDR bandwidth in bytes/s: channels x MT/s x 8 B = 204.8 GB/s.
+
+        The paper quotes "205 GiB/s"; the electrically correct figure for
+        8 channels of DDR4-3200 is 204.8 GB/s (SI).  We compute the SI value
+        and note the discrepancy in EXPERIMENTS.md.
+        """
+        return self.dimm_count * self.ddr_mt_per_s * self.ddr_bus_bytes
+
+    @property
+    def numa_domains(self) -> int:
+        return self.nps.value
+
+    @property
+    def peak_domain_bandwidth(self) -> float:
+        """Peak bandwidth of a single NUMA domain's DIMMs."""
+        return self.peak_dram_bandwidth / self.nps.value
+
+    def with_nps(self, nps: NpsMode) -> "TrentoCpu":
+        """Return a copy of this CPU configured in a different NPS mode."""
+        return TrentoCpu(
+            name=self.name, cores=self.cores, ccds=self.ccds, smt=self.smt,
+            base_clock_hz=self.base_clock_hz, dimm_count=self.dimm_count,
+            dimm_capacity_bytes=self.dimm_capacity_bytes,
+            ddr_mt_per_s=self.ddr_mt_per_s, ddr_bus_bytes=self.ddr_bus_bytes,
+            nps=nps,
+        )

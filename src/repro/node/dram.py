@@ -1,0 +1,161 @@
+"""DDR4 memory-system model and the CPU STREAM bandwidth model (Table 3).
+
+Mechanisms modeled
+------------------
+
+* **Peak** bandwidth comes from the channel configuration (8 x DDR4-3200 x
+  8 B = 204.8 GB/s per Trento socket).
+* **Non-temporal stores** bypass the cache hierarchy: every byte the kernel
+  is credited with is a byte on the bus.  Sustained efficiency on Trento in
+  NPS-4 is ~87.5% of peak (the paper's "up to 180 GB/s"); NPS-1 drops to
+  ~61% ("~125 GB/s") because a single interleave set serialises accesses
+  across all eight DIMMs.
+* **Temporal stores** trigger write-allocate: each stored cache line is first
+  read into cache, so the bus moves ``actual = counted + writes`` words while
+  STREAM only credits ``counted``.  The reported number is therefore scaled
+  by ``counted/actual`` — 2/3 for Scale, 3/4 for Add/Triad.
+* **Copy is special**: compilers recognise the copy loop and emit
+  ``memcpy``-style streaming stores even in the "temporal" build, which is
+  why the paper's temporal Copy (176.8 GB/s) nearly matches the non-temporal
+  one (179.1 GB/s) while Scale collapses to 107 GB/s.  The model exposes this
+  as :attr:`StreamCalibration.copy_detects_memcpy`.
+
+Calibration constants live in :class:`StreamCalibration` with the rationale
+for each; tests assert the model lands within tolerance of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.node.cpu import NpsMode, TrentoCpu
+from repro.node.stream import StreamKernel
+
+__all__ = ["DdrConfig", "StreamCalibration", "CpuStreamModel"]
+
+
+@dataclass(frozen=True)
+class DdrConfig:
+    """DDR channel configuration; defaults are one Trento socket."""
+
+    channels: int = 8
+    mt_per_s: float = 3.2e9
+    bus_bytes: int = 8
+
+    @property
+    def peak_bandwidth(self) -> float:
+        """Peak bytes/s across all channels (204.8 GB/s for Trento)."""
+        return self.channels * self.mt_per_s * self.bus_bytes
+
+    @classmethod
+    def from_cpu(cls, cpu: TrentoCpu) -> "DdrConfig":
+        return cls(channels=cpu.dimm_count, mt_per_s=cpu.ddr_mt_per_s,
+                   bus_bytes=cpu.ddr_bus_bytes)
+
+
+@dataclass(frozen=True)
+class StreamCalibration:
+    """Calibrated efficiency factors for the Trento STREAM model.
+
+    ``nt_efficiency`` — fraction of peak the memory controllers sustain with
+    non-temporal streams, per NPS mode.  NPS-4 keeps accesses DIMM-local
+    (0.875 -> 179 GB/s); NPS-1 stripes every access over the socket
+    (0.61 -> ~125 GB/s), matching §4.1.1.
+
+    ``temporal_raw_fraction`` — sustained bus rate of the cached (temporal)
+    path relative to the non-temporal one; the read-for-ownership traffic
+    interleaves less efficiently (~0.90 measured on Milan-class parts).
+
+    ``nt_kernel_factor`` / ``temporal_kernel_factor`` — small per-kernel
+    residuals (e.g. Add's second read stream amortises page activates
+    slightly better in the temporal build; Scale's single read stream pays a
+    little more turnaround in the non-temporal build).
+    """
+
+    nt_efficiency: dict[NpsMode, float] = field(default_factory=lambda: {
+        NpsMode.NPS1: 0.610,
+        NpsMode.NPS2: 0.760,
+        NpsMode.NPS4: 0.875,
+    })
+    temporal_raw_fraction: float = 0.90
+    copy_detects_memcpy: bool = True
+    nt_kernel_factor: dict[StreamKernel, float] = field(default_factory=lambda: {
+        StreamKernel.COPY: 1.000,
+        StreamKernel.SCALE: 0.962,
+        StreamKernel.MUL: 0.962,
+        StreamKernel.ADD: 0.995,
+        StreamKernel.TRIAD: 0.995,
+        StreamKernel.DOT: 1.000,
+    })
+    temporal_kernel_factor: dict[StreamKernel, float] = field(default_factory=lambda: {
+        StreamKernel.COPY: 0.9865,   # memcpy path, slight call overhead
+        StreamKernel.SCALE: 0.998,
+        StreamKernel.MUL: 0.998,
+        StreamKernel.ADD: 1.038,
+        StreamKernel.TRIAD: 0.998,
+        StreamKernel.DOT: 1.000,
+    })
+
+    def __post_init__(self) -> None:
+        for mode, eff in self.nt_efficiency.items():
+            if not 0.0 < eff <= 1.0:
+                raise ConfigurationError(f"nt_efficiency[{mode}] out of (0,1]: {eff}")
+        if not 0.0 < self.temporal_raw_fraction <= 1.0:
+            raise ConfigurationError("temporal_raw_fraction out of (0,1]")
+
+
+class CpuStreamModel:
+    """Predicts the *reported* STREAM bandwidth for one Trento socket.
+
+    >>> model = CpuStreamModel(TrentoCpu())
+    >>> model.predict(StreamKernel.TRIAD, temporal=False) / 1e9  # doctest: +SKIP
+    178.3
+    """
+
+    def __init__(self, cpu: TrentoCpu | None = None,
+                 calibration: StreamCalibration | None = None):
+        self.cpu = cpu if cpu is not None else TrentoCpu()
+        self.ddr = DdrConfig.from_cpu(self.cpu)
+        self.calibration = calibration if calibration is not None else StreamCalibration()
+
+    def sustained_nt_bandwidth(self, nps: NpsMode | None = None) -> float:
+        """Sustained non-temporal bus bandwidth in bytes/s for the NPS mode."""
+        mode = nps if nps is not None else self.cpu.nps
+        try:
+            eff = self.calibration.nt_efficiency[mode]
+        except KeyError:
+            raise ConfigurationError(f"no calibration for {mode}") from None
+        return self.ddr.peak_bandwidth * eff
+
+    def predict(self, kernel: StreamKernel, *, temporal: bool,
+                nps: NpsMode | None = None) -> float:
+        """Reported STREAM bandwidth (bytes/s) for ``kernel``.
+
+        ``temporal=True`` models the cached build (write-allocate penalty),
+        ``temporal=False`` the non-temporal (streaming-store) build.
+        """
+        cal = self.calibration
+        raw = self.sustained_nt_bandwidth(nps)
+        if not temporal:
+            return raw * cal.nt_kernel_factor.get(kernel, 1.0)
+        factor = cal.temporal_kernel_factor.get(kernel, 1.0)
+        if kernel is StreamKernel.COPY and cal.copy_detects_memcpy:
+            # The compiler turns the copy loop into memcpy with streaming
+            # stores, so the "temporal" build still takes the NT path.
+            return raw * factor
+        raw_temporal = raw * cal.temporal_raw_fraction
+        counted = kernel.counted_words
+        actual = kernel.actual_words(write_allocate=True)
+        return raw_temporal * factor * counted / actual
+
+    def table3(self, nps: NpsMode | None = None) -> dict[str, dict[str, float]]:
+        """Regenerate Table 3: reported MB/s per kernel, temporal and non-temporal."""
+        rows: dict[str, dict[str, float]] = {}
+        for kernel in (StreamKernel.COPY, StreamKernel.SCALE,
+                       StreamKernel.ADD, StreamKernel.TRIAD):
+            rows[kernel.label.capitalize()] = {
+                "temporal_MBps": self.predict(kernel, temporal=True, nps=nps) / 1e6,
+                "non_temporal_MBps": self.predict(kernel, temporal=False, nps=nps) / 1e6,
+            }
+        return rows

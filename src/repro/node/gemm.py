@@ -1,0 +1,166 @@
+"""CoralGemm execution model for one GCD (Figure 3).
+
+CoralGemm drives hipBLAS, which picks vector- or matrix-core (MFMA)
+instructions by internal heuristics.  The paper's observations this model
+reproduces:
+
+* FP64 reaches **33.8 TF/s** — *above* the 23.95 TF/s vector peak, because
+  MFMA instructions are used (70.6% of the 47.9 TF/s matrix peak).
+* FP32 reaches **24.1 TF/s** — just above vector peak (50.3% of matrix
+  peak; FP32 MFMA on CDNA2 is less efficient than FP64 MFMA).
+* FP16 reaches **111.2 TF/s** (58.1% of the 191.5 TF/s matrix peak).
+
+The model is a roofline with a size-dependent efficiency ramp:
+
+``achieved(N) = min(eff_inf * N/(N + n_half) * matrix_peak, AI(N) * HBM_bw)``
+
+where the arithmetic intensity ``AI`` uses a blocked-reuse traffic model.
+A real NumPy DGEMM executor is included for kernel semantics and host-side
+timing in the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.node.gpu import Gcd, Precision
+
+__all__ = ["GemmPoint", "GemmModel", "run_host_dgemm"]
+
+
+@dataclass(frozen=True)
+class GemmPoint:
+    """One point of the CoralGemm sweep."""
+
+    n: int
+    precision: Precision
+    flops_per_s: float
+    used_matrix_cores: bool
+    bound: str  # "compute" or "memory"
+
+    @property
+    def tflops(self) -> float:
+        return self.flops_per_s / 1e12
+
+
+@dataclass(frozen=True)
+class GemmCalibration:
+    """Asymptotic MFMA efficiencies and ramp constants, per precision.
+
+    ``eff_inf`` is achieved/matrix-peak at large N from Figure 3;
+    ``n_half`` is the matrix size reaching half of that efficiency.
+    ``matrix_core_threshold`` models hipBLAS's heuristic: below it, the
+    library stays on the vector pipeline.
+    """
+
+    eff_inf: dict[Precision, float] = field(default_factory=lambda: {
+        # Chosen so the N=16384 sweep endpoint lands on Figure 3's achieved
+        # values: 33.8 (FP64), 24.1 (FP32), 111.2 (FP16) TF/s.
+        Precision.FP64: 0.733,
+        Precision.FP32: 0.523,
+        Precision.FP16: 0.617,
+        Precision.BF16: 0.617,
+    })
+    n_half: dict[Precision, int] = field(default_factory=lambda: {
+        Precision.FP64: 640,
+        Precision.FP32: 640,
+        Precision.FP16: 1024,
+        Precision.BF16: 1024,
+    })
+    matrix_core_threshold: int = 128
+    vector_efficiency: float = 0.85
+    cache_block: int = 512  # effective LDS+register blocking tile for the traffic model
+
+
+class GemmModel:
+    """Predicts achieved GEMM FLOP/s on one GCD, CoralGemm-style."""
+
+    def __init__(self, gcd: Gcd | None = None,
+                 calibration: GemmCalibration | None = None):
+        self.gcd = gcd if gcd is not None else Gcd()
+        self.calibration = calibration if calibration is not None else GemmCalibration()
+
+    # -- roofline pieces ------------------------------------------------
+
+    def arithmetic_intensity(self, n: int, precision: Precision) -> float:
+        """FLOP per HBM byte for an N^3 GEMM with blocked reuse.
+
+        Traffic model: with square tile ``b``, each of A and B is streamed
+        N/b times, C once: bytes = (2*N^3/b + 2*N^2) * itemsize.
+        """
+        b = min(self.calibration.cache_block, n)
+        flops = 2.0 * n ** 3
+        bytes_moved = (2.0 * n ** 3 / b + 2.0 * n ** 2) * precision.itemsize
+        return flops / bytes_moved
+
+    def compute_limit(self, n: int, precision: Precision) -> tuple[float, bool]:
+        """(FLOP/s ceiling, used_matrix_cores) for size ``n``."""
+        cal = self.calibration
+        if n < cal.matrix_core_threshold:
+            peak = self.gcd.peak_flops(precision, matrix=False)
+            return peak * cal.vector_efficiency, False
+        peak = self.gcd.peak_flops(precision, matrix=True)
+        ramp = n / (n + cal.n_half[precision])
+        return peak * cal.eff_inf[precision] * ramp, True
+
+    def memory_limit(self, n: int, precision: Precision) -> float:
+        return self.arithmetic_intensity(n, precision) * self.gcd.hbm_bandwidth
+
+    # -- public API ------------------------------------------------------
+
+    def predict(self, n: int, precision: Precision) -> GemmPoint:
+        """Achieved FLOP/s for one square GEMM of size ``n``."""
+        if n <= 0:
+            raise ConfigurationError("GEMM size must be positive")
+        compute, mfma = self.compute_limit(n, precision)
+        memory = self.memory_limit(n, precision)
+        if memory < compute:
+            return GemmPoint(n, precision, memory, mfma, "memory")
+        return GemmPoint(n, precision, compute, mfma, "compute")
+
+    def sweep(self, precision: Precision,
+              sizes: list[int] | None = None) -> list[GemmPoint]:
+        """CoralGemm-style size sweep (default: 512..16384, doubling)."""
+        if sizes is None:
+            sizes = [512 * 2 ** k for k in range(6)]
+        return [self.predict(n, precision) for n in sizes]
+
+    def figure3(self, n: int = 16384) -> dict[str, dict[str, float]]:
+        """Regenerate Figure 3: peak vs achieved TF/s per precision."""
+        out: dict[str, dict[str, float]] = {}
+        for prec in (Precision.FP64, Precision.FP32, Precision.FP16):
+            point = self.predict(n, prec)
+            out[prec.label.upper()] = {
+                "vector_peak_tflops": self.gcd.peak_flops(prec, matrix=False) / 1e12,
+                "matrix_peak_tflops": self.gcd.peak_flops(prec, matrix=True) / 1e12,
+                "achieved_tflops": point.tflops,
+                "exceeds_vector_peak": float(
+                    point.flops_per_s > self.gcd.peak_flops(prec, matrix=False)),
+            }
+        return out
+
+
+def run_host_dgemm(n: int = 512, repeats: int = 3,
+                   dtype=np.float64) -> tuple[float, np.ndarray]:
+    """Execute a real square GEMM on the host and return (FLOP/s, C).
+
+    Provides kernel semantics (used by tests: C == A @ B) and a concrete
+    timing target for pytest-benchmark; the absolute rate is this machine's,
+    not the GCD's.
+    """
+    if n <= 0:
+        raise ConfigurationError("GEMM size must be positive")
+    rng = np.random.default_rng(12345)
+    a = rng.standard_normal((n, n)).astype(dtype)
+    b = rng.standard_normal((n, n)).astype(dtype)
+    best = float("inf")
+    c = np.empty_like(a)
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        np.matmul(a, b, out=c)
+        best = min(best, time.perf_counter() - t0)
+    return (2.0 * n ** 3) / best, c

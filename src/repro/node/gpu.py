@@ -1,0 +1,117 @@
+"""AMD Instinct MI250X GPU model (paper §3.1.2).
+
+The MI250X is an OCP Accelerator Module (OAM) holding **two** Graphics
+Compute Dies (GCDs).  Each GCD presents itself to the OS as a GPU — the
+paper's "1:4 CPU:GPU ratio, sort of" — with 110 compute units, four HBM2e
+stacks (64 GiB, 1.6354 TB/s aggregate), FP64 hardware atomics, and both
+vector and matrix (MFMA) floating-point pipelines.
+
+Peak rates per GCD (used throughout the evaluation):
+
+=========  ==========  ==========
+precision  vector      matrix
+=========  ==========  ==========
+FP64       23.95 TF/s  47.9 TF/s
+FP32       23.95 TF/s  47.9 TF/s
+FP16       —           191.5 TF/s
+BF16       —           191.5 TF/s
+=========  ==========  ==========
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import GiB, TERA
+
+__all__ = ["Precision", "Gcd", "Mi250x"]
+
+
+class Precision(enum.Enum):
+    """Floating-point precisions exercised by CoralGemm (Figure 3)."""
+
+    FP64 = ("fp64", 8)
+    FP32 = ("fp32", 4)
+    FP16 = ("fp16", 2)
+    BF16 = ("bf16", 2)
+
+    def __init__(self, label: str, itemsize: int):
+        self.label = label
+        self.itemsize = itemsize
+
+
+@dataclass(frozen=True)
+class Gcd:
+    """One Graphics Compute Die of an MI250X."""
+
+    compute_units: int = 110
+    threads_per_cu: int = 64
+    clock_hz: float = 1.7e9
+    hbm_stacks: int = 4
+    hbm_capacity_bytes: float = 64 * GiB
+    hbm_bandwidth: float = 1.6354e12  # bytes/s, aggregate over 4 stacks
+    vector_peak: dict[Precision, float] = field(default_factory=lambda: {
+        Precision.FP64: 23.95 * TERA,
+        Precision.FP32: 23.95 * TERA,
+        Precision.FP16: 47.9 * TERA,
+        Precision.BF16: 47.9 * TERA,
+    })
+    matrix_peak: dict[Precision, float] = field(default_factory=lambda: {
+        Precision.FP64: 47.9 * TERA,
+        Precision.FP32: 47.9 * TERA,
+        Precision.FP16: 191.5 * TERA,
+        Precision.BF16: 191.5 * TERA,
+    })
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0 or self.hbm_stacks <= 0:
+            raise ConfigurationError("GCD must have positive CU and HBM stack counts")
+
+    @property
+    def threads(self) -> int:
+        """Concurrent hardware threads (§5.3's concurrency accounting)."""
+        return self.compute_units * self.threads_per_cu
+
+    def peak_flops(self, precision: Precision, *, matrix: bool = True) -> float:
+        """Peak FLOP/s for a precision on the vector or matrix pipeline."""
+        table = self.matrix_peak if matrix else self.vector_peak
+        try:
+            return table[precision]
+        except KeyError:
+            raise ConfigurationError(f"no peak rate for {precision}") from None
+
+    @property
+    def per_stack_bandwidth(self) -> float:
+        return self.hbm_bandwidth / self.hbm_stacks
+
+
+@dataclass(frozen=True)
+class Mi250x:
+    """One MI250X OAM package: two GCDs plus the package plumbing.
+
+    The distinguishing Frontier feature (vs the plain MI250) is that the
+    host link is InfinityFabric rather than PCIe, and that a Slingshot NIC
+    hangs off each OAM — both are modeled at the node level.
+    """
+
+    gcd: Gcd = field(default_factory=Gcd)
+    gcds: int = 2
+    water_cooled: bool = True
+
+    @property
+    def hbm_capacity_bytes(self) -> float:
+        return self.gcds * self.gcd.hbm_capacity_bytes
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        return self.gcds * self.gcd.hbm_bandwidth
+
+    def peak_flops(self, precision: Precision, *, matrix: bool = True) -> float:
+        return self.gcds * self.gcd.peak_flops(precision, matrix=matrix)
+
+    @property
+    def compute_units(self) -> int:
+        """220 CUs per package, as quoted in §5.3."""
+        return self.gcds * self.gcd.compute_units

@@ -1,0 +1,110 @@
+"""Data-placement advisor for the Bard Peak memory hierarchy (§3.1.2).
+
+"With a ratio this high [64x], we expect most users will keep their data
+in the HBM and avoid moving it back and forth to the CPU as much as
+possible."  This module turns that sentence into an executable model: for
+a working set and an access plan (how many times each byte is touched per
+phase), estimate the effective bandwidth of the three placements —
+
+* resident in **HBM** (1.6354 TB/s per GCD);
+* resident in **DDR**, accessed from the GPU *over xGMI* each time
+  (36 GB/s per GCD pipe — the paper's "avoid" case);
+* **staged**: copied from DDR to HBM once per phase, then touched at HBM
+  speed — worthwhile once a byte is reused enough times.
+
+The crossover reuse count is where the staging copy amortises, which the
+tests pin down analytically.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.node.gpu import Gcd
+from repro.node.xgmi import XgmiClass
+from repro.units import GiB
+
+__all__ = ["Placement", "PlacementPlan", "MemoryPlanner"]
+
+
+class Placement(enum.Enum):
+    HBM_RESIDENT = "hbm"
+    DDR_OVER_XGMI = "ddr-over-xgmi"
+    STAGED = "staged"
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """The advisor's verdict for one working set."""
+
+    placement: Placement
+    phase_seconds: float
+    effective_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.phase_seconds < 0:
+            raise ConfigurationError("negative phase time")
+
+
+@dataclass(frozen=True)
+class MemoryPlanner:
+    """Placement planning for one GCD and its CCD-attached DDR quadrant."""
+
+    gcd: Gcd = Gcd()
+    hbm_capacity: float = 64 * GiB
+    xgmi_bandwidth: float = XgmiClass.XGMI2.rate_per_direction
+    ddr_bandwidth: float = 204.8e9 / 8   # one CCD's fair DDR share
+
+    def _touch_rate(self, placement: Placement) -> float:
+        if placement is Placement.HBM_RESIDENT:
+            return self.gcd.hbm_bandwidth
+        # GPU touching DDR-resident data: serialised through the xGMI pipe
+        # and the DDR quadrant, whichever is slower.
+        return min(self.xgmi_bandwidth, self.ddr_bandwidth)
+
+    def phase_time(self, working_set: float, touches: float,
+                   placement: Placement) -> float:
+        """Seconds for one phase touching every byte ``touches`` times."""
+        if working_set <= 0 or touches <= 0:
+            raise ConfigurationError("working set and touches must be positive")
+        volume = working_set * touches
+        if placement is Placement.STAGED:
+            if working_set > self.hbm_capacity:
+                raise ConfigurationError("staged working set exceeds HBM")
+            copy = working_set / min(self.xgmi_bandwidth, self.ddr_bandwidth)
+            return copy + volume / self.gcd.hbm_bandwidth
+        if (placement is Placement.HBM_RESIDENT
+                and working_set > self.hbm_capacity):
+            raise ConfigurationError("working set exceeds HBM capacity")
+        return volume / self._touch_rate(placement)
+
+    def best_placement(self, working_set: float, touches: float
+                       ) -> PlacementPlan:
+        """Cheapest placement for the phase (the advisor's answer)."""
+        candidates = [Placement.DDR_OVER_XGMI]
+        if working_set <= self.hbm_capacity:
+            candidates += [Placement.HBM_RESIDENT, Placement.STAGED]
+        best = min(candidates,
+                   key=lambda p: self.phase_time(working_set, touches, p))
+        t = self.phase_time(working_set, touches, best)
+        return PlacementPlan(placement=best, phase_seconds=t,
+                             effective_bandwidth=working_set * touches / t)
+
+    def staging_crossover_touches(self) -> float:
+        """Reuse count above which staging beats touching DDR directly.
+
+        Analytically: staging wins when
+        ``W/X + W*T/H < W*T/X``  =>  ``T > 1 / (1 - X/H) ~ 1.02``
+        with X the xGMI rate and H the HBM rate — i.e. staging wins almost
+        immediately, which is the paper's point about the 64x ratio.
+        """
+        x = min(self.xgmi_bandwidth, self.ddr_bandwidth)
+        h = self.gcd.hbm_bandwidth
+        return 1.0 / (1.0 - x / h)
+
+    def hbm_advantage(self) -> float:
+        """Touch-rate ratio of HBM-resident over DDR-over-xGMI data."""
+        return (self._touch_rate(Placement.HBM_RESIDENT)
+                / self._touch_rate(Placement.DDR_OVER_XGMI))

@@ -1,0 +1,99 @@
+"""Roofline model for the MI250X GCD — and the HPL-vs-HPCG gap.
+
+The paper's conclusion points at Kogge & Dally's companion analysis [38],
+which argues HPCG is a better exascale metric than HPL.  The roofline
+makes the gap quantitative: HPL's DGEMM has arithmetic intensity in the
+hundreds of FLOP/byte and rides the compute ceiling (Frontier: 1.102 EF,
+~65% of peak), while HPCG's sparse CG kernels sit near 0.25 FLOP/byte and
+ride the memory ceiling (Frontier's June-2022 HPCG: 14.05 PF, ~1.3% of
+HPL) — two orders of magnitude apart on the same machine, by design.
+
+:class:`GcdRoofline` provides attainable-performance queries and the
+machine ridge point; :func:`project_hpcg` and :func:`project_hpl` produce
+the system-level numbers the lists report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.node.gpu import Gcd, Precision
+
+__all__ = ["GcdRoofline", "project_hpl", "project_hpcg",
+           "hpcg_to_hpl_ratio", "HPL_SYSTEM_FLOPS", "HPCG_SYSTEM_FLOPS"]
+
+#: Frontier's June 2022 list entries.
+HPL_SYSTEM_FLOPS = 1.102e18
+HPCG_SYSTEM_FLOPS = 14.05e15
+
+#: Arithmetic intensities (FLOP per HBM byte).
+HPL_AI = 120.0          # blocked DGEMM at list-run block sizes
+HPCG_AI = 0.25          # SpMV + SymGS: ~2 flops per 8-byte load
+
+#: Sustained fractions of the respective ceilings.
+HPL_CEILING_EFFICIENCY = 0.715    # 1.102 EF over the 1.54 EF boost-peak
+HPCG_BANDWIDTH_EFFICIENCY = 0.454  # irregular access vs STREAM
+
+
+@dataclass(frozen=True)
+class GcdRoofline:
+    """Attainable FLOP/s as a function of arithmetic intensity."""
+
+    gcd: Gcd = Gcd()
+    precision: Precision = Precision.FP64
+    matrix_pipeline: bool = True
+
+    @property
+    def compute_ceiling(self) -> float:
+        return self.gcd.peak_flops(self.precision, matrix=self.matrix_pipeline)
+
+    @property
+    def memory_ceiling_slope(self) -> float:
+        """bytes/s: attainable = AI * slope below the ridge."""
+        return self.gcd.hbm_bandwidth
+
+    @property
+    def ridge_point(self) -> float:
+        """AI at which the kernel stops being memory bound (FLOP/byte)."""
+        return self.compute_ceiling / self.memory_ceiling_slope
+
+    def attainable(self, arithmetic_intensity: float) -> float:
+        if arithmetic_intensity <= 0:
+            raise ConfigurationError("arithmetic intensity must be positive")
+        return min(self.compute_ceiling,
+                   arithmetic_intensity * self.memory_ceiling_slope)
+
+    def is_memory_bound(self, arithmetic_intensity: float) -> bool:
+        return arithmetic_intensity < self.ridge_point
+
+    def series(self, intensities: list[float] | None = None
+               ) -> list[tuple[float, float]]:
+        if intensities is None:
+            intensities = [2.0 ** k for k in range(-6, 11)]
+        return [(ai, self.attainable(ai)) for ai in intensities]
+
+
+def project_hpl(n_gcds: int = 75776) -> float:
+    """System HPL FLOP/s: DGEMM rides the compute ceiling.
+
+    Per GCD: 47.9 TF matrix peak derated to list-run sustained clocks and
+    panel overheads (the calibrated 71.5% x 42.5% product = 14.5 TF/GCD,
+    which reproduces the 1.102 EF June-2022 Rmax).
+    """
+    roof = GcdRoofline()
+    sustained_fraction = HPL_SYSTEM_FLOPS / (75776 * roof.compute_ceiling)
+    return roof.compute_ceiling * sustained_fraction * n_gcds
+
+
+def project_hpcg(n_gcds: int = 75776) -> float:
+    """System HPCG FLOP/s from the memory ceiling: AI x HBM x efficiency."""
+    roof = GcdRoofline()
+    per_gcd = (HPCG_AI * roof.memory_ceiling_slope
+               * HPCG_BANDWIDTH_EFFICIENCY)
+    return per_gcd * n_gcds
+
+
+def hpcg_to_hpl_ratio() -> float:
+    """~1.3%: the gap the roofline explains (memory vs compute ceiling)."""
+    return project_hpcg() / project_hpl()

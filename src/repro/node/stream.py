@@ -1,0 +1,139 @@
+"""STREAM benchmark kernels.
+
+Two layers live here:
+
+* :class:`StreamKernel` — the kernel taxonomy (Copy/Scale/Add/Triad plus the
+  GPU benchmark's Mul and Dot variants) with their memory-traffic accounting,
+  shared by the CPU model (:mod:`repro.node.dram`) and the GPU model
+  (:mod:`repro.node.hbm`).
+* :func:`run_stream` — an executable NumPy implementation of each kernel.
+  This is the "real compute" used by tests and examples to check the kernel
+  *semantics* (values produced) and by the benchmark harness to time host
+  execution.  It does not — and is not meant to — reproduce Frontier's
+  bandwidth numbers; those come from the calibrated models.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["StreamKernel", "StreamResult", "run_stream", "stream_traffic_bytes"]
+
+
+class StreamKernel(enum.Enum):
+    """The STREAM operations used in the paper's Tables 3 and 4.
+
+    ``counted_*`` is the traffic the benchmark reports (the classic STREAM
+    convention); a temporal (write-allocate) store moves one extra read per
+    written word that is *not* counted, which is exactly why Table 3's
+    temporal numbers are lower.
+    """
+
+    COPY = ("copy", 1, 1)
+    SCALE = ("scale", 1, 1)
+    MUL = ("mul", 1, 1)        # GPU STREAM's name for Scale
+    ADD = ("add", 2, 1)
+    TRIAD = ("triad", 2, 1)
+    DOT = ("dot", 2, 0)        # GPU STREAM only: reduction, no stores
+
+    def __init__(self, label: str, reads: int, writes: int):
+        self.label = label
+        self.reads = reads
+        self.writes = writes
+
+    @property
+    def counted_words(self) -> int:
+        """Words of traffic per element that STREAM credits the kernel with."""
+        return self.reads + self.writes
+
+    def actual_words(self, *, write_allocate: bool) -> int:
+        """Words actually moved per element.
+
+        With temporal (cached) stores, each written line is first read into
+        cache ("write allocate"), adding one uncredited read per write.
+        Non-temporal stores bypass the cache and avoid that traffic.
+        """
+        extra = self.writes if write_allocate else 0
+        return self.counted_words + extra
+
+
+def stream_traffic_bytes(kernel: StreamKernel, n: int, itemsize: int = 8,
+                         *, write_allocate: bool = False) -> int:
+    """Bytes moved by one pass of ``kernel`` over arrays of ``n`` elements."""
+    return kernel.actual_words(write_allocate=write_allocate) * n * itemsize
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one executed STREAM kernel."""
+
+    kernel: StreamKernel
+    n: int
+    seconds: float
+    counted_bytes: int
+
+    @property
+    def bandwidth(self) -> float:
+        """Reported bandwidth in bytes/s (counted traffic / elapsed time)."""
+        return self.counted_bytes / self.seconds if self.seconds > 0 else 0.0
+
+
+def run_stream(kernel: StreamKernel, n: int = 1_000_000, *, repeats: int = 3,
+               dtype=np.float64, scalar: float = 3.0) -> StreamResult:
+    """Execute a STREAM kernel with NumPy and return timing + reported traffic.
+
+    The arrays are touched once before timing (first-touch/page-fault warmup,
+    as real STREAM does) and the best of ``repeats`` trials is kept.
+    """
+    if n <= 0:
+        raise ConfigurationError("STREAM array length must be positive")
+    a = np.full(n, 1.0, dtype=dtype)
+    b = np.full(n, 2.0, dtype=dtype)
+    c = np.zeros(n, dtype=dtype)
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        if kernel is StreamKernel.COPY:
+            np.copyto(c, a)
+        elif kernel in (StreamKernel.SCALE, StreamKernel.MUL):
+            np.multiply(a, scalar, out=c)
+        elif kernel is StreamKernel.ADD:
+            np.add(a, b, out=c)
+        elif kernel is StreamKernel.TRIAD:
+            np.multiply(b, scalar, out=c)
+            np.add(a, c, out=c)
+        elif kernel is StreamKernel.DOT:
+            float(np.dot(a, b))
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unknown kernel {kernel}")
+        best = min(best, time.perf_counter() - t0)
+    counted = kernel.counted_words * n * a.itemsize
+    return StreamResult(kernel=kernel, n=n, seconds=best, counted_bytes=counted)
+
+
+def verify_stream_semantics(n: int = 1024, scalar: float = 3.0) -> bool:
+    """Check that the NumPy kernels compute the canonical STREAM recurrences.
+
+    STREAM's validation rule: after copy/scale/add/triad in sequence the
+    arrays must equal a known closed form.  Returns True on success, raises
+    AssertionError otherwise.  Used by the test suite.
+    """
+    a = np.full(n, 1.0)
+    b = np.full(n, 2.0)
+    c = np.zeros(n)
+    np.copyto(c, a)               # c = a
+    np.multiply(c, scalar, out=b)  # b = s*c
+    np.add(a, b, out=c)           # c = a + b
+    np.multiply(c, scalar, out=b)
+    np.add(a, b, out=a)           # a = a + s*c
+    expect_c = 1.0 + scalar * 1.0
+    expect_a = 1.0 + scalar * expect_c
+    assert np.allclose(c, expect_c), "STREAM add result incorrect"
+    assert np.allclose(a, expect_a), "STREAM triad result incorrect"
+    return True

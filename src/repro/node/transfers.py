@@ -1,0 +1,175 @@
+"""Intra-node transfer engines: SDMA vs CU kernels, host<->device bandwidth.
+
+Reproduces §4.2.1 (Figures 4 and 5):
+
+* **CU copy kernels** launch wavefronts that load/store through the normal
+  memory path and *can stripe* across all ganged xGMI links of a GCD pair —
+  they reach ~75% of the aggregate link rate: 37.5 / 74.9 / 145.5 GB/s for
+  1- / 2- / 4-link pairs.
+* **SDMA engines** are dedicated DMA blocks, one queue per direction, that
+  *cannot stripe* across links: they are capped at ~50 GB/s (one link's
+  rate) regardless of gang width, at near-100% of that single link.
+* **Host→GCD**: a single core reaches ~25.5 GB/s (~71% of the xGMI-2 peak);
+  with 8 MPI ranks concurrently feeding their own GCDs the aggregate
+  saturates at the *DRAM* non-temporal limit (~180 GB/s), not the
+  8 x 36 GB/s link aggregate — the paper's Figure 4 plateau.
+
+All bandwidth-vs-message-size curves use the classic latency/bandwidth ramp
+``B(s) = B_max * s / (s + s_half)`` where ``s_half = B_max * t_lat`` is the
+half-saturation size.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.node.cpu import NpsMode, TrentoCpu
+from repro.node.dram import CpuStreamModel
+from repro.node.xgmi import GcdTopology, XgmiClass, twisted_ladder
+
+__all__ = [
+    "TransferEngine",
+    "ramp_bandwidth",
+    "cu_kernel_bandwidth",
+    "sdma_bandwidth",
+    "host_to_gcd_bandwidth",
+    "aggregate_host_to_gcd_bandwidth",
+]
+
+#: Efficiency of CU copy kernels relative to aggregate xGMI rate (Figure 5):
+#: 37.5 / 74.9 / 145.5 GB/s achieved on 50 / 100 / 200 GB/s gangs.  Striping
+#: over four links costs a little extra coordination, hence the slight droop.
+CU_KERNEL_EFFICIENCY_BY_WIDTH = {1: 0.750, 2: 0.749, 4: 0.7275}
+#: Efficiency of an SDMA engine on its single link.
+SDMA_EFFICIENCY = 1.00
+#: Launch/latency overheads governing the size ramps.
+CU_LAUNCH_LATENCY_S = 10e-6
+SDMA_LATENCY_S = 6e-6
+HOST_LATENCY_S = 2e-6
+#: Single-core host->device copy rate (fraction of xGMI-2 peak, §4.2.1).
+SINGLE_CORE_XGMI2_EFFICIENCY = 0.7083  # 25.5 / 36 GB/s
+
+
+class TransferEngine(enum.Enum):
+    """The two device-to-device copy mechanisms compared in Figure 5."""
+
+    CU_KERNEL = "cu"
+    SDMA = "sdma"
+
+
+def ramp_bandwidth(size_bytes: float, peak: float, latency_s: float) -> float:
+    """Latency-limited bandwidth ramp: ``peak * s / (s + peak*latency)``."""
+    if size_bytes < 0:
+        raise ConfigurationError("transfer size must be non-negative")
+    if size_bytes == 0:
+        return 0.0
+    s_half = peak * latency_s
+    return peak * size_bytes / (size_bytes + s_half)
+
+
+@dataclass(frozen=True)
+class PeerTransfer:
+    """Result of a modeled GCD<->GCD transfer."""
+
+    src: int
+    dst: int
+    engine: TransferEngine
+    size_bytes: float
+    bandwidth: float
+
+    @property
+    def seconds(self) -> float:
+        return self.size_bytes / self.bandwidth if self.bandwidth else 0.0
+
+
+def _pair_link(topology: GcdTopology, src: int, dst: int):
+    link = topology.link_between(src, dst)
+    if link is None:
+        raise TopologyError(
+            f"GCDs {src} and {dst} are not directly connected; peer transfers "
+            "in this model follow Figure 5 and only cover adjacent pairs")
+    return link
+
+
+def cu_kernel_bandwidth(src: int, dst: int, size_bytes: float = 1 << 30,
+                        topology: GcdTopology | None = None) -> PeerTransfer:
+    """Bandwidth of a CU copy-kernel transfer between adjacent GCDs.
+
+    Stripes over all ganged links: ~37.5/74.9/145.5 GB/s for 1/2/4 links.
+    """
+    topo = topology if topology is not None else twisted_ladder()
+    link = _pair_link(topo, src, dst)
+    peak = link.bandwidth_per_direction * CU_KERNEL_EFFICIENCY_BY_WIDTH[link.width]
+    bw = ramp_bandwidth(size_bytes, peak, CU_LAUNCH_LATENCY_S)
+    return PeerTransfer(src, dst, TransferEngine.CU_KERNEL, size_bytes, bw)
+
+
+def sdma_bandwidth(src: int, dst: int, size_bytes: float = 1 << 30,
+                   topology: GcdTopology | None = None) -> PeerTransfer:
+    """Bandwidth of an SDMA transfer between adjacent GCDs.
+
+    The SDMA engine drives a single link only — capped at ~50 GB/s no matter
+    how many links the pair has (the paper's key Figure 5 observation).
+    """
+    topo = topology if topology is not None else twisted_ladder()
+    _pair_link(topo, src, dst)  # validate adjacency
+    single_link = XgmiClass.XGMI3.rate_per_direction
+    peak = single_link * SDMA_EFFICIENCY
+    bw = ramp_bandwidth(size_bytes, peak, SDMA_LATENCY_S)
+    return PeerTransfer(src, dst, TransferEngine.SDMA, size_bytes, bw)
+
+
+def host_to_gcd_bandwidth(size_bytes: float = 1 << 30) -> float:
+    """Single-core host->GCD copy bandwidth (bytes/s): ~25.5 GB/s sustained."""
+    peak = XgmiClass.XGMI2.rate_per_direction * SINGLE_CORE_XGMI2_EFFICIENCY
+    return ramp_bandwidth(size_bytes, peak, HOST_LATENCY_S)
+
+
+def aggregate_host_to_gcd_bandwidth(n_ranks: int = 8,
+                                    size_bytes: float = 1 << 30,
+                                    cpu: TrentoCpu | None = None,
+                                    nps: NpsMode | None = None) -> float:
+    """Aggregate bandwidth of ``n_ranks`` concurrent host->GCD copies (Fig. 4).
+
+    Each rank is limited by its own xGMI-2 pipe; the sum is limited by what
+    the DDR subsystem can source (~180 GB/s non-temporal in NPS-4), which is
+    why eight ranks plateau near the STREAM rate rather than 8 x 36 GB/s.
+    """
+    if n_ranks <= 0:
+        raise ConfigurationError("need at least one rank")
+    cpu = cpu if cpu is not None else TrentoCpu()
+    per_rank = host_to_gcd_bandwidth(size_bytes)
+    dram_limit = CpuStreamModel(cpu).sustained_nt_bandwidth(nps)
+    return min(n_ranks * per_rank, dram_limit)
+
+
+def figure4_series(sizes: list[int] | None = None,
+                   n_ranks: int = 8) -> list[tuple[int, float]]:
+    """(message size, aggregate GB/s) series for Figure 4."""
+    if sizes is None:
+        sizes = [1 << k for k in range(12, 31, 2)]  # 4 KiB .. 1 GiB
+    return [(s, aggregate_host_to_gcd_bandwidth(n_ranks, s) / 1e9) for s in sizes]
+
+
+def figure5_series(engine: TransferEngine,
+                   sizes: list[int] | None = None,
+                   topology: GcdTopology | None = None
+                   ) -> dict[int, list[tuple[int, float]]]:
+    """Figure 5 series: per gang-width, (size, GB/s) for the chosen engine."""
+    topo = topology if topology is not None else twisted_ladder()
+    if sizes is None:
+        sizes = [1 << k for k in range(12, 31, 2)]
+    out: dict[int, list[tuple[int, float]]] = {}
+    for width, pairs in sorted(topo.pairs_by_width().items()):
+        src, dst = pairs[0]
+        series = []
+        for s in sizes:
+            if engine is TransferEngine.CU_KERNEL:
+                bw = cu_kernel_bandwidth(src, dst, s, topo).bandwidth
+            else:
+                bw = sdma_bandwidth(src, dst, s, topo).bandwidth
+            series.append((s, bw / 1e9))
+        out[width] = series
+    return out

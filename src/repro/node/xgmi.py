@@ -1,0 +1,171 @@
+"""InfinityFabric (xGMI) links and the 8-GCD twisted-ladder topology.
+
+The Bard Peak node connects its eight GCDs anisotropically (paper Figure 2):
+
+* the two GCDs inside each OAM package share **four** xGMI-3 links
+  (200+200 GB/s),
+* each GCD has **two** xGMI-3 links "north/south" to the corresponding GCD
+  of the opposite-rail OAM (100+100 GB/s),
+* and **single** xGMI-3 links "east/west" close the twisted ladder
+  (50+50 GB/s).
+
+Each GCD additionally has one xGMI-2 link (36+36 GB/s) to its paired CCD on
+the Trento CPU, and each OAM package hosts one Slingshot NIC.
+
+The exact pairing below matches the published Bard Peak / LUMI-G node
+diagrams: every GCD ends up with one 4-link, one 2-link, and two 1-link
+neighbours — eight xGMI-3 ports per GCD, 32 links total.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, TopologyError
+
+__all__ = ["XgmiClass", "XgmiLink", "GcdTopology", "twisted_ladder"]
+
+
+class XgmiClass(enum.Enum):
+    """Link generations used in the node, with per-direction rates."""
+
+    XGMI2 = ("xGMI-2", 36e9)   # CPU <-> GCD, "36+36 GB/s"
+    XGMI3 = ("xGMI-3", 50e9)   # GCD <-> GCD, "50+50 GB/s"
+
+    def __init__(self, label: str, rate_per_direction: float):
+        self.label = label
+        self.rate_per_direction = rate_per_direction
+
+
+@dataclass(frozen=True)
+class XgmiLink:
+    """An aggregated xGMI connection between two GCDs (or CPU and GCD).
+
+    ``width`` is the number of physical links ganged together; the usable
+    rate in each direction is ``width * link_class.rate_per_direction``.
+    """
+
+    a: int
+    b: int
+    width: int
+    link_class: XgmiClass = XgmiClass.XGMI3
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise TopologyError("xGMI link endpoints must differ")
+        if self.width not in (1, 2, 4):
+            raise ConfigurationError(f"xGMI gang width must be 1, 2 or 4, not {self.width}")
+
+    @property
+    def bandwidth_per_direction(self) -> float:
+        return self.width * self.link_class.rate_per_direction
+
+    @property
+    def endpoints(self) -> frozenset[int]:
+        return frozenset((self.a, self.b))
+
+
+# The Bard Peak GCD-to-GCD edge list: (gcd_a, gcd_b, ganged link count).
+_TWISTED_LADDER_EDGES: tuple[tuple[int, int, int], ...] = (
+    # four links inside each OAM package ("north/south", 200+200 GB/s)
+    (0, 1, 4), (2, 3, 4), (4, 5, 4), (6, 7, 4),
+    # two links between GCDs of OAM pairs across the board (100+100 GB/s)
+    (0, 4, 2), (1, 5, 2), (2, 6, 2), (3, 7, 2),
+    # single east/west links closing the twisted ladder (50+50 GB/s)
+    (0, 2, 1), (1, 3, 1), (4, 6, 1), (5, 7, 1),
+    (0, 6, 1), (1, 7, 1), (2, 4, 1), (3, 5, 1),
+)
+
+
+@dataclass
+class GcdTopology:
+    """The intra-node GCD interconnect graph."""
+
+    n_gcds: int = 8
+    links: list[XgmiLink] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        seen: set[frozenset[int]] = set()
+        for link in self.links:
+            if not (0 <= link.a < self.n_gcds and 0 <= link.b < self.n_gcds):
+                raise TopologyError(f"link {link} references unknown GCD")
+            if link.endpoints in seen:
+                raise TopologyError(f"duplicate link between {link.a} and {link.b}")
+            seen.add(link.endpoints)
+        self._by_pair = {l.endpoints: l for l in self.links}
+
+    def link_between(self, a: int, b: int) -> XgmiLink | None:
+        """The direct link between two GCDs, or None if not adjacent."""
+        return self._by_pair.get(frozenset((a, b)))
+
+    def width_between(self, a: int, b: int) -> int:
+        """Ganged link count between adjacent GCDs (0 if not adjacent)."""
+        link = self.link_between(a, b)
+        return link.width if link else 0
+
+    def neighbors(self, gcd: int) -> list[int]:
+        out = []
+        for link in self.links:
+            if gcd in link.endpoints:
+                (other,) = link.endpoints - {gcd}
+                out.append(other)
+        return sorted(out)
+
+    def degree_links(self, gcd: int) -> int:
+        """Total physical xGMI-3 links attached to one GCD (8 on Bard Peak)."""
+        return sum(l.width for l in self.links if gcd in l.endpoints)
+
+    def pairs_by_width(self) -> dict[int, list[tuple[int, int]]]:
+        """Adjacent GCD pairs grouped by gang width — Figure 5's categories."""
+        out: dict[int, list[tuple[int, int]]] = {}
+        for link in self.links:
+            a, b = sorted(link.endpoints)
+            out.setdefault(link.width, []).append((a, b))
+        for pairs in out.values():
+            pairs.sort()
+        return out
+
+    def shortest_hop_count(self, a: int, b: int) -> int:
+        """Minimum number of xGMI hops between two GCDs (BFS)."""
+        if a == b:
+            return 0
+        frontier, visited, hops = {a}, {a}, 0
+        while frontier:
+            hops += 1
+            nxt = set()
+            for g in frontier:
+                for n in self.neighbors(g):
+                    if n == b:
+                        return hops
+                    if n not in visited:
+                        visited.add(n)
+                        nxt.add(n)
+            frontier = nxt
+        raise TopologyError(f"GCDs {a} and {b} are disconnected")
+
+    def is_fully_connected(self) -> bool:
+        try:
+            return all(self.shortest_hop_count(0, g) >= 0 for g in range(1, self.n_gcds))
+        except TopologyError:
+            return False
+
+    def bisection_bandwidth(self) -> float:
+        """Best-case bisection (bytes/s per direction) over all balanced cuts."""
+        best = float("inf")
+        gcds = range(self.n_gcds)
+        for half in itertools.combinations(gcds, self.n_gcds // 2):
+            half_set = set(half)
+            if 0 not in half_set:
+                continue  # avoid mirrored duplicates
+            cut = sum(l.bandwidth_per_direction for l in self.links
+                      if len(l.endpoints & half_set) == 1)
+            best = min(best, cut)
+        return best
+
+
+def twisted_ladder() -> GcdTopology:
+    """Build the Bard Peak twisted-ladder GCD topology (Figure 2)."""
+    links = [XgmiLink(a, b, w) for a, b, w in _TWISTED_LADDER_EDGES]
+    return GcdTopology(n_gcds=8, links=links)

@@ -1,0 +1,15 @@
+"""Power and energy-efficiency models (paper §5.1).
+
+* :mod:`repro.power.model` — component power inventory rolling up to the
+  21.1 MW HPL figure.
+* :mod:`repro.power.efficiency` — GF/W, MW/EF, and the 2008 exascale
+  report's targets (50 GF/W, 20 MW/EF) plus the straw-man comparison.
+"""
+
+from repro.power.model import PowerComponent, FrontierPowerModel
+from repro.power.efficiency import EfficiencyScorecard, green500_entry
+from repro.power.energy import EnergyComparison, energy_gain, suite_energy_table
+
+__all__ = ["PowerComponent", "FrontierPowerModel",
+           "EfficiencyScorecard", "green500_entry",
+           "EnergyComparison", "energy_gain", "suite_energy_table"]

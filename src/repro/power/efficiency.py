@@ -1,0 +1,63 @@
+"""Energy-efficiency scorecard vs the 2008 exascale report (paper §5.1).
+
+The DARPA report demanded <= 20 MW per exaflop (so power cost over the
+machine's life does not exceed its purchase price) and held 50 GF/W as the
+aspirational efficiency; its straw-man designs projected 68-155 MW/EF.
+Frontier debuted #1 on both TOP500 and Green500 — unprecedented — at
+52 GF/W and ~19 MW/EF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power.model import FrontierPowerModel
+
+__all__ = ["EfficiencyScorecard", "green500_entry", "REPORT_TARGET_MW_PER_EF",
+           "REPORT_TARGET_GF_PER_W", "REPORT_STRAWMAN_MW_PER_EF"]
+
+REPORT_TARGET_MW_PER_EF = 20.0
+REPORT_TARGET_GF_PER_W = 50.0
+#: The 2008 report's bottom-up straw-man projections.
+REPORT_STRAWMAN_MW_PER_EF = (68.0, 155.0)
+
+
+@dataclass(frozen=True)
+class EfficiencyScorecard:
+    """Pass/fail of the energy-and-power challenge."""
+
+    gflops_per_watt: float
+    mw_per_exaflop: float
+
+    @property
+    def meets_power_target(self) -> bool:
+        return self.mw_per_exaflop <= REPORT_TARGET_MW_PER_EF
+
+    @property
+    def meets_efficiency_target(self) -> bool:
+        return self.gflops_per_watt >= REPORT_TARGET_GF_PER_W
+
+    @property
+    def improvement_over_strawman(self) -> tuple[float, float]:
+        """How many times better than the report's straw-man range."""
+        lo, hi = REPORT_STRAWMAN_MW_PER_EF
+        return lo / self.mw_per_exaflop, hi / self.mw_per_exaflop
+
+    @classmethod
+    def from_model(cls, model: FrontierPowerModel | None = None
+                   ) -> "EfficiencyScorecard":
+        m = model if model is not None else FrontierPowerModel()
+        return cls(gflops_per_watt=m.gflops_per_watt,
+                   mw_per_exaflop=m.mw_per_exaflop)
+
+
+def green500_entry(model: FrontierPowerModel | None = None) -> dict[str, float]:
+    """The June 2022 list entry this model reproduces."""
+    m = model if model is not None else FrontierPowerModel()
+    return {
+        "rmax_EF": m.hpl_rmax_flops / 1e18,
+        "power_MW": m.hpl_power / 1e6,
+        "gflops_per_watt": m.gflops_per_watt,
+        "top500_rank": 1.0,
+        "green500_rank": 1.0,
+    }

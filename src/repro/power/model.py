@@ -1,0 +1,107 @@
+"""Component power inventory (paper §5.1).
+
+Frontier's June 2022 HPL run drew **21.1 MW for 1.102 EF**, i.e. ~52 GF/W —
+first on both TOP500 and Green500.  The inventory below decomposes that
+draw into plausible per-component averages under HPL load (note these are
+*sustained under HPL*, not TDPs: an MI250X can burst well above its HPL
+average) plus fabric, storage, and facility overheads.  Idle figures feed
+the energy model for partially-loaded scenarios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import EXA
+
+__all__ = ["PowerComponent", "FrontierPowerModel"]
+
+
+@dataclass(frozen=True)
+class PowerComponent:
+    """A counted component with load/idle power draws."""
+
+    name: str
+    count: int
+    watts_load: float
+    watts_idle: float
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.watts_load < 0 or self.watts_idle < 0:
+            raise ConfigurationError(f"negative power inventory entry: {self.name}")
+        if self.watts_idle > self.watts_load:
+            raise ConfigurationError(f"{self.name}: idle draw exceeds load draw")
+
+    def power(self, utilisation: float = 1.0) -> float:
+        """Linear idle-to-load interpolation (adequate at system scale)."""
+        if not 0.0 <= utilisation <= 1.0:
+            raise ConfigurationError("utilisation must be in [0,1]")
+        return self.count * (self.watts_idle
+                             + utilisation * (self.watts_load - self.watts_idle))
+
+
+def _default_inventory(nodes: int = 9472) -> list[PowerComponent]:
+    switches = 74 * 32 + 6 * 16  # compute + service groups
+    return [
+        PowerComponent("MI250X OAM", nodes * 4, watts_load=400.0, watts_idle=90.0),
+        PowerComponent("Trento CPU", nodes, watts_load=225.0, watts_idle=65.0),
+        PowerComponent("DDR4 DIMM", nodes * 8, watts_load=7.5, watts_idle=3.0),
+        PowerComponent("Cassini NIC", nodes * 4, watts_load=25.0, watts_idle=15.0),
+        PowerComponent("Node NVMe", nodes * 2, watts_load=8.0, watts_idle=2.0),
+        PowerComponent("Node overhead (VRM, blade)", nodes,
+                       watts_load=39.0, watts_idle=25.0),
+        PowerComponent("Slingshot switch", switches, watts_load=220.0,
+                       watts_idle=160.0),
+        PowerComponent("Optical bundles", 74 * 79, watts_load=35.0, watts_idle=35.0),
+        PowerComponent("Orion SSU", 225, watts_load=2000.0, watts_idle=1200.0),
+        PowerComponent("Orion MDS", 40, watts_load=800.0, watts_idle=500.0),
+        PowerComponent("Management/service nodes", 36, watts_load=600.0,
+                       watts_idle=400.0),
+        PowerComponent("Cooling pumps (CDUs)", 1, watts_load=400_000.0,
+                       watts_idle=250_000.0),
+    ]
+
+
+@dataclass
+class FrontierPowerModel:
+    """System power roll-up."""
+
+    components: list[PowerComponent] = field(default_factory=_default_inventory)
+    hpl_rmax_flops: float = 1.102 * EXA
+    peak_rpeak_flops: float = 1.685 * EXA
+
+    def total_power(self, utilisation: float = 1.0) -> float:
+        return sum(c.power(utilisation) for c in self.components)
+
+    @property
+    def hpl_power(self) -> float:
+        """~21.1 MW during the TOP500 run."""
+        return self.total_power(1.0)
+
+    @property
+    def gflops_per_watt(self) -> float:
+        """~52 GF/W — the Green500-topping figure."""
+        return self.hpl_rmax_flops / 1e9 / self.hpl_power
+
+    @property
+    def mw_per_exaflop(self) -> float:
+        """~19 MW/EF, under the report's 20 MW/EF line."""
+        return (self.hpl_power / 1e6) / (self.hpl_rmax_flops / EXA)
+
+    def breakdown(self, utilisation: float = 1.0) -> dict[str, float]:
+        """Per-component share of total power (fractions sum to 1)."""
+        total = self.total_power(utilisation)
+        return {c.name: c.power(utilisation) / total for c in self.components}
+
+    def compute_fraction(self, utilisation: float = 1.0) -> float:
+        """Fraction of power drawn by CPUs+GPUs (vs memory, fabric, I/O)."""
+        compute = sum(c.power(utilisation) for c in self.components
+                      if c.name in ("MI250X OAM", "Trento CPU"))
+        return compute / self.total_power(utilisation)
+
+    def energy_for_run(self, seconds: float, utilisation: float = 1.0) -> float:
+        """Joules consumed by a run at the given utilisation."""
+        if seconds < 0:
+            raise ConfigurationError("run length must be non-negative")
+        return self.total_power(utilisation) * seconds

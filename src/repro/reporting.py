@@ -1,0 +1,110 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+The benchmark targets regenerate the paper's tables as monospace text so the
+output can be diffed against the published rows.  This module provides a small
+formatter with column alignment, captions, and paper-vs-measured comparison
+rows; no third-party table package is used so output is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["Table", "ComparisonRow", "comparison_table", "render_kv"]
+
+
+@dataclass
+class Table:
+    """A simple monospace table.
+
+    >>> t = Table(["Function", "MB/s"], title="STREAM")
+    >>> t.add_row(["Copy", 176780.4])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    columns: Sequence[str]
+    title: str = ""
+    rows: list[list[Any]] = field(default_factory=list)
+    float_fmt: str = "{:.1f}"
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        row = list(row)
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(row)
+
+    def _cell(self, value: Any) -> str:
+        if isinstance(value, float):
+            return self.float_fmt.format(value)
+        return str(value)
+
+    def render(self) -> str:
+        header = [str(c) for c in self.columns]
+        body = [[self._cell(v) for v in row] for row in self.rows]
+        widths = [len(h) for h in header]
+        for row in body:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return " | ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * max(len(self.title), len(sep)))
+        lines.append(fmt_line(header))
+        lines.append(sep)
+        lines.extend(fmt_line(row) for row in body)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One paper-vs-measured comparison entry."""
+
+    name: str
+    paper: float
+    measured: float
+    units: str = ""
+
+    @property
+    def ratio(self) -> float:
+        """measured / paper; 1.0 is a perfect match."""
+        if self.paper == 0:
+            return float("inf") if self.measured else 1.0
+        return self.measured / self.paper
+
+    def within(self, rel_tol: float) -> bool:
+        """True if measured is within ``rel_tol`` relative error of the paper value."""
+        if self.paper == 0:
+            return self.measured == 0
+        return abs(self.measured - self.paper) <= rel_tol * abs(self.paper)
+
+
+def comparison_table(rows: Iterable[ComparisonRow], title: str = "") -> Table:
+    """Render paper-vs-measured rows with a ratio column."""
+    t = Table(["Quantity", "Paper", "Measured", "Ratio", "Units"], title=title,
+              float_fmt="{:.4g}")
+    for r in rows:
+        t.add_row([r.name, r.paper, r.measured, r.ratio, r.units])
+    return t
+
+
+def render_kv(pairs: dict[str, Any], title: str = "") -> str:
+    """Render a key/value block (used for spec sheets like Table 1)."""
+    width = max((len(k) for k in pairs), default=0)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for k, v in pairs.items():
+        lines.append(f"{k.ljust(width)} : {v}")
+    return "\n".join(lines)

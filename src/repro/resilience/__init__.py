@@ -1,0 +1,27 @@
+"""Resiliency models (paper §5.4).
+
+* :mod:`repro.resilience.fit` — the component FIT-rate inventory with
+  memory (HBM) and power supplies as the leading contributors.
+* :mod:`repro.resilience.mtti` — analytic and Monte-Carlo Mean Time To
+  Interrupt, plus job-interrupt probabilities.
+* :mod:`repro.resilience.checkpoint` — Young/Daly optimal checkpoint
+  intervals tied to the storage models.
+"""
+
+from repro.resilience.fit import FitEntry, FitInventory, frontier_fit_inventory
+from repro.resilience.mtti import MttiModel, monte_carlo_mtti
+from repro.resilience.checkpoint import (
+    daly_optimal_interval,
+    young_optimal_interval,
+    checkpoint_efficiency,
+    CheckpointPlan,
+)
+from repro.resilience.blast_radius import BlastRadius, FailureDomainModel
+
+__all__ = [
+    "FitEntry", "FitInventory", "frontier_fit_inventory",
+    "MttiModel", "monte_carlo_mtti",
+    "daly_optimal_interval", "young_optimal_interval",
+    "checkpoint_efficiency", "CheckpointPlan",
+    "BlastRadius", "FailureDomainModel",
+]

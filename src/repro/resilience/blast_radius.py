@@ -1,0 +1,115 @@
+"""Failure blast radius — how many nodes one component failure takes out.
+
+§5.4 names power supplies as a leading interrupt source; a rectifier does
+not serve one node, so its failure has a *blast radius*.  This module maps
+component classes to the node sets they take down and computes, for a job
+placement, the expected number of job interrupts per hour — connecting the
+FIT inventory (:mod:`repro.resilience.fit`) to the scheduler's placement
+choices (:mod:`repro.scheduler.placement`).
+
+Radii follow the architecture: HBM/GCD/NIC/DIMM failures kill one node;
+a power supply serves a 2-node pair; a blade-switch failure drops the 16
+endpoints (4 nodes) behind it; losing a whole group's power train is the
+128-node worst case used for what-ifs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.resilience.fit import FitInventory, frontier_fit_inventory
+
+__all__ = ["BlastRadius", "FailureDomainModel"]
+
+#: Component-class name -> nodes taken out per failure.
+DEFAULT_RADII = {
+    "HBM2e stack (uncorrectable)": 1,
+    "DDR4 DIMM (uncorrectable)": 1,
+    "GCD (non-memory)": 1,
+    "Trento CPU": 1,
+    "Cassini NIC": 1,
+    "Node NVMe": 1,
+    "Power supply / rectifier": 2,
+    "Slingshot switch": 4,
+    "Orion drive (service-visible)": 0,   # dRAID absorbs single drives
+}
+
+NODES_PER_SWITCH = 4      # 16 endpoints / 4 NICs per node
+NODES_PER_PSU = 2
+
+
+@dataclass(frozen=True)
+class BlastRadius:
+    """One component class's failure footprint."""
+
+    component: str
+    nodes_lost: int
+    failures_per_hour: float
+
+    @property
+    def node_hours_lost_per_hour(self) -> float:
+        return self.nodes_lost * self.failures_per_hour
+
+
+class FailureDomainModel:
+    """Blast-radius-aware interrupt analysis."""
+
+    def __init__(self, inventory: FitInventory | None = None,
+                 radii: dict[str, int] | None = None,
+                 total_nodes: int = 9472):
+        self.inventory = (inventory if inventory is not None
+                          else frontier_fit_inventory())
+        self.radii = dict(DEFAULT_RADII if radii is None else radii)
+        self.total_nodes = total_nodes
+        for entry in self.inventory.entries:
+            if entry.name not in self.radii:
+                raise ConfigurationError(
+                    f"no blast radius defined for {entry.name!r}")
+
+    def blast_radii(self) -> list[BlastRadius]:
+        return [BlastRadius(component=e.name,
+                            nodes_lost=self.radii[e.name],
+                            failures_per_hour=e.failures_per_hour)
+                for e in self.inventory.entries]
+
+    def expected_nodes_lost_per_hour(self) -> float:
+        """Node-hours of compute lost to failures, per machine-hour."""
+        return sum(b.node_hours_lost_per_hour for b in self.blast_radii())
+
+    def job_interrupt_rate(self, job_nodes: int) -> float:
+        """Interrupts/hour for a job on ``job_nodes`` random nodes.
+
+        A failure with radius r interrupts the job unless *none* of the r
+        victims belong to it; for r << N this is ~ r * job/N per failure.
+        """
+        if not 0 < job_nodes <= self.total_nodes:
+            raise ConfigurationError("job size out of range")
+        frac = job_nodes / self.total_nodes
+        rate = 0.0
+        for b in self.blast_radii():
+            if b.nodes_lost == 0:
+                continue
+            p_hit = 1.0 - (1.0 - frac) ** b.nodes_lost
+            rate += b.failures_per_hour * p_hit
+        return rate
+
+    def job_mtti_hours(self, job_nodes: int) -> float:
+        rate = self.job_interrupt_rate(job_nodes)
+        return float("inf") if rate == 0 else 1.0 / rate
+
+    def dominant_blast_source(self) -> str:
+        """Which component class costs the most node-hours."""
+        return max(self.blast_radii(),
+                   key=lambda b: b.node_hours_lost_per_hour).component
+
+    def what_if_radius(self, component: str, nodes_lost: int
+                       ) -> "FailureDomainModel":
+        """A copy with one radius changed (e.g. HPE's PSU mitigation)."""
+        if nodes_lost < 0:
+            raise ConfigurationError("radius must be non-negative")
+        radii = dict(self.radii)
+        if component not in radii:
+            raise ConfigurationError(f"unknown component {component!r}")
+        radii[component] = nodes_lost
+        return FailureDomainModel(self.inventory, radii, self.total_nodes)

@@ -1,0 +1,101 @@
+"""Optimal checkpointing under the measured MTTI (extension of §5.4).
+
+With an MTTI of a few hours, large jobs must checkpoint; the storage
+subsystem (§4.3) is sized so that doing so costs a few percent of
+walltime.  This module ties the two together:
+
+* Young's first-order optimum: ``tau = sqrt(2 * delta * M)``;
+* Daly's higher-order refinement (better when ``delta`` is not << M);
+* :class:`CheckpointPlan` — a concrete plan for a job, with expected
+  efficiency (fraction of walltime doing useful work) including rework
+  after failures and restart cost.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["young_optimal_interval", "daly_optimal_interval",
+           "checkpoint_efficiency", "CheckpointPlan"]
+
+
+def _validate(delta: float, mtti: float) -> None:
+    if delta <= 0:
+        raise ConfigurationError("checkpoint cost must be positive")
+    if mtti <= 0:
+        raise ConfigurationError("MTTI must be positive")
+
+
+def young_optimal_interval(delta_s: float, mtti_s: float) -> float:
+    """Young's approximation: ``sqrt(2 * delta * MTTI)`` (compute time
+    between checkpoints, excluding the checkpoint itself)."""
+    _validate(delta_s, mtti_s)
+    return math.sqrt(2.0 * delta_s * mtti_s)
+
+
+def daly_optimal_interval(delta_s: float, mtti_s: float) -> float:
+    """Daly's refinement of Young's formula.
+
+    ``tau = sqrt(2 delta M) [1 + 1/3 sqrt(delta/2M) + (delta/2M)/9] - delta``
+    for delta < 2M, else ``tau = M`` (checkpointing cannot keep up).
+    """
+    _validate(delta_s, mtti_s)
+    if delta_s >= 2.0 * mtti_s:
+        return mtti_s
+    x = delta_s / (2.0 * mtti_s)
+    return (math.sqrt(2.0 * delta_s * mtti_s)
+            * (1.0 + math.sqrt(x) / 3.0 + x / 9.0) - delta_s)
+
+
+def checkpoint_efficiency(interval_s: float, delta_s: float, mtti_s: float,
+                          restart_s: float = 0.0) -> float:
+    """Expected useful-work fraction for a given checkpoint interval.
+
+    First-order model: each period of ``interval + delta`` seconds yields
+    ``interval`` of work; failures (rate 1/MTTI) each cost on average half
+    a period of rework plus the restart time.
+    """
+    _validate(delta_s, mtti_s)
+    if interval_s <= 0:
+        raise ConfigurationError("interval must be positive")
+    if restart_s < 0:
+        raise ConfigurationError("restart cost must be non-negative")
+    period = interval_s + delta_s
+    overhead = delta_s / period
+    failure_loss = (period / 2.0 + restart_s) / mtti_s
+    eff = (1.0 - overhead) * (1.0 - min(1.0, failure_loss))
+    return max(0.0, eff)
+
+
+@dataclass(frozen=True)
+class CheckpointPlan:
+    """A resolved plan for one job."""
+
+    checkpoint_cost_s: float
+    mtti_s: float
+    restart_s: float = 600.0
+
+    @property
+    def young_interval_s(self) -> float:
+        return young_optimal_interval(self.checkpoint_cost_s, self.mtti_s)
+
+    @property
+    def daly_interval_s(self) -> float:
+        return daly_optimal_interval(self.checkpoint_cost_s, self.mtti_s)
+
+    @property
+    def efficiency_at_optimum(self) -> float:
+        return checkpoint_efficiency(self.daly_interval_s,
+                                     self.checkpoint_cost_s, self.mtti_s,
+                                     self.restart_s)
+
+    def efficiency_at(self, interval_s: float) -> float:
+        return checkpoint_efficiency(interval_s, self.checkpoint_cost_s,
+                                     self.mtti_s, self.restart_s)
+
+    def optimum_beats(self, interval_s: float) -> bool:
+        """Daly's optimum should (weakly) beat any other interval."""
+        return self.efficiency_at_optimum >= self.efficiency_at(interval_s) - 1e-9

@@ -1,0 +1,19 @@
+"""System software models: Slurm scheduling, placement, VNI isolation (§3.4.2).
+
+* :mod:`repro.scheduler.placement` — topology-aware node selection: pack
+  small jobs into one dragonfly group, spread large jobs over many.
+* :mod:`repro.scheduler.vni` — Slingshot Virtual Network Identifier
+  allocation (per-jobstep traffic isolation).
+* :mod:`repro.scheduler.slurm` — the scheduler itself: exclusive node
+  allocation, checknode health gating, job steps, completion.
+"""
+
+from repro.scheduler.placement import PlacementPolicy, place_job, allocation_stats
+from repro.scheduler.vni import VniAllocator
+from repro.scheduler.slurm import JobRequest, JobState, SlurmScheduler
+
+__all__ = [
+    "PlacementPolicy", "place_job", "allocation_stats",
+    "VniAllocator",
+    "JobRequest", "JobState", "SlurmScheduler",
+]

@@ -1,0 +1,136 @@
+"""Topology-aware job placement (paper §3.4.2).
+
+Slurm on Frontier is dragonfly-aware:
+
+* **small jobs** (fitting one group's 128 nodes) are *packed* tightly into
+  a single group to keep traffic off the tapered global links;
+* **large jobs** are *spread* evenly over as many groups as possible to
+  maximise the number of global links (and hence global bandwidth)
+  reachable by minimal routing.
+
+:func:`place_job` implements both policies plus the AUTO rule that picks
+between them the way the paper describes, and :func:`allocation_stats`
+computes the network consequences (groups spanned, per-node global
+bandwidth available to minimal routing).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import PlacementError
+from repro.fabric.dragonfly import DragonflyConfig
+
+__all__ = ["PlacementPolicy", "place_job", "allocation_stats", "AllocationStats"]
+
+NODES_PER_GROUP = 128  # 32 switches x 16 endpoints / 4 NICs per node
+
+
+class PlacementPolicy(enum.Enum):
+    PACK = "pack"
+    SPREAD = "spread"
+    AUTO = "auto"       # Slurm's behaviour: pack small, spread large
+
+
+def _group_of(node: int, nodes_per_group: int) -> int:
+    return node // nodes_per_group
+
+
+def place_job(n_nodes: int, free_nodes: set[int],
+              policy: PlacementPolicy = PlacementPolicy.AUTO,
+              nodes_per_group: int = NODES_PER_GROUP) -> list[int]:
+    """Choose ``n_nodes`` from ``free_nodes`` according to the policy.
+
+    Returns a sorted node list; raises :class:`PlacementError` when the
+    request cannot be satisfied.
+    """
+    if n_nodes < 1:
+        raise PlacementError("job must request at least one node")
+    if n_nodes > len(free_nodes):
+        raise PlacementError(
+            f"requested {n_nodes} nodes but only {len(free_nodes)} are free")
+    if policy is PlacementPolicy.AUTO:
+        policy = (PlacementPolicy.PACK if n_nodes <= nodes_per_group
+                  else PlacementPolicy.SPREAD)
+
+    by_group: dict[int, list[int]] = {}
+    for node in free_nodes:
+        by_group.setdefault(_group_of(node, nodes_per_group), []).append(node)
+    for nodes in by_group.values():
+        nodes.sort()
+
+    if policy is PlacementPolicy.PACK:
+        # Fill the emptiest-sufficient groups first: prefer a single group
+        # that can hold the whole job, else fill fullest-free-first to
+        # minimise the number of groups spanned.
+        chosen: list[int] = []
+        groups = sorted(by_group.values(), key=len, reverse=True)
+        single = [g for g in groups if len(g) >= n_nodes]
+        if single:
+            # tightest fit: smallest group that still fits
+            best = min(single, key=len)
+            return sorted(best[:n_nodes])
+        for nodes in groups:
+            take = min(len(nodes), n_nodes - len(chosen))
+            chosen.extend(nodes[:take])
+            if len(chosen) == n_nodes:
+                return sorted(chosen)
+        raise PlacementError("internal: insufficient nodes after grouping")
+
+    # SPREAD: round-robin one node at a time from every group with capacity.
+    chosen = []
+    cursors = {g: 0 for g in by_group}
+    while len(chosen) < n_nodes:
+        progressed = False
+        for g in sorted(by_group):
+            if len(chosen) == n_nodes:
+                break
+            nodes = by_group[g]
+            if cursors[g] < len(nodes):
+                chosen.append(nodes[cursors[g]])
+                cursors[g] += 1
+                progressed = True
+        if not progressed:
+            raise PlacementError("internal: spread placement stalled")
+    return sorted(chosen)
+
+
+@dataclass(frozen=True)
+class AllocationStats:
+    """Network-facing properties of a node allocation."""
+
+    n_nodes: int
+    groups_spanned: int
+    max_nodes_in_group: int
+    intra_group_fraction: float        # of all node pairs
+    global_bandwidth_per_node: float   # bytes/s reachable by minimal routing
+
+    @property
+    def is_single_group(self) -> bool:
+        return self.groups_spanned == 1
+
+
+def allocation_stats(nodes: list[int], config: DragonflyConfig | None = None,
+                     nodes_per_group: int = NODES_PER_GROUP) -> AllocationStats:
+    """Compute the placement quality metrics the paper's policy optimises."""
+    if not nodes:
+        raise PlacementError("empty allocation")
+    cfg = config if config is not None else DragonflyConfig()
+    counts = Counter(_group_of(n, nodes_per_group) for n in nodes)
+    n = len(nodes)
+    groups = len(counts)
+    # Fraction of distinct node pairs landing in the same group.
+    same = sum(c * (c - 1) for c in counts.values())
+    intra = same / (n * (n - 1)) if n > 1 else 1.0
+    # Global links usable by minimal routing: links between the job's own
+    # groups, plus links toward the rest of the fabric for non-minimal use
+    # are not counted here (that is the point of spreading).
+    link = cfg.link_rate * cfg.global_links_per_pair
+    usable = groups * (groups - 1) // 2 * link
+    per_node = usable * 2 / n if n > 0 else 0.0  # both directions of each pair
+    return AllocationStats(n_nodes=n, groups_spanned=groups,
+                           max_nodes_in_group=max(counts.values()),
+                           intra_group_fraction=intra,
+                           global_bandwidth_per_node=per_node)

@@ -1,0 +1,222 @@
+"""A Slurm-like scheduler for the simulated machine (paper §3.4.2).
+
+Behaviours modeled from the paper:
+
+* compute nodes are scheduled **exclusively** to a single job at a time;
+* at boot and between every job a *checknode* health script gates the
+  node: unhealthy nodes are drained instead of returning to service;
+* jobs are placed topology-aware (:mod:`repro.scheduler.placement`);
+* every job step receives a unique Slingshot VNI
+  (:mod:`repro.scheduler.vni`).
+
+The scheduler runs in simulated time: ``submit`` queues jobs, ``step`` /
+``run_until_idle`` advance the clock to job completions, applying FIFO
+order with conservative backfill (a later job may start early only if it
+fits the currently free nodes).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import PlacementError, SchedulerError
+from repro.scheduler.placement import NODES_PER_GROUP, PlacementPolicy, place_job
+from repro.scheduler.vni import VniAllocator
+
+__all__ = ["JobState", "JobRequest", "Job", "SlurmScheduler"]
+
+
+class JobState(enum.Enum):
+    PENDING = "PD"
+    RUNNING = "R"
+    COMPLETED = "CD"
+    CANCELLED = "CA"
+
+
+class NodeState(enum.Enum):
+    IDLE = "idle"
+    ALLOCATED = "alloc"
+    DRAIN = "drain"
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """What a user asks for."""
+
+    n_nodes: int
+    duration_s: float
+    name: str = "job"
+    policy: PlacementPolicy = PlacementPolicy.AUTO
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise SchedulerError("job must request at least one node")
+        if self.duration_s <= 0:
+            raise SchedulerError("job duration must be positive")
+
+
+@dataclass
+class Job:
+    """A job known to the scheduler."""
+
+    job_id: int
+    request: JobRequest
+    state: JobState = JobState.PENDING
+    nodes: list[int] = field(default_factory=list)
+    start_time: float | None = None
+    end_time: float | None = None
+    step_vnis: list[int] = field(default_factory=list)
+
+
+class SlurmScheduler:
+    """Exclusive, topology-aware, health-gated scheduler."""
+
+    def __init__(self, n_nodes: int = 9472,
+                 nodes_per_group: int = NODES_PER_GROUP,
+                 checknode: Callable[[int], bool] | None = None):
+        if n_nodes < 1:
+            raise SchedulerError("machine needs at least one node")
+        self.n_nodes = n_nodes
+        self.nodes_per_group = nodes_per_group
+        self.checknode = checknode if checknode is not None else (lambda node: True)
+        self.now = 0.0
+        self._node_state: dict[int, NodeState] = {}
+        for node in range(n_nodes):
+            healthy = self.checknode(node)
+            self._node_state[node] = NodeState.IDLE if healthy else NodeState.DRAIN
+        self._jobs: dict[int, Job] = {}
+        self._queue: list[int] = []
+        self._running: list[tuple[float, int]] = []   # (end_time, job_id) heap
+        self._ids = itertools.count(1)
+        self.vni = VniAllocator()
+
+    # -- node accounting ---------------------------------------------------
+
+    def node_state(self, node: int) -> NodeState:
+        try:
+            return self._node_state[node]
+        except KeyError:
+            raise SchedulerError(f"unknown node {node}") from None
+
+    @property
+    def free_nodes(self) -> set[int]:
+        return {n for n, s in self._node_state.items() if s is NodeState.IDLE}
+
+    @property
+    def drained_nodes(self) -> set[int]:
+        return {n for n, s in self._node_state.items() if s is NodeState.DRAIN}
+
+    def drain(self, node: int) -> None:
+        if self.node_state(node) is NodeState.ALLOCATED:
+            raise SchedulerError(f"cannot drain allocated node {node}")
+        self._node_state[node] = NodeState.DRAIN
+
+    def resume(self, node: int) -> None:
+        """Return a drained node to service — via checknode, like real life."""
+        if self.node_state(node) is not NodeState.DRAIN:
+            raise SchedulerError(f"node {node} is not drained")
+        if self.checknode(node):
+            self._node_state[node] = NodeState.IDLE
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def submit(self, request: JobRequest) -> int:
+        if request.n_nodes > self.n_nodes:
+            raise SchedulerError(
+                f"job wants {request.n_nodes} nodes; machine has {self.n_nodes}")
+        job_id = next(self._ids)
+        self._jobs[job_id] = Job(job_id=job_id, request=request)
+        self._queue.append(job_id)
+        self._try_start()
+        return job_id
+
+    def job(self, job_id: int) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise SchedulerError(f"unknown job {job_id}") from None
+
+    def start_step(self, job_id: int) -> int:
+        """Launch a job step: allocates its isolating VNI."""
+        job = self.job(job_id)
+        if job.state is not JobState.RUNNING:
+            raise SchedulerError(f"job {job_id} is not running")
+        vni = self.vni.allocate(owner=f"{job_id}.{len(job.step_vnis)}")
+        job.step_vnis.append(vni)
+        return vni
+
+    def cancel(self, job_id: int) -> None:
+        job = self.job(job_id)
+        if job.state is JobState.PENDING:
+            self._queue.remove(job_id)
+            job.state = JobState.CANCELLED
+        elif job.state is JobState.RUNNING:
+            self._finish(job, JobState.CANCELLED)
+        else:
+            raise SchedulerError(f"job {job_id} already finished")
+
+    # -- time advancement ------------------------------------------------------
+
+    def step(self) -> float | None:
+        """Advance to the next job completion; returns the new time."""
+        if not self._running:
+            return None
+        end_time, job_id = heapq.heappop(self._running)
+        self.now = max(self.now, end_time)
+        job = self._jobs[job_id]
+        if job.state is JobState.RUNNING:
+            self._finish(job, JobState.COMPLETED)
+        return self.now
+
+    def run_until_idle(self, max_events: int = 1_000_000) -> None:
+        for _ in range(max_events):
+            if self.step() is None:
+                return
+        raise SchedulerError("scheduler did not drain")
+
+    # -- internals ---------------------------------------------------------------
+
+    def _try_start(self) -> None:
+        started = True
+        while started:
+            started = False
+            free = self.free_nodes
+            for job_id in list(self._queue):
+                job = self._jobs[job_id]
+                req = job.request
+                if req.n_nodes > len(free):
+                    # FIFO head-of-line blocks unless a later job fits
+                    continue
+                try:
+                    nodes = place_job(req.n_nodes, free, req.policy,
+                                      self.nodes_per_group)
+                except PlacementError:
+                    continue
+                self._queue.remove(job_id)
+                job.nodes = nodes
+                job.state = JobState.RUNNING
+                job.start_time = self.now
+                job.end_time = self.now + req.duration_s
+                for n in nodes:
+                    self._node_state[n] = NodeState.ALLOCATED
+                free -= set(nodes)
+                heapq.heappush(self._running, (job.end_time, job_id))
+                started = True
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        job.state = state
+        job.end_time = self.now if state is JobState.CANCELLED else job.end_time
+        for vni in job.step_vnis:
+            self.vni.release(vni)
+        job.step_vnis.clear()
+        # checknode gates every node's return to service (between every job).
+        for n in job.nodes:
+            if self.checknode(n):
+                self._node_state[n] = NodeState.IDLE
+            else:
+                self._node_state[n] = NodeState.DRAIN
+        self._try_start()

@@ -1,0 +1,28 @@
+"""Software ecosystem models (paper §3.4).
+
+* :mod:`repro.software.environment` — the programming environment: the two
+  vendor stacks (HPE CPE, AMD ROCm) plus OLCF-managed additions, with the
+  per-compiler programming-model support matrix (§3.4.3).
+* :mod:`repro.software.hpcm` — system management: HPCM leader nodes with
+  CTDB virtual-IP failover, hardware discovery (§3.4.2).
+* :mod:`repro.software.fabric_manager` — the Slingshot Fabric Manager:
+  boots unconfigured switches, sweeps for failures, pushes updated routing
+  tables (§3.4.2) into the router's failed-link avoidance.
+* :mod:`repro.software.dvs` — the DVS caching/forwarding tier for the
+  NFS home and software areas (§3.4.2).
+"""
+
+from repro.software.environment import (Compiler, ProgrammingEnvironment,
+                                        ProgrammingModel, Stack,
+                                        frontier_environment)
+from repro.software.hpcm import HpcmCluster, LeaderNode
+from repro.software.fabric_manager import FabricManager
+from repro.software.dvs import DvsLayer
+
+__all__ = [
+    "Compiler", "ProgrammingEnvironment", "ProgrammingModel", "Stack",
+    "frontier_environment",
+    "HpcmCluster", "LeaderNode",
+    "FabricManager",
+    "DvsLayer",
+]

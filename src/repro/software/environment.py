@@ -1,0 +1,202 @@
+"""The Frontier programming environment (paper §3.4.3).
+
+Two vendor stacks anchor the environment — HPE's Cray Programming
+Environment (CPE) and AMD's ROCm — supplemented by OLCF-managed software
+(gcc with OpenMP offload via Siemens, a DPC++/SYCL pilot via ALCF and
+Codeplay, performance tools...).  The paper's §3.4.3 support matrix is
+encoded here as queryable data:
+
+* C/C++ compilers in both stacks are LLVM-based; Cray Fortran is not;
+  ROCm's Fortran is "classic" Flang and lags on OpenMP;
+* OpenMP offload support covers "most features of 5.0, 5.1 and 5.2";
+* HIP is the CUDA work-alike and the low-level model;
+* neither Frontier vendor commits to OpenACC: Cray Fortran supports only
+  the 2013-era 2.0, gcc supports 2.6 (2.7 planned) — which is why OpenMP
+  overtook OpenACC in application uptake;
+* "hip"-branded libraries are thin compatibility shims over "roc*"
+  backends, mirroring the NVIDIA "cu*" naming.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ProgrammingModel", "Language", "Stack", "Compiler", "Library",
+           "Tool", "ProgrammingEnvironment", "frontier_environment"]
+
+
+class ProgrammingModel(enum.Enum):
+    HIP = "HIP"
+    OPENMP_OFFLOAD = "OpenMP offload"
+    OPENMP_CPU = "OpenMP (CPU)"
+    OPENACC = "OpenACC"
+    SYCL = "SYCL"
+    KOKKOS = "Kokkos"
+    ALPAKA = "Alpaka"
+
+
+class Language(enum.Enum):
+    C = "C"
+    CXX = "C++"
+    FORTRAN = "Fortran"
+
+
+class Stack(enum.Enum):
+    CPE = "HPE Cray Programming Environment"
+    ROCM = "AMD ROCm"
+    OLCF = "OLCF-managed"
+
+
+@dataclass(frozen=True)
+class Compiler:
+    """A compiler with its model-support versions.
+
+    ``supports`` maps a programming model to the highest supported spec
+    version string ("5.2", "2.0"...) or "" for unversioned support.
+    """
+
+    name: str
+    stack: Stack
+    languages: frozenset[Language]
+    llvm_based: bool
+    supports: dict[ProgrammingModel, str] = field(default_factory=dict)
+
+    def supports_model(self, model: ProgrammingModel) -> bool:
+        return model in self.supports
+
+    def openmp_offload_version(self) -> str:
+        return self.supports.get(ProgrammingModel.OPENMP_OFFLOAD, "")
+
+
+@dataclass(frozen=True)
+class Library:
+    """A math/communication library; hip* names shim onto roc* backends."""
+
+    name: str
+    stack: Stack
+    domain: str
+    backend: str = ""       # e.g. hipBLAS -> rocBLAS
+
+    @property
+    def is_compatibility_shim(self) -> bool:
+        return bool(self.backend)
+
+
+@dataclass(frozen=True)
+class Tool:
+    """A debugging or performance tool."""
+
+    name: str
+    stack: Stack
+    purpose: str   # "debugger" | "profiler" | "tracer" | "assistant"
+
+
+@dataclass
+class ProgrammingEnvironment:
+    """The queryable §3.4.3 catalogue."""
+
+    compilers: list[Compiler] = field(default_factory=list)
+    libraries: list[Library] = field(default_factory=list)
+    tools: list[Tool] = field(default_factory=list)
+
+    def compilers_for(self, model: ProgrammingModel) -> list[Compiler]:
+        return [c for c in self.compilers if c.supports_model(model)]
+
+    def compilers_in(self, stack: Stack) -> list[Compiler]:
+        return [c for c in self.compilers if c.stack == stack]
+
+    def compiler(self, name: str) -> Compiler:
+        for c in self.compilers:
+            if c.name == name:
+                return c
+        raise ConfigurationError(f"no compiler named {name!r}")
+
+    def libraries_in(self, domain: str) -> list[Library]:
+        return [l for l in self.libraries if l.domain == domain]
+
+    def tools_for(self, purpose: str) -> list[Tool]:
+        return [t for t in self.tools if t.purpose == purpose]
+
+    def vendor_openacc_commitment(self) -> bool:
+        """§3.4.3: "no commitment to support OpenACC from either of the
+        Frontier vendors" — only OLCF's gcc carries it forward."""
+        vendor = [c for c in self.compilers if c.stack is not Stack.OLCF]
+        current = [c for c in vendor
+                   if c.supports.get(ProgrammingModel.OPENACC, "0") >= "2.6"]
+        return bool(current)
+
+    def low_level_gpu_model(self) -> ProgrammingModel:
+        """The CUDA-analogue on this machine."""
+        return ProgrammingModel.HIP
+
+    def leading_portable_model(self) -> ProgrammingModel:
+        """OpenMP offload overtook OpenACC in uptake (§3.4.3)."""
+        return ProgrammingModel.OPENMP_OFFLOAD
+
+
+def frontier_environment() -> ProgrammingEnvironment:
+    """Build the catalogue exactly as §3.4.3 describes it."""
+    env = ProgrammingEnvironment()
+    cxx = frozenset({Language.C, Language.CXX})
+    ftn = frozenset({Language.FORTRAN})
+    env.compilers = [
+        Compiler("cray-cc/CC", Stack.CPE, cxx, llvm_based=True, supports={
+            ProgrammingModel.OPENMP_OFFLOAD: "5.2",
+            ProgrammingModel.OPENMP_CPU: "5.2",
+            ProgrammingModel.HIP: "",
+        }),
+        Compiler("cray-ftn", Stack.CPE, ftn, llvm_based=False, supports={
+            ProgrammingModel.OPENMP_OFFLOAD: "5.2",
+            ProgrammingModel.OPENMP_CPU: "5.2",
+            ProgrammingModel.OPENACC: "2.0",     # 2013-era
+        }),
+        Compiler("amdclang", Stack.ROCM, cxx, llvm_based=True, supports={
+            ProgrammingModel.HIP: "",
+            ProgrammingModel.OPENMP_OFFLOAD: "5.1",
+            ProgrammingModel.OPENMP_CPU: "5.1",
+        }),
+        Compiler("amdflang (classic)", Stack.ROCM, ftn, llvm_based=True,
+                 supports={
+                     ProgrammingModel.OPENMP_OFFLOAD: "4.5",  # lags
+                     ProgrammingModel.OPENMP_CPU: "4.5",
+                 }),
+        Compiler("gcc/gfortran", Stack.OLCF,
+                 frozenset({Language.C, Language.CXX, Language.FORTRAN}),
+                 llvm_based=False, supports={
+                     ProgrammingModel.OPENMP_OFFLOAD: "5.0",  # Siemens work
+                     ProgrammingModel.OPENMP_CPU: "5.0",
+                     ProgrammingModel.OPENACC: "2.6",
+                 }),
+        Compiler("dpcpp (pilot)", Stack.OLCF, cxx, llvm_based=True,
+                 supports={ProgrammingModel.SYCL: "2020"}),
+    ]
+    env.libraries = [
+        Library("hipBLAS", Stack.ROCM, "BLAS", backend="rocBLAS"),
+        Library("rocBLAS", Stack.ROCM, "BLAS"),
+        Library("hipFFT", Stack.ROCM, "FFT", backend="rocFFT"),
+        Library("rocFFT", Stack.ROCM, "FFT"),
+        Library("hipSOLVER", Stack.ROCM, "LAPACK", backend="rocSOLVER"),
+        Library("rocSOLVER", Stack.ROCM, "LAPACK"),
+        Library("rocSPARSE", Stack.ROCM, "sparse"),
+        Library("cray-libsci", Stack.CPE, "BLAS"),
+        Library("cray-fftw", Stack.CPE, "FFT"),
+        Library("cray-mpich", Stack.CPE, "MPI"),
+    ]
+    env.tools = [
+        Tool("ROCgdb", Stack.ROCM, "debugger"),
+        Tool("gdb4hpc", Stack.CPE, "debugger"),
+        Tool("STAT", Stack.CPE, "debugger"),
+        Tool("ATP", Stack.CPE, "debugger"),
+        Tool("rocprof", Stack.ROCM, "profiler"),
+        Tool("PAT", Stack.CPE, "profiler"),
+        Tool("Reveal", Stack.CPE, "assistant"),
+        Tool("HPCToolkit", Stack.OLCF, "profiler"),
+        Tool("TAU", Stack.OLCF, "profiler"),
+        Tool("Score-P", Stack.OLCF, "profiler"),
+        Tool("VAMPIR", Stack.OLCF, "tracer"),
+        Tool("Linaro Forge (MAP/DDT)", Stack.OLCF, "debugger"),
+    ]
+    return env

@@ -1,0 +1,128 @@
+"""HPE Performance Cluster Manager model (paper §3.4.2).
+
+One admin node and twenty-one leader nodes provide shared utility storage
+(Gluster), console/syslog handling, and reliable scalable boot; leader
+failure is handled transparently by CTDB — another leader takes over the
+failed node's virtual IP and its clients.  A daemon periodically sweeps
+chassis controllers so hardware changes appear in the HPCM database
+without human intervention.
+
+The model captures the operationally relevant behaviours: client
+assignment, virtual-IP failover (no client ever left unserved while any
+leader survives), and the discovery sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["LeaderNode", "HpcmCluster"]
+
+
+@dataclass
+class LeaderNode:
+    """One leader: owns a virtual IP and serves a set of client nodes."""
+
+    name: str
+    virtual_ip: str
+    alive: bool = True
+    clients: set[int] = field(default_factory=set)
+
+
+@dataclass
+class HpcmCluster:
+    """Admin + leaders + the hardware database."""
+
+    n_leaders: int = 21
+    n_compute: int = 9472
+
+    def __post_init__(self) -> None:
+        if self.n_leaders < 1:
+            raise ConfigurationError("need at least one leader node")
+        self.leaders = [LeaderNode(name=f"leader{i:02d}",
+                                   virtual_ip=f"10.128.0.{i + 10}")
+                        for i in range(self.n_leaders)]
+        #: virtual IP -> currently-serving leader index (failover moves it)
+        self.vip_owner: dict[str, int] = {
+            l.virtual_ip: i for i, l in enumerate(self.leaders)}
+        self.database: dict[int, dict[str, str]] = {}
+        self._assign_clients()
+
+    def _assign_clients(self) -> None:
+        for leader in self.leaders:
+            leader.clients.clear()
+        for node in range(self.n_compute):
+            vip = self.leaders[node % self.n_leaders].virtual_ip
+            self.leaders[self.vip_owner[vip]].clients.add(node)
+
+    # -- serving ------------------------------------------------------------
+
+    def serving_leader(self, node: int) -> LeaderNode:
+        """The leader currently answering this node's virtual IP."""
+        if not 0 <= node < self.n_compute:
+            raise ConfigurationError(f"unknown compute node {node}")
+        vip = self.leaders[node % self.n_leaders].virtual_ip
+        leader = self.leaders[self.vip_owner[vip]]
+        if not leader.alive:   # pragma: no cover - failover keeps this dead
+            raise SimulationError("virtual IP owned by a dead leader")
+        return leader
+
+    def all_clients_served(self) -> bool:
+        return all(self.serving_leader(n).alive
+                   for n in range(0, self.n_compute,
+                                  max(1, self.n_compute // 64)))
+
+    # -- failover --------------------------------------------------------------
+
+    def fail_leader(self, index: int) -> LeaderNode:
+        """Kill a leader; CTDB moves its virtual IPs to a survivor."""
+        if not 0 <= index < self.n_leaders:
+            raise ConfigurationError(f"no leader {index}")
+        victim = self.leaders[index]
+        if not victim.alive:
+            raise SimulationError(f"{victim.name} is already down")
+        victim.alive = False
+        survivors = [i for i, l in enumerate(self.leaders) if l.alive]
+        if not survivors:
+            raise SimulationError("no surviving leader to take over")
+        # move every VIP the victim currently owns, least-loaded first
+        for vip, owner in list(self.vip_owner.items()):
+            if owner == index:
+                target = min(survivors,
+                             key=lambda i: len(self.leaders[i].clients))
+                self.vip_owner[vip] = target
+                self.leaders[target].clients |= victim.clients
+        victim.clients.clear()
+        return victim
+
+    def recover_leader(self, index: int) -> None:
+        """Bring a leader back; it reclaims its home virtual IP."""
+        leader = self.leaders[index]
+        if leader.alive:
+            raise SimulationError(f"{leader.name} is already up")
+        leader.alive = True
+        home_vip = leader.virtual_ip
+        old_owner = self.vip_owner[home_vip]
+        moved = {n for n in self.leaders[old_owner].clients
+                 if n % self.n_leaders == index}
+        self.leaders[old_owner].clients -= moved
+        leader.clients |= moved
+        self.vip_owner[home_vip] = index
+
+    # -- hardware discovery --------------------------------------------------------
+
+    def discovery_sweep(self, chassis_report: dict[int, dict[str, str]]
+                        ) -> list[int]:
+        """Fold a chassis-controller report into the database.
+
+        Returns the nodes whose records changed — "hardware additions or
+        maintenance activities are noticed ... without human intervention".
+        """
+        changed = []
+        for node, attrs in chassis_report.items():
+            if self.database.get(node) != attrs:
+                self.database[node] = dict(attrs)
+                changed.append(node)
+        return sorted(changed)

@@ -1,0 +1,30 @@
+"""Storage subsystem models (paper §3.3 and §4.3, Table 2).
+
+* :mod:`repro.storage.nvme` — node-local 2x NVMe RAID-0 ("burst buffer").
+* :mod:`repro.storage.fio` — fio-style workload descriptors and runner.
+* :mod:`repro.storage.draid` — ZFS dRAID redundancy geometry.
+* :mod:`repro.storage.ssu` — Orion's Scalable Storage Unit.
+* :mod:`repro.storage.lustre` — the Orion parallel filesystem (tiers,
+  metadata DoM, aggregate bandwidths).
+* :mod:`repro.storage.pfl` — Lustre Progressive File Layout placement.
+* :mod:`repro.storage.iosim` — application-level I/O scenarios (checkpoint
+  ingest, §4.3.2's 700 TiB in ~180 s).
+"""
+
+from repro.storage.nvme import NvmeDrive, Raid0Array, node_local_storage
+from repro.storage.fio import FioJob, FioPattern, run_fio
+from repro.storage.draid import DraidGeometry
+from repro.storage.ssu import ScalableStorageUnit
+from repro.storage.lustre import OrionFilesystem, Tier
+from repro.storage.pfl import Extent, ProgressiveFileLayout, ORION_PFL
+from repro.storage.iosim import CheckpointScenario, ingest_time
+
+__all__ = [
+    "NvmeDrive", "Raid0Array", "node_local_storage",
+    "FioJob", "FioPattern", "run_fio",
+    "DraidGeometry",
+    "ScalableStorageUnit",
+    "OrionFilesystem", "Tier",
+    "Extent", "ProgressiveFileLayout", "ORION_PFL",
+    "CheckpointScenario", "ingest_time",
+]

@@ -1,0 +1,83 @@
+"""ZFS dRAID geometry model.
+
+Orion's SSUs organise their drives into declustered RAID (dRAID) groups
+with double parity (dRAID-2).  A geometry ``dRAID2:<d>d:<c>c:<s>s`` spreads
+``d`` data + 2 parity stripes plus ``s`` distributed spares over ``c``
+children.  Usable capacity is
+
+``raw * (c - s)/c * d/(d + p)``
+
+which is how 225 SSUs of 212 x 18 TB HDDs become the paper's 679 PB
+capacity tier and 24 x 3.2 TB NVMe become the 11.5 PB performance tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["DraidGeometry"]
+
+
+@dataclass(frozen=True)
+class DraidGeometry:
+    """One dRAID vdev geometry."""
+
+    data: int
+    parity: int = 2
+    children: int = 0          # 0 => minimal: data + parity (no spares)
+    spares: int = 0
+
+    def __post_init__(self) -> None:
+        if self.data < 1 or self.parity < 1:
+            raise ConfigurationError("dRAID needs >=1 data and >=1 parity")
+        children = self.children or (self.data + self.parity)
+        if children < self.data + self.parity + self.spares:
+            raise ConfigurationError(
+                f"{children} children cannot hold {self.data}d+{self.parity}p"
+                f"+{self.spares}s")
+
+    @property
+    def effective_children(self) -> int:
+        return self.children or (self.data + self.parity)
+
+    @property
+    def stripe_width(self) -> int:
+        return self.data + self.parity
+
+    @property
+    def capacity_efficiency(self) -> float:
+        """Usable fraction of raw capacity."""
+        c = self.effective_children
+        return (c - self.spares) / c * self.data / (self.data + self.parity)
+
+    @property
+    def tolerated_failures(self) -> int:
+        return self.parity
+
+    def usable_bytes(self, drive_bytes: float, n_drives: int) -> float:
+        if n_drives % self.effective_children:
+            raise ConfigurationError(
+                f"{n_drives} drives do not tile {self.effective_children}-child vdevs")
+        return drive_bytes * n_drives * self.capacity_efficiency
+
+    def write_amplification(self) -> float:
+        """Bytes written to media per byte of user data (parity overhead)."""
+        return (self.data + self.parity) / self.data
+
+    def degraded_read_overhead(self, failed: int) -> float:
+        """Extra reads per user read while rebuilding ``failed`` drives.
+
+        With declustered spares the rebuild load spreads over all children;
+        beyond ``parity`` failures the vdev is lost.
+        """
+        if failed < 0:
+            raise ConfigurationError("failed drive count must be non-negative")
+        if failed > self.parity:
+            raise ConfigurationError("vdev failed: more failures than parity")
+        return 1.0 + failed * self.data / self.effective_children
+
+    def label(self) -> str:
+        return (f"dRAID{self.parity}:{self.data}d:"
+                f"{self.effective_children}c:{self.spares}s")

@@ -1,0 +1,105 @@
+"""fio-style workload descriptors and a runner for the node-local array.
+
+Reproduces the §4.3.1 methodology: sequential read, sequential write, and
+4-KiB random-read jobs against the two-drive RAID-0, with a queue-depth
+ramp (shallow queues cannot keep both drives busy) and aggregate scaling
+over many nodes (exclusive access means node-local performance scales
+linearly with job size).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.storage.nvme import Raid0Array, node_local_storage
+
+__all__ = ["FioPattern", "FioJob", "FioResult", "run_fio", "aggregate_over_nodes"]
+
+
+class FioPattern(enum.Enum):
+    SEQ_READ = "read"
+    SEQ_WRITE = "write"
+    RAND_READ = "randread"
+
+
+@dataclass(frozen=True)
+class FioJob:
+    """One fio job description (the subset that matters for the model)."""
+
+    pattern: FioPattern
+    block_bytes: int = 1 << 20
+    queue_depth: int = 32
+    runtime_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.block_bytes <= 0 or self.queue_depth <= 0:
+            raise ConfigurationError("block size and queue depth must be positive")
+
+    @classmethod
+    def sequential_read(cls) -> "FioJob":
+        return cls(FioPattern.SEQ_READ, block_bytes=1 << 20, queue_depth=256)
+
+    @classmethod
+    def sequential_write(cls) -> "FioJob":
+        return cls(FioPattern.SEQ_WRITE, block_bytes=1 << 20, queue_depth=256)
+
+    @classmethod
+    def random_read_4k(cls) -> "FioJob":
+        return cls(FioPattern.RAND_READ, block_bytes=4096, queue_depth=256)
+
+
+@dataclass(frozen=True)
+class FioResult:
+    """Outcome of one node's fio job."""
+
+    job: FioJob
+    bandwidth: float     # bytes/s
+    iops: float
+    bytes_moved: float
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.bandwidth / 1e9
+
+
+#: Queue depth at which the array reaches half of its sustained rate.  The
+#: measured sustained fractions already capture device-level efficiency at
+#: benchmark queue depths, so the ramps only penalise *shallow* queues.
+_QD_HALF_SEQ = 2.0
+_QD_HALF_RAND = 4.0
+
+
+def _qd_ramp(queue_depth: int, half: float) -> float:
+    return queue_depth / (queue_depth + half)
+
+
+def run_fio(job: FioJob, array: Raid0Array | None = None) -> FioResult:
+    """Model one fio job on a node-local array."""
+    arr = array if array is not None else node_local_storage()
+    if job.pattern is FioPattern.SEQ_READ:
+        bw = arr.sustained_seq_read * _qd_ramp(job.queue_depth, _QD_HALF_SEQ)
+    elif job.pattern is FioPattern.SEQ_WRITE:
+        bw = arr.sustained_seq_write * _qd_ramp(job.queue_depth, _QD_HALF_SEQ)
+    else:
+        iops_cap = arr.sustained_rand_read_iops * _qd_ramp(job.queue_depth, _QD_HALF_RAND)
+        # Small random reads are IOPS-limited, not bandwidth-limited.
+        bw = min(iops_cap * job.block_bytes, arr.sustained_seq_read)
+    iops = bw / job.block_bytes
+    return FioResult(job=job, bandwidth=bw, iops=iops,
+                     bytes_moved=bw * job.runtime_s)
+
+
+def aggregate_over_nodes(result: FioResult, nodes: int) -> FioResult:
+    """Scale a per-node result to a multi-node job (exclusive node-local).
+
+    §4.3.1: a full-system job sees ~67.3 TB/s reads, ~39.8 TB/s writes and
+    ~15 billion IOPS across 9,472 nodes.
+    """
+    if nodes < 1:
+        raise ConfigurationError("need at least one node")
+    return FioResult(job=result.job,
+                     bandwidth=result.bandwidth * nodes,
+                     iops=result.iops * nodes,
+                     bytes_moved=result.bytes_moved * nodes)

@@ -1,0 +1,111 @@
+"""Application-level I/O scenarios (paper §4.3.2).
+
+Two headline calculations from the paper:
+
+* **Checkpoint ingest**: with 4.6 PiB of HBM and the observation that 90%
+  of applications write <= 15% of GPU memory per hour, a full-memory-scale
+  checkpoint of ~700 TiB lands on Orion's capacity tier in ~180 s — so
+  "most apps will spend less than 5% of walltime per hour doing I/O".
+* **Burst-buffer staging**: the same checkpoint hits the node-local NVMe
+  at ~39.8 TB/s aggregate and drains to Orion asynchronously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.storage.lustre import OrionFilesystem
+from repro.storage.nvme import Raid0Array, node_local_storage
+from repro.storage.pfl import Tier
+from repro.units import HOUR, TiB
+
+__all__ = ["CheckpointScenario", "ingest_time", "io_walltime_fraction"]
+
+
+def ingest_time(volume_bytes: float, fs: OrionFilesystem | None = None,
+                *, tier: Tier = Tier.CAPACITY) -> float:
+    """Seconds for the PFS to ingest a bulk write at one tier's rate.
+
+    The paper's reference point: ~700 TiB (~776 TB) in ~180 s at the
+    capacity tier's ~4.3 TB/s.
+    """
+    if volume_bytes <= 0:
+        raise ConfigurationError("ingest volume must be positive")
+    filesystem = fs if fs is not None else OrionFilesystem()
+    return volume_bytes / filesystem.tier_stats(tier, measured=True).write
+
+
+def io_walltime_fraction(bytes_per_hour: float,
+                         fs: OrionFilesystem | None = None,
+                         *, tier: Tier = Tier.CAPACITY) -> float:
+    """Fraction of walltime spent on I/O for a given hourly write volume."""
+    return ingest_time(bytes_per_hour, fs, tier=tier) / HOUR
+
+
+@dataclass
+class CheckpointScenario:
+    """A periodic-checkpoint job using the burst buffer then draining to Orion.
+
+    ``hbm_fraction`` is the share of node HBM written per checkpoint;
+    node-local NVMe absorbs the burst at local speed, then drains to the
+    PFS in the background.  The scenario reports both the blocking time
+    (burst) and the drain time (must finish before the next checkpoint).
+    """
+
+    nodes: int = 9472
+    hbm_per_node: float = 512 * 2.0 ** 30
+    hbm_fraction: float = 0.15
+    interval_s: float = 1 * HOUR
+    local: Raid0Array = field(default_factory=node_local_storage)
+    fs: OrionFilesystem = field(default_factory=OrionFilesystem)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hbm_fraction <= 1.0:
+            raise ConfigurationError("hbm_fraction must be in (0, 1]")
+        if self.nodes < 1:
+            raise ConfigurationError("need at least one node")
+
+    @property
+    def checkpoint_bytes(self) -> float:
+        return self.nodes * self.hbm_per_node * self.hbm_fraction
+
+    @property
+    def burst_time(self) -> float:
+        """Blocking time: every node writes its share to local NVMe."""
+        per_node = self.hbm_per_node * self.hbm_fraction
+        return per_node / self.local.sustained_seq_write
+
+    @property
+    def direct_pfs_time(self) -> float:
+        """Blocking time if writing straight to the capacity tier instead."""
+        return ingest_time(self.checkpoint_bytes, self.fs)
+
+    @property
+    def drain_time(self) -> float:
+        """Background time for the burst buffer to drain into Orion."""
+        return ingest_time(self.checkpoint_bytes, self.fs)
+
+    @property
+    def burst_buffer_speedup(self) -> float:
+        """How much faster the blocking write is via the burst buffer."""
+        return self.direct_pfs_time / self.burst_time
+
+    @property
+    def drain_fits_interval(self) -> bool:
+        return self.drain_time <= self.interval_s
+
+    @property
+    def blocking_fraction(self) -> float:
+        """Fraction of walltime blocked on checkpoints (burst-buffer path)."""
+        return self.burst_time / self.interval_s
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "checkpoint_TiB": self.checkpoint_bytes / TiB,
+            "burst_time_s": self.burst_time,
+            "direct_pfs_time_s": self.direct_pfs_time,
+            "drain_time_s": self.drain_time,
+            "burst_buffer_speedup": self.burst_buffer_speedup,
+            "blocking_fraction": self.blocking_fraction,
+        }

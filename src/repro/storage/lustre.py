@@ -1,0 +1,141 @@
+"""The Orion parallel filesystem (paper §3.3, §4.3.2, Table 2).
+
+Orion aggregates 225 SSUs under a single POSIX namespace with three tiers:
+flash metadata (with Data-on-Metadata for small files), an NVMe
+performance tier, and an HDD capacity tier, placed by the Progressive File
+Layout in :mod:`repro.storage.pfl`.
+
+Aggregate numbers reproduced here:
+
+=================  ========  =========  =========
+tier               capacity  read       write
+=================  ========  =========  =========
+metadata (40 MDS)  10.0 PB   0.8 TB/s   0.4 TB/s
+performance        11.5 PB   11.7 TB/s  9.4 TB/s  (measured; 10.0 contracted)
+capacity           679 PB    4.9 TB/s   4.3 TB/s  (measured; 5.5/4.6 contracted)
+=================  ========  =========  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+from repro.storage.pfl import ORION_PFL, ProgressiveFileLayout, Tier
+from repro.storage.ssu import ScalableStorageUnit
+from repro.units import TB
+
+__all__ = ["MetadataServer", "OrionFilesystem", "TierStats"]
+
+
+@dataclass(frozen=True)
+class MetadataServer:
+    """One flash MDS: capacity plus small-I/O bandwidth for DoM traffic."""
+
+    capacity: float = 250 * TB
+    read: float = 20e9
+    write: float = 10e9
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Aggregate capacity/bandwidth of one tier."""
+
+    tier: Tier
+    capacity: float
+    read: float
+    write: float
+
+
+@dataclass
+class OrionFilesystem:
+    """Orion: 225 SSUs + 40 metadata servers under one namespace."""
+
+    ssu: ScalableStorageUnit = field(default_factory=ScalableStorageUnit)
+    ssu_count: int = 225
+    mds: MetadataServer = field(default_factory=MetadataServer)
+    mds_count: int = 40
+    layout: ProgressiveFileLayout = ORION_PFL
+
+    def tier_stats(self, tier: Tier, *, measured: bool = False) -> TierStats:
+        """Aggregate stats; ``measured=True`` returns §4.3.2's sustained rates
+        instead of the contracted/theoretical ones in Table 2."""
+        if tier is Tier.METADATA:
+            return TierStats(tier, self.mds_count * self.mds.capacity,
+                             self.mds_count * self.mds.read,
+                             self.mds_count * self.mds.write)
+        if tier is Tier.PERFORMANCE:
+            read = self.ssu.flash_read_measured if measured else self.ssu.flash_read
+            write = self.ssu.flash_write_measured if measured else self.ssu.flash_write
+            return TierStats(tier, self.ssu_count * self.ssu.flash_capacity,
+                             self.ssu_count * read, self.ssu_count * write)
+        read = self.ssu.disk_read_measured if measured else self.ssu.disk_read
+        write = self.ssu.disk_write_measured if measured else self.ssu.disk_write
+        return TierStats(tier, self.ssu_count * self.ssu.disk_capacity,
+                         self.ssu_count * read, self.ssu_count * write)
+
+    def table2(self) -> dict[str, dict[str, float]]:
+        """Regenerate the Orion rows of Table 2 (PB and TB/s)."""
+        out = {}
+        for tier in Tier:
+            s = self.tier_stats(tier)
+            out[f"Orion {tier.value.capitalize()}"] = {
+                "capacity_PB": s.capacity / 1e15,
+                "read_TBps": s.read / 1e12,
+                "write_TBps": s.write / 1e12,
+            }
+        return out
+
+    # -- whole-file transfer model ------------------------------------------------
+
+    def _check_size(self, file_bytes: float) -> None:
+        if file_bytes <= 0:
+            raise StorageError("file size must be positive")
+
+    def write_time(self, file_bytes: int, *, clients_bandwidth: float | None = None,
+                   measured: bool = True) -> float:
+        """Seconds to write one file placed by the PFL across its tiers.
+
+        Tier segments stream in sequence (Lustre writes extents in offset
+        order); ``clients_bandwidth`` optionally caps throughput at what
+        the writing job can inject.
+        """
+        self._check_size(file_bytes)
+        total = 0.0
+        for tier, nbytes in self.layout.bytes_per_tier(int(file_bytes)).items():
+            if nbytes == 0:
+                continue
+            bw = self.tier_stats(tier, measured=measured).write
+            if clients_bandwidth is not None:
+                bw = min(bw, clients_bandwidth)
+            total += nbytes / bw
+        return total
+
+    def read_time(self, file_bytes: int, *, clients_bandwidth: float | None = None,
+                  measured: bool = True) -> float:
+        """Seconds to read one file back (DoM part arrives with the open)."""
+        self._check_size(file_bytes)
+        total = 0.0
+        for tier, nbytes in self.layout.bytes_per_tier(int(file_bytes)).items():
+            if nbytes == 0:
+                continue
+            bw = self.tier_stats(tier, measured=measured).read
+            if clients_bandwidth is not None:
+                bw = min(bw, clients_bandwidth)
+            total += nbytes / bw
+        return total
+
+    def effective_write_bandwidth(self, file_bytes: int) -> float:
+        """Bytes/s achieved on one file: small files hit flash, big ones disk.
+
+        This is the paper's observation that applications with files inside
+        the flash tier see up to ~9.4 TB/s while large files see ~4.3 TB/s.
+        """
+        return file_bytes / self.write_time(file_bytes)
+
+    def effective_read_bandwidth(self, file_bytes: int) -> float:
+        return file_bytes / self.read_time(file_bytes)
+
+    def small_file_open_served(self, file_bytes: int) -> bool:
+        """True when DoM answers the open without touching an OST."""
+        return self.layout.served_at_open(int(file_bytes))

@@ -1,0 +1,110 @@
+"""Lustre Progressive File Layout (PFL) placement (paper §3.3).
+
+Orion lands data in different tiers by file offset, using a self-extending
+layout:
+
+* bytes ``[0, 256 KB)`` — Data-on-Metadata (DoM): stored on the flash
+  metadata servers and returned with the open, so tiny files never touch
+  an object server;
+* bytes ``[256 KB, 8 MB)`` — the NVMe *performance* tier;
+* bytes ``[8 MB, ...)`` — the HDD *capacity* tier.
+
+:class:`ProgressiveFileLayout` maps a file size to tier extents; the
+partition invariants (exact cover, no overlap) are property-tested.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import StorageError
+from repro.units import KB, MB
+
+__all__ = ["Tier", "Extent", "ProgressiveFileLayout", "ORION_PFL"]
+
+
+class Tier(enum.Enum):
+    """Orion's storage tiers (Table 2's rows)."""
+
+    METADATA = "metadata"       # flash MDTs (DoM)
+    PERFORMANCE = "performance"  # NVMe OSTs
+    CAPACITY = "capacity"        # HDD OSTs
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A byte range of a file assigned to one tier: ``[start, end)``."""
+
+    tier: Tier
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < self.end:
+            raise StorageError(f"invalid extent [{self.start},{self.end})")
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ProgressiveFileLayout:
+    """An ordered list of (boundary, tier) components.
+
+    ``boundaries[i]`` is the exclusive upper offset of component ``i``; the
+    final component is unbounded (capacity tier extends to EOF).
+    """
+
+    components: tuple[tuple[int, Tier], ...]
+    final_tier: Tier = Tier.CAPACITY
+
+    def __post_init__(self) -> None:
+        prev = 0
+        for bound, _tier in self.components:
+            if bound <= prev:
+                raise StorageError("PFL boundaries must be strictly increasing")
+            prev = bound
+
+    def place(self, file_size: int) -> list[Extent]:
+        """Split a file of ``file_size`` bytes into tier extents.
+
+        The extents exactly partition ``[0, file_size)`` in order.
+        """
+        if file_size < 0:
+            raise StorageError("file size must be non-negative")
+        if file_size == 0:
+            return []
+        extents: list[Extent] = []
+        offset = 0
+        for bound, tier in self.components:
+            if offset >= file_size:
+                break
+            end = min(bound, file_size)
+            extents.append(Extent(tier, offset, end))
+            offset = end
+        if offset < file_size:
+            extents.append(Extent(self.final_tier, offset, file_size))
+        return extents
+
+    def bytes_per_tier(self, file_size: int) -> dict[Tier, int]:
+        out = {t: 0 for t in Tier}
+        for ext in self.place(file_size):
+            out[ext.tier] += ext.length
+        return out
+
+    def served_at_open(self, file_size: int) -> bool:
+        """True if the whole file fits in DoM (returned with the open RPC)."""
+        if not self.components:
+            return False
+        first_bound, first_tier = self.components[0]
+        return first_tier is Tier.METADATA and file_size <= first_bound
+
+
+#: The layout OLCF configured on Orion (§3.3): 256 KB DoM, 8 MB flash,
+#: remainder on disk.
+ORION_PFL = ProgressiveFileLayout(components=(
+    (int(256 * KB), Tier.METADATA),
+    (int(8 * MB), Tier.PERFORMANCE),
+))

@@ -1,0 +1,122 @@
+"""Orion's Scalable Storage Unit (SSU) model (paper §3.3).
+
+Each of the 225 SSUs holds two controllers (two Cassini NICs each), 24
+3.2 TB NVMe drives forming the *performance* tier, and 212 18 TB hard
+drives forming the *capacity* tier, each organised as ZFS dRAID-2 vdevs.
+Per-SSU bandwidth is the minimum of drive aggregate and network/controller
+limits; system bandwidth is 225 x that (Lustre stripes across all SSUs).
+
+Calibrated per-drive effective rates land on Table 2 and the measured
+values in §4.3.2:
+
+* NVMe: 2.2 GB/s read, 1.9 GB/s write -> 52.8 / 45.6 GB/s per SSU;
+  measured system: 11.7 TB/s read (52 GB/s x 225), 9.4 TB/s write.
+* HDD: 115 MB/s effective read, 96 MB/s write (dRAID parity + seek
+  overhead folded in) -> contract 5.5 / 4.6 TB/s; measured 4.9 / 4.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.storage.draid import DraidGeometry
+from repro.units import TB
+
+__all__ = ["ScalableStorageUnit"]
+
+
+@dataclass(frozen=True)
+class ScalableStorageUnit:
+    """One SSU: drives, dRAID geometry, controllers, NICs."""
+
+    nvme_count: int = 24
+    nvme_capacity: float = 3.2 * TB
+    # Contracted per-drive user-data rates (10.0 TB/s tier totals)...
+    nvme_read: float = 1.852e9
+    nvme_write: float = 1.852e9
+    # ...and measured/contracted fractions from §4.3.2 (reads beat contract).
+    flash_read_measured_fraction: float = 1.17
+    flash_write_measured_fraction: float = 0.94
+    nvme_geometry: DraidGeometry = field(
+        default_factory=lambda: DraidGeometry(data=4, parity=2, children=12, spares=0))
+    hdd_count: int = 212
+    hdd_capacity: float = 18 * TB
+    hdd_read: float = 115.3e6     # contract: 5.5 TB/s over 225 SSUs
+    hdd_write: float = 96.4e6     # contract: 4.6 TB/s
+    disk_read_measured_fraction: float = 0.891   # measured 4.9 TB/s
+    disk_write_measured_fraction: float = 0.935  # measured 4.3 TB/s
+    hdd_geometry: DraidGeometry = field(
+        default_factory=lambda: DraidGeometry(data=8, parity=2, children=106, spares=1))
+    controllers: int = 2
+    nics_per_controller: int = 2
+    nic_rate: float = 25e9
+    controller_rate: float = 60e9   # per-controller internal processing limit
+
+    def __post_init__(self) -> None:
+        if self.nvme_count % self.nvme_geometry.effective_children:
+            raise ConfigurationError("NVMe drives must tile their dRAID vdevs")
+        if self.hdd_count % self.hdd_geometry.effective_children:
+            raise ConfigurationError("HDDs must tile their dRAID vdevs")
+
+    # -- network/controller ceiling ------------------------------------------
+
+    @property
+    def network_bandwidth(self) -> float:
+        """100 GB/s: 2 controllers x 2 Cassini NICs x 25 GB/s."""
+        return self.controllers * self.nics_per_controller * self.nic_rate
+
+    @property
+    def controller_bandwidth(self) -> float:
+        return self.controllers * self.controller_rate
+
+    def _ceiling(self, drive_rate: float) -> float:
+        return min(drive_rate, self.network_bandwidth, self.controller_bandwidth)
+
+    # -- performance (flash) tier ----------------------------------------------
+
+    @property
+    def flash_capacity(self) -> float:
+        return self.nvme_geometry.usable_bytes(self.nvme_capacity, self.nvme_count)
+
+    @property
+    def flash_read(self) -> float:
+        return self._ceiling(self.nvme_count * self.nvme_read)
+
+    @property
+    def flash_write(self) -> float:
+        # nvme_write is the *user-data* effective rate: dRAID parity
+        # amplification is already folded into the calibrated per-drive rate.
+        return self._ceiling(self.nvme_count * self.nvme_write)
+
+    # -- capacity (disk) tier ----------------------------------------------------
+
+    @property
+    def disk_capacity(self) -> float:
+        return self.hdd_geometry.usable_bytes(self.hdd_capacity, self.hdd_count)
+
+    @property
+    def disk_read(self) -> float:
+        return self._ceiling(self.hdd_count * self.hdd_read)
+
+    @property
+    def disk_write(self) -> float:
+        return self._ceiling(self.hdd_count * self.hdd_write)
+
+    # -- measured (sustained) rates, §4.3.2 ------------------------------------
+
+    @property
+    def flash_read_measured(self) -> float:
+        return self.flash_read * self.flash_read_measured_fraction
+
+    @property
+    def flash_write_measured(self) -> float:
+        return self.flash_write * self.flash_write_measured_fraction
+
+    @property
+    def disk_read_measured(self) -> float:
+        return self.disk_read * self.disk_read_measured_fraction
+
+    @property
+    def disk_write_measured(self) -> float:
+        return self.disk_write * self.disk_write_measured_fraction

@@ -1,0 +1,170 @@
+"""Unit algebra for capacities, bandwidths, rates, power, and time.
+
+The Frontier paper (like most architecture papers) mixes SI ("GB", powers of
+ten) and binary ("GiB", powers of two) units, sometimes on the same line
+("N+N GB/s" for links vs "GiB/s" for memory).  All quantities in this library
+are stored internally in **base SI units** — bytes, bytes/second, FLOP/s,
+watts, seconds — as plain floats, and this module provides the constants and
+formatting helpers used to convert at the edges.
+
+Conventions used throughout ``repro``:
+
+* capacities and message sizes: **bytes** (float or int)
+* bandwidths: **bytes per second**
+* compute rates: **FLOP per second** (``flops``) or generic ops/s
+* power: **watts**; energy: **joules**
+* time: **seconds**
+* link rates quoted "N+N GB/s" in the paper are *per-direction*; our link
+  objects store the one-direction rate and model the two directions
+  independently, matching the paper's footnote 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "KB", "MB", "GB", "TB", "PB", "EB",
+    "KiB", "MiB", "GiB", "TiB", "PiB", "EiB",
+    "KILO", "MEGA", "GIGA", "TERA", "PETA", "EXA",
+    "USEC", "MSEC", "MINUTE", "HOUR", "DAY", "YEAR",
+    "MW",
+    "bytes_from", "to_unit", "format_bytes", "format_bandwidth",
+    "format_rate", "format_flops", "parse_size",
+]
+
+# --- SI (decimal) byte multiples -------------------------------------------
+KB = 1e3
+MB = 1e6
+GB = 1e9
+TB = 1e12
+PB = 1e15
+EB = 1e18
+
+# --- IEC (binary) byte multiples --------------------------------------------
+KiB = 2.0 ** 10
+MiB = 2.0 ** 20
+GiB = 2.0 ** 30
+TiB = 2.0 ** 40
+PiB = 2.0 ** 50
+EiB = 2.0 ** 60
+
+# --- generic SI rate multipliers (FLOP/s, ops/s, Hz) ------------------------
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+EXA = 1e18
+
+# --- time -------------------------------------------------------------------
+USEC = 1e-6
+MSEC = 1e-3
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+YEAR = 365.25 * DAY
+
+# --- power ------------------------------------------------------------------
+MW = 1e6  # watts
+
+_SI_SUFFIXES = {"": 1.0, "K": KB, "M": MB, "G": GB, "T": TB, "P": PB, "E": EB}
+_IEC_SUFFIXES = {"Ki": KiB, "Mi": MiB, "Gi": GiB, "Ti": TiB, "Pi": PiB, "Ei": EiB}
+_ALL_SUFFIXES = {**_SI_SUFFIXES, **_IEC_SUFFIXES}
+
+
+def bytes_from(value: float, unit: str) -> float:
+    """Convert ``value`` expressed in ``unit`` (e.g. ``"GiB"``, ``"TB"``) to bytes.
+
+    >>> bytes_from(64, "GiB") == 64 * 2**30
+    True
+    """
+    return value * _unit_factor(unit)
+
+
+def to_unit(value_bytes: float, unit: str) -> float:
+    """Convert a byte count (or bytes/s) to the requested unit.
+
+    >>> to_unit(2**40, "TiB")
+    1.0
+    """
+    return value_bytes / _unit_factor(unit)
+
+
+def _unit_factor(unit: str) -> float:
+    u = unit.strip()
+    # Accept forms like "GiB", "GB", "GiB/s", "GB/s", "G", "Gi".
+    u = u.removesuffix("/s").removesuffix("B")
+    if u not in _ALL_SUFFIXES:
+        raise ValueError(f"unknown unit {unit!r}")
+    return _ALL_SUFFIXES[u]
+
+
+def parse_size(text: str) -> float:
+    """Parse a human size string like ``"256 KB"``, ``"8MiB"``, ``"3.5 TB"`` to bytes."""
+    s = text.strip()
+    idx = len(s)
+    for i, ch in enumerate(s):
+        if not (ch.isdigit() or ch in ".+-eE"):
+            # allow scientific notation digits; stop at first unit char
+            if ch in " \t" or ch.isalpha():
+                idx = i
+                break
+    num, unit = s[:idx].strip(), s[idx:].strip()
+    if not num:
+        raise ValueError(f"no numeric part in {text!r}")
+    value = float(num)
+    if not unit or unit == "B":
+        return value
+    return bytes_from(value, unit)
+
+
+def _format_scaled(value: float, suffixes: list[tuple[float, str]],
+                   unit: str, precision: int) -> str:
+    if value == 0:
+        return f"0 {unit}"
+    mag = abs(value)
+    for factor, name in suffixes:
+        if mag >= factor:
+            return f"{value / factor:.{precision}f} {name}{unit}"
+    return f"{value:.{precision}f} {unit}"
+
+
+_IEC_ORDER = [(EiB, "Ei"), (PiB, "Pi"), (TiB, "Ti"), (GiB, "Gi"), (MiB, "Mi"), (KiB, "Ki")]
+_SI_ORDER = [(EB, "E"), (PB, "P"), (TB, "T"), (GB, "G"), (MB, "M"), (KB, "K")]
+
+
+def format_bytes(value: float, *, binary: bool = True, precision: int = 1) -> str:
+    """Render a byte count using IEC (default) or SI prefixes."""
+    order = _IEC_ORDER if binary else _SI_ORDER
+    return _format_scaled(value, order, "B", precision)
+
+
+def format_bandwidth(value: float, *, binary: bool = False, precision: int = 1) -> str:
+    """Render bytes/second.  The paper quotes link rates in SI (GB/s) by default."""
+    order = _IEC_ORDER if binary else _SI_ORDER
+    return _format_scaled(value, order, "B/s", precision)
+
+
+def format_rate(value: float, unit: str = "ops/s", precision: int = 1) -> str:
+    """Render a generic SI rate, e.g. IOPS or updates/s."""
+    return _format_scaled(value, _SI_ORDER, unit, precision)
+
+
+def format_flops(value: float, precision: int = 1) -> str:
+    """Render FLOP/s (always SI: the paper's EF/TF/GF are powers of ten)."""
+    return _format_scaled(value, _SI_ORDER, "FLOP/s", precision)
+
+
+def harmonic_mean(values: list[float]) -> float:
+    """Harmonic mean, used for combined FOMs (e.g. ExaSMR Shift+NekRS)."""
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: list[float]) -> float:
+    """Geometric mean, used for combined FOMs (e.g. HACC gravity+hydro)."""
+    if not values or any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,77 @@
+"""Application abstraction tests."""
+
+import pytest
+
+from repro.apps.base import FomProjection, KppResult
+from repro.apps.projection import device_ratio, standard_projection
+from repro.core.baselines import FRONTIER, SUMMIT, THETA
+from repro.errors import ConfigurationError
+
+
+class TestFomProjection:
+    def test_speedup_is_product(self):
+        p = FomProjection(factors={"a": 2.0, "b": 3.0, "c": 0.5})
+        assert p.speedup == pytest.approx(3.0)
+
+    def test_explained_string(self):
+        p = FomProjection(factors={"device_ratio": 2.67, "kernel": 1.25})
+        text = p.explained()
+        assert "device_ratio" in text
+        assert "x" in text
+
+    def test_rejects_nonpositive_factors(self):
+        with pytest.raises(ConfigurationError):
+            FomProjection(factors={"bad": 0.0})
+
+    def test_empty_projection_is_unity(self):
+        assert FomProjection().speedup == 1.0
+
+
+class TestKppResult:
+    def test_met_and_margin(self):
+        r = KppResult("X", "Summit", target=4.0, achieved=5.2)
+        assert r.met
+        assert r.margin == pytest.approx(1.3)
+
+    def test_miss(self):
+        r = KppResult("X", "Summit", target=50.0, achieved=40.0)
+        assert not r.met
+
+
+class TestProjectionHelpers:
+    def test_device_ratio_gpu_machines(self):
+        # full Frontier vs full Summit: 75,776 GCDs / 27,648 V100s
+        assert device_ratio(SUMMIT, FRONTIER) == pytest.approx(2.7407,
+                                                               abs=0.001)
+
+    def test_device_ratio_cpu_baseline_uses_nodes(self):
+        assert device_ratio(THETA, FRONTIER) == pytest.approx(9472 / 4392)
+
+    def test_device_ratio_partial_machines(self):
+        assert device_ratio(SUMMIT, FRONTIER, baseline_nodes=4608,
+                            target_nodes=9216) == pytest.approx(
+            9216 * 8 / (4608 * 6))
+
+    def test_standard_projection_composition(self):
+        proj = standard_projection(SUMMIT, FRONTIER, per_device_kernel=1.5,
+                                   algorithmic=2.0,
+                                   baseline_efficiency=0.5,
+                                   target_efficiency=1.0,
+                                   extra={"bonus": 1.1})
+        assert set(proj.factors) == {"device_ratio", "per_device_kernel",
+                                     "algorithmic", "scaling_efficiency",
+                                     "bonus"}
+        assert proj.factors["scaling_efficiency"] == 2.0
+
+    def test_standard_projection_validation(self):
+        with pytest.raises(ConfigurationError):
+            standard_projection(SUMMIT, FRONTIER, per_device_kernel=1.0,
+                                target_efficiency=1.5)
+        with pytest.raises(ConfigurationError):
+            device_ratio(SUMMIT, FRONTIER, baseline_nodes=0)
+
+    def test_describe_mentions_baseline(self):
+        from repro.apps.cholla import Cholla
+        text = Cholla().describe()
+        assert "Summit" in text
+        assert "4" in text   # the KPP target

@@ -1,0 +1,96 @@
+"""Table 7 — ECP application KPP tests."""
+
+import pytest
+
+from repro.apps import ECP_APPS
+from repro.apps.exaalt import Exaalt
+from repro.apps.exasky import ExaSky
+from repro.apps.warpx import WarpX
+from repro.apps.wdmapp import WdmApp
+from repro.core.baselines import CORI, MIRA, THETA, TITAN
+
+#: Table 7 of the paper: application -> (baseline, achieved speedup).
+TABLE7 = {
+    "WarpX (vs Warp)": ("Cori", 500.0),
+    "ExaSky": ("Theta", 234.0),
+    "EXAALT": ("Mira", 398.5),
+    "ExaSMR": ("Titan", 70.0),
+    "WDMApp": ("Titan", 150.0),
+}
+
+
+class TestTable7:
+    def test_all_five_apps_present_in_order(self):
+        assert [a.name for a in ECP_APPS()] == list(TABLE7)
+
+    @pytest.mark.parametrize("app_name,row", TABLE7.items())
+    def test_achieved_and_baseline_match_paper(self, app_name, row):
+        baseline_name, achieved = row
+        app = next(a for a in ECP_APPS() if a.name == app_name)
+        assert app.baseline_machine.name == baseline_name
+        assert app.speedup() == pytest.approx(achieved, rel=0.02)
+
+    def test_every_app_exceeds_the_50x_kpp(self):
+        for app in ECP_APPS():
+            result = app.kpp_result()
+            assert result.target == 50.0
+            assert result.met
+
+    def test_baselines_are_the_20pf_generation(self):
+        machines = {a.baseline_machine for a in ECP_APPS()}
+        assert machines == {CORI, THETA, MIRA, TITAN}
+        for m in machines:
+            # "the reigning DOE systems were in the ~20 PF range"
+            assert m.system_fp64 < 35e15
+
+
+class TestPerAppDetails:
+    def test_warpx_was_first_to_kpp_with_500x(self):
+        # "WarpX was the first application in ECP to achieve the KPP goal"
+        proj = WarpX().projection()
+        assert proj.speedup == pytest.approx(500.0, rel=0.02)
+        assert "algorithmic_rewrite" in proj.factors
+
+    def test_warpx_weak_scaling_near_ideal(self):
+        points = WarpX().weak_scaling_model()
+        assert all(eff > 0.9 for _, eff in points)
+        # efficiency decays only slightly over orders of magnitude
+        assert points[0][1] - points[-1][1] < 0.05
+
+    def test_exasky_weak_scaling_consistency(self):
+        # "consistent timings between the 4096-8192 node Frontier runs"
+        c = ExaSky().weak_scaling_consistency()
+        assert c["timing_ratio_8k_vs_4k"] == pytest.approx(1.0, abs=0.05)
+
+    def test_exaalt_25x_kernel_rewrite_factor(self):
+        proj = Exaalt().projection()
+        assert proj.factors["snap_kernel_rewrite"] == 25.0
+
+    def test_exaalt_paper_rates(self):
+        rates = Exaalt().paper_rates()
+        # "13,856 instances of LAMMPS executing simultaneously"
+        assert rates["lammps_instances"] == 13856.0
+        assert rates["frontier_atom_steps_per_s"] == 3.57e9
+
+    def test_wdmapp_projection(self):
+        assert WdmApp().speedup() == pytest.approx(150.0, rel=0.02)
+
+    def test_kernels_run_for_every_ecp_app(self):
+        for app in ECP_APPS():
+            metrics = app.run_kernel(scale=0.25)
+            assert metrics["fom"] > 0
+
+    def test_warpx_kernel_conserves_fdtd_energy(self):
+        metrics = WarpX().run_kernel(scale=0.3)
+        assert metrics["fdtd_energy_ratio"] == pytest.approx(1.0, abs=0.1)
+
+
+class TestWarpXMeshRefinement:
+    def test_amr_wins_accuracy_per_cell_conservatively(self):
+        """The Gordon-Bell feature: mesh refinement cuts the error using a
+        fraction of the cells, with the composite integral conserved."""
+        from repro.apps.warpx import WarpX
+        result = WarpX().mesh_refinement_check()
+        assert result["error_ratio"] < 0.85
+        assert result["refined_fraction"] < 0.6
+        assert result["mass_drift"] < 1e-12

@@ -1,0 +1,67 @@
+"""ParSplice trajectory-splicing tests (EXAALT's core algorithm)."""
+
+import pytest
+
+from repro.apps.exaalt import ParSpliceEngine, Segment
+from repro.errors import ConfigurationError
+
+
+class TestSegments:
+    def test_segment_validation(self):
+        with pytest.raises(ConfigurationError):
+            Segment(start_state=0, end_state=1, duration=0.0, replica=0)
+
+
+class TestSplicingCorrectness:
+    def test_trajectory_is_contiguous(self):
+        # The fundamental splicing invariant: every appended segment starts
+        # exactly where the previous one ended.
+        engine = ParSpliceEngine(n_replicas=8, rng=1)
+        engine.run(rounds=50)
+        assert engine.is_contiguous()
+        assert len(engine.trajectory) > 0
+
+    def test_simulated_time_accumulates(self):
+        engine = ParSpliceEngine(n_replicas=4, rng=2)
+        engine.run(rounds=30)
+        assert engine.simulated_time() == pytest.approx(
+            len(engine.trajectory) * engine.segment_length)
+
+    def test_more_replicas_more_throughput(self):
+        # Time-wise parallelism: replica count converts into simulated
+        # time per wall-clock segment — the whole point of ParSplice.
+        small = ParSpliceEngine(n_replicas=2, rng=3)
+        small.run(rounds=60)
+        large = ParSpliceEngine(n_replicas=32, rng=3)
+        large.run(rounds=60)
+        assert large.speedup() > 2 * small.speedup()
+
+    def test_speedup_bounded_by_replicas(self):
+        engine = ParSpliceEngine(n_replicas=16, rng=4)
+        engine.run(rounds=40)
+        assert engine.speedup() <= 16.0 + 1e-9
+
+    def test_metastability_helps_prediction(self):
+        # With a strong self-loop, speculation is usually right and the
+        # splicer consumes most produced segments.
+        sticky = ParSpliceEngine(n_replicas=8, self_loop=0.9, rng=5)
+        sticky.run(rounds=50)
+        consumed = len(sticky.trajectory) / sticky.wall_segments
+        assert consumed > 0.5
+
+
+class TestValidation:
+    def test_config_checks(self):
+        with pytest.raises(ConfigurationError):
+            ParSpliceEngine(n_states=1)
+        with pytest.raises(ConfigurationError):
+            ParSpliceEngine(n_replicas=0)
+        with pytest.raises(ConfigurationError):
+            ParSpliceEngine(self_loop=1.0)
+
+    def test_deterministic_given_seed(self):
+        a = ParSpliceEngine(n_replicas=4, rng=7)
+        a.run(20)
+        b = ParSpliceEngine(n_replicas=4, rng=7)
+        b.run(20)
+        assert a.simulated_time() == b.simulated_time()

@@ -1,0 +1,49 @@
+"""Sub-Lattice ParSplice tests (the variant the Frontier runs used)."""
+
+import pytest
+
+from repro.apps.exaalt import SubLatticeParSplice
+from repro.errors import ConfigurationError
+
+
+class TestSubLattice:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        s = SubLatticeParSplice(n_domains=4, replicas_per_domain=8,
+                                rounds=40, rng=3)
+        s.run()
+        return s
+
+    def test_sync_only_on_transitions(self, engine):
+        # "synchronization between domains is only needed when a
+        # topological transition occurs and not at every timestep"
+        assert engine.synchronisations < engine.traditional_synchronisations()
+
+    def test_saving_tracks_metastability(self):
+        sticky = SubLatticeParSplice(self_loop=0.95, rounds=30, rng=4)
+        sticky.run()
+        jumpy = SubLatticeParSplice(self_loop=0.3, rounds=30, rng=4)
+        jumpy.run()
+        assert sticky.synchronisation_saving() > jumpy.synchronisation_saving()
+
+    def test_large_saving_at_default_metastability(self, engine):
+        assert engine.synchronisation_saving() > 0.5
+
+    def test_every_domain_trajectory_contiguous(self, engine):
+        assert engine.all_trajectories_contiguous()
+
+    def test_simulated_time_accumulates_over_domains(self, engine):
+        assert engine.simulated_time() > 0
+        per_domain = [e.simulated_time() for e in engine.domains]
+        assert sum(per_domain) == pytest.approx(engine.simulated_time())
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SubLatticeParSplice(n_domains=0)
+
+    def test_deterministic(self):
+        a = SubLatticeParSplice(rounds=15, rng=9)
+        a.run()
+        b = SubLatticeParSplice(rounds=15, rng=9)
+        b.run()
+        assert a.synchronisations == b.synchronisations

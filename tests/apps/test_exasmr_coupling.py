@@ -1,0 +1,45 @@
+"""ExaSMR Picard-coupling tests (Monte Carlo <-> CFD)."""
+
+import pytest
+
+from repro.apps.exasmr import ExaSMR, PicardCoupling
+
+
+class TestPicardIteration:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return PicardCoupling(histories=1200).run(rng=1)
+
+    def test_converges(self, result):
+        assert result["converged"] == 1.0
+        assert result["iterations"] <= 12
+
+    def test_keff_physical(self, result):
+        assert 0.7 < result["k_eff"] < 1.1
+
+    def test_coolant_heats_up(self, result):
+        # outlet warmer than the (zero-temperature) inlet
+        assert result["outlet_temperature"] > 0.0
+        assert result["mean_temperature"] > 0.0
+
+    def test_doppler_feedback_lowers_k(self):
+        # With feedback the converged k is below the no-feedback k.
+        no_fb = PicardCoupling(histories=1200, doppler_coefficient=0.0)
+        with_fb = PicardCoupling(histories=1200, doppler_coefficient=0.3)
+        k_no = no_fb.run(rng=2)["k_eff"]
+        k_fb = with_fb.run(rng=2)["k_eff"]
+        assert k_fb < k_no
+
+
+class TestCombinedFom:
+    def test_harmonic_average_is_70(self):
+        # "yielding a combined FOM of 70"
+        foms = ExaSMR().component_foms()
+        assert foms["combined"] == pytest.approx(70.0, abs=0.1)
+        assert foms["shift"] == 54.0
+        assert foms["nekrs"] == 99.6
+
+    def test_combined_below_both_components_mean(self):
+        foms = ExaSMR().component_foms()
+        assert foms["combined"] < (foms["shift"] + foms["nekrs"]) / 2
+        assert foms["shift"] < foms["combined"] < foms["nekrs"]

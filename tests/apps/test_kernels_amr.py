@@ -1,0 +1,90 @@
+"""Block-structured AMR kernel tests (AMReX/Parthenon machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.amr import AmrHierarchy, advect_exact
+from repro.errors import ConfigurationError
+
+
+class TestRefinementMachinery:
+    def test_pulse_region_gets_refined(self):
+        h = AmrHierarchy(n_coarse=64)
+        assert 0 < len(h.fine) < h.n_blocks
+        # the refined blocks cover the pulse at x ~ 0.3
+        pulse_block = int(0.3 * h.n_blocks)
+        assert any(abs(b - pulse_block) <= 1 for b in h.fine)
+
+    def test_prolongation_is_conservative(self):
+        h = AmrHierarchy(n_coarse=32)
+        for b in range(h.n_blocks):
+            fine = h.prolong(b)
+            coarse = h.coarse[h._block_slice(b)]
+            assert np.allclose(0.5 * (fine[0::2] + fine[1::2]), coarse)
+
+    def test_restriction_inverts_prolongation_mean(self):
+        h = AmrHierarchy(n_coarse=32)
+        b = next(iter(h.fine))
+        before = h.coarse[h._block_slice(b)].copy()
+        h.restrict(b)
+        assert np.allclose(h.coarse[h._block_slice(b)], before)
+
+    def test_regrid_tracks_the_moving_pulse(self):
+        h = AmrHierarchy(n_coarse=64)
+        initial_blocks = set(h.fine)
+        h.run(0.45)   # pulse moves nearly half the domain
+        assert set(h.fine) != initial_blocks
+        assert h.fine   # still refining something
+
+
+class TestConservation:
+    def test_composite_mass_exact_without_regrid(self):
+        h = AmrHierarchy(n_coarse=64)
+        m0 = h.total_mass()
+        for _ in range(50):
+            h.step()
+        assert h.total_mass() == pytest.approx(m0, abs=1e-13)
+
+    def test_composite_mass_exact_through_regrids(self):
+        h = AmrHierarchy(n_coarse=64)
+        m0 = h.total_mass()
+        h.run(0.5, regrid_every=3)
+        assert h.total_mass() == pytest.approx(m0, abs=1e-12)
+
+    def test_mass_matches_uniform_run(self):
+        # AMR and no-AMR runs conserve the same integral.
+        amr = AmrHierarchy(n_coarse=64)
+        uniform = AmrHierarchy(n_coarse=64, refine_threshold=1e9)
+        assert amr.total_mass() == pytest.approx(uniform.total_mass(),
+                                                 rel=1e-12)
+
+
+class TestAccuracy:
+    def test_refinement_reduces_error(self):
+        amr = AmrHierarchy(n_coarse=64)
+        uniform = AmrHierarchy(n_coarse=64, refine_threshold=1e9)
+        amr.run(0.25)
+        uniform.run(0.25)
+        assert amr.composite_error() < 0.85 * uniform.composite_error()
+        assert amr.refined_fraction < 0.6   # and it did so cheaply
+
+    def test_amr_approaches_fully_fine_quality(self):
+        amr = AmrHierarchy(n_coarse=64)
+        fine_everywhere = AmrHierarchy(n_coarse=128, refine_threshold=1e9)
+        amr.run(0.25)
+        fine_everywhere.run(0.25)
+        assert amr.composite_error() < 1.6 * fine_everywhere.composite_error()
+
+    def test_exact_solution_is_periodic(self):
+        x = np.linspace(0, 1, 50, endpoint=False)
+        assert np.allclose(advect_exact(x, 0.0), advect_exact(x, 1.0))
+
+
+class TestValidation:
+    def test_blocks_must_tile(self):
+        with pytest.raises(ConfigurationError):
+            AmrHierarchy(n_coarse=60, block_size=8)
+
+    def test_cfl_bounds(self):
+        with pytest.raises(ConfigurationError):
+            AmrHierarchy(cfl=0.0)

@@ -1,0 +1,80 @@
+"""CFD (heat-advection) kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.cfd import HeatAdvectionSolver, measure_fom
+from repro.errors import ConfigurationError
+
+
+class TestPhysics:
+    def test_no_source_stays_at_inlet_temperature(self):
+        s = HeatAdvectionSolver(nx=16, ny=24)
+        s.run(200)
+        assert s.mean_temperature() == pytest.approx(0.0, abs=1e-9)
+
+    def test_heating_raises_outlet_temperature(self):
+        s = HeatAdvectionSolver(nx=16, ny=32)
+        q = np.zeros((16, 32))
+        q[:, 8:16] = 1.0
+        s.set_heat_source(q)
+        s.run(600)
+        assert s.outlet_temperature() > 0.0
+
+    def test_steady_state_exists(self):
+        s = HeatAdvectionSolver(nx=12, ny=24)
+        q = np.zeros((12, 24))
+        q[4:8, 6:12] = 0.5
+        s.set_heat_source(q)
+        steps = s.run_to_steady(tol=1e-8)
+        assert steps > 1
+        before = s.T.copy()
+        s.run(50)
+        assert np.max(np.abs(s.T - before)) < 1e-5
+
+    def test_advection_moves_heat_downstream(self):
+        s = HeatAdvectionSolver(nx=12, ny=48, velocity=2.0)
+        q = np.zeros((12, 48))
+        q[:, 10:14] = 1.0
+        s.set_heat_source(q)
+        s.run(400)
+        downstream = s.T[:, 20:].mean()
+        upstream = s.T[:, :8].mean()
+        assert downstream > 5 * max(upstream, 1e-12)
+
+    def test_more_heat_hotter(self):
+        results = []
+        for scale in (0.5, 1.0):
+            s = HeatAdvectionSolver(nx=12, ny=24)
+            q = np.full((12, 24), scale)
+            s.set_heat_source(q)
+            s.run(300)
+            results.append(s.outlet_temperature())
+        assert results[1] > results[0]
+
+
+class TestValidation:
+    def test_grid_size(self):
+        with pytest.raises(ConfigurationError):
+            HeatAdvectionSolver(nx=2)
+
+    def test_source_shape(self):
+        s = HeatAdvectionSolver(nx=8, ny=8)
+        with pytest.raises(ConfigurationError):
+            s.set_heat_source(np.zeros((4, 4)))
+
+    def test_source_nonnegative(self):
+        s = HeatAdvectionSolver(nx=8, ny=8)
+        with pytest.raises(ConfigurationError):
+            s.set_heat_source(np.full((8, 8), -1.0))
+
+    def test_stability_limit_enforced(self):
+        s = HeatAdvectionSolver(nx=8, ny=8, alpha=10.0)
+        assert s.dt <= 0.4 * s.dx ** 2 / (4 * 10.0) * 1.001
+
+
+class TestFom:
+    def test_dof_rate(self):
+        r = measure_fom(nx=16, ny=24, n_steps=50)
+        assert r["fom"] > 0
+        assert r["outlet_temperature"] >= 0

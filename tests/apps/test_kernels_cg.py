@@ -1,0 +1,92 @@
+"""HPCG-style preconditioned CG kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.cg import (hpcg_arithmetic_intensity, measure_fom,
+                                   pcg_solve, poisson_operator)
+from repro.errors import ConfigurationError
+from repro.node.roofline import GcdRoofline
+
+
+class TestOperator:
+    def test_poisson_3d_stencil(self):
+        a = poisson_operator(5, dims=3)
+        assert a.shape == (125, 125)
+        assert a.diagonal().min() == a.diagonal().max() == 6.0
+
+    def test_poisson_2d_stencil(self):
+        a = poisson_operator(5, dims=2)
+        assert a.diagonal().max() == 4.0
+
+    def test_symmetric(self):
+        a = poisson_operator(6, dims=3)
+        assert (a - a.T).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            poisson_operator(2)
+        with pytest.raises(ConfigurationError):
+            poisson_operator(8, dims=4)
+
+
+class TestSolver:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        a = poisson_operator(10, dims=3)
+        rng = np.random.default_rng(5)
+        x_true = rng.standard_normal(a.shape[0])
+        return a, x_true, a @ x_true
+
+    def test_converges_to_solution(self, problem):
+        a, x_true, b = problem
+        x, result = pcg_solve(a, b, tol=1e-10)
+        assert result.converged
+        assert np.linalg.norm(x - x_true) / np.linalg.norm(x_true) < 1e-8
+
+    def test_preconditioner_cuts_iterations(self, problem):
+        a, _, b = problem
+        _, plain = pcg_solve(a, b, preconditioned=False)
+        _, pre = pcg_solve(a, b, preconditioned=True)
+        assert pre.iterations < plain.iterations
+        assert pre.converged and plain.converged
+
+    def test_residual_definition(self, problem):
+        a, _, b = problem
+        x, result = pcg_solve(a, b, tol=1e-8)
+        assert (np.linalg.norm(b - a @ x) / np.linalg.norm(b)
+                == pytest.approx(result.residual, rel=1e-6))
+
+    def test_zero_rhs(self, problem):
+        a, _, _ = problem
+        x, result = pcg_solve(a, np.zeros(a.shape[0]))
+        assert result.converged
+        assert np.all(x == 0)
+
+    def test_flop_accounting_positive(self, problem):
+        a, _, b = problem
+        _, result = pcg_solve(a, b)
+        # at least one SpMV per iteration
+        assert result.flops >= result.iterations * 2 * a.nnz
+
+    def test_shape_mismatch_rejected(self, problem):
+        a, _, _ = problem
+        with pytest.raises(ConfigurationError):
+            pcg_solve(a, np.ones(3))
+
+
+class TestMemoryBoundClaim:
+    def test_hpcg_intensity_far_below_ridge(self):
+        # The quantitative version of "HPCG is memory bound": its AI sits
+        # two orders of magnitude under the GCD ridge point.
+        a = poisson_operator(12, dims=3)
+        ai = hpcg_arithmetic_intensity(a)
+        roof = GcdRoofline()
+        assert ai < roof.ridge_point / 50
+        assert roof.is_memory_bound(ai)
+
+    def test_fom_measurement(self):
+        r = measure_fom(n=10)
+        assert r["fom"] > 0
+        assert r["solution_error"] < 1e-6
+        assert r["arithmetic_intensity"] < 0.3

@@ -1,0 +1,87 @@
+"""Lennard-Jones MD kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.md import LennardJonesMd, make_fcc_lattice, measure_fom
+from repro.errors import ConfigurationError
+
+
+def make_sim(cells: int = 2, **kw) -> LennardJonesMd:
+    pos, box = make_fcc_lattice(cells)
+    kw.setdefault("cutoff", min(2.5, 0.49 * box))
+    return LennardJonesMd(pos, box, **kw)
+
+
+class TestLattice:
+    def test_fcc_atom_count(self):
+        pos, _ = make_fcc_lattice(3)
+        assert pos.shape == (108, 3)
+
+    def test_density(self):
+        pos, box = make_fcc_lattice(2, density=0.8442)
+        assert pos.shape[0] / box ** 3 == pytest.approx(0.8442)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_fcc_lattice(0)
+
+
+class TestConservation:
+    def test_energy_conserved_nve(self):
+        sim = make_sim(2, dt=0.002)
+        e0 = sim.total_energy()
+        sim.run(100)
+        drift = abs(sim.total_energy() - e0) / abs(e0)
+        assert drift < 1e-3
+
+    def test_momentum_zero_and_conserved(self):
+        sim = make_sim(2)
+        assert np.linalg.norm(sim.total_momentum()) < 1e-12
+        sim.run(50)
+        assert np.linalg.norm(sim.total_momentum()) < 1e-10
+
+    def test_smaller_dt_conserves_better(self):
+        drifts = []
+        for dt in (0.008, 0.002):
+            sim = make_sim(2, dt=dt)
+            e0 = sim.total_energy()
+            sim.run(50)
+            drifts.append(abs(sim.total_energy() - e0) / abs(e0))
+        assert drifts[1] < drifts[0]
+
+
+class TestPhysics:
+    def test_fcc_ground_state_is_bound(self):
+        sim = make_sim(2, temperature=1e-6)
+        assert sim.potential_energy() < 0
+
+    def test_temperature_definition(self):
+        sim = make_sim(2, temperature=0.5)
+        assert sim.temperature() == pytest.approx(
+            2 * sim.kinetic_energy() / (3 * sim.n_atoms))
+
+    def test_atoms_stay_in_box(self):
+        sim = make_sim(2)
+        sim.run(50)
+        assert np.all(sim.x >= 0)
+        assert np.all(sim.x < sim.box)
+
+    def test_forces_are_pairwise_antisymmetric(self):
+        sim = make_sim(2)
+        f = sim._forces()
+        assert np.linalg.norm(f.sum(axis=0)) < 1e-9
+
+
+class TestValidationAndFom:
+    def test_cutoff_bounds(self):
+        pos, box = make_fcc_lattice(2)
+        with pytest.raises(ConfigurationError):
+            LennardJonesMd(pos, box, cutoff=box)
+        with pytest.raises(ConfigurationError):
+            LennardJonesMd(pos.ravel(), box)  # wrong shape
+
+    def test_fom(self):
+        r = measure_fom(cells=2, n_steps=5)
+        assert r["fom"] > 0
+        assert r["energy_drift"] < 1e-3

@@ -1,0 +1,90 @@
+"""Monte-Carlo neutronics kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.montecarlo import SlabReactor, measure_fom
+from repro.errors import ConfigurationError
+
+
+class TestKEigenvalue:
+    def test_k_inf_analytic(self):
+        r = SlabReactor(sigma_t=1.0, sigma_s=0.7, sigma_f=0.12, nu=2.5)
+        # k_inf = nu Sigma_f / Sigma_a = 2.5*0.12/0.3 = 1.0
+        assert r.k_infinity == pytest.approx(1.0)
+
+    def test_thick_slab_approaches_k_inf(self):
+        # leakage vanishes as the slab thickens
+        r = SlabReactor(thickness=200.0)
+        result = r.power_iteration(histories=3000, generations=16, discard=6,
+                                   rng=1)
+        assert result.k_eff == pytest.approx(r.k_infinity, abs=0.05)
+
+    def test_thin_slab_leaks_and_k_drops(self):
+        thin = SlabReactor(thickness=2.0).power_iteration(
+            histories=3000, generations=12, discard=4, rng=1)
+        thick = SlabReactor(thickness=50.0).power_iteration(
+            histories=3000, generations=12, discard=4, rng=1)
+        assert thin.k_eff < thick.k_eff
+
+    def test_more_fissile_material_raises_k(self):
+        lean = SlabReactor(sigma_s=0.75, sigma_f=0.08).power_iteration(
+            histories=2000, generations=10, discard=4, rng=2)
+        rich = SlabReactor(sigma_s=0.65, sigma_f=0.20).power_iteration(
+            histories=2000, generations=10, discard=4, rng=2)
+        assert rich.k_eff > lean.k_eff
+
+
+class TestTallies:
+    def test_fission_source_symmetric(self):
+        r = SlabReactor(thickness=20.0, n_tally_bins=10)
+        result = r.power_iteration(histories=4000, generations=14, discard=6,
+                                   rng=3)
+        t = result.fission_tally
+        asym = abs(t[:5].sum() - t[5:].sum()) / t.sum()
+        assert asym < 0.1
+
+    def test_fission_peaks_at_center(self):
+        r = SlabReactor(thickness=20.0, n_tally_bins=10)
+        result = r.power_iteration(histories=4000, generations=14, discard=6,
+                                   rng=3)
+        t = result.fission_tally
+        center = t[4:6].mean()
+        edges = (t[0] + t[-1]) / 2
+        assert center > 1.5 * edges
+
+    def test_history_accounting(self):
+        r = SlabReactor()
+        result = r.power_iteration(histories=500, generations=8, discard=3,
+                                   rng=4)
+        assert result.total_histories == 500 * 8
+        assert result.histories_per_second > 0
+
+
+class TestValidation:
+    def test_cross_sections_consistent(self):
+        with pytest.raises(ConfigurationError):
+            SlabReactor(sigma_t=1.0, sigma_s=0.8, sigma_f=0.3)
+
+    def test_positive_thickness(self):
+        with pytest.raises(ConfigurationError):
+            SlabReactor(thickness=0.0)
+
+    def test_iteration_parameters(self):
+        r = SlabReactor()
+        with pytest.raises(ConfigurationError):
+            r.power_iteration(histories=5)
+        with pytest.raises(ConfigurationError):
+            r.power_iteration(histories=100, generations=4, discard=4)
+
+    def test_deterministic_given_seed(self):
+        a = SlabReactor().power_iteration(histories=500, generations=8,
+                                          discard=3, rng=5)
+        b = SlabReactor().power_iteration(histories=500, generations=8,
+                                          discard=3, rng=5)
+        assert a.k_eff == b.k_eff
+
+    def test_fom(self):
+        r = measure_fom(histories=500, generations=8)
+        assert r["fom"] > 0
+        assert 0.5 < r["k_eff"] < 1.2

@@ -1,0 +1,94 @@
+"""PIC kernel physics tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.pic import (ElectrostaticPic1d, Fdtd2d,
+                                    measure_update_rate)
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestElectrostaticPic:
+    def test_plasma_oscillation_frequency(self):
+        # The canonical PIC validation: a cold perturbed plasma oscillates
+        # at w_p (within grid/leapfrog dispersion error).
+        sim = ElectrostaticPic1d(n_cells=64, particles_per_cell=20, dt=0.05)
+        sim.perturb(amplitude=1e-3)
+        measured = sim.measure_oscillation_frequency(n_steps=400)
+        assert measured == pytest.approx(sim.plasma_frequency, rel=0.10)
+
+    def test_charge_neutrality_exact(self):
+        sim = ElectrostaticPic1d()
+        assert abs(sim.total_charge()) < 1e-12
+        sim.perturb()
+        for _ in range(10):
+            sim.step()
+        assert abs(sim.total_charge()) < 1e-10
+
+    def test_unperturbed_plasma_stays_quiet(self):
+        sim = ElectrostaticPic1d()
+        for _ in range(20):
+            sim.step()
+        assert sim.field_energy() < 1e-20
+
+    def test_energy_bounded_during_oscillation(self):
+        sim = ElectrostaticPic1d(dt=0.02)
+        sim.perturb(amplitude=1e-3)
+        sim.step()
+        e0 = sim.total_energy()
+        for _ in range(200):
+            sim.step()
+        assert sim.total_energy() == pytest.approx(e0, rel=0.05)
+
+    def test_field_solve_satisfies_gauss_law(self):
+        sim = ElectrostaticPic1d(n_cells=32)
+        sim.perturb(amplitude=1e-2)
+        rho = sim.deposit()
+        e = sim.solve_field(rho)
+        div_e = (np.roll(e, -1) - np.roll(e, 1)) / (2 * sim.dx)
+        # spectral solve: divergence matches rho up to grid differencing
+        assert np.corrcoef(div_e, rho)[0, 1] > 0.99
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ElectrostaticPic1d(n_cells=2)
+
+
+class TestFdtd:
+    def test_energy_conservation(self):
+        # Yee staggering means the naive E^2+H^2 sum oscillates by a few
+        # percent (E and H live at different half-steps); it must not drift.
+        f = Fdtd2d(nx=48, ny=48)
+        f.inject_pulse()
+        e0 = f.energy()
+        energies = []
+        for _ in range(300):
+            f.step()
+            energies.append(f.energy())
+        assert np.mean(energies[-50:]) == pytest.approx(e0, rel=0.05)
+        assert max(energies) / min(energies) < 1.15
+
+    def test_cfl_violation_rejected(self):
+        with pytest.raises(SimulationError):
+            Fdtd2d(courant=0.8)
+
+    def test_pulse_propagates(self):
+        f = Fdtd2d(nx=64, ny=64)
+        f.inject_pulse(width=3.0)
+        center0 = abs(f.ez[32, 32])
+        for _ in range(40):
+            f.step()
+        # the pulse has left the centre
+        assert abs(f.ez[32, 32]) < center0 / 2
+
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            Fdtd2d(nx=2)
+
+
+class TestFomMeasurement:
+    def test_measure_update_rate(self):
+        r = measure_update_rate(n_cells=32, particles_per_cell=10, n_steps=10)
+        assert r["fom"] > 0
+        assert r["charge_error"] < 1e-9
+        assert r["particle_updates_per_s"] > r["cell_updates_per_s"]

@@ -1,0 +1,66 @@
+"""Particle-mesh gravity kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.pm import ParticleMesh3d, measure_fom
+from repro.errors import ConfigurationError
+
+
+class TestDeposit:
+    def test_cic_conserves_mass(self):
+        sim = ParticleMesh3d(n_grid=16, n_particles=500)
+        assert sim.deposited_mass() == pytest.approx(sim.total_mass(),
+                                                     rel=1e-12)
+
+    def test_uniform_particles_give_flat_density(self, rng):
+        sim = ParticleMesh3d(n_grid=8, n_particles=80_000, rng=rng)
+        rho = sim.deposit()
+        assert rho.std() / rho.mean() < 0.1
+
+
+class TestForces:
+    def test_newtons_third_law(self):
+        # CIC-deposit + FFT-solve + CIC-gather is momentum conserving.
+        sim = ParticleMesh3d(n_grid=16, n_particles=200)
+        acc = sim.acceleration()
+        total_force = (sim.mass[:, None] * acc).sum(axis=0)
+        assert np.linalg.norm(total_force) < 1e-10
+
+    def test_two_bodies_attract(self):
+        sim = ParticleMesh3d(n_grid=32, n_particles=2)
+        sim.x = np.array([[0.35, 0.5, 0.5], [0.65, 0.5, 0.5]])
+        sim.mass = np.array([0.5, 0.5])
+        acc = sim.acceleration()
+        # each accelerates toward the other along x
+        assert acc[0, 0] > 0
+        assert acc[1, 0] < 0
+        assert abs(acc[0, 1]) < abs(acc[0, 0]) * 0.1
+
+    def test_momentum_conserved_over_steps(self):
+        sim = ParticleMesh3d(n_grid=16, n_particles=300)
+        p0 = sim.total_momentum()
+        for _ in range(5):
+            sim.step()
+        assert np.linalg.norm(sim.total_momentum() - p0) < 1e-10
+
+    def test_positions_stay_in_box(self):
+        sim = ParticleMesh3d(n_grid=16, n_particles=300, dt=5e-3)
+        for _ in range(5):
+            sim.step()
+        assert np.all(sim.x >= 0.0)
+        assert np.all(sim.x < 1.0)
+
+
+class TestValidationAndFom:
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            ParticleMesh3d(n_grid=4)
+        with pytest.raises(ConfigurationError):
+            ParticleMesh3d(n_grid=16, n_particles=1)
+
+    def test_fom(self):
+        r = measure_fom(n_grid=16, n_particles=512, n_steps=2)
+        assert r["fom"] > 0
+        assert r["momentum_drift"] < 1e-10
+        assert r["mass_error"] < 1e-10

@@ -1,0 +1,69 @@
+"""LSMS multiple-scattering kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.scattering import (ScatteringProblem,
+                                           block_size_for_lmax,
+                                           linear_scaling_times, measure_fom,
+                                           residual, solve_tau)
+from repro.errors import ConfigurationError
+
+
+class TestBlockSizes:
+    def test_lmax7_gives_128(self):
+        # the paper's l_max = 7 benchmark case
+        assert block_size_for_lmax(7) == 128
+
+    def test_small_lmax(self):
+        assert block_size_for_lmax(0) == 2
+        assert block_size_for_lmax(3) == 32
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            block_size_for_lmax(-1)
+
+
+class TestTauSolve:
+    def test_solution_satisfies_equation(self):
+        prob = ScatteringProblem(n_atoms=3, liz_size=6, lmax=2, rng=1)
+        for atom in range(3):
+            tau = solve_tau(prob, atom)
+            assert residual(prob, atom, tau) < 1e-10
+
+    def test_tau_is_complex_dense(self):
+        prob = ScatteringProblem(n_atoms=1, liz_size=4, lmax=2, rng=2)
+        tau = solve_tau(prob, 0)
+        assert tau.dtype == np.complex128
+        assert tau.shape == (prob.matrix_dim, prob.matrix_dim)
+
+    def test_weak_scattering_limit(self):
+        # As t -> 0, tau -> t (single-scattering limit).
+        prob = ScatteringProblem(n_atoms=1, liz_size=4, lmax=1, rng=3)
+        prob.t[0] = prob.t[0] * 1e-6
+        tau = solve_tau(prob, 0)
+        assert np.allclose(tau, prob.t[0], atol=1e-9)
+
+
+class TestLinearScaling:
+    def test_time_grows_subquadratically(self):
+        # LSMS's headline property: O(atoms), not O(atoms^3).
+        times = linear_scaling_times([2, 8], lmax=2, liz_size=6, rng=4)
+        (n1, t1), (n2, t2) = times
+        ratio = (t2 / t1) / (n2 / n1)
+        assert ratio < 3.0   # linear would be 1.0; cubic would be 16
+
+    def test_returns_requested_counts(self):
+        times = linear_scaling_times([2, 4], lmax=1, liz_size=4)
+        assert [n for n, _ in times] == [2, 4]
+
+
+class TestValidationAndFom:
+    def test_problem_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScatteringProblem(n_atoms=0)
+
+    def test_fom(self):
+        r = measure_fom(n_atoms=2, lmax=2, liz_size=6)
+        assert r["fom"] > 0
+        assert r["max_residual"] < 1e-10

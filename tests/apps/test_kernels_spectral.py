@@ -1,0 +1,88 @@
+"""Pseudo-spectral Navier-Stokes kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.kernels.spectral import (SpectralNavierStokes3d, measure_fom,
+                                         transpose_bytes_per_step)
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture()
+def sim() -> SpectralNavierStokes3d:
+    s = SpectralNavierStokes3d(n=16, viscosity=0.05, dt=0.01)
+    s.set_taylor_green()
+    return s
+
+
+class TestIncompressibility:
+    def test_initial_field_divergence_free(self, sim):
+        assert sim.divergence_max() < 1e-12
+
+    def test_divergence_free_maintained(self, sim):
+        for _ in range(10):
+            sim.step()
+        assert sim.divergence_max() < 1e-10
+
+
+class TestEnergyBudget:
+    def test_viscous_decay_matches_taylor_green(self):
+        # Early Taylor-Green decay: dE/dt = -2 nu Z with Z the enstrophy;
+        # for TG at t=0: E = A^2/8 and the decay rate is exp(-2 nu k^2 t)
+        # with k^2 = 3 for the (1,1,1) mode.
+        nu = 0.05
+        sim = SpectralNavierStokes3d(n=16, viscosity=nu, dt=0.005)
+        sim.set_taylor_green(amplitude=0.01)   # small: nonlinearity negligible
+        e0 = sim.kinetic_energy()
+        n_steps = 20
+        for _ in range(n_steps):
+            sim.step()
+        expected = e0 * np.exp(-2 * nu * 3.0 * sim.time)
+        assert sim.kinetic_energy() == pytest.approx(expected, rel=0.01)
+
+    def test_energy_never_grows(self, sim):
+        e_prev = sim.kinetic_energy()
+        for _ in range(10):
+            sim.step()
+            e = sim.kinetic_energy()
+            assert e <= e_prev * (1 + 1e-10)
+            e_prev = e
+
+    def test_taylor_green_initial_energy(self):
+        sim = SpectralNavierStokes3d(n=16)
+        sim.set_taylor_green(amplitude=1.0)
+        # E = (1/2)<u^2> = 1/8 for the TG field with A=1
+        assert sim.kinetic_energy() == pytest.approx(0.125, rel=1e-6)
+
+
+class TestDecompositionModel:
+    def test_1d_moves_less_than_2d_per_rank(self):
+        # one transpose vs two per FFT
+        one = transpose_bytes_per_step(256, ranks=64, decomposition="1d")
+        two = transpose_bytes_per_step(256, ranks=64, decomposition="2d")
+        assert two == pytest.approx(2 * one)
+
+    def test_volume_scales_inverse_with_ranks(self):
+        a = transpose_bytes_per_step(256, ranks=64)
+        b = transpose_bytes_per_step(256, ranks=128)
+        assert a == pytest.approx(2 * b)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            transpose_bytes_per_step(64, ranks=4, decomposition="3d")
+        with pytest.raises(ConfigurationError):
+            transpose_bytes_per_step(64, ranks=0)
+
+
+class TestConfigAndFom:
+    def test_grid_validation(self):
+        with pytest.raises(ConfigurationError):
+            SpectralNavierStokes3d(n=7)
+        with pytest.raises(ConfigurationError):
+            SpectralNavierStokes3d(n=16, viscosity=0.0)
+
+    def test_fom_measurement(self):
+        r = measure_fom(n=16, n_steps=2)
+        assert r["fom"] > 0
+        assert r["divergence_max"] < 1e-10
+        assert r["energy_ratio"] <= 1.0

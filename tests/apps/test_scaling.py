@@ -1,0 +1,91 @@
+"""Weak-scaling model tests — the §4.4 efficiency claims."""
+
+import pytest
+
+from repro.apps.scaling import (PAPER_EFFICIENCIES, CommPattern,
+                                WeakScalingModel)
+from repro.core.baselines import FRONTIER, SUMMIT
+from repro.errors import ConfigurationError
+
+
+class TestPaperEfficiencies:
+    def test_picongpu_90pct_at_9216_nodes(self):
+        nodes, eff = PAPER_EFFICIENCIES["PIConGPU"]
+        assert WeakScalingModel.picongpu().efficiency(nodes) == pytest.approx(
+            eff, abs=0.02)
+
+    def test_shift_97_8pct_at_8192_nodes(self):
+        nodes, eff = PAPER_EFFICIENCIES["Shift"]
+        assert WeakScalingModel.shift().efficiency(nodes) == pytest.approx(
+            eff, abs=0.01)
+
+    def test_athenapk_frontier_vs_summit_gap(self):
+        # "96% and 48% parallel efficiency on Frontier and Summit ...
+        # attributed to Frontier's improved node design, specifically each
+        # GPU having a network interface card connected to it"
+        nodes_f, eff_f = PAPER_EFFICIENCIES["AthenaPK-Frontier"]
+        nodes_s, eff_s = PAPER_EFFICIENCIES["AthenaPK-Summit"]
+        frontier = WeakScalingModel.athenapk()
+        summit = WeakScalingModel.athenapk(machine=SUMMIT)
+        assert frontier.efficiency(nodes_f) == pytest.approx(eff_f, abs=0.02)
+        assert summit.efficiency(nodes_s) == pytest.approx(eff_s, abs=0.03)
+
+    def test_the_gap_comes_from_the_node_design(self):
+        """Same halo volume and compute; only the staging/rail sharing
+        differ — remove Summit's staging and the gap mostly closes."""
+        summit_fixed = WeakScalingModel.athenapk(machine=SUMMIT)
+        hypothetical = WeakScalingModel(
+            pattern=summit_fixed.pattern,
+            compute_seconds=summit_fixed.compute_seconds,
+            comm_bytes_per_rank=summit_fixed.comm_bytes_per_rank,
+            machine=SUMMIT, ppn=6, staging_factor=1.0)
+        assert hypothetical.efficiency(4600) > 0.8
+        assert summit_fixed.efficiency(4600) < 0.55
+
+
+class TestMechanics:
+    def test_efficiency_decreases_with_scale(self):
+        m = WeakScalingModel.picongpu()
+        effs = [e for _, e in m.curve([1, 64, 512, 4096, 9216])]
+        assert effs == sorted(effs, reverse=True)
+        assert effs[0] == 1.0
+
+    def test_single_node_uses_intra_node_links(self):
+        m = WeakScalingModel.athenapk()
+        assert m.comm_seconds(1) < m.comm_seconds(2)
+
+    def test_overlap_hides_communication(self):
+        base = WeakScalingModel(CommPattern.HALO, 1e-2, 1e6)
+        hidden = WeakScalingModel(CommPattern.HALO, 1e-2, 1e6, overlap=0.5)
+        assert hidden.efficiency(4096) > base.efficiency(4096)
+
+    def test_gests_2d_moves_more_and_scales_worse(self):
+        one_d = WeakScalingModel.gests("1d")
+        two_d = WeakScalingModel.gests("2d")
+        assert two_d.comm_bytes_per_rank == 2 * one_d.comm_bytes_per_rank
+        assert two_d.efficiency(9216) < one_d.efficiency(9216)
+
+    def test_allreduce_imbalance_term(self):
+        balanced = WeakScalingModel(CommPattern.ALLREDUCE, 0.1, 1e6)
+        imbalanced = WeakScalingModel(CommPattern.ALLREDUCE, 0.1, 1e6,
+                                      imbalance_per_doubling=0.01)
+        assert imbalanced.efficiency(8192) < balanced.efficiency(8192)
+
+    def test_step_time_composition(self):
+        m = WeakScalingModel.shift()
+        assert m.step_time(64) == pytest.approx(
+            m.compute_seconds + m.comm_seconds(64))
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            WeakScalingModel(CommPattern.HALO, 0.0, 1e6)
+        with pytest.raises(ConfigurationError):
+            WeakScalingModel(CommPattern.HALO, 1.0, 1e6, overlap=1.0)
+        with pytest.raises(ConfigurationError):
+            WeakScalingModel(CommPattern.HALO, 1.0, 1e6, staging_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            WeakScalingModel.gests("3d")
+        with pytest.raises(ConfigurationError):
+            WeakScalingModel.shift().comm_seconds(0)

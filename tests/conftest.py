@@ -1,0 +1,49 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
+from repro.fabric.network import SlingshotNetwork
+from repro.node.cpu import TrentoCpu
+from repro.node.node import BardPeakNode
+
+
+@pytest.fixture(scope="session")
+def frontier_fabric_config() -> DragonflyConfig:
+    """The full-scale dragonfly parameters (not materialised)."""
+    return DragonflyConfig()
+
+
+@pytest.fixture(scope="session")
+def small_fabric_config() -> DragonflyConfig:
+    """A reduced-scale dragonfly preserving the taper, cheap to build."""
+    return DragonflyConfig().scaled(groups=8, switches_per_group=4,
+                                    endpoints_per_switch=4)
+
+
+@pytest.fixture(scope="session")
+def small_topology(small_fabric_config):
+    return build_dragonfly(small_fabric_config)
+
+
+@pytest.fixture(scope="session")
+def small_network(small_fabric_config) -> SlingshotNetwork:
+    return SlingshotNetwork(small_fabric_config)
+
+
+@pytest.fixture()
+def node() -> BardPeakNode:
+    return BardPeakNode()
+
+
+@pytest.fixture()
+def cpu() -> TrentoCpu:
+    return TrentoCpu()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,63 @@
+"""Baseline machine model tests."""
+
+import pytest
+
+from repro.core.baselines import (BASELINES, CORI, FRONTIER, MIRA, SUMMIT,
+                                  THETA, TITAN, MachineModel)
+from repro.errors import ConfigurationError
+
+
+class TestFrontier:
+    def test_node_and_gpu_counts(self):
+        assert FRONTIER.nodes == 9472
+        assert FRONTIER.gpus == 75776   # 8 GCDs per node
+
+    def test_sustained_dgemm_2ef(self):
+        # Table 1's "FP64 DGEMM 2.0 EF"
+        gpu_only = FRONTIER.gpus * FRONTIER.fp64_per_gpu
+        assert gpu_only == pytest.approx(2.0e18, rel=0.01)
+
+    def test_nic_per_gpu_ratio(self):
+        assert FRONTIER.nics_per_gpu() == pytest.approx(0.5)
+
+
+class TestComparisons:
+    def test_summit_gpu_count(self):
+        assert SUMMIT.gpus == 27648
+
+    def test_titan_one_gpu_per_node(self):
+        assert TITAN.gpus == 18688
+
+    def test_cpu_machines_have_no_gpus(self):
+        for m in (MIRA, THETA, CORI):
+            assert m.gpus == 0
+            assert m.nics_per_gpu() == 0.0
+
+    def test_ecp_baselines_are_20pf_class(self):
+        # "the reigning DOE systems were in the ~20 PF range"
+        for m in (MIRA, THETA, CORI):
+            assert 5e15 < m.system_fp64 < 35e15
+
+    def test_frontier_is_50x_the_baseline_generation_in_flops(self):
+        # the hardware alone supplies a large share of the 50x target
+        assert FRONTIER.system_fp64 / THETA.system_fp64 > 100
+
+    def test_registry_complete(self):
+        assert set(BASELINES) == {"Frontier", "Summit", "Titan", "Mira",
+                                  "Theta", "Cori", "Sequoia"}
+
+    def test_efficiency_improved_each_generation(self):
+        assert (TITAN.gflops_per_watt < SUMMIT.gflops_per_watt
+                < FRONTIER.gflops_per_watt)
+
+
+class TestValidation:
+    def test_positive_nodes_required(self):
+        with pytest.raises(ConfigurationError):
+            MachineModel(name="bad", year=2020, nodes=0, gpus_per_node=1,
+                         fp64_per_gpu=1.0, fp64_per_node_cpu=1.0,
+                         memory_per_node=1.0, node_injection=1.0,
+                         power_mw=1.0)
+
+    def test_peak_override(self):
+        assert MIRA.system_fp64 == pytest.approx(10.07e15)

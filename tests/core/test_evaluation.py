@@ -1,0 +1,88 @@
+"""Full-evaluation driver tests (everything in one sweep)."""
+
+import pytest
+
+from repro.core.evaluation import run_full_evaluation, table6, table7
+
+
+@pytest.fixture(scope="module")
+def evaluation():
+    return run_full_evaluation(mpigraph_samples=1)
+
+
+class TestCompleteness:
+    def test_every_table_and_figure_present(self, evaluation):
+        for key in ("table1", "table2", "table3", "table4", "table5",
+                    "table6", "table7", "figure3", "figure4", "figure5",
+                    "figure6", "alltoall", "storage_4_3", "section5",
+                    "weak_scaling", "energy_to_solution", "cost"):
+            assert key in evaluation
+
+    def test_table_rows_complete(self, evaluation):
+        assert len(evaluation["table3"]) == 4      # Copy/Scale/Add/Triad
+        assert len(evaluation["table4"]) == 5      # + Mul/Dot naming
+        assert len(evaluation["table6"]) == 6
+        assert len(evaluation["table7"]) == 5
+        assert len(evaluation["table2"]) == 3      # three Orion tiers
+
+    def test_every_kpp_met(self, evaluation):
+        for row in evaluation["table6"] + evaluation["table7"]:
+            assert row["met"], f"{row['application']} missed its KPP"
+
+    def test_section5_grades(self, evaluation):
+        grades = {k: v["grade"] for k, v in evaluation["section5"].items()}
+        assert grades == {
+            "energy_and_power": "pass",
+            "memory_and_storage": "partial",
+            "concurrency_and_locality": "pass",
+            "resiliency": "struggle",
+        }
+
+    def test_spirit_flag(self, evaluation):
+        assert evaluation["meets_spirit_of_exascale"] is True
+
+    def test_weak_scaling_section(self, evaluation):
+        ws = evaluation["weak_scaling"]
+        assert ws["PIConGPU@9216"] == pytest.approx(0.90, abs=0.02)
+        assert ws["AthenaPK-Summit@4600"] == pytest.approx(0.48, abs=0.03)
+
+    def test_energy_section(self, evaluation):
+        assert all(v > 1.0 for v in evaluation["energy_to_solution"].values())
+
+    def test_cost_section(self, evaluation):
+        assert evaluation["cost"]["implied_power_cap_mw"] == pytest.approx(20.0)
+        assert evaluation["cost"]["frontier_meets_rule"]
+
+
+class TestShapeClaims:
+    def test_figure6_shape(self, evaluation):
+        fig6 = evaluation["figure6"]
+        assert fig6["frontier"]["min_gbs"] < fig6["summit"]["min_gbs"]
+        assert fig6["frontier"]["max_gbs"] > fig6["summit"]["max_gbs"]
+        assert fig6["frontier"]["mass_above_15"] == pytest.approx(0.014,
+                                                                  abs=0.005)
+
+    def test_alltoall_in_band(self, evaluation):
+        assert 28 <= evaluation["alltoall"]["per_node_gbs"] <= 33
+
+    def test_gpcnet_8ppn_ideal(self, evaluation):
+        impact = evaluation["table5"]["8ppn"]["impact"]
+        for metrics in impact.values():
+            assert metrics["avg"] == pytest.approx(1.0, abs=0.06)
+
+    def test_storage_rows(self, evaluation):
+        s = evaluation["storage_4_3"]
+        assert s["node_read_gbs"] == pytest.approx(7.1, rel=0.03)
+        assert s["ingest_700tib_s"] == pytest.approx(180.0, rel=0.03)
+
+
+class TestStandaloneTables:
+    def test_table6_function(self):
+        rows = table6()
+        assert rows[0]["application"] == "CoMet"
+        assert all(r["baseline"] == "Summit" for r in rows)
+
+    def test_table7_function(self):
+        rows = table7()
+        assert {r["baseline"] for r in rows} == {"Cori", "Theta", "Mira",
+                                                 "Titan"}

@@ -1,0 +1,63 @@
+"""FrontierMachine facade tests."""
+
+import pytest
+
+from repro.core.machine import FrontierMachine
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def machine() -> FrontierMachine:
+    return FrontierMachine()
+
+
+class TestAggregates:
+    def test_gcd_count(self, machine):
+        assert machine.gcd_count == 75776
+
+    def test_gpu_threads_over_half_billion(self, machine):
+        assert machine.gpu_threads > 500_000_000
+
+    def test_memory_capacities_match_table1(self, machine):
+        t1 = machine.table1()
+        assert machine.hbm_capacity_bytes / 2 ** 50 == pytest.approx(
+            t1["hbm2e_capacity_PiB"])
+
+    def test_node_local_aggregate_rates(self, machine):
+        assert machine.node_local_read_bandwidth == pytest.approx(67.3e12,
+                                                                  rel=0.01)
+        assert machine.node_local_write_bandwidth == pytest.approx(39.8e12,
+                                                                   rel=0.01)
+
+    def test_summary_keys(self, machine):
+        s = machine.summary()
+        for key in ("power_MW", "gflops_per_watt", "system_mtti_hours",
+                    "orion_capacity_PB", "nodes"):
+            assert key in s
+
+    def test_orion_capacity_around_700_pb(self, machine):
+        s = machine.summary()
+        assert 650 < s["orion_capacity_PB"] < 750
+
+
+class TestFactories:
+    def test_scheduler_covers_machine(self, machine):
+        sched = FrontierMachine(node_count=256).scheduler()
+        assert sched.n_nodes == 256
+
+    def test_resilience_attached(self, machine):
+        assert machine.resilience.system_mtti_hours > 0
+
+
+class TestValidation:
+    def test_node_count_positive(self):
+        with pytest.raises(ConfigurationError):
+            FrontierMachine(node_count=0)
+
+    def test_node_count_bounded_by_fabric(self):
+        with pytest.raises(ConfigurationError):
+            FrontierMachine(node_count=100_000)
+
+    def test_reduced_machine_is_fine(self):
+        m = FrontierMachine(node_count=128)
+        assert m.gcd_count == 1024

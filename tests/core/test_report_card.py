@@ -1,0 +1,63 @@
+"""Section 5 scorecard tests — the paper's four-challenge verdicts."""
+
+import pytest
+
+from repro.core.report_card import ChallengeGrade, ExascaleReportCard
+
+
+@pytest.fixture(scope="module")
+def card():
+    return ExascaleReportCard().evaluate()
+
+
+class TestVerdictsMatchThePaper:
+    def test_energy_and_power_passes(self, card):
+        # §5.1: "Frontier clearly excels in this area."
+        result = card["energy_and_power"]
+        assert result.grade is ChallengeGrade.PASS
+        assert result.metrics["gflops_per_watt"] > 50
+        assert result.metrics["mw_per_exaflop"] < 20
+
+    def test_memory_and_storage_partial(self, card):
+        # §5.2: meets applications' needs but not the 1000x resource ask.
+        result = card["memory_and_storage"]
+        assert result.grade is ChallengeGrade.PARTIAL
+        assert not result.metrics["meets_report_1000x"]
+
+    def test_memory_scaling_well_short_of_1000x(self, card):
+        m = card["memory_and_storage"].metrics
+        assert m["memory_scaling_vs_2008"] < 100
+        assert m["storage_scaling_vs_2008"] < 100
+
+    def test_memory_plus_storage_cost_45pct(self, card):
+        # "memory and storage claim at least 45% of the system cost"
+        m = card["memory_and_storage"].metrics
+        assert m["memory_cost_share"] + m["storage_cost_share"] == \
+            pytest.approx(0.45)
+
+    def test_concurrency_passes_via_gpus(self, card):
+        # §5.3: >500M threads near 1 GHz; GPUs supplied the concurrency.
+        result = card["concurrency_and_locality"]
+        assert result.grade is ChallengeGrade.PASS
+        assert result.metrics["gpu_threads"] > 5e8
+        assert result.metrics["via_gpus"]
+
+    def test_resiliency_struggles(self, card):
+        # §5.4: "it struggles with the resiliency challenge"
+        result = card["resiliency"]
+        assert result.grade is ChallengeGrade.STRUGGLE
+        assert result.metrics["near_four_hour_target"]
+        assert not result.metrics["reaches_terascale_goal"]
+
+    def test_resiliency_names_memory_and_power(self, card):
+        leading = card["resiliency"].metrics["leading_contributors"]
+        joined = " ".join(leading).lower()
+        assert "hbm" in joined or "memory" in joined
+        assert "power" in joined
+
+
+class TestThesis:
+    def test_meets_spirit_of_exascale(self):
+        # The paper's conclusion: every application beat its KPP, so
+        # Frontier "meets the spirit of the exascale definition".
+        assert ExascaleReportCard().meets_spirit_of_exascale()

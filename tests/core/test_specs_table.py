@@ -1,0 +1,63 @@
+"""Table 1 aggregation tests."""
+
+import pytest
+
+from repro.core.specs_table import compute_table1
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return compute_table1()
+
+
+class TestTable1:
+    """Each row of the paper's Table 1 against the computed aggregate."""
+
+    def test_nodes(self, table1):
+        assert table1["nodes"] == 9472
+
+    def test_fp64_dgemm_2_0_ef(self, table1):
+        assert table1["fp64_dgemm_EF"] == pytest.approx(2.0, rel=0.01)
+
+    def test_ddr4_capacity_4_6_pib(self, table1):
+        assert table1["ddr4_capacity_PiB"] == pytest.approx(4.6, rel=0.01)
+
+    def test_hbm2e_capacity_4_6_pib(self, table1):
+        assert table1["hbm2e_capacity_PiB"] == pytest.approx(4.6, rel=0.01)
+
+    def test_ddr4_bandwidth_1_9(self, table1):
+        # the paper prints "1.9 PiB/s"; the SI aggregate is 1.94 PB/s
+        assert table1["ddr4_bandwidth_PBps"] == pytest.approx(1.94, rel=0.01)
+
+    def test_hbm2e_bandwidth_123_9(self, table1):
+        # the paper prints "123.9 PiB/s"; the SI aggregate is 123.9 PB/s
+        assert table1["hbm2e_bandwidth_PBps"] == pytest.approx(123.9,
+                                                               rel=0.002)
+
+    def test_injection_100_gbs_per_node(self, table1):
+        assert table1["injection_bandwidth_GBps_per_node"] == 100.0
+
+    def test_global_bandwidth_270_tbs(self, table1):
+        assert table1["global_bandwidth_TBps"] == pytest.approx(270.1,
+                                                                rel=0.001)
+
+
+class TestDerivedClaims:
+    def test_hbm_ddr_ratio_64x(self, table1):
+        assert table1["hbm_to_ddr_bw_ratio"] == pytest.approx(64.0, rel=0.01)
+
+    def test_over_500_million_threads(self, table1):
+        # §5.3: "provide over 500,000,000 threads"
+        assert table1["gpu_threads_millions"] > 500.0
+
+    def test_capacity_symmetry(self, table1):
+        # DDR and HBM capacities match by design (512 GiB each per node)
+        assert table1["ddr4_capacity_PiB"] == table1["hbm2e_capacity_PiB"]
+
+    def test_scales_with_node_count(self):
+        half = compute_table1(nodes=4736)
+        full = compute_table1(nodes=9472)
+        assert half["hbm2e_capacity_PiB"] == pytest.approx(
+            full["hbm2e_capacity_PiB"] / 2)
+        # per-node and fabric-level rows do not scale with node count
+        assert half["injection_bandwidth_GBps_per_node"] == 100.0

@@ -1,0 +1,69 @@
+"""Collective model tests (allreduce latency, all-to-all bandwidth)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.collectives import (allreduce_latency,
+                                      alltoall_per_node_bandwidth)
+from repro.fabric.dragonfly import DragonflyConfig
+
+
+class TestAllreduce:
+    def test_paper_51_5_usec_at_75200_ranks(self):
+        # Table 5: Multiple Allreduce (8 B) average 51.5 usec at 9,400
+        # nodes x 8 PPN.
+        t = allreduce_latency(9400 * 8)
+        assert t == pytest.approx(51.5e-6, rel=0.05)
+
+    def test_log_scaling(self):
+        t1 = allreduce_latency(1024)
+        t2 = allreduce_latency(1024 * 1024)
+        assert t2 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_single_rank_is_free(self):
+        assert allreduce_latency(1) == 0.0
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ConfigurationError):
+            allreduce_latency(0)
+
+    def test_monotone_in_ranks(self):
+        vals = [allreduce_latency(n) for n in (2, 64, 4096, 75200)]
+        assert vals == sorted(vals)
+
+
+class TestAllToAll:
+    def test_paper_30_32_gbs_per_node(self):
+        # §4.2.2: "~30-32 GB/s/node (~7.5-8.0 GB/s/NIC) ... 128 KiB"
+        est = alltoall_per_node_bandwidth()
+        assert 28e9 <= est.per_node <= 33e9
+        assert 7.0e9 <= est.per_nic <= 8.3e9
+
+    def test_global_bandwidth_is_the_binding_constraint(self):
+        # The 57% taper makes global bandwidth bind at full system size.
+        est = alltoall_per_node_bandwidth()
+        assert est.binding_constraint == "global"
+
+    def test_small_job_is_injection_limited(self):
+        est = alltoall_per_node_bandwidth(nodes=128)
+        assert est.binding_constraint == "injection"
+        assert est.per_node == pytest.approx(4 * 25e9, rel=0.05)
+
+    def test_small_messages_degrade(self):
+        big = alltoall_per_node_bandwidth(message_bytes=128 * 1024)
+        small = alltoall_per_node_bandwidth(message_bytes=512)
+        assert small.per_node < 0.5 * big.per_node
+
+    def test_service_groups_add_capacity(self):
+        with_svc = alltoall_per_node_bandwidth(include_service_groups=True)
+        without = alltoall_per_node_bandwidth(include_service_groups=False)
+        assert with_svc.per_node > without.per_node
+
+    def test_intra_fraction_matches_group_size(self):
+        est = alltoall_per_node_bandwidth()
+        # 127 of 9471 peers are in-group: ~1.34%
+        assert est.intra_fraction == pytest.approx(127 / 9471, rel=1e-6)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ConfigurationError):
+            alltoall_per_node_bandwidth(nodes=1)

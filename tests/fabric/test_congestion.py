@@ -1,0 +1,88 @@
+"""Congestion-control model tests (Table 5's mechanism)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.congestion import CongestionControl
+
+
+@pytest.fixture()
+def cc() -> CongestionControl:
+    return CongestionControl()
+
+
+class TestProtection:
+    def test_8ppn_impact_is_essentially_one(self, cc):
+        # The paper's headline: congested == isolated at 8 PPN.
+        imp = cc.impact(victim_load=0.15, congestor_load=0.9,
+                        ranks_per_nic=2.0)
+        assert imp.latency_avg == pytest.approx(1.0, abs=0.05)
+        assert imp.bandwidth == pytest.approx(1.0, abs=0.02)
+
+    def test_32ppn_average_impact_in_paper_band(self, cc):
+        # 1.2x-1.6x average degradation at 32 PPN.
+        imp = cc.impact(victim_load=0.15, congestor_load=0.9,
+                        ranks_per_nic=8.0)
+        assert 1.1 <= imp.latency_avg <= 1.7
+
+    def test_32ppn_tail_impact_in_paper_band(self, cc):
+        # 1.8x-7.6x at the 99th percentile.
+        imp = cc.impact(victim_load=0.15, congestor_load=0.9,
+                        ranks_per_nic=8.0)
+        assert 1.8 <= imp.latency_p99 <= 7.6
+
+    def test_disabling_cc_is_much_worse(self, cc):
+        off = CongestionControl(enabled=False)
+        with_cc = cc.impact(victim_load=0.15, congestor_load=0.9)
+        without = off.impact(victim_load=0.15, congestor_load=0.9)
+        assert without.latency_avg > 2 * with_cc.latency_avg
+        assert without.bandwidth < with_cc.bandwidth
+
+    def test_protection_dilutes_with_nic_sharing(self, cc):
+        assert (cc.effective_protection(2.0)
+                < cc.effective_protection(4.0)
+                < cc.effective_protection(8.0))
+        assert cc.effective_protection(2.0) == pytest.approx(
+            cc.victim_queue_protection)
+
+    def test_protection_caps_at_one(self, cc):
+        assert cc.effective_protection(1000.0) == 1.0
+
+
+class TestEndpointLoad:
+    def test_8ppn_two_ranks_per_nic(self, cc):
+        load = cc.endpoint_load(8, 5e9)
+        assert load == pytest.approx(2 * 5e9 / 25e9)
+
+    def test_load_clipped_below_one(self, cc):
+        assert cc.endpoint_load(32, 25e9) < 1.0
+
+    def test_invalid_inputs(self, cc):
+        with pytest.raises(ConfigurationError):
+            cc.endpoint_load(0, 1e9)
+        with pytest.raises(ConfigurationError):
+            cc.impact(victim_load=-0.1, congestor_load=0.5)
+        with pytest.raises(ConfigurationError):
+            cc.effective_protection(0.0)
+        with pytest.raises(ConfigurationError):
+            CongestionControl(victim_queue_protection=1.5)
+
+
+class TestMonotonicity:
+    def test_more_congestors_never_help(self, cc):
+        imps = [cc.impact(victim_load=0.2, congestor_load=c,
+                          ranks_per_nic=8.0).latency_avg
+                for c in (0.0, 0.3, 0.6, 0.9)]
+        assert imps == sorted(imps)
+
+    def test_zero_congestion_is_identity(self, cc):
+        imp = cc.impact(victim_load=0.3, congestor_load=0.0)
+        assert imp.latency_avg == 1.0
+        assert imp.latency_p99 == 1.0
+        assert imp.bandwidth == 1.0
+
+    def test_impacts_never_below_one(self, cc):
+        imp = cc.impact(victim_load=0.9, congestor_load=0.01)
+        assert imp.latency_avg >= 1.0
+        assert imp.latency_p99 >= 1.0
+        assert imp.bandwidth <= 1.0

@@ -1,0 +1,65 @@
+"""Full-scale Frontier fabric build — the 74-group dragonfly, materialised.
+
+Most tests use reduced-scale fabrics; this one builds the real thing once
+and checks the §3.2 structural invariants at size.
+"""
+
+import pytest
+
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
+from repro.fabric.routing import Router, RoutingPolicy
+from repro.fabric.topology import LinkKind
+
+
+@pytest.fixture(scope="module")
+def full():
+    cfg = DragonflyConfig()
+    return cfg, build_dragonfly(cfg)
+
+
+class TestFullScaleStructure:
+    def test_counts(self, full):
+        cfg, topo = full
+        assert topo.n_switches == 2368
+        assert topo.n_endpoints == 37888
+
+    def test_port_budgets_respected_everywhere(self, full):
+        cfg, topo = full
+        # sample switches across groups; every one must fit 16/32/16
+        for sw in range(0, topo.n_switches, 97):
+            counts = topo.port_counts(sw)
+            assert counts[LinkKind.L0] == 16
+            assert counts[LinkKind.L1] == 31   # full mesh of 32 switches
+            assert counts[LinkKind.L2] <= 16
+
+    def test_global_capacity_is_270_tbs(self, full):
+        cfg, topo = full
+        total = sum(l.capacity for l in topo.links
+                    if l.kind is LinkKind.L2) / 2  # one direction
+        assert total == pytest.approx(270.1e12, rel=0.001)
+
+    def test_l2_ports_spread_evenly(self, full):
+        cfg, topo = full
+        l2_counts = [topo.port_counts(sw)[LinkKind.L2]
+                     for sw in range(0, 64)]   # group 0 + part of group 1
+        assert max(l2_counts) - min(l2_counts) <= 2
+
+    def test_minimal_routing_full_scale(self, full):
+        cfg, topo = full
+        router = Router(topo, cfg, RoutingPolicy.MINIMAL, rng=1)
+        # far corner to far corner: still <= 3 switch hops
+        path = router.path(0, cfg.total_endpoints - 1, register=False)
+        assert router.switch_hops(path) <= 3
+        assert router.global_hops(path) == 1
+
+    def test_latency_at_full_scale(self, full):
+        cfg, topo = full
+        from repro.fabric.latency import LatencyModel
+        router = Router(topo, cfg, RoutingPolicy.MINIMAL, rng=2)
+        lat = LatencyModel()
+        path = router.path(5, cfg.endpoints_per_group * 40 + 3,
+                           register=False)
+        t = lat.path_latency(topo, path)
+        # Table 5 regime: short minimal paths land under the 2.6 us mean,
+        # nothing quiet exceeds the 4.8 us tail.
+        assert 1.5e-6 < t < 4.8e-6

@@ -1,0 +1,59 @@
+"""Latency model tests — calibrated to Table 5's isolated numbers."""
+
+import pytest
+
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
+from repro.fabric.latency import LatencyModel
+from repro.fabric.routing import Router, RoutingPolicy
+
+
+@pytest.fixture()
+def lat() -> LatencyModel:
+    return LatencyModel()
+
+
+class TestCalibration:
+    def test_average_minimal_latency_2_6_usec(self, lat):
+        # Table 5: RR Two-sided Lat (8 B) average 2.6 usec.
+        avg = lat.average_minimal_latency(size_bytes=8.0)
+        assert avg == pytest.approx(2.6e-6, rel=0.05)
+
+    def test_longest_minimal_shape_under_p99(self, lat):
+        worst_minimal = lat.analytic_latency(local_hops=2, global_hops=1)
+        assert worst_minimal < 4.8e-6  # p99 headroom comes from jitter
+
+    def test_valiant_paths_cost_more(self, lat):
+        minimal = lat.analytic_latency(local_hops=2, global_hops=1)
+        valiant = lat.analytic_latency(local_hops=3, global_hops=2)
+        assert valiant > minimal
+
+
+class TestComposition:
+    def test_more_switches_cost_more(self, lat):
+        a = lat.analytic_latency(local_hops=0, global_hops=1)
+        b = lat.analytic_latency(local_hops=2, global_hops=1)
+        assert b == pytest.approx(a + 2 * (lat.per_switch_s + lat.l1_cable_s),
+                                  rel=1e-6)
+
+    def test_serialisation_term(self, lat):
+        small = lat.analytic_latency(local_hops=1, global_hops=1, size_bytes=8)
+        big = lat.analytic_latency(local_hops=1, global_hops=1,
+                                   size_bytes=1 << 20)
+        assert big - small == pytest.approx(((1 << 20) - 8) / lat.link_rate,
+                                            rel=1e-6)
+
+    def test_global_cable_is_longest(self, lat):
+        from repro.fabric.topology import LinkKind
+        assert lat.cable_delay(LinkKind.L2) > lat.cable_delay(LinkKind.L1)
+        assert lat.cable_delay(LinkKind.L1) > lat.cable_delay(LinkKind.L0)
+
+
+class TestPathLatency:
+    def test_against_materialised_topology(self, small_network):
+        # path_latency over real router paths stays in the usec range and
+        # orders by hop count.
+        lat = small_network.latency
+        same_switch = small_network.p2p_latency(0, 1)
+        cross_group = small_network.p2p_latency(
+            0, small_network.config.endpoints_per_group * 2)
+        assert 0.5e-6 < same_switch < cross_group < 10e-6

@@ -1,0 +1,69 @@
+"""NIC message-rate model tests — the §3.2 Slingshot-vs-EDR claims."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.messages import (EDR_NIC, SLINGSHOT_NIC, NicMessageModel,
+                                   compare_slingshot_vs_edr)
+
+
+class TestModel:
+    def test_small_messages_rate_limited(self):
+        bw = SLINGSHOT_NIC.achievable_bandwidth(8)
+        assert bw == pytest.approx(8 * SLINGSHOT_NIC.message_rate)
+
+    def test_large_messages_bandwidth_limited(self):
+        bw = SLINGSHOT_NIC.achievable_bandwidth(1 << 22)
+        assert bw == pytest.approx(25e9 * 0.70)
+
+    def test_n_half_crossover(self):
+        n_half = SLINGSHOT_NIC.half_bandwidth_size
+        below = SLINGSHOT_NIC.achievable_bandwidth(n_half / 2)
+        above = SLINGSHOT_NIC.achievable_bandwidth(n_half * 2)
+        peak = 25e9 * 0.70
+        assert below == pytest.approx(peak / 2)
+        assert above == pytest.approx(peak)
+
+    def test_sweep_monotone(self):
+        rates = [bw for _, bw in SLINGSHOT_NIC.sweep()]
+        assert rates == sorted(rates)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NicMessageModel("x", line_rate=0, message_rate=1e6,
+                            protocol_efficiency=0.5, base_latency_s=1e-6,
+                            tail_latency_s=2e-6)
+        with pytest.raises(ConfigurationError):
+            SLINGSHOT_NIC.achievable_bandwidth(0)
+
+
+class TestSlingshotVsEdr:
+    """§3.2: 'reduce average latency, reduce tail latency, improve
+    bandwidth, and improve message rates'."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        return compare_slingshot_vs_edr()
+
+    def test_lower_average_latency(self, comparison):
+        assert (comparison["Slingshot 11 (Cassini)"]["avg_latency_us"]
+                < comparison["EDR InfiniBand"]["avg_latency_us"])
+
+    def test_lower_tail_latency(self, comparison):
+        assert (comparison["Slingshot 11 (Cassini)"]["tail_latency_us"]
+                < comparison["EDR InfiniBand"]["tail_latency_us"])
+
+    def test_higher_bandwidth(self, comparison):
+        ss = comparison["Slingshot 11 (Cassini)"]["bandwidth_GBs"]
+        edr = comparison["EDR InfiniBand"]["bandwidth_GBs"]
+        assert ss == pytest.approx(2 * edr, rel=0.05)   # 200 vs 100 Gb/s
+
+    def test_higher_message_rates(self, comparison):
+        assert (comparison["Slingshot 11 (Cassini)"]["message_rate_M"]
+                > 2 * comparison["EDR InfiniBand"]["message_rate_M"])
+
+    def test_figure6_bandwidths_consistent(self):
+        # the same protocol efficiencies feed the Figure 6 models
+        assert SLINGSHOT_NIC.achievable_bandwidth(1 << 22) == pytest.approx(
+            17.5e9)
+        assert EDR_NIC.achievable_bandwidth(1 << 22) == pytest.approx(8.5e9)

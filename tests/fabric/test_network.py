@@ -1,0 +1,74 @@
+"""Slingshot network facade tests on the reduced-scale fabric."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.network import STREAM_EFFICIENCY, SlingshotNetwork
+
+
+class TestShiftPattern:
+    def test_intra_group_shift_gets_stream_rate(self, small_network):
+        # Figure 6's 17.5 GB/s spike: neighbours within the group.
+        flows = small_network.shift_pattern(1)
+        rates = np.array([f.bandwidth for f in flows])
+        near_full = rates > 0.95 * STREAM_EFFICIENCY * 25e9
+        assert near_full.mean() > 0.5
+
+    def test_global_shift_is_much_slower(self, small_network):
+        g = small_network.config.endpoints_per_group
+        local = np.mean([f.bandwidth for f in small_network.shift_pattern(1)])
+        far = np.mean([f.bandwidth
+                       for f in small_network.shift_pattern(3 * g)])
+        assert far < 0.6 * local
+
+    def test_distribution_is_wide_like_figure6(self, small_network):
+        g = small_network.config.endpoints_per_group
+        rates = []
+        for k in (1, g // 2, g, 2 * g, 3 * g):
+            rates.extend(f.bandwidth for f in small_network.shift_pattern(k))
+        rates = np.array(rates)
+        assert rates.max() / rates.min() > 3.0  # Frontier's wide spread
+
+    def test_invalid_offsets(self, small_network):
+        with pytest.raises(ConfigurationError):
+            small_network.shift_pattern(0)
+        with pytest.raises(ConfigurationError):
+            small_network.shift_pattern(small_network.config.total_endpoints)
+
+
+class TestFlowBandwidths:
+    def test_flow_results_align_with_pairs(self, small_network):
+        pairs = [(0, 5), (1, 9), (2, 30)]
+        flows, result = small_network.flow_bandwidths(pairs)
+        assert [(f.src, f.dst) for f in flows] == pairs
+        assert np.allclose([f.bandwidth for f in flows], result.rates)
+
+    def test_single_flow_gets_stream_limit(self, small_network):
+        flows, _ = small_network.flow_bandwidths([(0, 40)])
+        assert flows[0].bandwidth == pytest.approx(
+            STREAM_EFFICIENCY * 25e9, rel=0.01)
+
+    def test_elastic_demand_fills_the_link(self, small_network):
+        flows, _ = small_network.flow_bandwidths([(0, 40)],
+                                                 demand_per_flow=float("inf"))
+        assert flows[0].bandwidth == pytest.approx(25e9, rel=0.01)
+
+    def test_empty_pairs_rejected(self, small_network):
+        with pytest.raises(ConfigurationError):
+            small_network.flow_bandwidths([])
+
+
+class TestLatencyFacade:
+    def test_latency_sample_shape_and_range(self, small_network):
+        lats = small_network.latency_sample(50, rng=3)
+        assert lats.shape == (50,)
+        assert np.all(lats > 0.5e-6)
+        assert np.all(lats < 20e-6)
+
+    def test_allreduce_facade(self, small_network):
+        assert small_network.allreduce_latency(1024) > 0
+
+    def test_alltoall_facade(self, small_network):
+        est = small_network.alltoall_bandwidth()
+        assert est.per_node > 0

@@ -1,0 +1,98 @@
+"""Queue-simulation tests: validate the analytic congestion abstraction."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.queueing import PortSimulation
+
+
+def run(discipline: str, congestor_rate: float, rng=1):
+    sim = PortSimulation(victim_rate=0.10, congestor_rate=congestor_rate,
+                         discipline=discipline, rng=rng)
+    return sim.run(horizon=30_000.0)
+
+
+class TestDisciplines:
+    def test_fair_queueing_protects_victims(self):
+        # The Slingshot headline, from first principles: with per-flow
+        # fairness, heavy congestors barely move victim latency; FIFO
+        # lets them queue in front.
+        fifo_quiet = run("fifo", congestor_rate=0.0)
+        fifo_loaded = run("fifo", congestor_rate=0.75)
+        fair_quiet = run("per_flow_fair", congestor_rate=0.0)
+        fair_loaded = run("per_flow_fair", congestor_rate=0.75)
+        fifo_impact = fifo_loaded.impact_vs(fifo_quiet)
+        fair_impact = fair_loaded.impact_vs(fair_quiet)
+        assert fifo_impact["avg"] > 3.0          # badly hurt without CC
+        assert fair_impact["avg"] < fifo_impact["avg"] / 2
+        assert fair_impact["p99"] < fifo_impact["p99"]
+
+    def test_fair_victim_wait_bounded_by_rounds(self):
+        # A victim waits at most ~one congestor packet per round-robin
+        # turn: its mean wait stays within a few service times.
+        loaded = run("per_flow_fair", congestor_rate=0.75)
+        assert loaded.mean_wait < 5.0   # service_time = 1.0
+
+    def test_quiet_port_has_low_wait(self):
+        quiet = run("fifo", congestor_rate=0.0)
+        # M/D/1 at rho=0.1: mean wait = rho/(2(1-rho)) ~ 0.056
+        assert quiet.mean_wait == pytest.approx(0.056, abs=0.03)
+
+    def test_everything_gets_served(self):
+        result = run("per_flow_fair", congestor_rate=0.5)
+        assert result.served_victims > 2000
+        assert result.served_congestors > 10_000
+
+    def test_utilisation_tracks_offered_load(self):
+        result = run("fifo", congestor_rate=0.6)
+        assert result.utilisation == pytest.approx(0.7, abs=0.03)
+
+
+class TestAnalyticAgreement:
+    def test_end_to_end_impact_ordering(self):
+        """Convert queue waits to end-to-end message-latency impacts (the
+        quantity Table 5 reports: base 2.6 us one-way, congestor packets
+        are 128 KiB = 5.24 us of wire time) and check the analytic model
+        sits where it should: at or below the round-robin simulation,
+        which in turn crushes FIFO."""
+        from repro.fabric.congestion import CongestionControl
+        base_latency = 2.6      # microseconds
+        service_us = 5.24       # 128 KiB at 25 GB/s
+
+        def e2e_impact(discipline: str) -> float:
+            quiet = run(discipline, congestor_rate=0.0)
+            loaded = run(discipline, congestor_rate=0.75)
+            return ((base_latency + loaded.mean_wait * service_us)
+                    / (base_latency + quiet.mean_wait * service_us))
+
+        fifo = e2e_impact("fifo")
+        fair = e2e_impact("per_flow_fair")
+        analytic = CongestionControl().impact(
+            victim_load=0.10, congestor_load=0.75,
+            ranks_per_nic=2.0).latency_avg
+        assert fair < fifo / 2           # per-flow fairness is the point
+        # Slingshot's hardware (many queues + fine-grained arbitration)
+        # does better than strict one-packet round-robin; the analytic
+        # ~1.0x must therefore sit at or below the RR simulation.
+        assert 1.0 <= analytic <= fair
+
+
+class TestValidation:
+    def test_unstable_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PortSimulation(victim_rate=0.5, congestor_rate=0.6)
+
+    def test_bad_discipline(self):
+        with pytest.raises(ConfigurationError):
+            PortSimulation(victim_rate=0.1, discipline="lifo")
+
+    def test_bad_rates(self):
+        with pytest.raises(ConfigurationError):
+            PortSimulation(victim_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            PortSimulation(victim_rate=0.1, service_time=0.0)
+
+    def test_deterministic_with_seed(self):
+        a = run("fifo", 0.5, rng=9)
+        b = run("fifo", 0.5, rng=9)
+        assert a.mean_wait == b.mean_wait

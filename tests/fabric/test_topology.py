@@ -1,0 +1,112 @@
+"""Generic topology graph tests."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.fabric.topology import LinkKind, Topology
+
+
+@pytest.fixture()
+def tiny() -> Topology:
+    t = Topology()
+    t.add_switch(0, group=0)
+    t.add_switch(1, group=0)
+    t.add_switch(2, group=1)
+    t.add_endpoint(0, 0)
+    t.add_endpoint(1, 2)
+    t.add_bidirectional(("ep", 0), ("sw", 0), 25e9, LinkKind.L0)
+    t.add_bidirectional(("sw", 0), ("sw", 1), 25e9, LinkKind.L1)
+    t.add_bidirectional(("sw", 1), ("sw", 2), 50e9, LinkKind.L2)
+    t.add_bidirectional(("sw", 2), ("ep", 1), 25e9, LinkKind.L0)
+    return t
+
+
+class TestConstruction:
+    def test_counts(self, tiny):
+        assert tiny.n_switches == 3
+        assert tiny.n_endpoints == 2
+        assert tiny.n_links == 8  # 4 cables x 2 directions
+
+    def test_duplicate_switch_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.add_switch(0)
+
+    def test_duplicate_endpoint_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.add_endpoint(0, 1)
+
+    def test_endpoint_needs_existing_switch(self):
+        t = Topology()
+        with pytest.raises(TopologyError):
+            t.add_endpoint(0, 99)
+
+    def test_duplicate_link_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.add_link(("sw", 0), ("sw", 1), 1e9, LinkKind.L1)
+
+    def test_link_to_unknown_node_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.add_link(("sw", 0), ("sw", 9), 1e9, LinkKind.L1)
+        with pytest.raises(TopologyError):
+            tiny.add_link(("xx", 0), ("sw", 1), 1e9, LinkKind.L1)
+
+    def test_nonpositive_capacity_rejected(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.add_link(("sw", 0), ("sw", 2), 0.0, LinkKind.L2)
+
+
+class TestQueries:
+    def test_both_directions_exist_independently(self, tiny):
+        fwd = tiny.link_between(("sw", 1), ("sw", 2))
+        rev = tiny.link_between(("sw", 2), ("sw", 1))
+        assert fwd is not None and rev is not None
+        assert fwd.index != rev.index
+
+    def test_group_lookups(self, tiny):
+        assert tiny.group_of_switch(2) == 1
+        assert tiny.group_of_endpoint(1) == 1
+        assert tiny.switch_of_endpoint(0) == 0
+
+    def test_unknown_lookups_raise(self, tiny):
+        with pytest.raises(TopologyError):
+            tiny.group_of_switch(42)
+        with pytest.raises(TopologyError):
+            tiny.switch_of_endpoint(42)
+
+    def test_switches_in_group(self, tiny):
+        assert tiny.switches_in_group(0) == [0, 1]
+
+    def test_endpoints_on_switch(self, tiny):
+        assert tiny.endpoints_on_switch(0) == [0]
+        assert tiny.endpoints_on_switch(1) == []
+
+    def test_out_links(self, tiny):
+        outs = tiny.out_links(("sw", 1))
+        assert {l.dst for l in outs} == {("sw", 0), ("sw", 2)}
+
+    def test_capacities_indexing(self, tiny):
+        caps = tiny.capacities()
+        assert len(caps) == tiny.n_links
+        for link in tiny.links:
+            assert caps[link.index] == link.capacity
+
+    def test_port_counts(self, tiny):
+        counts = tiny.port_counts(1)
+        assert counts[LinkKind.L1] == 1
+        assert counts[LinkKind.L2] == 1
+        assert counts[LinkKind.L0] == 0
+
+
+class TestPathValidation:
+    def test_valid_path(self, tiny):
+        p = [tiny.link_between(("ep", 0), ("sw", 0)).index,
+             tiny.link_between(("sw", 0), ("sw", 1)).index,
+             tiny.link_between(("sw", 1), ("sw", 2)).index,
+             tiny.link_between(("sw", 2), ("ep", 1)).index]
+        tiny.validate_path(p)  # no raise
+
+    def test_broken_path_raises(self, tiny):
+        p = [tiny.link_between(("ep", 0), ("sw", 0)).index,
+             tiny.link_between(("sw", 1), ("sw", 2)).index]
+        with pytest.raises(TopologyError):
+            tiny.validate_path(p)

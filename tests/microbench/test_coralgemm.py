@@ -1,0 +1,29 @@
+"""CoralGemm sweep harness tests."""
+
+import pytest
+
+from repro.microbench.coralgemm import coralgemm_sweep
+from repro.node.gpu import Precision
+
+
+@pytest.fixture(scope="module")
+def result():
+    return coralgemm_sweep(sizes=[512, 2048, 16384], host_n=96)
+
+
+class TestSweep:
+    def test_covers_three_precisions(self, result):
+        assert set(result.points) == {Precision.FP64, Precision.FP32,
+                                      Precision.FP16}
+
+    def test_endpoints_match_figure3(self, result):
+        assert result.achieved_tflops(Precision.FP64) == pytest.approx(33.8,
+                                                                       rel=0.01)
+        assert result.achieved_tflops(Precision.FP16) == pytest.approx(111.2,
+                                                                       rel=0.01)
+
+    def test_figure3_summary_included(self, result):
+        assert result.figure3["FP64"]["exceeds_vector_peak"] == 1.0
+
+    def test_host_dgemm_ran(self, result):
+        assert result.host_dgemm_flops > 0

@@ -1,0 +1,99 @@
+"""GPCNeT simulation tests — reproduces Table 5."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench.gpcnet import GpcnetConfig, run_gpcnet
+
+LAT = "RR Two-sided Lat (8 B)"
+BW = "RR Two-sided BW+Sync (131072 B)"
+AR = "Multiple Allreduce (8 B)"
+
+
+@pytest.fixture(scope="module")
+def iso8():
+    return run_gpcnet(congested=False, rng=1)
+
+
+@pytest.fixture(scope="module")
+def con8():
+    return run_gpcnet(congested=True, rng=1)
+
+
+class TestIsolatedTable5:
+    def test_rr_latency_avg_2_6_usec(self, iso8):
+        assert iso8.rows[LAT].average == pytest.approx(2.6, rel=0.10)
+
+    def test_rr_latency_p99_4_8_usec(self, iso8):
+        assert iso8.rows[LAT].p99 == pytest.approx(4.8, rel=0.15)
+
+    def test_rr_bandwidth_3497_mibps(self, iso8):
+        assert iso8.rows[BW].average == pytest.approx(3497.2, rel=0.05)
+
+    def test_rr_bandwidth_p99_2514_mibps(self, iso8):
+        assert iso8.rows[BW].p99 == pytest.approx(2514.4, rel=0.05)
+
+    def test_allreduce_51_5_usec(self, iso8):
+        assert iso8.rows[AR].average == pytest.approx(51.5, rel=0.05)
+        assert iso8.rows[AR].p99 == pytest.approx(54.1, rel=0.06)
+
+    def test_units(self, iso8):
+        assert iso8.rows[LAT].units == "usec"
+        assert iso8.rows[BW].units == "MiB/s/rank"
+
+
+class TestCongested8Ppn:
+    def test_ideal_result_congested_equals_isolated(self, iso8, con8):
+        # "With 8 PPN, the result is ideal (congested is no worse than
+        # isolated)" — impact factor ~1.0x on every metric.
+        impact = con8.impact_vs(iso8)
+        for metrics in impact.values():
+            assert metrics["avg"] == pytest.approx(1.0, abs=0.06)
+            assert metrics["p99"] == pytest.approx(1.0, abs=0.12)
+
+
+class Test32Ppn:
+    @pytest.fixture(scope="class")
+    def impact32(self):
+        cfg = GpcnetConfig(ppn=32)
+        iso = run_gpcnet(cfg, congested=False, rng=2)
+        con = run_gpcnet(cfg, congested=True, rng=2)
+        return con.impact_vs(iso)
+
+    def test_average_impacts_degrade_but_bounded(self, impact32):
+        # Paper: 1.2-1.6x average degradation at 32 PPN.
+        avgs = [m["avg"] for m in impact32.values()]
+        assert max(avgs) <= 1.7
+        assert max(avgs) >= 1.15
+
+    def test_tail_impacts_within_paper_band(self, impact32):
+        # Paper: 1.8-7.6x at the 99th percentile.
+        p99s = [m["p99"] for m in impact32.values()]
+        assert max(p99s) <= 8.0
+        assert max(p99s) >= 1.8
+
+    def test_32ppn_isolated_is_already_slower_than_8ppn(self, iso8):
+        iso32 = run_gpcnet(GpcnetConfig(ppn=32), congested=False, rng=2)
+        assert iso32.rows[LAT].average > iso8.rows[LAT].average
+        assert iso32.rows[BW].average < iso8.rows[BW].average
+
+
+class TestConfig:
+    def test_victim_congestor_split(self):
+        cfg = GpcnetConfig()
+        # "7,520 congestor nodes ... and 1,880 victim nodes"
+        assert cfg.congestor_nodes == 7520
+        assert cfg.victim_nodes == 1880
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            GpcnetConfig(congestor_fraction=1.0)
+
+    def test_invalid_ppn(self):
+        with pytest.raises(ConfigurationError):
+            GpcnetConfig(ppn=0)
+
+    def test_deterministic_given_seed(self):
+        a = run_gpcnet(congested=False, rng=7).rows[LAT].average
+        b = run_gpcnet(congested=False, rng=7).rows[LAT].average
+        assert a == b

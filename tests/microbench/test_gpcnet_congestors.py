@@ -1,0 +1,42 @@
+"""Per-congestor-pattern impact tests (the five GPCNeT patterns)."""
+
+import pytest
+
+from repro.microbench.gpcnet import (CongestorPattern, GpcnetConfig,
+                                     impact_by_congestor)
+
+
+class TestPatterns:
+    def test_all_five_paper_patterns_present(self):
+        # "various communication patterns (i.e., all-to-all, one- and
+        # two-sided incast, one- and two-sided broadcasts)"
+        labels = {p.label for p in CongestorPattern}
+        assert labels == {"all-to-all", "one-sided incast",
+                          "two-sided incast", "one-sided broadcast",
+                          "two-sided broadcast"}
+
+    def test_incast_is_the_worst_hotspot(self):
+        factors = {p.label: p.hotspot_factor for p in CongestorPattern}
+        assert factors["two-sided incast"] == max(factors.values())
+        assert factors["one-sided broadcast"] == min(factors.values())
+
+
+class TestImpacts:
+    def test_8ppn_every_pattern_is_ideal(self):
+        impacts = impact_by_congestor()
+        for imp in impacts.values():
+            assert imp.latency_avg == pytest.approx(1.0, abs=0.05)
+            assert imp.bandwidth == pytest.approx(1.0, abs=0.03)
+
+    def test_32ppn_ordering_matches_hotspot_severity(self):
+        impacts = impact_by_congestor(GpcnetConfig(ppn=32))
+        assert (impacts["two-sided incast"].latency_avg
+                >= impacts["all-to-all"].latency_avg
+                >= impacts["one-sided broadcast"].latency_avg)
+
+    def test_32ppn_within_paper_bands(self):
+        impacts = impact_by_congestor(GpcnetConfig(ppn=32))
+        worst_avg = max(i.latency_avg for i in impacts.values())
+        worst_p99 = max(i.latency_p99 for i in impacts.values())
+        assert 1.15 <= worst_avg <= 1.7
+        assert 1.8 <= worst_p99 <= 8.0

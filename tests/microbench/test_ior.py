@@ -1,0 +1,77 @@
+"""IOR model tests (§4.3.2 methodology knobs)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.microbench.ior import IorAccess, IorJob, run_ior
+from repro.storage.pfl import Tier
+
+
+class TestAccessPatterns:
+    def test_fpp_beats_ssf(self):
+        fpp = run_ior(IorJob(access=IorAccess.FILE_PER_PROCESS))
+        ssf = run_ior(IorJob(access=IorAccess.SINGLE_SHARED_FILE))
+        assert fpp.bandwidth > ssf.bandwidth
+
+    def test_ssf_contention_grows_with_ranks(self):
+        small = run_ior(IorJob(nodes=64, access=IorAccess.SINGLE_SHARED_FILE))
+        # compare efficiency (bandwidth normalised by the binding limit)
+        big = run_ior(IorJob(nodes=9408, access=IorAccess.SINGLE_SHARED_FILE))
+        fpp_big = run_ior(IorJob(nodes=9408))
+        assert big.bandwidth < fpp_big.bandwidth
+        assert small.bound_by == "clients"   # small jobs can't fill Orion
+
+    def test_aligned_beats_unaligned_writes(self):
+        aligned = run_ior(IorJob(aligned=True))
+        unaligned = run_ior(IorJob(aligned=False))
+        assert unaligned.bandwidth < 0.75 * aligned.bandwidth
+
+    def test_reads_ignore_alignment(self):
+        a = run_ior(IorJob(aligned=True, read=True))
+        b = run_ior(IorJob(aligned=False, read=True))
+        assert a.bandwidth == b.bandwidth
+
+
+class TestMeasuredRates:
+    def test_full_system_fpp_hits_the_flash_write_rate(self):
+        # big aligned transfers from the whole machine reach ~9.4 TB/s
+        result = run_ior(IorJob(transfer_bytes=64 * 1024 * 1024))
+        assert result.bandwidth_tbs == pytest.approx(9.4, rel=0.05)
+        assert result.bound_by == "servers"
+
+    def test_capacity_tier_writes(self):
+        result = run_ior(IorJob(tier=Tier.CAPACITY,
+                                transfer_bytes=64 * 1024 * 1024))
+        assert result.bandwidth_tbs == pytest.approx(4.3, rel=0.05)
+
+    def test_flash_reads_beat_writes(self):
+        w = run_ior(IorJob(transfer_bytes=64 * 1024 * 1024))
+        r = run_ior(IorJob(transfer_bytes=64 * 1024 * 1024, read=True))
+        assert r.bandwidth > w.bandwidth
+
+
+class TestScalingKnobs:
+    def test_small_transfers_degrade(self):
+        small = run_ior(IorJob(transfer_bytes=64 * 1024))
+        big = run_ior(IorJob(transfer_bytes=64 * 1024 * 1024))
+        assert small.bandwidth < 0.3 * big.bandwidth
+
+    def test_client_limit_binds_small_jobs(self):
+        result = run_ior(IorJob(nodes=128))
+        assert result.bound_by == "clients"
+        assert result.bandwidth == pytest.approx(128 * 8e9, rel=0.01)
+
+    def test_bandwidth_monotone_in_nodes(self):
+        rates = [run_ior(IorJob(nodes=n)).bandwidth
+                 for n in (64, 512, 4096, 9408)]
+        assert rates == sorted(rates)
+
+    def test_seconds_accounting(self):
+        r = run_ior(IorJob(nodes=64))
+        assert r.seconds == pytest.approx(r.job.total_bytes / r.bandwidth)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            IorJob(nodes=0)
+        with pytest.raises(ConfigurationError):
+            IorJob(transfer_bytes=0)

@@ -1,0 +1,73 @@
+"""Rank placement tests (the 8-PPN production mapping)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.job import JobLayout
+
+
+class TestLayout:
+    def test_contiguous_factory(self):
+        layout = JobLayout.contiguous(4, ppn=8)
+        assert layout.n_nodes == 4
+        assert layout.n_ranks == 32
+
+    def test_node_major_rank_order(self):
+        layout = JobLayout.contiguous(2, ppn=8)
+        assert layout.placement(0).node == 0
+        assert layout.placement(7).node == 0
+        assert layout.placement(8).node == 1
+
+    def test_one_rank_per_gcd_at_8ppn(self):
+        layout = JobLayout.contiguous(1, ppn=8)
+        gcds = [layout.placement(r).gcd for r in range(8)]
+        assert gcds == list(range(8))
+
+    def test_two_ranks_share_each_nic_at_8ppn(self):
+        # "8 PPN, the expected use-case for most applications" — GCD pairs
+        # (0,1)->NIC0, (2,3)->NIC1, ...
+        layout = JobLayout.contiguous(1, ppn=8)
+        nics = [layout.placement(r).nic for r in range(8)]
+        assert nics == [0, 0, 1, 1, 2, 2, 3, 3]
+        assert layout.ranks_per_nic() == 2.0
+
+    def test_32ppn_oversubscribes(self):
+        layout = JobLayout.contiguous(1, ppn=32)
+        assert layout.ranks_per_nic() == 8.0
+        # ranks wrap around the GCDs
+        assert layout.placement(8).gcd == 0
+
+    def test_endpoint_numbering(self):
+        layout = JobLayout(node_ids=(5,), ppn=8)
+        assert layout.placement(0).endpoint == 20   # node 5, NIC 0
+        assert layout.placement(7).endpoint == 23   # node 5, NIC 3
+
+    def test_endpoints_listing(self):
+        layout = JobLayout.contiguous(2, ppn=4)
+        assert len(layout.endpoints()) == 8
+
+    def test_pair_endpoints(self):
+        layout = JobLayout.contiguous(2, ppn=8)
+        pairs = layout.pair_endpoints([(0, 8)])
+        assert pairs == [(0, 4)]
+
+
+class TestValidation:
+    def test_rank_out_of_range(self):
+        layout = JobLayout.contiguous(1, ppn=8)
+        with pytest.raises(ConfigurationError):
+            layout.placement(8)
+        with pytest.raises(ConfigurationError):
+            layout.placement(-1)
+
+    def test_bad_ppn(self):
+        with pytest.raises(ConfigurationError):
+            JobLayout(node_ids=(0,), ppn=0)
+
+    def test_empty_nodes(self):
+        with pytest.raises(ConfigurationError):
+            JobLayout(node_ids=())
+
+    def test_duplicate_nodes(self):
+        with pytest.raises(ConfigurationError):
+            JobLayout(node_ids=(1, 1))

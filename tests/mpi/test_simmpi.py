@@ -1,0 +1,69 @@
+"""Simulated-MPI cost oracle tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mpi.job import JobLayout
+from repro.mpi.simmpi import SimComm
+
+
+@pytest.fixture()
+def comm() -> SimComm:
+    return SimComm(JobLayout.contiguous(64, ppn=8))
+
+
+class TestP2p:
+    def test_on_node_is_faster_than_off_node_for_large_messages(self, comm):
+        size = 64 * 2 ** 20
+        on = comm.p2p_time(0, 1, size)
+        off = comm.p2p_time(0, 8, size)
+        assert on < off
+
+    def test_off_node_latency_floor(self, comm):
+        t = comm.p2p_time(0, 9, 8.0)
+        assert 1e-6 < t < 10e-6
+
+    def test_self_send_rejected(self, comm):
+        with pytest.raises(ConfigurationError):
+            comm.p2p_time(3, 3, 8)
+
+    def test_effective_bandwidth_approaches_nic_share(self, comm):
+        bw = comm.effective_bandwidth(0, 8, 1 << 30)
+        assert bw == pytest.approx(12.5e9, rel=0.05)   # 25 GB/s / 2 ranks
+
+
+class TestCollectives:
+    def test_small_allreduce_is_latency_bound(self, comm):
+        t8 = comm.allreduce_time(8.0)
+        assert t8 == pytest.approx(
+            comm.allreduce_time(1.0), rel=0.25)
+
+    def test_large_allreduce_adds_bandwidth_term(self, comm):
+        t_small = comm.allreduce_time(8.0)
+        t_big = comm.allreduce_time(1 << 30)
+        assert t_big > t_small + 0.01
+
+    def test_single_rank_free(self):
+        c = SimComm(JobLayout.contiguous(1, ppn=1))
+        assert c.allreduce_time() == 0.0
+
+    def test_alltoall_time_scales_with_volume(self, comm):
+        # 4x the volume costs at least ~2x the time (larger messages also
+        # amortise per-message overhead, so scaling is sub-linear).
+        t1 = comm.alltoall_time(1 << 20)
+        t2 = comm.alltoall_time(1 << 22)
+        assert 1.9 * t1 <= t2 <= 4.1 * t1
+
+    def test_barrier_equals_tiny_allreduce(self, comm):
+        assert comm.barrier_time() == comm.allreduce_time(8.0)
+
+
+class TestHaloExchange:
+    def test_scales_with_face_size(self, comm):
+        t1 = comm.halo_exchange_time(1 << 16)
+        t2 = comm.halo_exchange_time(1 << 20)
+        assert t2 > t1
+
+    def test_needs_neighbors(self, comm):
+        with pytest.raises(ConfigurationError):
+            comm.halo_exchange_time(1024, neighbors=0)

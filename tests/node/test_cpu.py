@@ -1,0 +1,58 @@
+"""Trento CPU model tests (paper §3.1.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.cpu import NpsMode, TrentoCpu
+from repro.units import GiB
+
+
+class TestTrentoDefaults:
+    def test_core_and_ccd_counts(self, cpu):
+        assert cpu.cores == 64
+        assert cpu.ccds == 8
+        assert cpu.cores_per_ccd == 8
+
+    def test_memory_capacity_is_512_gib(self, cpu):
+        assert cpu.memory_capacity_bytes == 512 * GiB
+
+    def test_peak_dram_bandwidth_204_8_gbs(self, cpu):
+        # 8 channels x 3200 MT/s x 8 B (the paper rounds to "205").
+        assert cpu.peak_dram_bandwidth == pytest.approx(204.8e9)
+
+    def test_frontier_runs_nps4(self, cpu):
+        assert cpu.nps is NpsMode.NPS4
+
+    def test_hardware_threads(self, cpu):
+        assert cpu.hardware_threads == 128
+
+
+class TestNpsModes:
+    def test_dimms_per_domain(self):
+        assert NpsMode.NPS1.dimms_per_domain == 8
+        assert NpsMode.NPS2.dimms_per_domain == 4
+        assert NpsMode.NPS4.dimms_per_domain == 2
+
+    def test_numa_domains(self, cpu):
+        assert cpu.numa_domains == 4
+        assert cpu.with_nps(NpsMode.NPS1).numa_domains == 1
+
+    def test_domain_bandwidth_splits_evenly(self, cpu):
+        assert (cpu.peak_domain_bandwidth * cpu.numa_domains
+                == pytest.approx(cpu.peak_dram_bandwidth))
+
+    def test_with_nps_preserves_other_fields(self, cpu):
+        other = cpu.with_nps(NpsMode.NPS1)
+        assert other.cores == cpu.cores
+        assert other.memory_capacity_bytes == cpu.memory_capacity_bytes
+        assert other.nps is NpsMode.NPS1
+
+
+class TestValidation:
+    def test_cores_must_divide_ccds(self):
+        with pytest.raises(ConfigurationError):
+            TrentoCpu(cores=62, ccds=8)
+
+    def test_dimms_must_divide_nps(self):
+        with pytest.raises(ConfigurationError):
+            TrentoCpu(dimm_count=6, nps=NpsMode.NPS4)

@@ -1,0 +1,102 @@
+"""CPU STREAM model tests — reproduces Table 3."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.cpu import NpsMode, TrentoCpu
+from repro.node.dram import CpuStreamModel, DdrConfig, StreamCalibration
+from repro.node.stream import StreamKernel
+
+#: Table 3 of the paper, MB/s.
+TABLE3 = {
+    "Copy": (176780.4, 179130.5),
+    "Scale": (107262.2, 172396.2),
+    "Add": (125567.1, 178356.8),
+    "Triad": (120702.1, 178277.0),
+}
+
+
+@pytest.fixture()
+def model() -> CpuStreamModel:
+    return CpuStreamModel()
+
+
+class TestDdrConfig:
+    def test_peak_bandwidth(self):
+        assert DdrConfig().peak_bandwidth == pytest.approx(204.8e9)
+
+    def test_from_cpu(self, cpu):
+        assert DdrConfig.from_cpu(cpu).peak_bandwidth == cpu.peak_dram_bandwidth
+
+
+class TestTable3Reproduction:
+    @pytest.mark.parametrize("kernel,temporal_mbps,nt_mbps",
+                             [(k, *v) for k, v in TABLE3.items()])
+    def test_matches_paper_within_2pct(self, model, kernel, temporal_mbps,
+                                       nt_mbps):
+        rows = model.table3()
+        assert rows[kernel]["temporal_MBps"] == pytest.approx(temporal_mbps,
+                                                              rel=0.02)
+        assert rows[kernel]["non_temporal_MBps"] == pytest.approx(nt_mbps,
+                                                                  rel=0.02)
+
+    def test_temporal_never_beats_non_temporal(self, model):
+        for row in model.table3().values():
+            assert row["temporal_MBps"] <= row["non_temporal_MBps"] * 1.001
+
+    def test_scale_pays_the_biggest_write_allocate_penalty(self, model):
+        rows = model.table3()
+        # Scale moves 3 words for 2 counted; Add/Triad 4 for 3.
+        assert rows["Scale"]["temporal_MBps"] < rows["Add"]["temporal_MBps"]
+        assert rows["Scale"]["temporal_MBps"] < rows["Triad"]["temporal_MBps"]
+
+    def test_copy_dodges_the_penalty_via_memcpy(self, model):
+        rows = model.table3()
+        ratio = rows["Copy"]["temporal_MBps"] / rows["Copy"]["non_temporal_MBps"]
+        assert ratio > 0.95   # nearly identical, unlike Scale's ~0.62
+
+
+class TestNpsEffect:
+    def test_nps4_reaches_180_gbs(self, model):
+        # "Trento is able to achieve up to 180 GB/s ... in NPS-4 mode"
+        assert model.sustained_nt_bandwidth(NpsMode.NPS4) == pytest.approx(
+            179.2e9, rel=0.01)
+
+    def test_nps1_drops_to_125_gbs(self, model):
+        # "When operating in NPS-1, that rate drops to ~125 GB/s"
+        assert model.sustained_nt_bandwidth(NpsMode.NPS1) == pytest.approx(
+            125e9, rel=0.02)
+
+    def test_nps4_beats_nps1_for_aggregate(self, model):
+        assert (model.sustained_nt_bandwidth(NpsMode.NPS4)
+                > model.sustained_nt_bandwidth(NpsMode.NPS2)
+                > model.sustained_nt_bandwidth(NpsMode.NPS1))
+
+
+class TestCalibrationValidation:
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigurationError):
+            StreamCalibration(nt_efficiency={NpsMode.NPS4: 1.5})
+
+    def test_rejects_bad_temporal_fraction(self):
+        with pytest.raises(ConfigurationError):
+            StreamCalibration(temporal_raw_fraction=0.0)
+
+    def test_predict_unknown_nps_raises(self, model):
+        bare = CpuStreamModel(calibration=StreamCalibration(
+            nt_efficiency={NpsMode.NPS4: 0.875}))
+        with pytest.raises(ConfigurationError):
+            bare.predict(StreamKernel.COPY, temporal=False, nps=NpsMode.NPS1)
+
+
+class TestWriteAllocateAccounting:
+    def test_counted_vs_actual_words(self):
+        assert StreamKernel.SCALE.counted_words == 2
+        assert StreamKernel.SCALE.actual_words(write_allocate=True) == 3
+        assert StreamKernel.TRIAD.counted_words == 3
+        assert StreamKernel.TRIAD.actual_words(write_allocate=True) == 4
+        assert StreamKernel.DOT.actual_words(write_allocate=True) == 2
+
+    def test_nt_path_has_no_extra_traffic(self):
+        for k in StreamKernel:
+            assert k.actual_words(write_allocate=False) == k.counted_words

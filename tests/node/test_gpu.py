@@ -1,0 +1,67 @@
+"""MI250X / GCD model tests (paper §3.1.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.gpu import Gcd, Mi250x, Precision
+from repro.units import GiB
+
+
+class TestGcd:
+    def test_fp64_vector_peak(self):
+        assert Gcd().peak_flops(Precision.FP64, matrix=False) == pytest.approx(
+            23.95e12)
+
+    def test_fp64_matrix_doubles_vector(self):
+        g = Gcd()
+        assert g.peak_flops(Precision.FP64, matrix=True) == pytest.approx(
+            2 * g.peak_flops(Precision.FP64, matrix=False))
+
+    def test_hbm_bandwidth_is_1_6354_tbs(self):
+        assert Gcd().hbm_bandwidth == pytest.approx(1.6354e12)
+
+    def test_hbm_capacity_64_gib(self):
+        assert Gcd().hbm_capacity_bytes == 64 * GiB
+
+    def test_four_hbm_stacks(self):
+        g = Gcd()
+        assert g.hbm_stacks == 4
+        assert g.per_stack_bandwidth * 4 == pytest.approx(g.hbm_bandwidth)
+
+    def test_thread_count(self):
+        # 110 CUs x 64 threads — §5.3's concurrency accounting unit.
+        assert Gcd().threads == 7040
+
+    def test_invalid_cu_count(self):
+        with pytest.raises(ConfigurationError):
+            Gcd(compute_units=0)
+
+
+class TestMi250x:
+    def test_two_gcds(self):
+        assert Mi250x().gcds == 2
+
+    def test_package_aggregates_double_gcd(self):
+        m = Mi250x()
+        assert m.hbm_capacity_bytes == 2 * m.gcd.hbm_capacity_bytes
+        assert m.hbm_bandwidth == pytest.approx(2 * m.gcd.hbm_bandwidth)
+        assert m.peak_flops(Precision.FP64) == pytest.approx(
+            2 * m.gcd.peak_flops(Precision.FP64))
+
+    def test_220_compute_units(self):
+        # §5.3: "37,888 MI250X GPUs with 220 Compute Units"
+        assert Mi250x().compute_units == 220
+
+    def test_water_cooled_oam(self):
+        assert Mi250x().water_cooled
+
+
+class TestPrecision:
+    def test_itemsizes(self):
+        assert Precision.FP64.itemsize == 8
+        assert Precision.FP32.itemsize == 4
+        assert Precision.FP16.itemsize == 2
+        assert Precision.BF16.itemsize == 2
+
+    def test_fp16_matrix_peak(self):
+        assert Gcd().peak_flops(Precision.FP16) == pytest.approx(191.5e12)

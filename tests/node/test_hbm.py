@@ -1,0 +1,58 @@
+"""GPU STREAM model tests — reproduces Table 4."""
+
+import pytest
+
+from repro.node.hbm import GpuStreamModel, HbmConfig
+from repro.node.stream import StreamKernel
+
+#: Table 4 of the paper, MB/s.
+TABLE4 = {
+    "Copy": 1336574.8,
+    "Mul": 1338272.2,
+    "Add": 1288240.3,
+    "Triad": 1285239.7,
+    "Dot": 1374240.6,
+}
+
+
+@pytest.fixture()
+def model() -> GpuStreamModel:
+    return GpuStreamModel()
+
+
+class TestTable4Reproduction:
+    @pytest.mark.parametrize("kernel,mbps", TABLE4.items())
+    def test_matches_paper_within_1pct(self, model, kernel, mbps):
+        assert model.table4()[kernel] == pytest.approx(mbps, rel=0.01)
+
+    def test_efficiency_band_79_to_84_pct(self, model):
+        # The paper: "79% to 84% of peak HBM bandwidth".
+        for kernel in GpuStreamModel.TABLE4_KERNELS:
+            assert 0.78 <= model.efficiency(kernel) <= 0.85
+
+    def test_dot_is_fastest(self, model):
+        # Read-only: no write turnaround on the HBM bus.
+        table = model.table4()
+        assert table["Dot"] == max(table.values())
+
+    def test_three_array_kernels_are_slowest(self, model):
+        table = model.table4()
+        assert table["Add"] < table["Copy"]
+        assert table["Triad"] < table["Mul"]
+
+
+class TestHbmConfig:
+    def test_peak_is_1_6354_tbs(self):
+        assert HbmConfig().peak_bandwidth == pytest.approx(1.6354e12)
+
+    def test_from_gcd_matches(self, model):
+        assert model.hbm.peak_bandwidth == pytest.approx(
+            model.gcd.hbm_bandwidth)
+
+    def test_gpu_beats_cpu_stream_by_large_factor(self, model):
+        from repro.node.dram import CpuStreamModel
+        cpu = CpuStreamModel()
+        gpu_triad = model.predict(StreamKernel.TRIAD)
+        cpu_triad = cpu.predict(StreamKernel.TRIAD, temporal=False)
+        # Per-GCD HBM STREAM is ~7x one socket's DDR STREAM.
+        assert gpu_triad / cpu_triad > 6.0

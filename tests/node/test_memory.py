@@ -1,0 +1,63 @@
+"""Data-placement advisor tests (§3.1.2's keep-it-in-HBM advice)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.memory import MemoryPlanner, Placement
+from repro.units import GiB
+
+
+@pytest.fixture()
+def planner() -> MemoryPlanner:
+    return MemoryPlanner()
+
+
+class TestAdvice:
+    def test_reused_data_belongs_in_hbm(self, planner):
+        # "we expect most users will keep their data in the HBM"
+        plan = planner.best_placement(8 * GiB, touches=50)
+        assert plan.placement is Placement.HBM_RESIDENT
+        assert plan.effective_bandwidth == pytest.approx(
+            planner.gcd.hbm_bandwidth)
+
+    def test_oversized_working_set_must_stream(self, planner):
+        plan = planner.best_placement(200 * GiB, touches=10)
+        assert plan.placement is Placement.DDR_OVER_XGMI
+
+    def test_staging_crossover_is_immediate(self, planner):
+        # With a 64x bandwidth ratio, staging pays off after ~1 touch.
+        crossover = planner.staging_crossover_touches()
+        assert 1.0 < crossover < 1.05
+
+    def test_staging_beats_ddr_at_two_touches(self, planner):
+        staged = planner.phase_time(4 * GiB, 2, Placement.STAGED)
+        over_xgmi = planner.phase_time(4 * GiB, 2, Placement.DDR_OVER_XGMI)
+        assert staged < over_xgmi
+
+    def test_hbm_advantage_is_tens_of_x(self, planner):
+        # 1635.4 / 25.6 (one CCD's DDR share) ~ 64x
+        assert planner.hbm_advantage() > 40.0
+
+
+class TestMechanics:
+    def test_phase_time_scales_with_touches(self, planner):
+        one = planner.phase_time(1 * GiB, 1, Placement.HBM_RESIDENT)
+        ten = planner.phase_time(1 * GiB, 10, Placement.HBM_RESIDENT)
+        assert ten == pytest.approx(10 * one)
+
+    def test_staged_includes_the_copy(self, planner):
+        staged = planner.phase_time(1 * GiB, 1, Placement.STAGED)
+        resident = planner.phase_time(1 * GiB, 1, Placement.HBM_RESIDENT)
+        assert staged > resident
+
+    def test_capacity_enforced(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.phase_time(100 * GiB, 1, Placement.HBM_RESIDENT)
+        with pytest.raises(ConfigurationError):
+            planner.phase_time(100 * GiB, 1, Placement.STAGED)
+
+    def test_input_validation(self, planner):
+        with pytest.raises(ConfigurationError):
+            planner.phase_time(0, 1, Placement.HBM_RESIDENT)
+        with pytest.raises(ConfigurationError):
+            planner.best_placement(1 * GiB, 0)

@@ -1,0 +1,73 @@
+"""Assembled Bard Peak node tests (paper §3.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.gpu import Precision
+from repro.node.node import BardPeakNode, CassiniNic
+from repro.units import GiB
+
+
+class TestNic:
+    def test_200_gbps_is_25_gbs(self):
+        assert CassiniNic().rate_bytes == 25e9
+
+    def test_os_bypass(self):
+        assert CassiniNic().os_bypass
+
+
+class TestComposition:
+    def test_user_sees_eight_gpus(self, node):
+        # "the user sees eight GPUs when they query the node"
+        assert node.gcd_count == 8
+
+    def test_one_nic_per_oam(self, node):
+        assert node.nic_count == node.oam_count == 4
+        for gcd in range(8):
+            assert node.nic_for_gcd(gcd) == gcd // 2
+
+    def test_ccd_gcd_pairing_is_one_to_one(self, node):
+        assert [node.ccd_for_gcd(g) for g in range(8)] == list(range(8))
+
+    def test_oam_for_gcd(self, node):
+        assert node.oam_for_gcd(0) == node.oam_for_gcd(1) == 0
+        assert node.oam_for_gcd(6) == node.oam_for_gcd(7) == 3
+
+    def test_unknown_gcd_rejected(self, node):
+        with pytest.raises(ConfigurationError):
+            node.ccd_for_gcd(8)
+        with pytest.raises(ConfigurationError):
+            node.oam_for_gcd(-1)
+
+
+class TestAggregates:
+    def test_memory_capacities_512_gib_each(self, node):
+        assert node.ddr_capacity_bytes == 512 * GiB
+        assert node.hbm_capacity_bytes == 512 * GiB
+
+    def test_hbm_bandwidth_13_08_tbs(self, node):
+        assert node.hbm_bandwidth == pytest.approx(13.083e12, rel=0.001)
+
+    def test_hbm_to_ddr_ratio_is_64x(self, node):
+        # "the node's aggregate peak GPU HBM bandwidth ... is 64 times
+        # greater" — worse than Titan's 40x and Summit's 16x.
+        assert node.hbm_to_ddr_bandwidth_ratio == pytest.approx(64.0, rel=0.01)
+
+    def test_injection_bandwidth_100_gbs(self, node):
+        assert node.injection_bandwidth == 100e9
+
+    def test_gpu_supplies_over_99pct_of_flops(self, node):
+        # §4.1.1: "over 99% of the FLOPs in Frontier coming from the GPUs"
+        assert node.gpu_flop_fraction > 0.99
+
+    def test_gpu_threads_56k_per_node(self, node):
+        assert node.gpu_threads == 8 * 110 * 64
+
+    def test_peak_fp64(self, node):
+        assert node.peak_flops(Precision.FP64) == pytest.approx(8 * 47.9e12)
+
+
+class TestValidation:
+    def test_nic_count_must_match_oams(self):
+        with pytest.raises(ConfigurationError):
+            BardPeakNode(nic_count=2)

@@ -1,0 +1,55 @@
+"""Roofline and HPL-vs-HPCG tests (the conclusion's metric discussion)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.roofline import (HPCG_SYSTEM_FLOPS, HPL_SYSTEM_FLOPS,
+                                 GcdRoofline, hpcg_to_hpl_ratio,
+                                 project_hpcg, project_hpl)
+
+
+@pytest.fixture()
+def roof() -> GcdRoofline:
+    return GcdRoofline()
+
+
+class TestRoofline:
+    def test_ridge_point(self, roof):
+        # 47.9 TF / 1.6354 TB/s ~ 29.3 FLOP/byte
+        assert roof.ridge_point == pytest.approx(29.29, abs=0.05)
+
+    def test_memory_bound_below_ridge(self, roof):
+        assert roof.is_memory_bound(0.25)
+        assert not roof.is_memory_bound(100.0)
+
+    def test_attainable_continuous_at_ridge(self, roof):
+        at_ridge = roof.attainable(roof.ridge_point)
+        assert at_ridge == pytest.approx(roof.compute_ceiling, rel=1e-9)
+
+    def test_attainable_linear_below_ridge(self, roof):
+        assert roof.attainable(0.5) == pytest.approx(2 * roof.attainable(0.25))
+
+    def test_series_monotone(self, roof):
+        vals = [v for _, v in roof.series()]
+        assert vals == sorted(vals)
+
+    def test_invalid_intensity(self, roof):
+        with pytest.raises(ConfigurationError):
+            roof.attainable(0.0)
+
+
+class TestListEntries:
+    def test_hpl_projection_matches_rmax(self):
+        assert project_hpl() == pytest.approx(HPL_SYSTEM_FLOPS, rel=0.01)
+
+    def test_hpcg_projection_matches_list(self):
+        # June 2022 HPCG list: 14.05 PF
+        assert project_hpcg() == pytest.approx(HPCG_SYSTEM_FLOPS, rel=0.01)
+
+    def test_the_two_orders_of_magnitude_gap(self):
+        # HPCG/HPL ~ 1.3%: why [38] calls HPCG the honest metric.
+        ratio = hpcg_to_hpl_ratio()
+        assert 0.01 < ratio < 0.02
+
+    def test_projections_scale_with_gcds(self):
+        assert project_hpcg(37888) == pytest.approx(project_hpcg() / 2)

@@ -1,0 +1,51 @@
+"""Executable STREAM kernel tests (semantics, not bandwidth)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.node.stream import (StreamKernel, run_stream, stream_traffic_bytes,
+                               verify_stream_semantics)
+
+
+class TestKernelTaxonomy:
+    def test_counted_words(self):
+        assert StreamKernel.COPY.counted_words == 2
+        assert StreamKernel.ADD.counted_words == 3
+        assert StreamKernel.DOT.counted_words == 2
+
+    def test_mul_is_gpu_name_for_scale(self):
+        assert StreamKernel.MUL.reads == StreamKernel.SCALE.reads
+        assert StreamKernel.MUL.writes == StreamKernel.SCALE.writes
+
+    def test_traffic_bytes(self):
+        assert stream_traffic_bytes(StreamKernel.TRIAD, 1000) == 3 * 1000 * 8
+        assert stream_traffic_bytes(StreamKernel.TRIAD, 1000,
+                                    write_allocate=True) == 4 * 1000 * 8
+
+
+class TestExecution:
+    @pytest.mark.parametrize("kernel", list(StreamKernel))
+    def test_all_kernels_run(self, kernel):
+        result = run_stream(kernel, n=10_000, repeats=1)
+        assert result.seconds > 0
+        assert result.bandwidth > 0
+        assert result.counted_bytes == kernel.counted_words * 10_000 * 8
+
+    def test_semantics_validation(self):
+        assert verify_stream_semantics()
+
+    def test_copy_produces_exact_copy(self):
+        n = 1000
+        a = np.full(n, 1.0)
+        c = np.zeros(n)
+        np.copyto(c, a)
+        assert np.array_equal(a, c)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_stream(StreamKernel.COPY, n=0)
+
+    def test_bandwidth_definition(self):
+        r = run_stream(StreamKernel.COPY, n=100_000, repeats=1)
+        assert r.bandwidth == pytest.approx(r.counted_bytes / r.seconds)

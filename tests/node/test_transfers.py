@@ -1,0 +1,111 @@
+"""Transfer-engine tests — reproduce Figures 4 and 5."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.node.cpu import NpsMode
+from repro.node.transfers import (TransferEngine, aggregate_host_to_gcd_bandwidth,
+                                  cu_kernel_bandwidth, figure4_series,
+                                  figure5_series, host_to_gcd_bandwidth,
+                                  ramp_bandwidth, sdma_bandwidth)
+
+BIG = 1 << 30
+
+
+class TestFigure5CuKernels:
+    def test_four_link_pair_reaches_145_5(self):
+        # Paper: "145.5 GB/s for GCD pairs with 4 xGMI links"
+        assert cu_kernel_bandwidth(0, 1, BIG).bandwidth == pytest.approx(
+            145.5e9, rel=0.01)
+
+    def test_two_link_pair_reaches_74_9(self):
+        assert cu_kernel_bandwidth(0, 4, BIG).bandwidth == pytest.approx(
+            74.9e9, rel=0.01)
+
+    def test_single_link_pair_reaches_37_5(self):
+        assert cu_kernel_bandwidth(0, 2, BIG).bandwidth == pytest.approx(
+            37.5e9, rel=0.01)
+
+    def test_cu_kernels_stripe_across_links(self):
+        b1 = cu_kernel_bandwidth(0, 2, BIG).bandwidth
+        b4 = cu_kernel_bandwidth(0, 1, BIG).bandwidth
+        assert b4 > 3.5 * b1
+
+
+class TestFigure5Sdma:
+    def test_sdma_capped_at_50_regardless_of_links(self):
+        # The paper's key observation: SDMA cannot stripe.
+        for pair in [(0, 1), (0, 4), (0, 2)]:
+            assert sdma_bandwidth(*pair, BIG).bandwidth == pytest.approx(
+                50e9, rel=0.02)
+
+    def test_sdma_beats_cu_on_single_link(self):
+        assert (sdma_bandwidth(0, 2, BIG).bandwidth
+                > cu_kernel_bandwidth(0, 2, BIG).bandwidth)
+
+    def test_cu_beats_sdma_on_multi_link(self):
+        assert (cu_kernel_bandwidth(0, 1, BIG).bandwidth
+                > sdma_bandwidth(0, 1, BIG).bandwidth)
+
+    def test_nonadjacent_pair_rejected(self):
+        with pytest.raises(TopologyError):
+            sdma_bandwidth(0, 3)
+
+
+class TestFigure4HostDevice:
+    def test_single_core_25_5_gbs(self):
+        # "we see it reach 25.5 GB/s, ~71% of the peak xGMI 2.0 bandwidth"
+        assert host_to_gcd_bandwidth(BIG) == pytest.approx(25.5e9, rel=0.01)
+
+    def test_eight_ranks_saturate_at_dram_180(self):
+        # Figure 4's plateau: ~180 GB/s, matching STREAM, not 8x36.
+        agg = aggregate_host_to_gcd_bandwidth(8, BIG)
+        assert agg == pytest.approx(179.2e9, rel=0.01)
+        assert agg < 8 * 36e9
+
+    def test_two_ranks_are_link_limited(self):
+        agg = aggregate_host_to_gcd_bandwidth(2, BIG)
+        assert agg == pytest.approx(2 * 25.5e9, rel=0.01)
+
+    def test_nps1_lowers_the_plateau(self):
+        nps1 = aggregate_host_to_gcd_bandwidth(8, BIG, nps=NpsMode.NPS1)
+        nps4 = aggregate_host_to_gcd_bandwidth(8, BIG, nps=NpsMode.NPS4)
+        assert nps1 < nps4
+
+    def test_zero_ranks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_host_to_gcd_bandwidth(0)
+
+
+class TestRamp:
+    def test_ramp_monotone_in_size(self):
+        sizes = [1 << k for k in range(10, 30, 2)]
+        vals = [ramp_bandwidth(s, 100e9, 1e-5) for s in sizes]
+        assert vals == sorted(vals)
+
+    def test_ramp_half_saturation(self):
+        peak, lat = 100e9, 1e-5
+        s_half = peak * lat
+        assert ramp_bandwidth(s_half, peak, lat) == pytest.approx(peak / 2)
+
+    def test_zero_size(self):
+        assert ramp_bandwidth(0, 100e9, 1e-5) == 0.0
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ramp_bandwidth(-1, 100e9, 1e-5)
+
+
+class TestSeriesHelpers:
+    def test_figure4_series_saturates(self):
+        series = figure4_series()
+        assert series[-1][1] == pytest.approx(179.2, rel=0.02)
+        assert series[0][1] < series[-1][1]
+
+    def test_figure5_series_has_three_widths(self):
+        cu = figure5_series(TransferEngine.CU_KERNEL)
+        assert set(cu.keys()) == {1, 2, 4}
+        sdma = figure5_series(TransferEngine.SDMA)
+        # SDMA endpoints all converge near 50 GB/s at large size.
+        finals = [s[-1][1] for s in sdma.values()]
+        assert max(finals) - min(finals) < 1.0

@@ -1,0 +1,98 @@
+"""InfinityFabric twisted-ladder topology tests (paper Figure 2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.node.xgmi import GcdTopology, XgmiClass, XgmiLink, twisted_ladder
+
+
+@pytest.fixture()
+def topo() -> GcdTopology:
+    return twisted_ladder()
+
+
+class TestLinkRates:
+    def test_xgmi2_rate(self):
+        # "36+36 GB/s per CPU-to-GCD connection"
+        assert XgmiClass.XGMI2.rate_per_direction == 36e9
+
+    def test_xgmi3_rate(self):
+        # "50+50 GB/s" per GCD-to-GCD link
+        assert XgmiClass.XGMI3.rate_per_direction == 50e9
+
+    def test_ganged_link_bandwidth(self):
+        assert XgmiLink(0, 1, 4).bandwidth_per_direction == 200e9
+        assert XgmiLink(0, 4, 2).bandwidth_per_direction == 100e9
+        assert XgmiLink(0, 2, 1).bandwidth_per_direction == 50e9
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            XgmiLink(3, 3, 1)
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            XgmiLink(0, 1, 3)
+
+
+class TestTwistedLadderStructure:
+    def test_eight_gcds(self, topo):
+        assert topo.n_gcds == 8
+
+    def test_every_gcd_has_eight_physical_links(self, topo):
+        # One 4-gang + one 2-gang + two singles per GCD.
+        for g in range(8):
+            assert topo.degree_links(g) == 8
+
+    def test_pair_counts_by_width(self, topo):
+        pairs = topo.pairs_by_width()
+        assert len(pairs[4]) == 4   # one per OAM package
+        assert len(pairs[2]) == 4
+        assert len(pairs[1]) == 8
+
+    def test_oam_pairs_have_four_links(self, topo):
+        # "the two GCDs within each MI250X OAM package have four links"
+        for a, b in [(0, 1), (2, 3), (4, 5), (6, 7)]:
+            assert topo.width_between(a, b) == 4
+
+    def test_fully_connected(self, topo):
+        assert topo.is_fully_connected()
+
+    def test_diameter_at_most_two_hops(self, topo):
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.shortest_hop_count(a, b) <= 2
+
+    def test_each_gcd_has_four_neighbors(self, topo):
+        for g in range(8):
+            assert len(topo.neighbors(g)) == 4
+
+    def test_duplicate_links_rejected(self):
+        with pytest.raises(TopologyError):
+            GcdTopology(n_gcds=4, links=[XgmiLink(0, 1, 1), XgmiLink(1, 0, 2)])
+
+    def test_out_of_range_link_rejected(self):
+        with pytest.raises(TopologyError):
+            GcdTopology(n_gcds=4, links=[XgmiLink(0, 7, 1)])
+
+
+class TestBandwidthMetrics:
+    def test_bisection_positive(self, topo):
+        assert topo.bisection_bandwidth() > 0
+
+    def test_bisection_at_least_cross_board(self, topo):
+        # Cutting the board between OAM pairs (0,1,2,3)|(4,5,6,7) crosses
+        # four 2-gangs and four singles: 4*100 + 4*50 = 600 GB/s.
+        assert topo.bisection_bandwidth() <= 600e9
+
+    def test_link_between_is_symmetric(self, topo):
+        assert topo.link_between(0, 1) is topo.link_between(1, 0)
+
+    def test_nonadjacent_returns_none(self, topo):
+        # (0,3) are diagonal across packages: no direct link in the ladder.
+        assert topo.link_between(0, 3) is None
+
+    def test_disconnected_raises(self):
+        t = GcdTopology(n_gcds=4, links=[XgmiLink(0, 1, 1)])
+        with pytest.raises(TopologyError):
+            t.shortest_hop_count(0, 3)

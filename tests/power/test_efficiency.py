@@ -1,0 +1,43 @@
+"""Efficiency scorecard tests vs the 2008 report's targets."""
+
+import pytest
+
+from repro.power.efficiency import (REPORT_STRAWMAN_MW_PER_EF,
+                                    EfficiencyScorecard, green500_entry)
+
+
+@pytest.fixture(scope="module")
+def card() -> EfficiencyScorecard:
+    return EfficiencyScorecard.from_model()
+
+
+class TestReportTargets:
+    def test_meets_50_gf_per_watt(self, card):
+        # "exceeding the report's 50 GF/watt target"
+        assert card.meets_efficiency_target
+        assert card.gflops_per_watt > 50.0
+
+    def test_meets_20_mw_per_ef(self, card):
+        assert card.meets_power_target
+
+    def test_beats_strawman_by_3_to_8x(self, card):
+        # Straw men projected 68-155 MW/EF; Frontier is ~19.
+        lo, hi = card.improvement_over_strawman
+        assert 3.0 < lo < 4.5
+        assert 7.0 < hi < 9.0
+        assert REPORT_STRAWMAN_MW_PER_EF == (68.0, 155.0)
+
+    def test_failing_machine_detected(self):
+        bad = EfficiencyScorecard(gflops_per_watt=10.0, mw_per_exaflop=100.0)
+        assert not bad.meets_power_target
+        assert not bad.meets_efficiency_target
+
+
+class TestGreen500:
+    def test_entry_values(self):
+        entry = green500_entry()
+        # "Frontier debuted on the top of both the TOP500 and the Green500"
+        assert entry["top500_rank"] == 1.0
+        assert entry["green500_rank"] == 1.0
+        assert entry["rmax_EF"] == pytest.approx(1.102)
+        assert entry["power_MW"] == pytest.approx(21.1, rel=0.02)

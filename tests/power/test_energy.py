@@ -1,0 +1,37 @@
+"""Energy-to-solution tests."""
+
+import pytest
+
+from repro.apps import all_apps
+from repro.apps.cholla import Cholla
+from repro.power.energy import energy_gain, suite_energy_table
+
+
+class TestEnergyGains:
+    def test_cholla_energy_win(self):
+        # 20x speedup at 21.1/13 = 1.62x the power: ~12x less energy
+        comp = energy_gain(Cholla())
+        assert comp.energy_gain == pytest.approx(20.0 / (21.1 / 13.0),
+                                                 rel=0.02)
+        assert comp.is_energy_win
+
+    def test_every_paper_app_is_an_energy_win(self):
+        # KPP speedups dwarf the power growth for all eleven applications.
+        for comp in suite_energy_table():
+            assert comp.is_energy_win, comp.application
+
+    def test_suite_covers_all_apps(self):
+        table = suite_energy_table()
+        assert len(table) == len(all_apps())
+        assert {c.application for c in table} == {a.name for a in all_apps()}
+
+    def test_ecp_gains_are_enormous(self):
+        gains = {c.application: c.energy_gain for c in suite_energy_table()}
+        # Titan -> Frontier grows power 2.6x but WDMApp runs 150x faster.
+        assert gains["WDMApp"] > 50
+        assert gains["EXAALT"] > 70
+
+    def test_power_ratio_sign(self):
+        comp = energy_gain(Cholla())
+        assert comp.power_ratio > 1.0   # Frontier draws more than Summit
+        assert comp.speedup > comp.power_ratio

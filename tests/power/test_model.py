@@ -1,0 +1,70 @@
+"""Power model tests — §5.1's 21.1 MW / 52 GF/W."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.power.model import FrontierPowerModel, PowerComponent
+
+
+@pytest.fixture(scope="module")
+def model() -> FrontierPowerModel:
+    return FrontierPowerModel()
+
+
+class TestHeadlineNumbers:
+    def test_hpl_power_21_1_mw(self, model):
+        # "Frontier's 1.1 EF using 21.1 MW"
+        assert model.hpl_power / 1e6 == pytest.approx(21.1, rel=0.02)
+
+    def test_52_gflops_per_watt(self, model):
+        # "an impressive 52 GF/watt"
+        assert model.gflops_per_watt == pytest.approx(52.0, rel=0.02)
+
+    def test_under_20_mw_per_exaflop(self, model):
+        assert model.mw_per_exaflop < 20.0
+
+
+class TestBreakdown:
+    def test_gpus_dominate(self, model):
+        breakdown = model.breakdown()
+        assert breakdown["MI250X OAM"] > 0.6
+
+    def test_fractions_sum_to_one(self, model):
+        assert sum(model.breakdown().values()) == pytest.approx(1.0)
+
+    def test_compute_fraction(self, model):
+        assert 0.7 < model.compute_fraction() < 0.95
+
+    def test_idle_power_much_lower(self, model):
+        assert model.total_power(0.0) < 0.5 * model.total_power(1.0)
+
+    def test_power_monotone_in_utilisation(self, model):
+        powers = [model.total_power(u) for u in (0.0, 0.3, 0.7, 1.0)]
+        assert powers == sorted(powers)
+
+
+class TestComponent:
+    def test_linear_interpolation(self):
+        c = PowerComponent("x", count=10, watts_load=100.0, watts_idle=40.0)
+        assert c.power(0.0) == 400.0
+        assert c.power(1.0) == 1000.0
+        assert c.power(0.5) == 700.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerComponent("x", count=-1, watts_load=1.0, watts_idle=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerComponent("x", count=1, watts_load=1.0, watts_idle=2.0)
+        c = PowerComponent("x", count=1, watts_load=1.0, watts_idle=0.0)
+        with pytest.raises(ConfigurationError):
+            c.power(1.5)
+
+
+class TestEnergy:
+    def test_energy_for_run(self, model):
+        assert model.energy_for_run(3600.0) == pytest.approx(
+            model.hpl_power * 3600.0)
+
+    def test_negative_duration_rejected(self, model):
+        with pytest.raises(ConfigurationError):
+            model.energy_for_run(-1.0)

@@ -1,0 +1,83 @@
+"""Property-based structural tests for dragonfly configurations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
+from repro.fabric.routing import Router, RoutingPolicy
+from repro.fabric.topology import LinkKind
+
+
+@st.composite
+def configs(draw):
+    groups = draw(st.integers(min_value=2, max_value=8))
+    switches = draw(st.integers(min_value=2, max_value=5))
+    endpoints = draw(st.integers(min_value=1, max_value=4))
+    links = draw(st.integers(min_value=1, max_value=3))
+    return DragonflyConfig(
+        groups=groups, switches_per_group=switches,
+        endpoints_per_switch=endpoints, global_links_per_pair=links,
+        l1_ports=max(32, switches - 1),
+        l2_ports=max(16, -(-links * (groups - 1) // switches)),
+    )
+
+
+class TestStructure:
+    @given(configs())
+    @settings(max_examples=25, deadline=None)
+    def test_derived_quantities_consistent(self, cfg):
+        assert cfg.total_endpoints == (cfg.groups * cfg.switches_per_group
+                                       * cfg.endpoints_per_switch)
+        assert cfg.taper == pytest.approx(
+            cfg.global_bandwidth_per_group / cfg.injection_bandwidth_per_group)
+        # sum over groups double-counts each pair's links
+        assert cfg.total_global_bandwidth == pytest.approx(
+            cfg.groups * cfg.global_bandwidth_per_group / 2)
+
+    @given(configs())
+    @settings(max_examples=12, deadline=None)
+    def test_built_topology_invariants(self, cfg):
+        topo = build_dragonfly(cfg)
+        assert topo.n_switches == cfg.total_switches
+        assert topo.n_endpoints == cfg.total_endpoints
+        # L2 capacity between every group pair equals the bundle capacity
+        expected = cfg.global_links_per_pair * cfg.link_rate
+        total_l2 = sum(l.capacity for l in topo.links
+                       if l.kind is LinkKind.L2)
+        n_pairs = cfg.groups * (cfg.groups - 1) // 2
+        assert total_l2 == pytest.approx(2 * n_pairs * expected)  # both dirs
+
+    @given(configs())
+    @settings(max_examples=8, deadline=None)
+    def test_minimal_routing_reaches_everything_in_3_hops(self, cfg):
+        topo = build_dragonfly(cfg)
+        router = Router(topo, cfg, RoutingPolicy.MINIMAL)
+        n = cfg.total_endpoints
+        stride = max(1, n // 7)
+        for dst in range(1, n, stride):
+            path = router.path(0, dst, register=False)
+            assert router.switch_hops(path) <= 3
+            assert router.global_hops(path) <= 1
+
+
+class TestScaledFactory:
+    @given(st.integers(min_value=3, max_value=10),
+           st.integers(min_value=2, max_value=6),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_scaled_taper_error_bounded_by_link_granularity(self, groups,
+                                                            switches, eps):
+        # Bundle widths are integers, so at tiny scale the taper can only be
+        # matched up to half a link per group pair.
+        full = DragonflyConfig()
+        small = full.scaled(groups, switches, eps)
+        injection = switches * eps * full.link_rate
+        granularity = 0.5 * (groups - 1) * full.link_rate / injection
+        if small.global_links_per_pair == 1:
+            # the 1-link floor: connectivity wins over taper fidelity
+            assert small.taper >= full.taper - granularity - 1e-9
+        else:
+            assert abs(small.taper - full.taper) <= granularity + 1e-9
+        assert small.groups == groups

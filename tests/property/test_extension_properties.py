@@ -1,0 +1,107 @@
+"""Property-based tests for the extension modules (AMR, CG, dRAID, units)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.kernels.amr import AmrHierarchy
+from repro.apps.kernels.cg import pcg_solve, poisson_operator
+from repro.storage.draid import DraidGeometry
+from repro.units import bytes_from, to_unit
+
+
+class TestAmrProperties:
+    @given(st.sampled_from([32, 64, 128]),
+           st.floats(min_value=0.02, max_value=0.5),
+           st.integers(min_value=5, max_value=30))
+    @settings(max_examples=25, deadline=None)
+    def test_composite_mass_conserved_for_any_threshold(self, n, threshold,
+                                                        steps):
+        h = AmrHierarchy(n_coarse=n, refine_threshold=threshold)
+        m0 = h.total_mass()
+        for i in range(steps):
+            h.step()
+            if i % 4 == 3:
+                h.regrid()
+        assert h.total_mass() == pytest.approx(m0, abs=1e-11)
+
+    @given(st.floats(min_value=0.02, max_value=0.2))
+    @settings(max_examples=15, deadline=None)
+    def test_refined_fraction_monotone_in_threshold(self, threshold):
+        tight = AmrHierarchy(n_coarse=64, refine_threshold=threshold)
+        loose = AmrHierarchy(n_coarse=64, refine_threshold=threshold * 3)
+        assert tight.refined_fraction >= loose.refined_fraction
+
+
+class TestCgProperties:
+    @given(st.integers(min_value=4, max_value=9),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_pcg_solves_any_rhs(self, n, seed):
+        a = poisson_operator(n, dims=2)
+        rng = np.random.default_rng(seed)
+        x_true = rng.standard_normal(a.shape[0])
+        b = a @ x_true
+        x, result = pcg_solve(a, b, tol=1e-10)
+        assert result.converged
+        assert np.linalg.norm(x - x_true) <= 1e-6 * np.linalg.norm(x_true)
+
+    @given(st.integers(min_value=4, max_value=8),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_preconditioning_never_hurts_iterations_much(self, n, seed):
+        a = poisson_operator(n, dims=2)
+        rng = np.random.default_rng(seed)
+        b = a @ rng.standard_normal(a.shape[0])
+        _, plain = pcg_solve(a, b, preconditioned=False)
+        _, pre = pcg_solve(a, b, preconditioned=True)
+        assert pre.iterations <= plain.iterations
+
+
+class TestDraidProperties:
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=3),
+           st.integers(min_value=0, max_value=4))
+    @settings(max_examples=60)
+    def test_efficiency_in_unit_interval(self, data, parity, spares):
+        children = data + parity + spares
+        g = DraidGeometry(data=data, parity=parity, children=children,
+                          spares=spares)
+        assert 0.0 < g.capacity_efficiency < 1.0 or (
+            spares == 0 and g.capacity_efficiency
+            == pytest.approx(data / (data + parity)))
+        assert g.capacity_efficiency <= data / (data + parity)
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40)
+    def test_usable_never_exceeds_raw(self, data, parity):
+        g = DraidGeometry(data=data, parity=parity)
+        raw = 18e12 * g.effective_children * 4
+        assert g.usable_bytes(18e12, g.effective_children * 4) < raw
+
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40)
+    def test_degraded_overhead_monotone(self, data, parity):
+        g = DraidGeometry(data=data, parity=parity)
+        overheads = [g.degraded_read_overhead(f) for f in range(parity + 1)]
+        assert overheads == sorted(overheads)
+
+
+class TestUnitsProperties:
+    @given(st.floats(min_value=1e-3, max_value=1e6),
+           st.sampled_from(["KiB", "MiB", "GiB", "TiB", "PiB",
+                            "KB", "MB", "GB", "TB", "PB"]))
+    @settings(max_examples=100)
+    def test_roundtrip(self, value, unit):
+        assert to_unit(bytes_from(value, unit), unit) == pytest.approx(
+            value, rel=1e-12)
+
+    @given(st.floats(min_value=1.0, max_value=1e6))
+    @settings(max_examples=50)
+    def test_binary_units_always_larger(self, value):
+        for si, iec in (("KB", "KiB"), ("MB", "MiB"), ("GB", "GiB"),
+                        ("TB", "TiB"), ("PB", "PiB")):
+            assert bytes_from(value, iec) > bytes_from(value, si)

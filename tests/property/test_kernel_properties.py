@@ -1,0 +1,64 @@
+"""Property-based tests on the computational kernels' invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.exaalt import ParSpliceEngine
+from repro.apps.kernels.ccc import ccc_2way, make_genotype_matrix
+from repro.apps.kernels.hydro import Euler1d
+
+
+class TestHydroConservation:
+    @given(st.integers(min_value=8, max_value=64),
+           st.floats(min_value=0.01, max_value=0.3),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=40, deadline=None)
+    def test_periodic_conservation_for_any_smooth_state(self, nx, amp, steps):
+        sim = Euler1d(nx=nx, boundary="periodic")
+        x = (np.arange(nx) + 0.5) * sim.dx
+        sim.set_primitive(1.0 + amp * np.sin(2 * np.pi * x),
+                          amp * np.cos(2 * np.pi * x),
+                          np.full(nx, 1.0))
+        before = sim.conserved_totals()
+        for _ in range(steps):
+            sim.step()
+        after = sim.conserved_totals()
+        assert np.allclose(before, after, rtol=1e-11, atol=1e-11)
+
+
+class TestCccNormalisation:
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=1, max_value=64),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_cell_frequencies_sum_to_one(self, loci, samples, seed):
+        g = make_genotype_matrix(loci, samples, rng=seed)
+        t = ccc_2way(g)
+        assert np.allclose(t.sum(axis=(2, 3)), 1.0)
+        assert np.all(t >= 0)
+
+    @given(st.integers(min_value=2, max_value=10),
+           st.integers(min_value=1, max_value=32),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, loci, samples, seed):
+        g = make_genotype_matrix(loci, samples, rng=seed)
+        t = ccc_2way(g)
+        assert np.allclose(t, np.transpose(t, (1, 0, 3, 2)))
+
+
+class TestParSpliceInvariant:
+    @given(st.integers(min_value=1, max_value=16),
+           st.integers(min_value=2, max_value=8),
+           st.floats(min_value=0.0, max_value=0.95),
+           st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_trajectory_always_contiguous(self, replicas, states, self_loop,
+                                          seed):
+        engine = ParSpliceEngine(n_states=states, n_replicas=replicas,
+                                 self_loop=self_loop, rng=seed)
+        engine.run(rounds=15)
+        assert engine.is_contiguous()
+        assert engine.speedup() <= replicas + 1e-9

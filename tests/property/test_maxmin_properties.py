@@ -1,0 +1,99 @@
+"""Property-based tests for the max-min fair allocator.
+
+These are the library's central invariants: every fabric bandwidth number
+in the reproduction flows through :func:`maxmin_allocate`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.maxmin import maxmin_allocate
+
+
+@st.composite
+def instances(draw):
+    n_links = draw(st.integers(min_value=1, max_value=12))
+    n_flows = draw(st.integers(min_value=1, max_value=16))
+    caps = draw(st.lists(st.floats(min_value=0.5, max_value=100.0),
+                         min_size=n_links, max_size=n_links))
+    paths = []
+    for _ in range(n_flows):
+        length = draw(st.integers(min_value=1, max_value=min(4, n_links)))
+        path = draw(st.lists(st.integers(min_value=0, max_value=n_links - 1),
+                             min_size=length, max_size=length, unique=True))
+        paths.append(path)
+    return caps, paths
+
+
+def _usage(caps, paths, rates):
+    usage = np.zeros(len(caps))
+    for rate, path in zip(rates, paths):
+        for l in path:
+            usage[l] += rate
+    return usage
+
+
+class TestAllocationProperties:
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_feasible(self, instance):
+        caps, paths = instance
+        result = maxmin_allocate(caps, paths)
+        usage = _usage(caps, paths, result.rates)
+        assert np.all(usage <= np.asarray(caps) * (1 + 1e-9))
+
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_rates_positive(self, instance):
+        caps, paths = instance
+        result = maxmin_allocate(caps, paths)
+        assert np.all(result.rates > 0)
+
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_each_flow_bottlenecked(self, instance):
+        """Pareto optimality: every flow crosses a saturated link."""
+        caps, paths = instance
+        result = maxmin_allocate(caps, paths)
+        usage = _usage(caps, paths, result.rates)
+        for f, path in enumerate(paths):
+            bn = result.bottleneck_link[f]
+            assert bn in path
+            assert usage[bn] == pytest.approx(caps[bn], rel=1e-6)
+
+    @given(instances())
+    @settings(max_examples=80, deadline=None)
+    def test_lexicographic_fairness(self, instance):
+        """A flow's rate equals the max-min share at its bottleneck: no
+        flow on the bottleneck link has a smaller rate it was robbed of."""
+        caps, paths = instance
+        result = maxmin_allocate(caps, paths)
+        for f, path in enumerate(paths):
+            bn = result.bottleneck_link[f]
+            sharers = [g for g, p in enumerate(paths) if bn in p]
+            # our flow has the (weakly) largest rate among equal bottleneck
+            # sharers only if others were limited elsewhere at lower rates
+            for g in sharers:
+                if result.rates[g] < result.rates[f] * (1 - 1e-6):
+                    g_bn = result.bottleneck_link[g]
+                    assert g_bn != bn or result.rates[g] == pytest.approx(
+                        result.rates[f], rel=1e-6)
+
+    @given(instances(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_scale_invariance(self, instance, scale):
+        """Scaling all capacities scales all rates by the same factor."""
+        caps, paths = instance
+        base = maxmin_allocate(caps, paths)
+        scaled = maxmin_allocate([c * scale for c in caps], paths)
+        assert np.allclose(scaled.rates, base.rates * scale, rtol=1e-6)
+
+    @given(instances())
+    @settings(max_examples=60, deadline=None)
+    def test_demand_caps_respected(self, instance):
+        caps, paths = instance
+        demands = [1.0] * len(paths)
+        result = maxmin_allocate(caps, paths, demands=demands)
+        assert np.all(result.rates <= 1.0 + 1e-9)

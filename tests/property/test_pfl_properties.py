@@ -1,0 +1,78 @@
+"""Property-based tests for Progressive File Layout placement."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.pfl import ORION_PFL, ProgressiveFileLayout, Tier
+
+sizes = st.integers(min_value=0, max_value=10 ** 13)
+
+
+class TestPartition:
+    @given(sizes)
+    @settings(max_examples=200)
+    def test_extents_partition_the_file(self, size):
+        extents = ORION_PFL.place(size)
+        if size == 0:
+            assert extents == []
+            return
+        assert extents[0].start == 0
+        assert extents[-1].end == size
+        for prev, cur in zip(extents, extents[1:]):
+            assert prev.end == cur.start
+        assert all(e.length > 0 for e in extents)
+
+    @given(sizes)
+    @settings(max_examples=200)
+    def test_bytes_per_tier_sums_to_size(self, size):
+        per_tier = ORION_PFL.bytes_per_tier(size)
+        assert sum(per_tier.values()) == size
+        assert all(v >= 0 for v in per_tier.values())
+
+    @given(sizes)
+    @settings(max_examples=200)
+    def test_tier_order_is_monotone(self, size):
+        """Tiers appear in the configured order, each at most once."""
+        order = [Tier.METADATA, Tier.PERFORMANCE, Tier.CAPACITY]
+        tiers = [e.tier for e in ORION_PFL.place(size)]
+        assert tiers == [t for t in order if t in tiers]
+
+    @given(sizes)
+    @settings(max_examples=200)
+    def test_monotone_growth(self, size):
+        """Adding bytes never shrinks any tier's share."""
+        a = ORION_PFL.bytes_per_tier(size)
+        b = ORION_PFL.bytes_per_tier(size + 4096)
+        for tier in Tier:
+            assert b[tier] >= a[tier]
+
+
+@st.composite
+def layouts(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    bounds = draw(st.lists(st.integers(min_value=1, max_value=10 ** 9),
+                           min_size=n, max_size=n, unique=True))
+    bounds.sort()
+    tiers = draw(st.lists(st.sampled_from(list(Tier)), min_size=n,
+                          max_size=n))
+    return ProgressiveFileLayout(components=tuple(zip(bounds, tiers)))
+
+
+class TestArbitraryLayouts:
+    @given(layouts(), sizes)
+    @settings(max_examples=150)
+    def test_partition_holds_for_any_layout(self, layout, size):
+        extents = layout.place(size)
+        assert sum(e.length for e in extents) == size
+        for prev, cur in zip(extents, extents[1:]):
+            assert prev.end == cur.start
+
+    @given(layouts())
+    @settings(max_examples=100)
+    def test_served_at_open_boundary(self, layout):
+        first_bound, first_tier = layout.components[0]
+        if first_tier is Tier.METADATA:
+            assert layout.served_at_open(first_bound)
+            assert not layout.served_at_open(first_bound + 1)
+        else:
+            assert not layout.served_at_open(1)

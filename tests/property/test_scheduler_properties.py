@@ -1,0 +1,77 @@
+"""Property-based tests for scheduling and placement invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler.placement import PlacementPolicy, place_job
+from repro.scheduler.slurm import JobRequest, JobState, SlurmScheduler
+from repro.scheduler.vni import VniAllocator
+
+
+class TestPlacementProperties:
+    @given(st.integers(min_value=1, max_value=200),
+           st.sampled_from(list(PlacementPolicy)),
+           st.sets(st.integers(min_value=0, max_value=511), min_size=200,
+                   max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_placement_returns_exactly_free_nodes(self, n, policy, free):
+        nodes = place_job(n, free, policy, nodes_per_group=64)
+        assert len(nodes) == n
+        assert len(set(nodes)) == n
+        assert set(nodes) <= free
+        assert nodes == sorted(nodes)
+
+
+class TestSchedulerProperties:
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=64),
+                              st.floats(min_value=1.0, max_value=100.0)),
+                    min_size=1, max_size=12))
+    @settings(max_examples=40, deadline=None)
+    def test_no_double_allocation_and_all_jobs_finish(self, jobs):
+        s = SlurmScheduler(n_nodes=128)
+        ids = [s.submit(JobRequest(n, d)) for n, d in jobs]
+        # invariant at every instant: running jobs occupy disjoint nodes
+        def check_disjoint():
+            occupied: set[int] = set()
+            for jid in ids:
+                job = s.job(jid)
+                if job.state is JobState.RUNNING:
+                    assert not occupied & set(job.nodes)
+                    occupied |= set(job.nodes)
+        check_disjoint()
+        for _ in range(1000):
+            if s.step() is None:
+                break
+            check_disjoint()
+        assert all(s.job(j).state is JobState.COMPLETED for j in ids)
+        assert len(s.free_nodes) == 128
+
+    @given(st.lists(st.floats(min_value=0.5, max_value=50.0), min_size=1,
+                    max_size=10))
+    @settings(max_examples=40, deadline=None)
+    def test_time_is_monotone(self, durations):
+        s = SlurmScheduler(n_nodes=8)
+        for d in durations:
+            s.submit(JobRequest(8, d))   # serialise: each takes the machine
+        last = 0.0
+        while True:
+            t = s.step()
+            if t is None:
+                break
+            assert t >= last
+            last = t
+
+
+class TestVniProperties:
+    @given(st.lists(st.booleans(), min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_live_vnis_always_unique(self, ops):
+        alloc = VniAllocator(low=1, high=64)
+        live: list[int] = []
+        for allocate in ops:
+            if allocate and len(live) < 64:
+                live.append(alloc.allocate("x"))
+            elif live:
+                alloc.release(live.pop())
+            assert len(set(live)) == len(live)
+            assert alloc.live_count == len(live)

@@ -1,0 +1,83 @@
+"""Blast-radius tests — correlated failures and placement."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.blast_radius import FailureDomainModel
+from repro.resilience.mtti import MttiModel
+
+
+@pytest.fixture(scope="module")
+def model() -> FailureDomainModel:
+    return FailureDomainModel()
+
+
+class TestRadii:
+    def test_every_inventory_entry_has_a_radius(self, model):
+        names = {b.component for b in model.blast_radii()}
+        assert names == {e.name for e in model.inventory.entries}
+
+    def test_draid_absorbs_orion_drives(self, model):
+        drive = next(b for b in model.blast_radii()
+                     if b.component.startswith("Orion"))
+        assert drive.nodes_lost == 0
+
+    def test_psu_takes_out_a_node_pair(self, model):
+        psu = next(b for b in model.blast_radii()
+                   if b.component.startswith("Power"))
+        assert psu.nodes_lost == 2
+
+    def test_unknown_component_rejected(self):
+        from repro.resilience.fit import FitEntry, FitInventory
+        inv = FitInventory([FitEntry("mystery widget", 10, 100.0)])
+        with pytest.raises(ConfigurationError):
+            FailureDomainModel(inv)
+
+
+class TestJobImpact:
+    def test_blast_radius_worsens_job_mtti(self, model):
+        """PSUs with radius 2 interrupt a job almost twice as often as the
+        naive per-node attribution for small jobs."""
+        naive = MttiModel.frontier()
+        job = 1024
+        assert model.job_mtti_hours(job) < naive.job_mtti_hours(job) * 1.05
+
+    def test_interrupt_rate_monotone_in_job_size(self, model):
+        rates = [model.job_interrupt_rate(n) for n in (128, 1024, 4096, 9472)]
+        assert rates == sorted(rates)
+
+    def test_full_machine_rate_counts_every_damaging_failure(self, model):
+        full = model.job_interrupt_rate(9472)
+        damaging = sum(b.failures_per_hour for b in model.blast_radii()
+                       if b.nodes_lost > 0)
+        assert full == pytest.approx(damaging, rel=1e-9)
+
+    def test_expected_node_hours_lost(self, model):
+        lost = model.expected_nodes_lost_per_hour()
+        # a fraction of a node per hour at system MTTI ~5 h and small radii
+        assert 0.1 < lost < 2.0
+
+    def test_psu_dominates_node_hours(self, model):
+        # FIT-heavy *and* radius 2: the §5.4 mitigation target.
+        assert model.dominant_blast_source() == "Power supply / rectifier"
+
+    def test_job_size_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.job_interrupt_rate(0)
+
+
+class TestWhatIf:
+    def test_psu_mitigation_cuts_losses(self, model):
+        """'HPE has a plan to mitigate this source of upsets' — model it
+        as halving the blast radius to a single node."""
+        mitigated = model.what_if_radius("Power supply / rectifier", 1)
+        assert (mitigated.expected_nodes_lost_per_hour()
+                < model.expected_nodes_lost_per_hour())
+        assert (mitigated.job_interrupt_rate(1024)
+                < model.job_interrupt_rate(1024))
+
+    def test_what_if_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.what_if_radius("nonexistent", 1)
+        with pytest.raises(ConfigurationError):
+            model.what_if_radius("Cassini NIC", -1)

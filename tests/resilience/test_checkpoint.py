@@ -1,0 +1,86 @@
+"""Young/Daly checkpoint optimisation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.checkpoint import (CheckpointPlan, checkpoint_efficiency,
+                                         daly_optimal_interval,
+                                         young_optimal_interval)
+
+MTTI = 5.0 * 3600.0   # the modeled Frontier MTTI, seconds
+DELTA = 20.0          # burst-buffer checkpoint, seconds
+
+
+class TestFormulas:
+    def test_young_formula(self):
+        assert young_optimal_interval(DELTA, MTTI) == pytest.approx(
+            np.sqrt(2 * DELTA * MTTI))
+
+    def test_daly_close_to_young_when_delta_small(self):
+        y = young_optimal_interval(DELTA, MTTI)
+        d = daly_optimal_interval(DELTA, MTTI)
+        assert d == pytest.approx(y, rel=0.05)
+
+    def test_daly_clamps_when_checkpoint_dominates(self):
+        assert daly_optimal_interval(3 * MTTI, MTTI) == MTTI
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            young_optimal_interval(0.0, MTTI)
+        with pytest.raises(ConfigurationError):
+            daly_optimal_interval(DELTA, 0.0)
+
+
+class TestEfficiency:
+    def test_optimum_beats_neighbours(self):
+        plan = CheckpointPlan(checkpoint_cost_s=DELTA, mtti_s=MTTI)
+        opt = plan.daly_interval_s
+        for factor in (0.25, 0.5, 2.0, 4.0):
+            assert plan.optimum_beats(opt * factor)
+
+    def test_efficiency_is_high_with_burst_buffer(self):
+        # Fast node-local checkpoints keep useful work above 90%.
+        plan = CheckpointPlan(checkpoint_cost_s=DELTA, mtti_s=MTTI)
+        assert plan.efficiency_at_optimum > 0.90
+
+    def test_slow_pfs_checkpoints_cost_more(self):
+        fast = CheckpointPlan(checkpoint_cost_s=20.0, mtti_s=MTTI)
+        slow = CheckpointPlan(checkpoint_cost_s=180.0, mtti_s=MTTI)
+        assert slow.efficiency_at_optimum < fast.efficiency_at_optimum
+
+    def test_efficiency_bounds(self):
+        eff = checkpoint_efficiency(600.0, DELTA, MTTI)
+        assert 0.0 <= eff <= 1.0
+
+    def test_too_frequent_checkpointing_wastes_time(self):
+        frequent = checkpoint_efficiency(DELTA, DELTA, MTTI)
+        sensible = checkpoint_efficiency(20 * DELTA, DELTA, MTTI)
+        assert frequent < sensible
+
+    def test_restart_cost_lowers_efficiency(self):
+        base = checkpoint_efficiency(600.0, DELTA, MTTI, restart_s=0.0)
+        with_restart = checkpoint_efficiency(600.0, DELTA, MTTI,
+                                             restart_s=1200.0)
+        assert with_restart < base
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            checkpoint_efficiency(0.0, DELTA, MTTI)
+        with pytest.raises(ConfigurationError):
+            checkpoint_efficiency(10.0, DELTA, MTTI, restart_s=-1.0)
+
+
+class TestStorageIntegration:
+    def test_plan_from_storage_models(self):
+        """End-to-end: checkpoint cost from the burst buffer, MTTI from the
+        FIT inventory, plan efficiency stays above 90%."""
+        from repro.resilience.mtti import MttiModel
+        from repro.storage.iosim import CheckpointScenario
+        scenario = CheckpointScenario()
+        mtti_s = MttiModel.frontier().system_mtti_hours * 3600.0
+        plan = CheckpointPlan(checkpoint_cost_s=scenario.burst_time,
+                              mtti_s=mtti_s)
+        assert plan.efficiency_at_optimum > 0.90
+        # the optimal interval is tens of minutes, not hours
+        assert 5 * 60 < plan.daly_interval_s < 3600

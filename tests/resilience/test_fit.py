@@ -1,0 +1,64 @@
+"""FIT inventory tests — §5.4's failure attribution."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.fit import FitEntry, FitInventory, frontier_fit_inventory
+
+
+@pytest.fixture(scope="module")
+def inventory() -> FitInventory:
+    return frontier_fit_inventory()
+
+
+class TestAttribution:
+    def test_memory_and_power_supplies_lead(self, inventory):
+        # "They correctly identified memory and power supplies as leading
+        # contributors as we have seen on Frontier."
+        leading = inventory.leading_contributors(2)
+        assert "HBM2e stack (uncorrectable)" in leading
+        assert "Power supply / rectifier" in leading
+
+    def test_leading_two_account_for_most_failures(self, inventory):
+        contrib = inventory.contributions()
+        top2 = sum(sorted(contrib.values(), reverse=True)[:2])
+        assert top2 > 0.7
+
+    def test_contributions_sum_to_one(self, inventory):
+        assert sum(inventory.contributions().values()) == pytest.approx(1.0)
+
+
+class TestMttiMagnitude:
+    def test_system_mtti_in_hours_range(self, inventory):
+        # "not much better than their projected four-hour target"
+        assert 2.0 <= inventory.system_mtti_hours <= 8.0
+
+    def test_10x_improvement_reaches_terascale_band(self, inventory):
+        # Maturing FIT rates 10x would beat the 8-12 h terascale goal.
+        improved = inventory.scaled(0.1)
+        assert improved.system_mtti_hours > 12.0
+
+    def test_scaling_factor_validation(self, inventory):
+        with pytest.raises(ConfigurationError):
+            inventory.scaled(0.0)
+
+
+class TestEntries:
+    def test_failures_per_hour(self):
+        e = FitEntry("x", count=1_000_000, fit=100.0)
+        assert e.failures_per_hour == pytest.approx(0.1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FitEntry("x", count=-1, fit=10.0)
+        with pytest.raises(ConfigurationError):
+            FitEntry("x", count=1, fit=-10.0)
+
+    def test_empty_inventory_is_immortal(self):
+        inv = FitInventory()
+        assert inv.system_mtti_hours == float("inf")
+        assert inv.contributions() == {}
+
+    def test_hbm_stack_count_matches_architecture(self, inventory):
+        hbm = next(e for e in inventory.entries if e.name.startswith("HBM"))
+        assert hbm.count == 9472 * 32   # 8 GCDs x 4 stacks per node

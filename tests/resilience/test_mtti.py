@@ -1,0 +1,71 @@
+"""MTTI model tests (analytic vs Monte Carlo, §5.4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.fit import frontier_fit_inventory
+from repro.resilience.mtti import (MttiModel, monte_carlo_mtti,
+                                   REPORT_IMPROVED_MTTI_HOURS)
+
+
+@pytest.fixture(scope="module")
+def model() -> MttiModel:
+    return MttiModel.frontier()
+
+
+class TestAnalytic:
+    def test_near_four_hour_projection(self, model):
+        card = model.report_card()
+        assert card["near_four_hour_target"]
+        assert card["report_10x_projection_hours"] == REPORT_IMPROVED_MTTI_HOURS
+
+    def test_not_yet_at_terascale_goal(self, model):
+        # "hopefully reach ... failures on the order of 8-12 hours"
+        assert not model.report_card()["reaches_terascale_goal"]
+
+    def test_smaller_jobs_interrupt_less(self, model):
+        small = model.job_mtti_hours(128)
+        large = model.job_mtti_hours(8192)
+        assert small > large
+
+    def test_full_machine_job_sees_system_mtti(self, model):
+        assert model.job_mtti_hours(9472) == pytest.approx(
+            model.system_mtti_hours)
+
+    def test_interrupt_probability_grows_with_time(self, model):
+        probs = [model.job_interrupt_probability(4096, h)
+                 for h in (1, 6, 24)]
+        assert probs == sorted(probs)
+        assert 0.0 < probs[0] < probs[-1] < 1.0
+
+    def test_validation(self, model):
+        with pytest.raises(ConfigurationError):
+            model.job_mtti_hours(0)
+        with pytest.raises(ConfigurationError):
+            model.job_mtti_hours(100_000)
+        with pytest.raises(ConfigurationError):
+            model.job_interrupt_probability(64, -1.0)
+
+
+class TestMonteCarlo:
+    def test_converges_to_analytic(self, model):
+        mean, samples = monte_carlo_mtti(trials=400, rng=3)
+        assert mean == pytest.approx(model.system_mtti_hours, rel=0.1)
+        assert np.isfinite(samples).all()
+
+    def test_deterministic_given_seed(self):
+        a, _ = monte_carlo_mtti(trials=50, rng=9)
+        b, _ = monte_carlo_mtti(trials=50, rng=9)
+        assert a == b
+
+    def test_empty_inventory_immortal(self):
+        from repro.resilience.fit import FitInventory
+        mean, samples = monte_carlo_mtti(FitInventory(), trials=10)
+        assert mean == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            monte_carlo_mtti(trials=0)
+        with pytest.raises(ConfigurationError):
+            monte_carlo_mtti(horizon_hours=0.0)

@@ -1,0 +1,86 @@
+"""Topology-aware placement tests (§3.4.2's pack-small / spread-large)."""
+
+import pytest
+
+from repro.errors import PlacementError
+from repro.scheduler.placement import (NODES_PER_GROUP, PlacementPolicy,
+                                       allocation_stats, place_job)
+
+
+def free_machine(nodes: int = 1024) -> set[int]:
+    return set(range(nodes))
+
+
+class TestAutoPolicy:
+    def test_small_job_packs_into_one_group(self):
+        # "For small jobs able to fit within a single rack/group, Slurm
+        # will pack allocations tightly to minimize global hops."
+        nodes = place_job(64, free_machine())
+        stats = allocation_stats(nodes)
+        assert stats.groups_spanned == 1
+        assert stats.intra_group_fraction == 1.0
+
+    def test_large_job_spreads_across_groups(self):
+        # "For larger jobs, Slurm will attempt to spread a job evenly
+        # across as many Slingshot groups as possible"
+        nodes = place_job(512, free_machine())
+        stats = allocation_stats(nodes)
+        assert stats.groups_spanned == 8   # every group of the 1024-node box
+        assert stats.max_nodes_in_group == 64
+
+    def test_boundary_at_group_size(self):
+        packed = place_job(NODES_PER_GROUP, free_machine())
+        assert allocation_stats(packed).groups_spanned == 1
+        spread = place_job(NODES_PER_GROUP + 1, free_machine())
+        assert allocation_stats(spread).groups_spanned > 1
+
+
+class TestExplicitPolicies:
+    def test_pack_tightest_fit(self):
+        free = set(range(0, 64)) | set(range(128, 140))  # group0: 64, group1: 12
+        nodes = place_job(10, free, PlacementPolicy.PACK)
+        # tightest fit: the 12-node fragment, not the big group
+        assert all(128 <= n < 140 for n in nodes)
+
+    def test_pack_spills_when_no_single_group_fits(self):
+        free = set(range(0, 20)) | set(range(128, 148))
+        nodes = place_job(30, free, PlacementPolicy.PACK)
+        assert allocation_stats(nodes).groups_spanned == 2
+
+    def test_spread_round_robins(self):
+        nodes = place_job(8, free_machine(4 * NODES_PER_GROUP),
+                          PlacementPolicy.SPREAD)
+        stats = allocation_stats(nodes)
+        assert stats.groups_spanned == 4
+        assert stats.max_nodes_in_group == 2
+
+    def test_spread_more_global_bandwidth_per_node(self):
+        free = free_machine(8 * NODES_PER_GROUP)
+        packed = allocation_stats(place_job(256, free, PlacementPolicy.PACK))
+        spread = allocation_stats(place_job(256, free, PlacementPolicy.SPREAD))
+        assert (spread.global_bandwidth_per_node
+                > packed.global_bandwidth_per_node)
+
+
+class TestValidation:
+    def test_too_many_nodes(self):
+        with pytest.raises(PlacementError):
+            place_job(100, free_machine(50))
+
+    def test_zero_nodes(self):
+        with pytest.raises(PlacementError):
+            place_job(0, free_machine())
+
+    def test_empty_allocation_stats(self):
+        with pytest.raises(PlacementError):
+            allocation_stats([])
+
+    def test_single_node_stats(self):
+        stats = allocation_stats([7])
+        assert stats.groups_spanned == 1
+        assert stats.is_single_group
+        assert stats.intra_group_fraction == 1.0
+
+    def test_result_is_sorted_unique(self):
+        nodes = place_job(100, free_machine())
+        assert nodes == sorted(set(nodes))

@@ -1,0 +1,146 @@
+"""Slurm scheduler tests: exclusivity, checknode gating, job lifecycle."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduler.placement import PlacementPolicy
+from repro.scheduler.slurm import JobRequest, JobState, SlurmScheduler
+from repro.scheduler.slurm import NodeState
+
+
+def scheduler(n: int = 256, checknode=None) -> SlurmScheduler:
+    return SlurmScheduler(n_nodes=n, checknode=checknode)
+
+
+class TestExclusivity:
+    def test_nodes_are_exclusive_to_one_job(self):
+        # "Compute nodes are scheduled exclusively to a single job"
+        s = scheduler(256)
+        j1 = s.submit(JobRequest(200, 100.0))
+        j2 = s.submit(JobRequest(100, 100.0))
+        assert s.job(j1).state is JobState.RUNNING
+        assert s.job(j2).state is JobState.PENDING
+        assert not set(s.job(j1).nodes) & s.free_nodes
+
+    def test_queued_job_starts_on_completion(self):
+        s = scheduler(256)
+        s.submit(JobRequest(200, 10.0))
+        j2 = s.submit(JobRequest(100, 10.0))
+        s.step()
+        assert s.job(j2).state is JobState.RUNNING
+
+    def test_backfill_small_job_jumps_queue(self):
+        s = scheduler(256)
+        s.submit(JobRequest(200, 100.0, name="big1"))
+        j_big2 = s.submit(JobRequest(220, 100.0, name="big2"))  # blocks
+        j_small = s.submit(JobRequest(40, 1.0, name="small"))
+        assert s.job(j_big2).state is JobState.PENDING
+        assert s.job(j_small).state is JobState.RUNNING
+
+
+class TestChecknode:
+    def test_unhealthy_nodes_drained_at_boot(self):
+        s = scheduler(64, checknode=lambda n: n != 5)
+        assert 5 in s.drained_nodes
+        assert s.node_state(5) is NodeState.DRAIN
+
+    def test_checknode_runs_between_jobs(self):
+        # "At boot and between every job, Slurm runs a checknode script"
+        sick = set()
+        s = scheduler(64, checknode=lambda n: n not in sick)
+        j = s.submit(JobRequest(8, 5.0))
+        sick.add(s.job(j).nodes[0])    # node breaks during the job
+        s.run_until_idle()
+        assert s.job(j).state is JobState.COMPLETED
+        assert s.job(j).nodes[0] in s.drained_nodes
+
+    def test_drained_node_not_allocated(self):
+        s = scheduler(16, checknode=lambda n: n != 0)
+        j = s.submit(JobRequest(15, 1.0))
+        assert 0 not in s.job(j).nodes
+
+    def test_resume_reruns_checknode(self):
+        sick = {3}
+        s = scheduler(16, checknode=lambda n: n not in sick)
+        assert 3 in s.drained_nodes
+        sick.clear()
+        s.resume(3)
+        assert 3 in s.free_nodes
+
+
+class TestJobSteps:
+    def test_steps_get_unique_vnis(self):
+        # "Slurm integrates with the Slingshot software to allocate a
+        # unique Virtual Network Identifier (VNI) per jobstep"
+        s = scheduler(64)
+        j1 = s.submit(JobRequest(8, 10.0))
+        j2 = s.submit(JobRequest(8, 10.0))
+        vnis = [s.start_step(j1), s.start_step(j1), s.start_step(j2)]
+        assert len(set(vnis)) == 3
+
+    def test_vnis_released_at_completion(self):
+        s = scheduler(64)
+        j = s.submit(JobRequest(8, 5.0))
+        s.start_step(j)
+        assert s.vni.live_count == 1
+        s.run_until_idle()
+        assert s.vni.live_count == 0
+
+    def test_step_on_pending_job_rejected(self):
+        s = scheduler(16)
+        s.submit(JobRequest(16, 10.0))
+        j2 = s.submit(JobRequest(16, 10.0))
+        with pytest.raises(SchedulerError):
+            s.start_step(j2)
+
+
+class TestLifecycle:
+    def test_time_advances_to_completions(self):
+        s = scheduler(64)
+        s.submit(JobRequest(8, 30.0))
+        s.submit(JobRequest(8, 10.0))
+        assert s.step() == 10.0
+        assert s.step() == 30.0
+
+    def test_cancel_pending(self):
+        s = scheduler(16)
+        s.submit(JobRequest(16, 10.0))
+        j2 = s.submit(JobRequest(16, 10.0))
+        s.cancel(j2)
+        assert s.job(j2).state is JobState.CANCELLED
+
+    def test_cancel_running_frees_nodes(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(16, 10.0))
+        s.cancel(j)
+        assert len(s.free_nodes) == 16
+
+    def test_cancel_finished_rejected(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(4, 1.0))
+        s.run_until_idle()
+        with pytest.raises(SchedulerError):
+            s.cancel(j)
+
+    def test_oversized_job_rejected(self):
+        s = scheduler(16)
+        with pytest.raises(SchedulerError):
+            s.submit(JobRequest(17, 1.0))
+
+    def test_invalid_request(self):
+        with pytest.raises(SchedulerError):
+            JobRequest(0, 1.0)
+        with pytest.raises(SchedulerError):
+            JobRequest(1, 0.0)
+
+    def test_placement_policy_respected(self):
+        s = scheduler(512)
+        j = s.submit(JobRequest(64, 10.0, policy=PlacementPolicy.SPREAD))
+        from repro.scheduler.placement import allocation_stats
+        assert allocation_stats(s.job(j).nodes).groups_spanned == 4
+
+    def test_drain_allocated_node_rejected(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(16, 10.0))
+        with pytest.raises(SchedulerError):
+            s.drain(s.job(j).nodes[0])

@@ -1,0 +1,62 @@
+"""VNI allocation tests (per-jobstep isolation)."""
+
+import pytest
+
+from repro.errors import SchedulerError
+from repro.scheduler.vni import VniAllocator
+
+
+class TestAllocation:
+    def test_unique_vnis(self):
+        alloc = VniAllocator()
+        vnis = [alloc.allocate(f"job{i}") for i in range(100)]
+        assert len(set(vnis)) == 100
+
+    def test_isolation_predicate(self):
+        alloc = VniAllocator()
+        a = alloc.allocate("a")
+        b = alloc.allocate("b")
+        assert alloc.isolated(a, b)
+        assert not alloc.isolated(a, a)
+
+    def test_release_and_reuse(self):
+        alloc = VniAllocator(low=1, high=2)
+        a = alloc.allocate("a")
+        b = alloc.allocate("b")
+        alloc.release(a)
+        c = alloc.allocate("c")
+        assert c == a
+        assert alloc.live_count == 2
+
+    def test_exhaustion(self):
+        alloc = VniAllocator(low=1, high=3)
+        for i in range(3):
+            alloc.allocate(f"j{i}")
+        with pytest.raises(SchedulerError):
+            alloc.allocate("overflow")
+
+    def test_owner_tracking(self):
+        alloc = VniAllocator()
+        v = alloc.allocate("step-1.0")
+        assert alloc.owner(v) == "step-1.0"
+
+    def test_double_release_rejected(self):
+        alloc = VniAllocator()
+        v = alloc.allocate("x")
+        alloc.release(v)
+        with pytest.raises(SchedulerError):
+            alloc.release(v)
+
+    def test_unknown_owner_rejected(self):
+        alloc = VniAllocator()
+        with pytest.raises(SchedulerError):
+            alloc.owner(9)
+
+    def test_invalid_range(self):
+        with pytest.raises(SchedulerError):
+            VniAllocator(low=0, high=10)
+        with pytest.raises(SchedulerError):
+            VniAllocator(low=10, high=5)
+
+    def test_capacity(self):
+        assert VniAllocator(low=1, high=65535).capacity == 65535

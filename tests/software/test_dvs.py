@@ -1,0 +1,58 @@
+"""DVS caching/forwarding layer tests (§3.4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.software.dvs import DvsLayer
+from repro.units import GiB
+
+
+@pytest.fixture()
+def dvs() -> DvsLayer:
+    return DvsLayer()
+
+
+class TestStampede:
+    def test_dvs_absorbs_the_job_start_stampede(self, dvs):
+        # 9,408 nodes loading a 2 GiB software stack each: the filer alone
+        # would take hours; the caching tier makes it minutes.
+        speedup = dvs.stampede_speedup(9408, 2 * GiB)
+        assert speedup > 10.0
+
+    def test_single_node_gains_little(self, dvs):
+        assert dvs.stampede_speedup(1, 2 * GiB) < 3.0
+
+    def test_speedup_grows_then_saturates(self, dvs):
+        # grows while the cold fetch amortises, then plateaus where the
+        # cache tier itself becomes the limit (~30x with these rates)
+        small = dvs.stampede_speedup(16, 1 * GiB)
+        mid = dvs.stampede_speedup(256, 1 * GiB)
+        big = dvs.stampede_speedup(4096, 1 * GiB)
+        assert small < mid
+        assert big == pytest.approx(mid, rel=0.05)
+
+    def test_perfect_cache_is_backend_free_after_cold_fetch(self):
+        perfect = DvsLayer(cache_hit_ratio=1.0)
+        t = perfect.job_start_time(1000, 1 * GiB)
+        # backend only sees the one cold copy
+        cold = 1 * GiB / perfect.nfs_backend_bandwidth
+        cache = 999 * GiB / perfect.cache_bandwidth
+        assert t == pytest.approx(max(cold, cache))
+
+    def test_no_cache_hits_no_help(self):
+        useless = DvsLayer(cache_hit_ratio=0.0)
+        assert useless.stampede_speedup(1000, 1 * GiB) < 1.1
+
+
+class TestValidation:
+    def test_twelve_servers_default(self, dvs):
+        # "twelve dedicated nodes that run Data Virtualization Services"
+        assert dvs.servers == 12
+
+    def test_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            DvsLayer(servers=0)
+        with pytest.raises(ConfigurationError):
+            DvsLayer(cache_hit_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            DvsLayer().job_start_time(0, 1.0)

@@ -1,0 +1,84 @@
+"""Programming environment catalogue tests (§3.4.3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.software.environment import (Language, ProgrammingModel, Stack,
+                                        frontier_environment)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return frontier_environment()
+
+
+class TestCompilerMatrix:
+    def test_two_vendor_stacks_plus_olcf(self, env):
+        stacks = {c.stack for c in env.compilers}
+        assert stacks == {Stack.CPE, Stack.ROCM, Stack.OLCF}
+
+    def test_cxx_compilers_are_llvm_based(self, env):
+        # "The C and C++ compilers in both stacks are based on ... LLVM"
+        for c in env.compilers:
+            if (Language.CXX in c.languages and c.stack is not Stack.OLCF
+                    and Language.FORTRAN not in c.languages):
+                assert c.llvm_based
+
+    def test_cray_fortran_is_not_llvm(self, env):
+        assert not env.compiler("cray-ftn").llvm_based
+
+    def test_cray_fortran_openmp_matches_cray_cxx(self, env):
+        # "comparable support for OpenMP to their C/C++ compilers"
+        assert (env.compiler("cray-ftn").openmp_offload_version()
+                == env.compiler("cray-cc/CC").openmp_offload_version())
+
+    def test_rocm_fortran_lags_on_openmp(self, env):
+        # "'classic' Flang ... lags in the implementation of OpenMP"
+        assert (env.compiler("amdflang (classic)").openmp_offload_version()
+                < env.compiler("amdclang").openmp_offload_version())
+
+    def test_unknown_compiler_raises(self, env):
+        with pytest.raises(ConfigurationError):
+            env.compiler("nvcc")
+
+
+class TestProgrammingModels:
+    def test_hip_is_the_low_level_model(self, env):
+        assert env.low_level_gpu_model() is ProgrammingModel.HIP
+
+    def test_openmp_is_the_leading_portable_model(self, env):
+        assert env.leading_portable_model() is ProgrammingModel.OPENMP_OFFLOAD
+        assert len(env.compilers_for(ProgrammingModel.OPENMP_OFFLOAD)) >= 4
+
+    def test_no_vendor_openacc_commitment(self, env):
+        # Cray Fortran is stuck on OpenACC 2.0 (2013); only OLCF's gcc
+        # carries a current-ish 2.6.
+        assert not env.vendor_openacc_commitment()
+        gcc = env.compiler("gcc/gfortran")
+        assert gcc.supports[ProgrammingModel.OPENACC] == "2.6"
+
+    def test_sycl_pilot_exists(self, env):
+        sycl = env.compilers_for(ProgrammingModel.SYCL)
+        assert len(sycl) == 1
+        assert sycl[0].stack is Stack.OLCF
+
+
+class TestLibrariesAndTools:
+    def test_hip_libraries_shim_onto_roc(self, env):
+        # "'hip'-branded libraries are thin compatibility layers"
+        for lib in env.libraries:
+            if lib.name.startswith("hip"):
+                assert lib.is_compatibility_shim
+                assert lib.backend.startswith("roc")
+
+    def test_every_math_domain_covered(self, env):
+        for domain in ("BLAS", "FFT", "LAPACK"):
+            assert env.libraries_in(domain)
+
+    def test_debuggers_from_all_stacks(self, env):
+        debuggers = env.tools_for("debugger")
+        assert {t.stack for t in debuggers} == {Stack.CPE, Stack.ROCM,
+                                                Stack.OLCF}
+
+    def test_rocprof_is_the_rocm_profiler(self, env):
+        assert any(t.name == "rocprof" for t in env.tools_for("profiler"))

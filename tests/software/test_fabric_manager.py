@@ -1,0 +1,131 @@
+"""Fabric Manager tests — failure discovery and rerouting (§3.4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TopologyError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.network import SlingshotNetwork
+from repro.fabric.topology import LinkKind
+from repro.software.fabric_manager import FabricManager
+
+
+@pytest.fixture()
+def managed():
+    net = SlingshotNetwork(DragonflyConfig().scaled(6, 4, 3), rng=1)
+    fm = FabricManager(net)
+    fm.boot()
+    return net, fm
+
+
+def _bundle_switch_pairs(net, g_a: int, g_b: int) -> set[tuple[int, int]]:
+    pairs = set()
+    for link in net.topology.links:
+        if link.kind is LinkKind.L2:
+            ga = net.topology.group_of_switch(link.src[1])
+            gb = net.topology.group_of_switch(link.dst[1])
+            if {ga, gb} == {g_a, g_b}:
+                pairs.add((min(link.src[1], link.dst[1]),
+                           max(link.src[1], link.dst[1])))
+    return pairs
+
+
+class TestBoot:
+    def test_boot_configures_every_switch(self, managed):
+        net, fm = managed
+        assert fm.configured
+        assert fm.routes_pushed == net.topology.n_switches
+
+    def test_double_boot_rejected(self, managed):
+        _, fm = managed
+        with pytest.raises(ConfigurationError):
+            fm.boot()
+
+    def test_sweep_before_boot_rejected(self):
+        net = SlingshotNetwork(DragonflyConfig().scaled(4, 2, 2))
+        with pytest.raises(ConfigurationError):
+            FabricManager(net).sweep()
+
+
+class TestFailureHandling:
+    def test_sweep_discovers_and_reroutes(self, managed):
+        net, fm = managed
+        pairs = _bundle_switch_pairs(net, 0, 1)
+        for a, b in pairs:
+            fm.fail_cable(a, b)
+        handled = fm.sweep()
+        assert handled == 2 * len(pairs)   # both directions of each cable
+        assert fm.fabric_is_routable()
+
+    def test_traffic_detours_after_bundle_loss(self, managed):
+        net, fm = managed
+        for a, b in _bundle_switch_pairs(net, 0, 1):
+            fm.fail_cable(a, b)
+        fm.sweep()
+        path = net.router.path(0, net.config.endpoints_per_group + 1,
+                               register=False)
+        # no direct lanes remain: the route must take two global hops
+        assert net.router.global_hops(path) == 2
+        assert not any(i in net.router.disabled for i in path)
+
+    def test_partial_bundle_loss_uses_surviving_lane(self):
+        # At bundle width 2, killing one lane leaves a direct lane in use.
+        cfg = DragonflyConfig().scaled(4, 4, 4)
+        assert cfg.global_links_per_pair >= 2
+        net = SlingshotNetwork(cfg, rng=2)
+        fm = FabricManager(net)
+        fm.boot()
+        pairs = sorted(_bundle_switch_pairs(net, 0, 1))
+        fm.fail_cable(*pairs[0])
+        fm.sweep()
+        path = net.router.path(0, net.config.endpoints_per_group,
+                               register=False)
+        assert net.router.global_hops(path) == 1
+
+    def test_degraded_capacity_accounting(self, managed):
+        net, fm = managed
+        pairs = _bundle_switch_pairs(net, 0, 1)
+        for a, b in pairs:
+            fm.fail_cable(a, b)
+        fm.sweep()
+        expected = len(pairs) / (net.config.groups
+                                 * (net.config.groups - 1) / 2
+                                 * net.config.global_links_per_pair)
+        assert fm.degraded_global_capacity() == pytest.approx(expected,
+                                                              rel=0.01)
+
+    def test_restore_returns_to_minimal_routing(self, managed):
+        net, fm = managed
+        pairs = _bundle_switch_pairs(net, 0, 1)
+        for a, b in pairs:
+            fm.fail_cable(a, b)
+        fm.sweep()
+        for a, b in pairs:
+            fm.restore_cable(a, b)
+        path = net.router.path(0, net.config.endpoints_per_group + 1,
+                               register=False)
+        assert net.router.global_hops(path) == 1
+        assert fm.degraded_global_capacity() == 0.0
+
+    def test_unknown_cable_rejected(self, managed):
+        _, fm = managed
+        with pytest.raises(TopologyError):
+            fm.fail_cable(0, 0)
+
+    def test_sweep_counter(self, managed):
+        _, fm = managed
+        fm.sweep()
+        fm.sweep()
+        assert fm.sweeps_performed == 2
+
+
+class TestLocalLinkFailure:
+    def test_l1_failure_routes_via_intermediate_switch(self, managed):
+        net, fm = managed
+        # kill the direct L1 between switches 0 and 1 (group 0)
+        fm.fail_cable(0, 1)
+        fm.sweep()
+        eps = net.config.endpoints_per_switch
+        path = net.router.path(0, eps, register=False)   # sw0 -> sw1
+        # two L1 hops via a third switch in the group
+        assert net.router.switch_hops(path) == 2
+        assert net.router.global_hops(path) == 0

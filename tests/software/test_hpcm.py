@@ -1,0 +1,79 @@
+"""HPCM system-management tests (§3.4.2)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.software.hpcm import HpcmCluster
+
+
+@pytest.fixture()
+def cluster() -> HpcmCluster:
+    return HpcmCluster(n_leaders=5, n_compute=100)
+
+
+class TestFailover:
+    def test_all_clients_served_initially(self, cluster):
+        assert cluster.all_clients_served()
+
+    def test_leader_failure_is_transparent(self, cluster):
+        # "Leader-node failure is transparently handled by HPCM's CTDB
+        # implementation — another leader node takes over the virtual IP"
+        victim_clients = set(cluster.leaders[2].clients)
+        cluster.fail_leader(2)
+        assert cluster.all_clients_served()
+        for node in list(victim_clients)[:5]:
+            assert cluster.serving_leader(node).alive
+
+    def test_takeover_prefers_least_loaded(self, cluster):
+        cluster.fail_leader(0)
+        loads = [len(l.clients) for l in cluster.leaders if l.alive]
+        assert max(loads) - min(loads) <= 25   # roughly balanced
+
+    def test_cascading_failures_until_one_survives(self, cluster):
+        for i in range(4):
+            cluster.fail_leader(i)
+            assert cluster.all_clients_served()
+        with pytest.raises(SimulationError):
+            cluster.fail_leader(4)   # nobody left to take over
+
+    def test_recovery_reclaims_home_vip(self, cluster):
+        cluster.fail_leader(1)
+        cluster.recover_leader(1)
+        assert cluster.vip_owner[cluster.leaders[1].virtual_ip] == 1
+        assert cluster.all_clients_served()
+
+    def test_double_failure_rejected(self, cluster):
+        cluster.fail_leader(1)
+        with pytest.raises(SimulationError):
+            cluster.fail_leader(1)
+
+    def test_recover_alive_rejected(self, cluster):
+        with pytest.raises(SimulationError):
+            cluster.recover_leader(0)
+
+
+class TestDiscovery:
+    def test_sweep_detects_changes(self, cluster):
+        changed = cluster.discovery_sweep({1: {"dimm": "64GiB"},
+                                           2: {"dimm": "64GiB"}})
+        assert changed == [1, 2]
+        # unchanged report: nothing to do
+        assert cluster.discovery_sweep({1: {"dimm": "64GiB"}}) == []
+        # maintenance swap noticed without human intervention
+        assert cluster.discovery_sweep({1: {"dimm": "128GiB"}}) == [1]
+
+
+class TestValidation:
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            HpcmCluster(n_leaders=0)
+
+    def test_unknown_node(self, cluster):
+        with pytest.raises(ConfigurationError):
+            cluster.serving_leader(1000)
+
+    def test_frontier_defaults(self):
+        c = HpcmCluster()
+        # "One admin node and twenty-one leader nodes"
+        assert c.n_leaders == 21
+        assert c.n_compute == 9472

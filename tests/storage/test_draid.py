@@ -1,0 +1,65 @@
+"""ZFS dRAID geometry tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.draid import DraidGeometry
+from repro.units import TB
+
+
+class TestCapacityEfficiency:
+    def test_orion_hdd_geometry(self):
+        # 8d+2p over 106 children with 1 spare: the capacity-tier layout.
+        g = DraidGeometry(data=8, parity=2, children=106, spares=1)
+        assert g.capacity_efficiency == pytest.approx(105 / 106 * 0.8)
+
+    def test_orion_nvme_geometry(self):
+        # 4d+2p (no spares): the performance-tier layout, 2/3 efficiency.
+        g = DraidGeometry(data=4, parity=2, children=12)
+        assert g.capacity_efficiency == pytest.approx(2 / 3)
+
+    def test_usable_bytes_whole_ssu(self):
+        g = DraidGeometry(data=8, parity=2, children=106, spares=1)
+        usable = g.usable_bytes(18 * TB, 212)
+        assert usable == pytest.approx(212 * 18e12 * g.capacity_efficiency)
+
+    def test_usable_bytes_requires_tiling(self):
+        g = DraidGeometry(data=4, parity=2, children=12)
+        with pytest.raises(ConfigurationError):
+            g.usable_bytes(3.2 * TB, 25)
+
+    def test_minimal_geometry_defaults_children(self):
+        g = DraidGeometry(data=8, parity=2)
+        assert g.effective_children == 10
+        assert g.capacity_efficiency == pytest.approx(0.8)
+
+
+class TestResilienceSemantics:
+    def test_double_parity_tolerates_two(self):
+        g = DraidGeometry(data=8, parity=2, children=106, spares=1)
+        assert g.tolerated_failures == 2
+        assert g.degraded_read_overhead(0) == 1.0
+        assert g.degraded_read_overhead(2) > g.degraded_read_overhead(1) > 1.0
+
+    def test_three_failures_lose_the_vdev(self):
+        g = DraidGeometry(data=8, parity=2, children=106, spares=1)
+        with pytest.raises(ConfigurationError):
+            g.degraded_read_overhead(3)
+
+    def test_write_amplification(self):
+        assert DraidGeometry(data=8, parity=2).write_amplification() == 1.25
+        assert DraidGeometry(data=4, parity=2).write_amplification() == 1.5
+
+
+class TestValidation:
+    def test_children_must_hold_stripe(self):
+        with pytest.raises(ConfigurationError):
+            DraidGeometry(data=8, parity=2, children=9)
+
+    def test_positive_data_parity(self):
+        with pytest.raises(ConfigurationError):
+            DraidGeometry(data=0, parity=2)
+
+    def test_label(self):
+        g = DraidGeometry(data=8, parity=2, children=106, spares=1)
+        assert g.label() == "dRAID2:8d:106c:1s"

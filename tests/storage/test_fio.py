@@ -1,0 +1,64 @@
+"""fio workload model tests (§4.3.1 methodology)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.fio import (FioJob, FioPattern, aggregate_over_nodes,
+                               run_fio)
+
+
+class TestCannedJobs:
+    def test_sequential_read_matches_measurement(self):
+        r = run_fio(FioJob.sequential_read())
+        assert r.bandwidth == pytest.approx(7.1e9, rel=0.02)
+
+    def test_sequential_write_matches_measurement(self):
+        r = run_fio(FioJob.sequential_write())
+        assert r.bandwidth == pytest.approx(4.2e9, rel=0.02)
+
+    def test_random_read_4k_iops(self):
+        r = run_fio(FioJob.random_read_4k())
+        assert r.iops == pytest.approx(1.58e6, rel=0.03)
+
+    def test_random_read_is_iops_not_bandwidth_limited(self):
+        r = run_fio(FioJob.random_read_4k())
+        assert r.bandwidth < 0.95 * run_fio(FioJob.sequential_read()).bandwidth
+
+
+class TestQueueDepthRamp:
+    def test_shallow_queues_underperform(self):
+        deep = run_fio(FioJob(FioPattern.SEQ_READ, queue_depth=256))
+        shallow = run_fio(FioJob(FioPattern.SEQ_READ, queue_depth=1))
+        assert shallow.bandwidth < 0.5 * deep.bandwidth
+
+    def test_monotone_in_queue_depth(self):
+        rates = [run_fio(FioJob(FioPattern.RAND_READ, block_bytes=4096,
+                                queue_depth=q)).iops
+                 for q in (1, 4, 16, 64, 256)]
+        assert rates == sorted(rates)
+
+
+class TestAggregation:
+    def test_linear_scaling_over_nodes(self):
+        # Exclusive node-local devices scale perfectly with job size.
+        r = run_fio(FioJob.sequential_read())
+        agg = aggregate_over_nodes(r, 100)
+        assert agg.bandwidth == pytest.approx(100 * r.bandwidth)
+        assert agg.iops == pytest.approx(100 * r.iops)
+
+    def test_invalid_node_count(self):
+        r = run_fio(FioJob.sequential_read())
+        with pytest.raises(ConfigurationError):
+            aggregate_over_nodes(r, 0)
+
+
+class TestValidation:
+    def test_bad_job_parameters(self):
+        with pytest.raises(ConfigurationError):
+            FioJob(FioPattern.SEQ_READ, block_bytes=0)
+        with pytest.raises(ConfigurationError):
+            FioJob(FioPattern.SEQ_READ, queue_depth=0)
+
+    def test_result_reports_bytes_moved(self):
+        r = run_fio(FioJob.sequential_read())
+        assert r.bytes_moved == pytest.approx(r.bandwidth * r.job.runtime_s)

@@ -1,0 +1,63 @@
+"""I/O scenario tests (§4.3.2's headline calculations)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.iosim import (CheckpointScenario, ingest_time,
+                                 io_walltime_fraction)
+from repro.units import GiB, HOUR, TiB
+
+
+class TestIngest:
+    def test_700_tib_in_about_180_seconds(self):
+        # "Orion should be able to ingest ~700 TiB (~776 TB) in ~180 seconds"
+        t = ingest_time(700 * TiB)
+        assert t == pytest.approx(180.0, rel=0.03)
+
+    def test_walltime_fraction_under_5_pct(self):
+        # "most apps will spend less than 5% of walltime per hour doing I/O"
+        # 90% of apps write <=15% of GPU memory (4.6 PiB) per hour; at the
+        # 15% upper bound the fraction is right at ~5% (180 s / hour).
+        hourly = 0.15 * 9472 * 512 * GiB
+        assert io_walltime_fraction(hourly) == pytest.approx(0.05, abs=0.005)
+        assert io_walltime_fraction(0.9 * hourly) < 0.05
+
+    def test_invalid_volume(self):
+        with pytest.raises(ConfigurationError):
+            ingest_time(0)
+
+
+class TestCheckpointScenario:
+    @pytest.fixture()
+    def scenario(self) -> CheckpointScenario:
+        return CheckpointScenario()
+
+    def test_burst_buffer_blocks_much_less_than_pfs(self, scenario):
+        # The design rationale for node-local storage: "caching writes".
+        assert scenario.burst_time < scenario.direct_pfs_time / 5
+
+    def test_drain_fits_hourly_interval(self, scenario):
+        assert scenario.drain_fits_interval
+
+    def test_blocking_fraction_tiny(self, scenario):
+        assert scenario.blocking_fraction < 0.01
+
+    def test_checkpoint_volume(self, scenario):
+        assert scenario.checkpoint_bytes == pytest.approx(
+            9472 * 512 * GiB * 0.15)
+
+    def test_summary_keys(self, scenario):
+        s = scenario.summary()
+        assert {"checkpoint_TiB", "burst_time_s", "drain_time_s",
+                "burst_buffer_speedup", "blocking_fraction"} <= set(s)
+
+    def test_larger_fraction_slower(self):
+        small = CheckpointScenario(hbm_fraction=0.05)
+        big = CheckpointScenario(hbm_fraction=0.5)
+        assert big.burst_time > small.burst_time
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointScenario(hbm_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            CheckpointScenario(nodes=0)

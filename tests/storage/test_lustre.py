@@ -1,0 +1,81 @@
+"""Orion parallel filesystem tests — reproduces Table 2 and §4.3.2."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.lustre import OrionFilesystem
+from repro.storage.pfl import Tier
+from repro.units import KB, MB
+
+
+@pytest.fixture(scope="module")
+def fs() -> OrionFilesystem:
+    return OrionFilesystem()
+
+
+#: Table 2 (capacity PB, read TB/s, write TB/s) — theoretical values.
+TABLE2 = {
+    "Orion Metadata": (10.0, 0.8, 0.4),
+    "Orion Performance": (11.5, 10.0, 10.0),
+    "Orion Capacity": (679.0, 5.5, 4.6),
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("row,expected", TABLE2.items())
+    def test_matches_paper(self, fs, row, expected):
+        cap, read, write = expected
+        got = fs.table2()[row]
+        assert got["capacity_PB"] == pytest.approx(cap, rel=0.02)
+        assert got["read_TBps"] == pytest.approx(read, rel=0.02)
+        assert got["write_TBps"] == pytest.approx(write, rel=0.02)
+
+
+class TestMeasuredRates:
+    def test_flash_measured_11_7_and_9_4(self, fs):
+        s = fs.tier_stats(Tier.PERFORMANCE, measured=True)
+        assert s.read == pytest.approx(11.7e12, rel=0.01)
+        assert s.write == pytest.approx(9.4e12, rel=0.01)
+
+    def test_capacity_measured_4_9_and_4_3(self, fs):
+        s = fs.tier_stats(Tier.CAPACITY, measured=True)
+        assert s.read == pytest.approx(4.9e12, rel=0.01)
+        assert s.write == pytest.approx(4.3e12, rel=0.01)
+
+    def test_flash_reads_beat_contract_capacity_reads_miss(self, fs):
+        flash_c = fs.tier_stats(Tier.PERFORMANCE).read
+        flash_m = fs.tier_stats(Tier.PERFORMANCE, measured=True).read
+        disk_c = fs.tier_stats(Tier.CAPACITY).read
+        disk_m = fs.tier_stats(Tier.CAPACITY, measured=True).read
+        assert flash_m > flash_c
+        assert disk_m < disk_c
+
+
+class TestFileTransfers:
+    def test_small_files_see_flash_class_bandwidth(self, fs):
+        # "up to 11.7 TB/s for reads ... if the application has small files
+        # that fit within the Flash tier"
+        bw = fs.effective_read_bandwidth(int(6 * MB))
+        assert bw > 5e12
+
+    def test_large_files_see_capacity_class_bandwidth(self, fs):
+        # "Large files will see 4.9 TB/s and 4.3 TB/s"
+        read = fs.effective_read_bandwidth(10 ** 12)
+        write = fs.effective_write_bandwidth(10 ** 12)
+        assert read == pytest.approx(4.9e12, rel=0.02)
+        assert write == pytest.approx(4.3e12, rel=0.02)
+
+    def test_client_bandwidth_caps_transfers(self, fs):
+        free = fs.write_time(10 ** 9)
+        capped = fs.write_time(10 ** 9, clients_bandwidth=1e9)
+        assert capped > free
+
+    def test_dom_serves_tiny_files_at_open(self, fs):
+        assert fs.small_file_open_served(int(200 * KB))
+        assert not fs.small_file_open_served(int(1 * MB))
+
+    def test_invalid_size(self, fs):
+        with pytest.raises(StorageError):
+            fs.write_time(0)
+        with pytest.raises(StorageError):
+            fs.read_time(-5)

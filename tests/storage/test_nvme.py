@@ -1,0 +1,78 @@
+"""Node-local NVMe tests (paper §3.3, §4.3.1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, StorageError
+from repro.storage.nvme import NvmeDrive, Raid0Array, node_local_storage
+
+
+@pytest.fixture()
+def array() -> Raid0Array:
+    return node_local_storage()
+
+
+class TestContractedRates:
+    def test_node_capacity_3_5_tb(self, array):
+        # "~3.5 TB of capacity"
+        assert array.capacity_bytes == pytest.approx(3.5e12)
+
+    def test_node_peak_8_4_gbs(self, array):
+        # "8 GB/s for reads, 4 GB/s for writes"
+        assert array.seq_read == pytest.approx(8e9)
+        assert array.seq_write == pytest.approx(4e9)
+
+    def test_node_peak_2_2_miops(self, array):
+        # "up to 2.2 million IOPS, per Frontier node"
+        assert array.rand_read_iops == pytest.approx(2.2e6)
+
+
+class TestMeasuredRates:
+    def test_measured_7_1_gbs_read(self, array):
+        assert array.sustained_seq_read == pytest.approx(7.1e9, rel=0.01)
+
+    def test_measured_4_2_gbs_write(self, array):
+        # measured writes beat the 4 GB/s contract
+        assert array.sustained_seq_write == pytest.approx(4.2e9, rel=0.01)
+        assert array.sustained_seq_write > array.seq_write
+
+    def test_measured_1_58_miops(self, array):
+        assert array.sustained_rand_read_iops == pytest.approx(1.58e6,
+                                                               rel=0.01)
+
+    def test_full_system_aggregates(self, array):
+        # §4.3.1: 67.3 TB/s reads, 39.8 TB/s writes, ~15 billion IOPS.
+        nodes = 9472
+        assert nodes * array.sustained_seq_read == pytest.approx(67.3e12,
+                                                                 rel=0.01)
+        assert nodes * array.sustained_seq_write == pytest.approx(39.8e12,
+                                                                  rel=0.01)
+        assert nodes * array.sustained_rand_read_iops == pytest.approx(
+            15.0e9, rel=0.01)
+
+
+class TestRaid0Semantics:
+    def test_striping_round_robins(self, array):
+        stripe = array.stripe_bytes
+        assert array.stripe_for_offset(0) == 0
+        assert array.stripe_for_offset(stripe) == 1
+        assert array.stripe_for_offset(2 * stripe) == 0
+
+    def test_no_redundancy(self, array):
+        assert array.survives_failures(0)
+        assert not array.survives_failures(1)
+
+    def test_negative_offset_rejected(self, array):
+        with pytest.raises(StorageError):
+            array.stripe_for_offset(-1)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Raid0Array(drives=())
+
+    def test_capacity_sums(self):
+        arr = Raid0Array(drives=(NvmeDrive(), NvmeDrive(), NvmeDrive()))
+        assert arr.capacity_bytes == pytest.approx(3 * NvmeDrive().capacity_bytes)
+
+    def test_drive_validation(self):
+        with pytest.raises(ConfigurationError):
+            NvmeDrive(capacity_bytes=0)

@@ -1,0 +1,78 @@
+"""Progressive File Layout placement tests (§3.3)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pfl import ORION_PFL, Extent, ProgressiveFileLayout, Tier
+from repro.units import KB, MB
+
+
+class TestOrionLayout:
+    def test_tiny_file_lands_in_dom(self):
+        # "the first 256 KB of data of each file [lands] in the flash-based
+        # metadata servers using Lustre's Data-on-Metadata feature"
+        extents = ORION_PFL.place(int(100 * KB))
+        assert len(extents) == 1
+        assert extents[0].tier is Tier.METADATA
+
+    def test_medium_file_spans_dom_and_flash(self):
+        extents = ORION_PFL.place(int(4 * MB))
+        assert [e.tier for e in extents] == [Tier.METADATA, Tier.PERFORMANCE]
+        assert extents[0].length == int(256 * KB)
+
+    def test_large_file_uses_all_three_tiers(self):
+        extents = ORION_PFL.place(int(100 * MB))
+        assert [e.tier for e in extents] == [Tier.METADATA, Tier.PERFORMANCE,
+                                             Tier.CAPACITY]
+        assert extents[1].end == int(8 * MB)
+        assert extents[2].end == int(100 * MB)
+
+    def test_boundaries_exact(self):
+        per_tier = ORION_PFL.bytes_per_tier(int(100 * MB))
+        assert per_tier[Tier.METADATA] == int(256 * KB)
+        assert per_tier[Tier.PERFORMANCE] == int(8 * MB) - int(256 * KB)
+        assert per_tier[Tier.CAPACITY] == int(100 * MB) - int(8 * MB)
+
+    def test_served_at_open(self):
+        # "the contents are returned when the file is opened without having
+        # to then contact an object server"
+        assert ORION_PFL.served_at_open(int(256 * KB))
+        assert not ORION_PFL.served_at_open(int(256 * KB) + 1)
+
+
+class TestPartitionInvariants:
+    @pytest.mark.parametrize("size", [1, 1000, int(256 * KB), int(256 * KB) + 1,
+                                      int(8 * MB), int(8 * MB) + 1, 10 ** 9])
+    def test_extents_exactly_cover_the_file(self, size):
+        extents = ORION_PFL.place(size)
+        assert extents[0].start == 0
+        assert extents[-1].end == size
+        for prev, cur in zip(extents, extents[1:]):
+            assert prev.end == cur.start
+
+    def test_zero_byte_file_has_no_extents(self):
+        assert ORION_PFL.place(0) == []
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StorageError):
+            ORION_PFL.place(-1)
+
+
+class TestLayoutValidation:
+    def test_boundaries_must_increase(self):
+        with pytest.raises(StorageError):
+            ProgressiveFileLayout(components=((10, Tier.METADATA),
+                                              (10, Tier.PERFORMANCE)))
+
+    def test_invalid_extent(self):
+        with pytest.raises(StorageError):
+            Extent(Tier.CAPACITY, 10, 10)
+        with pytest.raises(StorageError):
+            Extent(Tier.CAPACITY, -1, 5)
+
+    def test_empty_layout_everything_in_final_tier(self):
+        layout = ProgressiveFileLayout(components=())
+        extents = layout.place(1000)
+        assert len(extents) == 1
+        assert extents[0].tier is Tier.CAPACITY
+        assert not layout.served_at_open(10)

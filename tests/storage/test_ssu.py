@@ -1,0 +1,64 @@
+"""Scalable Storage Unit tests (Orion building block)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.storage.ssu import ScalableStorageUnit
+
+
+@pytest.fixture()
+def ssu() -> ScalableStorageUnit:
+    return ScalableStorageUnit()
+
+
+class TestComposition:
+    def test_drive_counts(self, ssu):
+        # "(24) 3.2 TB NVMe drives, and (212) 18 TB hard drives"
+        assert ssu.nvme_count == 24
+        assert ssu.hdd_count == 212
+
+    def test_network_bandwidth_100_gbs(self, ssu):
+        # 2 controllers x 2 Cassini NICs x 25 GB/s
+        assert ssu.network_bandwidth == pytest.approx(100e9)
+
+
+class TestTierRates:
+    def test_flash_contract_rates_sum_to_10_tbs(self, ssu):
+        assert 225 * ssu.flash_read == pytest.approx(10e12, rel=0.01)
+        assert 225 * ssu.flash_write == pytest.approx(10e12, rel=0.01)
+
+    def test_flash_measured_rates(self, ssu):
+        # measured 11.7 / 9.4 TB/s over 225 SSUs
+        assert 225 * ssu.flash_read_measured == pytest.approx(11.7e12,
+                                                              rel=0.01)
+        assert 225 * ssu.flash_write_measured == pytest.approx(9.4e12,
+                                                               rel=0.01)
+
+    def test_disk_contract_rates(self, ssu):
+        assert 225 * ssu.disk_read == pytest.approx(5.5e12, rel=0.01)
+        assert 225 * ssu.disk_write == pytest.approx(4.6e12, rel=0.01)
+
+    def test_disk_measured_rates(self, ssu):
+        assert 225 * ssu.disk_read_measured == pytest.approx(4.9e12, rel=0.01)
+        assert 225 * ssu.disk_write_measured == pytest.approx(4.3e12, rel=0.01)
+
+    def test_rates_never_exceed_the_network(self, ssu):
+        for rate in (ssu.flash_read, ssu.flash_write, ssu.disk_read,
+                     ssu.disk_write, ssu.flash_read_measured):
+            assert rate <= ssu.network_bandwidth
+
+
+class TestCapacities:
+    def test_flash_capacity_11_5_pb_system(self, ssu):
+        assert 225 * ssu.flash_capacity == pytest.approx(11.5e15, rel=0.01)
+
+    def test_disk_capacity_679_pb_system(self, ssu):
+        assert 225 * ssu.disk_capacity == pytest.approx(679e15, rel=0.01)
+
+
+class TestValidation:
+    def test_drives_must_tile_vdevs(self):
+        with pytest.raises(ConfigurationError):
+            ScalableStorageUnit(nvme_count=25)
+        with pytest.raises(ConfigurationError):
+            ScalableStorageUnit(hdd_count=211)

@@ -1,0 +1,111 @@
+"""Calibration-registry tests: the documented constants match the code.
+
+If a model constant is retuned without updating its provenance entry (or
+vice versa), these tests fail — keeping the calibration auditable.
+"""
+
+import pytest
+
+from repro.calibration import REGISTRY, constants_by_module, lookup
+
+
+def live_value(name: str) -> float:
+    """Fetch the live value each registry entry documents."""
+    if name == "nt_efficiency[NPS4]":
+        from repro.node.cpu import NpsMode
+        from repro.node.dram import StreamCalibration
+        return StreamCalibration().nt_efficiency[NpsMode.NPS4]
+    if name == "nt_efficiency[NPS1]":
+        from repro.node.cpu import NpsMode
+        from repro.node.dram import StreamCalibration
+        return StreamCalibration().nt_efficiency[NpsMode.NPS1]
+    if name == "temporal_raw_fraction":
+        from repro.node.dram import StreamCalibration
+        return StreamCalibration().temporal_raw_fraction
+    if name == "gpu_stream_efficiency[DOT]":
+        from repro.node.hbm import GpuStreamCalibration
+        from repro.node.stream import StreamKernel
+        return GpuStreamCalibration().efficiency[StreamKernel.DOT]
+    if name == "gemm_eff_inf[FP64]":
+        from repro.node.gemm import GemmCalibration
+        from repro.node.gpu import Precision
+        return GemmCalibration().eff_inf[Precision.FP64]
+    if name == "cu_kernel_efficiency[4-link]":
+        from repro.node.transfers import CU_KERNEL_EFFICIENCY_BY_WIDTH
+        return CU_KERNEL_EFFICIENCY_BY_WIDTH[4]
+    if name == "single_core_xgmi2_efficiency":
+        from repro.node.transfers import SINGLE_CORE_XGMI2_EFFICIENCY
+        return SINGLE_CORE_XGMI2_EFFICIENCY
+    if name == "hpcg_bandwidth_efficiency":
+        from repro.node.roofline import HPCG_BANDWIDTH_EFFICIENCY
+        return HPCG_BANDWIDTH_EFFICIENCY
+    if name == "stream_efficiency":
+        from repro.fabric.network import STREAM_EFFICIENCY
+        return STREAM_EFFICIENCY
+    if name == "host_overhead_s":
+        from repro.fabric.latency import LatencyModel
+        return LatencyModel().host_overhead_s
+    if name == "allreduce_stage_sw_s":
+        from repro.fabric.collectives import ALLREDUCE_STAGE_SW_S
+        return ALLREDUCE_STAGE_SW_S
+    if name == "victim_queue_protection":
+        from repro.fabric.congestion import CongestionControl
+        return CongestionControl().victim_queue_protection
+    if name == "nvme_sustained_read_fraction":
+        from repro.storage.nvme import NvmeDrive
+        return NvmeDrive().sustained_read_fraction
+    if name == "flash_read_measured_fraction":
+        from repro.storage.ssu import ScalableStorageUnit
+        return ScalableStorageUnit().flash_read_measured_fraction
+    if name == "disk_write_measured_fraction":
+        from repro.storage.ssu import ScalableStorageUnit
+        return ScalableStorageUnit().disk_write_measured_fraction
+    if name == "hbm_stack_fit":
+        from repro.resilience.fit import frontier_fit_inventory
+        inv = frontier_fit_inventory()
+        return next(e.fit for e in inv.entries if e.name.startswith("HBM"))
+    if name == "power_supply_fit":
+        from repro.resilience.fit import frontier_fit_inventory
+        inv = frontier_fit_inventory()
+        return next(e.fit for e in inv.entries if e.name.startswith("Power"))
+    if name == "comet_per_device_kernel":
+        from repro.apps.comet import CoMet
+        return CoMet().projection().factors["per_device_kernel"]
+    if name == "cholla_algorithmic":
+        from repro.apps.cholla import Cholla
+        return Cholla().projection().factors["algorithmic"]
+    if name == "exaalt_snap_rewrite":
+        from repro.apps.exaalt import Exaalt
+        return Exaalt().projection().factors["snap_kernel_rewrite"]
+    if name == "athenapk_summit_staging":
+        from repro.apps.scaling import WeakScalingModel
+        from repro.core.baselines import SUMMIT
+        return WeakScalingModel.athenapk(machine=SUMMIT).staging_factor
+    raise KeyError(name)
+
+
+class TestRegistryIntegrity:
+    @pytest.mark.parametrize("entry", REGISTRY, ids=lambda e: e.name)
+    def test_registry_matches_live_code(self, entry):
+        assert entry.matches(live_value(entry.name)), (
+            f"{entry.name}: registry says {entry.value}, code says "
+            f"{live_value(entry.name)} — update the provenance entry")
+
+    def test_every_entry_has_a_paper_anchor(self):
+        for entry in REGISTRY:
+            assert len(entry.paper_anchor) > 20
+            assert "§" in entry.paper_anchor or "Table" in entry.paper_anchor \
+                or "Figure" in entry.paper_anchor or "list" in entry.paper_anchor
+
+    def test_lookup(self):
+        assert lookup("stream_efficiency").value == 0.70
+        with pytest.raises(KeyError):
+            lookup("nonexistent")
+
+    def test_constants_by_module(self):
+        assert len(constants_by_module("repro.node.dram")) == 3
+        assert constants_by_module("repro.nothing") == []
+
+    def test_unique_names(self):
+        names = [e.name for e in REGISTRY]
+        assert len(names) == len(set(names))

@@ -1,0 +1,59 @@
+"""CLI tests (python -m repro)."""
+
+import json
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCommands:
+    @pytest.mark.parametrize("command", ["specs", "storage", "stream",
+                                         "apps", "scorecard", "software"])
+    def test_command_runs_and_prints(self, command, capsys):
+        assert main([command]) == 0
+        out = capsys.readouterr().out
+        assert len(out) > 100
+
+    def test_specs_content(self, capsys):
+        main(["specs"])
+        out = capsys.readouterr().out
+        assert "9472" in out
+        assert "2.0 EF" in out
+        assert "270.1" in out
+
+    def test_apps_content(self, capsys):
+        main(["apps"])
+        out = capsys.readouterr().out
+        for name in ("CoMet", "Cholla", "WarpX", "ExaSMR"):
+            assert name in out
+
+    def test_scorecard_content(self, capsys):
+        main(["scorecard"])
+        out = capsys.readouterr().out
+        assert "pass" in out and "struggle" in out
+        assert "True" in out   # meets the spirit of exascale
+
+    def test_gpcnet_content(self, capsys):
+        main(["gpcnet"])
+        out = capsys.readouterr().out
+        assert "Isolated" in out and "Congested" in out
+        assert "Allreduce" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_command_registry_matches_doc(self):
+        assert set(COMMANDS) == {"specs", "storage", "stream", "gpcnet",
+                                 "apps", "scorecard", "software",
+                                 "evaluate"}
+
+
+class TestEvaluateJson:
+    def test_emits_valid_json(self, capsys):
+        main(["evaluate"])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meets_spirit_of_exascale"] is True
+        assert len(payload["table6"]) == 6
+        assert len(payload["table7"]) == 5

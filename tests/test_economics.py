@@ -1,0 +1,60 @@
+"""Cost-model tests (§2 footnote 1 and §5's cost argument)."""
+
+import pytest
+
+from repro.economics import (CORAL2_BUDGET_RANGE_MUSD,
+                             HBM_TO_DDR_PRICE_RATIO,
+                             SUPERCOMPUTER_2008_MUSD, SystemCostModel,
+                             meets_facility_rule, power_cost_over_life)
+from repro.errors import ConfigurationError
+
+
+class TestTwentyMwRationale:
+    def test_footnote_one_arithmetic(self):
+        # 100 M$ system / 5 years / 1 M$ per MW-year = 20 MW cap.
+        rationale = SystemCostModel().twenty_mw_rationale()
+        assert rationale["implied_power_cap_mw"] == pytest.approx(20.0)
+
+    def test_frontier_passes_the_facility_rule(self):
+        model = SystemCostModel()
+        assert model.meets_facility_rule
+        # 21.1 MW x 5 y ~ 105 M$ << the 600 M$ budget
+        assert model.lifetime_power_cost_musd == pytest.approx(105.5)
+
+    def test_2008_machine_at_the_cap_breaks_even(self):
+        assert meets_facility_rule(20.0, SUPERCOMPUTER_2008_MUSD)
+        assert not meets_facility_rule(20.1, SUPERCOMPUTER_2008_MUSD)
+
+    def test_power_cost_scales(self):
+        assert power_cost_over_life(10.0, years=2.0) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            power_cost_over_life(-1.0)
+        with pytest.raises(ConfigurationError):
+            meets_facility_rule(10.0, 0.0)
+
+
+class TestCostStructure:
+    def test_memory_and_storage_claim_45pct(self):
+        model = SystemCostModel()
+        assert model.memory_plus_storage_share == pytest.approx(0.45)
+        assert model.memory_cost_musd == pytest.approx(180.0)
+
+    def test_budget_grew_4_to_6x_not_1000x(self):
+        # The paper's core §5 argument.
+        low = SystemCostModel(budget_musd=CORAL2_BUDGET_RANGE_MUSD[0])
+        high = SystemCostModel(budget_musd=CORAL2_BUDGET_RANGE_MUSD[1])
+        assert low.budget_growth_vs_2008() == pytest.approx(4.0)
+        assert high.budget_growth_vs_2008() == pytest.approx(6.0)
+        args = high.why_not_1000x()
+        assert args["resource_ask_vs_2008"] / args["budget_growth_vs_2008"] > 150
+
+    def test_hbm_price_rule_of_thumb(self):
+        assert HBM_TO_DDR_PRICE_RATIO == (3.0, 5.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SystemCostModel(budget_musd=0.0)
+        with pytest.raises(ConfigurationError):
+            SystemCostModel(memory_share=0.9, storage_share=0.2)

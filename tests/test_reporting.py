@@ -1,0 +1,69 @@
+"""Table rendering tests."""
+
+import pytest
+
+from repro.reporting import ComparisonRow, Table, comparison_table, render_kv
+
+
+class TestTable:
+    def test_render_contains_header_and_rows(self):
+        t = Table(["Function", "MB/s"], title="STREAM")
+        t.add_row(["Copy", 176780.4])
+        out = t.render()
+        assert "STREAM" in out
+        assert "Function" in out
+        assert "176780.4" in out
+
+    def test_row_width_mismatch_raises(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_alignment_is_consistent(self):
+        t = Table(["name", "value"])
+        t.add_row(["x", 1.0])
+        t.add_row(["longer-name", 2.0])
+        lines = t.render().splitlines()
+        # header, separator, two rows
+        assert len(lines) == 4
+        assert len(set(line.index("|") for line in lines
+                       if "|" in line)) == 1
+
+    def test_custom_float_format(self):
+        t = Table(["v"], float_fmt="{:.3f}")
+        t.add_row([1.23456])
+        assert "1.235" in t.render()
+
+    def test_str_matches_render(self):
+        t = Table(["v"])
+        t.add_row([1.0])
+        assert str(t) == t.render()
+
+
+class TestComparisonRow:
+    def test_ratio(self):
+        r = ComparisonRow("x", paper=10.0, measured=11.0)
+        assert r.ratio == pytest.approx(1.1)
+
+    def test_within_tolerance(self):
+        r = ComparisonRow("x", paper=100.0, measured=104.0)
+        assert r.within(0.05)
+        assert not r.within(0.03)
+
+    def test_zero_paper_value(self):
+        assert ComparisonRow("x", paper=0.0, measured=0.0).within(0.01)
+        assert ComparisonRow("x", paper=0.0, measured=1.0).ratio == float("inf")
+
+    def test_comparison_table_renders_all_rows(self):
+        rows = [ComparisonRow("a", 1.0, 1.0), ComparisonRow("b", 2.0, 2.2)]
+        out = comparison_table(rows, title="T").render()
+        assert "a" in out and "b" in out and "Ratio" in out
+
+
+class TestRenderKv:
+    def test_renders_pairs(self):
+        out = render_kv({"Nodes": 9472, "FP64 DGEMM": "2.0 EF"}, title="Specs")
+        assert "Nodes" in out and "9472" in out and "Specs" in out
+
+    def test_empty_dict(self):
+        assert render_kv({}) == ""

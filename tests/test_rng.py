@@ -1,0 +1,40 @@
+"""Deterministic RNG utility tests."""
+
+import numpy as np
+
+from repro.rng import as_generator, spawn
+
+
+class TestAsGenerator:
+    def test_none_is_deterministic(self):
+        a = as_generator(None).random(4)
+        b = as_generator(None).random(4)
+        assert np.array_equal(a, b)
+
+    def test_int_seed(self):
+        a = as_generator(7).random(4)
+        b = as_generator(7).random(4)
+        c = as_generator(8).random(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(3)
+        assert as_generator(g) is g
+
+
+class TestSpawn:
+    def test_children_are_independent(self):
+        children = spawn(123, 3)
+        draws = [c.random(8) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_is_reproducible(self):
+        a = [c.random(4) for c in spawn(5, 2)]
+        b = [c.random(4) for c in spawn(5, 2)]
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_spawn_count(self):
+        assert len(spawn(None, 5)) == 5

@@ -1,0 +1,98 @@
+"""Unit algebra tests."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.units import (GiB, KiB, MiB, PiB, TiB, GB, TB,
+                         bytes_from, format_bandwidth, format_bytes,
+                         format_flops, geometric_mean, harmonic_mean,
+                         parse_size, to_unit)
+
+
+class TestConstants:
+    def test_binary_multiples_are_powers_of_two(self):
+        assert KiB == 2 ** 10
+        assert MiB == 2 ** 20
+        assert GiB == 2 ** 30
+        assert TiB == 2 ** 40
+        assert PiB == 2 ** 50
+
+    def test_si_vs_iec_gap_grows(self):
+        # The GiB/GB discrepancy is ~7.4%; PiB/PB ~12.6% — the paper's
+        # Table 1 unit mixing matters at this scale.
+        assert GiB / GB == pytest.approx(1.0737, abs=1e-4)
+        assert PiB / 1e15 == pytest.approx(1.1259, abs=1e-4)
+
+
+class TestConversions:
+    def test_bytes_from_gib(self):
+        assert bytes_from(64, "GiB") == 64 * 2 ** 30
+
+    def test_bytes_from_tb(self):
+        assert bytes_from(3.5, "TB") == 3.5e12
+
+    def test_to_unit_roundtrip(self):
+        for unit in ("KiB", "MiB", "GiB", "TiB", "PiB", "KB", "GB", "TB", "PB"):
+            assert to_unit(bytes_from(7.25, unit), unit) == pytest.approx(7.25)
+
+    def test_rate_suffixes_accepted(self):
+        assert bytes_from(25, "GB/s") == 25e9
+        assert bytes_from(1.6354, "TB/s") == pytest.approx(1.6354e12)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(ValueError):
+            bytes_from(1, "XB")
+
+    def test_parse_size(self):
+        assert parse_size("256 KB") == 256e3
+        assert parse_size("8MiB") == 8 * 2 ** 20
+        assert parse_size("3.5 TB") == 3.5e12
+        assert parse_size("42") == 42.0
+        assert parse_size("17 B") == 17.0
+
+    def test_parse_size_rejects_empty_number(self):
+        with pytest.raises(ValueError):
+            parse_size("GiB")
+
+
+class TestFormatting:
+    def test_format_bytes_binary(self):
+        assert format_bytes(2 ** 30) == "1.0 GiB"
+
+    def test_format_bytes_si(self):
+        assert format_bytes(1e9, binary=False) == "1.0 GB"
+
+    def test_format_bandwidth_default_si(self):
+        assert format_bandwidth(25e9) == "25.0 GB/s"
+
+    def test_format_flops(self):
+        assert format_flops(1.102e18) == "1.1 EFLOP/s"
+
+    def test_format_zero(self):
+        assert format_bytes(0.0) == "0 B"
+
+    def test_format_small_value_no_prefix(self):
+        assert format_bytes(12.0, precision=0) == "12 B"
+
+
+class TestMeans:
+    def test_harmonic_mean_exasmr(self):
+        # The paper's combined ExaSMR FOM: harmonic mean of 54 and 99.6.
+        assert harmonic_mean([54.0, 99.6]) == pytest.approx(70.03, abs=0.05)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([4.0, 16.0]) == pytest.approx(8.0)
+
+    def test_means_reject_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0, 2.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_leq_geometric(self):
+        values = [3.0, 7.0, 11.0]
+        assert harmonic_mean(values) <= geometric_mean(values)

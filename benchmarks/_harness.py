@@ -10,18 +10,31 @@ diffed against the published values.
 from __future__ import annotations
 
 import os
+import tempfile
 
-from repro.reporting import ComparisonRow, Table, comparison_table
+from repro.reporting import ComparisonRow, comparison_table
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
 def save_artifact(name: str, text: str) -> str:
-    """Write a rendered table/figure to benchmarks/out/ and echo it."""
+    """Write a rendered table/figure to benchmarks/out/ and echo it.
+
+    The write is atomic (temp file + ``os.replace``) so a benchmark
+    crashing mid-write can never leave a truncated artifact that a later
+    diff against the paper silently accepts.
+    """
     os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, f"{name}.txt")
-    with open(path, "w") as fh:
-        fh.write(text + "\n")
+    fd, tmp = tempfile.mkstemp(dir=OUT_DIR, prefix=f".{name}-", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text + "\n")
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise
     print(f"\n{text}\n[saved to {path}]")
     return path
 

@@ -1,0 +1,38 @@
+#!/usr/bin/env python
+"""Benchmark perf-regression gate.
+
+Runs the deterministic probe suite (:mod:`repro.obs.probes`) and compares
+wall time, model values, and observability counters against the committed
+``benchmarks/BENCH_BASELINE.json``.  CI runs this after the benchmark
+smoke job; it exits non-zero on regression.
+
+Usage::
+
+    python benchmarks/_regression.py            # check against baseline
+    python benchmarks/_regression.py --update   # re-record the baseline
+
+Tolerances come from :mod:`repro.obs.regression` (env overrides:
+``REPRO_BENCH_WALL_FACTOR``, ``REPRO_BENCH_RTOL``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "BENCH_BASELINE.json")
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.obs import regression
+    return regression.main(argv, default_baseline=BASELINE)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

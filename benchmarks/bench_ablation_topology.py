@@ -33,10 +33,10 @@ def test_port_and_cable_cost(benchmark):
         return build_dragonfly(DF_CFG), build_fattree(FT_CFG)
 
     df, ft = benchmark.pedantic(build, rounds=2, iterations=1)
-    df_sw_cables = sum(1 for l in df.links
-                       if l.kind is not LinkKind.L0) // 2
-    ft_sw_cables = sum(1 for l in ft.links
-                       if l.kind is not LinkKind.L0) // 2
+    df_sw_cables = sum(1 for link in df.links
+                       if link.kind is not LinkKind.L0) // 2
+    ft_sw_cables = sum(1 for link in ft.links
+                       if link.kind is not LinkKind.L0) // 2
     save_artifact("ablation_topology_cost",
                   f"dragonfly switch-switch cables: {df_sw_cables}\n"
                   f"fat-tree switch-switch cables:  {ft_sw_cables}\n"

@@ -10,7 +10,6 @@ Three layers:
 * the §4.2.2 all-to-all figure (~30-32 GB/s/node at 128 KiB, 8 PPN).
 """
 
-import numpy as np
 import pytest
 
 from repro.fabric.collectives import alltoall_per_node_bandwidth

@@ -1,7 +1,5 @@
 """§4.3 — storage evaluation: node-local fio and Orion streaming rates."""
 
-import pytest
-
 from repro.reporting import ComparisonRow
 from repro.storage.fio import FioJob, aggregate_over_nodes, run_fio
 from repro.storage.iosim import CheckpointScenario, ingest_time

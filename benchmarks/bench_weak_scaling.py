@@ -6,8 +6,6 @@ Frontier vs 48% on Summit (the NIC-per-GPU story), and the GESTS 1-D vs
 2-D decomposition trade.
 """
 
-import pytest
-
 from repro.apps.scaling import PAPER_EFFICIENCIES, WeakScalingModel
 from repro.core.baselines import SUMMIT
 from repro.reporting import ComparisonRow, Table

@@ -1,0 +1,42 @@
+"""Benchmark-session observability wiring.
+
+Every ``pytest benchmarks/`` session runs with :mod:`repro.obs` enabled:
+
+* at session start, :func:`repro.obs.probes.record_machine_context` runs
+  the deterministic probe suite once, so the exported document always
+  carries spans and counters from the fabric, MPI, storage, and scheduler
+  layers — a machine "fingerprint" every run can be diffed against;
+* at session end the accumulated spans + metrics are written atomically
+  to ``benchmarks/out/metrics.json``, the artifact CI uploads and the
+  perf-regression gate's sibling.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.export import export_state, write_json
+from repro.obs.probes import record_machine_context
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+METRICS_PATH = os.path.join(OUT_DIR, "metrics.json")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _observability(request):
+    was_enabled = obs.enabled()
+    obs.reset()
+    obs.enable()
+    record_machine_context()
+    yield
+    doc = export_state(
+        obs.tracer(), obs.registry(),
+        context={"harness": "pytest-benchmarks",
+                 "args": list(request.config.invocation_params.args)})
+    path = write_json(METRICS_PATH, doc)
+    print(f"\n[observability] spans+metrics saved to {path}")
+    if not was_enabled:
+        obs.disable()

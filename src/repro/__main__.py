@@ -12,6 +12,15 @@ Commands regenerate the paper's tables and scorecards in the terminal:
 ``software``   §3.4.3 — the programming-environment matrix
 ``evaluate``   everything above as JSON (for scripting)
 =============  =======================================================
+
+Observability verbs (see :mod:`repro.obs`):
+
+=============  =======================================================
+``trace``      run a report command (or the probe suite) with the
+               tracer on and print the span tree
+``metrics``    same but print/export the metrics registry; also hosts
+               the baseline workflow (``--update-baseline``/``--check``)
+=============  =======================================================
 """
 
 from __future__ import annotations
@@ -166,15 +175,103 @@ COMMANDS = {
     "evaluate": _cmd_evaluate,
 }
 
+#: Default location of the committed perf baseline, relative to the repo
+#: root (the CLI is normally invoked from there).
+DEFAULT_BASELINE = "benchmarks/BENCH_BASELINE.json"
+
+
+def _run_observed(command: str | None) -> None:
+    """Run a report command (or the probe suite) with collection on."""
+    from repro import obs
+    from repro.obs.probes import run_probes
+    obs.reset()
+    obs.enable()
+    if command is None:
+        run_probes()
+    else:
+        COMMANDS[command]()
+
+
+def _cmd_trace(args: "argparse.Namespace") -> int:
+    import json as _json
+
+    from repro import obs
+    from repro.obs.export import export_state, render_trace
+    _run_observed(args.report)
+    if args.json:
+        print(_json.dumps(export_state(obs.tracer(), obs.registry()),
+                          indent=2, sort_keys=True, default=str))
+    else:
+        print(render_trace(obs.tracer(),
+                           title=f"Trace: {args.report or 'probe suite'}"))
+    return 0
+
+
+def _cmd_metrics(args: "argparse.Namespace") -> int:
+    import json as _json
+
+    from repro import obs
+    from repro.obs import regression
+    from repro.obs.export import export_state, render_metrics, write_json
+
+    if args.update_baseline:
+        path = regression.update_baseline(args.baseline)
+        print(f"baseline updated: {path}")
+        return 0
+    if args.check:
+        return regression.main(["--baseline", args.baseline])
+    _run_observed(args.report)
+    if args.out:
+        doc = export_state(obs.tracer(), obs.registry(),
+                           context={"command": args.report or "probes"})
+        print(f"metrics written: {write_json(args.out, doc)}")
+    elif args.json:
+        print(_json.dumps(export_state(obs.tracer(), obs.registry()),
+                          indent=2, sort_keys=True, default=str))
+    else:
+        print(render_metrics(
+            obs.registry(),
+            title=f"Metrics: {args.report or 'probe suite'}"))
+    return 0
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Frontier: Exploring "
                     "Exascale' (SC '23) from the simulator models.")
-    parser.add_argument("command", choices=sorted(COMMANDS),
-                        help="which part of the paper to regenerate")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+    for name in sorted(COMMANDS):
+        sub.add_parser(name, help=f"regenerate the {name!r} section")
+
+    trace = sub.add_parser(
+        "trace", help="run with the tracer on and print the span tree")
+    trace.add_argument("report", nargs="?", choices=sorted(COMMANDS),
+                       help="report command to trace (default: probe suite)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the raw JSON document instead of a table")
+
+    metrics = sub.add_parser(
+        "metrics", help="run with metrics on; export or gate them")
+    metrics.add_argument("report", nargs="?", choices=sorted(COMMANDS),
+                         help="report command to meter (default: probe suite)")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the raw JSON document instead of a table")
+    metrics.add_argument("--out", metavar="PATH",
+                         help="write the JSON document to PATH (atomic)")
+    metrics.add_argument("--baseline", default=DEFAULT_BASELINE,
+                         metavar="PATH", help="perf baseline location")
+    metrics.add_argument("--update-baseline", action="store_true",
+                         help="re-record the committed perf baseline")
+    metrics.add_argument("--check", action="store_true",
+                         help="run the perf-regression gate")
+
     args = parser.parse_args(argv)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
     COMMANDS[args.command]()
     return 0
 

@@ -22,7 +22,7 @@ import numpy as np
 from repro.apps.base import Application, FomProjection
 from repro.apps.kernels.cfd import HeatAdvectionSolver
 from repro.apps.kernels.montecarlo import SlabReactor
-from repro.core.baselines import FRONTIER, TITAN, MachineModel
+from repro.core.baselines import TITAN, MachineModel
 from repro.errors import SimulationError
 from repro.rng import RngLike, as_generator
 from repro.units import harmonic_mean

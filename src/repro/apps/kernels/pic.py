@@ -18,7 +18,6 @@ per second, which :func:`measure_update_rate` produces at laptop scale.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
 
 import numpy as np
 

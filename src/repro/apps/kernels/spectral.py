@@ -83,7 +83,8 @@ class SpectralNavierStokes3d:
             1j * (self.kz * u_hat[0] - self.kx * u_hat[2]),
             1j * (self.kx * u_hat[1] - self.ky * u_hat[0]),
         ])
-        w = np.array([np.fft.irfftn(omega_hat[i], s=(n, n, n), axes=(0, 1, 2)) for i in range(3)])
+        w = np.array([np.fft.irfftn(omega_hat[i], s=(n, n, n),
+                                    axes=(0, 1, 2)) for i in range(3)])
         cross = np.array([
             u[1] * w[2] - u[2] * w[1],
             u[2] * w[0] - u[0] * w[2],
@@ -117,7 +118,8 @@ class SpectralNavierStokes3d:
 
     def kinetic_energy(self) -> float:
         n = self.n
-        u = np.array([np.fft.irfftn(self.u_hat[i], s=(n, n, n), axes=(0, 1, 2)) for i in range(3)])
+        u = np.array([np.fft.irfftn(self.u_hat[i], s=(n, n, n),
+                                    axes=(0, 1, 2)) for i in range(3)])
         return float(0.5 * np.mean(np.sum(u ** 2, axis=0)))
 
     def enstrophy(self) -> float:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from repro.apps.base import Application, FomProjection
 from repro.apps.kernels import scattering
-from repro.core.baselines import FRONTIER, SUMMIT, MachineModel
+from repro.core.baselines import SUMMIT, MachineModel
 
 __all__ = ["Lsms"]
 

@@ -94,7 +94,8 @@ def alltoall_per_node_bandwidth(config: DragonflyConfig | None = None, *,
         global_bw += extra
     # Inter-group portion is limited by the global share; total rate scales
     # it back up by the (free) intra-group fraction.
-    global_limit = (global_bw / nodes) / max(1e-12, (1.0 - intra)) if intra < 1 else float("inf")
+    global_limit = ((global_bw / nodes) / max(1e-12, (1.0 - intra))
+                    if intra < 1 else float("inf"))
     injection_limit = eps_per_node * cfg.link_rate
     ramp = message_bytes / (message_bytes + message_efficiency_bytes)
     per_node = min(global_limit, injection_limit) * ramp

@@ -19,6 +19,7 @@ from typing import Sequence
 import numpy as np
 from scipy import sparse
 
+from repro import obs
 from repro.errors import SimulationError
 
 __all__ = ["maxmin_allocate", "MaxMinResult"]
@@ -45,8 +46,8 @@ class MaxMinResult:
 def _incidence(paths: Sequence[Sequence[int]], n_links: int) -> sparse.csr_matrix:
     rows, cols = [], []
     for f, path in enumerate(paths):
-        for l in path:
-            rows.append(l)
+        for link in path:
+            rows.append(link)
             cols.append(f)
     data = np.ones(len(rows), dtype=np.float64)
     return sparse.csr_matrix((data, (rows, cols)), shape=(n_links, len(paths)))
@@ -105,45 +106,51 @@ def maxmin_allocate(capacities: Sequence[float],
 
     limit = max_iterations if max_iterations is not None else n_links + n_flows + 1
     eps = 1e-12
-    for _ in range(limit):
-        if not active.any():
-            break
-        n_active = A @ active.astype(np.float64)
-        used = n_active > 0
-        with np.errstate(divide="ignore", invalid="ignore"):
-            slack = np.where(used, remaining / np.maximum(n_active, 1), np.inf)
-        # How far can rates rise before a demand cap binds?
-        head = dem - rates
-        head_active = np.where(active, head, np.inf)
-        inc = min(slack.min(), head_active.min())
-        if not np.isfinite(inc):
-            raise SimulationError("unbounded allocation: a flow has no "
-                                  "constraining link and no demand cap")
-        inc = max(inc, 0.0)
-        rates[active] += inc
-        remaining -= inc * n_active
-        remaining = np.maximum(remaining, 0.0)
-        # Freeze flows at saturated links.
-        saturated = used & (remaining <= eps * cap)
-        if saturated.any():
-            touching = (A[saturated].T @ np.ones(int(saturated.sum()))) > 0
-            newly = active & touching
-            if newly.any():
-                sat_idx = np.flatnonzero(saturated)
-                sub = A[saturated][:, newly].toarray()
-                first = sat_idx[np.argmax(sub > 0, axis=0)]
-                bottleneck[np.flatnonzero(newly)] = first
-            active &= ~touching
-        # Freeze flows that reached their (finite) demand cap.
-        finite_dem = np.isfinite(dem)
-        capped = active & finite_dem & (
-            rates >= np.where(finite_dem, dem, 0.0)
-            - eps * np.where(finite_dem, np.maximum(dem, 1.0), 1.0))
-        active &= ~capped
-        if inc == 0.0 and not saturated.any() and not capped.any():
-            raise SimulationError("progressive filling stalled")
-    else:
-        raise SimulationError("max-min allocation did not converge")
+    iterations = 0
+    with obs.span("fabric.maxmin_allocate", n_flows=n_flows, n_links=n_links):
+        for _ in range(limit):
+            if not active.any():
+                break
+            iterations += 1
+            n_active = A @ active.astype(np.float64)
+            used = n_active > 0
+            with np.errstate(divide="ignore", invalid="ignore"):
+                slack = np.where(used, remaining / np.maximum(n_active, 1),
+                                 np.inf)
+            # How far can rates rise before a demand cap binds?
+            head = dem - rates
+            head_active = np.where(active, head, np.inf)
+            inc = min(slack.min(), head_active.min())
+            if not np.isfinite(inc):
+                raise SimulationError("unbounded allocation: a flow has no "
+                                      "constraining link and no demand cap")
+            inc = max(inc, 0.0)
+            rates[active] += inc
+            remaining -= inc * n_active
+            remaining = np.maximum(remaining, 0.0)
+            # Freeze flows at saturated links.
+            saturated = used & (remaining <= eps * cap)
+            if saturated.any():
+                touching = (A[saturated].T @ np.ones(int(saturated.sum()))) > 0
+                newly = active & touching
+                if newly.any():
+                    sat_idx = np.flatnonzero(saturated)
+                    sub = A[saturated][:, newly].toarray()
+                    first = sat_idx[np.argmax(sub > 0, axis=0)]
+                    bottleneck[np.flatnonzero(newly)] = first
+                active &= ~touching
+            # Freeze flows that reached their (finite) demand cap.
+            finite_dem = np.isfinite(dem)
+            capped = active & finite_dem & (
+                rates >= np.where(finite_dem, dem, 0.0)
+                - eps * np.where(finite_dem, np.maximum(dem, 1.0), 1.0))
+            active &= ~capped
+            if inc == 0.0 and not saturated.any() and not capped.any():
+                raise SimulationError("progressive filling stalled")
+        else:
+            raise SimulationError("max-min allocation did not converge")
+    obs.counter("fabric.maxmin.solves").inc()
+    obs.counter("fabric.maxmin.iterations").inc(iterations)
 
     flow_per_link = A @ rates
     with np.errstate(divide="ignore", invalid="ignore"):

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
 from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
@@ -69,12 +70,19 @@ class SlingshotNetwork:
         """
         if not pairs:
             raise ConfigurationError("no flows given")
-        self.router.reset_load()
-        paths = [self.router.path(s, d) for s, d in pairs]
-        if demand_per_flow is None:
-            demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
-        demands = [demand_per_flow] * len(pairs)
-        result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        with obs.span("fabric.flow_bandwidths", n_flows=len(pairs),
+                      policy=self.policy.value):
+            self.router.reset_load()
+            paths = [self.router.path(s, d) for s, d in pairs]
+            if demand_per_flow is None:
+                demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
+            demands = [demand_per_flow] * len(pairs)
+            result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        obs.counter("fabric.paths_computed").inc(len(pairs))
+        obs.histogram("fabric.link_utilisation").observe_many(
+            result.link_utilisation)
+        obs.histogram("fabric.flow_bandwidth_bytes_per_s").observe_many(
+            result.rates)
         flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
         return flows, result
 
@@ -136,12 +144,17 @@ class FatTreeNetwork:
                         ) -> tuple[list[FlowResult], MaxMinResult]:
         if not pairs:
             raise ConfigurationError("no flows given")
-        self.router.reset_load()
-        paths = [self.router.path(s, d) for s, d in pairs]
-        if demand_per_flow is None:
-            demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
-        demands = [demand_per_flow] * len(pairs)
-        result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        with obs.span("fabric.flow_bandwidths", n_flows=len(pairs),
+                      topology="fattree"):
+            self.router.reset_load()
+            paths = [self.router.path(s, d) for s, d in pairs]
+            if demand_per_flow is None:
+                demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
+            demands = [demand_per_flow] * len(pairs)
+            result = maxmin_allocate(self.topology.capacities(), paths, demands)
+        obs.counter("fabric.paths_computed").inc(len(pairs))
+        obs.histogram("fabric.link_utilisation").observe_many(
+            result.link_utilisation)
         flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
         return flows, result
 

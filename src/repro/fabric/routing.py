@@ -23,6 +23,7 @@ import enum
 
 import numpy as np
 
+from repro import obs
 from repro.errors import RoutingError
 from repro.fabric.dragonfly import DragonflyConfig
 from repro.fabric.fattree import FatTreeConfig
@@ -124,22 +125,30 @@ class Router:
         g_src = self.topo.group_of_endpoint(src_ep)
         g_dst = self.topo.group_of_endpoint(dst_ep)
         if g_src == g_dst:
+            obs.counter("fabric.routes.local").inc()
             return self._local_path(src_ep, dst_ep)
         try:
             minimal = self._minimal_path(src_ep, dst_ep)
         except RoutingError:
             # every direct lane between the groups is down: detour
+            obs.counter("fabric.routes.failover_valiant").inc()
             return self._valiant_path(src_ep, dst_ep)
         if self.policy is RoutingPolicy.MINIMAL:
+            obs.counter("fabric.routes.minimal").inc()
             return minimal
         if self.policy is RoutingPolicy.VALIANT:
+            obs.counter("fabric.routes.valiant").inc()
             return self._valiant_path(src_ep, dst_ep)
         # UGAL-L approximation: divert when the minimal path's most loaded
         # link carries more than twice the Valiant candidate's.
         valiant = self._valiant_path(src_ep, dst_ep)
         min_load = max((self._load.load(i) for i in minimal), default=0)
         val_load = max((self._load.load(i) for i in valiant), default=0)
-        return minimal if min_load <= 2 * val_load + 1 else valiant
+        if min_load <= 2 * val_load + 1:
+            obs.counter("fabric.routes.ugal_minimal").inc()
+            return minimal
+        obs.counter("fabric.routes.ugal_diverted").inc()
+        return valiant
 
     def _edge_link(self, node_a, node_b) -> int:
         link = self.topo.link_between(node_a, node_b)
@@ -265,11 +274,11 @@ class FatTreeRouter:
         if sw_s != sw_d:
             # pick the least-loaded core plane
             E = self.config.edge_switches
-            ups = [l for l in self.topo.out_links(("sw", sw_s))
-                   if l.dst[0] == "sw" and l.dst[1] >= E]
+            ups = [link for link in self.topo.out_links(("sw", sw_s))
+                   if link.dst[0] == "sw" and link.dst[1] >= E]
             if not ups:
                 raise RoutingError(f"edge switch {sw_s} has no uplinks")
-            loads = [self._load.load(l.index) for l in ups]
+            loads = [self._load.load(link.index) for link in ups]
             up = ups[int(np.argmin(loads))]
             core = up.dst
             down = self.topo.link_between(core, ("sw", sw_d))

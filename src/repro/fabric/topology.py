@@ -160,7 +160,7 @@ class Topology:
 
     def capacities(self) -> list[float]:
         """Per-link capacities, indexed by dense link index."""
-        return [l.capacity for l in self._links]
+        return [link.capacity for link in self._links]
 
     # -- invariants ----------------------------------------------------------
 

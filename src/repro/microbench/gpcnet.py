@@ -151,10 +151,10 @@ def _latency_samples(cfg: GpcnetConfig, lat: LatencyModel,
     divert = rng.random(n) < ADAPTIVE_DIVERT_PROB
     local_hops = extra_src.astype(int) + extra_dst.astype(int) + divert
     global_hops = 1 + divert.astype(int)
-    shapes = {(l, g): lat.analytic_latency(local_hops=l, global_hops=g)
-              for l in range(4) for g in (1, 2)}
-    base = np.array([shapes[(int(l), int(g))]
-                     for l, g in zip(local_hops, global_hops)])
+    shapes = {(lh, g): lat.analytic_latency(local_hops=lh, global_hops=g)
+              for lh in range(4) for g in (1, 2)}
+    base = np.array([shapes[(int(lh), int(g))]
+                     for lh, g in zip(local_hops, global_hops)])
     jitter = rng.exponential(QUIET_JITTER_MEAN_S, size=n)
     stalls = (rng.random(n) < STALL_PROB) * rng.exponential(STALL_MEAN_S, size=n)
     return base + jitter + stalls

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 __all__ = ["RankPlacement", "JobLayout"]
@@ -78,7 +79,9 @@ class JobLayout:
 
     def endpoints(self) -> list[int]:
         """Fabric endpoint of every rank (with repeats when ranks share NICs)."""
-        return [self.placement(r).endpoint for r in range(self.n_ranks)]
+        with obs.span("mpi.layout.endpoints", n_ranks=self.n_ranks):
+            obs.counter("mpi.rank_placements").inc(self.n_ranks)
+            return [self.placement(r).endpoint for r in range(self.n_ranks)]
 
     def ranks_per_nic(self) -> float:
         """How many ranks share one NIC (2.0 at the production 8 PPN)."""
@@ -87,5 +90,6 @@ class JobLayout:
     def pair_endpoints(self, pairs: list[tuple[int, int]]
                        ) -> list[tuple[int, int]]:
         """Map rank pairs to endpoint pairs (drops rank identity)."""
+        obs.counter("mpi.rank_placements").inc(2 * len(pairs))
         return [(self.placement(a).endpoint, self.placement(b).endpoint)
                 for a, b in pairs]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import math
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
 from repro.fabric.dragonfly import DragonflyConfig
@@ -40,8 +41,11 @@ class SimComm:
         """Expected time for one message between two ranks."""
         if src == dst:
             raise ConfigurationError("p2p between a rank and itself")
+        obs.counter("mpi.p2p_messages").inc()
+        obs.histogram("mpi.message_bytes").observe(size_bytes)
         if self._same_node(src, dst):
             # On-node transfers ride InfinityFabric; model one CU-kernel hop.
+            obs.counter("mpi.p2p_on_node").inc()
             xgmi_bw = 37.5e9
             return 2e-6 + size_bytes / xgmi_bw
         lat = self.latency.average_minimal_latency(
@@ -65,22 +69,30 @@ class SimComm:
         P = self.layout.n_ranks
         if P == 1:
             return 0.0
-        lat = allreduce_latency(P, size_bytes=min(size_bytes, 8.0),
-                                latency=self.latency,
-                                groups=self.config.groups,
-                                switches_per_group=self.config.switches_per_group)
-        per_rank_bw = self.config.link_rate / max(1.0, self.layout.ranks_per_nic())
-        bw_term = 2.0 * (P - 1) / P * size_bytes / per_rank_bw
-        return lat + bw_term
+        with obs.span("mpi.allreduce", n_ranks=P, size_bytes=size_bytes):
+            obs.counter("mpi.collective_calls").inc()
+            lat = allreduce_latency(
+                P, size_bytes=min(size_bytes, 8.0),
+                latency=self.latency,
+                groups=self.config.groups,
+                switches_per_group=self.config.switches_per_group)
+            per_rank_bw = self.config.link_rate / max(
+                1.0, self.layout.ranks_per_nic())
+            bw_term = 2.0 * (P - 1) / P * size_bytes / per_rank_bw
+            return lat + bw_term
 
     def alltoall_time(self, per_rank_bytes: float) -> float:
         """Time for each rank to exchange ``per_rank_bytes`` with every other."""
-        est = alltoall_per_node_bandwidth(
-            self.config, nodes=self.layout.n_nodes,
-            message_bytes=max(1.0, per_rank_bytes / max(1, self.layout.n_ranks)))
-        per_node_volume = per_rank_bytes * self.layout.ppn * (
-            (self.layout.n_ranks - 1) / max(1, self.layout.n_ranks))
-        return per_node_volume / est.per_node
+        with obs.span("mpi.alltoall", n_ranks=self.layout.n_ranks,
+                      per_rank_bytes=per_rank_bytes):
+            obs.counter("mpi.collective_calls").inc()
+            est = alltoall_per_node_bandwidth(
+                self.config, nodes=self.layout.n_nodes,
+                message_bytes=max(1.0,
+                                  per_rank_bytes / max(1, self.layout.n_ranks)))
+            per_node_volume = per_rank_bytes * self.layout.ppn * (
+                (self.layout.n_ranks - 1) / max(1, self.layout.n_ranks))
+            return per_node_volume / est.per_node
 
     def barrier_time(self) -> float:
         return self.allreduce_time(8.0)
@@ -95,9 +107,13 @@ class SimComm:
         """
         if neighbors < 1:
             raise ConfigurationError("need at least one neighbour")
-        lat = self.latency.average_minimal_latency(
-            groups=self.config.groups,
-            switches_per_group=self.config.switches_per_group)
-        nic_share = self.config.link_rate / max(1.0, self.layout.ranks_per_nic())
-        return lat * math.ceil(math.log2(neighbors + 1)) + (
-            neighbors * face_bytes) / nic_share
+        with obs.span("mpi.halo_exchange", neighbors=neighbors,
+                      face_bytes=face_bytes):
+            obs.counter("mpi.p2p_messages").inc(neighbors)
+            lat = self.latency.average_minimal_latency(
+                groups=self.config.groups,
+                switches_per_group=self.config.switches_per_group)
+            nic_share = self.config.link_rate / max(
+                1.0, self.layout.ranks_per_nic())
+            return lat * math.ceil(math.log2(neighbors + 1)) + (
+                neighbors * face_bytes) / nic_share

@@ -94,7 +94,7 @@ class GcdTopology:
             if link.endpoints in seen:
                 raise TopologyError(f"duplicate link between {link.a} and {link.b}")
             seen.add(link.endpoints)
-        self._by_pair = {l.endpoints: l for l in self.links}
+        self._by_pair = {link.endpoints: link for link in self.links}
 
     def link_between(self, a: int, b: int) -> XgmiLink | None:
         """The direct link between two GCDs, or None if not adjacent."""
@@ -115,7 +115,8 @@ class GcdTopology:
 
     def degree_links(self, gcd: int) -> int:
         """Total physical xGMI-3 links attached to one GCD (8 on Bard Peak)."""
-        return sum(l.width for l in self.links if gcd in l.endpoints)
+        return sum(link.width for link in self.links
+                   if gcd in link.endpoints)
 
     def pairs_by_width(self) -> dict[int, list[tuple[int, int]]]:
         """Adjacent GCD pairs grouped by gang width — Figure 5's categories."""
@@ -159,8 +160,8 @@ class GcdTopology:
             half_set = set(half)
             if 0 not in half_set:
                 continue  # avoid mirrored duplicates
-            cut = sum(l.bandwidth_per_direction for l in self.links
-                      if len(l.endpoints & half_set) == 1)
+            cut = sum(link.bandwidth_per_direction for link in self.links
+                      if len(link.endpoints & half_set) == 1)
             best = min(best, cut)
         return best
 

@@ -1,0 +1,101 @@
+"""``repro.obs`` — zero-dependency observability for the simulator.
+
+One process-wide :class:`~repro.obs.tracer.Tracer` and
+:class:`~repro.obs.metrics.MetricsRegistry` are shared by every
+instrumented layer (fabric, MPI, storage, scheduler).  Both are
+**disabled by default** and their disabled paths allocate nothing, so
+the instrumentation stays inline in hot loops:
+
+>>> from repro import obs
+>>> obs.enable()
+>>> with obs.span("fabric.flow_bandwidths", n_flows=4):
+...     obs.counter("fabric.paths_computed").inc(4)
+>>> obs.registry().snapshot()["fabric.paths_computed"]["value"]
+4.0
+
+Set ``REPRO_OBS=1`` in the environment to enable collection at import
+time (the benchmark harness does this per session instead, via
+``obs.enable()``).  Export helpers live in :mod:`repro.obs.export`; the
+deterministic probe suite feeding the perf-regression gate lives in
+:mod:`repro.obs.probes` / :mod:`repro.obs.regression`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRIC
+from repro.obs.tracer import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "Tracer", "Span", "MetricsRegistry",
+    "NULL_SPAN", "NULL_METRIC",
+    "tracer", "registry", "enable", "disable", "enabled", "reset",
+    "span", "traced", "counter", "gauge", "histogram",
+]
+
+_TRACER = Tracer()
+_REGISTRY = MetricsRegistry()
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def enable(*, tracing: bool = True, metrics: bool = True) -> None:
+    """Turn collection on (both subsystems by default)."""
+    if tracing:
+        _TRACER.enable()
+    if metrics:
+        _REGISTRY.enable()
+
+
+def disable() -> None:
+    _TRACER.disable()
+    _REGISTRY.disable()
+
+
+def enabled() -> bool:
+    """True if either subsystem is collecting."""
+    return _TRACER.enabled or _REGISTRY.enabled
+
+
+def reset() -> None:
+    """Drop all recorded spans and metrics (enabled flags unchanged)."""
+    _TRACER.reset()
+    _REGISTRY.reset()
+
+
+# -- inline instrumentation helpers (the API used at call sites) -------------
+
+def span(name: str, **attributes: Any):
+    """``with obs.span("layer.operation", key=value): ...``"""
+    return _TRACER.span(name, **attributes)
+
+
+def traced(name: str | None = None):
+    """``@obs.traced("layer.operation")`` decorator."""
+    return _TRACER.traced(name)
+
+
+def counter(name: str):
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str):
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, edges=None):
+    return _REGISTRY.histogram(name, edges=edges)
+
+
+if os.environ.get("REPRO_OBS", "").strip() not in ("", "0", "false"):
+    enable()

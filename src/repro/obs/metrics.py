@@ -1,0 +1,211 @@
+"""Counters, gauges, and histograms for the simulator's hot paths.
+
+A :class:`MetricsRegistry` hands out named instruments:
+
+* :class:`Counter` — monotonically increasing totals (paths computed,
+  solver iterations, messages sent);
+* :class:`Gauge` — last-value-wins samples (queue depth);
+* :class:`Histogram` — value distributions (link utilisation, achieved
+  bandwidth) summarised as count/sum/min/max plus fixed-edge buckets.
+
+Like the tracer, a disabled registry is allocation free: every lookup
+returns one shared no-op instrument, so instrumentation can stay inline
+in the hot loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "NULL_METRIC"]
+
+#: Default histogram bucket edges: log-spaced over the dynamic ranges the
+#: simulator produces (utilisation fractions up to multi-TB/s rates).
+DEFAULT_EDGES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0,
+                 1e3, 1e6, 1e9, 10e9, 100e9, 1e12, 10e12)
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-value-wins sample."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Distribution summary: count, sum, min, max, and bucket counts."""
+
+    __slots__ = ("name", "edges", "count", "total", "min", "max", "_buckets")
+
+    def __init__(self, name: str, edges: Sequence[float] | None = None):
+        self.name = name
+        self.edges = tuple(edges) if edges is not None else DEFAULT_EDGES
+        if list(self.edges) != sorted(self.edges):
+            raise ValueError(f"histogram {name}: bucket edges must be sorted")
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        # one bucket per edge (value <= edge), plus an overflow bucket
+        self._buckets = np.zeros(len(self.edges) + 1, dtype=np.int64)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._buckets[int(np.searchsorted(self.edges, value, side="left"))] += 1
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
+                         else values, dtype=np.float64)
+        if arr.size == 0:
+            return
+        self.count += int(arr.size)
+        self.total += float(arr.sum())
+        self.min = min(self.min, float(arr.min()))
+        self.max = max(self.max, float(arr.max()))
+        idx = np.searchsorted(self.edges, arr, side="left")
+        np.add.at(self._buckets, idx, 1)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "mean": self.mean if self.count else None,
+            "buckets": {
+                (f"le_{edge:g}" if i < len(self.edges) else "overflow"): int(n)
+                for i, (edge, n) in enumerate(
+                    zip(list(self.edges) + [float("inf")], self._buckets))
+                if n
+            },
+        }
+
+
+class _NullMetric:
+    """Shared no-op instrument returned while the registry is disabled."""
+
+    __slots__ = ()
+    name = "<disabled>"
+    value = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        pass
+
+
+NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms; no-ops when disabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics = {}
+
+    # -- instrument lookup ---------------------------------------------------
+
+    def _get(self, name: str, cls, **kwargs):
+        if not self.enabled:
+            return NULL_METRIC
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name, **kwargs)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}, not {cls.__name__}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str,
+                  edges: Sequence[float] | None = None) -> Histogram:
+        return self._get(name, Histogram, edges=edges)
+
+    # -- export --------------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """JSON-friendly state of every registered instrument."""
+        with self._lock:
+            return {name: m.snapshot()
+                    for name, m in sorted(self._metrics.items())}

@@ -1,0 +1,133 @@
+"""Deterministic probe suite exercising every instrumented layer.
+
+Each probe drives one subsystem (fabric, MPI, storage, scheduler) at a
+small fixed scale with pinned RNG seeds, returning a dict of scalar model
+outputs.  The probes serve two purposes:
+
+* the **perf-regression gate** (:mod:`repro.obs.regression`) snapshots
+  their wall time, model values, and observability counters into
+  ``benchmarks/BENCH_BASELINE.json`` and fails CI on drift;
+* the **benchmark harness** runs them once per session
+  (:func:`record_machine_context`) so every ``benchmarks/out/metrics.json``
+  carries spans and counters from the fabric, MPI, and storage layers even
+  when a single benchmark file only touches one of them.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro import obs
+
+__all__ = ["PROBES", "run_probes", "record_machine_context"]
+
+
+def probe_fabric() -> dict[str, float]:
+    """Flow-level mpiGraph on a reduced-scale dragonfly (taper preserved)."""
+    from repro.fabric.dragonfly import DragonflyConfig
+    from repro.fabric.network import SlingshotNetwork
+    from repro.microbench.mpigraph import simulate_mpigraph
+
+    net = SlingshotNetwork(DragonflyConfig().scaled(8, 4, 4), rng=0)
+    hist = simulate_mpigraph(net, offsets=[1, 8, 16, 32, 48])
+    return {
+        "min_gbs": hist.min_gbs,
+        "max_gbs": hist.max_gbs,
+        "median_gbs": hist.quantile(0.5) / 1e9,
+        "spread": hist.spread,
+    }
+
+
+def probe_mpi() -> dict[str, float]:
+    """Communication-cost oracle over a 64-node, 8-PPN job."""
+    from repro.mpi.job import JobLayout
+    from repro.mpi.simmpi import SimComm
+
+    comm = SimComm(JobLayout.contiguous(64))
+    return {
+        "p2p_off_node_1MiB_s": comm.p2p_time(0, 300, float(1 << 20)),
+        "p2p_on_node_1MiB_s": comm.p2p_time(0, 1, float(1 << 20)),
+        "allreduce_8B_s": comm.allreduce_time(8.0),
+        "alltoall_1MiB_s": comm.alltoall_time(float(1 << 20)),
+        "halo_1MiB_s": comm.halo_exchange_time(float(1 << 20)),
+    }
+
+
+def probe_storage() -> dict[str, float]:
+    """Checkpoint burst/drain accounting on a 1,024-node job."""
+    from repro.storage.iosim import CheckpointScenario, ingest_time
+    from repro.units import TiB
+
+    scenario = CheckpointScenario(nodes=1024)
+    summary = scenario.summary()
+    return {
+        "burst_time_s": summary["burst_time_s"],
+        "drain_time_s": summary["drain_time_s"],
+        "burst_buffer_speedup": summary["burst_buffer_speedup"],
+        "full_ingest_700TiB_s": ingest_time(700 * TiB),
+    }
+
+
+def probe_scheduler() -> dict[str, float]:
+    """Topology-aware scheduling of a small mixed workload."""
+    from repro.scheduler.placement import allocation_stats
+    from repro.scheduler.slurm import JobRequest, SlurmScheduler
+
+    sched = SlurmScheduler(n_nodes=1024)
+    sizes = [16, 300, 64, 128, 512, 8, 900, 32]
+    ids = [sched.submit(JobRequest(n_nodes=n, duration_s=100.0 + n))
+           for n in sizes]
+    sched.run_until_idle()
+    spanned = sum(
+        allocation_stats(sched.job(j).nodes).groups_spanned for j in ids)
+    return {
+        "makespan_s": sched.now,
+        "groups_spanned_total": float(spanned),
+        "jobs_completed": float(sum(
+            1 for j in ids if sched.job(j).state.value == "CD")),
+    }
+
+
+#: Ordered registry: probe name -> callable returning scalar model outputs.
+PROBES: dict[str, Callable[[], dict[str, float]]] = {
+    "fabric": probe_fabric,
+    "mpi": probe_mpi,
+    "storage": probe_storage,
+    "scheduler": probe_scheduler,
+}
+
+
+def run_probes(names: list[str] | None = None) -> dict[str, dict[str, Any]]:
+    """Run the probe suite; returns {probe: {wall_time_s, values}}.
+
+    Each probe runs under a ``probe.<name>`` span so its layer's spans nest
+    beneath it in the exported trace.
+    """
+    selected = list(PROBES) if names is None else names
+    results: dict[str, dict[str, Any]] = {}
+    for name in selected:
+        try:
+            fn = PROBES[name]
+        except KeyError:
+            raise KeyError(f"unknown probe {name!r}; "
+                           f"have {sorted(PROBES)}") from None
+        start = time.perf_counter()
+        with obs.span(f"probe.{name}"):
+            values = fn()
+        results[name] = {
+            "wall_time_s": time.perf_counter() - start,
+            "values": {k: float(v) for k, v in values.items()},
+        }
+    return results
+
+
+def record_machine_context() -> dict[str, dict[str, Any]]:
+    """Run every probe under one ``harness.machine_context`` span.
+
+    The benchmark harness calls this once per session so the emitted
+    ``metrics.json`` always documents the modeled machine (fabric, MPI,
+    storage, scheduler) the benchmarks ran against.
+    """
+    with obs.span("harness.machine_context"):
+        return run_probes()

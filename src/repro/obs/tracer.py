@@ -1,0 +1,195 @@
+"""Nested-span tracing with a context-manager/decorator API.
+
+A :class:`Tracer` produces :class:`Span` objects recording a name, wall
+time (``time.perf_counter``), and free-form attributes.  Spans nest: a
+span entered while another is active becomes its child, so a benchmark
+run yields a call tree (``fabric.flow_bandwidths`` containing
+``fabric.maxmin_allocate``, etc.).
+
+The tracer is **disabled by default** and the disabled path is allocation
+free: :meth:`Tracer.span` returns one shared no-op singleton, so hot
+simulator loops can be instrumented unconditionally without measurable
+overhead.  Thread safety: the active-span stack is thread-local, finished
+root spans are appended under a lock.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = ["Span", "Tracer", "NULL_SPAN"]
+
+
+class Span:
+    """One timed region of the simulation; context manager."""
+
+    __slots__ = ("name", "attributes", "start_s", "end_s", "children", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attributes: dict[str, Any] | None = None):
+        self._tracer = tracer
+        self.name = name
+        self.attributes: dict[str, Any] = dict(attributes) if attributes else {}
+        self.start_s: float | None = None
+        self.end_s: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration_s(self) -> float:
+        """Wall time inside the span (0.0 while still open)."""
+        if self.start_s is None or self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        self.attributes[key] = value
+
+    # -- context manager ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_s = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end_s = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly tree rooted at this span."""
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "attributes": dict(self.attributes),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def iter_spans(self):
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.iter_spans()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms)"
+
+
+class _NullSpan:
+    """Shared no-op stand-in returned while tracing is disabled.
+
+    It is a singleton so the disabled hot path allocates nothing; every
+    method is a no-op and ``with`` works as expected.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        pass
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL_SPAN"
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Produces nested spans; near-zero overhead when disabled."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._roots: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span production -----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any):
+        """Open a span; use as ``with tracer.span("fabric.solve", n=8):``."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    def traced(self, name: str | None = None) -> Callable:
+        """Decorator form: ``@tracer.traced("fabric.solve")``."""
+
+        def decorate(fn: Callable) -> Callable:
+            span_name = name if name is not None else fn.__qualname__
+
+            @functools.wraps(fn)
+            def wrapper(*args, **kwargs):
+                if not self.enabled:
+                    return fn(*args, **kwargs)
+                with self.span(span_name):
+                    return fn(*args, **kwargs)
+
+            return wrapper
+
+        return decorate
+
+    # -- state ---------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop recorded spans (the enabled flag is left as is)."""
+        with self._lock:
+            self._roots = []
+        self._local.stack = []
+
+    @property
+    def roots(self) -> list[Span]:
+        """Finished top-level spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def finished_spans(self) -> list[Span]:
+        """Every finished span, depth-first from the roots."""
+        return [s for root in self.roots for s in root.iter_spans()]
+
+    def export(self) -> list[dict[str, Any]]:
+        """JSON-friendly list of root span trees."""
+        return [root.to_dict() for root in self.roots]
+
+    # -- internals -----------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # pragma: no cover - misnested exit guard
+            stack.remove(span)
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)

@@ -11,7 +11,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-__all__ = ["Table", "ComparisonRow", "comparison_table", "render_kv"]
+__all__ = ["Table", "ComparisonRow", "comparison_table", "render_kv",
+           "metrics_table", "spans_table"]
 
 
 @dataclass
@@ -96,6 +97,48 @@ def comparison_table(rows: Iterable[ComparisonRow], title: str = "") -> Table:
     for r in rows:
         t.add_row([r.name, r.paper, r.measured, r.ratio, r.units])
     return t
+
+
+def metrics_table(snapshot: dict[str, dict[str, Any]],
+                  title: str = "Metrics") -> Table:
+    """Render a :meth:`repro.obs.MetricsRegistry.snapshot` as a table.
+
+    Counters and gauges show their value; histograms show
+    count / mean / min / max so distribution shape survives the rendering.
+    """
+    t = Table(["Metric", "Type", "Value", "Count", "Mean", "Min", "Max"],
+              title=title, float_fmt="{:.6g}")
+    for name, m in snapshot.items():
+        kind = m.get("type", "?")
+        if kind == "histogram":
+            t.add_row([name, kind, "-", m.get("count", 0),
+                       _opt(m.get("mean")), _opt(m.get("min")),
+                       _opt(m.get("max"))])
+        else:
+            t.add_row([name, kind, _opt(m.get("value")), "-", "-", "-", "-"])
+    return t
+
+
+def spans_table(span_trees: Iterable[dict[str, Any]],
+                title: str = "Trace") -> Table:
+    """Render exported span trees (see ``Tracer.export``) with indentation."""
+    t = Table(["Span", "Wall ms", "Attributes"], title=title,
+              float_fmt="{:.3f}")
+
+    def walk(span: dict[str, Any], depth: int) -> None:
+        attrs = ", ".join(f"{k}={v}" for k, v in span.get("attributes", {}).items())
+        t.add_row(["  " * depth + span["name"],
+                   span.get("duration_s", 0.0) * 1e3, attrs])
+        for child in span.get("children", []):
+            walk(child, depth + 1)
+
+    for root in span_trees:
+        walk(root, 0)
+    return t
+
+
+def _opt(value: Any) -> Any:
+    return "-" if value is None else value
 
 
 def render_kv(pairs: dict[str, Any], title: str = "") -> str:

@@ -20,6 +20,7 @@ import enum
 from collections import Counter
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import PlacementError
 from repro.fabric.dragonfly import DragonflyConfig
 
@@ -54,6 +55,8 @@ def place_job(n_nodes: int, free_nodes: set[int],
     if policy is PlacementPolicy.AUTO:
         policy = (PlacementPolicy.PACK if n_nodes <= nodes_per_group
                   else PlacementPolicy.SPREAD)
+    obs.counter("scheduler.placement_decisions").inc()
+    obs.counter(f"scheduler.placements.{policy.value}").inc()
 
     by_group: dict[int, list[int]] = {}
     for node in free_nodes:

@@ -23,6 +23,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import obs
 from repro.errors import PlacementError, SchedulerError
 from repro.scheduler.placement import NODES_PER_GROUP, PlacementPolicy, place_job
 from repro.scheduler.vni import VniAllocator
@@ -131,6 +132,7 @@ class SlurmScheduler:
         job_id = next(self._ids)
         self._jobs[job_id] = Job(job_id=job_id, request=request)
         self._queue.append(job_id)
+        obs.counter("scheduler.jobs_submitted").inc()
         self._try_start()
         return job_id
 
@@ -181,34 +183,42 @@ class SlurmScheduler:
     # -- internals ---------------------------------------------------------------
 
     def _try_start(self) -> None:
-        started = True
-        while started:
-            started = False
-            free = self.free_nodes
-            for job_id in list(self._queue):
-                job = self._jobs[job_id]
-                req = job.request
-                if req.n_nodes > len(free):
-                    # FIFO head-of-line blocks unless a later job fits
-                    continue
-                try:
-                    nodes = place_job(req.n_nodes, free, req.policy,
-                                      self.nodes_per_group)
-                except PlacementError:
-                    continue
-                self._queue.remove(job_id)
-                job.nodes = nodes
-                job.state = JobState.RUNNING
-                job.start_time = self.now
-                job.end_time = self.now + req.duration_s
-                for n in nodes:
-                    self._node_state[n] = NodeState.ALLOCATED
-                free -= set(nodes)
-                heapq.heappush(self._running, (job.end_time, job_id))
-                started = True
+        with obs.span("scheduler.try_start", queue_depth=len(self._queue)):
+            started = True
+            while started:
+                started = False
+                free = self.free_nodes
+                for job_id in list(self._queue):
+                    job = self._jobs[job_id]
+                    req = job.request
+                    if req.n_nodes > len(free):
+                        # FIFO head-of-line blocks unless a later job fits
+                        continue
+                    try:
+                        nodes = place_job(req.n_nodes, free, req.policy,
+                                          self.nodes_per_group)
+                    except PlacementError:
+                        continue
+                    self._queue.remove(job_id)
+                    job.nodes = nodes
+                    job.state = JobState.RUNNING
+                    job.start_time = self.now
+                    job.end_time = self.now + req.duration_s
+                    for n in nodes:
+                        self._node_state[n] = NodeState.ALLOCATED
+                    free -= set(nodes)
+                    heapq.heappush(self._running, (job.end_time, job_id))
+                    obs.counter("scheduler.jobs_started").inc()
+                    started = True
+        obs.gauge("scheduler.queue_depth").set(len(self._queue))
+        obs.histogram("scheduler.queue_depth_samples",
+                      edges=(0, 1, 2, 4, 8, 16, 32, 64, 128)).observe(
+            len(self._queue))
 
     def _finish(self, job: Job, state: JobState) -> None:
         job.state = state
+        obs.counter("scheduler.jobs_completed" if state is JobState.COMPLETED
+                    else "scheduler.jobs_cancelled").inc()
         job.end_time = self.now if state is JobState.CANCELLED else job.end_time
         for vni in job.step_vnis:
             self.vni.release(vni)

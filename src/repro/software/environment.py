@@ -115,7 +115,7 @@ class ProgrammingEnvironment:
         raise ConfigurationError(f"no compiler named {name!r}")
 
     def libraries_in(self, domain: str) -> list[Library]:
-        return [l for l in self.libraries if l.domain == domain]
+        return [lib for lib in self.libraries if lib.domain == domain]
 
     def tools_for(self, purpose: str) -> list[Tool]:
         return [t for t in self.tools if t.purpose == purpose]

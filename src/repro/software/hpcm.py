@@ -46,7 +46,7 @@ class HpcmCluster:
                         for i in range(self.n_leaders)]
         #: virtual IP -> currently-serving leader index (failover moves it)
         self.vip_owner: dict[str, int] = {
-            l.virtual_ip: i for i, l in enumerate(self.leaders)}
+            leader.virtual_ip: i for i, leader in enumerate(self.leaders)}
         self.database: dict[int, dict[str, str]] = {}
         self._assign_clients()
 
@@ -84,7 +84,8 @@ class HpcmCluster:
         if not victim.alive:
             raise SimulationError(f"{victim.name} is already down")
         victim.alive = False
-        survivors = [i for i, l in enumerate(self.leaders) if l.alive]
+        survivors = [i for i, leader in enumerate(self.leaders)
+                     if leader.alive]
         if not survivors:
             raise SimulationError("no surviving leader to take over")
         # move every VIP the victim currently owns, least-loaded first

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.storage.lustre import OrionFilesystem
 from repro.storage.nvme import Raid0Array, node_local_storage
@@ -32,8 +33,14 @@ def ingest_time(volume_bytes: float, fs: OrionFilesystem | None = None,
     """
     if volume_bytes <= 0:
         raise ConfigurationError("ingest volume must be positive")
-    filesystem = fs if fs is not None else OrionFilesystem()
-    return volume_bytes / filesystem.tier_stats(tier, measured=True).write
+    with obs.span("storage.ingest", volume_bytes=volume_bytes,
+                  tier=tier.value):
+        filesystem = fs if fs is not None else OrionFilesystem()
+        rate = filesystem.tier_stats(tier, measured=True).write
+        obs.counter("storage.io_ops").inc()
+        obs.counter("storage.bytes_written").inc(volume_bytes)
+        obs.histogram("storage.achieved_bandwidth_bytes_per_s").observe(rate)
+        return volume_bytes / rate
 
 
 def io_walltime_fraction(bytes_per_hour: float,
@@ -74,6 +81,10 @@ class CheckpointScenario:
     def burst_time(self) -> float:
         """Blocking time: every node writes its share to local NVMe."""
         per_node = self.hbm_per_node * self.hbm_fraction
+        obs.counter("storage.io_ops").inc()
+        obs.counter("storage.burst_writes").inc()
+        obs.histogram("storage.achieved_bandwidth_bytes_per_s").observe(
+            self.local.sustained_seq_write)
         return per_node / self.local.sustained_seq_write
 
     @property
@@ -101,6 +112,11 @@ class CheckpointScenario:
         return self.burst_time / self.interval_s
 
     def summary(self) -> dict[str, float]:
+        with obs.span("storage.checkpoint_summary", nodes=self.nodes,
+                      hbm_fraction=self.hbm_fraction):
+            return self._summary()
+
+    def _summary(self) -> dict[str, float]:
         return {
             "checkpoint_TiB": self.checkpoint_bytes / TiB,
             "burst_time_s": self.burst_time,

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.errors import StorageError
 from repro.storage.pfl import ORION_PFL, ProgressiveFileLayout, Tier
 from repro.storage.ssu import ScalableStorageUnit
@@ -60,6 +61,7 @@ class OrionFilesystem:
     def tier_stats(self, tier: Tier, *, measured: bool = False) -> TierStats:
         """Aggregate stats; ``measured=True`` returns §4.3.2's sustained rates
         instead of the contracted/theoretical ones in Table 2."""
+        obs.counter("storage.tier_queries").inc()
         if tier is Tier.METADATA:
             return TierStats(tier, self.mds_count * self.mds.capacity,
                              self.mds_count * self.mds.read,

@@ -1,6 +1,5 @@
 """Monte-Carlo neutronics kernel tests."""
 
-import numpy as np
 import pytest
 
 from repro.apps.kernels.montecarlo import SlabReactor, measure_fom

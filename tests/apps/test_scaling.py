@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.scaling import (PAPER_EFFICIENCIES, CommPattern,
                                 WeakScalingModel)
-from repro.core.baselines import FRONTIER, SUMMIT
+from repro.core.baselines import SUMMIT
 from repro.errors import ConfigurationError
 
 

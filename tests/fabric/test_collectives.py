@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.fabric.collectives import (allreduce_latency,
                                       alltoall_per_node_bandwidth)
-from repro.fabric.dragonfly import DragonflyConfig
 
 
 class TestAllreduce:

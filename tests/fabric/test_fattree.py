@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import TopologyError
-from repro.fabric.fattree import SUMMIT_FATTREE, FatTreeConfig, build_fattree
+from repro.fabric.fattree import SUMMIT_FATTREE, FatTreeConfig
 from repro.fabric.network import FatTreeNetwork
 
 

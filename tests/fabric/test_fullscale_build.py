@@ -34,8 +34,8 @@ class TestFullScaleStructure:
 
     def test_global_capacity_is_270_tbs(self, full):
         cfg, topo = full
-        total = sum(l.capacity for l in topo.links
-                    if l.kind is LinkKind.L2) / 2  # one direction
+        total = sum(link.capacity for link in topo.links
+                    if link.kind is LinkKind.L2) / 2  # one direction
         assert total == pytest.approx(270.1e12, rel=0.001)
 
     def test_l2_ports_spread_evenly(self, full):

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
 from repro.fabric.latency import LatencyModel
-from repro.fabric.routing import Router, RoutingPolicy
 
 
 @pytest.fixture()

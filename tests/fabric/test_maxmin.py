@@ -73,8 +73,8 @@ class TestInvariants:
         result = maxmin_allocate(caps, paths)
         usage = np.zeros(len(caps))
         for rate, path in zip(result.rates, paths):
-            for l in path:
-                usage[l] += rate
+            for link in path:
+                usage[link] += rate
         assert np.all(usage <= caps * (1 + 1e-9))
 
     def test_every_flow_has_a_saturated_bottleneck(self, random_instance):
@@ -82,8 +82,8 @@ class TestInvariants:
         result = maxmin_allocate(caps, paths)
         usage = np.zeros(len(caps))
         for rate, path in zip(result.rates, paths):
-            for l in path:
-                usage[l] += rate
+            for link in path:
+                usage[link] += rate
         for f, path in enumerate(paths):
             bn = result.bottleneck_link[f]
             assert bn in path
@@ -95,8 +95,8 @@ class TestInvariants:
         result = maxmin_allocate(caps, paths)
         usage = np.zeros(len(caps))
         for rate, path in zip(result.rates, paths):
-            for l in path:
-                usage[l] += rate
+            for link in path:
+                usage[link] += rate
         for f, path in enumerate(paths):
             bn = result.bottleneck_link[f]
             # every flow on the bottleneck has rate >= ours minus epsilon

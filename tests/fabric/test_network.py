@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.fabric.network import STREAM_EFFICIENCY, SlingshotNetwork
+from repro.fabric.network import STREAM_EFFICIENCY
 
 
 class TestShiftPattern:

@@ -82,7 +82,7 @@ class TestQueries:
 
     def test_out_links(self, tiny):
         outs = tiny.out_links(("sw", 1))
-        assert {l.dst for l in outs} == {("sw", 0), ("sw", 2)}
+        assert {link.dst for link in outs} == {("sw", 0), ("sw", 2)}
 
     def test_capacities_indexing(self, tiny):
         caps = tiny.capacities()

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.node.cpu import NpsMode, TrentoCpu
+from repro.node.cpu import NpsMode
 from repro.node.dram import CpuStreamModel, DdrConfig, StreamCalibration
 from repro.node.stream import StreamKernel
 

@@ -1,0 +1,97 @@
+"""Smoke tests: instrumented layers emit the expected spans and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.network import SlingshotNetwork
+from repro.mpi.job import JobLayout
+from repro.mpi.simmpi import SimComm
+from repro.storage.iosim import CheckpointScenario
+from repro.units import TiB
+
+
+@pytest.fixture()
+def enabled_obs():
+    obs.enable()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestFabricMetrics:
+    def test_flow_bandwidths_emits_expected_metric_names(self, enabled_obs):
+        net = SlingshotNetwork(DragonflyConfig().scaled(4, 4, 4), rng=0)
+        flows = net.shift_pattern(3)
+        assert flows  # the simulation itself still works
+        names = obs.registry().names()
+        for expected in ("fabric.paths_computed", "fabric.link_utilisation",
+                         "fabric.flow_bandwidth_bytes_per_s",
+                         "fabric.maxmin.solves", "fabric.maxmin.iterations"):
+            assert expected in names, f"missing {expected} in {names}"
+        snap = obs.registry().snapshot()
+        assert snap["fabric.paths_computed"]["value"] == len(flows)
+        assert snap["fabric.link_utilisation"]["count"] > 0
+        assert snap["fabric.maxmin.iterations"]["value"] >= 1
+
+    def test_flow_bandwidths_emits_nested_spans(self, enabled_obs):
+        net = SlingshotNetwork(DragonflyConfig().scaled(4, 4, 4), rng=0)
+        net.shift_pattern(3)
+        roots = obs.tracer().roots
+        assert [r.name for r in roots] == ["fabric.flow_bandwidths"]
+        assert "fabric.maxmin_allocate" in [c.name for c in roots[0].children]
+        assert roots[0].attributes["n_flows"] == 64
+
+    def test_disabled_network_emits_nothing(self):
+        net = SlingshotNetwork(DragonflyConfig().scaled(4, 4, 4), rng=0)
+        net.shift_pattern(3)
+        assert obs.registry().snapshot() == {}
+        assert obs.tracer().roots == []
+
+
+class TestMpiMetrics:
+    def test_p2p_and_collectives_counted(self, enabled_obs):
+        comm = SimComm(JobLayout.contiguous(4))
+        comm.p2p_time(0, 1, 1024.0)    # on node
+        comm.p2p_time(0, 31, 1024.0)   # off node
+        comm.allreduce_time(8.0)
+        comm.alltoall_time(1024.0)
+        snap = obs.registry().snapshot()
+        assert snap["mpi.p2p_messages"]["value"] == 2
+        assert snap["mpi.p2p_on_node"]["value"] == 1
+        assert snap["mpi.collective_calls"]["value"] == 2
+        span_names = {s.name for s in obs.tracer().finished_spans()}
+        assert {"mpi.allreduce", "mpi.alltoall"} <= span_names
+
+
+class TestStorageMetrics:
+    def test_ingest_and_checkpoint_instrumented(self, enabled_obs):
+        CheckpointScenario(nodes=64).summary()
+        snap = obs.registry().snapshot()
+        assert snap["storage.io_ops"]["value"] >= 1
+        assert snap["storage.achieved_bandwidth_bytes_per_s"]["count"] >= 1
+        span_names = {s.name for s in obs.tracer().finished_spans()}
+        assert "storage.checkpoint_summary" in span_names
+        assert "storage.ingest" in span_names
+
+    def test_bytes_written_tracks_volume(self, enabled_obs):
+        from repro.storage.iosim import ingest_time
+        ingest_time(2 * TiB)
+        snap = obs.registry().snapshot()
+        assert snap["storage.bytes_written"]["value"] == pytest.approx(2 * TiB)
+
+
+class TestSchedulerMetrics:
+    def test_submit_and_complete_counted(self, enabled_obs):
+        from repro.scheduler.slurm import JobRequest, SlurmScheduler
+        sched = SlurmScheduler(n_nodes=256)
+        sched.submit(JobRequest(n_nodes=16, duration_s=10.0))
+        sched.submit(JobRequest(n_nodes=200, duration_s=10.0))
+        sched.run_until_idle()
+        snap = obs.registry().snapshot()
+        assert snap["scheduler.jobs_submitted"]["value"] == 2
+        assert snap["scheduler.jobs_completed"]["value"] == 2
+        assert snap["scheduler.placement_decisions"]["value"] == 2
+        assert "scheduler.queue_depth" in obs.registry().names()

@@ -1,0 +1,121 @@
+"""Counter/gauge/histogram accumulation and the disabled no-op path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (NULL_METRIC, Counter, Histogram,
+                               MetricsRegistry)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+    def test_registry_returns_same_instance(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a").inc()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 2.0
+
+    def test_type_collision_rejected(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+
+class TestGauge:
+    def test_last_value_wins(self):
+        reg = MetricsRegistry(enabled=True)
+        g = reg.gauge("depth")
+        g.set(5)
+        g.set(2)
+        assert g.value == 2.0
+        g.inc()
+        g.dec(3)
+        assert g.value == 0.0
+
+
+class TestHistogram:
+    def test_accumulates_summary_stats(self):
+        h = Histogram("lat", edges=(1.0, 10.0, 100.0))
+        for v in (0.5, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == pytest.approx(555.5)
+        assert h.min == 0.5
+        assert h.max == 500.0
+        assert h.mean == pytest.approx(138.875)
+
+    def test_observe_many_matches_observe(self):
+        a = Histogram("a", edges=(0.25, 0.5, 1.0))
+        b = Histogram("b", edges=(0.25, 0.5, 1.0))
+        values = np.linspace(0.0, 1.2, 37)
+        for v in values:
+            a.observe(v)
+        b.observe_many(values)
+        assert a.snapshot() == b.snapshot()
+
+    def test_bucket_counts(self):
+        h = Histogram("util", edges=(0.5, 1.0))
+        h.observe_many([0.1, 0.4, 0.7, 1.0, 2.0])
+        buckets = h.snapshot()["buckets"]
+        assert buckets["le_0.5"] == 2
+        assert buckets["le_1"] == 2
+        assert buckets["overflow"] == 1
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", edges=(2.0, 1.0))
+
+    def test_empty_histogram_snapshot(self):
+        snap = Histogram("empty").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["mean"] is None
+
+
+class TestDisabledRegistry:
+    def test_every_lookup_returns_the_shared_null_metric(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("a") is NULL_METRIC
+        assert reg.gauge("b") is NULL_METRIC
+        assert reg.histogram("c") is NULL_METRIC
+        # nothing was registered
+        assert reg.names() == []
+        assert reg.snapshot() == {}
+
+    def test_null_metric_interface_is_noop(self):
+        NULL_METRIC.inc()
+        NULL_METRIC.set(5)
+        NULL_METRIC.observe(1.0)
+        NULL_METRIC.observe_many([1.0, 2.0])
+        assert NULL_METRIC.value == 0.0
+
+    def test_enable_after_disable_starts_recording(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.counter("a").inc()
+        reg.enable()
+        reg.counter("a").inc()
+        assert reg.counter("a").value == 1.0
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(7)
+        reg.histogram("h").observe(2.0)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 3.0}
+        assert snap["g"] == {"type": "gauge", "value": 7.0}
+        assert snap["h"]["type"] == "histogram"
+        assert snap["h"]["count"] == 1

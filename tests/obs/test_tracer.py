@@ -1,0 +1,124 @@
+"""Span nesting, timing, decorator API, and the allocation-free no-op path."""
+
+from __future__ import annotations
+
+import time
+
+from repro import obs
+from repro.obs.tracer import NULL_SPAN, Tracer
+
+
+class TestNesting:
+    def test_spans_nest_into_a_tree(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("middle"):
+                with tracer.span("inner"):
+                    pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.roots
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["middle", "sibling"]
+        assert [c.name for c in roots[0].children[0].children] == ["inner"]
+
+    def test_sequential_roots(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        assert [r.name for r in tracer.roots] == ["a", "b"]
+
+    def test_parent_duration_covers_children(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        outer = tracer.roots[0]
+        inner = outer.children[0]
+        assert inner.duration_s >= 0.004
+        assert outer.duration_s >= inner.duration_s
+
+    def test_attributes_and_exception_marking(self):
+        tracer = Tracer(enabled=True)
+        try:
+            with tracer.span("failing", n=3):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        span = tracer.roots[0]
+        assert span.attributes["n"] == 3
+        assert span.attributes["error"] == "ValueError"
+        assert span.end_s is not None
+
+    def test_decorator_records_span(self):
+        tracer = Tracer(enabled=True)
+
+        @tracer.traced("worker.task")
+        def work(x):
+            return x * 2
+
+        assert work(21) == 42
+        assert [r.name for r in tracer.roots] == ["worker.task"]
+
+    def test_finished_spans_depth_first(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        assert [s.name for s in tracer.finished_spans()] == ["a", "b"]
+
+
+class TestDisabledOverhead:
+    def test_disabled_span_is_the_shared_singleton(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything", k=1) is NULL_SPAN
+        assert tracer.span("other") is NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("ghost"):
+            pass
+        assert tracer.roots == []
+        assert tracer.finished_spans() == []
+
+    def test_module_level_disabled_path(self):
+        assert obs.span("x") is obs.span("y")
+        assert obs.span("x") is NULL_SPAN
+        assert obs.tracer().roots == []
+
+    def test_null_span_interface_is_noop(self):
+        NULL_SPAN.set_attribute("k", "v")
+        assert NULL_SPAN.duration_s == 0.0
+
+    def test_decorated_function_untraced_when_disabled(self):
+        tracer = Tracer(enabled=False)
+
+        @tracer.traced()
+        def work():
+            return 1
+
+        assert work() == 1
+        assert tracer.roots == []
+
+
+class TestStateManagement:
+    def test_reset_drops_spans_but_not_flag(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        assert tracer.enabled
+
+    def test_enable_disable_round_trip(self):
+        obs.enable()
+        assert obs.enabled()
+        with obs.span("visible"):
+            pass
+        obs.disable()
+        assert not obs.enabled()
+        with obs.span("invisible"):
+            pass
+        assert [r.name for r in obs.tracer().roots] == ["visible"]

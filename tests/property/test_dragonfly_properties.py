@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import TopologyError
 from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
 from repro.fabric.routing import Router, RoutingPolicy
 from repro.fabric.topology import LinkKind
@@ -44,8 +43,8 @@ class TestStructure:
         assert topo.n_endpoints == cfg.total_endpoints
         # L2 capacity between every group pair equals the bundle capacity
         expected = cfg.global_links_per_pair * cfg.link_rate
-        total_l2 = sum(l.capacity for l in topo.links
-                       if l.kind is LinkKind.L2)
+        total_l2 = sum(link.capacity for link in topo.links
+                       if link.kind is LinkKind.L2)
         n_pairs = cfg.groups * (cfg.groups - 1) // 2
         assert total_l2 == pytest.approx(2 * n_pairs * expected)  # both dirs
 

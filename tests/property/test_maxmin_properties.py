@@ -30,8 +30,8 @@ def instances(draw):
 def _usage(caps, paths, rates):
     usage = np.zeros(len(caps))
     for rate, path in zip(rates, paths):
-        for l in path:
-            usage[l] += rate
+        for link in path:
+            usage[link] += rate
     return usage
 
 

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.resilience.fit import frontier_fit_inventory
 from repro.resilience.mtti import (MttiModel, monte_carlo_mtti,
                                    REPORT_IMPROVED_MTTI_HOURS)
 

@@ -26,7 +26,7 @@ class TestFailover:
 
     def test_takeover_prefers_least_loaded(self, cluster):
         cluster.fail_leader(0)
-        loads = [len(l.clients) for l in cluster.leaders if l.alive]
+        loads = [len(leader.clients) for leader in cluster.leaders if leader.alive]
         assert max(loads) - min(loads) <= 25   # roughly balanced
 
     def test_cascading_failures_until_one_survives(self, cluster):

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.storage.iosim import (CheckpointScenario, ingest_time,
                                  io_walltime_fraction)
-from repro.units import GiB, HOUR, TiB
+from repro.units import GiB, TiB
 
 
 class TestIngest:

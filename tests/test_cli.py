@@ -57,3 +57,53 @@ class TestEvaluateJson:
         assert payload["meets_spirit_of_exascale"] is True
         assert len(payload["table6"]) == 6
         assert len(payload["table7"]) == 5
+
+
+class TestObservabilityVerbs:
+    """python -m repro trace / metrics (see repro.obs)."""
+
+    def teardown_method(self):
+        from repro import obs
+        obs.disable()
+        obs.reset()
+
+    def test_trace_probe_suite_prints_span_tree(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        for layer in ("probe.fabric", "probe.mpi", "probe.storage",
+                      "probe.scheduler"):
+            assert layer in out
+        assert "fabric.maxmin_allocate" in out
+
+    def test_trace_report_command(self, capsys):
+        assert main(["trace", "storage"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace: storage" in out
+
+    def test_metrics_probe_suite_prints_table(self, capsys):
+        assert main(["metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric.paths_computed" in out
+        assert "mpi.p2p_messages" in out
+        assert "storage.io_ops" in out
+
+    def test_metrics_json_document(self, capsys):
+        assert main(["metrics", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == 1
+        assert "fabric.paths_computed" in doc["metrics"]
+        assert doc["spans"]
+
+    def test_metrics_out_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        assert main(["metrics", "--out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert "fabric.paths_computed" in doc["metrics"]
+
+    def test_metrics_baseline_round_trip(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_BASELINE.json"
+        assert main(["metrics", "--update-baseline",
+                     "--baseline", str(path)]) == 0
+        assert main(["metrics", "--check", "--baseline", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "gate passed" in out

@@ -4,7 +4,6 @@ Each test exercises a realistic workflow spanning several subsystems, the
 way a downstream user of the library would.
 """
 
-import numpy as np
 import pytest
 
 from repro import FrontierMachine

@@ -1,11 +1,8 @@
 """Unit algebra tests."""
 
-import math
-
 import pytest
 
-from repro import units
-from repro.units import (GiB, KiB, MiB, PiB, TiB, GB, TB,
+from repro.units import (GiB, KiB, MiB, PiB, TiB, GB,
                          bytes_from, format_bandwidth, format_bytes,
                          format_flops, geometric_mean, harmonic_mean,
                          parse_size, to_unit)

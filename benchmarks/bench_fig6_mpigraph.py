@@ -12,9 +12,8 @@ Three layers:
 
 import pytest
 
+from repro.core.scenario import frontier_spec
 from repro.fabric.collectives import alltoall_per_node_bandwidth
-from repro.fabric.dragonfly import DragonflyConfig
-from repro.fabric.network import SlingshotNetwork
 from repro.microbench.mpigraph import (frontier_mpigraph_histogram,
                                        simulate_mpigraph,
                                        summit_mpigraph_histogram)
@@ -53,8 +52,7 @@ def test_figure6_fullscale_histograms(benchmark):
 
 
 def test_figure6_flow_level_simulation(benchmark):
-    cfg = DragonflyConfig().scaled(8, 4, 4)
-    net = SlingshotNetwork(cfg)
+    net = frontier_spec().scaled(8, 4, 4).build_network()
 
     def run():
         return simulate_mpigraph(net, offsets=[1, 8, 16, 32, 48, 64])

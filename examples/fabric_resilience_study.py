@@ -11,8 +11,7 @@ Run:  python examples/fabric_resilience_study.py
 
 import numpy as np
 
-from repro.fabric.dragonfly import DragonflyConfig
-from repro.fabric.network import SlingshotNetwork
+from repro.core.scenario import frontier_spec
 from repro.fabric.topology import LinkKind
 from repro.reporting import Table
 from repro.resilience.blast_radius import FailureDomainModel
@@ -21,8 +20,7 @@ from repro.software.fabric_manager import FabricManager
 
 def fabric_failure_walkthrough() -> None:
     print("=== Losing a bundle, watching the Fabric Manager cope ===")
-    cfg = DragonflyConfig().scaled(8, 4, 4)
-    net = SlingshotNetwork(cfg, rng=11)
+    net = frontier_spec().scaled(8, 4, 4).build_network(rng=11)
     fm = FabricManager(net)
     print(f"boot: pushed configuration to {fm.boot()} blank switches")
 
@@ -42,7 +40,8 @@ def fabric_failure_walkthrough() -> None:
     print(f"global capacity degraded by "
           f"{fm.degraded_global_capacity():.1%}; fabric routable: "
           f"{fm.fabric_is_routable()}")
-    path = net.router.path(0, cfg.endpoints_per_group + 1, register=False)
+    path = net.router.path(0, net.config.endpoints_per_group + 1,
+                           register=False)
     print(f"group-0 -> group-1 traffic now takes "
           f"{net.router.global_hops(path)} global hops (Valiant detour)\n")
 

@@ -9,12 +9,12 @@ under adversarial traffic.
 Run:  python examples/network_topology_study.py
 """
 
+from dataclasses import replace
+
 import numpy as np
 
+from repro.core.scenario import FatTreeGeometry, MachineSpec, frontier_spec
 from repro.fabric.collectives import alltoall_per_node_bandwidth
-from repro.fabric.dragonfly import DragonflyConfig
-from repro.fabric.fattree import FatTreeConfig
-from repro.fabric.network import FatTreeNetwork, SlingshotNetwork
 from repro.fabric.routing import RoutingPolicy
 from repro.microbench.mpigraph import (frontier_mpigraph_histogram,
                                        simulate_mpigraph,
@@ -38,12 +38,15 @@ def fullscale_figure6() -> None:
 
 def reduced_scale_flow_sim() -> None:
     print("=== mpiGraph on materialised reduced-scale fabrics ===")
-    df_cfg = DragonflyConfig().scaled(8, 4, 4)
-    ft_cfg = FatTreeConfig(edge_switches=16, endpoints_per_edge=8,
-                           link_rate=25e9)
-    df_hist = simulate_mpigraph(SlingshotNetwork(df_cfg),
+    df_spec = frontier_spec().scaled(8, 4, 4)
+    ft_spec = MachineSpec(
+        name="matched-clos", node_count=128, nics_per_node=1,
+        fabric=FatTreeGeometry(edge_switches=16, endpoints_per_edge=8,
+                               link_rate=25e9),
+        routing="ecmp")
+    df_hist = simulate_mpigraph(df_spec.build_network(),
                                 offsets=[1, 8, 16, 32, 64])
-    ft_hist = simulate_mpigraph(FatTreeNetwork(ft_cfg),
+    ft_hist = simulate_mpigraph(ft_spec.build_network(),
                                 offsets=[1, 8, 16, 32, 64])
     table = Table(["fabric", "min GB/s", "mean GB/s", "max GB/s", "spread"],
                   float_fmt="{:.2f}")
@@ -59,11 +62,11 @@ def reduced_scale_flow_sim() -> None:
 
 def routing_policy_comparison() -> None:
     print("=== Routing policy vs adversarial group-shift traffic ===")
-    cfg = DragonflyConfig().scaled(8, 4, 4)
+    spec = frontier_spec().scaled(8, 4, 4)
     table = Table(["policy", "mean GB/s", "min GB/s"], float_fmt="{:.2f}")
     for policy in RoutingPolicy:
-        net = SlingshotNetwork(cfg, policy=policy, rng=3)
-        flows = net.shift_pattern(cfg.endpoints_per_group)
+        net = replace(spec, routing=policy.value).build_network(rng=3)
+        flows = net.shift_pattern(net.config.endpoints_per_group)
         rates = np.array([f.bandwidth for f in flows]) / 1e9
         table.add_row([policy.value, rates.mean(), rates.min()])
     print(table.render())

@@ -17,9 +17,21 @@ Observability verbs (see :mod:`repro.obs`):
 
 =============  =======================================================
 ``trace``      run a report command (or the probe suite) with the
-               tracer on and print the span tree
+               tracer on and print the span tree (``--collapsed`` for
+               flamegraph.pl-ready folded stacks)
 ``metrics``    same but print/export the metrics registry; also hosts
                the baseline workflow (``--update-baseline``/``--check``)
+=============  =======================================================
+
+Scenario verbs (see :mod:`repro.core.scenario`):
+
+=============  =======================================================
+``scenario``   print (or ``--out`` write) a machine spec as JSON —
+               canonical Frontier, ``--scaled G S E`` variants, or a
+               round trip of ``--spec FILE``
+``mpigraph``   Figure 6 mpiGraph histograms for the machine a spec
+               describes (flow-level simulation at reduced scale,
+               analytic accounting at full scale)
 =============  =======================================================
 """
 
@@ -196,14 +208,69 @@ def _cmd_trace(args: "argparse.Namespace") -> int:
     import json as _json
 
     from repro import obs
-    from repro.obs.export import export_state, render_trace
+    from repro.obs.export import export_state, render_collapsed, render_trace
     _run_observed(args.report)
-    if args.json:
+    if args.collapsed:
+        print(render_collapsed(obs.tracer()))
+    elif args.json:
         print(_json.dumps(export_state(obs.tracer(), obs.registry()),
                           indent=2, sort_keys=True, default=str))
     else:
         print(render_trace(obs.tracer(),
                            title=f"Trace: {args.report or 'probe suite'}"))
+    return 0
+
+
+def _load_spec(path: str | None):
+    """The MachineSpec a CLI run works from (canonical Frontier default)."""
+    from repro.core.scenario import MachineSpec, frontier_spec
+    return MachineSpec.load(path) if path else frontier_spec()
+
+
+def _cmd_scenario(args: "argparse.Namespace") -> int:
+    spec = _load_spec(args.spec)
+    if args.scaled:
+        spec = spec.scaled(*args.scaled)
+    if args.out:
+        spec.save(args.out)
+        print(f"scenario written: {args.out}")
+    else:
+        print(spec.to_json())
+    return 0
+
+
+def _cmd_mpigraph(args: "argparse.Namespace") -> int:
+    from repro.microbench.mpigraph import (frontier_mpigraph_histogram,
+                                           simulate_mpigraph,
+                                           summit_mpigraph_histogram)
+
+    spec = _load_spec(args.spec)
+    # Flow-level simulation is honest but O(endpoints^2) per offset; keep
+    # it for reduced-scale scenarios and use the paper's full-scale
+    # analytic accounting beyond that (or on request).
+    flow_feasible = spec.fabric_config().total_endpoints <= 4096
+    if args.analytic or not flow_feasible:
+        if spec.fabric.kind == "dragonfly":
+            hist = frontier_mpigraph_histogram(spec, rng=args.seed)
+        else:
+            hist = summit_mpigraph_histogram(
+                n_pairs=spec.node_count, rng=args.seed)
+        mode = "analytic"
+    else:
+        hist = simulate_mpigraph(spec.build_network(rng=args.seed))
+        mode = "flow-level"
+    counts, edges = hist.histogram(bins=args.bins)
+    peak = max(float(c) for c in counts) or 1.0
+    table = Table(["GB/s", "density", ""],
+                  title=f"mpiGraph ({mode}): {spec.name}", float_fmt="{:.3f}")
+    for i, count in enumerate(counts):
+        bar = "#" * round(40 * float(count) / peak)
+        table.add_row([f"{edges[i]:5.1f}-{edges[i + 1]:5.1f}",
+                       float(count), bar])
+    print(table.render())
+    print(f"\nmin {hist.min_gbs:.2f} GB/s | median "
+          f"{hist.quantile(0.5) / 1e9:.2f} GB/s | max {hist.max_gbs:.2f} "
+          f"GB/s | spread {hist.spread:.1f}x")
     return 0
 
 
@@ -251,6 +318,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="report command to trace (default: probe suite)")
     trace.add_argument("--json", action="store_true",
                        help="emit the raw JSON document instead of a table")
+    trace.add_argument("--collapsed", action="store_true",
+                       help="emit collapsed flamegraph stacks "
+                            "('stack;frames self-time-us' lines)")
 
     metrics = sub.add_parser(
         "metrics", help="run with metrics on; export or gate them")
@@ -267,11 +337,36 @@ def main(argv: list[str] | None = None) -> int:
     metrics.add_argument("--check", action="store_true",
                          help="run the perf-regression gate")
 
+    scenario = sub.add_parser(
+        "scenario", help="print or write a machine spec as JSON")
+    scenario.add_argument("--spec", metavar="FILE",
+                          help="start from a spec file (default: Frontier)")
+    scenario.add_argument("--scaled", nargs=3, type=int,
+                          metavar=("GROUPS", "SWITCHES", "ENDPOINTS"),
+                          help="reduced-scale variant (taper preserved)")
+    scenario.add_argument("--out", metavar="PATH",
+                          help="write the spec to PATH instead of stdout")
+
+    mpigraph = sub.add_parser(
+        "mpigraph", help="Figure 6 mpiGraph histogram from a machine spec")
+    mpigraph.add_argument("--spec", metavar="FILE",
+                          help="machine spec file (default: Frontier)")
+    mpigraph.add_argument("--analytic", action="store_true",
+                          help="force the full-scale analytic accounting")
+    mpigraph.add_argument("--bins", type=int, default=20,
+                          help="histogram bins (default 20)")
+    mpigraph.add_argument("--seed", type=int, default=0,
+                          help="RNG seed for jitter/adaptive routing")
+
     args = parser.parse_args(argv)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "metrics":
         return _cmd_metrics(args)
+    if args.command == "scenario":
+        return _cmd_scenario(args)
+    if args.command == "mpigraph":
+        return _cmd_mpigraph(args)
     COMMANDS[args.command]()
     return 0
 

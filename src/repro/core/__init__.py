@@ -2,8 +2,12 @@
 
 * :mod:`repro.core.baselines` — Summit, Titan, Mira, Theta, Cori, Sequoia
   machine models (the KPP comparison systems).
+* :mod:`repro.core.scenario` — :class:`MachineSpec`: the serializable
+  scenario description every layer is configured from (the composition
+  root's input format).
 * :mod:`repro.core.machine` — :class:`FrontierMachine`: node + fabric +
-  storage + scheduler + power + resilience behind one facade.
+  storage + scheduler + power + resilience behind one facade, built from
+  a spec (``from_spec``/``spec``) with ``network()``/``comm()`` factories.
 * :mod:`repro.core.specs_table` — Table 1 aggregation.
 * :mod:`repro.core.report_card` — the §5 scorecard against the 2008 DARPA
   exascale report's four challenges.
@@ -16,6 +20,11 @@ from repro.core.baselines import (
     BASELINES,
 )
 from repro.core.machine import FrontierMachine
+from repro.core.scenario import (
+    MachineSpec, DragonflyGeometry, FatTreeGeometry, StorageSpec,
+    DegradationSpec, FRONTIER_SPEC, frontier_spec, summit_spec,
+    resolve_dragonfly,
+)
 from repro.core.specs_table import compute_table1
 from repro.core.report_card import ExascaleReportCard
 
@@ -23,6 +32,9 @@ __all__ = [
     "MachineModel", "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA", "CORI",
     "SEQUOIA", "BASELINES",
     "FrontierMachine",
+    "MachineSpec", "DragonflyGeometry", "FatTreeGeometry", "StorageSpec",
+    "DegradationSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
+    "resolve_dragonfly",
     "compute_table1",
     "ExascaleReportCard",
 ]

@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Any
 
 from repro.apps import CAAR_APPS, ECP_APPS
+from repro.core.machine import FrontierMachine
 from repro.core.report_card import ExascaleReportCard
-from repro.core.specs_table import compute_table1
 from repro.fabric.collectives import alltoall_per_node_bandwidth
 from repro.microbench.gpcnet import GpcnetConfig, run_gpcnet
 from repro.microbench.mpigraph import (frontier_mpigraph_histogram,
@@ -24,7 +24,6 @@ from repro.node.transfers import (TransferEngine, figure4_series,
                                   figure5_series)
 from repro.storage.fio import FioJob, aggregate_over_nodes, run_fio
 from repro.storage.iosim import ingest_time
-from repro.storage.lustre import OrionFilesystem
 from repro.units import TiB
 
 __all__ = ["run_full_evaluation"]
@@ -44,18 +43,27 @@ def table7() -> list[dict[str, Any]]:
             for a in ECP_APPS()]
 
 
-def run_full_evaluation(*, mpigraph_samples: int = 4,
+def run_full_evaluation(*, machine: FrontierMachine | None = None,
+                        mpigraph_samples: int = 4,
                         gpcnet_ppn: tuple[int, ...] = (8,)) -> dict[str, Any]:
-    """Everything the paper's Section 4 and 5 report, from the models."""
+    """Everything the paper's Section 4 and 5 report, from the models.
+
+    ``machine`` is the composition root: every fabric/storage-dependent
+    result is drawn from its configuration (default: canonical Frontier),
+    so scenario variants (``machine.scaled()``/``degraded()`` or a spec
+    loaded from JSON) re-evaluate consistently.
+    """
+    m = machine if machine is not None else FrontierMachine()
     out: dict[str, Any] = {}
-    out["table1"] = compute_table1()
-    out["table2"] = OrionFilesystem().table2()
+    out["table1"] = m.table1()
+    out["table2"] = m.filesystem.table2()
     out["table3"] = CpuStreamModel().table3()
     out["table4"] = GpuStreamModel().table4()
 
     gpcnet: dict[str, Any] = {}
     for ppn in gpcnet_ppn:
-        cfg = GpcnetConfig(ppn=ppn)
+        cfg = GpcnetConfig(ppn=ppn, fabric=m.fabric,
+                           nics_per_node=m.node.nic_count)
         iso = run_gpcnet(cfg, congested=False)
         con = run_gpcnet(cfg, congested=True)
         gpcnet[f"{ppn}ppn"] = {
@@ -77,7 +85,8 @@ def run_full_evaluation(*, mpigraph_samples: int = 4,
         "sdma": figure5_series(TransferEngine.SDMA),
     }
 
-    fh = frontier_mpigraph_histogram(samples_per_offset=mpigraph_samples)
+    fh = frontier_mpigraph_histogram(m.fabric,
+                                     samples_per_offset=mpigraph_samples)
     sh = summit_mpigraph_histogram()
     out["figure6"] = {
         "frontier": {"min_gbs": fh.min_gbs, "max_gbs": fh.max_gbs,
@@ -87,7 +96,8 @@ def run_full_evaluation(*, mpigraph_samples: int = 4,
                    "spread": sh.spread},
     }
 
-    a2a = alltoall_per_node_bandwidth()
+    a2a = alltoall_per_node_bandwidth(m.fabric,
+                                      nics_per_node=m.node.nic_count)
     out["alltoall"] = {"per_node_gbs": a2a.per_node / 1e9,
                        "per_nic_gbs": a2a.per_nic / 1e9,
                        "binding": a2a.binding_constraint}
@@ -99,9 +109,11 @@ def run_full_evaluation(*, mpigraph_samples: int = 4,
         "node_read_gbs": seq_read.bandwidth / 1e9,
         "node_write_gbs": seq_write.bandwidth / 1e9,
         "node_iops_m": rand.iops / 1e6,
-        "system_read_tbs": aggregate_over_nodes(seq_read, 9472).bandwidth / 1e12,
-        "system_write_tbs": aggregate_over_nodes(seq_write, 9472).bandwidth / 1e12,
-        "system_iops_b": aggregate_over_nodes(rand, 9472).iops / 1e9,
+        "system_read_tbs": aggregate_over_nodes(
+            seq_read, m.node_count).bandwidth / 1e12,
+        "system_write_tbs": aggregate_over_nodes(
+            seq_write, m.node_count).bandwidth / 1e12,
+        "system_iops_b": aggregate_over_nodes(rand, m.node_count).iops / 1e9,
         "ingest_700tib_s": ingest_time(700 * TiB),
     }
 

@@ -2,18 +2,25 @@
 
 ``FrontierMachine`` wires every subsystem model together behind one object:
 node design, Slingshot fabric, Orion + node-local storage, the Slurm
-scheduler, the power model, and the resilience model.  It is the natural
-entry point for examples and for users who want "a Frontier" without
-assembling the pieces.
+scheduler, the power model, and the resilience model.  It is the
+**composition root** of the reproduction: build one from a serializable
+:class:`repro.core.scenario.MachineSpec` (``from_spec``/``spec`` round
+trip), then let its factories hand configured collaborators to the
+downstream layers — ``network()`` for the materialised fabric, ``comm()``
+for the MPI cost oracle, ``scheduler()`` for Slurm, and ``scaled()`` /
+``degraded()`` for experiment variants.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.scenario import (DegradationSpec, DragonflyGeometry,
+                                 MachineSpec, StorageSpec)
 from repro.core.specs_table import FRONTIER_NODE_COUNT, compute_table1
 from repro.errors import ConfigurationError
 from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.routing import RoutingPolicy
 from repro.node.node import BardPeakNode
 from repro.power.model import FrontierPowerModel
 from repro.resilience.mtti import MttiModel
@@ -35,6 +42,9 @@ class FrontierMachine:
     filesystem: OrionFilesystem = field(default_factory=OrionFilesystem)
     node_local: Raid0Array = field(default_factory=node_local_storage)
     power: FrontierPowerModel = field(default_factory=FrontierPowerModel)
+    routing: RoutingPolicy = RoutingPolicy.UGAL
+    degradation: DegradationSpec = field(default_factory=DegradationSpec)
+    name: str = "frontier"
 
     def __post_init__(self) -> None:
         if self.node_count < 1:
@@ -44,8 +54,53 @@ class FrontierMachine:
             raise ConfigurationError(
                 f"{self.node_count} nodes need {self.node_count * self.node.nic_count} "
                 f"endpoints; the fabric has {self.fabric.total_endpoints}")
+        if any(n >= self.node_count for n in self.degradation.failed_nodes):
+            raise ConfigurationError("failed node id beyond node_count")
         self.resilience = MttiModel.frontier()
         self.resilience.total_nodes = self.node_count
+
+    # -- the spec round trip --------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: MachineSpec) -> "FrontierMachine":
+        """Assemble the machine a :class:`MachineSpec` describes.
+
+        Frontier is a dragonfly machine; fat-tree scenarios (the Summit
+        comparison) materialise their network via
+        :meth:`MachineSpec.build_network` instead.
+        """
+        cfg = spec.fabric_config()
+        if not isinstance(cfg, DragonflyConfig):
+            raise ConfigurationError(
+                f"FrontierMachine needs a dragonfly fabric; scenario "
+                f"{spec.name!r} is a {spec.fabric.kind}. Use "
+                f"spec.build_network() for fat-tree scenarios.")
+        node = BardPeakNode()
+        if spec.nics_per_node != node.nic_count:
+            raise ConfigurationError(
+                f"Bard Peak nodes carry {node.nic_count} NICs; the spec "
+                f"says {spec.nics_per_node}")
+        return cls(node_count=spec.node_count,
+                   node=node,
+                   fabric=cfg,
+                   filesystem=spec.storage.filesystem(),
+                   node_local=spec.storage.node_local(),
+                   routing=RoutingPolicy(spec.routing),
+                   degradation=spec.degradation,
+                   name=spec.name)
+
+    def spec(self) -> MachineSpec:
+        """The serializable scenario this machine realises."""
+        return MachineSpec(
+            name=self.name,
+            node_count=self.node_count,
+            nics_per_node=self.node.nic_count,
+            fabric=DragonflyGeometry.from_config(self.fabric),
+            routing=self.routing.value,
+            storage=StorageSpec(ssu_count=self.filesystem.ssu_count,
+                                mds_count=self.filesystem.mds_count,
+                                nvme_per_node=len(self.node_local.drives)),
+            degradation=self.degradation)
 
     # -- aggregates ---------------------------------------------------------
 
@@ -75,13 +130,42 @@ class FrontierMachine:
     def node_local_write_bandwidth(self) -> float:
         return self.node_count * self.node_local.sustained_seq_write
 
+    @property
+    def healthy_node_count(self) -> int:
+        """Nodes available to the scheduler after draining failures."""
+        return self.node_count - len(self.degradation.failed_nodes)
+
     def table1(self) -> dict[str, float]:
         return compute_table1(self.node_count, self.node, self.fabric)
 
     # -- factories ------------------------------------------------------------
 
     def scheduler(self, checknode=None) -> SlurmScheduler:
-        return SlurmScheduler(n_nodes=self.node_count, checknode=checknode)
+        return SlurmScheduler(n_nodes=self.healthy_node_count,
+                              checknode=checknode)
+
+    def network(self, *, rng=None, latency=None):
+        """The materialised fabric (memoized topology, degradation applied)."""
+        return self.spec().build_network(rng=rng, latency=latency)
+
+    def comm(self, layout):
+        """A :class:`repro.mpi.simmpi.SimComm` wired to this machine."""
+        from repro.mpi.simmpi import SimComm
+        return SimComm(layout, machine=self)
+
+    def scaled(self, groups: int, switches_per_group: int,
+               endpoints_per_switch: int) -> "FrontierMachine":
+        """A taper-preserving reduced-scale machine (see MachineSpec.scaled)."""
+        return FrontierMachine.from_spec(
+            self.spec().scaled(groups, switches_per_group,
+                               endpoints_per_switch))
+
+    def degraded(self, *, failed_links: tuple[int, ...] = (),
+                 failed_nodes: tuple[int, ...] = ()) -> "FrontierMachine":
+        """This machine with extra failed links/nodes applied."""
+        return FrontierMachine.from_spec(
+            self.spec().degraded(failed_links=tuple(failed_links),
+                                 failed_nodes=tuple(failed_nodes)))
 
     def summary(self) -> dict[str, float]:
         t1 = self.table1()

@@ -1,0 +1,418 @@
+"""The scenario layer: serializable machine descriptions.
+
+A :class:`MachineSpec` is the **composition root** of the reproduction:
+one frozen, JSON-round-trippable value that names everything the paper's
+evaluation varies — node count, fabric geometry (dragonfly or fat tree),
+routing policy, storage tiers, and degradation knobs (failed links and
+nodes).  Downstream layers (:class:`repro.mpi.simmpi.SimComm`,
+:mod:`repro.scheduler.placement`, :mod:`repro.microbench`,
+:mod:`repro.core.evaluation`, the probe suite) obtain their configuration
+from a spec — directly or through the :class:`FrontierMachine` built from
+it — instead of default-constructing :class:`DragonflyConfig` ad hoc.
+
+Typical use::
+
+    spec = frontier_spec()                     # the paper's machine
+    machine = spec.machine()                   # FrontierMachine.from_spec
+    small = spec.scaled(8, 4, 4)               # taper-preserving reduction
+    net = small.degraded(failed_links=(3,)).build_network(rng=0)
+
+Specs serialize losslessly: ``MachineSpec.from_json(spec.to_json()) ==
+spec``, which is what makes ``python -m repro mpigraph --spec FILE`` (and
+every future sweep harness) reproducible from one artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from functools import lru_cache
+from typing import Any, Union
+
+from repro.core.specs_table import FRONTIER_NODE_COUNT
+from repro.errors import ConfigurationError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.fattree import FatTreeConfig
+from repro.fabric.routing import RoutingPolicy
+
+__all__ = [
+    "DragonflyGeometry", "FatTreeGeometry", "StorageSpec", "DegradationSpec",
+    "MachineSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
+    "resolve_dragonfly",
+]
+
+#: Spec document schema (bumped on incompatible field changes).
+SPEC_SCHEMA_VERSION = 1
+
+
+# -- fabric geometries --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DragonflyGeometry:
+    """Serializable mirror of :class:`DragonflyConfig` (kind "dragonfly")."""
+
+    groups: int = 74
+    switches_per_group: int = 32
+    endpoints_per_switch: int = 16
+    link_rate: float = 25e9
+    global_links_per_pair: int = 4
+    l1_ports: int = 32
+    l2_ports: int = 16
+
+    kind = "dragonfly"
+
+    def config(self) -> DragonflyConfig:
+        """Materialise the (validated) fabric config."""
+        return DragonflyConfig(
+            groups=self.groups,
+            switches_per_group=self.switches_per_group,
+            endpoints_per_switch=self.endpoints_per_switch,
+            link_rate=self.link_rate,
+            global_links_per_pair=self.global_links_per_pair,
+            l1_ports=self.l1_ports,
+            l2_ports=self.l2_ports)
+
+    @classmethod
+    def from_config(cls, cfg: DragonflyConfig) -> "DragonflyGeometry":
+        return cls(groups=cfg.groups,
+                   switches_per_group=cfg.switches_per_group,
+                   endpoints_per_switch=cfg.endpoints_per_switch,
+                   link_rate=cfg.link_rate,
+                   global_links_per_pair=cfg.global_links_per_pair,
+                   l1_ports=cfg.l1_ports,
+                   l2_ports=cfg.l2_ports)
+
+
+@dataclass(frozen=True)
+class FatTreeGeometry:
+    """Serializable mirror of :class:`FatTreeConfig` (kind "fattree")."""
+
+    edge_switches: int = 18
+    endpoints_per_edge: int = 24
+    link_rate: float = 12.5e9
+    oversubscription: float = 1.0
+
+    kind = "fattree"
+
+    def config(self) -> FatTreeConfig:
+        return FatTreeConfig(edge_switches=self.edge_switches,
+                             endpoints_per_edge=self.endpoints_per_edge,
+                             link_rate=self.link_rate,
+                             oversubscription=self.oversubscription)
+
+    @classmethod
+    def from_config(cls, cfg: FatTreeConfig) -> "FatTreeGeometry":
+        return cls(edge_switches=cfg.edge_switches,
+                   endpoints_per_edge=cfg.endpoints_per_edge,
+                   link_rate=cfg.link_rate,
+                   oversubscription=cfg.oversubscription)
+
+
+FabricGeometry = Union[DragonflyGeometry, FatTreeGeometry]
+
+_GEOMETRY_KINDS: dict[str, type] = {
+    DragonflyGeometry.kind: DragonflyGeometry,
+    FatTreeGeometry.kind: FatTreeGeometry,
+}
+
+
+def _geometry_to_dict(geometry: FabricGeometry) -> dict[str, Any]:
+    doc: dict[str, Any] = {"kind": geometry.kind}
+    for f in fields(geometry):
+        doc[f.name] = getattr(geometry, f.name)
+    return doc
+
+
+def _geometry_from_dict(doc: dict[str, Any]) -> FabricGeometry:
+    kind = doc.get("kind")
+    cls = _GEOMETRY_KINDS.get(kind)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown fabric kind {kind!r}; have {sorted(_GEOMETRY_KINDS)}")
+    known = {f.name for f in fields(cls)}
+    extras = set(doc) - known - {"kind"}
+    if extras:
+        raise ConfigurationError(
+            f"unknown {kind} fabric fields: {sorted(extras)}")
+    return cls(**{k: v for k, v in doc.items() if k in known})
+
+
+# -- storage and degradation --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StorageSpec:
+    """Storage tiers: center-wide Orion and the node-local NVMe array."""
+
+    ssu_count: int = 225
+    mds_count: int = 40
+    nvme_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if self.ssu_count < 1 or self.mds_count < 1:
+            raise ConfigurationError("storage needs at least one SSU and MDS")
+        if self.nvme_per_node < 1:
+            raise ConfigurationError("node-local RAID-0 needs >= 1 drive")
+
+    def filesystem(self):
+        """A fresh :class:`repro.storage.lustre.OrionFilesystem`."""
+        from repro.storage.lustre import OrionFilesystem
+        return OrionFilesystem(ssu_count=self.ssu_count,
+                               mds_count=self.mds_count)
+
+    def node_local(self):
+        """A fresh :class:`repro.storage.nvme.Raid0Array`."""
+        from repro.storage.nvme import NvmeDrive, Raid0Array
+        return Raid0Array(drives=tuple(NvmeDrive()
+                                       for _ in range(self.nvme_per_node)))
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """Failure knobs for degraded-machine experiments.
+
+    ``failed_links`` are topology link indices the fabric manager has
+    routed around; ``failed_nodes`` are node ids drained from scheduling.
+    Both are stored sorted and de-duplicated so equal degradations compare
+    equal regardless of how they were written down.
+    """
+
+    failed_links: tuple[int, ...] = ()
+    failed_nodes: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("failed_links", "failed_nodes"):
+            raw = getattr(self, name)
+            if any(int(i) != i or i < 0 for i in raw):
+                raise ConfigurationError(
+                    f"{name} must be non-negative integers, got {raw!r}")
+            object.__setattr__(self, name, tuple(sorted(set(int(i) for i in raw))))
+
+    @property
+    def is_pristine(self) -> bool:
+        return not self.failed_links and not self.failed_nodes
+
+
+# -- the machine spec ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One frozen, serializable description of a simulated machine."""
+
+    name: str = "frontier"
+    node_count: int = FRONTIER_NODE_COUNT
+    nics_per_node: int = 4
+    fabric: FabricGeometry = field(default_factory=DragonflyGeometry)
+    routing: str = RoutingPolicy.UGAL.value
+    storage: StorageSpec = field(default_factory=StorageSpec)
+    degradation: DegradationSpec = field(default_factory=DegradationSpec)
+
+    def __post_init__(self) -> None:
+        if self.node_count < 1:
+            raise ConfigurationError("a machine needs at least one node")
+        if self.nics_per_node < 1:
+            raise ConfigurationError("nodes need at least one NIC")
+        cfg = self.fabric.config()   # validates the geometry itself
+        needed = self.node_count * self.nics_per_node
+        if needed > cfg.total_endpoints:
+            raise ConfigurationError(
+                f"{self.node_count} nodes need {needed} fabric endpoints; "
+                f"the {self.fabric.kind} has {cfg.total_endpoints}")
+        if isinstance(self.fabric, DragonflyGeometry):
+            allowed = {p.value for p in RoutingPolicy}
+            if self.routing not in allowed:
+                raise ConfigurationError(
+                    f"dragonfly routing must be one of {sorted(allowed)}, "
+                    f"not {self.routing!r}")
+        elif self.routing != "ecmp":
+            raise ConfigurationError(
+                f"fat-tree scenarios route ECMP, not {self.routing!r}")
+        if any(n >= self.node_count for n in self.degradation.failed_nodes):
+            raise ConfigurationError("failed node id beyond node_count")
+
+    # -- materialisation -----------------------------------------------------
+
+    def fabric_config(self) -> DragonflyConfig | FatTreeConfig:
+        """The validated fabric config (cheap: no topology is built)."""
+        return self.fabric.config()
+
+    @property
+    def routing_policy(self) -> RoutingPolicy | None:
+        """The dragonfly routing policy, or ``None`` for ECMP fat trees."""
+        if isinstance(self.fabric, DragonflyGeometry):
+            return RoutingPolicy(self.routing)
+        return None
+
+    @property
+    def healthy_node_count(self) -> int:
+        return self.node_count - len(self.degradation.failed_nodes)
+
+    def build_network(self, *, rng=None, latency=None):
+        """Materialise the fabric (memoized topology) with degradation applied.
+
+        Returns a :class:`repro.fabric.network.SlingshotNetwork` or
+        :class:`~repro.fabric.network.FatTreeNetwork`; every
+        ``failed_links`` entry is disabled on the router so minimal routes
+        fail over exactly like the Fabric Manager's sweeps.
+        """
+        from repro.fabric.network import FatTreeNetwork, SlingshotNetwork
+        cfg = self.fabric_config()
+        if isinstance(cfg, DragonflyConfig):
+            net = SlingshotNetwork(cfg, policy=RoutingPolicy(self.routing),
+                                   latency=latency, rng=rng)
+        else:
+            net = FatTreeNetwork(cfg, rng=rng, latency=latency)
+        for link in self.degradation.failed_links:
+            net.router.disable_link(link)
+        return net
+
+    def machine(self):
+        """The :class:`repro.core.machine.FrontierMachine` for this spec."""
+        from repro.core.machine import FrontierMachine
+        return FrontierMachine.from_spec(self)
+
+    # -- variants ------------------------------------------------------------
+
+    def scaled(self, groups: int, switches_per_group: int,
+               endpoints_per_switch: int) -> "MachineSpec":
+        """A taper-preserving reduced-scale dragonfly variant.
+
+        Node count follows the shrunken endpoint pool; degradation knobs
+        are dropped (link indices are not portable across topologies).
+        """
+        if not isinstance(self.fabric, DragonflyGeometry):
+            raise ConfigurationError("only dragonfly scenarios can be scaled")
+        cfg = self.fabric_config().scaled(groups, switches_per_group,
+                                          endpoints_per_switch)
+        return replace(
+            self,
+            name=f"{self.name}-scaled-{groups}x{switches_per_group}"
+                 f"x{endpoints_per_switch}",
+            node_count=cfg.total_endpoints // self.nics_per_node,
+            fabric=DragonflyGeometry.from_config(cfg),
+            degradation=DegradationSpec())
+
+    def degraded(self, *, failed_links: tuple[int, ...] = (),
+                 failed_nodes: tuple[int, ...] = ()) -> "MachineSpec":
+        """This spec plus extra failed links/nodes (merged, deduplicated)."""
+        merged = DegradationSpec(
+            failed_links=self.degradation.failed_links + tuple(failed_links),
+            failed_nodes=self.degradation.failed_nodes + tuple(failed_nodes))
+        return replace(self, degradation=merged)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SPEC_SCHEMA_VERSION,
+            "name": self.name,
+            "node_count": self.node_count,
+            "nics_per_node": self.nics_per_node,
+            "fabric": _geometry_to_dict(self.fabric),
+            "routing": self.routing,
+            "storage": {"ssu_count": self.storage.ssu_count,
+                        "mds_count": self.storage.mds_count,
+                        "nvme_per_node": self.storage.nvme_per_node},
+            "degradation": {
+                "failed_links": list(self.degradation.failed_links),
+                "failed_nodes": list(self.degradation.failed_nodes)},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "MachineSpec":
+        if not isinstance(doc, dict):
+            raise ConfigurationError("machine spec must be a JSON object")
+        schema = doc.get("schema", SPEC_SCHEMA_VERSION)
+        if schema != SPEC_SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"unsupported spec schema {schema!r} "
+                f"(this build reads {SPEC_SCHEMA_VERSION})")
+        storage = doc.get("storage", {})
+        degradation = doc.get("degradation", {})
+        return cls(
+            name=doc.get("name", "frontier"),
+            node_count=doc.get("node_count", FRONTIER_NODE_COUNT),
+            nics_per_node=doc.get("nics_per_node", 4),
+            fabric=_geometry_from_dict(doc.get("fabric", {"kind": "dragonfly"})),
+            routing=doc.get("routing", RoutingPolicy.UGAL.value),
+            storage=StorageSpec(**storage),
+            degradation=DegradationSpec(
+                failed_links=tuple(degradation.get("failed_links", ())),
+                failed_nodes=tuple(degradation.get("failed_nodes", ()))),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MachineSpec":
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"invalid machine-spec JSON: {exc}") from exc
+        return cls.from_dict(doc)
+
+    def save(self, path: str) -> str:
+        """Write the spec to ``path``; returns the path."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "MachineSpec":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+#: The paper's machine: 9,472 nodes on the 74-group compute dragonfly.
+FRONTIER_SPEC = MachineSpec()
+
+#: Summit, the Figure 6 comparison system: EDR fat tree, one rail modeled.
+SUMMIT_SPEC = MachineSpec(
+    name="summit", node_count=4608, nics_per_node=1,
+    fabric=FatTreeGeometry(edge_switches=192, endpoints_per_edge=24),
+    routing="ecmp")
+
+
+def frontier_spec() -> MachineSpec:
+    """The default (paper) scenario."""
+    return FRONTIER_SPEC
+
+
+def summit_spec() -> MachineSpec:
+    """The Summit comparison scenario."""
+    return SUMMIT_SPEC
+
+
+@lru_cache(maxsize=1)
+def _default_dragonfly() -> DragonflyConfig:
+    return FRONTIER_SPEC.fabric_config()
+
+
+def resolve_dragonfly(source: Any = None) -> DragonflyConfig:
+    """Coerce ``source`` into a dragonfly config.
+
+    Accepts ``None`` (-> the Frontier scenario's fabric), a
+    :class:`DragonflyConfig`, a :class:`MachineSpec`, or anything carrying
+    a dragonfly ``.fabric`` attribute (a :class:`FrontierMachine`).  This
+    is the one funnel downstream layers use instead of default-constructing
+    :class:`DragonflyConfig` themselves.
+    """
+    if source is None:
+        return _default_dragonfly()
+    if isinstance(source, DragonflyConfig):
+        return source
+    if isinstance(source, MachineSpec):
+        cfg = source.fabric_config()
+        if not isinstance(cfg, DragonflyConfig):
+            raise ConfigurationError(
+                f"scenario {source.name!r} is not a dragonfly machine")
+        return cfg
+    fabric = getattr(source, "fabric", None)
+    if isinstance(fabric, DragonflyConfig):
+        return fabric
+    raise ConfigurationError(
+        f"cannot derive a dragonfly config from {type(source).__name__}")

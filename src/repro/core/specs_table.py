@@ -8,7 +8,7 @@ we emit both and EXPERIMENTS.md compares on the SI values.
 
 from __future__ import annotations
 
-from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.dragonfly import FRONTIER_DRAGONFLY, DragonflyConfig
 from repro.node.node import BardPeakNode
 from repro.node.gpu import Precision
 from repro.units import EXA, PiB, TERA
@@ -25,7 +25,7 @@ def compute_table1(nodes: int = FRONTIER_NODE_COUNT,
                    fabric: DragonflyConfig | None = None) -> dict[str, float]:
     """Aggregate the Table 1 rows (values in the units the paper uses)."""
     n = node if node is not None else BardPeakNode()
-    f = fabric if fabric is not None else DragonflyConfig()
+    f = fabric if fabric is not None else FRONTIER_DRAGONFLY
     return {
         "nodes": float(nodes),
         "fp64_dgemm_EF": nodes * n.gcd_count * SUSTAINED_DGEMM_PER_GCD / EXA,

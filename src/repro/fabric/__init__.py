@@ -23,7 +23,8 @@ from repro.fabric.maxmin import maxmin_allocate
 from repro.fabric.latency import LatencyModel
 from repro.fabric.congestion import CongestionControl
 from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
-from repro.fabric.network import SlingshotNetwork, FatTreeNetwork
+from repro.fabric.network import (FabricNetwork, SlingshotNetwork,
+                                  FatTreeNetwork, clear_fabric_caches)
 from repro.fabric.messages import NicMessageModel, SLINGSHOT_NIC, EDR_NIC
 from repro.fabric.queueing import PortSimulation
 
@@ -36,7 +37,8 @@ __all__ = [
     "LatencyModel",
     "CongestionControl",
     "allreduce_latency", "alltoall_per_node_bandwidth",
-    "SlingshotNetwork", "FatTreeNetwork",
+    "FabricNetwork", "SlingshotNetwork", "FatTreeNetwork",
+    "clear_fabric_caches",
     "NicMessageModel", "SLINGSHOT_NIC", "EDR_NIC",
     "PortSimulation",
 ]

@@ -1,0 +1,61 @@
+"""Small bounded LRU cache shared by the fabric caching layer.
+
+Two cache layers sit under the scenario/composition root
+(:mod:`repro.core.scenario`):
+
+* the **topology memo** in :func:`repro.fabric.dragonfly.build_dragonfly`
+  and :func:`repro.fabric.fattree.build_fattree` — safe because a
+  :class:`repro.fabric.topology.Topology` is append-only during
+  construction and read-only afterwards (all mutable routing state lives
+  on :class:`repro.fabric.routing.Router` instances);
+* the per-router **path cache** for unregistered (load-neutral) path
+  queries, keyed on ``(src, dst, policy)``.
+
+Both emit ``fabric.*_cache.hits`` / ``.misses`` counters through
+:mod:`repro.obs` at their call sites; this module only supplies the
+bounded mapping.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LruCache"]
+
+
+class LruCache:
+    """A plain ``OrderedDict``-backed LRU mapping (not thread-safe)."""
+
+    __slots__ = ("maxsize", "_data")
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ConfigurationError("LRU cache needs a positive maxsize")
+        self.maxsize = maxsize
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed as most-recent; ``None`` on miss."""
+        try:
+            self._data.move_to_end(key)
+        except KeyError:
+            return None
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 
 from repro.errors import ConfigurationError
-from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.dragonfly import FRONTIER_DRAGONFLY, DragonflyConfig
 from repro.fabric.latency import LatencyModel
 
 __all__ = ["allreduce_latency", "alltoall_per_node_bandwidth", "AllToAllEstimate"]
@@ -77,7 +77,7 @@ def alltoall_per_node_bandwidth(config: DragonflyConfig | None = None, *,
     ``message_efficiency_bytes`` is the half-saturation message size of the
     per-message overhead ramp (matching pair-wise exchange protocols).
     """
-    cfg = config if config is not None else DragonflyConfig()
+    cfg = config if config is not None else FRONTIER_DRAGONFLY
     eps_per_node = nics_per_node
     if nodes is None:
         nodes = cfg.total_endpoints // eps_per_node

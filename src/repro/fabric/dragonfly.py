@@ -23,10 +23,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro import obs
 from repro.errors import TopologyError
+from repro.fabric.cache import LruCache
 from repro.fabric.topology import LinkKind, Topology
 
-__all__ = ["DragonflyConfig", "build_dragonfly", "FRONTIER_DRAGONFLY"]
+__all__ = ["DragonflyConfig", "build_dragonfly", "clear_dragonfly_cache",
+           "FRONTIER_DRAGONFLY"]
 
 
 @dataclass(frozen=True)
@@ -149,12 +152,39 @@ class DragonflyConfig:
                 (g * self.global_links_per_pair + lane) % s)
 
 
-def build_dragonfly(config: DragonflyConfig) -> Topology:
+#: Config-keyed memo of built topologies.  A Topology is immutable after
+#: construction (router load/failure state lives on Router instances), so
+#: sharing one instance between networks with the same config is safe.
+_TOPOLOGY_CACHE = LruCache(maxsize=16)
+
+
+def clear_dragonfly_cache() -> None:
+    """Drop memoized dragonfly topologies (tests, degradation sweeps)."""
+    _TOPOLOGY_CACHE.clear()
+
+
+def build_dragonfly(config: DragonflyConfig, *, use_cache: bool = True) -> Topology:
     """Materialise the dragonfly as a :class:`Topology`.
 
     Parallel global lanes that land on the same switch pair (possible at
     reduced scale) are aggregated into a single link of summed capacity.
+    Builds are memoized per config (``use_cache=False`` forces a fresh,
+    uncached build); hits/misses appear on the
+    ``fabric.topology_cache.*`` counters.
     """
+    if use_cache:
+        cached = _TOPOLOGY_CACHE.get(config)
+        if cached is not None:
+            obs.counter("fabric.topology_cache.hits").inc()
+            return cached
+        obs.counter("fabric.topology_cache.misses").inc()
+    topo = _materialise_dragonfly(config)
+    if use_cache:
+        _TOPOLOGY_CACHE.put(config, topo)
+    return topo
+
+
+def _materialise_dragonfly(config: DragonflyConfig) -> Topology:
     topo = Topology()
     # switches and endpoints
     for g in range(config.groups):

@@ -1,13 +1,21 @@
-"""Slingshot network facade.
+"""Fabric network facades.
 
-Bundles a dragonfly (or fat-tree) topology, a router, the latency model,
-and the max-min flow solver behind one object that the micro-benchmarks
-(:mod:`repro.microbench`) and the MPI layer (:mod:`repro.mpi`) drive.
+:class:`FabricNetwork` bundles a materialised topology, a router, the
+latency model, and the max-min flow solver behind one object that the
+micro-benchmarks (:mod:`repro.microbench`) and the MPI layer
+(:mod:`repro.mpi`) drive.  :class:`SlingshotNetwork` (Frontier's
+dragonfly) and :class:`FatTreeNetwork` (Summit's Clos, the Figure 6
+comparison system) share the flow-level machinery through it and differ
+only in topology construction, routing, and the full-scale analytic
+helpers.
 
 Because materialising the full 9,472-node fabric is expensive, the facade
 supports *reduced-scale* instantiation (taper preserved, see
 :meth:`DragonflyConfig.scaled`) for flow-level experiments, alongside
 *analytic* full-scale estimates for latency and collective numbers.
+Topology construction is memoized per config (see
+:func:`repro.fabric.dragonfly.build_dragonfly`); use
+:func:`clear_fabric_caches` to reset every fabric-level cache.
 """
 
 from __future__ import annotations
@@ -19,20 +27,32 @@ import numpy as np
 from repro import obs
 from repro.errors import ConfigurationError
 from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwidth
-from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly
-from repro.fabric.fattree import FatTreeConfig, build_fattree
+from repro.fabric.dragonfly import DragonflyConfig, build_dragonfly, clear_dragonfly_cache
+from repro.fabric.fattree import FatTreeConfig, build_fattree, clear_fattree_cache
 from repro.fabric.latency import LatencyModel
 from repro.fabric.maxmin import MaxMinResult, maxmin_allocate
 from repro.fabric.routing import FatTreeRouter, Router, RoutingPolicy
 from repro.fabric.topology import Topology
 from repro.rng import RngLike
 
-__all__ = ["SlingshotNetwork", "FatTreeNetwork"]
+__all__ = ["FabricNetwork", "SlingshotNetwork", "FatTreeNetwork",
+           "clear_fabric_caches"]
 
 #: Protocol efficiency of a single stream relative to line rate: headers,
 #: credits, and software overheads.  17.5/25 GB/s for intra-group pairs in
 #: Figure 6 corresponds to ~0.70.
 STREAM_EFFICIENCY = 0.70
+
+
+def clear_fabric_caches() -> None:
+    """Reset every config-keyed topology memo (tests, degradation sweeps).
+
+    Per-router path caches are instance state and die with their routers;
+    this clears the module-level dragonfly and fat-tree topology caches so
+    the next build is cold.
+    """
+    clear_dragonfly_cache()
+    clear_fattree_cache()
 
 
 @dataclass(frozen=True)
@@ -44,18 +64,23 @@ class FlowResult:
     bandwidth: float
 
 
-class SlingshotNetwork:
-    """A materialised Slingshot dragonfly with routing and flow allocation."""
+class FabricNetwork:
+    """Shared flow-level machinery: topology + router + max-min solver."""
 
-    def __init__(self, config: DragonflyConfig,
-                 policy: RoutingPolicy = RoutingPolicy.UGAL,
-                 latency: LatencyModel | None = None,
-                 rng: RngLike = None):
+    #: Span/label tag naming the topology family (subclasses override).
+    topology_label = "fabric"
+
+    def __init__(self, config, topology: Topology, router,
+                 latency: LatencyModel | None = None):
         self.config = config
-        self.policy = policy
+        self.topology = topology
+        self.router = router
         self.latency = latency if latency is not None else LatencyModel()
-        self.topology: Topology = build_dragonfly(config)
-        self.router = Router(self.topology, config, policy, rng=rng)
+
+    @property
+    def _policy_label(self) -> str:
+        policy = getattr(self.router, "policy", None)
+        return policy.value if policy is not None else "ecmp"
 
     # -- flow-level bandwidth ------------------------------------------------
 
@@ -71,7 +96,8 @@ class SlingshotNetwork:
         if not pairs:
             raise ConfigurationError("no flows given")
         with obs.span("fabric.flow_bandwidths", n_flows=len(pairs),
-                      policy=self.policy.value):
+                      topology=self.topology_label,
+                      policy=self._policy_label):
             self.router.reset_load()
             paths = [self.router.path(s, d) for s, d in pairs]
             if demand_per_flow is None:
@@ -119,6 +145,21 @@ class SlingshotNetwork:
             out.append(self.p2p_latency(s, d, size_bytes))
         return np.asarray(out)
 
+
+class SlingshotNetwork(FabricNetwork):
+    """A materialised Slingshot dragonfly with routing and flow allocation."""
+
+    topology_label = "dragonfly"
+
+    def __init__(self, config: DragonflyConfig,
+                 policy: RoutingPolicy = RoutingPolicy.UGAL,
+                 latency: LatencyModel | None = None,
+                 rng: RngLike = None):
+        topology = build_dragonfly(config)
+        super().__init__(config, topology,
+                         Router(topology, config, policy, rng=rng), latency)
+        self.policy = policy
+
     # -- full-scale analytic results ------------------------------------------
 
     def allreduce_latency(self, n_ranks: int, size_bytes: float = 8.0) -> float:
@@ -131,38 +172,13 @@ class SlingshotNetwork:
         return alltoall_per_node_bandwidth(self.config, nodes=nodes, **kw)
 
 
-class FatTreeNetwork:
+class FatTreeNetwork(FabricNetwork):
     """Summit's non-blocking Clos with ECMP routing (comparison system)."""
 
-    def __init__(self, config: FatTreeConfig, rng: RngLike = None):
-        self.config = config
-        self.topology = build_fattree(config)
-        self.router = FatTreeRouter(self.topology, config, rng=rng)
+    topology_label = "fattree"
 
-    def flow_bandwidths(self, pairs: list[tuple[int, int]],
-                        demand_per_flow: float | None = None
-                        ) -> tuple[list[FlowResult], MaxMinResult]:
-        if not pairs:
-            raise ConfigurationError("no flows given")
-        with obs.span("fabric.flow_bandwidths", n_flows=len(pairs),
-                      topology="fattree"):
-            self.router.reset_load()
-            paths = [self.router.path(s, d) for s, d in pairs]
-            if demand_per_flow is None:
-                demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
-            demands = [demand_per_flow] * len(pairs)
-            result = maxmin_allocate(self.topology.capacities(), paths, demands)
-        obs.counter("fabric.paths_computed").inc(len(pairs))
-        obs.histogram("fabric.link_utilisation").observe_many(
-            result.link_utilisation)
-        flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
-        return flows, result
-
-    def shift_pattern(self, offset_endpoints: int,
-                      demand_per_flow: float | None = None) -> list[FlowResult]:
-        n = self.config.total_endpoints
-        if not 0 < offset_endpoints < n:
-            raise ConfigurationError("shift offset must be in (0, n_endpoints)")
-        pairs = [(i, (i + offset_endpoints) % n) for i in range(n)]
-        flows, _ = self.flow_bandwidths(pairs, demand_per_flow)
-        return flows
+    def __init__(self, config: FatTreeConfig, rng: RngLike = None,
+                 latency: LatencyModel | None = None):
+        topology = build_fattree(config)
+        super().__init__(config, topology,
+                         FatTreeRouter(topology, config, rng=rng), latency)

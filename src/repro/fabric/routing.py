@@ -15,6 +15,15 @@ per-flow by load or hash.
 Routers are *stateful load balancers*: each returned path increments a
 per-link flow counter used by subsequent UGAL/ECMP decisions.  Call
 :meth:`reset_load` between independent experiments.
+
+**Path caching**: unregistered queries (``register=False`` — latency
+probes, reachability checks) are served from a per-router LRU keyed on
+``(src, dst, policy)``.  Registered paths are never cached: they mutate
+the load tracker and adaptive decisions must see live loads.  The cache
+is invalidated whenever router state changes (:meth:`reset_load`,
+:meth:`disable_link`, :meth:`enable_link`); a cached path can therefore
+only differ from a fresh one in load-based tie-breaks between
+equal-length candidates, which leaves hop counts and latency unchanged.
 """
 
 from __future__ import annotations
@@ -25,12 +34,16 @@ import numpy as np
 
 from repro import obs
 from repro.errors import RoutingError
+from repro.fabric.cache import LruCache
 from repro.fabric.dragonfly import DragonflyConfig
 from repro.fabric.fattree import FatTreeConfig
 from repro.fabric.topology import LinkKind, Topology
 from repro.rng import RngLike, as_generator
 
-__all__ = ["RoutingPolicy", "Router", "FatTreeRouter"]
+__all__ = ["RoutingPolicy", "Router", "FatTreeRouter", "PATH_CACHE_SIZE"]
+
+#: Default per-router LRU capacity for unregistered path queries.
+PATH_CACHE_SIZE = 4096
 
 
 class RoutingPolicy(enum.Enum):
@@ -61,13 +74,14 @@ class Router:
 
     def __init__(self, topo: Topology, config: DragonflyConfig,
                  policy: RoutingPolicy = RoutingPolicy.UGAL,
-                 rng: RngLike = None):
+                 rng: RngLike = None, path_cache_size: int = PATH_CACHE_SIZE):
         self.topo = topo
         self.config = config
         self.policy = policy
         self.rng = as_generator(rng)
         self._load = _LoadTracker(topo.n_links)
         self._gateways = self._index_gateways()
+        self._path_cache = LruCache(maxsize=path_cache_size)
         #: links the fabric manager has routed around (failed cables)
         self.disabled: set[int] = set()
 
@@ -87,6 +101,7 @@ class Router:
 
     def reset_load(self) -> None:
         self._load.reset()
+        self._path_cache.clear()
 
     @property
     def link_loads(self) -> np.ndarray:
@@ -97,9 +112,11 @@ class Router:
         if not 0 <= index < self.topo.n_links:
             raise RoutingError(f"no link {index}")
         self.disabled.add(index)
+        self._path_cache.clear()
 
     def enable_link(self, index: int) -> None:
         self.disabled.discard(index)
+        self._path_cache.clear()
 
     def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
         """Select a path (list of link indices) for one flow.
@@ -108,15 +125,26 @@ class Router:
         tracker so later UGAL decisions see this flow.  Disabled (failed)
         links are routed around: intra-group via an intermediate switch,
         inter-group via surviving bundle lanes or a Valiant detour.
+        Unregistered queries are served from the per-router LRU path cache
+        (see the module docstring for why that is load-safe).
         """
         if src_ep == dst_ep:
             raise RoutingError("source and destination endpoints coincide")
+        if not register:
+            key = (src_ep, dst_ep, self.policy.value)
+            cached = self._path_cache.get(key)
+            if cached is not None:
+                obs.counter("fabric.path_cache.hits").inc()
+                return list(cached)
+            obs.counter("fabric.path_cache.misses").inc()
         path = self._select(src_ep, dst_ep)
         self.topo.validate_path(path)
         if any(i in self.disabled for i in path):  # pragma: no cover - guard
             raise RoutingError("internal: selected path crosses a failed link")
         if register:
             self._load.add_path(path)
+        else:
+            self._path_cache.put(key, tuple(path))
         return path
 
     # -- path construction ----------------------------------------------------
@@ -256,18 +284,28 @@ class Router:
 class FatTreeRouter:
     """ECMP up/down routing on the folded Clos."""
 
-    def __init__(self, topo: Topology, config: FatTreeConfig, rng: RngLike = None):
+    def __init__(self, topo: Topology, config: FatTreeConfig, rng: RngLike = None,
+                 path_cache_size: int = PATH_CACHE_SIZE):
         self.topo = topo
         self.config = config
         self.rng = as_generator(rng)
         self._load = _LoadTracker(topo.n_links)
+        self._path_cache = LruCache(maxsize=path_cache_size)
 
     def reset_load(self) -> None:
         self._load.reset()
+        self._path_cache.clear()
 
     def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
         if src_ep == dst_ep:
             raise RoutingError("source and destination endpoints coincide")
+        if not register:
+            key = (src_ep, dst_ep, "ecmp")
+            cached = self._path_cache.get(key)
+            if cached is not None:
+                obs.counter("fabric.path_cache.hits").inc()
+                return list(cached)
+            obs.counter("fabric.path_cache.misses").inc()
         sw_s = self.topo.switch_of_endpoint(src_ep)
         sw_d = self.topo.switch_of_endpoint(dst_ep)
         path = [self.topo.link_between(("ep", src_ep), ("sw", sw_s)).index]
@@ -289,4 +327,6 @@ class FatTreeRouter:
         self.topo.validate_path(path)
         if register:
             self._load.add_path(path)
+        else:
+            self._path_cache.put(key, tuple(path))
         return path

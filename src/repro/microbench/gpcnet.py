@@ -69,6 +69,12 @@ STALL_PROB = 0.020
 STALL_MEAN_S = 3.0e-6
 
 
+def _frontier_fabric() -> DragonflyConfig:
+    """Default fabric from the scenario layer (lazy: core sits above us)."""
+    from repro.core.scenario import resolve_dragonfly
+    return resolve_dragonfly(None)
+
+
 @dataclass(frozen=True)
 class GpcnetConfig:
     """GPCNeT run parameters (defaults = the paper's 9,400-node run)."""
@@ -79,7 +85,7 @@ class GpcnetConfig:
     nics_per_node: int = 4
     window_bytes: float = 131072.0
     samples: int = 20000
-    fabric: DragonflyConfig = field(default_factory=DragonflyConfig)
+    fabric: DragonflyConfig = field(default_factory=_frontier_fabric)
 
     def __post_init__(self) -> None:
         if not 0.0 < self.congestor_fraction < 1.0:

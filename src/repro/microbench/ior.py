@@ -79,9 +79,25 @@ class IorResult:
         return self.bandwidth / 1e12
 
 
-def run_ior(job: IorJob, fs: OrionFilesystem | None = None) -> IorResult:
-    """Model one IOR run against Orion."""
-    filesystem = fs if fs is not None else OrionFilesystem()
+def run_ior(job: IorJob, fs: OrionFilesystem | None = None,
+            *, machine=None) -> IorResult:
+    """Model one IOR run against Orion.
+
+    The filesystem comes from (in precedence order) ``fs``, the machine's
+    configured filesystem (``machine=`` accepts a
+    :class:`repro.core.machine.FrontierMachine`), or the canonical Orion
+    build.
+    """
+    if fs is not None and machine is not None:
+        raise ConfigurationError(
+            "pass fs= or machine=, not both; the machine already carries "
+            "its filesystem")
+    if fs is not None:
+        filesystem = fs
+    elif machine is not None:
+        filesystem = machine.filesystem
+    else:
+        filesystem = OrionFilesystem()
     stats = filesystem.tier_stats(job.tier, measured=True)
     server_peak = stats.read if job.read else stats.write
 

@@ -101,8 +101,12 @@ def frontier_mpigraph_histogram(config: DragonflyConfig | None = None, *,
     intra-group fraction at the single-stream rate and an inter-group
     fraction sharing the (non-minimally halved) global pool.  A small
     lognormal jitter models measurement spread.
+
+    ``config`` accepts anything :func:`repro.core.scenario.resolve_dragonfly`
+    does: a config, a ``MachineSpec``, a machine, or ``None`` for Frontier.
     """
-    cfg = config if config is not None else DragonflyConfig()
+    from repro.core.scenario import resolve_dragonfly
+    cfg = resolve_dragonfly(config)
     gen = as_generator(rng)
     eps_per_group = cfg.endpoints_per_group
     n_eps = cfg.total_endpoints

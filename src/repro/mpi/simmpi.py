@@ -18,18 +18,37 @@ from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwi
 from repro.fabric.dragonfly import DragonflyConfig
 from repro.fabric.latency import LatencyModel
 from repro.mpi.job import JobLayout
+from repro.node.node import BardPeakNode
 
 __all__ = ["SimComm"]
 
 
 class SimComm:
-    """Communication-cost oracle for a job on the Frontier fabric."""
+    """Communication-cost oracle for a job on the Frontier fabric.
+
+    Configuration comes from the scenario layer: pass ``machine=`` (a
+    :class:`repro.core.machine.FrontierMachine`, usually via
+    ``machine.comm(layout)``) to wire both the fabric geometry and the
+    node model, or a bare ``config`` for fabric-only overrides.  With
+    neither, the canonical Frontier scenario is used.
+    """
 
     def __init__(self, layout: JobLayout,
                  config: DragonflyConfig | None = None,
-                 latency: LatencyModel | None = None):
+                 latency: LatencyModel | None = None,
+                 *, machine=None):
+        if machine is not None and config is not None:
+            raise ConfigurationError(
+                "pass machine= or config=, not both; the machine already "
+                "carries its fabric config")
         self.layout = layout
-        self.config = config if config is not None else DragonflyConfig()
+        if machine is not None:
+            self.config = machine.fabric
+            self.node = machine.node
+        else:
+            from repro.core.scenario import resolve_dragonfly
+            self.config = resolve_dragonfly(config)
+            self.node = BardPeakNode()
         self.latency = latency if latency is not None else LatencyModel()
 
     # -- point to point --------------------------------------------------------
@@ -44,10 +63,11 @@ class SimComm:
         obs.counter("mpi.p2p_messages").inc()
         obs.histogram("mpi.message_bytes").observe(size_bytes)
         if self._same_node(src, dst):
-            # On-node transfers ride InfinityFabric; model one CU-kernel hop.
+            # On-node transfers ride InfinityFabric; model one CU-kernel hop
+            # at the node's conservative single-link rate (37.5 GB/s on
+            # Bard Peak, see BardPeakNode.xgmi_p2p_bandwidth).
             obs.counter("mpi.p2p_on_node").inc()
-            xgmi_bw = 37.5e9
-            return 2e-6 + size_bytes / xgmi_bw
+            return 2e-6 + size_bytes / self.node.xgmi_p2p_bandwidth
         lat = self.latency.average_minimal_latency(
             size_bytes=8.0, groups=self.config.groups,
             switches_per_group=self.config.switches_per_group)

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 from repro.node.cpu import TrentoCpu
 from repro.node.gpu import Mi250x, Precision
-from repro.node.xgmi import GcdTopology, twisted_ladder
+from repro.node.xgmi import GcdTopology, XgmiClass, XgmiLink, twisted_ladder
 
 __all__ = ["CassiniNic", "BardPeakNode"]
 
@@ -100,6 +100,28 @@ class BardPeakNode:
     def injection_bandwidth(self) -> float:
         """100 GB/s per node: four 25 GB/s Cassini NICs."""
         return self.nic_count * self.nic.rate_bytes
+
+    @property
+    def xgmi_p2p_bandwidth(self) -> float:
+        """Sustained on-node GCD-to-GCD copy rate over the weakest xGMI hop.
+
+        §4.2.1: CU copy kernels stripe across a pair's ganged links at
+        ~75% of the aggregate rate; an arbitrary rank pair may sit on the
+        single-link east/west edges of the twisted ladder, so the
+        conservative one-hop rate is the narrowest gang's CU-kernel rate
+        (37.5 GB/s on Bard Peak).  Derived from the topology so node-model
+        changes propagate to MPI cost estimates.
+        """
+        from repro.node.transfers import CU_KERNEL_EFFICIENCY_BY_WIDTH
+        width = min((link.width for link in self.gcd_topology.links),
+                    default=1)
+        link = XgmiLink(0, 1, width)
+        return CU_KERNEL_EFFICIENCY_BY_WIDTH[width] * link.bandwidth_per_direction
+
+    @property
+    def cpu_gcd_bandwidth(self) -> float:
+        """Per-direction xGMI-2 rate of the CCD<->GCD pairing (36 GB/s)."""
+        return XgmiClass.XGMI2.rate_per_direction
 
     def peak_flops(self, precision: Precision = Precision.FP64,
                    *, matrix: bool = True) -> float:

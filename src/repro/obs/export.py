@@ -19,7 +19,7 @@ from repro.obs.tracer import Tracer
 from repro.reporting import metrics_table, spans_table
 
 __all__ = ["export_state", "write_json", "render_metrics", "render_trace",
-           "SCHEMA_VERSION"]
+           "collapsed_stacks", "render_collapsed", "SCHEMA_VERSION"]
 
 SCHEMA_VERSION = 1
 
@@ -70,3 +70,32 @@ def render_metrics(registry: MetricsRegistry,
 def render_trace(tracer: Tracer, title: str = "Trace") -> str:
     """Human table of the tracer's finished span trees."""
     return spans_table(tracer.export(), title=title).render()
+
+
+def collapsed_stacks(tracer: Tracer) -> dict[str, int]:
+    """Fold the span trees into collapsed flamegraph stacks.
+
+    Returns ``{"root;child;grandchild": self_time_microseconds}`` — the
+    format Brendan Gregg's ``flamegraph.pl`` and speedscope ingest.  The
+    weight of each stack is *self* time (span duration minus the time
+    covered by its children) so the flamegraph's widths add up.
+    """
+    stacks: dict[str, int] = {}
+
+    def fold(span, prefix: str) -> None:
+        stack = f"{prefix};{span.name}" if prefix else span.name
+        child_s = sum(c.duration_s for c in span.children)
+        self_us = round(max(0.0, span.duration_s - child_s) * 1e6)
+        stacks[stack] = stacks.get(stack, 0) + self_us
+        for child in span.children:
+            fold(child, stack)
+
+    for root in tracer.roots:
+        fold(root, "")
+    return stacks
+
+
+def render_collapsed(tracer: Tracer) -> str:
+    """Collapsed stacks as ``flamegraph.pl`` input lines."""
+    stacks = collapsed_stacks(tracer)
+    return "\n".join(f"{stack} {weight}" for stack, weight in stacks.items())

@@ -117,10 +117,18 @@ class AllocationStats:
 
 def allocation_stats(nodes: list[int], config: DragonflyConfig | None = None,
                      nodes_per_group: int = NODES_PER_GROUP) -> AllocationStats:
-    """Compute the placement quality metrics the paper's policy optimises."""
+    """Compute the placement quality metrics the paper's policy optimises.
+
+    ``config`` accepts anything :func:`repro.core.scenario.resolve_dragonfly`
+    does — a :class:`DragonflyConfig`, a ``MachineSpec``, a machine, or
+    ``None`` for the canonical Frontier fabric.
+    """
     if not nodes:
         raise PlacementError("empty allocation")
-    cfg = config if config is not None else DragonflyConfig()
+    # Lazy: repro.core.scenario is downstream of the scheduler package in
+    # the import graph (core.machine imports scheduler.slurm).
+    from repro.core.scenario import resolve_dragonfly
+    cfg = resolve_dragonfly(config)
     counts = Counter(_group_of(n, nodes_per_group) for n in nodes)
     n = len(nodes)
     groups = len(counts)

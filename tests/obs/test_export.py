@@ -5,7 +5,8 @@ from __future__ import annotations
 import json
 import os
 
-from repro.obs.export import export_state, render_metrics, render_trace, write_json
+from repro.obs.export import (collapsed_stacks, export_state, render_collapsed,
+                              render_metrics, render_trace, write_json)
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer
 from repro.reporting import metrics_table, spans_table
@@ -74,3 +75,35 @@ class TestHumanTables:
         doc = json.loads(json.dumps(export_state(tracer, registry)))
         assert "outer" in spans_table(doc["spans"]).render()
         assert "fabric.paths_computed" in metrics_table(doc["metrics"]).render()
+
+
+class TestCollapsedStacks:
+    def test_stacks_are_semicolon_joined_and_weights_are_self_time(self):
+        tracer, _ = _populated()
+        stacks = collapsed_stacks(tracer)
+        assert set(stacks) == {"outer", "outer;inner"}
+        outer = next(s for s in tracer.roots if s.name == "outer")
+        inner = outer.children[0]
+        assert stacks["outer;inner"] == round(inner.duration_s * 1e6)
+        expected_self = round(
+            max(0.0, outer.duration_s - inner.duration_s) * 1e6)
+        assert stacks["outer"] == expected_self
+
+    def test_repeated_stacks_accumulate(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("solve"):
+                pass
+        stacks = collapsed_stacks(tracer)
+        assert set(stacks) == {"solve"}
+        total = round(sum(r.duration_s for r in tracer.roots) * 1e6)
+        assert abs(stacks["solve"] - total) <= 3  # per-span rounding
+
+    def test_render_is_flamegraph_pl_format(self):
+        tracer, _ = _populated()
+        for line in render_collapsed(tracer).splitlines():
+            stack, _, weight = line.rpartition(" ")
+            assert stack and weight.isdigit()
+
+    def test_empty_tracer_renders_nothing(self):
+        assert render_collapsed(Tracer(enabled=True)) == ""

@@ -107,3 +107,44 @@ class TestObservabilityVerbs:
         assert main(["metrics", "--check", "--baseline", str(path)]) == 0
         out = capsys.readouterr().out
         assert "gate passed" in out
+
+    def test_trace_collapsed_emits_folded_stacks(self, capsys):
+        assert main(["trace", "--collapsed"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, weight = line.rpartition(" ")
+            assert stack and weight.isdigit()
+        assert any(line.startswith("probe.fabric;fabric.flow_bandwidths")
+                   for line in lines)
+
+
+class TestScenarioVerbs:
+    """python -m repro scenario / mpigraph (see repro.core.scenario)."""
+
+    def test_scenario_prints_frontier_spec(self, capsys):
+        assert main(["scenario"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["name"] == "frontier"
+        assert doc["node_count"] == 9472
+        assert doc["fabric"]["kind"] == "dragonfly"
+
+    def test_scenario_out_round_trips_through_mpigraph(self, tmp_path,
+                                                       capsys):
+        from repro.core.scenario import MachineSpec
+        path = tmp_path / "small.json"
+        assert main(["scenario", "--scaled", "6", "4", "4",
+                     "--out", str(path)]) == 0
+        spec = MachineSpec.load(str(path))
+        assert spec.fabric.groups == 6
+        capsys.readouterr()
+        assert main(["mpigraph", "--spec", str(path), "--bins", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "flow-level" in out
+        assert "spread" in out
+
+    def test_mpigraph_full_scale_uses_analytic_accounting(self, capsys):
+        assert main(["mpigraph"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic" in out
+        assert "frontier" in out

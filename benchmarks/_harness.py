@@ -20,13 +20,19 @@ OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 def save_artifact(name: str, text: str) -> str:
     """Write a rendered table/figure to benchmarks/out/ and echo it.
 
-    The write is atomic (temp file + ``os.replace``) so a benchmark
-    crashing mid-write can never leave a truncated artifact that a later
-    diff against the paper silently accepts.
+    ``name`` may carry subdirectories (``sweep/summary`` lands in
+    ``benchmarks/out/sweep/summary.txt``); every missing parent is
+    created.  The write is atomic (temp file + ``os.replace``, staged in
+    the *target* directory so the rename never crosses filesystems) so a
+    benchmark crashing mid-write can never leave a truncated artifact
+    that a later diff against the paper silently accepts.
     """
-    os.makedirs(OUT_DIR, exist_ok=True)
     path = os.path.join(OUT_DIR, f"{name}.txt")
-    fd, tmp = tempfile.mkstemp(dir=OUT_DIR, prefix=f".{name}-", suffix=".tmp")
+    parent = os.path.dirname(path)
+    os.makedirs(parent, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=parent,
+                               prefix=f".{os.path.basename(name)}-",
+                               suffix=".tmp")
     try:
         with os.fdopen(fd, "w") as fh:
             fh.write(text + "\n")

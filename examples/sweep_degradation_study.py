@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Sweep engine end to end — a degradation study on a reduced Frontier.
+
+The question the paper's operators live with: how much mpiGraph bandwidth
+does the machine lose as global (L2) cables fail, and does adaptive
+routing buy it back?  `repro.sweep` answers it as a grid — one reduced
+dragonfly × disabled_links {0, 4, 8} × routing {minimal, ugal} — run on a
+process pool, one content-addressed JSON artifact per grid point.  The
+second pass shows the resume ledger: everything already on disk is
+skipped.
+
+Run:  python examples/sweep_degradation_study.py
+"""
+
+import tempfile
+
+from repro.core.scenario import frontier_spec
+from repro.obs.export import render_metrics
+from repro.sweep import SweepConfig, SweepPlan, results_table, run_sweep
+
+
+def main() -> None:
+    plan = SweepPlan.grid(
+        frontier_spec(),
+        axes={"scale": (0.1,),
+              "disabled_links": (0, 4, 8),
+              "routing": ("minimal", "ugal")},
+        probes=("mpigraph",),
+    )
+    print(f"=== The grid: {len(plan)} tasks "
+          f"(scale x cable failures x routing) ===")
+    for task in plan.tasks:
+        axes = " ".join(f"{k}={v}" for k, v in task.axes)
+        print(f"  {task.task_id}  {axes}")
+
+    with tempfile.TemporaryDirectory() as out:
+        config = SweepConfig(out_dir=out, workers=2)
+        summary = run_sweep(plan, config)
+        print(f"\nfirst pass:  {summary.counts_line()} "
+              f"| wall: {summary.wall_time_s:.2f}s")
+
+        resumed = run_sweep(plan, config)
+        print(f"second pass: {resumed.counts_line()} "
+              "(the artifacts on disk are the resume ledger)\n")
+
+        print(results_table(summary.ok_artifacts(),
+                            title="mpiGraph vs cable failures").render())
+        print("\nRead the min_gbs column down each routing block: minimal "
+              "routing pays for every lost cable; UGAL detours around "
+              "them — the paper's case for adaptive routing, as data.\n")
+
+        print(render_metrics(summary.metrics,
+                             title="Merged worker metrics (all tasks)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,15 @@ Scenario verbs (see :mod:`repro.core.scenario`):
 ``mpigraph``   Figure 6 mpiGraph histograms for the machine a spec
                describes (flow-level simulation at reduced scale,
                analytic accounting at full scale)
+``sweep``      expand a scenario grid (``--axis key=v1,v2`` over a base
+               spec, or ``--specs-dir``) and evaluate it on a worker
+               pool (``--workers/--timeout/--retries``); one resumable
+               JSON artifact per task under ``--out``
+               (``--fresh`` re-runs completed tasks)
 =============  =======================================================
+
+``tests/test_cli.py`` asserts every registered verb is documented in
+this table and in the README — keep all three in sync.
 """
 
 from __future__ import annotations
@@ -302,7 +310,74 @@ def _cmd_metrics(args: "argparse.Namespace") -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _parse_axis_value(raw: str):
+    """An axis value from the command line: int, else float, else string."""
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    return raw
+
+
+def _parse_axes(pairs: list[str]) -> dict[str, tuple]:
+    """``["scale=0.1", "routing=minimal,ugal"]`` -> axis mapping."""
+    from repro.errors import ConfigurationError
+    axes: dict[str, tuple] = {}
+    for pair in pairs:
+        key, sep, values = pair.partition("=")
+        if not sep or not key or not values:
+            raise ConfigurationError(
+                f"--axis wants key=v1,v2,..., got {pair!r}")
+        axes[key] = tuple(_parse_axis_value(v) for v in values.split(","))
+    return axes
+
+
+def _cmd_sweep(args: "argparse.Namespace") -> int:
+    from repro.errors import ReproError
+    from repro.obs.export import render_metrics
+    from repro.sweep import (SweepConfig, SweepPlan, results_table,
+                             run_sweep)
+    try:
+        probes = tuple(args.probe) if args.probe else ("mpigraph",)
+        if args.specs_dir:
+            plan = SweepPlan.from_spec_dir(args.specs_dir, probes=probes,
+                                           seed=args.seed)
+        else:
+            plan = SweepPlan.grid(_load_spec(args.spec),
+                                  axes=_parse_axes(args.axis or []),
+                                  probes=probes, seed=args.seed)
+    except ReproError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    config = SweepConfig(out_dir=args.out, workers=args.workers,
+                         timeout_s=args.timeout, retries=args.retries,
+                         backoff_s=args.backoff, resume=not args.fresh)
+    if args.list:
+        for task in plan.tasks:
+            axes = " ".join(f"{k}={v}" for k, v in task.axes)
+            print(f"{task.task_id}  {task.probe:<10} {axes}")
+        print(f"{len(plan)} tasks")
+        return 0
+    summary = run_sweep(plan, config, progress=print if args.verbose else None)
+    print(f"\nsweep: {summary.counts_line()} | "
+          f"wall: {summary.wall_time_s:.2f}s | artifacts: {config.out_dir}")
+    docs = sorted(summary.artifacts.values(), key=lambda d: d["task"]["id"])
+    if docs:
+        print()
+        print(results_table(docs).render())
+    if summary.metrics.names():
+        print()
+        print(render_metrics(summary.metrics,
+                             title="Merged worker metrics"))
+    # Individual failures are recorded artifacts (graceful degradation);
+    # only a sweep that produced nothing but failures is a hard error.
+    all_failed = summary.planned > 0 and summary.failed == summary.planned
+    return 1 if all_failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full CLI parser (exposed so tests can audit the verb set)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the evaluation of 'Frontier: Exploring "
@@ -358,7 +433,48 @@ def main(argv: list[str] | None = None) -> int:
     mpigraph.add_argument("--seed", type=int, default=0,
                           help="RNG seed for jitter/adaptive routing")
 
-    args = parser.parse_args(argv)
+    sweep = sub.add_parser(
+        "sweep", help="expand a scenario grid and evaluate it on a "
+                      "worker pool (resumable artifacts)")
+    sweep.add_argument("--spec", metavar="FILE",
+                       help="base spec the axes vary (default: Frontier)")
+    sweep.add_argument("--specs-dir", metavar="DIR",
+                       help="sweep every *.json spec in DIR instead of "
+                            "expanding axes")
+    sweep.add_argument("--axis", action="append", metavar="KEY=V1,V2",
+                       help="one grid axis (repeatable); keys: scale, "
+                            "nics_per_node, routing, disabled_links, "
+                            "disabled_nodes")
+    sweep.add_argument("--probe", action="append", metavar="NAME",
+                       help="sweep probe(s) to evaluate per grid point "
+                            "(default: mpigraph)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="sweep seed; per-task streams derive from it")
+    sweep.add_argument("--workers", type=int, default=2,
+                       help="worker processes (0 = run inline)")
+    sweep.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-task timeout in seconds")
+    sweep.add_argument("--retries", type=int, default=1,
+                       help="retry budget per task (default 1)")
+    sweep.add_argument("--backoff", type=float, default=0.05, metavar="S",
+                       help="base retry backoff, doubled per attempt")
+    sweep.add_argument("--resume", dest="fresh", action="store_false",
+                       default=False,
+                       help="skip tasks with completed artifacts (default)")
+    sweep.add_argument("--fresh", dest="fresh", action="store_true",
+                       help="re-run (and overwrite) completed tasks")
+    sweep.add_argument("--out", default="benchmarks/out/sweep",
+                       metavar="DIR", help="artifact directory "
+                                           "(default: benchmarks/out/sweep)")
+    sweep.add_argument("--list", action="store_true",
+                       help="print the expanded task list and exit")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="print per-task progress lines")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "metrics":
@@ -367,6 +483,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_scenario(args)
     if args.command == "mpigraph":
         return _cmd_mpigraph(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
     COMMANDS[args.command]()
     return 0
 

@@ -119,6 +119,7 @@ class Histogram:
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
             "mean": self.mean if self.count else None,
+            "edges": list(self.edges),
             "buckets": {
                 (f"le_{edge:g}" if i < len(self.edges) else "overflow"): int(n)
                 for i, (edge, n) in enumerate(
@@ -126,6 +127,34 @@ class Histogram:
                 if n
             },
         }
+
+    def merge_snapshot(self, snap: dict[str, Any]) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        The snapshot must carry the same bucket edges; this is how worker
+        processes' distributions (picklable dicts) re-enter the parent
+        registry without losing bucket resolution.
+        """
+        edges = tuple(snap.get("edges", ()))
+        if edges != self.edges:
+            raise ValueError(
+                f"histogram {self.name}: cannot merge snapshot with edges "
+                f"{edges!r} into histogram with edges {self.edges!r}")
+        if not snap.get("count"):
+            return
+        self.count += int(snap["count"])
+        self.total += float(snap["sum"])
+        self.min = min(self.min, float(snap["min"]))
+        self.max = max(self.max, float(snap["max"]))
+        labels = {f"le_{edge:g}": i for i, edge in enumerate(self.edges)}
+        labels["overflow"] = len(self.edges)
+        for label, n in snap.get("buckets", {}).items():
+            try:
+                self._buckets[labels[label]] += int(n)
+            except KeyError:
+                raise ValueError(
+                    f"histogram {self.name}: unknown bucket {label!r} "
+                    f"in merged snapshot") from None
 
 
 class _NullMetric:
@@ -197,6 +226,38 @@ class MetricsRegistry:
     def histogram(self, name: str,
                   edges: Sequence[float] | None = None) -> Histogram:
         return self._get(name, Histogram, edges=edges)
+
+    # -- merging (sweep workers -> parent process) ---------------------------
+
+    def merge(self, other: "MetricsRegistry | dict[str, dict[str, Any]]",
+              ) -> None:
+        """Fold another registry's instruments into this one.
+
+        ``other`` is either a live :class:`MetricsRegistry` or — the form a
+        worker process ships across a pickle boundary — its
+        :meth:`snapshot` dict.  Counters add, gauges keep the incoming
+        (latest) value, histograms combine counts/sums/extrema/buckets
+        (same edges required).  Merging into a *disabled* registry raises:
+        lookups there return the shared no-op instrument, so the merge
+        would silently drop the workers' telemetry.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        if not self.enabled:
+            raise RuntimeError(
+                "cannot merge into a disabled MetricsRegistry; "
+                "call enable() first")
+        for name, doc in snap.items():
+            kind = doc.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(doc["value"]))
+            elif kind == "gauge":
+                self.gauge(name).set(float(doc["value"]))
+            elif kind == "histogram":
+                edges = tuple(doc.get("edges", DEFAULT_EDGES))
+                self.histogram(name, edges=edges).merge_snapshot(doc)
+            else:
+                raise ValueError(
+                    f"metric {name!r}: unknown instrument type {kind!r}")
 
     # -- export --------------------------------------------------------------
 

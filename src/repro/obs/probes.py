@@ -126,6 +126,38 @@ def probe_scheduler() -> dict[str, float]:
     }
 
 
+def probe_sweep() -> dict[str, float]:
+    """Mini scenario sweep: expansion, retry/error path, resume ledger.
+
+    Runs inline (``workers=0`` — worker processes would make probe wall
+    time machine-dependent) into a throwaway directory, twice: the second
+    pass must skip the completed tasks and retry only the injected
+    failures.  Values are deterministic counts plus one model value from
+    an artifact; the ``sweep.tasks_*`` counters land in the baseline.
+    """
+    import tempfile
+
+    from repro.core.scenario import frontier_spec
+    from repro.sweep import SweepConfig, SweepPlan, run_sweep
+
+    plan = SweepPlan.grid(frontier_spec().scaled(6, 4, 4),
+                          {"disabled_nodes": (0, 2)},
+                          probes=("storage", "failing"))
+    with tempfile.TemporaryDirectory() as out:
+        config = SweepConfig(out_dir=out, workers=0, retries=1,
+                             backoff_s=0.0)
+        first = run_sweep(plan, config)
+        resumed = run_sweep(plan, config)
+    ok = first.ok_artifacts()
+    return {
+        "tasks_planned": float(first.planned),
+        "tasks_ok": float(len(ok)),
+        "tasks_failed": float(first.failed),
+        "resume_skipped": float(resumed.skipped),
+        "burst_time_s": ok[0]["values"]["burst_time_s"],
+    }
+
+
 #: Ordered registry: probe name -> callable returning scalar model outputs.
 PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "fabric": probe_fabric,
@@ -133,6 +165,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "mpi": probe_mpi,
     "storage": probe_storage,
     "scheduler": probe_scheduler,
+    "sweep": probe_sweep,
 }
 
 

@@ -1,0 +1,87 @@
+"""One JSON artifact per sweep task; the resume ledger is the directory.
+
+Artifact layout (``<out_dir>/<task_id>.json``, written atomically via
+:func:`repro.obs.export.write_json` so a killed sweep can never leave a
+truncated artifact that a resume would trust)::
+
+    {
+      "schema": 1,
+      "task":    {"id", "probe", "seed", "axes", "spec"},
+      "status":  "ok" | "error",
+      "values":  {metric: float, ...},          # ok only
+      "error":   {"type", "message"},           # error only
+      "timing":  {"wall_time_s", "attempts"},   # the only non-deterministic
+                                                # fields in the document
+      "metrics": {...}                          # worker registry snapshot
+    }
+
+Resume semantics: a task whose ``status == "ok"`` artifact is on disk is
+skipped; **error artifacts do not count as completed**, so re-running a
+sweep retries exactly the failures.  Anything unreadable, off-schema, or
+whose embedded task id disagrees with its filename is ignored rather
+than trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro.obs.export import write_json
+
+__all__ = ["ARTIFACT_SCHEMA_VERSION", "artifact_path", "write_artifact",
+           "load_artifact", "completed_ids", "iter_artifacts"]
+
+ARTIFACT_SCHEMA_VERSION = 1
+
+
+def artifact_path(out_dir: str, task_id: str) -> str:
+    return os.path.join(out_dir, f"{task_id}.json")
+
+
+def write_artifact(out_dir: str, doc: dict[str, Any]) -> str:
+    """Atomically persist a task document; returns the artifact path.
+
+    ``write_json`` creates ``out_dir`` (nested) on demand and goes
+    through a temp file + ``os.replace``.
+    """
+    return write_json(artifact_path(out_dir, doc["task"]["id"]), doc)
+
+
+def load_artifact(path: str) -> dict[str, Any] | None:
+    """The parsed artifact, or ``None`` if it is not a trustable one."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict):
+        return None
+    if doc.get("schema") != ARTIFACT_SCHEMA_VERSION:
+        return None
+    task = doc.get("task")
+    if not isinstance(task, dict) or "id" not in task:
+        return None
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if task["id"] != stem:
+        return None
+    return doc
+
+
+def iter_artifacts(out_dir: str) -> Iterator[dict[str, Any]]:
+    """Every trustable artifact under ``out_dir``, sorted by task id."""
+    if not os.path.isdir(out_dir):
+        return
+    for name in sorted(os.listdir(out_dir)):
+        if not name.endswith(".json"):
+            continue
+        doc = load_artifact(os.path.join(out_dir, name))
+        if doc is not None:
+            yield doc
+
+
+def completed_ids(out_dir: str) -> set[str]:
+    """Task ids a resumed sweep may skip (``status == "ok"`` only)."""
+    return {doc["task"]["id"] for doc in iter_artifacts(out_dir)
+            if doc.get("status") == "ok"}

@@ -1,0 +1,168 @@
+"""Sweep probes: ``(MachineSpec, Generator) -> {metric: float}``.
+
+These are the evaluations a sweep runs at every grid point.  Unlike the
+regression probes in :mod:`repro.obs.probes` (fixed machine, fixed
+seeds), a sweep probe is parameterised by the scenario under test and by
+an independent per-task RNG stream, so the same probe can be swept
+across scales, routing policies, and degradation states.
+
+Contract: a probe is a **module-level** function (worker processes look
+it up by name in :data:`SWEEP_PROBES` after a fresh import), it is
+deterministic given ``(spec, rng)``, and it returns a flat dict of float
+metrics.  Raising is fine — the runner retries and then records a
+structured error artifact instead of aborting the sweep.
+
+``failing`` and ``flaky`` are deliberate fault injectors used by the
+test suite and the CI smoke job to exercise exactly that path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.core.scenario import MachineSpec
+
+__all__ = ["SWEEP_PROBES", "SweepProbe"]
+
+SweepProbe = Callable[[MachineSpec, np.random.Generator], Mapping[str, Any]]
+
+#: Beyond this many fabric endpoints the flow-level max-min solve is
+#: O(endpoints^2) per shift offset; fall back to the paper's analytic
+#: accounting (same switch as ``python -m repro mpigraph``).
+FLOW_SIM_MAX_ENDPOINTS = 4096
+
+
+def probe_mpigraph(spec: MachineSpec,
+                   rng: np.random.Generator) -> dict[str, float]:
+    """Figure 6 shape metrics for the machine the spec describes."""
+    from repro.microbench.mpigraph import (frontier_mpigraph_histogram,
+                                           simulate_mpigraph,
+                                           summit_mpigraph_histogram)
+    if spec.fabric_config().total_endpoints <= FLOW_SIM_MAX_ENDPOINTS:
+        hist = simulate_mpigraph(spec.build_network(rng=rng))
+    elif spec.fabric.kind == "dragonfly":
+        hist = frontier_mpigraph_histogram(spec, rng=rng)
+    else:
+        hist = summit_mpigraph_histogram(n_pairs=spec.node_count, rng=rng)
+    return {
+        "min_gbs": hist.min_gbs,
+        "median_gbs": hist.quantile(0.5) / 1e9,
+        "max_gbs": hist.max_gbs,
+        "spread": hist.spread,
+    }
+
+
+def probe_comm(spec: MachineSpec,
+               rng: np.random.Generator) -> dict[str, float]:
+    """Communication-cost oracle on an up-to-64-node job of this machine."""
+    from repro.mpi.job import JobLayout
+    nodes = min(spec.healthy_node_count, 64)
+    comm = spec.machine().comm(JobLayout.contiguous(nodes))
+    ranks = nodes * comm.layout.ppn
+    metrics = {
+        "allreduce_8B_s": comm.allreduce_time(8.0),
+        "alltoall_1MiB_s": comm.alltoall_time(float(1 << 20)),
+        "halo_1MiB_s": comm.halo_exchange_time(float(1 << 20)),
+    }
+    if nodes > 1:
+        # p2p to a rank on another node: first rank of the last node.
+        metrics["p2p_off_node_1MiB_s"] = comm.p2p_time(
+            0, (nodes - 1) * comm.layout.ppn, float(1 << 20))
+    if ranks > 1:
+        metrics["p2p_on_node_1MiB_s"] = comm.p2p_time(0, 1, float(1 << 20))
+    return metrics
+
+
+def probe_storage(spec: MachineSpec,
+                  rng: np.random.Generator) -> dict[str, float]:
+    """Checkpoint burst/drain accounting at this spec's scale and tiers."""
+    from repro.storage.iosim import CheckpointScenario
+    scenario = CheckpointScenario(nodes=spec.healthy_node_count,
+                                  local=spec.storage.node_local(),
+                                  fs=spec.storage.filesystem())
+    return {
+        "burst_time_s": scenario.burst_time,
+        "drain_time_s": scenario.drain_time,
+        "burst_buffer_speedup": scenario.burst_buffer_speedup,
+        "drain_fits_interval": float(scenario.drain_fits_interval),
+    }
+
+
+def probe_placement(spec: MachineSpec,
+                    rng: np.random.Generator) -> dict[str, float]:
+    """Topology-aware scheduling of an RNG-drawn workload on this machine."""
+    from repro.scheduler.placement import allocation_stats
+    from repro.scheduler.slurm import JobRequest, SlurmScheduler
+
+    drained = set(spec.degradation.failed_nodes)
+    sched = SlurmScheduler(n_nodes=spec.node_count,
+                           checknode=lambda node: node not in drained)
+    n_jobs = 8
+    sizes = rng.integers(1, max(2, spec.healthy_node_count // 2),
+                         size=n_jobs)
+    ids = [sched.submit(JobRequest(n_nodes=int(n), duration_s=100.0 + int(n)))
+           for n in sizes]
+    sched.run_until_idle()
+    cfg = spec.fabric_config() if spec.fabric.kind == "dragonfly" else None
+    spanned = sum(allocation_stats(sched.job(j).nodes, cfg).groups_spanned
+                  for j in ids)
+    return {
+        "makespan_s": sched.now,
+        "groups_spanned_total": float(spanned),
+        "jobs_completed": float(sum(
+            1 for j in ids if sched.job(j).state.value == "CD")),
+    }
+
+
+# -- fault injection (tests + CI smoke) ---------------------------------------
+
+
+def probe_failing(spec: MachineSpec,
+                  rng: np.random.Generator) -> dict[str, float]:
+    """Always raises: exercises retry + structured error artifacts."""
+    raise RuntimeError(f"injected sweep failure for scenario {spec.name!r}")
+
+
+def probe_flaky(spec: MachineSpec,
+                rng: np.random.Generator) -> dict[str, float]:
+    """Fails once per scenario, then succeeds — the retry-success path.
+
+    Needs ``REPRO_SWEEP_FLAKY_DIR`` pointing at a scratch directory the
+    attempts share (sentinel files survive the worker-process boundary);
+    without it the probe succeeds immediately.
+    """
+    scratch = os.environ.get("REPRO_SWEEP_FLAKY_DIR", "").strip()
+    if not scratch:
+        return {"recovered": 0.0}
+    sentinel = os.path.join(scratch, f".flaky-{spec.name}")
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("first attempt\n")
+        raise RuntimeError(
+            f"injected first-attempt failure for scenario {spec.name!r}")
+    return {"recovered": 1.0}
+
+
+def probe_sleepy(spec: MachineSpec,
+                 rng: np.random.Generator) -> dict[str, float]:
+    """Sleeps ``REPRO_SWEEP_SLEEP_S`` seconds: exercises ``--timeout``."""
+    import time
+    delay = float(os.environ.get("REPRO_SWEEP_SLEEP_S", "0") or 0)
+    if delay > 0:
+        time.sleep(delay)
+    return {"slept_s": delay}
+
+
+#: Name -> probe; the registry worker processes resolve tasks against.
+SWEEP_PROBES: dict[str, SweepProbe] = {
+    "mpigraph": probe_mpigraph,
+    "comm": probe_comm,
+    "storage": probe_storage,
+    "placement": probe_placement,
+    "failing": probe_failing,
+    "flaky": probe_flaky,
+    "sleepy": probe_sleepy,
+}

@@ -1,0 +1,320 @@
+"""Parallel sweep execution: worker pool, retries, timeouts, resume.
+
+:func:`run_sweep` drives a :class:`~repro.sweep.plan.SweepPlan` to one
+artifact per task:
+
+* **parallel** — a :class:`~concurrent.futures.ProcessPoolExecutor`
+  evaluates tasks on ``workers`` processes (``workers=0`` runs inline in
+  this process, handy under a debugger and for the regression probe);
+* **isolated RNG** — each worker derives its stream with
+  :func:`repro.rng.spawn` from the task's content-derived seed, so
+  results do not depend on which worker ran what, or in which order;
+* **bounded retry** — a failed attempt is resubmitted up to ``retries``
+  times with exponential backoff; the final failure becomes a structured
+  *error artifact*, and the sweep carries on (graceful degradation);
+* **per-task timeout** — measured from when the task starts running (not
+  from submission, so a deep queue is not penalised).  A timed-out task
+  is retried/recorded like any failure.  ProcessPoolExecutor cannot kill
+  a running function, so the overdue worker is *abandoned*: its slot
+  stays busy until the task returns, and shutdown stops waiting for it —
+  a deliberate trade for keeping one warm pool across the whole sweep;
+* **resume** — tasks whose ``status == "ok"`` artifact already exists
+  under ``out_dir`` are skipped (their artifacts still feed the summary);
+* **telemetry merge** — each worker runs with its own freshly-reset
+  metrics registry and ships the snapshot home in the artifact; the
+  parent folds them via :meth:`MetricsRegistry.merge` into
+  ``summary.metrics`` (and into the process-wide registry when that is
+  collecting).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import (FIRST_COMPLETED, Future, ProcessPoolExecutor,
+                                wait)
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.reporting import Table
+from repro.rng import spawn
+from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
+                                   completed_ids, load_artifact,
+                                   write_artifact)
+from repro.sweep.plan import SweepPlan, SweepTask
+
+__all__ = ["SweepConfig", "SweepSummary", "run_sweep", "execute_task",
+           "results_table"]
+
+#: How often the dispatch loop polls for completions/timeouts (seconds).
+_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution knobs (the CLI flags, as a value)."""
+
+    out_dir: str = os.path.join("benchmarks", "out", "sweep")
+    workers: int = 2
+    timeout_s: float | None = None
+    retries: int = 1
+    backoff_s: float = 0.05
+    resume: bool = True
+
+
+@dataclass
+class SweepSummary:
+    """What a sweep did, plus the merged worker telemetry."""
+
+    planned: int
+    run: int = 0
+    skipped: int = 0
+    retried: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    wall_time_s: float = 0.0
+    #: task id -> artifact document (freshly run *and* resumed ones).
+    artifacts: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: worker-process metrics folded together (counters add, etc.).
+    metrics: MetricsRegistry = field(
+        default_factory=lambda: MetricsRegistry(enabled=True))
+
+    def counts_line(self) -> str:
+        return (f"planned: {self.planned} | run: {self.run} | "
+                f"skipped: {self.skipped} | retried: {self.retried} | "
+                f"failed: {self.failed}")
+
+    def ok_artifacts(self) -> list[dict[str, Any]]:
+        return [doc for _, doc in sorted(self.artifacts.items())
+                if doc.get("status") == "ok"]
+
+
+def execute_task(task: SweepTask, attempt: int = 1,
+                 isolate_obs: bool = True) -> dict[str, Any]:
+    """Evaluate one task to a picklable artifact document; never raises.
+
+    This is the function worker processes run.  With ``isolate_obs`` the
+    process-wide registry is reset and enabled around the probe so the
+    returned ``metrics`` snapshot contains exactly this task's telemetry
+    (correct in a worker, which owns its process).  Inline execution
+    passes ``isolate_obs=False`` — the parent's registry must not be
+    stomped — and forgoes per-task metrics.
+    """
+    if isolate_obs:
+        obs.reset()
+        obs.enable(tracing=False, metrics=True)
+    start = time.perf_counter()
+    doc: dict[str, Any] = {"schema": ARTIFACT_SCHEMA_VERSION,
+                           "task": task.to_dict()}
+    try:
+        from repro.sweep.probes import SWEEP_PROBES
+        probe = SWEEP_PROBES[task.probe]
+        rng = spawn(task.seed, 1)[0]
+        values = probe(task.spec, rng)
+        doc["status"] = "ok"
+        doc["values"] = {k: float(v) for k, v in values.items()}
+    except Exception as exc:
+        doc["status"] = "error"
+        doc["error"] = {"type": type(exc).__name__, "message": str(exc),
+                        "traceback": traceback.format_exc(limit=8)}
+    doc["timing"] = {"wall_time_s": time.perf_counter() - start,
+                     "attempts": attempt}
+    doc["metrics"] = obs.registry().snapshot() if isolate_obs else {}
+    if isolate_obs:
+        obs.disable()
+        obs.reset()
+    return doc
+
+
+def _error_doc(task: SweepTask, attempt: int,
+               exc: BaseException) -> dict[str, Any]:
+    """Parent-side failure (timeout, broken pool) as an artifact document."""
+    return {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "task": task.to_dict(),
+        "status": "error",
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+        "timing": {"wall_time_s": 0.0, "attempts": attempt},
+        "metrics": {},
+    }
+
+
+def run_sweep(plan: SweepPlan, config: SweepConfig | None = None, *,
+              progress: Callable[[str], None] | None = None) -> SweepSummary:
+    """Run every not-yet-completed task of ``plan``; returns the summary."""
+    config = config or SweepConfig()
+    say = progress if progress is not None else (lambda msg: None)
+    os.makedirs(config.out_dir, exist_ok=True)
+    summary = SweepSummary(planned=len(plan))
+    start = time.perf_counter()
+    with obs.span("sweep.run", tasks=len(plan), workers=config.workers):
+        done = completed_ids(config.out_dir) if config.resume else set()
+        pending: list[SweepTask] = []
+        for task in plan.tasks:
+            if task.task_id in done:
+                summary.skipped += 1
+                obs.counter("sweep.tasks_skipped").inc()
+                doc = load_artifact(artifact_path(config.out_dir,
+                                                  task.task_id))
+                if doc is not None:
+                    summary.artifacts[task.task_id] = doc
+                say(f"skip {task.task_id} {task.probe} (artifact exists)")
+            else:
+                pending.append(task)
+        if pending:
+            if config.workers <= 0:
+                _run_serial(pending, config, summary, say)
+            else:
+                _run_pool(pending, config, summary, say)
+    summary.wall_time_s = time.perf_counter() - start
+    return summary
+
+
+def _record(doc: dict[str, Any], config: SweepConfig,
+            summary: SweepSummary, say: Callable[[str], None]) -> None:
+    """Persist a final attempt's document and fold in its telemetry."""
+    write_artifact(config.out_dir, doc)
+    summary.artifacts[doc["task"]["id"]] = doc
+    summary.run += 1
+    obs.counter("sweep.tasks_run").inc()
+    if doc["status"] == "error":
+        summary.failed += 1
+        obs.counter("sweep.tasks_failed").inc()
+    if doc.get("metrics"):
+        summary.metrics.merge(doc["metrics"])
+        if obs.registry().enabled:
+            obs.registry().merge(doc["metrics"])
+    state = (doc["status"] if doc["status"] == "ok"
+             else f"error: {doc['error']['type']}")
+    say(f"done {doc['task']['id']} {doc['task']['probe']} [{state}] "
+        f"({doc['timing']['wall_time_s']:.2f}s, "
+        f"attempt {doc['timing']['attempts']})")
+
+
+def _backoff(config: SweepConfig, attempt: int) -> None:
+    if config.backoff_s > 0:
+        time.sleep(config.backoff_s * 2 ** (attempt - 1))
+
+
+def _note_retry(task: SweepTask, summary: SweepSummary,
+                say: Callable[[str], None], reason: str) -> None:
+    summary.retried += 1
+    obs.counter("sweep.tasks_retried").inc()
+    say(f"retry {task.task_id} {task.probe} ({reason})")
+
+
+def _run_serial(tasks: list[SweepTask], config: SweepConfig,
+                summary: SweepSummary, say: Callable[[str], None]) -> None:
+    """Inline execution (workers=0): same retry policy, no subprocesses."""
+    for task in tasks:
+        attempt = 1
+        while True:
+            doc = execute_task(task, attempt=attempt, isolate_obs=False)
+            if doc["status"] == "ok" or attempt > config.retries:
+                _record(doc, config, summary, say)
+                break
+            _note_retry(task, summary, say, doc["error"]["type"])
+            _backoff(config, attempt)
+            attempt += 1
+
+
+def _run_pool(tasks: list[SweepTask], config: SweepConfig,
+              summary: SweepSummary, say: Callable[[str], None]) -> None:
+    attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
+    abandoned = False
+    executor = ProcessPoolExecutor(max_workers=config.workers)
+    # future -> (task, monotonic time it was first seen *running*, or None)
+    inflight: dict[Future, tuple[SweepTask, float | None]] = {}
+
+    def submit(task: SweepTask) -> None:
+        try:
+            fut = executor.submit(execute_task, task,
+                                  attempts[task.task_id])
+        except RuntimeError as exc:   # pool already broken/shut down
+            _record(_error_doc(task, attempts[task.task_id], exc),
+                    config, summary, say)
+            return
+        inflight[fut] = (task, None)
+
+    def finish_attempt(task: SweepTask, doc: dict[str, Any],
+                       reason: str) -> None:
+        if doc["status"] == "error" and attempts[task.task_id] <= config.retries:
+            _note_retry(task, summary, say, reason)
+            _backoff(config, attempts[task.task_id])
+            attempts[task.task_id] += 1
+            submit(task)
+        else:
+            _record(doc, config, summary, say)
+
+    try:
+        for task in tasks:
+            submit(task)
+        while inflight:
+            completed, _ = wait(list(inflight), timeout=_POLL_S,
+                                return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for fut in completed:
+                task, _started = inflight.pop(fut)
+                exc = fut.exception()
+                if exc is not None:   # crashed worker / unpicklable result
+                    doc = _error_doc(task, attempts[task.task_id], exc)
+                    reason = type(exc).__name__
+                else:
+                    doc = fut.result()
+                    reason = doc.get("error", {}).get("type", "error")
+                finish_attempt(task, doc, reason)
+            if config.timeout_s is None:
+                continue
+            for fut, (task, started) in list(inflight.items()):
+                if started is None:
+                    if fut.running():
+                        inflight[fut] = (task, now)
+                    continue
+                if now - started <= config.timeout_s:
+                    continue
+                # Overdue: the pool cannot kill a running call, so stop
+                # listening to this future and treat it as a failure.
+                inflight.pop(fut)
+                fut.cancel()
+                abandoned = True
+                summary.timed_out += 1
+                obs.counter("sweep.tasks_timed_out").inc()
+                timeout = TimeoutError(
+                    f"task exceeded --timeout {config.timeout_s:g}s")
+                finish_attempt(task,
+                               _error_doc(task, attempts[task.task_id],
+                                          timeout),
+                               "TimeoutError")
+    finally:
+        executor.shutdown(wait=not abandoned, cancel_futures=True)
+
+
+# -- reporting ----------------------------------------------------------------
+
+
+def results_table(docs: Iterable[dict[str, Any]],
+                  title: str = "Sweep results") -> Table:
+    """The per-axis result table: one row per artifact, axes as columns."""
+    docs = list(docs)
+    axis_keys = sorted({k for d in docs for k in d["task"].get("axes", {})})
+    value_keys = sorted({k for d in docs for k in d.get("values", {})})
+    table = Table(["task", "probe", *axis_keys, "status", *value_keys],
+                  title=title, float_fmt="{:.4g}")
+    ordered = sorted(docs, key=lambda d: (
+        d["task"]["probe"],
+        tuple(str(d["task"].get("axes", {}).get(k, "")) for k in axis_keys),
+        d["task"]["id"]))
+    for doc in ordered:
+        task = doc["task"]
+        values = doc.get("values", {})
+        table.add_row([
+            task["id"][:8],
+            task["probe"],
+            *(task.get("axes", {}).get(k, "") for k in axis_keys),
+            doc.get("status", "?"),
+            *(values.get(k, "") for k in value_keys),
+        ])
+    return table

@@ -195,6 +195,53 @@ class TestResolveDragonfly:
             resolve_dragonfly(summit_spec().fabric_config())
 
 
+class TestGridExpanderEdgeCases:
+    """Edge cases the sweep grid expander leans on: composed variants must
+    survive JSON, and the serialized form must be byte-stable (task hashes
+    are content hashes of ``to_json``)."""
+
+    def test_scaled_then_degraded_round_trips(self):
+        spec = (frontier_spec().scaled(8, 4, 4)
+                .degraded(failed_links=(7, 2), failed_nodes=(1,)))
+        back = MachineSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.degradation.failed_links == (2, 7)
+
+    def test_degraded_then_scaled_drops_then_reapplies(self):
+        spec = (frontier_spec().degraded(failed_links=(5,))
+                .scaled(8, 4, 4).degraded(failed_nodes=(3,)))
+        back = MachineSpec.from_json(spec.to_json())
+        assert back == spec
+        assert back.degradation.failed_links == ()   # scaling dropped them
+        assert back.degradation.failed_nodes == (3,)
+
+    def test_double_round_trip_is_stable(self):
+        spec = frontier_spec().scaled(8, 4, 4).degraded(failed_links=(1,))
+        once = MachineSpec.from_json(spec.to_json())
+        twice = MachineSpec.from_json(once.to_json())
+        assert once.to_json() == twice.to_json() == spec.to_json()
+
+    def test_to_json_stable_across_dict_ordering(self):
+        """Shuffled document key order must not change the canonical form
+        (and therefore must not change a sweep task's content hash)."""
+        spec = frontier_spec().scaled(8, 4, 4).degraded(failed_links=(4, 2))
+        doc = json.loads(spec.to_json())
+
+        def shuffle(value):
+            if isinstance(value, dict):
+                return {k: shuffle(value[k]) for k in reversed(list(value))}
+            return value
+
+        reparsed = MachineSpec.from_dict(shuffle(doc))
+        assert reparsed == spec
+        assert reparsed.to_json() == spec.to_json()
+
+    def test_degradation_written_down_in_any_order_hashes_equal(self):
+        a = frontier_spec().degraded(failed_links=(9, 1, 5))
+        b = frontier_spec().degraded(failed_links=(5, 9, 1))
+        assert a.to_json() == b.to_json()
+
+
 class TestCompositionRootGuard:
     def test_no_layer_outside_core_and_fabric_defaults_the_fabric(self):
         """Downstream layers must get configs from the scenario funnel.

@@ -119,3 +119,82 @@ class TestSnapshot:
         assert snap["g"] == {"type": "gauge", "value": 7.0}
         assert snap["h"]["type"] == "histogram"
         assert snap["h"]["count"] == 1
+
+    def test_histogram_snapshot_carries_edges(self):
+        snap = Histogram("h", edges=(1.0, 2.0)).snapshot()
+        assert snap["edges"] == [1.0, 2.0]
+
+
+class TestMerge:
+    """Sweep workers ship snapshot dicts home; the parent folds them in."""
+
+    @staticmethod
+    def worker_registry(counter: float = 2.0) -> MetricsRegistry:
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("paths").inc(counter)
+        reg.gauge("depth").set(counter)
+        reg.histogram("util", edges=(0.5, 1.0)).observe_many(
+            [0.1, 0.7, counter])
+        return reg
+
+    def test_counters_add_across_workers(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.merge(self.worker_registry(2.0).snapshot())
+        parent.merge(self.worker_registry(3.0).snapshot())
+        assert parent.counter("paths").value == 5.0
+
+    def test_gauges_keep_latest_value(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.merge(self.worker_registry(2.0))
+        parent.merge(self.worker_registry(3.0))
+        assert parent.gauge("depth").value == 3.0
+
+    def test_histograms_combine_exactly(self):
+        merged = MetricsRegistry(enabled=True)
+        merged.merge(self.worker_registry(2.0))
+        merged.merge(self.worker_registry(9.0))
+        direct = Histogram("util", edges=(0.5, 1.0))
+        direct.observe_many([0.1, 0.7, 2.0, 0.1, 0.7, 9.0])
+        got = merged.histogram("util", edges=(0.5, 1.0)).snapshot()
+        want = direct.snapshot()
+        assert got.pop("sum") == pytest.approx(want.pop("sum"))
+        assert got.pop("mean") == pytest.approx(want.pop("mean"))
+        assert got == want
+
+    def test_merge_accepts_live_registry_or_snapshot(self):
+        a = MetricsRegistry(enabled=True)
+        b = MetricsRegistry(enabled=True)
+        a.merge(self.worker_registry())
+        b.merge(self.worker_registry().snapshot())
+        assert a.snapshot() == b.snapshot()
+
+    def test_merge_into_disabled_registry_raises(self):
+        with pytest.raises(RuntimeError, match="disabled"):
+            MetricsRegistry(enabled=False).merge(self.worker_registry())
+
+    def test_mismatched_histogram_edges_rejected(self):
+        parent = MetricsRegistry(enabled=True)
+        parent.histogram("util", edges=(0.5, 1.0)).observe(0.2)
+        other = MetricsRegistry(enabled=True)
+        other.histogram("util", edges=(10.0, 20.0)).observe(15.0)
+        with pytest.raises(ValueError, match="edges"):
+            parent.merge(other)
+
+    def test_unknown_instrument_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown instrument"):
+            MetricsRegistry(enabled=True).merge(
+                {"x": {"type": "sparkline", "value": 1.0}})
+
+    def test_unknown_bucket_label_rejected(self):
+        h = Histogram("util", edges=(0.5, 1.0))
+        with pytest.raises(ValueError, match="unknown bucket"):
+            h.merge_snapshot({"edges": [0.5, 1.0], "count": 1, "sum": 1.0,
+                              "min": 1.0, "max": 1.0,
+                              "buckets": {"le_99": 1}})
+
+    def test_empty_snapshot_merge_is_identity(self):
+        h = Histogram("util", edges=(0.5, 1.0))
+        h.observe(0.7)
+        before = h.snapshot()
+        h.merge_snapshot(Histogram("other", edges=(0.5, 1.0)).snapshot())
+        assert h.snapshot() == before

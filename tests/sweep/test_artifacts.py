@@ -1,0 +1,92 @@
+"""Artifact persistence: atomic writes, the trust gate, resume ledger."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
+                                   completed_ids, iter_artifacts,
+                                   load_artifact, write_artifact)
+
+
+def make_doc(task_id: str, status: str = "ok") -> dict:
+    doc = {
+        "schema": ARTIFACT_SCHEMA_VERSION,
+        "task": {"id": task_id, "probe": "storage", "seed": 1, "axes": {},
+                 "spec": {"name": "tiny"}},
+        "status": status,
+        "timing": {"wall_time_s": 0.01, "attempts": 1},
+        "metrics": {},
+    }
+    if status == "ok":
+        doc["values"] = {"x": 1.0}
+    else:
+        doc["error"] = {"type": "RuntimeError", "message": "boom"}
+    return doc
+
+
+class TestWriteLoad:
+    def test_round_trip(self, tmp_path):
+        doc = make_doc("aaaa000011112222")
+        path = write_artifact(str(tmp_path), doc)
+        assert path == artifact_path(str(tmp_path), "aaaa000011112222")
+        assert load_artifact(path) == doc
+
+    def test_nested_out_dir_created_on_demand(self, tmp_path):
+        out = str(tmp_path / "deep" / "nested" / "sweep")
+        path = write_artifact(out, make_doc("bbbb000011112222"))
+        assert os.path.exists(path)
+
+    def test_write_leaves_no_temp_files(self, tmp_path):
+        write_artifact(str(tmp_path), make_doc("cccc000011112222"))
+        assert os.listdir(str(tmp_path)) == ["cccc000011112222.json"]
+
+
+class TestTrustGate:
+    def test_missing_file(self, tmp_path):
+        assert load_artifact(str(tmp_path / "nope.json")) is None
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "dddd000011112222.json"
+        path.write_text('{"schema": 1, "task":')
+        assert load_artifact(str(path)) is None
+
+    def test_wrong_schema(self, tmp_path):
+        doc = make_doc("eeee000011112222")
+        doc["schema"] = 99
+        path = tmp_path / "eeee000011112222.json"
+        path.write_text(json.dumps(doc))
+        assert load_artifact(str(path)) is None
+
+    def test_non_dict_document(self, tmp_path):
+        path = tmp_path / "ffff000011112222.json"
+        path.write_text('["not", "an", "artifact"]')
+        assert load_artifact(str(path)) is None
+
+    def test_filename_id_mismatch(self, tmp_path):
+        path = tmp_path / "1111000011112222.json"
+        path.write_text(json.dumps(make_doc("2222000011112222")))
+        assert load_artifact(str(path)) is None
+
+
+class TestLedger:
+    def test_completed_ids_counts_ok_only(self, tmp_path):
+        out = str(tmp_path)
+        write_artifact(out, make_doc("aaaa000011112222", status="ok"))
+        write_artifact(out, make_doc("bbbb000011112222", status="error"))
+        (tmp_path / "junk.json").write_text("{not json")
+        (tmp_path / "notes.txt").write_text("ignored")
+        assert completed_ids(out) == {"aaaa000011112222"}
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert completed_ids(str(tmp_path / "never")) == set()
+        assert list(iter_artifacts(str(tmp_path / "never"))) == []
+
+    def test_iter_artifacts_sorted_by_id(self, tmp_path):
+        out = str(tmp_path)
+        for tid in ("cccc000011112222", "aaaa000011112222",
+                    "bbbb000011112222"):
+            write_artifact(out, make_doc(tid))
+        ids = [doc["task"]["id"] for doc in iter_artifacts(out)]
+        assert ids == sorted(ids)

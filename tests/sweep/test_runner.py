@@ -1,0 +1,219 @@
+"""Sweep execution: artifacts, resume, retries, timeouts, metrics merge.
+
+Pool tests go through real worker processes (fork is cheap on Linux);
+fault injection uses the ``failing``/``flaky``/``sleepy`` probes from
+:mod:`repro.sweep.probes` because monkeypatching does not survive the
+process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.core.scenario import frontier_spec
+from repro.sweep import (SweepConfig, SweepPlan, execute_task, results_table,
+                         run_sweep)
+from repro.sweep.artifacts import artifact_path
+
+SMALL = frontier_spec().scaled(6, 4, 4)
+
+
+def storage_plan(n_tasks: int = 3) -> SweepPlan:
+    """A plan of fast, pure-accounting tasks (no fabric simulation)."""
+    return SweepPlan.grid(SMALL,
+                          {"disabled_nodes": tuple(range(n_tasks))},
+                          probes=("storage",))
+
+
+def inline(out_dir, **kw) -> SweepConfig:
+    kw.setdefault("workers", 0)
+    kw.setdefault("backoff_s", 0.0)
+    return SweepConfig(out_dir=str(out_dir), **kw)
+
+
+class TestExecuteTask:
+    def test_ok_document(self):
+        task = storage_plan(1).tasks[0]
+        doc = execute_task(task, isolate_obs=False)
+        assert doc["status"] == "ok"
+        assert doc["task"]["id"] == task.task_id
+        assert doc["values"] and all(
+            isinstance(v, float) for v in doc["values"].values())
+        assert doc["timing"]["attempts"] == 1
+        assert doc["metrics"] == {}   # inline: parent registry untouched
+
+    def test_error_document_is_structured(self):
+        task = SweepPlan.grid(SMALL, {}, probes=("failing",)).tasks[0]
+        doc = execute_task(task, attempt=2, isolate_obs=False)
+        assert doc["status"] == "error"
+        assert doc["error"]["type"] == "RuntimeError"
+        assert "injected sweep failure" in doc["error"]["message"]
+        assert "probe_failing" in doc["error"]["traceback"]
+        assert doc["timing"]["attempts"] == 2
+
+    def test_never_raises_and_is_json_safe(self):
+        task = SweepPlan.grid(SMALL, {}, probes=("failing",)).tasks[0]
+        json.dumps(execute_task(task, isolate_obs=False))
+
+
+class TestInlineSweep:
+    def test_one_artifact_per_task(self, tmp_path):
+        plan = storage_plan(3)
+        summary = run_sweep(plan, inline(tmp_path))
+        assert summary.planned == summary.run == 3
+        assert summary.skipped == summary.failed == 0
+        assert sorted(summary.artifacts) == sorted(plan.task_ids())
+        for tid in plan.task_ids():
+            assert os.path.exists(artifact_path(str(tmp_path), tid))
+        assert all(d["status"] == "ok" for d in summary.artifacts.values())
+
+    def test_resume_skips_completed(self, tmp_path):
+        plan = storage_plan(3)
+        run_sweep(plan, inline(tmp_path))
+        again = run_sweep(plan, inline(tmp_path))
+        assert again.skipped == 3
+        assert again.run == 0
+        # resumed artifacts still feed the summary/report
+        assert sorted(again.artifacts) == sorted(plan.task_ids())
+
+    def test_fresh_reruns_completed(self, tmp_path):
+        plan = storage_plan(2)
+        run_sweep(plan, inline(tmp_path))
+        again = run_sweep(plan, inline(tmp_path, resume=False))
+        assert again.run == 2
+        assert again.skipped == 0
+
+    def test_partial_resume_runs_only_the_gap(self, tmp_path):
+        plan = storage_plan(3)
+        run_sweep(SweepPlan(tasks=plan.tasks[:1]), inline(tmp_path))
+        summary = run_sweep(plan, inline(tmp_path))
+        assert summary.skipped == 1
+        assert summary.run == 2
+
+    def test_error_artifacts_are_retried_on_resume(self, tmp_path):
+        plan = SweepPlan.grid(SMALL, {}, probes=("failing",))
+        first = run_sweep(plan, inline(tmp_path, retries=0))
+        assert first.failed == 1
+        again = run_sweep(plan, inline(tmp_path, retries=0))
+        assert again.skipped == 0   # an error artifact is not "completed"
+        assert again.run == 1
+
+    def test_two_fresh_runs_identical_modulo_timing(self, tmp_path):
+        plan = storage_plan(2)
+        a = run_sweep(plan, inline(tmp_path / "a"))
+        b = run_sweep(plan, inline(tmp_path / "b"))
+
+        def stripped(summary):
+            return {tid: {k: v for k, v in doc.items() if k != "timing"}
+                    for tid, doc in summary.artifacts.items()}
+
+        assert stripped(a) == stripped(b)
+
+    def test_failure_does_not_abort_the_sweep(self, tmp_path):
+        plan = SweepPlan.grid(SMALL, {}, probes=("failing", "storage"))
+        summary = run_sweep(plan, inline(tmp_path, retries=1))
+        assert summary.run == 2
+        assert summary.failed == 1
+        assert summary.retried == 1   # the failing task burned its retry
+        by_probe = {d["task"]["probe"]: d for d in summary.artifacts.values()}
+        assert by_probe["storage"]["status"] == "ok"
+        assert by_probe["failing"]["status"] == "error"
+        assert by_probe["failing"]["timing"]["attempts"] == 2
+
+    def test_flaky_task_recovers_on_retry(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_FLAKY_DIR", str(tmp_path))
+        plan = SweepPlan.grid(SMALL, {}, probes=("flaky",))
+        summary = run_sweep(plan, inline(tmp_path / "out", retries=1))
+        assert summary.failed == 0
+        assert summary.retried == 1
+        doc = next(iter(summary.artifacts.values()))
+        assert doc["status"] == "ok"
+        assert doc["values"]["recovered"] == 1.0
+        assert doc["timing"]["attempts"] == 2
+
+    def test_progress_callback_sees_every_task(self, tmp_path):
+        lines: list[str] = []
+        run_sweep(storage_plan(2), inline(tmp_path), progress=lines.append)
+        assert sum(1 for line in lines if line.startswith("done ")) == 2
+
+
+class TestPoolSweep:
+    def test_workers_produce_artifacts_and_merged_metrics(self, tmp_path):
+        plan = SweepPlan.grid(frontier_spec(),
+                              {"scale": (0.1,),
+                               "routing": ("minimal", "ugal")},
+                              probes=("mpigraph",))
+        config = SweepConfig(out_dir=str(tmp_path), workers=2, backoff_s=0.0)
+        summary = run_sweep(plan, config)
+        assert summary.run == 2
+        assert summary.failed == 0
+        for doc in summary.artifacts.values():
+            assert doc["status"] == "ok"
+            assert doc["values"]["min_gbs"] > 0
+            assert doc["metrics"]   # worker-isolated registry snapshot
+        # the per-worker snapshots were folded into one registry
+        assert summary.metrics.names()
+
+    def test_pool_resume_round_trip(self, tmp_path):
+        plan = storage_plan(3)
+        config = SweepConfig(out_dir=str(tmp_path), workers=2, backoff_s=0.0)
+        first = run_sweep(plan, config)
+        assert first.run == 3
+        again = run_sweep(plan, config)
+        assert again.skipped == 3
+        assert again.run == 0
+
+    def test_pool_failure_is_retried_then_recorded(self, tmp_path):
+        plan = SweepPlan.grid(SMALL, {}, probes=("failing", "storage"))
+        config = SweepConfig(out_dir=str(tmp_path), workers=2, retries=1,
+                             backoff_s=0.0)
+        summary = run_sweep(plan, config)
+        assert summary.run == 2
+        assert summary.failed == 1
+        assert summary.retried == 1
+        by_probe = {d["task"]["probe"]: d for d in summary.artifacts.values()}
+        assert by_probe["failing"]["status"] == "error"
+        assert by_probe["failing"]["error"]["type"] == "RuntimeError"
+        assert by_probe["storage"]["status"] == "ok"
+
+    def test_timeout_abandons_the_task(self, tmp_path, monkeypatch):
+        # Keep the sleep short: abandoned workers are still joined when
+        # the interpreter exits.
+        monkeypatch.setenv("REPRO_SWEEP_SLEEP_S", "1.2")
+        plan = SweepPlan.grid(SMALL, {}, probes=("sleepy",))
+        config = SweepConfig(out_dir=str(tmp_path), workers=1,
+                             timeout_s=0.25, retries=0, backoff_s=0.0)
+        summary = run_sweep(plan, config)
+        assert summary.timed_out == 1
+        assert summary.failed == 1
+        doc = next(iter(summary.artifacts.values()))
+        assert doc["status"] == "error"
+        assert doc["error"]["type"] == "TimeoutError"
+        assert "--timeout" in doc["error"]["message"]
+
+
+class TestReporting:
+    def test_counts_line(self, tmp_path):
+        summary = run_sweep(storage_plan(2), inline(tmp_path))
+        assert summary.counts_line() == \
+            "planned: 2 | run: 2 | skipped: 0 | retried: 0 | failed: 0"
+
+    def test_results_table_axes_as_columns(self, tmp_path):
+        plan = SweepPlan.grid(SMALL, {"disabled_nodes": (0, 2)},
+                              probes=("storage", "failing"))
+        summary = run_sweep(plan, inline(tmp_path, retries=0))
+        rendered = results_table(summary.artifacts.values()).render()
+        assert "disabled_nodes" in rendered
+        assert "burst_time_s" in rendered
+        assert "error" in rendered and "ok" in rendered
+        # one row per artifact
+        assert rendered.count("storage") == 2
+        assert rendered.count("failing") == 2
+
+    def test_ok_artifacts_filters_errors(self, tmp_path):
+        plan = SweepPlan.grid(SMALL, {}, probes=("storage", "failing"))
+        summary = run_sweep(plan, inline(tmp_path, retries=0))
+        ok = summary.ok_artifacts()
+        assert len(ok) == 1
+        assert ok[0]["task"]["probe"] == "storage"

@@ -1,10 +1,12 @@
 """CLI tests (python -m repro)."""
 
 import json
+import re
+from pathlib import Path
 
 import pytest
 
-from repro.__main__ import COMMANDS, main
+from repro.__main__ import COMMANDS, build_parser, main
 
 
 class TestCommands:
@@ -148,3 +150,84 @@ class TestScenarioVerbs:
         out = capsys.readouterr().out
         assert "analytic" in out
         assert "frontier" in out
+
+
+class TestSweepVerb:
+    """python -m repro sweep (see repro.sweep)."""
+
+    @staticmethod
+    def args(tmp_path, *extra):
+        return ["sweep", "--axis", "disabled_nodes=0,1", "--probe",
+                "storage", "--workers", "0", "--backoff", "0",
+                "--out", str(tmp_path), *extra]
+
+    def test_sweep_runs_then_resumes(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "run: 2" in out and "skipped: 0" in out
+        assert "disabled_nodes" in out            # axes become table columns
+        assert len(list(tmp_path.glob("*.json"))) == 2
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "run: 0" in out and "skipped: 2" in out
+
+    def test_fresh_reruns(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path, "--fresh")) == 0
+        assert "run: 2" in capsys.readouterr().out
+
+    def test_list_prints_grid_without_running(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--list")) == 0
+        assert "2 tasks" in capsys.readouterr().out
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_malformed_axis_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["sweep", "--axis", "scale", "--workers", "0",
+                     "--out", str(tmp_path)]) == 2
+        assert "key=v1,v2" in capsys.readouterr().err
+
+    def test_unknown_probe_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["sweep", "--probe", "frobnicate", "--workers", "0",
+                     "--out", str(tmp_path)]) == 2
+        assert "unknown sweep probes" in capsys.readouterr().err
+
+    def test_every_task_failing_is_a_hard_error(self, tmp_path, capsys):
+        assert main(["sweep", "--probe", "failing", "--workers", "0",
+                     "--retries", "0", "--backoff", "0",
+                     "--out", str(tmp_path)]) == 1
+        assert "failed: 1" in capsys.readouterr().out
+
+
+class TestVerbDocumentation:
+    """Every registered verb must be documented (the tables drift
+    otherwise: this is the sync contract named in ``repro.__main__``)."""
+
+    @staticmethod
+    def registered_verbs() -> set:
+        subparsers = build_parser()._subparsers._group_actions[0]
+        return set(subparsers.choices)
+
+    def test_parser_covers_the_command_registry(self):
+        assert set(COMMANDS) <= self.registered_verbs()
+
+    def test_every_verb_in_module_docstring(self):
+        import repro.__main__ as cli
+        missing = [v for v in self.registered_verbs()
+                   if f"``{v}``" not in cli.__doc__]
+        assert missing == []
+
+    def test_every_verb_in_readme(self):
+        readme = (Path(__file__).resolve().parents[1] / "README.md")
+        text = readme.read_text()
+        documented = set()
+        for match in re.finditer(r"python -m repro\s+(\{[^}]*\}|[a-z_]+)",
+                                 text):
+            token = match.group(1)
+            if token.startswith("{"):
+                documented.update(
+                    v.strip() for v in token[1:-1].replace("\n", "")
+                    .split(","))
+            else:
+                documented.add(token)
+        missing = self.registered_verbs() - documented
+        assert missing == set()

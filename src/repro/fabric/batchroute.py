@@ -1,0 +1,578 @@
+"""Vectorised batch routing engine over the fabric topologies.
+
+The scalar routers (:mod:`repro.fabric.routing`) plan one flow at a time
+through Python dict lookups — fine for latency probes, ruinous for
+full-machine traffic phases where every endpoint injects simultaneously.
+This module plans a whole phase at once on the flat-array topology views
+(:class:`repro.fabric.topology.TopologyArrays`):
+
+* pairs are classified local / inter-group with array ops, and edge links
+  are gathered in bulk;
+* gateway selection is *sequential-equivalent*: the scalar router picks
+  the least-loaded surviving global link (ties to insertion order) and
+  immediately charges the chosen path, so later picks see earlier ones.
+  Registered batch picks reproduce that exactly with a grouped
+  water-filling argsort — for each ordered group pair the sequence of
+  sequential picks is the lexicographically smallest ``k`` elements of
+  the multiset ``{(load[c] + s, c) : s >= 0}`` — which is exact because
+  an L2 link's load is only ever changed by flows routed through its own
+  ordered group pair;
+* the UGAL minimal-vs-Valiant decision runs in *chunked rounds*: within
+  a chunk, decisions see the load snapshot at round start (gateway links
+  see their water-filled pick-time load), and the chosen paths are
+  charged in one ``bincount`` before the next round.  ``chunk=1``
+  reproduces the scalar router's sequential semantics exactly and is the
+  equivalence oracle used by the tests; larger chunks trade load-feedback
+  staleness for throughput.  Minimal and Valiant policies have no
+  cross-pair decision feedback, so their batch paths match the scalar
+  router's at *any* chunk size;
+* Valiant intermediate groups consume the router RNG flow-by-flow in
+  scalar call order, so the RNG stream stays aligned with the scalar
+  router across chunk sizes.
+
+Failed links are honoured the same way the scalar router honours them:
+gateway candidates are filtered per ordered group pair, minimal routing
+fails over to Valiant when a bundle is fully down, and intra-group
+segments detour through an intermediate switch.  One deliberate
+divergence: the scalar router retries *other* intermediate groups when an
+intra-group segment inside a Valiant detour is disconnected (only
+possible when a group's L1 mesh is partitioned); the batch engine raises
+instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import obs
+from repro.errors import RoutingError, TopologyError
+
+__all__ = ["BatchPaths", "DEFAULT_BATCH_CHUNK", "auto_chunk"]
+
+#: Default UGAL round size for explicit callers: small enough that
+#: adaptive decisions see reasonably fresh loads, large enough to
+#: amortise the array ops.
+DEFAULT_BATCH_CHUNK = 64
+
+
+def auto_chunk(n_flows: int) -> int:
+    """Adaptive UGAL round size: ~8 feedback rounds per phase.
+
+    Small phases keep near-sequential load feedback (a 128-flow ablation
+    run gets chunk 16); machine-scale phases amortise the array ops
+    (2,048 flows get chunk 256), capped so feedback never goes fully
+    stale.
+    """
+    return min(512, max(16, n_flows // 8))
+
+# Column layout of the fixed-width path matrix (-1 = unused slot).  A
+# row read left to right, skipping -1, is the flow's link-index path:
+# [up edge | segment a | global 1 | mid segment | global 2 | segment b | down edge]
+_W = 10
+_UP, _SEG_A, _GL1, _SEG_M, _GL2, _SEG_B, _DOWN = 0, 1, 3, 4, 6, 7, 9
+
+#: Sentinel load for padded gateway-table slots; far above any real count.
+_PAD_LOAD = np.int64(1) << 40
+
+
+class BatchPaths:
+    """An immutable CSR set of flow paths.
+
+    Flow ``f`` traverses ``indices[indptr[f]:indptr[f + 1]]`` in order.
+    This is the zero-copy interchange format between the batch planners,
+    :func:`repro.fabric.maxmin.maxmin_allocate` (which builds its sparse
+    incidence straight from these arrays), and the load tracker.
+    """
+
+    __slots__ = ("indices", "indptr")
+
+    def __init__(self, indices: np.ndarray, indptr: np.ndarray):
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+
+    @classmethod
+    def from_matrix(cls, matrix: np.ndarray) -> "BatchPaths":
+        """Compress a fixed-width path matrix (-1 padded) to CSR."""
+        valid = matrix >= 0
+        return cls(matrix[valid], np.concatenate(
+            ([0], np.cumsum(valid.sum(axis=1)))))
+
+    def __len__(self) -> int:
+        return len(self.indptr) - 1
+
+    def lengths(self) -> np.ndarray:
+        """Per-flow hop counts."""
+        return np.diff(self.indptr)
+
+    def path(self, flow: int) -> list[int]:
+        """Flow ``flow``'s path as a plain link-index list."""
+        return self.indices[self.indptr[flow]:self.indptr[flow + 1]].tolist()
+
+    def to_lists(self) -> list[list[int]]:
+        """Every path as a list of lists (test/debug convenience)."""
+        return [self.path(f) for f in range(len(self))]
+
+
+def _as_pair_arrays(pairs) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise ``[(src, dst), ...]`` or an ``(n, 2)`` array to columns."""
+    arr = np.asarray(pairs, dtype=np.int64)
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise RoutingError("pairs must be a sequence of (src, dst) tuples")
+    return np.ascontiguousarray(arr[:, 0]), np.ascontiguousarray(arr[:, 1])
+
+
+def _check_endpoints(flat, eps: np.ndarray) -> None:
+    if eps.size == 0:
+        return
+    n = len(flat.endpoint_switch)
+    bad = (eps < 0) | (eps >= n)
+    if not bad.any():
+        bad = flat.endpoint_switch[eps] < 0
+    if bad.any():
+        raise TopologyError(
+            f"unknown endpoint {int(eps[np.flatnonzero(bad)[0]])}")
+
+
+def _grouped_waterfill(table: np.ndarray, loads: np.ndarray, pid: np.ndarray,
+                       order: np.ndarray, sequential: bool
+                       ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sequential-equivalent least-loaded picks for one chunk of requests.
+
+    ``table`` is a padded ``(n_pids, m)`` candidate-link table, ``loads``
+    the per-link load snapshot, ``pid`` the candidate-row id per request,
+    and ``order`` the global flow order (requests of one pid are served
+    in ascending ``order``).  Returns, aligned with the request arrays:
+    the picked candidate column, the pick-time implied load, and the
+    picked link index.  ``sequential=False`` (unregistered queries) gives
+    every request the plain snapshot argmin, matching a scalar router
+    that never charges the load tracker.
+    """
+    sort = np.lexsort((order, pid))
+    spid = pid[sort]
+    starts = np.empty(len(spid), dtype=bool)
+    starts[0], starts[1:] = True, spid[1:] != spid[:-1]
+    grp = np.cumsum(starts) - 1
+    rank = np.arange(len(spid)) - np.flatnonzero(starts)[grp]
+    if not sequential:
+        rank = np.zeros_like(rank)
+    upid = spid[starts]
+
+    links = table[upid]                                   # (p, m)
+    m = links.shape[1]
+    cand_loads = np.where(links >= 0,
+                          loads[np.clip(links, 0, None)], _PAD_LOAD)
+    k_max = int(rank.max()) + 1
+    # The t-th sequential pick of a row is the t-th lexicographically
+    # smallest (load + s, candidate) over s in [0, k_max).
+    key = (cand_loads[:, :, None] + np.arange(k_max)[None, None, :]) * m \
+        + np.arange(m)[None, :, None]
+    flat_key = key.reshape(len(upid), m * k_max)
+    picks = np.argsort(flat_key, axis=1)[:, :k_max]       # (p, k_max)
+    cand = picks // k_max
+    implied = np.take_along_axis(flat_key, picks, axis=1) // m
+
+    cand_req = cand[grp, rank]
+    out_cand = np.empty_like(cand_req)
+    out_cand[sort] = cand_req
+    out_implied = np.empty(len(pid), dtype=np.int64)
+    out_implied[sort] = implied[grp, rank]
+    out_link = np.empty(len(pid), dtype=np.int64)
+    out_link[sort] = table[spid, cand_req]
+    return out_cand, out_implied, out_link
+
+
+class DragonflyBatchState:
+    """Static planning tables for one (topology, disabled-set) epoch.
+
+    Everything here depends only on the materialised topology and the
+    router's failed-link set — not on loads — so the router caches one
+    instance until :meth:`Router.disable_link` / :meth:`enable_link`
+    invalidates it.
+    """
+
+    def __init__(self, topo, config, gateways: dict, disabled: set[int]):
+        self.topo = topo
+        self.flat = topo.flat
+        self.config = config
+        self.disabled_mask = np.zeros(topo.n_links, dtype=bool)
+        if disabled:
+            self.disabled_mask[np.fromiter(disabled, dtype=np.int64,
+                                           count=len(disabled))] = True
+
+        G = config.groups
+        self.n_groups = G
+        surviving: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        width = 1
+        for pair, cands in gateways.items():
+            alive = [c for c in cands if c[0] not in disabled]
+            if alive:
+                surviving[pair] = alive
+                width = max(width, len(alive))
+        #: padded per-ordered-pair gateway tables, indexed by ga * G + gb
+        self.gw_link = np.full((G * G, width), -1, dtype=np.int64)
+        self.gw_src = np.full((G * G, width), -1, dtype=np.int64)
+        self.gw_dst = np.full((G * G, width), -1, dtype=np.int64)
+        self.pair_ok = np.zeros((G, G), dtype=bool)
+        for (ga, gb), alive in surviving.items():
+            row = ga * G + gb
+            for col, (link, sa, sb) in enumerate(alive):
+                self.gw_link[row, col] = link
+                self.gw_src[row, col] = sa
+                self.gw_dst[row, col] = sb
+            self.pair_ok[ga, gb] = True
+
+        off_diag = ~np.eye(G, dtype=bool)
+        #: no failures anywhere: every Valiant mid is feasible, skip checks
+        self.all_ok = not disabled and bool(self.pair_ok[off_diag].all())
+        self._segments: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    # -- intra-group switch segments ------------------------------------
+
+    def segment_cols(self, frm: np.ndarray, to: np.ndarray) -> np.ndarray:
+        """(n, 2) link-index columns for intra-group segments (-1 padded)."""
+        out = np.full((len(frm), 2), -1, dtype=np.int64)
+        idx = np.flatnonzero(frm != to)
+        if idx.size == 0:
+            return out
+        direct = self.flat.sw_link[frm[idx], to[idx]].astype(np.int64)
+        good = (direct >= 0) & ~self.disabled_mask[np.clip(direct, 0, None)]
+        out[idx[good], 0] = direct[good]
+        for i in idx[~good]:
+            seg = self._segment_detour(int(frm[i]), int(to[i]))
+            out[i, :len(seg)] = seg
+        return out
+
+    def _segment_detour(self, sw_from: int, sw_to: int) -> tuple[int, ...]:
+        """Two-hop detour around a failed direct cable (memoized)."""
+        key = (sw_from, sw_to)
+        seg = self._segments.get(key)
+        if seg is None:
+            seg = self._compute_detour(sw_from, sw_to)
+            self._segments[key] = seg
+        return seg
+
+    def _compute_detour(self, sw_from: int, sw_to: int) -> tuple[int, ...]:
+        # Mirrors Router._switch_segment: first live intermediate switch
+        # in ascending order within the group.
+        def live(a: int, b: int) -> int | None:
+            link = self.flat.sw_link[a, b]
+            if link >= 0 and not self.disabled_mask[link]:
+                return int(link)
+            return None
+
+        group = int(self.flat.switch_group[sw_from])
+        for mid in self.topo.switches_in_group(group):
+            if mid in (sw_from, sw_to):
+                continue
+            first, second = live(sw_from, mid), live(mid, sw_to)
+            if first is not None and second is not None:
+                obs.counter("fabric.batch_route.segment_fallbacks").inc()
+                return (first, second)
+        raise RoutingError(f"switches {sw_from} and {sw_to} are disconnected")
+
+
+def plan_dragonfly(router, state: DragonflyBatchState, pairs, *,
+                   chunk: int, register: bool = True) -> BatchPaths:
+    """Plan every flow of a traffic phase on a dragonfly (see module doc)."""
+    from repro.fabric.routing import RoutingPolicy
+
+    src, dst = _as_pair_arrays(pairs)
+    n = len(src)
+    flat, config = state.flat, state.config
+    _check_endpoints(flat, src)
+    _check_endpoints(flat, dst)
+    if (src == dst).any():
+        raise RoutingError("source and destination endpoints coincide")
+    if n == 0:
+        return BatchPaths(np.empty(0, np.int64), np.zeros(1, np.int64))
+
+    sw_s = flat.endpoint_switch[src]
+    sw_d = flat.endpoint_switch[dst]
+    g_s = flat.switch_group[sw_s]
+    g_d = flat.switch_group[sw_d]
+    up = flat.ep_up_link[src]
+    down = flat.ep_down_link[dst]
+    if (up < 0).any() or (down < 0).any():
+        raise RoutingError("an endpoint has no edge link")
+    edge_dead = state.disabled_mask[up] | state.disabled_mask[down]
+    if edge_dead.any():
+        f = int(np.flatnonzero(edge_dead)[0])
+        raise RoutingError(
+            f"edge link of endpoint pair ({int(src[f])}, {int(dst[f])}) "
+            "is failed")
+
+    policy = router.policy
+    counts = router._load.counts
+    G = config.groups
+    val_is_min = G <= 2          # no intermediate groups: Valiant == minimal
+
+    M = np.full((n, _W), -1, dtype=np.int64)
+    M[:, _UP] = up
+    M[:, _DOWN] = down
+    local = g_s == g_d
+    li = np.flatnonzero(local)
+    if li.size:
+        # Local paths are load-independent: fill all rows up front; they
+        # still register chunk-by-chunk, interleaved with inter-group
+        # flows, so adaptive decisions see them in scalar order.
+        M[li, _SEG_A:_SEG_A + 2] = state.segment_cols(sw_s[li], sw_d[li])
+
+    n_routed = {"local": int(li.size), "minimal": 0, "valiant": 0,
+                "ugal_minimal": 0, "ugal_diverted": 0, "failover_valiant": 0}
+
+    n_chunks = 0
+    for lo in range(0, n, chunk):
+        sl = slice(lo, min(lo + chunk, n))
+        n_chunks += 1
+        ii = lo + np.flatnonzero(~local[sl])
+        if ii.size:
+            _plan_inter_chunk(router, state, M, ii, sw_s, sw_d, g_s, g_d,
+                              counts, policy, val_is_min, register,
+                              n_routed)
+        if register:
+            block = M[sl]
+            router._load.add_paths(block[block >= 0])
+
+    paths = BatchPaths.from_matrix(M)
+    state.topo.validate_paths(paths.indices, paths.indptr)
+    if state.disabled_mask[paths.indices].any():  # pragma: no cover - guard
+        raise RoutingError("internal: selected path crosses a failed link")
+
+    if policy is RoutingPolicy.UGAL:
+        keys = ("local", "ugal_minimal", "ugal_diverted", "failover_valiant")
+    elif policy is RoutingPolicy.VALIANT:
+        keys = ("local", "valiant", "failover_valiant")
+    else:
+        keys = ("local", "minimal", "failover_valiant")
+    for key in keys:
+        if n_routed[key]:
+            obs.counter(f"fabric.routes.{key}").inc(n_routed[key])
+    obs.counter("fabric.batch_route.flows").inc(n)
+    obs.counter("fabric.batch_route.chunks").inc(n_chunks)
+    return paths
+
+
+def _plan_inter_chunk(router, state: DragonflyBatchState, M: np.ndarray,
+                      ii: np.ndarray, sw_s, sw_d, g_s, g_d, counts,
+                      policy, val_is_min: bool, register: bool,
+                      n_routed: dict) -> None:
+    """Plan one chunk's inter-group flows into rows ``ii`` of ``M``."""
+    from repro.fabric.routing import RoutingPolicy
+
+    G = state.n_groups
+    gs, gd = g_s[ii], g_d[ii]
+    feas = state.pair_ok[gs, gd]
+    if val_is_min and not feas.all():
+        a, b = (int(x) for x in (gs[~feas][0], gd[~feas][0]))
+        raise RoutingError(
+            f"groups {a} and {b} have no surviving direct links")
+
+    # Which flows need which candidate?  The scalar router's throwaway
+    # minimal computation under the VALIANT policy is pure (no load or
+    # RNG effect), so it is skipped here.
+    if policy is RoutingPolicy.VALIANT and not val_is_min:
+        need_min = np.zeros(len(ii), dtype=bool)
+    else:
+        need_min = feas
+    if val_is_min:
+        need_val = np.zeros(len(ii), dtype=bool)
+    elif policy is RoutingPolicy.MINIMAL:
+        need_val = ~feas
+    else:
+        need_val = np.ones(len(ii), dtype=bool)
+
+    # Valiant intermediate groups: Router._valiant_path draws one
+    # rng.random() per flow and rotates from that start; rng.random(k)
+    # consumes the identical stream, so one vectorised draw per chunk
+    # keeps batch and scalar RNG-aligned at every chunk size.
+    vi = np.flatnonzero(need_val)
+    mids = np.empty(len(vi), dtype=np.int64)
+    if len(vi):
+        m = G - 2
+        start = (router.rng.random(len(vi)) * m).astype(np.int64)
+        lo = np.minimum(gs[vi], gd[vi])
+        hi = np.maximum(gs[vi], gd[vi])
+        # position -> group id over range(G) minus the two excluded ids
+        mids = start + (start >= lo)
+        mids += mids >= hi
+        if not state.all_ok:
+            ok = state.pair_ok[gs[vi], mids] & state.pair_ok[mids, gd[vi]]
+            for slot in np.flatnonzero(~ok):
+                a, b = int(gs[vi[slot]]), int(gd[vi[slot]])
+                for t in range(1, m):
+                    p = (int(start[slot]) + t) % m
+                    g_mid = p + (p >= lo[slot])
+                    g_mid += g_mid >= hi[slot]
+                    if state.pair_ok[a, g_mid] and state.pair_ok[g_mid, b]:
+                        mids[slot] = g_mid
+                        break
+                else:
+                    raise RoutingError(
+                        f"no surviving route from group {a} to {b}")
+
+    # Gateway picks for all three request streams in one water-fill.
+    mi = np.flatnonzero(need_min)
+    nm, nv = len(mi), len(vi)
+    pid = np.concatenate((gs[mi] * G + gd[mi],
+                          gs[vi] * G + mids,
+                          mids * G + gd[vi]))
+    order = np.concatenate((ii[mi], ii[vi], ii[vi]))
+    cand, implied, _link = _grouped_waterfill(
+        state.gw_link, counts, pid, order, sequential=register)
+    gl = state.gw_link[pid, cand]
+    gw_a = state.gw_src[pid, cand]
+    gw_b = state.gw_dst[pid, cand]
+
+    rows_min = rows_val = None
+    if nm:
+        rows_min = np.full((nm, _W), -1, dtype=np.int64)
+        sel = ii[mi]
+        rows_min[:, _UP] = M[sel, _UP]
+        rows_min[:, _SEG_A:_SEG_A + 2] = state.segment_cols(sw_s[sel],
+                                                            gw_a[:nm])
+        rows_min[:, _GL1] = gl[:nm]
+        rows_min[:, _SEG_B:_SEG_B + 2] = state.segment_cols(gw_b[:nm],
+                                                            sw_d[sel])
+        rows_min[:, _DOWN] = M[sel, _DOWN]
+    if nv:
+        rows_val = np.full((nv, _W), -1, dtype=np.int64)
+        sel = ii[vi]
+        l1, l2 = gl[nm:nm + nv], gl[nm + nv:]
+        rows_val[:, _UP] = M[sel, _UP]
+        rows_val[:, _SEG_A:_SEG_A + 2] = state.segment_cols(sw_s[sel],
+                                                            gw_a[nm:nm + nv])
+        rows_val[:, _GL1] = l1
+        rows_val[:, _SEG_M:_SEG_M + 2] = state.segment_cols(gw_b[nm:nm + nv],
+                                                            gw_a[nm + nv:])
+        rows_val[:, _GL2] = l2
+        rows_val[:, _SEG_B:_SEG_B + 2] = state.segment_cols(gw_b[nm + nv:],
+                                                            sw_d[sel])
+        rows_val[:, _DOWN] = M[sel, _DOWN]
+
+    failover = int((~feas).sum())
+    if policy is RoutingPolicy.MINIMAL or val_is_min:
+        if nm:
+            M[ii[mi]] = rows_min
+        if nv:
+            M[ii[vi]] = rows_val
+        if policy is RoutingPolicy.MINIMAL:
+            n_routed["minimal"] += nm
+        elif policy is RoutingPolicy.VALIANT:
+            n_routed["valiant"] += nm
+        else:
+            n_routed["ugal_minimal"] += nm
+        n_routed["failover_valiant"] += failover
+        return
+
+    if policy is RoutingPolicy.VALIANT:
+        M[ii[vi]] = rows_val
+        n_routed["valiant"] += int(feas.sum())
+        n_routed["failover_valiant"] += failover
+        return
+
+    # UGAL: compare the most-loaded link of each candidate.  Gateway
+    # columns use their water-filled pick-time load; every other link
+    # uses the round-start snapshot.  At chunk=1 both equal the live
+    # counts, reproducing the scalar decision exactly.
+    if nm == 0:
+        M[ii] = rows_val
+        n_routed["failover_valiant"] += failover
+        return
+    min_loads = np.where(rows_min >= 0,
+                         counts[np.clip(rows_min, 0, None)], -1)
+    min_loads[:, _GL1] = implied[:nm]
+    min_load = min_loads.max(axis=1)
+    val_loads = np.where(rows_val >= 0,
+                         counts[np.clip(rows_val, 0, None)], -1)
+    val_loads[:, _GL1] = implied[nm:nm + nv]
+    val_loads[:, _GL2] = implied[nm + nv:]
+    val_load = val_loads.max(axis=1)
+
+    # need_val is all-ones for UGAL, so valiant rows align with ii.
+    take_min = min_load <= 2 * val_load[mi] + 1
+    M[ii[mi[take_min]]] = rows_min[take_min]
+    M[ii[mi[~take_min]]] = rows_val[mi[~take_min]]
+    infeasible = np.flatnonzero(~feas)
+    M[ii[infeasible]] = rows_val[infeasible]
+    n_routed["ugal_minimal"] += int(take_min.sum())
+    n_routed["ugal_diverted"] += int((~take_min).sum())
+    n_routed["failover_valiant"] += failover
+
+
+class FatTreeBatchState:
+    """Static ECMP planning tables (uplink table per edge switch)."""
+
+    def __init__(self, topo, config):
+        self.topo = topo
+        self.flat = topo.flat
+        self.config = config
+        E = config.edge_switches
+        uplinks: list[list[int]] = []
+        cores: list[list[int]] = []
+        width = 1
+        for e in range(E):
+            ups = [link for link in topo.out_links(("sw", e))
+                   if link.dst[0] == "sw" and link.dst[1] >= E]
+            uplinks.append([link.index for link in ups])
+            cores.append([link.dst[1] for link in ups])
+            width = max(width, len(ups))
+        #: padded (E, width) uplink link-index / core-switch tables
+        self.up_link = np.full((E, width), -1, dtype=np.int64)
+        self.up_core = np.full((E, width), -1, dtype=np.int64)
+        for e in range(E):
+            self.up_link[e, :len(uplinks[e])] = uplinks[e]
+            self.up_core[e, :len(cores[e])] = cores[e]
+        self.has_uplink = self.up_link[:, 0] >= 0
+
+
+def plan_fattree(router, state: FatTreeBatchState, pairs, *,
+                 chunk: int, register: bool = True) -> BatchPaths:
+    """Plan every flow of a traffic phase on the folded Clos (ECMP)."""
+    src, dst = _as_pair_arrays(pairs)
+    n = len(src)
+    flat = state.flat
+    _check_endpoints(flat, src)
+    _check_endpoints(flat, dst)
+    if (src == dst).any():
+        raise RoutingError("source and destination endpoints coincide")
+    if n == 0:
+        return BatchPaths(np.empty(0, np.int64), np.zeros(1, np.int64))
+
+    sw_s = flat.endpoint_switch[src]
+    sw_d = flat.endpoint_switch[dst]
+    M = np.full((n, 4), -1, dtype=np.int64)
+    M[:, 0] = flat.ep_up_link[src]
+    M[:, 3] = flat.ep_down_link[dst]
+    cross = sw_s != sw_d
+    counts = router._load.counts
+
+    n_chunks = 0
+    for lo in range(0, n, chunk):
+        sl = slice(lo, min(lo + chunk, n))
+        n_chunks += 1
+        ci = lo + np.flatnonzero(cross[sl])
+        if ci.size:
+            edges = sw_s[ci]
+            if not state.has_uplink[edges].all():
+                e = int(edges[~state.has_uplink[edges]][0])
+                raise RoutingError(f"edge switch {e} has no uplinks")
+            cand, _implied, up = _grouped_waterfill(
+                state.up_link, counts, edges, ci, sequential=register)
+            core = state.up_core[edges, cand]
+            downlink = flat.sw_link[core, sw_d[ci]].astype(np.int64)
+            if (downlink < 0).any():
+                at = int(np.flatnonzero(downlink < 0)[0])
+                raise RoutingError(
+                    f"core {('sw', int(core[at]))} does not reach edge "
+                    f"{int(sw_d[ci][at])}")
+            M[ci, 1] = up
+            M[ci, 2] = downlink
+        if register:
+            block = M[sl]
+            router._load.add_paths(block[block >= 0])
+
+    paths = BatchPaths.from_matrix(M)
+    state.topo.validate_paths(paths.indices, paths.indptr)
+    obs.counter("fabric.batch_route.flows").inc(n)
+    obs.counter("fabric.batch_route.chunks").inc(n_chunks)
+    return paths

@@ -43,7 +43,16 @@ class MaxMinResult:
                 f"max_util={self.link_utilisation.max():.3f})")
 
 
-def _incidence(paths: Sequence[Sequence[int]], n_links: int) -> sparse.csr_matrix:
+def _incidence(paths, n_links: int) -> sparse.csr_matrix:
+    if hasattr(paths, "indptr"):
+        # CSR path set from the batch planner: build the link x flow
+        # incidence straight from the flat arrays, no per-flow lists.
+        indices = np.asarray(paths.indices, dtype=np.int64)
+        indptr = np.asarray(paths.indptr, dtype=np.int64)
+        cols = np.repeat(np.arange(len(indptr) - 1), np.diff(indptr))
+        data = np.ones(indices.size, dtype=np.float64)
+        return sparse.csr_matrix((data, (indices, cols)),
+                                 shape=(n_links, len(indptr) - 1))
     rows, cols = [], []
     for f, path in enumerate(paths):
         for link in path:
@@ -54,7 +63,7 @@ def _incidence(paths: Sequence[Sequence[int]], n_links: int) -> sparse.csr_matri
 
 
 def maxmin_allocate(capacities: Sequence[float],
-                    paths: Sequence[Sequence[int]],
+                    paths,
                     demands: Sequence[float] | None = None,
                     max_iterations: int | None = None) -> MaxMinResult:
     """Compute the max-min fair rate for each flow.
@@ -64,8 +73,11 @@ def maxmin_allocate(capacities: Sequence[float],
     capacities:
         Per-link capacity in bytes/s (dense link indexing).
     paths:
-        One link-index list per flow.  A flow with an empty path is
-        unconstrained (rate = demand or +inf).
+        One link-index list per flow, or a CSR path set (anything with
+        ``indices``/``indptr``, e.g. the batch planner's
+        :class:`~repro.fabric.batchroute.BatchPaths`) whose incidence is
+        built without per-flow Python lists.  A flow with an empty path
+        is unconstrained (rate = demand or +inf).
     demands:
         Optional per-flow rate caps (e.g. the sender's injection limit).
         ``None`` means every flow is elastic.
@@ -94,9 +106,9 @@ def maxmin_allocate(capacities: Sequence[float],
     rates = np.zeros(n_flows)
     active = np.ones(n_flows, dtype=bool)
     bottleneck = np.full(n_flows, -1, dtype=np.int64)
-    remaining = cap.copy()
     # Flows with no links are only demand-limited.
-    path_lens = np.asarray([len(p) for p in paths])
+    path_lens = (np.diff(paths.indptr) if hasattr(paths, "indptr")
+                 else np.asarray([len(p) for p in paths]))
     linkless = path_lens == 0
     if np.any(linkless & ~np.isfinite(dem)):
         raise SimulationError("unbounded allocation: a flow has no "
@@ -105,48 +117,88 @@ def maxmin_allocate(capacities: Sequence[float],
     active[linkless] = False
 
     limit = max_iterations if max_iterations is not None else n_links + n_flows + 1
-    eps = 1e-12
     iterations = 0
+    # Event-driven water filling.  Every active flow's rate is the common
+    # water level (all start at zero and rise at the same speed), so the
+    # fill is a sequence of freeze events at increasing levels: a link
+    # saturates at level (capacity - frozen traffic) / active flows, a
+    # demand cap binds when the level reaches it.  Each event only
+    # touches the frozen flows' own links, so one iteration costs a
+    # single O(n_links) min plus O(frozen links) updates — never a CSR
+    # slice, never an O(n_flows) scan.
+    indptr, nnz_flow = A.indptr, A.indices
+    nnz_link = np.repeat(np.arange(n_links), np.diff(indptr))
+    n_active = np.bincount(nnz_link[active[nnz_flow]],
+                           minlength=n_links).astype(np.float64)
+    if hasattr(paths, "indptr"):
+        f_indices = np.asarray(paths.indices, dtype=np.int64)
+        f_indptr = np.asarray(paths.indptr, dtype=np.int64)
+
+        def links_of(flow: int) -> np.ndarray:
+            return f_indices[f_indptr[flow]:f_indptr[flow + 1]]
+    else:
+        def links_of(flow: int) -> np.ndarray:
+            return np.asarray(paths[flow], dtype=np.int64)
+
+    #: capacity not yet claimed by frozen flows
+    head_cap = cap.copy()
+    with np.errstate(divide="ignore"):
+        t_sat = np.where(n_active > 0,
+                         head_cap / np.maximum(n_active, 1.0), np.inf)
+    # Demand-cap events in ascending order; the pointer skips flows that
+    # a link froze first.  Infinite demands sort last and never fire.
+    cap_order = np.argsort(dem, kind="stable")
+    cap_ptr = 0
+    n_remaining = int(active.sum())
     with obs.span("fabric.maxmin_allocate", n_flows=n_flows, n_links=n_links):
         for _ in range(limit):
-            if not active.any():
+            if n_remaining == 0:
                 break
             iterations += 1
-            n_active = A @ active.astype(np.float64)
-            used = n_active > 0
-            with np.errstate(divide="ignore", invalid="ignore"):
-                slack = np.where(used, remaining / np.maximum(n_active, 1),
-                                 np.inf)
-            # How far can rates rise before a demand cap binds?
-            head = dem - rates
-            head_active = np.where(active, head, np.inf)
-            inc = min(slack.min(), head_active.min())
-            if not np.isfinite(inc):
+            while cap_ptr < n_flows and not active[cap_order[cap_ptr]]:
+                cap_ptr += 1
+            t_cap = dem[cap_order[cap_ptr]] if cap_ptr < n_flows else np.inf
+            t_link = t_sat.min()
+            level = min(t_link, t_cap)
+            if not np.isfinite(level):  # pragma: no cover - defensive
                 raise SimulationError("unbounded allocation: a flow has no "
                                       "constraining link and no demand cap")
-            inc = max(inc, 0.0)
-            rates[active] += inc
-            remaining -= inc * n_active
-            remaining = np.maximum(remaining, 0.0)
-            # Freeze flows at saturated links.
-            saturated = used & (remaining <= eps * cap)
-            if saturated.any():
-                touching = (A[saturated].T @ np.ones(int(saturated.sum()))) > 0
-                newly = active & touching
-                if newly.any():
-                    sat_idx = np.flatnonzero(saturated)
-                    sub = A[saturated][:, newly].toarray()
-                    first = sat_idx[np.argmax(sub > 0, axis=0)]
-                    bottleneck[np.flatnonzero(newly)] = first
-                active &= ~touching
-            # Freeze flows that reached their (finite) demand cap.
-            finite_dem = np.isfinite(dem)
-            capped = active & finite_dem & (
-                rates >= np.where(finite_dem, dem, 0.0)
-                - eps * np.where(finite_dem, np.maximum(dem, 1.0), 1.0))
-            active &= ~capped
-            if inc == 0.0 and not saturated.any() and not capped.any():
-                raise SimulationError("progressive filling stalled")
+            frozen: list[int] = []
+            if t_link <= t_cap:
+                # Ascending link order, so a flow's bottleneck is its
+                # lowest-index saturated link (ties included).
+                for link in np.flatnonzero(t_sat == t_link):
+                    t_sat[link] = np.inf
+                    for f in nnz_flow[indptr[link]:indptr[link + 1]]:
+                        if active[f]:
+                            active[f] = False
+                            rates[f] = level
+                            bottleneck[f] = link
+                            frozen.append(f)
+            if t_cap <= t_link:
+                while cap_ptr < n_flows:
+                    f = cap_order[cap_ptr]
+                    if not active[f]:
+                        cap_ptr += 1
+                    elif dem[f] <= level:
+                        active[f] = False
+                        rates[f] = dem[f]
+                        frozen.append(f)
+                        cap_ptr += 1
+                    else:
+                        break
+            n_remaining -= len(frozen)
+            if frozen:
+                for f in frozen:
+                    head_cap[links_of(f)] -= rates[f]
+                changed = np.concatenate([links_of(f) for f in frozen])
+                np.subtract.at(n_active, changed, 1.0)
+                head_cap[changed] = np.maximum(head_cap[changed], 0.0)
+                with np.errstate(divide="ignore"):
+                    t_sat[changed] = np.where(
+                        n_active[changed] > 0,
+                        head_cap[changed] / np.maximum(n_active[changed], 1.0),
+                        np.inf)
         else:
             raise SimulationError("max-min allocation did not converge")
     obs.counter("fabric.maxmin.solves").inc()

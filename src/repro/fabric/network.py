@@ -84,22 +84,32 @@ class FabricNetwork:
 
     # -- flow-level bandwidth ------------------------------------------------
 
-    def flow_bandwidths(self, pairs: list[tuple[int, int]],
-                        demand_per_flow: float | None = None
+    def flow_bandwidths(self, pairs,
+                        demand_per_flow: float | None = None,
+                        chunk: int | None = None
                         ) -> tuple[list[FlowResult], MaxMinResult]:
         """Max-min fair rates for simultaneous endpoint-pair flows.
 
         ``demand_per_flow`` defaults to the protocol-limited single-stream
         rate (70% of line rate); pass ``None``-> default, or a number to
         override (e.g. float('inf') for fully elastic flows).
+
+        Routing goes through the batch planner (``router.paths``) when the
+        router provides one; ``chunk`` is forwarded to it (``chunk=1``
+        reproduces the historical scalar loop exactly).  Custom routers
+        exposing only ``path()`` still work through the scalar fallback.
         """
-        if not pairs:
+        if len(pairs) == 0:
             raise ConfigurationError("no flows given")
         with obs.span("fabric.flow_bandwidths", n_flows=len(pairs),
                       topology=self.topology_label,
                       policy=self._policy_label):
             self.router.reset_load()
-            paths = [self.router.path(s, d) for s, d in pairs]
+            batch = getattr(self.router, "paths", None)
+            if batch is not None:
+                paths = batch(pairs, chunk=chunk)
+            else:
+                paths = [self.router.path(s, d) for s, d in pairs]
             if demand_per_flow is None:
                 demand_per_flow = STREAM_EFFICIENCY * self.config.link_rate
             demands = [demand_per_flow] * len(pairs)
@@ -109,18 +119,20 @@ class FabricNetwork:
             result.link_utilisation)
         obs.histogram("fabric.flow_bandwidth_bytes_per_s").observe_many(
             result.rates)
-        flows = [FlowResult(s, d, r) for (s, d), r in zip(pairs, result.rates)]
+        flows = [FlowResult(int(s), int(d), r)
+                 for (s, d), r in zip(pairs, result.rates)]
         return flows, result
 
     def shift_pattern(self, offset_endpoints: int,
-                      demand_per_flow: float | None = None
-                      ) -> list[FlowResult]:
+                      demand_per_flow: float | None = None,
+                      chunk: int | None = None) -> list[FlowResult]:
         """mpiGraph's pattern: endpoint i sends to endpoint (i+k) mod N."""
         n = self.config.total_endpoints
         if not 0 < offset_endpoints < n:
             raise ConfigurationError("shift offset must be in (0, n_endpoints)")
-        pairs = [(i, (i + offset_endpoints) % n) for i in range(n)]
-        flows, _ = self.flow_bandwidths(pairs, demand_per_flow)
+        src = np.arange(n, dtype=np.int64)
+        pairs = np.stack([src, (src + offset_endpoints) % n], axis=1)
+        flows, _ = self.flow_bandwidths(pairs, demand_per_flow, chunk=chunk)
         return flows
 
     # -- latency -------------------------------------------------------------

@@ -24,6 +24,15 @@ is invalidated whenever router state changes (:meth:`reset_load`,
 :meth:`disable_link`, :meth:`enable_link`); a cached path can therefore
 only differ from a fresh one in load-based tie-breaks between
 equal-length candidates, which leaves hop counts and latency unchanged.
+
+**Batch planning**: :meth:`Router.paths` / :meth:`FatTreeRouter.paths`
+plan a whole traffic phase at once through the vectorised engine in
+:mod:`repro.fabric.batchroute`, returning a
+:class:`~repro.fabric.batchroute.BatchPaths` CSR set.  ``chunk=1``
+reproduces the scalar ``path()`` loop exactly (the equivalence oracle);
+the default chunk trades UGAL load-feedback staleness for throughput.
+The scalar ``path()`` stays the right tool for single probes and
+latency estimates.
 """
 
 from __future__ import annotations
@@ -34,13 +43,16 @@ import numpy as np
 
 from repro import obs
 from repro.errors import RoutingError
+from repro.fabric import batchroute
+from repro.fabric.batchroute import DEFAULT_BATCH_CHUNK, BatchPaths
 from repro.fabric.cache import LruCache
 from repro.fabric.dragonfly import DragonflyConfig
 from repro.fabric.fattree import FatTreeConfig
 from repro.fabric.topology import LinkKind, Topology
 from repro.rng import RngLike, as_generator
 
-__all__ = ["RoutingPolicy", "Router", "FatTreeRouter", "PATH_CACHE_SIZE"]
+__all__ = ["RoutingPolicy", "Router", "FatTreeRouter", "PATH_CACHE_SIZE",
+           "DEFAULT_BATCH_CHUNK", "BatchPaths"]
 
 #: Default per-router LRU capacity for unregistered path queries.
 PATH_CACHE_SIZE = 4096
@@ -59,8 +71,12 @@ class _LoadTracker:
         self.counts = np.zeros(n_links, dtype=np.int64)
 
     def add_path(self, path: list[int]) -> None:
-        for idx in path:
-            self.counts[idx] += 1
+        np.add.at(self.counts, path, 1)
+
+    def add_paths(self, links: np.ndarray) -> None:
+        """Charge a whole batch of concatenated path link indices at once."""
+        if links.size:
+            self.counts += np.bincount(links, minlength=self.counts.size)
 
     def load(self, idx: int) -> int:
         return int(self.counts[idx])
@@ -74,7 +90,8 @@ class Router:
 
     def __init__(self, topo: Topology, config: DragonflyConfig,
                  policy: RoutingPolicy = RoutingPolicy.UGAL,
-                 rng: RngLike = None, path_cache_size: int = PATH_CACHE_SIZE):
+                 rng: RngLike = None, path_cache_size: int = PATH_CACHE_SIZE,
+                 batch_chunk: int | None = None):
         self.topo = topo
         self.config = config
         self.policy = policy
@@ -82,6 +99,11 @@ class Router:
         self._load = _LoadTracker(topo.n_links)
         self._gateways = self._index_gateways()
         self._path_cache = LruCache(maxsize=path_cache_size)
+        #: default UGAL round size for :meth:`paths`; ``None`` scales it
+        #: with the phase size (:func:`repro.fabric.batchroute.auto_chunk`)
+        #: and ``1`` forces scalar semantics
+        self.batch_chunk = batch_chunk
+        self._batch_state: batchroute.DragonflyBatchState | None = None
         #: links the fabric manager has routed around (failed cables)
         self.disabled: set[int] = set()
 
@@ -113,10 +135,40 @@ class Router:
             raise RoutingError(f"no link {index}")
         self.disabled.add(index)
         self._path_cache.clear()
+        self._batch_state = None
 
     def enable_link(self, index: int) -> None:
         self.disabled.discard(index)
         self._path_cache.clear()
+        self._batch_state = None
+
+    def paths(self, pairs, *, chunk: int | None = None,
+              register: bool = True) -> BatchPaths:
+        """Plan every ``(src, dst)`` flow of a traffic phase at once.
+
+        Vectorised counterpart of calling :meth:`path` in a loop; returns
+        a :class:`~repro.fabric.batchroute.BatchPaths` CSR set in input
+        order.  ``chunk`` bounds how stale the UGAL load feedback may get
+        (defaults to :attr:`batch_chunk`; ``chunk=1`` is bit-identical to
+        the scalar loop, and minimal/Valiant paths are identical at any
+        chunk).  With ``register=False`` nothing is charged to the load
+        tracker and results bypass the path cache.
+        """
+        if chunk is None:
+            chunk = self.batch_chunk
+        if chunk is None:
+            chunk = batchroute.auto_chunk(len(pairs))
+        if chunk < 1:
+            raise RoutingError(f"chunk must be >= 1, got {chunk}")
+        state = self._batch_state
+        if state is None or state.flat is not self.topo.flat:
+            state = batchroute.DragonflyBatchState(
+                self.topo, self.config, self._gateways, self.disabled)
+            self._batch_state = state
+        with obs.span("fabric.batch_route", n_flows=len(pairs), chunk=chunk,
+                      policy=self.policy.value):
+            return batchroute.plan_dragonfly(self, state, pairs, chunk=chunk,
+                                             register=register)
 
     def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
         """Select a path (list of link indices) for one flow.
@@ -242,8 +294,11 @@ class Router:
     def _valiant_path(self, src_ep: int, dst_ep: int) -> list[int]:
         """Route via a random intermediate group (two global hops).
 
-        Retries over the intermediate groups (random order) so a fabric
-        with failed bundles still finds a detour if one exists.
+        The intermediate group is drawn uniformly (one ``rng.random()``
+        per flow — the batch planner draws the same stream in one
+        vectorised call); on failure the remaining groups are retried in
+        rotation order so a fabric with failed bundles still finds a
+        detour if one exists.
         """
         sw_s = self.topo.switch_of_endpoint(src_ep)
         sw_d = self.topo.switch_of_endpoint(dst_ep)
@@ -252,7 +307,8 @@ class Router:
         choices = [g for g in range(self.config.groups) if g not in (g_src, g_dst)]
         if not choices:
             return self._minimal_path(src_ep, dst_ep)
-        order = list(self.rng.permutation(choices))
+        start = int(self.rng.random() * len(choices))
+        order = [choices[(start + t) % len(choices)] for t in range(len(choices))]
         for g_mid in order:
             try:
                 l1, gw_s, mid_in = self._pick_gateway(g_src, int(g_mid))
@@ -285,16 +341,42 @@ class FatTreeRouter:
     """ECMP up/down routing on the folded Clos."""
 
     def __init__(self, topo: Topology, config: FatTreeConfig, rng: RngLike = None,
-                 path_cache_size: int = PATH_CACHE_SIZE):
+                 path_cache_size: int = PATH_CACHE_SIZE,
+                 batch_chunk: int | None = None):
         self.topo = topo
         self.config = config
         self.rng = as_generator(rng)
         self._load = _LoadTracker(topo.n_links)
         self._path_cache = LruCache(maxsize=path_cache_size)
+        self.batch_chunk = batch_chunk
+        self._batch_state: batchroute.FatTreeBatchState | None = None
 
     def reset_load(self) -> None:
         self._load.reset()
         self._path_cache.clear()
+
+    def paths(self, pairs, *, chunk: int | None = None,
+              register: bool = True) -> BatchPaths:
+        """Batch ECMP planning; see :meth:`Router.paths`.
+
+        ECMP uplink picks only depend on flows sharing the same source
+        edge switch, so batch paths match the scalar loop at *any* chunk
+        size (sequential-equivalent water-filling per edge switch).
+        """
+        if chunk is None:
+            chunk = self.batch_chunk
+        if chunk is None:
+            chunk = batchroute.auto_chunk(len(pairs))
+        if chunk < 1:
+            raise RoutingError(f"chunk must be >= 1, got {chunk}")
+        state = self._batch_state
+        if state is None or state.flat is not self.topo.flat:
+            state = batchroute.FatTreeBatchState(self.topo, self.config)
+            self._batch_state = state
+        with obs.span("fabric.batch_route", n_flows=len(pairs), chunk=chunk,
+                      policy="ecmp"):
+            return batchroute.plan_fattree(self, state, pairs, chunk=chunk,
+                                           register=register)
 
     def path(self, src_ep: int, dst_ep: int, *, register: bool = True) -> list[int]:
         if src_ep == dst_ep:

@@ -13,9 +13,11 @@ import enum
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.errors import TopologyError
 
-__all__ = ["LinkKind", "NodeId", "Link", "Topology"]
+__all__ = ["LinkKind", "NodeId", "Link", "Topology", "TopologyArrays"]
 
 NodeId = tuple[str, int]
 
@@ -43,6 +45,75 @@ class Link:
             raise TopologyError(f"link {self.src}->{self.dst} needs positive capacity")
 
 
+class TopologyArrays:
+    """Dense flat-array views of a :class:`Topology` for batch routing.
+
+    Everything the vectorised planners need as O(1) NumPy gathers instead
+    of per-hop dict lookups: per-endpoint switch and edge-link indices,
+    per-switch group ids, a dense ``(switch, switch) -> link index`` table
+    covering L1 and L2 links, per-link capacities/kinds, and per-link
+    endpoint *codes* (``2 * idx`` for switches, ``2 * idx + 1`` for
+    endpoints) so path chaining can be checked without tuples.
+
+    Built lazily by :attr:`Topology.flat` and invalidated whenever the
+    topology mutates; arrays are read-only so a cached view can be handed
+    out without defensive copies.  Missing entries are ``-1``.
+    """
+
+    def __init__(self, topo: "Topology") -> None:
+        links = topo._links
+        n_links = len(links)
+        max_sw = max(topo._switch_group, default=-1)
+        max_ep = max(topo._endpoint_switch, default=-1)
+
+        #: per-link capacity (bytes/s), dense link indexing
+        self.capacities = np.array([lk.capacity for lk in links], dtype=np.float64)
+        #: per-link kind ordinal: 0 = L0/edge, 1 = L1/local, 2 = L2/global
+        kind_code = {LinkKind.L0: 0, LinkKind.L1: 1, LinkKind.L2: 2}
+        self.link_kind = np.array([kind_code[lk.kind] for lk in links], dtype=np.int8)
+
+        #: per-switch group id (index = switch id)
+        self.switch_group = np.full(max_sw + 1, -1, dtype=np.int64)
+        for sw, grp in topo._switch_group.items():
+            self.switch_group[sw] = grp
+        #: per-endpoint attached switch (index = endpoint id)
+        self.endpoint_switch = np.full(max_ep + 1, -1, dtype=np.int64)
+        for ep, sw in topo._endpoint_switch.items():
+            self.endpoint_switch[ep] = sw
+
+        src_is_ep = np.fromiter((lk.src[0] == "ep" for lk in links),
+                                dtype=bool, count=n_links)
+        dst_is_ep = np.fromiter((lk.dst[0] == "ep" for lk in links),
+                                dtype=bool, count=n_links)
+        src_idx = np.fromiter((lk.src[1] for lk in links),
+                              dtype=np.int64, count=n_links)
+        dst_idx = np.fromiter((lk.dst[1] for lk in links),
+                              dtype=np.int64, count=n_links)
+        #: per-link node codes for vectorised chain validation
+        self.link_src_code = 2 * src_idx + src_is_ep
+        self.link_dst_code = 2 * dst_idx + dst_is_ep
+
+        all_links = np.arange(n_links, dtype=np.int64)
+        #: endpoint -> its L0 up-link (ep -> switch)
+        self.ep_up_link = np.full(max_ep + 1, -1, dtype=np.int64)
+        up = src_is_ep & ~dst_is_ep
+        self.ep_up_link[src_idx[up]] = all_links[up]
+        #: endpoint -> its L0 down-link (switch -> ep)
+        self.ep_down_link = np.full(max_ep + 1, -1, dtype=np.int64)
+        down = dst_is_ep & ~src_is_ep
+        self.ep_down_link[dst_idx[down]] = all_links[down]
+        #: dense (src switch, dst switch) -> link index, -1 when absent
+        self.sw_link = np.full((max_sw + 1, max_sw + 1), -1, dtype=np.int32)
+        swsw = ~src_is_ep & ~dst_is_ep
+        self.sw_link[src_idx[swsw], dst_idx[swsw]] = all_links[swsw]
+
+        for arr in (self.capacities, self.link_kind, self.switch_group,
+                    self.endpoint_switch, self.link_src_code,
+                    self.link_dst_code, self.ep_up_link, self.ep_down_link,
+                    self.sw_link):
+            arr.flags.writeable = False
+
+
 class Topology:
     """A directed, capacitated network graph.
 
@@ -57,13 +128,23 @@ class Topology:
         self._links: list[Link] = []
         self._out: dict[NodeId, list[int]] = {}
         self._by_pair: dict[tuple[NodeId, NodeId], int] = {}
+        self._flat: TopologyArrays | None = None
+        self._group_switches: dict[int, list[int]] | None = None
+        self._switch_endpoints: dict[int, list[int]] | None = None
 
     # -- construction ------------------------------------------------------
+
+    def _invalidate_caches(self) -> None:
+        """Drop lazily-built views after any structural mutation."""
+        self._flat = None
+        self._group_switches = None
+        self._switch_endpoints = None
 
     def add_switch(self, switch: int, group: int = 0) -> None:
         if switch in self._switch_group:
             raise TopologyError(f"switch {switch} already exists")
         self._switch_group[switch] = group
+        self._invalidate_caches()
 
     def add_endpoint(self, endpoint: int, switch: int) -> None:
         if endpoint in self._endpoint_switch:
@@ -71,6 +152,7 @@ class Topology:
         if switch not in self._switch_group:
             raise TopologyError(f"endpoint {endpoint} references unknown switch {switch}")
         self._endpoint_switch[endpoint] = switch
+        self._invalidate_caches()
 
     def add_link(self, src: NodeId, dst: NodeId, capacity: float,
                  kind: LinkKind) -> int:
@@ -85,6 +167,7 @@ class Topology:
         self._links.append(link)
         self._out.setdefault(src, []).append(idx)
         self._by_pair[(src, dst)] = idx
+        self._invalidate_caches()
         return idx
 
     def add_bidirectional(self, a: NodeId, b: NodeId, capacity: float,
@@ -153,14 +236,37 @@ class Topology:
         return self.group_of_switch(self.switch_of_endpoint(endpoint))
 
     def switches_in_group(self, group: int) -> list[int]:
-        return sorted(s for s, g in self._switch_group.items() if g == group)
+        """Sorted switches tagged ``group`` (precomputed reverse index)."""
+        if self._group_switches is None:
+            by_group: dict[int, list[int]] = {}
+            for s, g in self._switch_group.items():
+                by_group.setdefault(g, []).append(s)
+            self._group_switches = {g: sorted(v) for g, v in by_group.items()}
+        return list(self._group_switches.get(group, ()))
 
     def endpoints_on_switch(self, switch: int) -> list[int]:
-        return sorted(e for e, s in self._endpoint_switch.items() if s == switch)
+        """Sorted endpoints hanging off ``switch`` (precomputed reverse index)."""
+        if self._switch_endpoints is None:
+            by_switch: dict[int, list[int]] = {}
+            for e, s in self._endpoint_switch.items():
+                by_switch.setdefault(s, []).append(e)
+            self._switch_endpoints = {s: sorted(v) for s, v in by_switch.items()}
+        return list(self._switch_endpoints.get(switch, ()))
 
-    def capacities(self) -> list[float]:
-        """Per-link capacities, indexed by dense link index."""
-        return [link.capacity for link in self._links]
+    @property
+    def flat(self) -> TopologyArrays:
+        """The lazily-built dense array views (see :class:`TopologyArrays`)."""
+        if self._flat is None:
+            self._flat = TopologyArrays(self)
+        return self._flat
+
+    def capacities(self) -> np.ndarray:
+        """Per-link capacities, indexed by dense link index.
+
+        Returns the cached read-only ndarray view from the flat-array
+        layer — callers that need a mutable copy must copy explicitly.
+        """
+        return self.flat.capacities
 
     # -- invariants ----------------------------------------------------------
 
@@ -180,3 +286,28 @@ class Topology:
                 raise TopologyError(
                     f"path breaks at link {idx}: {prev.dst} != {link.src}")
             prev = link
+
+    def validate_paths(self, indices: np.ndarray, indptr: np.ndarray) -> None:
+        """Vectorised :meth:`validate_path` over a CSR path set.
+
+        ``indices`` concatenates every flow's link indices; flow ``f``
+        occupies ``indices[indptr[f]:indptr[f + 1]]``.  All chains are
+        checked with two array gathers instead of a Python loop per hop.
+        """
+        indices = np.asarray(indices)
+        if indices.size < 2:
+            return
+        flat = self.flat
+        if indices.min() < 0 or indices.max() >= len(self._links):
+            raise TopologyError("path references an unknown link index")
+        tail = flat.link_dst_code[indices[:-1]]
+        head = flat.link_src_code[indices[1:]]
+        mismatch = tail != head
+        # joints at flow boundaries are allowed to mismatch
+        boundary = np.asarray(indptr)[1:-1] - 1
+        mismatch[boundary[(boundary >= 0) & (boundary < mismatch.size)]] = False
+        if mismatch.any():
+            at = int(np.flatnonzero(mismatch)[0])
+            prev, link = self._links[indices[at]], self._links[indices[at + 1]]
+            raise TopologyError(
+                f"path breaks at link {link.index}: {prev.dst} != {link.src}")

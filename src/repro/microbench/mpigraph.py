@@ -150,12 +150,16 @@ def summit_mpigraph_histogram(n_pairs: int = 4608, *,
 
 
 def simulate_mpigraph(network: SlingshotNetwork | FatTreeNetwork,
-                      offsets: list[int] | None = None) -> MpiGraphHistogram:
+                      offsets: list[int] | None = None,
+                      chunk: int | None = None) -> MpiGraphHistogram:
     """Flow-level mpiGraph on a materialised fabric (reduced scale).
 
     Runs the shift pattern for each offset and pools every pair's max-min
     rate.  Default offsets sample the full range logarithmically plus the
     group-boundary region, which is where the distribution shape forms.
+    ``chunk`` is forwarded to the batch planner (``chunk=1`` reproduces
+    the historical per-flow routing loop exactly; the default scales the
+    UGAL round size with the phase).
     """
     n = network.config.total_endpoints
     if offsets is None:
@@ -166,7 +170,7 @@ def simulate_mpigraph(network: SlingshotNetwork | FatTreeNetwork,
         offsets = sorted(raw)
     rates: list[np.ndarray] = []
     for k in offsets:
-        flows = network.shift_pattern(k)
+        flows = network.shift_pattern(k, chunk=chunk)
         rates.append(np.asarray([f.bandwidth for f in flows]))
     name = type(network).__name__
     return MpiGraphHistogram(bandwidths=np.concatenate(rates), system=name)

@@ -38,6 +38,43 @@ def probe_fabric() -> dict[str, float]:
     }
 
 
+def probe_routing() -> dict[str, float]:
+    """Batch routing engine on a reduced-scale dragonfly.
+
+    Plans a full shift pattern through ``Router.paths`` (adaptive chunk)
+    and cross-checks a ``chunk=1`` plan against the scalar ``path()``
+    loop, so the baseline pins both the vectorised planner's outputs and
+    its sequential-equivalence contract.  The ``fabric.batch_route.*``
+    counters emitted here land in the regression baseline.
+    """
+    import numpy as np
+
+    from repro.core.scenario import frontier_spec
+    from repro.fabric.network import clear_fabric_caches
+
+    spec = frontier_spec().scaled(8, 4, 4)
+    clear_fabric_caches()
+    net = spec.build_network(rng=0)
+    n = net.config.total_endpoints
+    flows, result = net.flow_bandwidths([(i, (i + 9) % n) for i in range(n)])
+
+    # Sequential-equivalence oracle: chunk=1 must replay the scalar loop.
+    batch_net = spec.build_network(rng=1)
+    scalar_net = spec.build_network(rng=1)
+    pairs = [(i, (i + 3) % n) for i in range(n)]
+    batch_net.router.reset_load()
+    scalar_net.router.reset_load()
+    planned = batch_net.router.paths(pairs, chunk=1)
+    scalar = [scalar_net.router.path(s, d) for s, d in pairs]
+    return {
+        "n_flows": float(len(flows)),
+        "mean_gbs": float(np.mean(result.rates)) / 1e9,
+        "max_link_utilisation": float(result.link_utilisation.max()),
+        "chunk1_matches_scalar": float(planned.to_lists() == scalar),
+        "links_per_flow": planned.indices.size / float(len(pairs)),
+    }
+
+
 def probe_cache() -> dict[str, float]:
     """Topology memo + router path cache behaviour on a small dragonfly.
 
@@ -161,6 +198,7 @@ def probe_sweep() -> dict[str, float]:
 #: Ordered registry: probe name -> callable returning scalar model outputs.
 PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "fabric": probe_fabric,
+    "routing": probe_routing,
     "cache": probe_cache,
     "mpi": probe_mpi,
     "storage": probe_storage,

@@ -1,0 +1,73 @@
+"""Chaos engine — measured dynamics vs the §5.4 analytic models.
+
+The discrete-event fault injector (:mod:`repro.chaos`) replays the FIT
+inventory as node/link/storage events against the live scheduler and
+checkpoint/restart policy.  Its correctness claim is convergence to the
+static models: per-job interrupt rates within ±10% of ``MttiModel`` and
+Daly-optimum efficiency within ±5% of ``checkpoint_efficiency``.  This
+bench times the validation run, asserts both gates row-by-row, and
+writes the measured-vs-analytic table as an artifact.
+"""
+
+from repro.chaos import (EFFICIENCY_TOLERANCE, MIN_EVENTS, RATE_TOLERANCE,
+                         ChaosConfig, cross_validate, run_chaos,
+                         validation_spec)
+from repro.reporting import ComparisonRow
+
+from _harness import check_rows, save_artifact
+
+
+def test_mtti_cross_validation(benchmark):
+    """Interrupt rates vs MttiModel under uniform radius-1 blasts."""
+    report = benchmark(cross_validate, seed=0)
+    assert report.n_events >= MIN_EVENTS
+    rows = [ComparisonRow(f"{j.name} interrupt rate",
+                          paper=j.analytic_rate_per_h,
+                          measured=j.measured_rate_per_h,
+                          units="1/h")
+            for j in report.jobs]
+    text = check_rows(rows, RATE_TOLERANCE,
+                      "Chaos engine: measured vs MttiModel interrupt rates")
+    save_artifact("resilience_chaos_mtti", text)
+    assert report.passed
+
+
+def test_daly_efficiency_cross_validation(benchmark):
+    """Measured efficiency at the Daly optimum vs checkpoint_efficiency."""
+    report = benchmark(cross_validate, seed=0)
+    rows = [ComparisonRow(f"{j.name} efficiency",
+                          paper=j.analytic_efficiency,
+                          measured=j.measured_efficiency)
+            for j in report.jobs]
+    text = check_rows(
+        rows, EFFICIENCY_TOLERANCE,
+        "Chaos engine: measured vs analytic efficiency at the Daly optimum")
+    save_artifact("resilience_chaos_efficiency", text)
+    assert 0.0 < report.machine_availability <= 1.0
+
+
+def test_frontier_radii_determinism(benchmark):
+    """Frontier blast radii + fabric coupling: replayable run, sane output.
+
+    Same spec + seed must reproduce the identical committed-work ledger
+    (the resumable-artifact contract), and the degraded machine must
+    still stay mostly available at this event rate.
+    """
+    spec = validation_spec(failure_scale=150.0)
+    config = ChaosConfig(horizon_h=200.0, seed=0, mttr_scale=0.2)
+
+    first = benchmark(run_chaos, spec, config)
+    second = run_chaos(spec, config)
+
+    assert len(first.timeline) > 0
+    assert first.to_doc() == second.to_doc()
+    assert 0.5 < first.machine_availability <= 1.0
+    for job in first.jobs:
+        assert 0.0 < job.measured_efficiency <= 1.0
+    summary = "\n".join(
+        [f"events: {len(first.timeline)}",
+         f"machine availability: {first.machine_availability:.6f}"]
+        + [f"{j.name}: interrupts={j.interrupts} "
+           f"efficiency={j.measured_efficiency:.4f}"
+           for j in first.jobs])
+    save_artifact("resilience_chaos_frontier", summary)

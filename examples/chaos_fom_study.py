@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Chaos figure-of-merit study — measured efficiency vs checkpoint interval.
+
+Sweeps the *fixed* checkpoint interval through the chaos engine and plots
+(in ASCII) the measured useful-work efficiency of each job against the
+analytic ``checkpoint_efficiency`` curve.  The Daly-optimal interval is
+marked: checkpointing too often pays the write cost, too rarely pays in
+rework after faults, and the measured optimum should sit on Daly's.
+
+Run:  python examples/chaos_fom_study.py
+"""
+
+from dataclasses import replace
+
+from repro.chaos import run_chaos, validation_config, validation_spec
+from repro.reporting import Table
+from repro.resilience.checkpoint import CheckpointPlan
+from repro.resilience.mtti import MttiModel
+from repro.resilience.fit import frontier_fit_inventory
+
+#: Which of the three validation jobs to study (the 16-node half-machine
+#: job: highest interrupt rate, tightest statistics).
+JOB_INDEX = 2
+
+
+def main() -> None:
+    base_spec = validation_spec()            # 32 nodes, accelerated rates
+    config = validation_config(seed=0, horizon_h=600.0)
+
+    # The analytic side: this job's MTTI and its Daly optimum.
+    deg = base_spec.degradation
+    inventory = frontier_fit_inventory(
+        nodes=base_spec.node_count).scaled(deg.failure_scale)
+    mtti = MttiModel(inventory=inventory, total_nodes=base_spec.node_count)
+    job_nodes = 16
+    mtti_s = mtti.job_mtti_hours(job_nodes) * 3600.0
+    plan = CheckpointPlan(checkpoint_cost_s=config.checkpoint_cost_s,
+                          mtti_s=mtti_s, restart_s=config.restart_s)
+    daly = plan.daly_interval_s
+    print(f"16-node job on the 32-node chaos machine: MTTI "
+          f"{mtti_s / 3600.0:.2f} h, checkpoint cost "
+          f"{config.checkpoint_cost_s:.0f} s, Daly optimum {daly:.0f} s "
+          f"(predicted efficiency {plan.efficiency_at_optimum:.4f})\n")
+
+    intervals = sorted({round(daly * f) for f in
+                        (0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0)})
+    rows = []
+    for interval in intervals:
+        spec = replace(base_spec, degradation=replace(
+            deg, checkpoint_policy="fixed",
+            checkpoint_interval_s=float(interval)))
+        result = run_chaos(spec, config)
+        job = result.jobs[JOB_INDEX]
+        rows.append((interval, job.measured_efficiency,
+                     job.analytic_efficiency, job.interrupts))
+
+    peak = max(r[1] for r in rows) or 1.0
+    table = Table(["interval (s)", "measured eff", "predicted eff",
+                   "interrupts", ""],
+                  title="Efficiency vs fixed checkpoint interval",
+                  float_fmt="{:.4f}")
+    for interval, measured, predicted, interrupts in rows:
+        bar = "#" * round(40 * measured / peak)
+        mark = "  <- Daly optimum" if interval == round(daly) else ""
+        table.add_row([interval, measured, predicted, interrupts,
+                       bar + mark])
+    print(table.render())
+
+    best = max(rows, key=lambda r: r[1])
+    print(f"\nBest measured interval: {best[0]} s (eff {best[1]:.4f}); "
+          f"Daly predicted {daly:.0f} s — the optimum is flat near the "
+          f"top, so landing within a factor of two costs <1% efficiency.")
+
+
+if __name__ == "__main__":
+    main()

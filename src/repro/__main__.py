@@ -37,6 +37,13 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                pool (``--workers/--timeout/--retries``); one resumable
                JSON artifact per task under ``--out``
                (``--fresh`` re-runs completed tasks)
+``chaos``      discrete-event fault injection: replay a seeded failure
+               timeline (node deaths, link failures, storage slowdowns,
+               MTTR repairs) against scheduler + fabric with
+               checkpoint/restart; prints the achieved-vs-ideal
+               efficiency table and writes a resumable artifact under
+               ``benchmarks/out/chaos`` (``--validate`` scores the
+               engine against the analytic MTTI/efficiency models)
 =============  =======================================================
 
 ``tests/test_cli.py`` asserts every registered verb is documented in
@@ -376,6 +383,74 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     return 1 if all_failed else 0
 
 
+def _cmd_chaos(args: "argparse.Namespace") -> int:
+    from dataclasses import replace
+
+    from repro.chaos import ChaosConfig, run_chaos_cached
+    from repro.chaos.validate import cross_validate
+
+    if args.validate:
+        report = cross_validate(seed=args.seed)
+        table = Table(["Job", "Nodes", "Interrupts", "Rate meas/h",
+                       "Rate pred/h", "Ratio", "Eff meas", "Eff pred",
+                       "Ratio", "OK"],
+                      title=f"Chaos cross-validation "
+                            f"({report.n_events} events)",
+                      float_fmt="{:.4g}")
+        for j in report.jobs:
+            table.add_row([j.name, j.n_nodes, j.interrupts,
+                           j.measured_rate_per_h, j.analytic_rate_per_h,
+                           j.rate_ratio, j.measured_efficiency,
+                           j.analytic_efficiency, j.efficiency_ratio,
+                           "yes" if j.rate_ok and j.efficiency_ok else "NO"])
+        print(table.render())
+        print(f"\nvalidation {'PASSED' if report.passed else 'FAILED'} "
+              f"(rate tol ±10%, efficiency tol ±5%, >= 1000 events)")
+        return 0 if report.passed else 1
+
+    spec = _load_spec(args.spec)
+    if args.scaled:
+        spec = spec.scaled(*args.scaled)
+    overrides: dict[str, Any] = {}
+    if args.failure_scale is not None:
+        overrides["failure_scale"] = args.failure_scale
+    if args.policy is not None:
+        overrides["checkpoint_policy"] = args.policy
+    if args.interval is not None:
+        overrides["checkpoint_interval_s"] = args.interval
+    if overrides:
+        spec = replace(spec, degradation=replace(spec.degradation,
+                                                 **overrides))
+    config = ChaosConfig(horizon_h=args.hours, seed=args.seed,
+                         checkpoint_cost_s=args.checkpoint_cost,
+                         restart_s=args.restart,
+                         uniform_blast=args.uniform_blast,
+                         mttr_scale=args.mttr_scale)
+    doc, path, resumed = run_chaos_cached(spec, config, out_dir=args.out,
+                                          fresh=args.fresh)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    counts = doc["event_counts"]
+    print(f"chaos: {spec.name} | {config.horizon_h:g} h horizon | "
+          f"{doc['n_events']} events "
+          f"(node {counts['node']}, link {counts['link']}, "
+          f"storage {counts['storage']})")
+    table = Table(["Job", "Nodes", "Interval s", "Interrupts", "Running h",
+                   "Eff meas", "Eff pred", "Goodput"],
+                  title="Achieved vs ideal efficiency", float_fmt="{:.4g}")
+    for j in doc["jobs"]:
+        table.add_row([j["name"], j["n_nodes"], j["interval_s"],
+                       j["interrupts"], j["running_h"],
+                       j["measured_efficiency"], j["analytic_efficiency"],
+                       j["goodput"]])
+    print(table.render())
+    print(f"\nmachine availability: {doc['machine_availability']:.6f} "
+          f"({doc['node_down_hours']:.2f} node-hours down)")
+    print(f"artifact: {path} ({'resumed' if resumed else 'written'})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (exposed so tests can audit the verb set)."""
     parser = argparse.ArgumentParser(
@@ -444,7 +519,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--axis", action="append", metavar="KEY=V1,V2",
                        help="one grid axis (repeatable); keys: scale, "
                             "nics_per_node, routing, disabled_links, "
-                            "disabled_nodes")
+                            "disabled_nodes, failure_scale, "
+                            "checkpoint_policy")
     sweep.add_argument("--probe", action="append", metavar="NAME",
                        help="sweep probe(s) to evaluate per grid point "
                             "(default: mpigraph)")
@@ -470,6 +546,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the expanded task list and exit")
     sweep.add_argument("--verbose", action="store_true",
                        help="print per-task progress lines")
+
+    chaos = sub.add_parser(
+        "chaos", help="discrete-event fault injection with "
+                      "checkpoint/restart (resumable artifact)")
+    chaos.add_argument("--spec", metavar="FILE",
+                       help="machine spec file (default: Frontier)")
+    chaos.add_argument("--scaled", nargs=3, type=int,
+                       metavar=("GROUPS", "SWITCHES", "ENDPOINTS"),
+                       help="reduced-scale variant (taper preserved)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="timeline seed (default 0)")
+    chaos.add_argument("--hours", type=float, default=24.0,
+                       help="simulated horizon in hours (default 24)")
+    chaos.add_argument("--failure-scale", type=float, default=None,
+                       metavar="X", help="multiply every FIT rate by X")
+    chaos.add_argument("--policy", choices=("daly", "young", "fixed"),
+                       default=None, help="checkpoint interval policy "
+                                          "(default: the spec's, daly)")
+    chaos.add_argument("--interval", type=float, default=None, metavar="S",
+                       help="fixed checkpoint interval (with "
+                            "--policy fixed)")
+    chaos.add_argument("--checkpoint-cost", type=float, default=120.0,
+                       metavar="S", help="checkpoint write cost (s)")
+    chaos.add_argument("--restart", type=float, default=600.0, metavar="S",
+                       help="restart-from-checkpoint cost (s)")
+    chaos.add_argument("--mttr-scale", type=float, default=1.0,
+                       help="scale every repair time (default 1)")
+    chaos.add_argument("--uniform-blast", action="store_true",
+                       help="radius-1 node blasts for every class "
+                            "(the MttiModel-exact validation mode)")
+    chaos.add_argument("--validate", action="store_true",
+                       help="run the MTTI/efficiency cross-validation "
+                            "gate and exit (nonzero on failure)")
+    chaos.add_argument("--json", action="store_true",
+                       help="print the artifact document as JSON")
+    chaos.add_argument("--out", default="benchmarks/out/chaos",
+                       metavar="DIR", help="artifact directory "
+                                           "(default: benchmarks/out/chaos)")
+    chaos.add_argument("--fresh", action="store_true",
+                       help="re-run even if a completed artifact exists")
     return parser
 
 
@@ -485,6 +601,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_mpigraph(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     COMMANDS[args.command]()
     return 0
 

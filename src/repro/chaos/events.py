@@ -1,0 +1,205 @@
+"""Seeded fault-timeline sampling from the FIT-rate inventory.
+
+The static resiliency layer (:mod:`repro.resilience`) says how *often*
+things break; this module turns those rates into a concrete, replayable
+**event timeline**: one Poisson process per component class (exponential
+inter-arrival times), each failure carrying the victims its blast radius
+implies and an MTTR-drawn repair time.
+
+Determinism contract: every component class draws from its **own child
+generator** (:func:`repro.rng.spawn`), in inventory order, so the
+timeline is a pure function of ``(inventory, radii, seed, horizon)`` —
+independent of process, iteration order, or how many other classes
+exist with zero events.  The cross-process determinism test pins this.
+
+Event kinds (paper §3.4.2 / §5.4):
+
+* ``node`` — a component failure takes out an aligned block of
+  ``radius`` nodes (a PSU serves a fixed 2-node pair, a blade switch
+  fronts 4 nodes); the block containing a uniformly drawn victim dies.
+* ``link`` — a Slingshot cable/port failure the Fabric Manager routes
+  around: carries one L1/L2 link index from the supplied population
+  *and* the node block behind the failed blade (its endpoints lose
+  connectivity), so fabric and scheduler degrade together.
+* ``storage`` — a service-visible Orion event: no nodes die, but
+  checkpoint traffic slows by the engine's ``storage_slowdown`` factor
+  until repair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.resilience.blast_radius import DEFAULT_RADII
+from repro.resilience.fit import FitInventory
+from repro.rng import RngLike, as_generator, spawn
+
+__all__ = ["ChaosEvent", "ChaosTimeline", "sample_timeline",
+           "DEFAULT_MTTR_HOURS", "EVENT_KINDS",
+           "LINK_COMPONENTS", "STORAGE_COMPONENTS"]
+
+EVENT_KINDS = ("node", "link", "storage")
+
+#: Component classes whose failures are fabric link events (frontier
+#: radii) rather than plain node deaths.
+LINK_COMPONENTS = frozenset({"Slingshot switch"})
+
+#: Component classes whose failures degrade the parallel filesystem.
+STORAGE_COMPONENTS = frozenset({"Orion drive (service-visible)"})
+
+#: Mean Time To Repair per component class, hours.  Field-replaceable
+#: node parts take a maintenance window; cables and PSUs take a tech
+#: visit; a service-visible Orion event is a failover, not a swap.
+DEFAULT_MTTR_HOURS: dict[str, float] = {
+    "HBM2e stack (uncorrectable)": 2.0,
+    "DDR4 DIMM (uncorrectable)": 2.0,
+    "GCD (non-memory)": 2.0,
+    "Trento CPU": 4.0,
+    "Cassini NIC": 2.0,
+    "Node NVMe": 4.0,
+    "Power supply / rectifier": 4.0,
+    "Slingshot switch": 6.0,
+    "Orion drive (service-visible)": 1.0,
+}
+_FALLBACK_MTTR_HOURS = 2.0
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One sampled failure with its repair horizon.
+
+    ``victims`` are node ids (empty for pure storage events); ``link`` is
+    a topology link index for ``link`` events when a link population was
+    supplied, else ``None``.  Repair completes at ``time_h + duration_h``.
+    """
+
+    index: int
+    time_h: float
+    kind: str
+    component: str
+    victims: tuple[int, ...]
+    duration_h: float
+    link: int | None = None
+
+    @property
+    def repair_h(self) -> float:
+        return self.time_h + self.duration_h
+
+
+@dataclass(frozen=True)
+class ChaosTimeline:
+    """A replayable, time-sorted failure schedule over one horizon."""
+
+    horizon_h: float
+    total_nodes: int
+    events: tuple[ChaosEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        out = {kind: 0 for kind in EVENT_KINDS}
+        for ev in self.events:
+            out[ev.kind] += 1
+        return out
+
+    def by_kind(self, kind: str) -> Iterator[ChaosEvent]:
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown event kind {kind!r}; have {EVENT_KINDS}")
+        return (ev for ev in self.events if ev.kind == kind)
+
+    def to_doc(self) -> list[dict]:
+        """JSON-friendly event list for the chaos artifact."""
+        return [{"index": ev.index, "time_h": ev.time_h, "kind": ev.kind,
+                 "component": ev.component, "victims": list(ev.victims),
+                 "duration_h": ev.duration_h, "link": ev.link}
+                for ev in self.events]
+
+
+def _event_kind(component: str, uniform_blast: bool) -> str:
+    if uniform_blast:
+        return "node"
+    if component in LINK_COMPONENTS:
+        return "link"
+    if component in STORAGE_COMPONENTS:
+        return "storage"
+    return "node"
+
+
+def _victim_block(u: int, radius: int, total_nodes: int) -> tuple[int, ...]:
+    """The aligned ``radius``-node block containing victim ``u``."""
+    base = (u // radius) * radius
+    return tuple(range(base, min(base + radius, total_nodes)))
+
+
+def sample_timeline(inventory: FitInventory, *, total_nodes: int,
+                    horizon_h: float, rng: RngLike = None,
+                    radii: Mapping[str, int] | None = None,
+                    uniform_blast: bool = False,
+                    mttr_hours: Mapping[str, float] | None = None,
+                    mttr_scale: float = 1.0,
+                    link_population: Sequence[int] = ()) -> ChaosTimeline:
+    """Sample one failure/repair timeline from a FIT inventory.
+
+    ``uniform_blast=True`` collapses every class to a radius-1 node death
+    — the configuration where the measured job interrupt rate must agree
+    *exactly* (in expectation) with :class:`repro.resilience.mtti.MttiModel`,
+    which is what the cross-validation gate pins.  Otherwise ``radii``
+    (default :data:`~repro.resilience.blast_radius.DEFAULT_RADII`) sets
+    per-class blast footprints, switch failures become link events, and
+    Orion events become storage slowdowns.
+
+    ``link_population`` is the L1/L2 link-index pool link events draw
+    from (pass the live topology's surviving trunk links); without one,
+    link events still carry their node victims but no link index.
+    """
+    if total_nodes < 1:
+        raise ConfigurationError("timeline needs at least one node")
+    if horizon_h <= 0:
+        raise ConfigurationError("horizon must be positive")
+    if mttr_scale <= 0:
+        raise ConfigurationError("mttr_scale must be positive")
+    radii = dict(DEFAULT_RADII if radii is None else radii)
+    mttr = dict(DEFAULT_MTTR_HOURS if mttr_hours is None else mttr_hours)
+    links = np.asarray(link_population, dtype=np.int64)
+
+    entries = inventory.entries
+    streams = spawn(as_generator(rng), len(entries))
+    raw: list[tuple[float, int, ChaosEvent]] = []
+    for class_idx, (entry, gen) in enumerate(zip(entries, streams)):
+        rate = entry.failures_per_hour
+        if rate <= 0:
+            continue
+        kind = _event_kind(entry.name, uniform_blast)
+        radius = 1 if uniform_blast else int(radii.get(entry.name, 1))
+        mean_repair = mttr_scale * float(mttr.get(entry.name,
+                                                  _FALLBACK_MTTR_HOURS))
+        t = 0.0
+        while True:
+            t += float(gen.exponential(1.0 / rate))
+            if t >= horizon_h:
+                break
+            victims: tuple[int, ...] = ()
+            if kind != "storage" and radius > 0:
+                u = int(gen.integers(total_nodes))
+                victims = _victim_block(u, max(1, radius), total_nodes)
+            link = None
+            if kind == "link" and links.size:
+                link = int(links[int(gen.integers(links.size))])
+            duration = float(gen.exponential(mean_repair))
+            raw.append((t, class_idx, ChaosEvent(
+                index=-1, time_h=t, kind=kind, component=entry.name,
+                victims=victims, duration_h=duration, link=link)))
+
+    raw.sort(key=lambda item: (item[0], item[1]))
+    events = tuple(ChaosEvent(index=i, time_h=ev.time_h, kind=ev.kind,
+                              component=ev.component, victims=ev.victims,
+                              duration_h=ev.duration_h, link=ev.link)
+                   for i, (_, _, ev) in enumerate(raw))
+    return ChaosTimeline(horizon_h=float(horizon_h),
+                         total_nodes=int(total_nodes), events=events)

@@ -1,0 +1,133 @@
+"""Cross-validation: the chaos engine against the analytic models.
+
+The headline correctness claim of :mod:`repro.chaos` is that its
+*measured* statistics converge to the *static* resiliency models:
+
+* per-job interrupt rates (interrupts per RUNNING hour) match
+  :meth:`repro.resilience.mtti.MttiModel.job_mtti_hours` — exact in the
+  uniform radius-1 blast configuration, where every component failure
+  kills exactly one uniformly random node;
+* efficiency at the Daly-optimal checkpoint interval matches
+  :func:`repro.resilience.checkpoint.checkpoint_efficiency`.
+
+This module runs the pinned validation scenario (32-node machine,
+accelerated FIT rates, >= 1,000 events) and reports both ratios per job
+size with pass/fail flags at the gate tolerances (±10% on rate, ±5% on
+efficiency).  The test suite *and* the CI-gated ``chaos`` perf probe
+both assert on these flags, so a regression in either the engine's
+accounting or the analytic models breaks the build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chaos.engine import (ChaosConfig, ChaosResult, run_chaos,
+                                validation_config, validation_spec)
+
+__all__ = ["JobValidation", "ValidationReport", "cross_validate",
+           "RATE_TOLERANCE", "EFFICIENCY_TOLERANCE", "MIN_EVENTS"]
+
+#: Gate tolerances (ISSUE acceptance criteria).
+RATE_TOLERANCE = 0.10
+EFFICIENCY_TOLERANCE = 0.05
+MIN_EVENTS = 1000
+
+
+@dataclass(frozen=True)
+class JobValidation:
+    """Measured-vs-analytic agreement for one job size."""
+
+    name: str
+    n_nodes: int
+    interrupts: int
+    measured_rate_per_h: float
+    analytic_rate_per_h: float
+    measured_efficiency: float
+    analytic_efficiency: float
+
+    @property
+    def rate_ratio(self) -> float:
+        return (self.measured_rate_per_h / self.analytic_rate_per_h
+                if self.analytic_rate_per_h > 0 else float("inf"))
+
+    @property
+    def efficiency_ratio(self) -> float:
+        return (self.measured_efficiency / self.analytic_efficiency
+                if self.analytic_efficiency > 0 else float("inf"))
+
+    @property
+    def rate_ok(self) -> bool:
+        return abs(self.rate_ratio - 1.0) <= RATE_TOLERANCE
+
+    @property
+    def efficiency_ok(self) -> bool:
+        return abs(self.efficiency_ratio - 1.0) <= EFFICIENCY_TOLERANCE
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """The full cross-validation verdict."""
+
+    n_events: int
+    jobs: tuple[JobValidation, ...]
+    machine_availability: float
+
+    @property
+    def enough_events(self) -> bool:
+        return self.n_events >= MIN_EVENTS
+
+    @property
+    def passed(self) -> bool:
+        return (self.enough_events
+                and all(j.rate_ok and j.efficiency_ok for j in self.jobs))
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "n_events": self.n_events,
+            "machine_availability": self.machine_availability,
+            "passed": self.passed,
+            "jobs": [{
+                "name": j.name, "n_nodes": j.n_nodes,
+                "interrupts": j.interrupts,
+                "measured_rate_per_h": j.measured_rate_per_h,
+                "analytic_rate_per_h": j.analytic_rate_per_h,
+                "rate_ratio": j.rate_ratio, "rate_ok": j.rate_ok,
+                "measured_efficiency": j.measured_efficiency,
+                "analytic_efficiency": j.analytic_efficiency,
+                "efficiency_ratio": j.efficiency_ratio,
+                "efficiency_ok": j.efficiency_ok,
+            } for j in self.jobs],
+        }
+
+
+def report_from_result(result: ChaosResult) -> ValidationReport:
+    """Fold a finished chaos run into a validation report."""
+    return ValidationReport(
+        n_events=len(result.timeline),
+        machine_availability=result.machine_availability,
+        jobs=tuple(JobValidation(
+            name=j.name, n_nodes=j.n_nodes, interrupts=j.interrupts,
+            measured_rate_per_h=j.measured_rate_per_h,
+            analytic_rate_per_h=j.analytic_rate_per_h,
+            measured_efficiency=j.measured_efficiency,
+            analytic_efficiency=j.analytic_efficiency) for j in result.jobs))
+
+
+def cross_validate(seed: int = 0, *, horizon_h: float | None = None,
+                   failure_scale: float = 600.0,
+                   config: ChaosConfig | None = None) -> ValidationReport:
+    """Run the pinned validation scenario and score it.
+
+    Defaults reproduce the gate configuration: three job sizes (4/8/16
+    of 32 nodes), Daly-interval checkpointing, ~2,500 events over a
+    1,000-hour horizon.  Deterministic in ``seed``.
+    """
+    spec = validation_spec(failure_scale=failure_scale)
+    if config is None:
+        overrides: dict[str, Any] = {"seed": seed}
+        if horizon_h is not None:
+            overrides["horizon_h"] = horizon_h
+        config = validation_config(**overrides)
+    return report_from_result(run_chaos(spec, config))

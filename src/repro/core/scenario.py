@@ -168,6 +168,11 @@ class StorageSpec:
                                        for _ in range(self.nvme_per_node)))
 
 
+#: Checkpoint policies a chaos run may schedule under (``fixed`` uses
+#: the spec's explicit interval).
+CHECKPOINT_POLICIES = ("daly", "young", "fixed")
+
+
 @dataclass(frozen=True)
 class DegradationSpec:
     """Failure knobs for degraded-machine experiments.
@@ -176,10 +181,21 @@ class DegradationSpec:
     routed around; ``failed_nodes`` are node ids drained from scheduling.
     Both are stored sorted and de-duplicated so equal degradations compare
     equal regardless of how they were written down.
+
+    ``failure_scale`` and ``checkpoint_policy`` parameterise *dynamic*
+    fault injection (:mod:`repro.chaos`): the former multiplies every FIT
+    rate in the component inventory, the latter selects how interrupted
+    jobs checkpoint (Young/Daly optimum or a fixed
+    ``checkpoint_interval_s``).  They default to the pristine machine and
+    serialize only when non-default, so pre-existing spec files, task
+    hashes, and sweep artifacts are unaffected.
     """
 
     failed_links: tuple[int, ...] = ()
     failed_nodes: tuple[int, ...] = ()
+    failure_scale: float = 1.0
+    checkpoint_policy: str = "daly"
+    checkpoint_interval_s: float | None = None
 
     def __post_init__(self) -> None:
         for name in ("failed_links", "failed_nodes"):
@@ -188,6 +204,23 @@ class DegradationSpec:
                 raise ConfigurationError(
                     f"{name} must be non-negative integers, got {raw!r}")
             object.__setattr__(self, name, tuple(sorted(set(int(i) for i in raw))))
+        if not self.failure_scale > 0:
+            raise ConfigurationError(
+                f"failure_scale must be positive, got {self.failure_scale!r}")
+        object.__setattr__(self, "failure_scale", float(self.failure_scale))
+        if self.checkpoint_policy not in CHECKPOINT_POLICIES:
+            raise ConfigurationError(
+                f"checkpoint_policy must be one of {CHECKPOINT_POLICIES}, "
+                f"got {self.checkpoint_policy!r}")
+        if self.checkpoint_interval_s is not None:
+            if not self.checkpoint_interval_s > 0:
+                raise ConfigurationError(
+                    "checkpoint_interval_s must be positive")
+            object.__setattr__(self, "checkpoint_interval_s",
+                               float(self.checkpoint_interval_s))
+        elif self.checkpoint_policy == "fixed":
+            raise ConfigurationError(
+                "checkpoint_policy 'fixed' needs checkpoint_interval_s")
 
     @property
     def is_pristine(self) -> bool:
@@ -261,11 +294,13 @@ class MachineSpec:
         cfg = self.fabric_config()
         if isinstance(cfg, DragonflyConfig):
             net = SlingshotNetwork(cfg, policy=RoutingPolicy(self.routing),
-                                   latency=latency, rng=rng)
+                                   latency=latency, rng=rng,
+                                   nics_per_node=self.nics_per_node)
         else:
-            net = FatTreeNetwork(cfg, rng=rng, latency=latency)
+            net = FatTreeNetwork(cfg, rng=rng, latency=latency,
+                                 nics_per_node=self.nics_per_node)
         for link in self.degradation.failed_links:
-            net.router.disable_link(link)
+            net.disable_link(link)
         return net
 
     def machine(self):
@@ -292,12 +327,16 @@ class MachineSpec:
                  f"x{endpoints_per_switch}",
             node_count=cfg.total_endpoints // self.nics_per_node,
             fabric=DragonflyGeometry.from_config(cfg),
-            degradation=DegradationSpec())
+            # Link/node indices are not portable across topologies; the
+            # chaos knobs (rates and policy) are, so they survive.
+            degradation=replace(self.degradation, failed_links=(),
+                                failed_nodes=()))
 
     def degraded(self, *, failed_links: tuple[int, ...] = (),
                  failed_nodes: tuple[int, ...] = ()) -> "MachineSpec":
         """This spec plus extra failed links/nodes (merged, deduplicated)."""
-        merged = DegradationSpec(
+        merged = replace(
+            self.degradation,
             failed_links=self.degradation.failed_links + tuple(failed_links),
             failed_nodes=self.degradation.failed_nodes + tuple(failed_nodes))
         return replace(self, degradation=merged)
@@ -315,10 +354,22 @@ class MachineSpec:
             "storage": {"ssu_count": self.storage.ssu_count,
                         "mds_count": self.storage.mds_count,
                         "nvme_per_node": self.storage.nvme_per_node},
-            "degradation": {
-                "failed_links": list(self.degradation.failed_links),
-                "failed_nodes": list(self.degradation.failed_nodes)},
+            "degradation": self._degradation_dict(),
         }
+
+    def _degradation_dict(self) -> dict[str, Any]:
+        deg = self.degradation
+        doc: dict[str, Any] = {"failed_links": list(deg.failed_links),
+                               "failed_nodes": list(deg.failed_nodes)}
+        # Chaos knobs serialize only off their defaults: pre-chaos spec
+        # files round-trip byte-identically and task hashes are stable.
+        if deg.failure_scale != 1.0:
+            doc["failure_scale"] = deg.failure_scale
+        if deg.checkpoint_policy != "daly":
+            doc["checkpoint_policy"] = deg.checkpoint_policy
+        if deg.checkpoint_interval_s is not None:
+            doc["checkpoint_interval_s"] = deg.checkpoint_interval_s
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "MachineSpec":
@@ -340,7 +391,12 @@ class MachineSpec:
             storage=StorageSpec(**storage),
             degradation=DegradationSpec(
                 failed_links=tuple(degradation.get("failed_links", ())),
-                failed_nodes=tuple(degradation.get("failed_nodes", ()))),
+                failed_nodes=tuple(degradation.get("failed_nodes", ())),
+                failure_scale=degradation.get("failure_scale", 1.0),
+                checkpoint_policy=degradation.get("checkpoint_policy",
+                                                  "daly"),
+                checkpoint_interval_s=degradation.get(
+                    "checkpoint_interval_s")),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

@@ -500,19 +500,31 @@ def _plan_inter_chunk(router, state: DragonflyBatchState, M: np.ndarray,
 
 
 class FatTreeBatchState:
-    """Static ECMP planning tables (uplink table per edge switch)."""
+    """Static ECMP planning tables for one (topology, disabled-set) epoch.
 
-    def __init__(self, topo, config):
+    Failed uplinks are dropped from the candidate tables (the scalar
+    router filters the same ordered list, so water-filled picks stay
+    sequential-equivalent); failed edge or down links raise at plan time,
+    mirroring the scalar router.
+    """
+
+    def __init__(self, topo, config, disabled: set[int] | None = None):
         self.topo = topo
         self.flat = topo.flat
         self.config = config
+        disabled = disabled or set()
+        self.disabled_mask = np.zeros(topo.n_links, dtype=bool)
+        if disabled:
+            self.disabled_mask[np.fromiter(disabled, dtype=np.int64,
+                                           count=len(disabled))] = True
         E = config.edge_switches
         uplinks: list[list[int]] = []
         cores: list[list[int]] = []
         width = 1
         for e in range(E):
             ups = [link for link in topo.out_links(("sw", e))
-                   if link.dst[0] == "sw" and link.dst[1] >= E]
+                   if link.dst[0] == "sw" and link.dst[1] >= E
+                   and link.index not in disabled]
             uplinks.append([link.index for link in ups])
             cores.append([link.dst[1] for link in ups])
             width = max(width, len(ups))
@@ -540,9 +552,17 @@ def plan_fattree(router, state: FatTreeBatchState, pairs, *,
 
     sw_s = flat.endpoint_switch[src]
     sw_d = flat.endpoint_switch[dst]
+    edge_up = flat.ep_up_link[src]
+    edge_down = flat.ep_down_link[dst]
+    edge_dead = state.disabled_mask[edge_up] | state.disabled_mask[edge_down]
+    if edge_dead.any():
+        f = int(np.flatnonzero(edge_dead)[0])
+        raise RoutingError(
+            f"edge link of endpoint pair ({int(src[f])}, {int(dst[f])}) "
+            "is failed")
     M = np.full((n, 4), -1, dtype=np.int64)
-    M[:, 0] = flat.ep_up_link[src]
-    M[:, 3] = flat.ep_down_link[dst]
+    M[:, 0] = edge_up
+    M[:, 3] = edge_down
     cross = sw_s != sw_d
     counts = router._load.counts
 
@@ -555,7 +575,8 @@ def plan_fattree(router, state: FatTreeBatchState, pairs, *,
             edges = sw_s[ci]
             if not state.has_uplink[edges].all():
                 e = int(edges[~state.has_uplink[edges]][0])
-                raise RoutingError(f"edge switch {e} has no uplinks")
+                raise RoutingError(
+                    f"edge switch {e} has no surviving uplinks")
             cand, _implied, up = _grouped_waterfill(
                 state.up_link, counts, edges, ci, sequential=register)
             core = state.up_core[edges, cand]
@@ -565,6 +586,12 @@ def plan_fattree(router, state: FatTreeBatchState, pairs, *,
                 raise RoutingError(
                     f"core {('sw', int(core[at]))} does not reach edge "
                     f"{int(sw_d[ci][at])}")
+            if state.disabled_mask[downlink].any():
+                at = int(np.flatnonzero(state.disabled_mask[downlink])[0])
+                raise RoutingError(
+                    f"core {('sw', int(core[at]))} link to edge "
+                    f"{int(sw_d[ci][at])} is failed; disable uplink "
+                    f"{int(up[at])} to route around the plane")
             M[ci, 1] = up
             M[ci, 2] = downlink
         if register:

@@ -71,16 +71,82 @@ class FabricNetwork:
     topology_label = "fabric"
 
     def __init__(self, config, topology: Topology, router,
-                 latency: LatencyModel | None = None):
+                 latency: LatencyModel | None = None,
+                 nics_per_node: int = 1):
         self.config = config
         self.topology = topology
         self.router = router
         self.latency = latency if latency is not None else LatencyModel()
+        if nics_per_node < 1:
+            raise ConfigurationError("nodes need at least one NIC")
+        #: endpoints per node: node ``i`` injects through endpoints
+        #: ``[i * nics_per_node, (i + 1) * nics_per_node)``.
+        self.nics_per_node = nics_per_node
+        #: nodes currently taken out of service via :meth:`disable_node`.
+        self.disabled_nodes: set[int] = set()
 
     @property
     def _policy_label(self) -> str:
         policy = getattr(self.router, "policy", None)
         return policy.value if policy is not None else "ecmp"
+
+    # -- failure / repair -----------------------------------------------------
+    #
+    # The uniform fault surface the chaos engine (:mod:`repro.chaos`) and
+    # the degradation sweeps drive.  Everything funnels through the
+    # router's ``disable_link``/``enable_link`` so path LRU and batch
+    # planner state are invalidated identically on failure *and* repair,
+    # for both the Slingshot and fat-tree backends.
+
+    def disable_link(self, index: int) -> None:
+        """Fail one link; the routers route around it (FM sweep, §3.4.2)."""
+        self.router.disable_link(index)
+        obs.counter("fabric.links_disabled").inc()
+
+    def enable_link(self, index: int) -> None:
+        """Return a repaired link to service (invalidates the same caches)."""
+        self.router.enable_link(index)
+        obs.counter("fabric.links_enabled").inc()
+
+    @property
+    def disabled_links(self) -> frozenset[int]:
+        return frozenset(self.router.disabled)
+
+    def node_endpoints(self, node: int) -> range:
+        """The fabric endpoints a node injects through."""
+        n_nodes = self.config.total_endpoints // self.nics_per_node
+        if not 0 <= node < n_nodes:
+            raise ConfigurationError(
+                f"no node {node}: fabric carries {n_nodes} nodes at "
+                f"{self.nics_per_node} NICs per node")
+        return range(node * self.nics_per_node,
+                     (node + 1) * self.nics_per_node)
+
+    def disable_node(self, node: int) -> None:
+        """Fail a whole node: every edge link of its endpoints goes down.
+
+        Traffic *to or from* the node now raises ``RoutingError``; traffic
+        between surviving nodes re-routes as usual.  Idempotent.
+        """
+        if node in self.disabled_nodes:
+            return
+        flat = self.topology.flat
+        for ep in self.node_endpoints(node):
+            self.router.disable_link(int(flat.ep_up_link[ep]))
+            self.router.disable_link(int(flat.ep_down_link[ep]))
+        self.disabled_nodes.add(node)
+        obs.counter("fabric.nodes_disabled").inc()
+
+    def enable_node(self, node: int) -> None:
+        """Return a repaired node's edge links to service.  Idempotent."""
+        if node not in self.disabled_nodes:
+            return
+        flat = self.topology.flat
+        for ep in self.node_endpoints(node):
+            self.router.enable_link(int(flat.ep_up_link[ep]))
+            self.router.enable_link(int(flat.ep_down_link[ep]))
+        self.disabled_nodes.discard(node)
+        obs.counter("fabric.nodes_enabled").inc()
 
     # -- flow-level bandwidth ------------------------------------------------
 
@@ -166,10 +232,11 @@ class SlingshotNetwork(FabricNetwork):
     def __init__(self, config: DragonflyConfig,
                  policy: RoutingPolicy = RoutingPolicy.UGAL,
                  latency: LatencyModel | None = None,
-                 rng: RngLike = None):
+                 rng: RngLike = None, nics_per_node: int = 1):
         topology = build_dragonfly(config)
         super().__init__(config, topology,
-                         Router(topology, config, policy, rng=rng), latency)
+                         Router(topology, config, policy, rng=rng), latency,
+                         nics_per_node=nics_per_node)
         self.policy = policy
 
     # -- full-scale analytic results ------------------------------------------
@@ -190,7 +257,9 @@ class FatTreeNetwork(FabricNetwork):
     topology_label = "fattree"
 
     def __init__(self, config: FatTreeConfig, rng: RngLike = None,
-                 latency: LatencyModel | None = None):
+                 latency: LatencyModel | None = None,
+                 nics_per_node: int = 1):
         topology = build_fattree(config)
         super().__init__(config, topology,
-                         FatTreeRouter(topology, config, rng=rng), latency)
+                         FatTreeRouter(topology, config, rng=rng), latency,
+                         nics_per_node=nics_per_node)

@@ -350,10 +350,26 @@ class FatTreeRouter:
         self._path_cache = LruCache(maxsize=path_cache_size)
         self.batch_chunk = batch_chunk
         self._batch_state: batchroute.FatTreeBatchState | None = None
+        #: links taken out of service (failed cables); ECMP picks route
+        #: around failed uplinks, failed edge/down links raise.
+        self.disabled: set[int] = set()
 
     def reset_load(self) -> None:
         self._load.reset()
         self._path_cache.clear()
+
+    def disable_link(self, index: int) -> None:
+        """Take a link out of service (same contract as :meth:`Router.disable_link`)."""
+        if not 0 <= index < self.topo.n_links:
+            raise RoutingError(f"no link {index}")
+        self.disabled.add(index)
+        self._path_cache.clear()
+        self._batch_state = None
+
+    def enable_link(self, index: int) -> None:
+        self.disabled.discard(index)
+        self._path_cache.clear()
+        self._batch_state = None
 
     def paths(self, pairs, *, chunk: int | None = None,
               register: bool = True) -> BatchPaths:
@@ -371,7 +387,8 @@ class FatTreeRouter:
             raise RoutingError(f"chunk must be >= 1, got {chunk}")
         state = self._batch_state
         if state is None or state.flat is not self.topo.flat:
-            state = batchroute.FatTreeBatchState(self.topo, self.config)
+            state = batchroute.FatTreeBatchState(self.topo, self.config,
+                                                 self.disabled)
             self._batch_state = state
         with obs.span("fabric.batch_route", n_flows=len(pairs), chunk=chunk,
                       policy="ecmp"):
@@ -390,25 +407,41 @@ class FatTreeRouter:
             obs.counter("fabric.path_cache.misses").inc()
         sw_s = self.topo.switch_of_endpoint(src_ep)
         sw_d = self.topo.switch_of_endpoint(dst_ep)
-        path = [self.topo.link_between(("ep", src_ep), ("sw", sw_s)).index]
+        path = [self._edge_link(("ep", src_ep), ("sw", sw_s))]
         if sw_s != sw_d:
-            # pick the least-loaded core plane
+            # pick the least-loaded surviving core plane
             E = self.config.edge_switches
             ups = [link for link in self.topo.out_links(("sw", sw_s))
-                   if link.dst[0] == "sw" and link.dst[1] >= E]
+                   if link.dst[0] == "sw" and link.dst[1] >= E
+                   and link.index not in self.disabled]
             if not ups:
-                raise RoutingError(f"edge switch {sw_s} has no uplinks")
+                raise RoutingError(
+                    f"edge switch {sw_s} has no surviving uplinks")
             loads = [self._load.load(link.index) for link in ups]
             up = ups[int(np.argmin(loads))]
             core = up.dst
             down = self.topo.link_between(core, ("sw", sw_d))
             if down is None:
                 raise RoutingError(f"core {core} does not reach edge {sw_d}")
+            if down.index in self.disabled:
+                # the matching downlink died: steer flows off this core
+                # plane by disabling its uplink too (fabric-manager move)
+                raise RoutingError(
+                    f"core {core} link to edge {sw_d} is failed; disable "
+                    f"uplink {up.index} to route around the plane")
             path += [up.index, down.index]
-        path.append(self.topo.link_between(("sw", sw_d), ("ep", dst_ep)).index)
+        path.append(self._edge_link(("sw", sw_d), ("ep", dst_ep)))
         self.topo.validate_path(path)
         if register:
             self._load.add_path(path)
         else:
             self._path_cache.put(key, tuple(path))
         return path
+
+    def _edge_link(self, node_a, node_b) -> int:
+        link = self.topo.link_between(node_a, node_b)
+        if link is None:
+            raise RoutingError(f"no link {node_a}->{node_b}")
+        if link.index in self.disabled:
+            raise RoutingError(f"link {node_a}->{node_b} is failed")
+        return link.index

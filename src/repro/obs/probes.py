@@ -195,6 +195,32 @@ def probe_sweep() -> dict[str, float]:
     }
 
 
+def probe_chaos() -> dict[str, float]:
+    """Chaos-engine cross-validation: measured vs analytic models.
+
+    Runs the pinned validation scenario (uniform radius-1 blasts, 32
+    nodes, ~2,450 events over 1,000 h) and reports the measured/analytic
+    ratios per job size plus hard 0/1 gate flags — so CI fails if the
+    engine's interrupt statistics drift off ``MttiModel`` (±10%) or its
+    efficiency accounting off ``checkpoint_efficiency`` (±5%).  The
+    ``chaos.*`` counters emitted by the run land in the baseline too.
+    """
+    from repro.chaos import cross_validate
+
+    report = cross_validate(seed=0)
+    values: dict[str, float] = {
+        "events": float(report.n_events),
+        "machine_availability": report.machine_availability,
+        "mtti_within_10pct": float(all(j.rate_ok for j in report.jobs)),
+        "eff_within_5pct": float(all(j.efficiency_ok for j in report.jobs)),
+        "passed": float(report.passed),
+    }
+    for j in report.jobs:
+        values[f"rate_ratio_{j.n_nodes}n"] = j.rate_ratio
+        values[f"eff_ratio_{j.n_nodes}n"] = j.efficiency_ratio
+    return values
+
+
 #: Ordered registry: probe name -> callable returning scalar model outputs.
 PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "fabric": probe_fabric,
@@ -204,6 +230,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "storage": probe_storage,
     "scheduler": probe_scheduler,
     "sweep": probe_sweep,
+    "chaos": probe_chaos,
 }
 
 

@@ -117,11 +117,38 @@ class SlurmScheduler:
         self._node_state[node] = NodeState.DRAIN
 
     def resume(self, node: int) -> None:
-        """Return a drained node to service — via checknode, like real life."""
+        """Return a drained node to service — via checknode, like real life.
+
+        A successful return frees capacity, so pending jobs get a
+        placement attempt immediately (a repair can unblock the queue).
+        """
         if self.node_state(node) is not NodeState.DRAIN:
             raise SchedulerError(f"node {node} is not drained")
         if self.checknode(node):
             self._node_state[node] = NodeState.IDLE
+            self._try_start()
+
+    def fail_node(self, node: int) -> int | None:
+        """A node dies under the scheduler (chaos injection).
+
+        The owning RUNNING job, if any, is cancelled (its surviving nodes
+        are re-gated through checknode as usual) and the dead node is
+        drained unconditionally.  Returns the interrupted job's id, or
+        ``None`` if the node was not allocated.
+        """
+        state = self.node_state(node)
+        # Drain *before* cancelling: _finish re-gates the job's nodes and
+        # backfills, and must never hand the dead node to a pending job.
+        self._node_state[node] = NodeState.DRAIN
+        interrupted: int | None = None
+        if state is NodeState.ALLOCATED:
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING and node in job.nodes:
+                    interrupted = job.job_id
+                    self._finish(job, JobState.CANCELLED)
+                    break
+        obs.counter("scheduler.nodes_failed").inc()
+        return interrupted
 
     # -- job lifecycle -------------------------------------------------------
 
@@ -223,8 +250,11 @@ class SlurmScheduler:
         for vni in job.step_vnis:
             self.vni.release(vni)
         job.step_vnis.clear()
-        # checknode gates every node's return to service (between every job).
+        # checknode gates every node's return to service (between every
+        # job); nodes drained mid-job (fail_node) stay drained.
         for n in job.nodes:
+            if self._node_state[n] is NodeState.DRAIN:
+                continue
             if self.checknode(n):
                 self._node_state[n] = NodeState.IDLE
             else:

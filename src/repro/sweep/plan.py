@@ -127,6 +127,23 @@ def _axis_nics(spec: MachineSpec, value: Any) -> MachineSpec:
     return replace(spec, nics_per_node=int(value))
 
 
+def _axis_failure_scale(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Multiply every FIT rate (the chaos axis; 1.0 is as-built)."""
+    return replace(spec, degradation=replace(
+        spec.degradation, failure_scale=float(value)))
+
+
+def _axis_checkpoint_policy(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Checkpoint policy for chaos runs: ``daly``/``young``, or a number
+    (seconds) meaning a fixed interval."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return replace(spec, degradation=replace(
+            spec.degradation, checkpoint_policy="fixed",
+            checkpoint_interval_s=float(value)))
+    return replace(spec, degradation=replace(
+        spec.degradation, checkpoint_policy=str(value)))
+
+
 #: Axis name -> applier, in **application order** (scale first: rescaling
 #: resets degradation, so failure axes must be applied afterwards).
 AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
@@ -135,6 +152,8 @@ AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
     "routing": _axis_routing,
     "disabled_links": _axis_disabled_links,
     "disabled_nodes": _axis_disabled_nodes,
+    "failure_scale": _axis_failure_scale,
+    "checkpoint_policy": _axis_checkpoint_policy,
 }
 
 

@@ -117,6 +117,30 @@ def probe_placement(spec: MachineSpec,
     }
 
 
+def probe_chaos(spec: MachineSpec,
+                rng: np.random.Generator) -> dict[str, float]:
+    """A 24-hour chaos run on this machine (see :mod:`repro.chaos`).
+
+    Honours the spec's ``failure_scale`` and ``checkpoint_policy`` knobs
+    (the ``failure_scale`` / ``checkpoint_policy`` sweep axes).  Fabric
+    measurement is off: the scheduler/checkpoint story scales to the
+    full machine, flow solves do not.
+    """
+    from repro.chaos import ChaosConfig, run_chaos
+    config = ChaosConfig(horizon_h=24.0, measure_fabric=False)
+    result = run_chaos(spec, config, rng=rng)
+    effs = [j.measured_efficiency for j in result.jobs]
+    return {
+        "events": float(len(result.timeline)),
+        "interrupts": float(sum(j.interrupts for j in result.jobs)),
+        "machine_availability": result.machine_availability,
+        "mean_efficiency": float(np.mean(effs)) if effs else 0.0,
+        "min_efficiency": float(np.min(effs)) if effs else 0.0,
+        "committed_node_hours": float(sum(
+            j.committed_h * j.n_nodes for j in result.jobs)),
+    }
+
+
 # -- fault injection (tests + CI smoke) ---------------------------------------
 
 
@@ -162,6 +186,7 @@ SWEEP_PROBES: dict[str, SweepProbe] = {
     "comm": probe_comm,
     "storage": probe_storage,
     "placement": probe_placement,
+    "chaos": probe_chaos,
     "failing": probe_failing,
     "flaky": probe_flaky,
     "sleepy": probe_sleepy,

@@ -1,0 +1,124 @@
+"""Timeline sampling: determinism (in- and cross-process), event shapes."""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import DEFAULT_MTTR_HOURS, sample_timeline
+from repro.chaos.events import LINK_COMPONENTS, STORAGE_COMPONENTS
+from repro.errors import ConfigurationError
+from repro.resilience.fit import frontier_fit_inventory
+
+NODES = 32
+HORIZON = 100.0
+
+
+def timeline(seed=7, scale=200.0, **kw):
+    inv = frontier_fit_inventory(nodes=NODES).scaled(scale)
+    return sample_timeline(inv, total_nodes=NODES, horizon_h=HORIZON,
+                           rng=seed, **kw)
+
+
+class TestDeterminism:
+    def test_same_seed_same_timeline(self):
+        assert timeline(seed=7).to_doc() == timeline(seed=7).to_doc()
+
+    def test_different_seed_different_timeline(self):
+        assert timeline(seed=7).to_doc() != timeline(seed=8).to_doc()
+
+    def test_timeline_survives_the_process_boundary(self):
+        """The determinism contract: the timeline is a pure function of
+        (inventory, seed, horizon), not of process or hash randomisation."""
+        snippet = (
+            "import hashlib, json\n"
+            "from repro.chaos import sample_timeline\n"
+            "from repro.resilience.fit import frontier_fit_inventory\n"
+            f"inv = frontier_fit_inventory(nodes={NODES}).scaled(200.0)\n"
+            f"tl = sample_timeline(inv, total_nodes={NODES}, "
+            f"horizon_h={HORIZON}, rng=7, uniform_blast=True)\n"
+            "blob = json.dumps(tl.to_doc(), sort_keys=True)\n"
+            "print(hashlib.sha256(blob.encode()).hexdigest())\n")
+        local = timeline(seed=7, uniform_blast=True)
+        expected = hashlib.sha256(
+            json.dumps(local.to_doc(), sort_keys=True).encode()).hexdigest()
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        digests = set()
+        for _ in range(2):
+            proc = subprocess.run([sys.executable, "-c", snippet],
+                                  capture_output=True, text=True, check=True,
+                                  env=env)
+            digests.add(proc.stdout.strip())
+        assert digests == {expected}
+
+
+class TestEventShapes:
+    def test_sorted_in_time_and_reindexed(self):
+        tl = timeline()
+        times = [ev.time_h for ev in tl.events]
+        assert times == sorted(times)
+        assert [ev.index for ev in tl.events] == list(range(len(tl)))
+
+    def test_events_land_inside_the_horizon(self):
+        tl = timeline()
+        assert all(0.0 < ev.time_h < HORIZON for ev in tl.events)
+        assert all(ev.duration_h > 0 for ev in tl.events)
+
+    def test_victims_are_valid_nodes(self):
+        for ev in timeline().events:
+            assert all(0 <= v < NODES for v in ev.victims)
+
+    def test_uniform_blast_is_all_single_node_deaths(self):
+        tl = timeline(uniform_blast=True)
+        assert tl.counts() == {"node": len(tl), "link": 0, "storage": 0}
+        assert all(len(ev.victims) == 1 for ev in tl.events)
+
+    def test_frontier_radii_split_kinds(self):
+        tl = timeline()
+        counts = tl.counts()
+        assert counts["storage"] > 0          # Orion dominates the inventory
+        assert counts["link"] > 0
+        for ev in tl.by_kind("storage"):
+            assert ev.victims == ()
+            assert ev.component in STORAGE_COMPONENTS
+        for ev in tl.by_kind("link"):
+            assert ev.component in LINK_COMPONENTS
+            assert len(ev.victims) == 4       # the blade's node block
+
+    def test_link_population_tags_link_events(self):
+        tl = timeline(link_population=(10, 11, 12))
+        links = [ev.link for ev in tl.by_kind("link")]
+        assert links and all(link in (10, 11, 12) for link in links)
+        assert all(ev.link is None for ev in tl.by_kind("node"))
+
+    def test_mttr_scale_shrinks_repairs(self):
+        slow = timeline(mttr_scale=1.0)
+        fast = timeline(mttr_scale=0.01)
+        mean = lambda tl: sum(e.duration_h for e in tl.events) / len(tl)  # noqa: E731
+        assert mean(fast) < 0.1 * mean(slow)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(timeline().by_kind("gremlin"))
+
+
+class TestValidation:
+    def test_bad_arguments_rejected(self):
+        inv = frontier_fit_inventory(nodes=NODES)
+        with pytest.raises(ConfigurationError):
+            sample_timeline(inv, total_nodes=0, horizon_h=1.0)
+        with pytest.raises(ConfigurationError):
+            sample_timeline(inv, total_nodes=NODES, horizon_h=0.0)
+        with pytest.raises(ConfigurationError):
+            sample_timeline(inv, total_nodes=NODES, horizon_h=1.0,
+                            mttr_scale=0.0)
+
+    def test_mttr_table_covers_the_frontier_inventory(self):
+        names = {e.name for e in frontier_fit_inventory().entries}
+        assert names <= set(DEFAULT_MTTR_HOURS)

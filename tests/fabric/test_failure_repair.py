@@ -1,0 +1,168 @@
+"""Failure/repair surface: disable -> route -> enable -> route, both backends.
+
+The chaos engine's contract with the fabric facade: ``disable_link``
+makes routing avoid the link, ``enable_link`` returns it to service
+*and invalidates the same caches* (path LRU + batch planner state), so a
+repaired link is actually used again — on the Slingshot dragonfly and
+the fat-tree comparison system alike, through the scalar and the batch
+planners.
+"""
+
+import pytest
+
+from repro.errors import RoutingError
+from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.fattree import FatTreeConfig
+from repro.fabric.network import FatTreeNetwork, SlingshotNetwork
+from repro.fabric.routing import RoutingPolicy
+
+DF_CFG = DragonflyConfig().scaled(8, 4, 4)
+FT_CFG = FatTreeConfig(edge_switches=8, endpoints_per_edge=8)
+
+
+def dragonfly() -> SlingshotNetwork:
+    # MINIMAL keeps paths load-independent, so repair must restore them.
+    return SlingshotNetwork(DF_CFG, policy=RoutingPolicy.MINIMAL, rng=0)
+
+
+def fattree() -> FatTreeNetwork:
+    return FatTreeNetwork(FT_CFG, rng=0)
+
+
+def scalar(net, src, dst):
+    return net.router.path(src, dst, register=False)
+
+
+def batch(net, pairs):
+    return net.router.paths(pairs, register=False).to_lists()
+
+
+@pytest.mark.parametrize("build", [dragonfly, fattree],
+                         ids=["dragonfly", "fattree"])
+class TestDisableRouteEnableRoute:
+    def test_scalar_roundtrip(self, build):
+        net = build()
+        dst = net.config.total_endpoints - 1
+        before = scalar(net, 0, dst)
+        trunk = next(i for i in before
+                     if net.topology.flat.link_kind[i] > 0)
+        net.disable_link(trunk)
+        assert net.disabled_links == {trunk}
+        rerouted = scalar(net, 0, dst)
+        assert trunk not in rerouted
+        net.enable_link(trunk)
+        assert net.disabled_links == frozenset()
+        assert scalar(net, 0, dst) == before    # repair restores the route
+
+    def test_batch_roundtrip(self, build):
+        net = build()
+        n = net.config.total_endpoints
+        pairs = [(0, n - 1)] + [(i, (i + 9) % n) for i in range(0, n, 7)]
+        before = batch(net, pairs)
+        trunk = next(i for i in before[0]
+                     if net.topology.flat.link_kind[i] > 0)
+        net.disable_link(trunk)
+        rerouted = batch(net, pairs)
+        assert all(trunk not in p for p in rerouted)
+        net.enable_link(trunk)
+        assert batch(net, pairs) == before
+
+    def test_batch_agrees_with_scalar_under_failure(self, build):
+        net = build()
+        n = net.config.total_endpoints
+        dst = n - 1
+        trunk = next(i for i in scalar(net, 0, dst)
+                     if net.topology.flat.link_kind[i] > 0)
+        net.disable_link(trunk)
+        planned = batch(net, [(0, dst)])[0]
+        assert planned == scalar(net, 0, dst)
+
+    def test_unknown_link_rejected(self, build):
+        net = build()
+        with pytest.raises(RoutingError):
+            net.disable_link(net.topology.n_links)
+
+    def test_enable_is_idempotent(self, build):
+        net = build()
+        net.disable_link(0)
+        net.enable_link(0)
+        net.enable_link(0)                       # repairing twice is fine
+        assert net.disabled_links == frozenset()
+
+
+@pytest.mark.parametrize("build", [dragonfly, fattree],
+                         ids=["dragonfly", "fattree"])
+class TestNodeFailureRepair:
+    def test_dead_node_unreachable_others_unaffected(self, build):
+        net = build()
+        dst = net.config.total_endpoints - 1
+        alive = scalar(net, 8, dst)
+        net.disable_node(3)
+        assert net.disabled_nodes == {3}
+        with pytest.raises(RoutingError):
+            scalar(net, 3, dst)
+        with pytest.raises(RoutingError):
+            scalar(net, dst, 3)
+        assert scalar(net, 8, dst) == alive
+
+    def test_batch_raises_on_dead_endpoint(self, build):
+        net = build()
+        dst = net.config.total_endpoints - 1
+        net.disable_node(3)
+        with pytest.raises(RoutingError):
+            batch(net, [(3, dst)])
+
+    def test_repair_restores_service(self, build):
+        net = build()
+        dst = net.config.total_endpoints - 1
+        before = scalar(net, 3, dst)
+        net.disable_node(3)
+        net.disable_node(3)                      # idempotent failure
+        net.enable_node(3)
+        assert net.disabled_nodes == set()
+        assert net.disabled_links == frozenset()
+        assert scalar(net, 3, dst) == before
+
+    def test_multi_nic_node_maps_to_endpoint_block(self, build):
+        net = build()
+        net.nics_per_node = 4
+        assert list(net.node_endpoints(2)) == [8, 9, 10, 11]
+        net.disable_node(2)
+        with pytest.raises(RoutingError):
+            scalar(net, 9, net.config.total_endpoints - 1)
+        net.enable_node(2)
+        assert net.disabled_links == frozenset()
+
+
+class TestFatTreeSpecifics:
+    def test_dead_uplink_drops_out_of_ecmp(self):
+        net = fattree()
+        before = scalar(net, 0, 60)
+        up = before[1]
+        net.disable_link(up)
+        rerouted = scalar(net, 0, 60)
+        assert up not in rerouted and len(rerouted) == 4
+        assert batch(net, [(0, 60)])[0] == rerouted
+
+    def test_dead_edge_link_raises_scalar_and_batch(self):
+        net = fattree()
+        edge = scalar(net, 0, 60)[0]
+        net.disable_link(edge)
+        with pytest.raises(RoutingError):
+            scalar(net, 0, 60)
+        with pytest.raises(RoutingError):
+            batch(net, [(0, 60)])
+
+    def test_edge_switch_with_no_surviving_uplinks(self):
+        net = fattree()
+        flat = net.topology.flat
+        E = FT_CFG.edge_switches
+        ups = [link.index for link in net.topology.out_links(("sw", 0))
+               if link.dst[0] == "sw" and link.dst[1] >= E]
+        for index in ups:
+            net.disable_link(index)
+        with pytest.raises(RoutingError, match="surviving uplinks"):
+            scalar(net, 0, 60)
+        net.enable_link(ups[0])                  # one repair is enough
+        assert len(scalar(net, 0, 60)) == 4
+        assert flat.link_kind[ups[0]] > 0

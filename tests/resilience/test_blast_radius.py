@@ -81,3 +81,33 @@ class TestWhatIf:
             model.what_if_radius("nonexistent", 1)
         with pytest.raises(ConfigurationError):
             model.what_if_radius("Cassini NIC", -1)
+
+
+class TestAgreementWithMttiModel:
+    """The chaos cross-validation gate's analytic backbone: with every
+    radius forced to 1 (and none absorbed), the failure-domain model
+    collapses *exactly* onto ``MttiModel``'s proportional attribution."""
+
+    def test_all_radius_one_equals_mtti_model(self):
+        from repro.resilience.blast_radius import DEFAULT_RADII
+        naive = MttiModel.frontier()
+        uniform = FailureDomainModel(
+            radii={name: 1 for name in DEFAULT_RADII})
+        for job in (64, 1024, 9472):
+            assert uniform.job_interrupt_rate(job) == pytest.approx(
+                1.0 / naive.job_mtti_hours(job), rel=1e-12)
+
+    def test_frontier_radii_bracket_the_naive_model(self, model):
+        """Real radii drop Orion (radius 0) but amplify PSU/switch hits;
+        the FDM rate stays within the physically meaningful envelope of
+        the naive rate for small jobs."""
+        naive = MttiModel.frontier()
+        for job in (64, 1024):
+            fdm = model.job_interrupt_rate(job)
+            upper = 4.0 / naive.job_mtti_hours(job)   # max radius = 4
+            assert 0.0 < fdm < upper
+
+    def test_scaled_inventory_scales_interrupt_rate(self, model):
+        hot = FailureDomainModel(model.inventory.scaled(10.0))
+        assert hot.job_interrupt_rate(1024) == pytest.approx(
+            10.0 * model.job_interrupt_rate(1024))

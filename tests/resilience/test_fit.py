@@ -62,3 +62,31 @@ class TestEntries:
     def test_hbm_stack_count_matches_architecture(self, inventory):
         hbm = next(e for e in inventory.entries if e.name.startswith("HBM"))
         assert hbm.count == 9472 * 32   # 8 GCDs x 4 stacks per node
+
+
+class TestScaled:
+    """The chaos engine's ``failure_scale`` knob rides on ``scaled``."""
+
+    def test_mtti_monotone_in_scale_factor(self, inventory):
+        factors = (0.1, 0.5, 1.0, 2.0, 10.0, 600.0)
+        mttis = [inventory.scaled(f).system_mtti_hours for f in factors]
+        assert mttis == sorted(mttis, reverse=True)
+
+    def test_rates_scale_linearly(self, inventory):
+        doubled = inventory.scaled(2.0)
+        for base, scaled in zip(inventory.entries, doubled.entries):
+            assert scaled.failures_per_hour == pytest.approx(
+                2.0 * base.failures_per_hour)
+        assert doubled.system_mtti_hours == pytest.approx(
+            inventory.system_mtti_hours / 2.0)
+
+    def test_identity_scale_preserves_everything(self, inventory):
+        same = inventory.scaled(1.0)
+        assert [e.name for e in same.entries] == [
+            e.name for e in inventory.entries]
+        assert same.system_mtti_hours == inventory.system_mtti_hours
+
+    def test_contributions_invariant_under_scaling(self, inventory):
+        scaled = inventory.scaled(37.0)
+        for name, frac in inventory.contributions().items():
+            assert scaled.contributions()[name] == pytest.approx(frac)

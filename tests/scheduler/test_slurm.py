@@ -144,3 +144,60 @@ class TestLifecycle:
         j = s.submit(JobRequest(16, 10.0))
         with pytest.raises(SchedulerError):
             s.drain(s.job(j).nodes[0])
+
+
+class TestFailNode:
+    """fail_node / resume: the chaos engine's interrupt-and-repair path."""
+
+    def test_failing_an_allocated_node_interrupts_its_job(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        victim = s.job(j).nodes[0]
+        assert s.fail_node(victim) == j
+        assert s.job(j).state is JobState.CANCELLED
+        assert s.node_state(victim) is NodeState.DRAIN
+
+    def test_failing_an_idle_node_just_drains_it(self):
+        s = scheduler(16)
+        assert s.fail_node(15) is None
+        assert s.node_state(15) is NodeState.DRAIN
+
+    def test_backfill_never_lands_on_the_dead_node(self):
+        """The drain must happen before the cancel frees capacity."""
+        s = scheduler(16)
+        j1 = s.submit(JobRequest(16, 100.0))
+        j2 = s.submit(JobRequest(16, 100.0))
+        s.fail_node(0)
+        assert s.job(j1).state is JobState.CANCELLED
+        assert s.job(j2).state is JobState.PENDING   # only 15 nodes left
+        j3 = s.submit(JobRequest(15, 100.0))
+        assert s.job(j3).state is JobState.RUNNING
+        assert 0 not in s.job(j3).nodes
+
+    def test_surviving_nodes_regate_through_checknode(self):
+        sick = set()
+        s = scheduler(16, checknode=lambda n: n not in sick)
+        j = s.submit(JobRequest(8, 100.0))
+        a, b = s.job(j).nodes[:2]
+        sick.update({a, b})
+        s.fail_node(a)
+        # co-victim b was caught by the between-jobs checknode sweep
+        assert s.node_state(b) is NodeState.DRAIN
+        assert len(s.free_nodes) == 16 - 8 + 6
+
+    def test_resume_restarts_the_queue(self):
+        s = scheduler(16)
+        s.fail_node(0)
+        j = s.submit(JobRequest(16, 10.0))
+        assert s.job(j).state is JobState.PENDING
+        s.resume(0)
+        assert s.job(j).state is JobState.RUNNING
+
+    def test_resume_of_still_sick_node_stays_drained(self):
+        sick = {0}
+        s = scheduler(16, checknode=lambda n: n not in sick)
+        s.resume(0)
+        assert s.node_state(0) is NodeState.DRAIN
+        sick.clear()
+        s.resume(0)
+        assert 0 in s.free_nodes

@@ -72,6 +72,28 @@ class TestAxes:
     def test_axis_registry_application_order(self):
         assert list(AXES)[0] == "scale"
 
+    def test_failure_scale_axis_sets_the_chaos_knob(self):
+        spec = apply_axes(BASE, {"failure_scale": 300})
+        assert spec.degradation.failure_scale == 300.0
+        with pytest.raises(ConfigurationError):
+            apply_axes(BASE, {"failure_scale": 0.0})
+
+    def test_failure_scale_survives_rescaling(self):
+        spec = apply_axes(BASE, {"scale": 0.1, "failure_scale": 300})
+        assert spec.degradation.failure_scale == 300.0
+
+    def test_checkpoint_policy_axis_names_a_policy(self):
+        spec = apply_axes(BASE, {"checkpoint_policy": "young"})
+        assert spec.degradation.checkpoint_policy == "young"
+        assert spec.degradation.checkpoint_interval_s is None
+        with pytest.raises(ConfigurationError):
+            apply_axes(BASE, {"checkpoint_policy": "hourly"})
+
+    def test_numeric_checkpoint_policy_means_fixed_interval(self):
+        spec = apply_axes(BASE, {"checkpoint_policy": 900})
+        assert spec.degradation.checkpoint_policy == "fixed"
+        assert spec.degradation.checkpoint_interval_s == 900.0
+
 
 class TestTaskIdentity:
     def test_hash_is_content_addressed(self):

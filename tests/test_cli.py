@@ -198,6 +198,46 @@ class TestSweepVerb:
         assert "failed: 1" in capsys.readouterr().out
 
 
+class TestChaosVerb:
+    """python -m repro chaos (see repro.chaos)."""
+
+    @staticmethod
+    def args(tmp_path, *extra):
+        return ["chaos", "--scaled", "8", "4", "4", "--seed", "0",
+                "--hours", "24", "--failure-scale", "50",
+                "--out", str(tmp_path), *extra]
+
+    def test_chaos_runs_then_resumes(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Achieved vs ideal efficiency" in out
+        assert "machine availability" in out
+        assert "(written)" in out
+        artifacts = list(tmp_path.glob("chaos-*.json"))
+        assert len(artifacts) == 1
+        assert main(self.args(tmp_path)) == 0
+        assert "(resumed)" in capsys.readouterr().out
+
+    def test_fresh_reruns_identically(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--json")) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(self.args(tmp_path, "--json", "--fresh")) == 0
+        assert json.loads(capsys.readouterr().out) == first
+        assert first["status"] == "ok"
+
+    def test_policy_knobs_change_the_artifact(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path, "--policy", "fixed",
+                              "--interval", "600")) == 0
+        assert len(list(tmp_path.glob("chaos-*.json"))) == 2
+
+    def test_validate_passes_and_prints_ratios(self, capsys):
+        assert main(["chaos", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Chaos cross-validation" in out
+        assert "validation PASSED" in out
+
+
 class TestVerbDocumentation:
     """Every registered verb must be documented (the tables drift
     otherwise: this is the sync contract named in ``repro.__main__``)."""

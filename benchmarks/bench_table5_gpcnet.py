@@ -46,6 +46,40 @@ def test_table5_isolated_and_congested(benchmark):
         assert metrics["avg"] == pytest.approx(1.0, abs=0.06)
 
 
+def test_dynamic_incast_arm(benchmark):
+    """The time-stepped counterpart of Table 5's congestion story.
+
+    The analytic arms above assert the *numbers*; this arm asserts the
+    *mechanism* via :mod:`repro.fabric.timeflow`: the same incast run
+    with and without ECN-style backpressure must show the GPCNeT shape —
+    the victim's p99 latency explodes in FIFO mode and stays bounded
+    (pinned near the marking threshold) under ECN.
+    """
+    from repro.core.scenario import frontier_spec
+    from repro.fabric.timeflow import CongestConfig, run_congest
+
+    def run_study():
+        return run_congest(frontier_spec(), CongestConfig(ks=(30,)))
+
+    doc = benchmark(run_study)
+    fifo, ecn = doc["arms"]
+    table = Table(["Arm", "Victim p50 us", "Victim p99 us", "Max queue MTUs"],
+                  title="Dynamic incast arm (timeflow)", float_fmt="{:.2f}")
+    for arm in (fifo, ecn):
+        victim = arm["classes"]["victim"]["latency_s"]
+        table.add_row([arm["mode"], victim["p50"] * 1e6, victim["p99"] * 1e6,
+                       arm["max_queue_mtus"]])
+    save_artifact("table5_gpcnet_dynamic", table.render())
+    fifo_p99 = fifo["classes"]["victim"]["latency_s"]["p99"]
+    ecn_p99 = ecn["classes"]["victim"]["latency_s"]["p99"]
+    # GPCNeT shape: FIFO tail far above the ECN tail, ECN tail bounded
+    # by a queue near the marking threshold (k=30 MTUs of ~4 KiB at
+    # 25 GB/s is ~5 us of queue; give slack for the AIMD sawtooth).
+    assert fifo_p99 >= 2.0 * ecn_p99
+    assert ecn_p99 < 25e-6
+    assert ecn["max_queue_mtus"] < fifo["max_queue_mtus"]
+
+
 def test_32ppn_degradation_bands(benchmark):
     def run32():
         cfg = GpcnetConfig(ppn=32)

@@ -44,6 +44,13 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                efficiency table and writes a resumable artifact under
                ``benchmarks/out/chaos`` (``--validate`` scores the
                engine against the analytic MTTI/efficiency models)
+``congest``    time-stepped congestion study: an incast (N senders ->
+               one victim plus elephants) run once without backpressure
+               and once per ECN marking threshold (``--k`` sweep);
+               prints the victim-tail table and writes a resumable
+               artifact under ``benchmarks/out/congest`` (``--validate``
+               scores the fluid engine against the analytic
+               ``CongestionControl`` impact factor, tol ±15%)
 =============  =======================================================
 
 ``tests/test_cli.py`` asserts every registered verb is documented in
@@ -451,6 +458,56 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_congest(args: "argparse.Namespace") -> int:
+    from repro.fabric.timeflow import (CongestConfig, run_congest_cached,
+                                       validate_victim_impact)
+
+    if args.validate:
+        val = validate_victim_impact()
+        print(render_kv({
+            "Measured latency multiplier": f"{val.measured:.4f}",
+            "Analytic latency multiplier": f"{val.analytic:.4f}",
+            "Ratio": f"{val.ratio:.4f}",
+            "Victim samples": f"{val.samples}",
+            "Tolerance": f"±{val.tolerance:.0%}",
+        }, title="Timeflow cross-validation (victim impact factor)"))
+        print(f"\nvalidation {'PASSED' if val.ok else 'FAILED'}")
+        return 0 if val.ok else 1
+
+    spec = _load_spec(args.spec)
+    if args.scaled:
+        spec = spec.scaled(*args.scaled)
+    config = CongestConfig(
+        ks=tuple(int(k) for k in args.k.split(",") if k),
+        include_fifo=not args.no_fifo, fanin=args.fanin, duty=args.duty,
+        elephants=args.elephants, horizon_s=args.horizon_us * 1e-6,
+        seed=args.seed)
+    doc, path, resumed = run_congest_cached(spec, config, out_dir=args.out,
+                                            fresh=args.fresh)
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+    print(f"congest: {doc['network']} | fanin {config.fanin} | "
+          f"duty {config.duty:g} | {config.horizon_s * 1e6:g} us horizon")
+    table = Table(["Arm", "Victim p50 us", "Victim p99 us", "Completed",
+                   "Congestor GB/s", "Max queue MTUs", "Marks"],
+                  title="Victim tail vs backpressure", float_fmt="{:.4g}")
+    for arm in doc["arms"]:
+        victim = arm["classes"]["victim"]
+        name = "fifo" if arm["mode"] == "fifo" else f"ecn k{arm['ecn_k']:g}"
+        table.add_row([
+            name, victim["latency_s"]["p50"] * 1e6,
+            victim["latency_s"]["p99"] * 1e6, victim["completed"],
+            arm["classes"]["congestor"]["goodput_bytes_per_s"] / 1e9,
+            arm["max_queue_mtus"], arm["marks"]])
+    print(table.render())
+    if "fifo_vs_ecn_p99" in doc:
+        worst = max(doc["fifo_vs_ecn_p99"].values())
+        print(f"\nFIFO victim p99 is up to {worst:.1f}x the ECN tail")
+    print(f"artifact: {path} ({'resumed' if resumed else 'written'})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (exposed so tests can audit the verb set)."""
     parser = argparse.ArgumentParser(
@@ -520,7 +577,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one grid axis (repeatable); keys: scale, "
                             "nics_per_node, routing, disabled_links, "
                             "disabled_nodes, failure_scale, "
-                            "checkpoint_policy")
+                            "checkpoint_policy, ecn_k, burst_duty, "
+                            "incast_fanin")
     sweep.add_argument("--probe", action="append", metavar="NAME",
                        help="sweep probe(s) to evaluate per grid point "
                             "(default: mpigraph)")
@@ -586,6 +644,44 @@ def build_parser() -> argparse.ArgumentParser:
                                            "(default: benchmarks/out/chaos)")
     chaos.add_argument("--fresh", action="store_true",
                        help="re-run even if a completed artifact exists")
+
+    congest = sub.add_parser(
+        "congest", help="time-stepped incast congestion study with an "
+                        "ECN k-sweep (resumable artifact)")
+    congest.add_argument("--spec", metavar="FILE",
+                         help="machine spec file (default: Frontier; "
+                              "full-scale specs reduce automatically)")
+    congest.add_argument("--scaled", nargs=3, type=int,
+                         metavar=("GROUPS", "SWITCHES", "ENDPOINTS"),
+                         help="reduced-scale variant (taper preserved)")
+    congest.add_argument("--k", default="10,30,60", metavar="K1,K2",
+                         help="ECN marking thresholds in MTUs "
+                              "(default 10,30,60)")
+    congest.add_argument("--no-fifo", action="store_true",
+                         help="skip the FIFO (no backpressure) arm")
+    congest.add_argument("--fanin", type=int, default=8,
+                         help="incast senders aimed at the victim "
+                              "(default 8)")
+    congest.add_argument("--duty", type=float, default=1.0,
+                         help="congestor duty cycle in (0, 1] (default 1)")
+    congest.add_argument("--elephants", type=int, default=2,
+                         help="background elephant flows (default 2)")
+    congest.add_argument("--horizon-us", type=float, default=300.0,
+                         metavar="US", help="simulated horizon in "
+                                            "microseconds (default 300)")
+    congest.add_argument("--seed", type=int, default=0,
+                         help="RNG seed (elephant start times; default 0)")
+    congest.add_argument("--validate", action="store_true",
+                         help="run the analytic cross-validation gate "
+                              "and exit (nonzero on failure)")
+    congest.add_argument("--json", action="store_true",
+                         help="print the artifact document as JSON")
+    congest.add_argument("--out", default="benchmarks/out/congest",
+                         metavar="DIR", help="artifact directory "
+                                             "(default: "
+                                             "benchmarks/out/congest)")
+    congest.add_argument("--fresh", action="store_true",
+                         help="re-run even if a completed artifact exists")
     return parser
 
 
@@ -603,6 +699,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_sweep(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "congest":
+        return _cmd_congest(args)
     COMMANDS[args.command]()
     return 0
 

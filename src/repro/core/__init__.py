@@ -22,7 +22,7 @@ from repro.core.baselines import (
 from repro.core.machine import FrontierMachine
 from repro.core.scenario import (
     MachineSpec, DragonflyGeometry, FatTreeGeometry, StorageSpec,
-    DegradationSpec, FRONTIER_SPEC, frontier_spec, summit_spec,
+    DegradationSpec, CongestionSpec, FRONTIER_SPEC, frontier_spec, summit_spec,
     resolve_dragonfly,
 )
 from repro.core.specs_table import compute_table1
@@ -33,7 +33,7 @@ __all__ = [
     "SEQUOIA", "BASELINES",
     "FrontierMachine",
     "MachineSpec", "DragonflyGeometry", "FatTreeGeometry", "StorageSpec",
-    "DegradationSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
+    "DegradationSpec", "CongestionSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
     "resolve_dragonfly",
     "compute_table1",
     "ExascaleReportCard",

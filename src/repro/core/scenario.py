@@ -37,6 +37,7 @@ from repro.fabric.routing import RoutingPolicy
 
 __all__ = [
     "DragonflyGeometry", "FatTreeGeometry", "StorageSpec", "DegradationSpec",
+    "CongestionSpec",
     "MachineSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
     "resolve_dragonfly",
 ]
@@ -227,6 +228,43 @@ class DegradationSpec:
         return not self.failed_links and not self.failed_nodes
 
 
+@dataclass(frozen=True)
+class CongestionSpec:
+    """Congestion-study knobs (:mod:`repro.fabric.timeflow`).
+
+    ``ecn``/``ecn_k`` select the backpressure arm (``ecn=False`` is the
+    FIFO baseline), ``burst_duty`` the congestors' on-fraction, and
+    ``incast_fanin`` the number of senders aimed at the victim.  These
+    are the ``ecn_k`` / ``burst_duty`` / ``incast_fanin`` sweep axes.
+    Like the chaos knobs, they serialize only off their defaults, so
+    pre-existing spec files, task hashes, and sweep artifacts are
+    unaffected.
+    """
+
+    ecn: bool = True
+    ecn_k: int = 30
+    burst_duty: float = 1.0
+    incast_fanin: int = 8
+
+    def __post_init__(self) -> None:
+        if self.ecn_k < 1:
+            raise ConfigurationError(
+                f"ecn_k must be >= 1 MTU, got {self.ecn_k!r}")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise ConfigurationError(
+                f"burst_duty must be in (0, 1], got {self.burst_duty!r}")
+        if self.incast_fanin < 1:
+            raise ConfigurationError(
+                f"incast_fanin must be >= 1, got {self.incast_fanin!r}")
+        object.__setattr__(self, "ecn_k", int(self.ecn_k))
+        object.__setattr__(self, "burst_duty", float(self.burst_duty))
+        object.__setattr__(self, "incast_fanin", int(self.incast_fanin))
+
+    @property
+    def is_default(self) -> bool:
+        return self == CongestionSpec()
+
+
 # -- the machine spec ---------------------------------------------------------
 
 
@@ -241,6 +279,7 @@ class MachineSpec:
     routing: str = RoutingPolicy.UGAL.value
     storage: StorageSpec = field(default_factory=StorageSpec)
     degradation: DegradationSpec = field(default_factory=DegradationSpec)
+    congestion: CongestionSpec = field(default_factory=CongestionSpec)
 
     def __post_init__(self) -> None:
         if self.node_count < 1:
@@ -355,7 +394,14 @@ class MachineSpec:
                         "mds_count": self.storage.mds_count,
                         "nvme_per_node": self.storage.nvme_per_node},
             "degradation": self._degradation_dict(),
-        }
+        } | ({} if self.congestion.is_default else {
+            # Like the chaos knobs: present only off-default, so
+            # pre-congestion spec files and task hashes are stable.
+            "congestion": {"ecn": self.congestion.ecn,
+                           "ecn_k": self.congestion.ecn_k,
+                           "burst_duty": self.congestion.burst_duty,
+                           "incast_fanin": self.congestion.incast_fanin},
+        })
 
     def _degradation_dict(self) -> dict[str, Any]:
         deg = self.degradation
@@ -397,6 +443,7 @@ class MachineSpec:
                                                   "daly"),
                 checkpoint_interval_s=degradation.get(
                     "checkpoint_interval_s")),
+            congestion=CongestionSpec(**doc.get("congestion", {})),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

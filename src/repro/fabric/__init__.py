@@ -13,6 +13,8 @@
 * :mod:`repro.fabric.congestion` — Slingshot hardware congestion control.
 * :mod:`repro.fabric.collectives` — allreduce / all-to-all models.
 * :mod:`repro.fabric.network` — the Slingshot facade used by benchmarks.
+* :mod:`repro.fabric.timeflow` — fluid time-stepped congestion engine
+  (incast/bursty sources, ECN-style backpressure, FCT percentiles).
 """
 
 from repro.fabric.topology import LinkKind, Topology, NodeId
@@ -27,6 +29,9 @@ from repro.fabric.network import (FabricNetwork, SlingshotNetwork,
                                   FatTreeNetwork, clear_fabric_caches)
 from repro.fabric.messages import NicMessageModel, SLINGSHOT_NIC, EDR_NIC
 from repro.fabric.queueing import PortSimulation
+from repro.fabric.timeflow import (FlowSpec, TimeflowConfig, TimeflowEngine,
+                                   fct_stats, incast_pattern,
+                                   validate_victim_impact)
 
 __all__ = [
     "LinkKind", "Topology", "NodeId",
@@ -41,4 +46,6 @@ __all__ = [
     "clear_fabric_caches",
     "NicMessageModel", "SLINGSHOT_NIC", "EDR_NIC",
     "PortSimulation",
+    "FlowSpec", "TimeflowConfig", "TimeflowEngine",
+    "fct_stats", "incast_pattern", "validate_victim_impact",
 ]

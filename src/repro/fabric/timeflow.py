@@ -1,0 +1,746 @@
+"""Fluid time-stepped congestion engine over CSR batch paths.
+
+The max-min solver (:mod:`repro.fabric.maxmin`) answers *steady-state*
+questions: given simultaneous flows, what rates does a credit-based
+fabric converge to?  The paper's hardest network results (GPCNeT, Table
+5) are about *dynamics* — queues building behind incast hotspots,
+victims throttled by elephants, tails exploding when backpressure is
+absent.  This module layers a fluid (continuous-rate, fixed-step)
+congestion engine on top of the batch router's CSR
+:class:`~repro.fabric.batchroute.BatchPaths`:
+
+* every flow injects at a controllable rate; per-link **queue
+  occupancy** evolves as ``q' = max(0, q + (arrivals - capacity) dt)``;
+* sources are **constant, finite, or bursty** (on/off duty cycle —
+  the SpiNNaker ``network_tester`` idiom) and may be rate-limited;
+* links **ECN-mark** when their queue exceeds ``k`` MTUs; marked
+  sources apply a multiplicative backoff and recover additively (the
+  DCTCP/Slingshot-style control loop, applied once per control
+  interval ≈ one RTT);
+* finite flows record **flow-completion times** and last-byte **wire
+  latencies** per traffic class, with NaN-safe p50/p99 extraction
+  (:func:`fct_stats`).
+
+Cross-validation (``tests/fabric/test_timeflow.py`` and the
+``congestion`` CI probe assert all three):
+
+* **steady-state throughput**: constant elephants under the ECN loop
+  time-average onto the max-min allocation of the same CSR path set;
+* **analytic impact**: :func:`validate_victim_impact` reconstructs the
+  :class:`~repro.fabric.congestion.CongestionControl` victim latency
+  factor — the burst length is chosen so the fluid triangle-wave queue
+  has the same mean occupancy as the analytic M/M/1 abstraction, and
+  the measured multiplier must land within ±15%;
+* **queueing discipline**: FIFO (no ECN) reproduces the unprotected
+  :class:`~repro.fabric.queueing.PortSimulation` shape (victim tails
+  explode), the ECN loop the ``per_flow_fair`` shape (victim tails
+  bounded near the marking threshold).
+
+Results persist as resumable content-hash artifacts under
+``benchmarks/out/congest/`` (same contract as :mod:`repro.chaos`), via
+``python -m repro congest``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+from scipy import sparse
+
+from repro import obs
+from repro.errors import ConfigurationError, SimulationError
+from repro.fabric.batchroute import BatchPaths
+from repro.fabric.congestion import CongestionControl
+from repro.rng import RngLike, as_generator
+
+__all__ = [
+    "FlowSpec", "TimeflowConfig", "ClassReport", "TimeflowResult",
+    "TimeflowEngine", "fct_stats", "incast_pattern",
+    "ImpactValidation", "validate_victim_impact",
+    "CongestConfig", "run_congest", "run_congest_cached",
+    "congest_run_id", "congest_artifact_path", "load_congest_artifact",
+    "DEFAULT_CONGEST_DIR", "CONGEST_SCHEMA_VERSION",
+]
+
+#: Default artifact directory (mirrors the sweep/chaos layout).
+DEFAULT_CONGEST_DIR = os.path.join("benchmarks", "out", "congest")
+
+#: Artifact schema (bumped on incompatible document changes).
+CONGEST_SCHEMA_VERSION = 1
+
+#: Fraction of line rate a single uncontrolled stream sustains (protocol
+#: overheads; matches ``repro.fabric.network.STREAM_EFFICIENCY``).
+PEAK_EFFICIENCY = 0.70
+
+
+# -- traffic sources ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One traffic source: an endpoint pair plus its injection behaviour.
+
+    ``size_bytes=None`` makes an *elephant* (injects forever);  a finite
+    size records one FCT sample per completed transfer, and ``repeat``
+    restarts the transfer back-to-back (a canary stream — GPCNeT's
+    victim probes).  ``burst_duty < 1`` gates injection on for the first
+    ``duty`` fraction of every ``burst_period_s`` (phase-locked to
+    ``start_s``).  ``rate_limit`` caps the send rate below the
+    protocol-limited peak; it is also the initial rate, so rate-limited
+    sources are constant-rate unless the ECN loop throttles them.
+    """
+
+    src: int
+    dst: int
+    size_bytes: float | None = None
+    cls: str = "bulk"
+    start_s: float = 0.0
+    rate_limit: float | None = None
+    burst_duty: float = 1.0
+    burst_period_s: float | None = None
+    repeat: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes is not None and not self.size_bytes > 0:
+            raise ConfigurationError("flow size must be positive (or None)")
+        if self.start_s < 0:
+            raise ConfigurationError("start_s must be non-negative")
+        if self.rate_limit is not None and not self.rate_limit > 0:
+            raise ConfigurationError("rate_limit must be positive")
+        if not 0.0 < self.burst_duty <= 1.0:
+            raise ConfigurationError("burst_duty must be in (0, 1]")
+        if self.burst_duty < 1.0:
+            if self.burst_period_s is None or not self.burst_period_s > 0:
+                raise ConfigurationError(
+                    "bursty flows (duty < 1) need a positive burst_period_s")
+        if self.repeat and self.size_bytes is None:
+            raise ConfigurationError("only finite flows can repeat")
+
+
+@dataclass(frozen=True)
+class TimeflowConfig:
+    """Engine parameters: step size, horizon, and the ECN control loop.
+
+    ``ecn_k`` is the marking threshold in MTUs of queue; ``backoff`` the
+    multiplicative decrease applied to marked sources and
+    ``growth_frac`` the additive recovery (fraction of the flow's peak),
+    both once per ``control_interval_s``.  ``base_latency_s`` is the
+    unloaded last-byte wire latency; ``None`` derives it per flow as one
+    MTU serialisation per hop.  Completions before ``warmup_s`` are
+    excluded from the statistics (start-up transients).
+    """
+
+    dt_s: float = 5e-8
+    horizon_s: float = 3e-4
+    mtu_bytes: float = 4096.0
+    ecn: bool = True
+    ecn_k: float = 30.0
+    backoff: float = 0.5
+    growth_frac: float = 0.05
+    min_rate_frac: float = 0.01
+    control_interval_s: float = 5e-6
+    base_latency_s: float | None = None
+    warmup_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("dt_s", "horizon_s", "mtu_bytes", "control_interval_s"):
+            if not getattr(self, name) > 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.horizon_s < self.dt_s:
+            raise ConfigurationError("horizon shorter than one step")
+        if not 0.0 < self.backoff < 1.0:
+            raise ConfigurationError("backoff must be in (0, 1)")
+        if not 0.0 < self.growth_frac <= 1.0:
+            raise ConfigurationError("growth_frac must be in (0, 1]")
+        if self.ecn_k < 0:
+            raise ConfigurationError("ecn_k must be non-negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "dt_s": self.dt_s, "horizon_s": self.horizon_s,
+            "mtu_bytes": self.mtu_bytes, "ecn": self.ecn,
+            "ecn_k": self.ecn_k, "backoff": self.backoff,
+            "growth_frac": self.growth_frac,
+            "min_rate_frac": self.min_rate_frac,
+            "control_interval_s": self.control_interval_s,
+            "base_latency_s": self.base_latency_s,
+            "warmup_s": self.warmup_s,
+        }
+
+
+# -- FCT / latency statistics -------------------------------------------------
+
+
+def fct_stats(samples: Sequence[float] | np.ndarray,
+              percentiles: Sequence[float] = (50.0, 99.0)
+              ) -> dict[str, float]:
+    """NaN-safe percentile extraction for completion-time samples.
+
+    Contract (pinned by the edge-case tests):
+
+    * **zero samples** -> ``n == 0`` and every statistic is ``nan``
+      (never raises — an incast so congested nothing completes is a
+      result, not an error);
+    * **one sample** (e.g. a single-packet flow) -> every percentile is
+      that value;
+    * **tied completion times** are fine (percentiles of a constant
+      vector are that constant);
+    * **fewer than 100 samples** still yield a p99, by linear
+      interpolation between order statistics (numpy's default) — it
+      converges on the tail as samples accumulate instead of failing.
+    """
+    arr = np.asarray(samples, dtype=float)
+    out: dict[str, float] = {"n": float(arr.size)}
+    if arr.size == 0:
+        out["mean"] = float("nan")
+        for q in percentiles:
+            out[f"p{q:g}"] = float("nan")
+        return out
+    out["mean"] = float(np.mean(arr))
+    for q in percentiles:
+        out[f"p{q:g}"] = float(np.percentile(arr, q))
+    return out
+
+
+@dataclass(frozen=True)
+class ClassReport:
+    """Per-traffic-class results from one engine run."""
+
+    cls: str
+    completed: int
+    fct: dict[str, float]          # fct_stats of completion times (s)
+    latency: dict[str, float]      # fct_stats of last-byte wire latency (s)
+    bytes_injected: float
+    goodput: float                 # bytes_injected / measured horizon
+
+    def to_doc(self) -> dict[str, Any]:
+        return {"cls": self.cls, "completed": self.completed,
+                "fct_s": self.fct, "latency_s": self.latency,
+                "bytes_injected": self.bytes_injected,
+                "goodput_bytes_per_s": self.goodput}
+
+
+@dataclass(frozen=True)
+class TimeflowResult:
+    """Everything one :meth:`TimeflowEngine.run` produced."""
+
+    config: TimeflowConfig
+    classes: dict[str, ClassReport]
+    fct_samples: dict[str, np.ndarray]
+    latency_samples: dict[str, np.ndarray]
+    mean_rates: np.ndarray         # per-flow time-averaged injection (B/s)
+    max_queue_bytes: float
+    max_link_utilisation: float
+    marks: int
+    steps: int
+
+    def cls(self, name: str) -> ClassReport:
+        try:
+            return self.classes[name]
+        except KeyError:
+            raise SimulationError(
+                f"no traffic class {name!r}; have {sorted(self.classes)}"
+            ) from None
+
+    def to_doc(self) -> dict[str, Any]:
+        return {
+            "classes": {name: rep.to_doc()
+                        for name, rep in sorted(self.classes.items())},
+            "max_queue_bytes": self.max_queue_bytes,
+            "max_queue_mtus": self.max_queue_bytes / self.config.mtu_bytes,
+            "max_link_utilisation": self.max_link_utilisation,
+            "marks": self.marks,
+            "steps": self.steps,
+        }
+
+
+# -- the engine ---------------------------------------------------------------
+
+
+class TimeflowEngine:
+    """Fluid time-stepped congestion simulation of one traffic phase.
+
+    Paths are planned once through the router's batch planner
+    (``router.paths`` -> CSR :class:`BatchPaths`; scalar routers fall
+    back to ``path()``), then the run is pure array work: two sparse
+    matvecs per step (link arrivals, per-flow mark lookup) over the
+    link x flow incidence built straight from the CSR arrays — the same
+    zero-copy interchange the max-min solver uses.
+    """
+
+    def __init__(self, network, flows: Sequence[FlowSpec],
+                 config: TimeflowConfig | None = None,
+                 chunk: int | None = None):
+        if not flows:
+            raise ConfigurationError("timeflow needs at least one flow")
+        self.network = network
+        self.flows = tuple(flows)
+        self.config = config if config is not None else TimeflowConfig()
+
+        pairs = [(f.src, f.dst) for f in self.flows]
+        network.router.reset_load()
+        batch = getattr(network.router, "paths", None)
+        if batch is not None:
+            self.paths: BatchPaths = batch(pairs, chunk=chunk)
+        else:  # custom scalar router: compact its lists to CSR
+            lists = [network.router.path(s, d) for s, d in pairs]
+            indices = np.fromiter((link for p in lists for link in p),
+                                  dtype=np.int64)
+            indptr = np.concatenate(
+                ([0], np.cumsum([len(p) for p in lists])))
+            self.paths = BatchPaths(indices, indptr)
+
+        self.caps = np.asarray(network.topology.capacities(), dtype=float)
+        n_links, n_flows = len(self.caps), len(self.flows)
+        cols = np.repeat(np.arange(n_flows), np.diff(self.paths.indptr))
+        data = np.ones(len(self.paths.indices), dtype=float)
+        #: link x flow incidence; ``A @ rates`` = per-link arrivals.
+        self.A = sparse.csr_matrix(
+            (data, (self.paths.indices, cols)), shape=(n_links, n_flows))
+        #: flow x link incidence; ``AT @ marked`` = per-flow mark counts.
+        self.AT = self.A.T.tocsr()
+
+        hops = self.paths.lengths()
+        min_cap = np.minimum.reduceat(self.caps[self.paths.indices],
+                                      self.paths.indptr[:-1])
+        #: per-flow peak rate: protocol-limited share of the tightest link.
+        self.peak = PEAK_EFFICIENCY * min_cap
+        limit = np.array([f.rate_limit if f.rate_limit is not None
+                          else np.inf for f in self.flows])
+        self.rate_cap = np.minimum(self.peak, limit)
+        if self.config.base_latency_s is not None:
+            self.base_latency = np.full(n_flows, self.config.base_latency_s)
+        else:
+            self.base_latency = hops * self.config.mtu_bytes / min_cap
+
+    def run(self) -> TimeflowResult:
+        """Step the fluid model to the horizon and extract statistics."""
+        cfg = self.config
+        flows = self.flows
+        n = len(flows)
+        dt = cfg.dt_s
+        n_steps = int(round(cfg.horizon_s / dt))
+        control_every = max(1, int(round(cfg.control_interval_s / dt)))
+        threshold = cfg.ecn_k * cfg.mtu_bytes
+
+        size = np.array([f.size_bytes if f.size_bytes is not None
+                         else np.inf for f in flows])
+        start = np.array([f.start_s for f in flows])
+        duty = np.array([f.burst_duty for f in flows])
+        period = np.array([f.burst_period_s or 1.0 for f in flows])
+        bursty = duty < 1.0
+        cls_names = sorted({f.cls for f in flows})
+        cls_idx = np.array([cls_names.index(f.cls) for f in flows])
+
+        rate = self.rate_cap.copy()
+        remaining = size.copy()
+        xfer_start = start.copy()
+        injected = np.zeros(n)
+        done = np.zeros(n, dtype=bool)
+        completed = np.zeros(n, dtype=np.int64)
+        q = np.zeros(len(self.caps))
+        arr_sum = np.zeros(len(self.caps))
+        fct: dict[str, list[float]] = {c: [] for c in cls_names}
+        wire: dict[str, list[float]] = {c: [] for c in cls_names}
+        max_q = 0.0
+        marks = 0
+        finite = np.isfinite(size)
+
+        with obs.span("fabric.timeflow.run", n_flows=n, steps=n_steps,
+                      ecn=cfg.ecn, ecn_k=cfg.ecn_k):
+            for step in range(n_steps):
+                t = step * dt
+                on = ~done & (start <= t)
+                if bursty.any():
+                    b = bursty & on
+                    phase = np.mod(t - start[b], period[b])
+                    gated = phase >= duty[b] * period[b]
+                    on[np.flatnonzero(b)[gated]] = False
+
+                inj = np.where(on, np.minimum(rate, remaining / dt), 0.0)
+                arrivals = self.A @ inj
+                arr_sum += arrivals
+                q += (arrivals - self.caps) * dt
+                np.clip(q, 0.0, None, out=q)
+                max_q = max(max_q, float(q.max()))
+
+                if cfg.ecn and step % control_every == 0:
+                    marked = q > threshold
+                    if marked.any():
+                        fm = (self.AT @ marked.astype(np.int8)) > 0
+                        fm &= on
+                        rate[fm] *= 1.0 - cfg.backoff
+                        marks += int(fm.sum())
+                    else:
+                        fm = np.zeros(n, dtype=bool)
+                    grow = on & ~fm
+                    rate[grow] += cfg.growth_frac * self.peak[grow]
+                    np.clip(rate, cfg.min_rate_frac * self.peak,
+                            self.rate_cap, out=rate)
+
+                injected += inj * dt
+                remaining -= inj * dt
+                finishing = finite & ~done & (remaining <= 1e-9) & on
+                if finishing.any():
+                    t_end = t + dt
+                    delay = self.base_latency + self.AT @ (q / self.caps)
+                    for f in np.flatnonzero(finishing):
+                        completed[f] += 1
+                        if t_end >= cfg.warmup_s:
+                            fct[flows[f].cls].append(
+                                t_end - xfer_start[f] + delay[f])
+                            wire[flows[f].cls].append(float(delay[f]))
+                        if flows[f].repeat:
+                            remaining[f] = size[f]
+                            xfer_start[f] = t_end
+                        else:
+                            done[f] = True
+
+        horizon = n_steps * dt
+        mean_rates = injected / horizon
+        classes: dict[str, ClassReport] = {}
+        fct_arr = {c: np.asarray(v) for c, v in fct.items()}
+        wire_arr = {c: np.asarray(v) for c, v in wire.items()}
+        for i, c in enumerate(cls_names):
+            sel = cls_idx == i
+            classes[c] = ClassReport(
+                cls=c, completed=int(completed[sel].sum()),
+                fct=fct_stats(fct_arr[c]), latency=fct_stats(wire_arr[c]),
+                bytes_injected=float(injected[sel].sum()),
+                goodput=float(injected[sel].sum()) / horizon)
+
+        obs.counter("fabric.timeflow.steps").inc(n_steps)
+        obs.counter("fabric.timeflow.flows").inc(n)
+        obs.counter("fabric.timeflow.marks").inc(marks)
+        obs.counter("fabric.timeflow.completions").inc(
+            int(completed.sum()))
+        for c in cls_names:
+            if wire_arr[c].size:
+                obs.histogram("fabric.timeflow.latency_s").observe_many(
+                    wire_arr[c])
+        util = arr_sum / n_steps / self.caps
+        return TimeflowResult(
+            config=cfg, classes=classes, fct_samples=fct_arr,
+            latency_samples=wire_arr, mean_rates=mean_rates,
+            max_queue_bytes=max_q,
+            max_link_utilisation=float(np.minimum(util, 1.0).max()),
+            marks=marks, steps=n_steps)
+
+
+# -- traffic patterns ---------------------------------------------------------
+
+
+def incast_pattern(network, *, fanin: int, target: int = 0,
+                   duty: float = 1.0, burst_period_s: float = 5e-5,
+                   congestor_rate: float | None = None,
+                   elephants: int = 0,
+                   victim_rate_frac: float = 0.05,
+                   victim_size_bytes: float | None = None,
+                   mtu_bytes: float = 4096.0,
+                   rng: RngLike = None) -> list[FlowSpec]:
+    """The GPCNeT-style incast scenario: ``fanin`` senders -> one victim.
+
+    ``fanin`` congestor sources on distinct switches all transmit to
+    ``target`` (elephants, optionally bursty with ``duty``), so the
+    victim's down edge link is the hotspot.  One rate-limited canary
+    stream (class ``victim``) of back-to-back single-MTU transfers
+    shares that link and measures latency, GPCNeT's victim probe.
+    ``elephants`` adds long cross-fabric background flows (class
+    ``elephant``) that overlap the incast on global links; their start
+    times draw from ``rng``.
+    """
+    if fanin < 1:
+        raise ConfigurationError("incast needs fanin >= 1")
+    n = network.config.total_endpoints
+    flat = network.topology.flat
+    if not 0 <= target < n:
+        raise ConfigurationError(f"target endpoint {target} out of range")
+    tsw = int(flat.endpoint_switch[target])
+    candidates = [ep for ep in range(n)
+                  if ep != target and int(flat.endpoint_switch[ep]) != tsw]
+    if fanin + 1 > len(candidates):
+        raise ConfigurationError(
+            f"incast fanin {fanin} needs {fanin + 1} off-switch endpoints; "
+            f"the fabric has {len(candidates)}")
+    stride = max(1, len(candidates) // (fanin + 1))
+    picks = candidates[::stride]
+    senders, victim_src = picks[:fanin], picks[fanin]
+    flows = [FlowSpec(src=s, dst=target, cls="congestor",
+                      rate_limit=congestor_rate, burst_duty=duty,
+                      burst_period_s=burst_period_s if duty < 1.0 else None)
+             for s in senders]
+    link_rate = float(network.config.link_rate)
+    flows.append(FlowSpec(
+        src=victim_src, dst=target,
+        size_bytes=victim_size_bytes or mtu_bytes, cls="victim",
+        rate_limit=victim_rate_frac * link_rate, repeat=True))
+    if elephants:
+        gen = as_generator(rng)
+        used = set(senders) | {victim_src, target}
+        free = [ep for ep in range(n) if ep not in used]
+        if len(free) < 2 * elephants:
+            raise ConfigurationError(
+                f"{elephants} elephants need {2 * elephants} free endpoints")
+        half = len(free) // 2
+        for i in range(elephants):
+            flows.append(FlowSpec(
+                src=free[i], dst=free[half + i], cls="elephant",
+                start_s=float(gen.uniform(0.0, burst_period_s))))
+    return flows
+
+
+# -- cross-validation against the analytic model ------------------------------
+
+
+@dataclass(frozen=True)
+class ImpactValidation:
+    """Measured vs analytic victim latency impact (see module doc)."""
+
+    measured: float
+    analytic: float
+    victim_load: float
+    congestor_load: float
+    duty: float
+    samples: int
+    tolerance: float = 0.15
+
+    @property
+    def ratio(self) -> float:
+        return self.measured / self.analytic
+
+    @property
+    def ok(self) -> bool:
+        return abs(self.ratio - 1.0) <= self.tolerance
+
+    def to_doc(self) -> dict[str, Any]:
+        return {"measured": self.measured, "analytic": self.analytic,
+                "ratio": self.ratio, "ok": self.ok,
+                "victim_load": self.victim_load,
+                "congestor_load": self.congestor_load,
+                "duty": self.duty, "samples": self.samples,
+                "tolerance": self.tolerance}
+
+
+def _validation_network():
+    """The reduced-scale dragonfly the validation scenarios run on."""
+    from repro.core.scenario import frontier_spec
+    return frontier_spec().scaled(8, 4, 4).build_network(rng=0)
+
+
+def validate_victim_impact(*, victim_load: float = 0.1,
+                           congestor_load: float = 0.6,
+                           duty: float = 0.3, fanin: int = 8,
+                           periods: int = 80,
+                           network=None) -> ImpactValidation:
+    """Reconstruct the analytic victim impact factor in the fluid limit.
+
+    The analytic model (:meth:`CongestionControl.impact` with the
+    mechanism disabled — the EDR/FIFO arm) says a victim at utilisation
+    ``v`` sharing a bottleneck with congestor load ``c`` sees its mean
+    latency multiplied by ``(1 + occ/(1-occ)) / (1 + v/(1-v))`` with
+    ``occ = v + c``: an M/M/1 occupancy abstraction.
+
+    The fluid counterpart: square-wave congestors of mean load ``c`` and
+    duty ``d`` overload the victim's edge link during bursts, building a
+    triangle-wave queue whose time-average is ``B·T_on·(1 + B/D)·d / 2``
+    (build rate ``B``, drain rate ``D``).  Solving for the burst length
+    ``T_on`` that gives the *same mean queue* the analytic model
+    predicts turns the equivalence into a property the engine must
+    reproduce by simulating — queue build-up, drain, duty gating, and
+    last-byte latency extraction all have to be right for the measured
+    multiplier to land within tolerance.  No marking runs (``ecn=False``
+    is the FIFO arm the analytic numbers describe).
+    """
+    if not 0.0 < victim_load < 1.0 or not 0.0 < congestor_load < 1.0:
+        raise ConfigurationError("loads must be in (0, 1)")
+    if congestor_load / duty + victim_load <= 1.0:
+        raise ConfigurationError(
+            "bursts never overload the link: need c/duty + v > 1")
+    net = network if network is not None else _validation_network()
+    C = float(net.config.link_rate)
+    mtu = 4096.0
+    v, c, d = victim_load, congestor_load, duty
+
+    analytic = CongestionControl(enabled=False).impact(
+        victim_load=v, congestor_load=c).latency_avg
+    # Burst length whose triangle-wave queue has the analytic mean:
+    # E[q] = B * T_on * (1 + B/D) * d / 2  ==  mtu * (analytic - 1).
+    build = (c / d + v - 1.0) * C
+    drain = (1.0 - v) * C
+    q_target = mtu * (analytic - 1.0)
+    t_on = 2.0 * q_target / (build * (1.0 + build / drain) * d)
+    period = t_on / d
+    dt = t_on / 24.0
+
+    flows = incast_pattern(
+        net, fanin=fanin, duty=d, burst_period_s=period,
+        congestor_rate=c * C / (d * fanin),
+        victim_rate_frac=v, mtu_bytes=mtu)
+    base_cfg = TimeflowConfig(
+        dt_s=dt, horizon_s=periods * period, mtu_bytes=mtu, ecn=False,
+        base_latency_s=mtu / C)
+    victims_only = [f for f in flows if f.cls == "victim"]
+    quiet = TimeflowEngine(net, victims_only, base_cfg).run()
+    loud = TimeflowEngine(net, flows, base_cfg).run()
+    measured = (loud.cls("victim").latency["mean"]
+                / quiet.cls("victim").latency["mean"])
+    return ImpactValidation(
+        measured=measured, analytic=analytic, victim_load=v,
+        congestor_load=c, duty=d,
+        samples=int(loud.cls("victim").latency["n"]))
+
+
+# -- the k-sweep study + resumable artifacts ----------------------------------
+
+
+@dataclass(frozen=True)
+class CongestConfig:
+    """One ``python -m repro congest`` study: a k-sweep over one incast."""
+
+    ks: tuple[int, ...] = (10, 30, 60)
+    include_fifo: bool = True
+    fanin: int = 8
+    duty: float = 1.0
+    burst_period_s: float = 5e-5
+    elephants: int = 2
+    horizon_s: float = 3e-4
+    dt_s: float = 5e-8
+    #: Completions in the first third of the horizon are start-up
+    #: transient (queues overshoot before the control loop engages);
+    #: excluding them is what makes the victim tail scale with ``k``.
+    warmup_frac: float = 1 / 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.ks and not self.include_fifo:
+            raise ConfigurationError("a congest study needs at least one arm")
+        if any(k < 1 for k in self.ks):
+            raise ConfigurationError("ECN thresholds must be >= 1 MTU")
+        if not 0.0 <= self.warmup_frac < 1.0:
+            raise ConfigurationError("warmup_frac must be in [0, 1)")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"ks": list(self.ks), "include_fifo": self.include_fifo,
+                "fanin": self.fanin, "duty": self.duty,
+                "burst_period_s": self.burst_period_s,
+                "elephants": self.elephants, "horizon_s": self.horizon_s,
+                "dt_s": self.dt_s, "warmup_frac": self.warmup_frac,
+                "seed": self.seed}
+
+
+#: Beyond this many endpoints the study auto-reduces to the validation
+#: geometry (building the full 37,888-endpoint fabric for a fluid study
+#: is the same wall the flow-level mpigraph probe hits).
+CONGEST_MAX_ENDPOINTS = 4096
+
+
+def _study_network(spec, seed: int):
+    if spec.fabric_config().total_endpoints > CONGEST_MAX_ENDPOINTS:
+        spec = spec.scaled(8, 4, 4)
+    return spec, spec.build_network(rng=seed)
+
+
+def run_congest(spec, config: CongestConfig | None = None) -> dict[str, Any]:
+    """Run the k-sweep incast study for ``spec``; returns the artifact doc.
+
+    Arms: one FIFO (no backpressure) run plus one ECN run per threshold
+    in ``config.ks``, all over the identical traffic pattern, so the
+    victim's tail across arms is the GPCNeT Table-5 story told by
+    simulation: unbounded under FIFO, pinned near ``k`` MTUs under ECN.
+    """
+    config = config if config is not None else CongestConfig()
+    run_spec, net = _study_network(spec, config.seed)
+    flows = incast_pattern(
+        net, fanin=config.fanin, duty=config.duty,
+        burst_period_s=config.burst_period_s, elephants=config.elephants,
+        rng=config.seed)
+    arms: list[dict[str, Any]] = []
+    with obs.span("fabric.timeflow.study", arms=len(config.ks)
+                  + bool(config.include_fifo)):
+        modes: list[tuple[str, float]] = []
+        if config.include_fifo:
+            modes.append(("fifo", 0.0))
+        modes.extend(("ecn", float(k)) for k in config.ks)
+        for mode, k in modes:
+            cfg = TimeflowConfig(dt_s=config.dt_s,
+                                 horizon_s=config.horizon_s,
+                                 ecn=(mode == "ecn"), ecn_k=k,
+                                 warmup_s=config.warmup_frac
+                                 * config.horizon_s)
+            result = TimeflowEngine(net, flows, cfg).run()
+            arms.append({"mode": mode, "ecn_k": k if mode == "ecn" else None,
+                         **result.to_doc()})
+    doc: dict[str, Any] = {
+        "schema": CONGEST_SCHEMA_VERSION,
+        "status": "ok",
+        "run_id": congest_run_id(spec, config),
+        "spec": spec.to_dict(),
+        "network": run_spec.name,
+        "config": config.to_dict(),
+        "arms": arms,
+    }
+    fifo = next((a for a in arms if a["mode"] == "fifo"), None)
+    if fifo is not None and len(arms) > 1:
+        fifo_p99 = fifo["classes"]["victim"]["latency_s"]["p99"]
+        doc["fifo_vs_ecn_p99"] = {
+            str(int(a["ecn_k"])): fifo_p99
+            / a["classes"]["victim"]["latency_s"]["p99"]
+            for a in arms if a["mode"] == "ecn"}
+    return doc
+
+
+def congest_run_id(spec, config: CongestConfig) -> str:
+    """Content hash identifying one (spec, config) congest study."""
+    blob = json.dumps({"spec": spec.to_dict(), "config": config.to_dict()},
+                      sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def congest_artifact_path(out_dir: str, run_id: str) -> str:
+    return os.path.join(out_dir, f"congest-{run_id}.json")
+
+
+def load_congest_artifact(out_dir: str, run_id: str) -> dict[str, Any] | None:
+    """The finished artifact for ``run_id``, or ``None``.
+
+    Same trust contract as the sweep/chaos ledgers: only a well-formed
+    ``status == "ok"`` document with matching run id and schema resumes;
+    anything else re-runs.
+    """
+    path = congest_artifact_path(out_dir, run_id)
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if not isinstance(doc, dict) or doc.get("status") != "ok":
+        return None
+    if (doc.get("run_id") != run_id
+            or doc.get("schema") != CONGEST_SCHEMA_VERSION):
+        return None
+    return doc
+
+
+def run_congest_cached(spec, config: CongestConfig | None = None, *,
+                       out_dir: str = DEFAULT_CONGEST_DIR,
+                       fresh: bool = False
+                       ) -> tuple[dict[str, Any], str, bool]:
+    """Run (or resume) a congest study; returns (doc, path, resumed)."""
+    from repro.obs.export import write_json
+    config = config if config is not None else CongestConfig()
+    run_id = congest_run_id(spec, config)
+    path = congest_artifact_path(out_dir, run_id)
+    if not fresh:
+        doc = load_congest_artifact(out_dir, run_id)
+        if doc is not None:
+            obs.counter("fabric.timeflow.artifacts_resumed").inc()
+            return doc, path, True
+    doc = run_congest(spec, config)
+    write_json(path, doc)
+    obs.counter("fabric.timeflow.artifacts_written").inc()
+    return doc, path, False

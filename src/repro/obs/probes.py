@@ -221,6 +221,49 @@ def probe_chaos() -> dict[str, float]:
     return values
 
 
+def probe_congestion() -> dict[str, float]:
+    """Timeflow congestion engine cross-validation and GPCNeT shape.
+
+    Two gates on the fluid engine (:mod:`repro.fabric.timeflow`):
+
+    * :func:`~repro.fabric.timeflow.validate_victim_impact` must
+      reconstruct the analytic ``CongestionControl`` victim latency
+      factor within ±15% (``analytic_within_15pct``);
+    * a FIFO-vs-ECN incast pair must show the qualitative GPCNeT shape:
+      the victim's p99 latency degrades sharply without backpressure and
+      stays bounded with it (``fifo_vs_ecn_p99`` well above 1, and the
+      ECN tail near the marking threshold).
+
+    The ``fabric.timeflow.*`` counters emitted here land in the
+    regression baseline alongside the values.
+    """
+    from repro.core.scenario import frontier_spec
+    from repro.fabric.timeflow import (TimeflowConfig, TimeflowEngine,
+                                       incast_pattern,
+                                       validate_victim_impact)
+
+    validation = validate_victim_impact()
+    spec = frontier_spec().scaled(8, 4, 4)
+    net = spec.build_network(rng=0)
+    flows = incast_pattern(net, fanin=8, elephants=2, rng=0)
+    arms = {}
+    for name, ecn in (("fifo", False), ("ecn", True)):
+        cfg = TimeflowConfig(ecn=ecn, ecn_k=30.0, warmup_s=1e-4)
+        arms[name] = TimeflowEngine(net, flows, cfg).run()
+    fifo_p99 = arms["fifo"].cls("victim").latency["p99"]
+    ecn_p99 = arms["ecn"].cls("victim").latency["p99"]
+    return {
+        "analytic_ratio": validation.ratio,
+        "analytic_within_15pct": float(validation.ok),
+        "validation_samples": float(validation.samples),
+        "fifo_victim_p99_us": fifo_p99 * 1e6,
+        "ecn_victim_p99_us": ecn_p99 * 1e6,
+        "fifo_vs_ecn_p99": fifo_p99 / ecn_p99,
+        "ecn_tail_bounded": float(fifo_p99 >= 2.0 * ecn_p99),
+        "victim_completed": float(arms["ecn"].cls("victim").completed),
+    }
+
+
 #: Ordered registry: probe name -> callable returning scalar model outputs.
 PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "fabric": probe_fabric,
@@ -231,6 +274,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "scheduler": probe_scheduler,
     "sweep": probe_sweep,
     "chaos": probe_chaos,
+    "congestion": probe_congestion,
 }
 
 

@@ -144,6 +144,29 @@ def _axis_checkpoint_policy(spec: MachineSpec, value: Any) -> MachineSpec:
         spec.degradation, checkpoint_policy=str(value)))
 
 
+def _axis_ecn_k(spec: MachineSpec, value: Any) -> MachineSpec:
+    """ECN marking threshold in MTUs for congest runs; ``0`` disables
+    backpressure entirely (the FIFO arm of the k-sweep)."""
+    k = int(value)
+    if k == 0:
+        return replace(spec, congestion=replace(
+            spec.congestion, ecn=False))
+    return replace(spec, congestion=replace(
+        spec.congestion, ecn=True, ecn_k=k))
+
+
+def _axis_burst_duty(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Congestor duty cycle (on-fraction) for congest runs."""
+    return replace(spec, congestion=replace(
+        spec.congestion, burst_duty=float(value)))
+
+
+def _axis_incast_fanin(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Number of incast senders aimed at the victim in congest runs."""
+    return replace(spec, congestion=replace(
+        spec.congestion, incast_fanin=int(value)))
+
+
 #: Axis name -> applier, in **application order** (scale first: rescaling
 #: resets degradation, so failure axes must be applied afterwards).
 AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
@@ -154,6 +177,9 @@ AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
     "disabled_nodes": _axis_disabled_nodes,
     "failure_scale": _axis_failure_scale,
     "checkpoint_policy": _axis_checkpoint_policy,
+    "ecn_k": _axis_ecn_k,
+    "burst_duty": _axis_burst_duty,
+    "incast_fanin": _axis_incast_fanin,
 }
 
 

@@ -141,6 +141,39 @@ def probe_chaos(spec: MachineSpec,
     }
 
 
+def probe_congest(spec: MachineSpec,
+                  rng: np.random.Generator) -> dict[str, float]:
+    """One timeflow incast run honouring the spec's congestion knobs.
+
+    This is the sweep face of :mod:`repro.fabric.timeflow`: the
+    ``ecn_k`` / ``burst_duty`` / ``incast_fanin`` axes land in
+    ``spec.congestion`` and this probe runs exactly that configuration
+    (one arm, not the k-sweep study — the grid *is* the sweep).  Specs
+    beyond the flow-sim endpoint wall reduce like the mpigraph probe.
+    """
+    from repro.fabric.timeflow import (CONGEST_MAX_ENDPOINTS,
+                                       TimeflowConfig, TimeflowEngine,
+                                       incast_pattern)
+    if spec.fabric_config().total_endpoints > CONGEST_MAX_ENDPOINTS:
+        spec = spec.scaled(8, 4, 4)
+    knobs = spec.congestion
+    net = spec.build_network(rng=rng)
+    flows = incast_pattern(net, fanin=knobs.incast_fanin,
+                           duty=knobs.burst_duty, elephants=2, rng=rng)
+    cfg = TimeflowConfig(ecn=knobs.ecn, ecn_k=float(knobs.ecn_k),
+                         warmup_s=1e-4)
+    result = TimeflowEngine(net, flows, cfg).run()
+    victim = result.cls("victim")
+    return {
+        "victim_latency_p50_s": victim.latency["p50"],
+        "victim_latency_p99_s": victim.latency["p99"],
+        "victim_completed": float(victim.completed),
+        "congestor_goodput_gbs": result.cls("congestor").goodput / 1e9,
+        "max_queue_mtus": result.max_queue_bytes / cfg.mtu_bytes,
+        "marks": float(result.marks),
+    }
+
+
 # -- fault injection (tests + CI smoke) ---------------------------------------
 
 
@@ -187,6 +220,7 @@ SWEEP_PROBES: dict[str, SweepProbe] = {
     "storage": probe_storage,
     "placement": probe_placement,
     "chaos": probe_chaos,
+    "congest": probe_congest,
     "failing": probe_failing,
     "flaky": probe_flaky,
     "sleepy": probe_sleepy,

@@ -9,10 +9,11 @@ from pathlib import Path
 import pytest
 
 from repro.core.machine import FrontierMachine
-from repro.core.scenario import (SPEC_SCHEMA_VERSION, DegradationSpec,
-                                 DragonflyGeometry, FatTreeGeometry,
-                                 MachineSpec, StorageSpec, frontier_spec,
-                                 resolve_dragonfly, summit_spec)
+from repro.core.scenario import (SPEC_SCHEMA_VERSION, CongestionSpec,
+                                 DegradationSpec, DragonflyGeometry,
+                                 FatTreeGeometry, MachineSpec, StorageSpec,
+                                 frontier_spec, resolve_dragonfly,
+                                 summit_spec)
 from repro.errors import ConfigurationError
 from repro.fabric.dragonfly import FRONTIER_DRAGONFLY, DragonflyConfig
 from repro.fabric.network import FatTreeNetwork, SlingshotNetwork
@@ -100,6 +101,39 @@ class TestValidation:
     def test_storage_validated(self):
         with pytest.raises(ConfigurationError):
             StorageSpec(ssu_count=0)
+
+    def test_congestion_validated(self):
+        with pytest.raises(ConfigurationError, match="ecn_k"):
+            CongestionSpec(ecn_k=0)
+        with pytest.raises(ConfigurationError, match="burst_duty"):
+            CongestionSpec(burst_duty=1.5)
+        with pytest.raises(ConfigurationError, match="incast_fanin"):
+            CongestionSpec(incast_fanin=0)
+
+
+class TestCongestionSpec:
+    """The congestion knobs must not disturb existing spec documents."""
+
+    def test_default_knobs_do_not_serialize(self):
+        # Pre-congestion spec files and sweep task hashes stay stable.
+        assert "congestion" not in frontier_spec().to_dict()
+
+    def test_non_default_knobs_round_trip(self):
+        from dataclasses import replace
+        spec = replace(frontier_spec(),
+                       congestion=CongestionSpec(ecn=False, ecn_k=10,
+                                                 burst_duty=0.5,
+                                                 incast_fanin=16))
+        doc = spec.to_dict()
+        assert doc["congestion"] == {"ecn": False, "ecn_k": 10,
+                                     "burst_duty": 0.5, "incast_fanin": 16}
+        assert MachineSpec.from_dict(doc) == spec
+
+    def test_values_normalised(self):
+        knobs = CongestionSpec(ecn_k=30.0, incast_fanin=8.0)
+        assert knobs.ecn_k == 30 and isinstance(knobs.ecn_k, int)
+        assert knobs.incast_fanin == 8
+        assert knobs.is_default
 
 
 class TestMachineRoundTrip:

@@ -14,7 +14,8 @@ from repro.obs.probes import PROBES, record_machine_context, run_probes
 class TestProbes:
     def test_probe_registry_covers_the_instrumented_layers(self):
         assert set(PROBES) == {"fabric", "routing", "cache", "mpi",
-                               "storage", "scheduler", "sweep", "chaos"}
+                               "storage", "scheduler", "sweep", "chaos",
+                               "congestion"}
 
     def test_unknown_probe_rejected(self):
         with pytest.raises(KeyError):

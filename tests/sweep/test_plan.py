@@ -94,6 +94,30 @@ class TestAxes:
         assert spec.degradation.checkpoint_policy == "fixed"
         assert spec.degradation.checkpoint_interval_s == 900.0
 
+    def test_ecn_k_axis_sets_threshold_and_zero_means_fifo(self):
+        spec = apply_axes(BASE, {"ecn_k": 60})
+        assert spec.congestion.ecn and spec.congestion.ecn_k == 60
+        fifo = apply_axes(BASE, {"ecn_k": 0})
+        assert not fifo.congestion.ecn
+        with pytest.raises(ConfigurationError):
+            apply_axes(BASE, {"ecn_k": -1})
+
+    def test_burst_duty_axis(self):
+        spec = apply_axes(BASE, {"burst_duty": 0.3})
+        assert spec.congestion.burst_duty == 0.3
+        with pytest.raises(ConfigurationError):
+            apply_axes(BASE, {"burst_duty": 0.0})
+
+    def test_incast_fanin_axis(self):
+        spec = apply_axes(BASE, {"incast_fanin": 16})
+        assert spec.congestion.incast_fanin == 16
+
+    def test_congestion_axes_survive_rescaling(self):
+        spec = apply_axes(BASE, {"scale": 0.1, "ecn_k": 10,
+                                 "burst_duty": 0.5})
+        assert spec.congestion.ecn_k == 10
+        assert spec.congestion.burst_duty == 0.5
+
 
 class TestTaskIdentity:
     def test_hash_is_content_addressed(self):

@@ -238,6 +238,46 @@ class TestChaosVerb:
         assert "validation PASSED" in out
 
 
+class TestCongestVerb:
+    """python -m repro congest (see repro.fabric.timeflow)."""
+
+    @staticmethod
+    def args(tmp_path, *extra):
+        return ["congest", "--scaled", "8", "4", "4", "--seed", "0",
+                "--k", "10,60", "--horizon-us", "150",
+                "--out", str(tmp_path), *extra]
+
+    def test_congest_runs_then_resumes(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "Victim tail vs backpressure" in out
+        assert "fifo" in out and "ecn k10" in out and "ecn k60" in out
+        assert "FIFO victim p99" in out
+        assert "(written)" in out
+        artifacts = list(tmp_path.glob("congest-*.json"))
+        assert len(artifacts) == 1
+        assert main(self.args(tmp_path)) == 0
+        assert "(resumed)" in capsys.readouterr().out
+
+    def test_fresh_reruns_identically(self, tmp_path, capsys):
+        assert main(self.args(tmp_path, "--json")) == 0
+        first = capsys.readouterr().out
+        assert main(self.args(tmp_path, "--json", "--fresh")) == 0
+        assert capsys.readouterr().out == first
+        assert json.loads(first)["status"] == "ok"
+
+    def test_knobs_change_the_artifact(self, tmp_path, capsys):
+        assert main(self.args(tmp_path)) == 0
+        assert main(self.args(tmp_path, "--fanin", "4", "--no-fifo")) == 0
+        assert len(list(tmp_path.glob("congest-*.json"))) == 2
+
+    def test_validate_passes_and_prints_ratio(self, capsys):
+        assert main(["congest", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Timeflow cross-validation" in out
+        assert "validation PASSED" in out
+
+
 class TestVerbDocumentation:
     """Every registered verb must be documented (the tables drift
     otherwise: this is the sync contract named in ``repro.__main__``)."""

@@ -10,9 +10,12 @@ table and figure of the paper's evaluation.
 
 Quick start::
 
-    from repro import FrontierMachine
-    machine = FrontierMachine()
+    from repro import Machine
+    machine = Machine()                        # defaults: Frontier
     print(machine.table1())
+
+    from repro.core.family import family
+    aurora = family("aurora").spec().machine() # any registered family
 
     from repro.apps import all_apps
     for app in all_apps():
@@ -35,17 +38,18 @@ Subpackages
 ===================  ====================================================
 """
 
-from repro.core.machine import FrontierMachine
-from repro.core.baselines import (BASELINES, CORI, FRONTIER, MIRA, SEQUOIA,
-                                  SUMMIT, THETA, TITAN, MachineModel)
+from repro.core.machine import FrontierMachine, Machine
+from repro.core.baselines import (AURORA, BASELINES, CORI, FRONTIER, MIRA,
+                                  SEQUOIA, SUMMIT, THETA, TITAN, MachineModel)
 from repro.errors import ReproError
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "FrontierMachine",
+    "Machine", "FrontierMachine",
     "MachineModel", "BASELINES",
-    "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA", "CORI", "SEQUOIA",
+    "FRONTIER", "SUMMIT", "AURORA", "TITAN", "MIRA", "THETA", "CORI",
+    "SEQUOIA",
     "ReproError",
     "__version__",
 ]

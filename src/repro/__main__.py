@@ -51,6 +51,11 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                artifact under ``benchmarks/out/congest`` (``--validate``
                scores the fluid engine against the analytic
                ``CongestionControl`` impact factor, tol ±15%)
+``compare``    cross-machine study over the family registry
+               (``--families``, default Frontier/Summit/Aurora):
+               Table 6/7 app FOMs evaluated against every family plus a
+               compute/bandwidth/interconnect HPL+HPCG roofline
+               projection checked against the measured list entries
 =============  =======================================================
 
 ``tests/test_cli.py`` asserts every registered verb is documented in
@@ -458,6 +463,68 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_compare(args: "argparse.Namespace") -> int:
+    from repro.core.compare import compare_machines
+    from repro.errors import ReproError
+
+    try:
+        names = tuple(n for n in args.families.split(",") if n)
+        doc = compare_machines(names)
+    except ReproError as exc:
+        print(f"compare: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+        return 0
+
+    fams = [f["family"] for f in doc["families"]]
+    summary = Table(["Family", "Nodes", "NICs", "Fabric", "Rpeak PF",
+                     "HPL PF", "HPCG PF", "HPL eff", "Power MW", "GF/W"],
+                    title="Machine families", float_fmt="{:.1f}")
+    for f in doc["families"]:
+        summary.add_row([f["family"], f["nodes"], f["nics_per_node"],
+                         f["fabric"], f["rpeak_pflops"],
+                         f["hpl_rmax_pflops"], f["hpcg_pflops"],
+                         f"{f['hpl_efficiency']:.3f}", f["power_mw"],
+                         f["gflops_per_watt"]])
+    print(summary.render())
+    print()
+
+    # The per-family achieved cells use the same "{:.1f}x" format as the
+    # `apps` verb, so the Frontier column is bit-identical to its output.
+    for title, rows in (
+            ("CAAR and INCITE speedups by family (Table 6)", doc["table6"]),
+            ("ECP speedups by family (Table 7)", doc["table7"])):
+        table = Table(["Application", "Baseline", "Target", *fams],
+                      title=title, float_fmt="{:.1f}")
+        for row in rows:
+            table.add_row([row["application"], row["baseline"],
+                           f"{row['target']:.0f}x",
+                           *(f"{row['achieved'][f]:.1f}x" for f in fams)])
+        print(table.render())
+        print()
+
+    proj = Table(["Family", "Nodes", "Compute PF", "Bandwidth PF",
+                  "Interconnect PF", "HPL PF", "Measured PF", "Binding",
+                  "HPCG PF"],
+                 title="HPL/HPCG roofline projection", float_fmt="{:.1f}")
+    for p in doc["projection"]:
+        proj.add_row([p["family"], p["nodes"], p["compute_bound_pflops"],
+                      p["bandwidth_bound_pflops"],
+                      p["interconnect_bound_pflops"],
+                      p["hpl_projected_pflops"], p["hpl_measured_pflops"],
+                      p["binding"], p["hpcg_projected_pflops"]])
+    print(proj.render())
+    if "frontier_hpl_within_10pct" in doc:
+        fp = doc["projection"][fams.index("frontier")]
+        print(f"\nFrontier HPL cross-check: projection "
+              f"{fp['hpl_projected_pflops']:.0f} PF vs GCD roofline "
+              f"{doc['frontier_roofline_hpl_pflops']:.0f} PF vs measured "
+              f"{fp['hpl_measured_pflops']:.0f} PF -> within ±10%: "
+              f"{doc['frontier_hpl_within_10pct']}")
+    return 0
+
+
 def _cmd_congest(args: "argparse.Namespace") -> int:
     from repro.fabric.timeflow import (CongestConfig, run_congest_cached,
                                        validate_victim_impact)
@@ -574,11 +641,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep every *.json spec in DIR instead of "
                             "expanding axes")
     sweep.add_argument("--axis", action="append", metavar="KEY=V1,V2",
-                       help="one grid axis (repeatable); keys: scale, "
-                            "nics_per_node, routing, disabled_links, "
-                            "disabled_nodes, failure_scale, "
-                            "checkpoint_policy, ecn_k, burst_duty, "
-                            "incast_fanin")
+                       help="one grid axis (repeatable); keys: "
+                            "machine_family, scale, nics_per_node, "
+                            "routing, disabled_links, disabled_nodes, "
+                            "failure_scale, checkpoint_policy, ecn_k, "
+                            "burst_duty, incast_fanin")
     sweep.add_argument("--probe", action="append", metavar="NAME",
                        help="sweep probe(s) to evaluate per grid point "
                             "(default: mpigraph)")
@@ -682,6 +749,16 @@ def build_parser() -> argparse.ArgumentParser:
                                              "benchmarks/out/congest)")
     congest.add_argument("--fresh", action="store_true",
                          help="re-run even if a completed artifact exists")
+
+    compare = sub.add_parser(
+        "compare", help="cross-machine study: Table 6/7 FOMs and an "
+                        "HPL/HPCG roofline projection per family")
+    compare.add_argument("--families", default=",".join(
+        ("frontier", "summit", "aurora")), metavar="F1,F2",
+        help="registered machine families to compare "
+             "(default: frontier,summit,aurora)")
+    compare.add_argument("--json", action="store_true",
+                         help="print the study document as JSON")
     return parser
 
 
@@ -701,6 +778,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_chaos(args)
     if args.command == "congest":
         return _cmd_congest(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     COMMANDS[args.command]()
     return 0
 

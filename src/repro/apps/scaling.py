@@ -28,7 +28,8 @@ import enum
 import math
 from dataclasses import dataclass, field
 
-from repro.core.baselines import FRONTIER, SUMMIT, MachineModel
+from repro.core.baselines import FRONTIER, MachineModel
+from repro.core.family import staging_factor_for
 from repro.errors import ConfigurationError
 from repro.fabric.collectives import allreduce_latency
 from repro.fabric.dragonfly import DragonflyConfig
@@ -146,15 +147,14 @@ class WeakScalingModel:
         """96% on Frontier vs ~48% on Summit with the *same* halo volume:
         Summit's six GPUs share one effective rail and stage through the
         host (staging_factor 6.9 covers PCIe + host-memory crossings),
-        while Frontier's OAM-attached NICs keep the factor at 1."""
-        if machine is SUMMIT:
-            return cls(pattern=CommPattern.HALO, compute_seconds=3.4e-3,
-                       comm_bytes_per_rank=2.71e5, machine=machine,
-                       ppn=ppn if ppn is not None else 6,
-                       staging_factor=6.9)
+        while Frontier's OAM-attached NICs keep the factor at 1.  The
+        staging factor and PPN default are keyed by the machine's family
+        registration, not by identity checks against specific models."""
+        if ppn is None:
+            ppn = machine.gpus_per_node or 8
         return cls(pattern=CommPattern.HALO, compute_seconds=3.4e-3,
-                   comm_bytes_per_rank=2.71e5, machine=machine,
-                   ppn=ppn if ppn is not None else 8)
+                   comm_bytes_per_rank=2.71e5, machine=machine, ppn=ppn,
+                   staging_factor=staging_factor_for(machine.name))
 
     @classmethod
     def gests(cls, decomposition: str = "1d",

@@ -1,14 +1,20 @@
-"""The integrated Frontier machine model and evaluation drivers.
+"""The integrated machine model and evaluation drivers.
 
-* :mod:`repro.core.baselines` — Summit, Titan, Mira, Theta, Cori, Sequoia
-  machine models (the KPP comparison systems).
+* :mod:`repro.core.baselines` — Summit, Aurora, Titan, Mira, Theta, Cori,
+  Sequoia machine models (the KPP comparison systems).
 * :mod:`repro.core.scenario` — :class:`MachineSpec`: the serializable
   scenario description every layer is configured from (the composition
-  root's input format).
-* :mod:`repro.core.machine` — :class:`FrontierMachine`: node + fabric +
-  storage + scheduler + power + resilience behind one facade, built from
-  a spec (``from_spec``/``spec``) with ``network()``/``comm()`` factories.
+  root's input format), with Frontier/Summit/Aurora presets.
+* :mod:`repro.core.family` — the :class:`MachineFamily` registry binding a
+  spec preset, node-model factory, power inventory, and HPL/HPCG anchors
+  to one family name.
+* :mod:`repro.core.machine` — :class:`Machine`: node + fabric + storage +
+  scheduler + power + resilience behind one facade, built from a spec
+  (``from_spec``/``spec``) with ``network()``/``comm()`` factories; the
+  node model resolves through the family registry.
 * :mod:`repro.core.specs_table` — Table 1 aggregation.
+* :mod:`repro.core.compare` — the cross-machine study harness (Table 6/7
+  app FOMs + Chalmers-style HPL/HPCG roofline projection).
 * :mod:`repro.core.report_card` — the §5 scorecard against the 2008 DARPA
   exascale report's four challenges.
 * :mod:`repro.core.evaluation` — run-everything driver used by the
@@ -16,24 +22,31 @@
 """
 
 from repro.core.baselines import (
-    MachineModel, FRONTIER, SUMMIT, TITAN, MIRA, THETA, CORI, SEQUOIA,
-    BASELINES,
+    MachineModel, FRONTIER, SUMMIT, AURORA, TITAN, MIRA, THETA, CORI,
+    SEQUOIA, BASELINES,
 )
-from repro.core.machine import FrontierMachine
+from repro.core.machine import Machine, FrontierMachine
+from repro.core.family import (
+    MachineFamily, register_family, family, family_names, DEFAULT_FAMILY,
+)
 from repro.core.scenario import (
     MachineSpec, DragonflyGeometry, FatTreeGeometry, StorageSpec,
-    DegradationSpec, CongestionSpec, FRONTIER_SPEC, frontier_spec, summit_spec,
-    resolve_dragonfly,
+    DegradationSpec, CongestionSpec, FRONTIER_SPEC, SUMMIT_SPEC, AURORA_SPEC,
+    frontier_spec, summit_spec, aurora_spec, resolve_dragonfly,
 )
 from repro.core.specs_table import compute_table1
 from repro.core.report_card import ExascaleReportCard
 
 __all__ = [
-    "MachineModel", "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA", "CORI",
-    "SEQUOIA", "BASELINES",
-    "FrontierMachine",
+    "MachineModel", "FRONTIER", "SUMMIT", "AURORA", "TITAN", "MIRA", "THETA",
+    "CORI", "SEQUOIA", "BASELINES",
+    "Machine", "FrontierMachine",
+    "MachineFamily", "register_family", "family", "family_names",
+    "DEFAULT_FAMILY",
     "MachineSpec", "DragonflyGeometry", "FatTreeGeometry", "StorageSpec",
-    "DegradationSpec", "CongestionSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
+    "DegradationSpec", "CongestionSpec",
+    "FRONTIER_SPEC", "SUMMIT_SPEC", "AURORA_SPEC",
+    "frontier_spec", "summit_spec", "aurora_spec",
     "resolve_dragonfly",
     "compute_table1",
     "ExascaleReportCard",

@@ -14,8 +14,8 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.units import GiB, PETA, TERA
 
-__all__ = ["MachineModel", "FRONTIER", "SUMMIT", "TITAN", "MIRA", "THETA",
-           "CORI", "SEQUOIA", "BASELINES"]
+__all__ = ["MachineModel", "FRONTIER", "SUMMIT", "AURORA", "TITAN", "MIRA",
+           "THETA", "CORI", "SEQUOIA", "BASELINES"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,14 @@ SUMMIT = MachineModel(
     memory_per_node=96 * GiB, node_injection=25e9, power_mw=13.0,
 )
 
+#: Aurora: 10,624 nodes x 6 Ponte Vecchio (31.1 TF FP64 matrix in the
+#: Rpeak accounting), 8 Slingshot NICs per node (200 GB/s injection).
+AURORA = MachineModel(
+    name="Aurora", year=2023, nodes=10624, gpus_per_node=6,
+    fp64_per_gpu=31.1 * TERA, fp64_per_node_cpu=0.0,
+    memory_per_node=768e9, node_injection=200e9, power_mw=38.7,
+)
+
 #: Titan: 18,688 nodes x 1 K20X (1.31 TF FP64), Gemini interconnect.
 TITAN = MachineModel(
     name="Titan", year=2012, nodes=18688, gpus_per_node=1,
@@ -119,5 +127,6 @@ SEQUOIA = MachineModel(
 )
 
 BASELINES: dict[str, MachineModel] = {
-    m.name: m for m in (FRONTIER, SUMMIT, TITAN, MIRA, THETA, CORI, SEQUOIA)
+    m.name: m for m in (FRONTIER, SUMMIT, AURORA, TITAN, MIRA, THETA, CORI,
+                        SEQUOIA)
 }

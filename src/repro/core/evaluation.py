@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.apps import CAAR_APPS, ECP_APPS
-from repro.core.machine import FrontierMachine
+from repro.core.machine import Machine
 from repro.core.report_card import ExascaleReportCard
 from repro.fabric.collectives import alltoall_per_node_bandwidth
 from repro.microbench.gpcnet import GpcnetConfig, run_gpcnet
@@ -43,7 +43,7 @@ def table7() -> list[dict[str, Any]]:
             for a in ECP_APPS()]
 
 
-def run_full_evaluation(*, machine: FrontierMachine | None = None,
+def run_full_evaluation(*, machine: Machine | None = None,
                         mpigraph_samples: int = 4,
                         gpcnet_ppn: tuple[int, ...] = (8,)) -> dict[str, Any]:
     """Everything the paper's Section 4 and 5 report, from the models.
@@ -53,7 +53,7 @@ def run_full_evaluation(*, machine: FrontierMachine | None = None,
     so scenario variants (``machine.scaled()``/``degraded()`` or a spec
     loaded from JSON) re-evaluate consistently.
     """
-    m = machine if machine is not None else FrontierMachine()
+    m = machine if machine is not None else Machine()
     out: dict[str, Any] = {}
     out["table1"] = m.table1()
     out["table2"] = m.filesystem.table2()

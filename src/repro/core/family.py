@@ -1,0 +1,186 @@
+"""The machine-family registry: one name resolves a whole machine.
+
+A :class:`MachineFamily` bundles everything that makes a machine *that*
+machine — its :class:`~repro.core.scenario.MachineSpec` preset, a
+node-model factory, a power-inventory factory, the application-facing
+:class:`~repro.core.baselines.MachineModel`, and the measured HPL/HPCG
+anchors the cross-machine projections calibrate against.  Downstream
+layers resolve all of it through :func:`family`, so nothing below
+``repro.core`` needs to name ``BardPeakNode`` or ``FRONTIER_SPEC``
+directly (the composition-root guard test enforces this).
+
+Registered out of the box:
+
+* ``frontier`` — the paper's machine (rich Bard Peak node model).
+* ``summit``  — the Figure 6 / Table 6 comparison system (AC922 nodes on
+  an EDR fat tree).
+* ``aurora``  — Argonne's exascale machine (Ponte Vecchio + Sapphire
+  Rapids nodes, 8-NIC Slingshot dragonfly with a shallower taper).
+
+Adding a family is one call::
+
+    register_family(MachineFamily(
+        name="elcap", description="El Capitan (MI300A)",
+        spec=lambda: ELCAP_SPEC, node=lambda: NodeModel(ELCAP_NODE),
+        model=ELCAP_MODEL, power=elcap_power,
+        rpeak_flops=2.746e18, hpl_rmax_flops=1.742e18,
+        hpcg_flops=17.1e15))
+
+after which ``python -m repro compare --families frontier,elcap``, the
+``machine_family`` sweep axis, and every spec carrying
+``family="elcap"`` work unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core import baselines
+from repro.core.scenario import (AURORA_SPEC, FRONTIER_SPEC, SUMMIT_SPEC,
+                                 MachineSpec)
+from repro.errors import ConfigurationError
+from repro.node.node import BardPeakNode
+from repro.node.spec import AURORA_NODE, SUMMIT_NODE, NodeModel
+from repro.power.model import (SystemPowerModel, aurora_power,
+                               frontier_power, summit_power)
+
+__all__ = ["MachineFamily", "register_family", "family", "family_names",
+           "staging_factor_for", "DEFAULT_FAMILY"]
+
+#: The family a bare spec (and every pre-registry artifact) belongs to.
+DEFAULT_FAMILY = "frontier"
+
+
+@dataclass(frozen=True)
+class MachineFamily:
+    """Everything the registry resolves for one machine family.
+
+    ``spec``/``node``/``power`` are zero-argument factories so shared
+    mutable state (node models and power inventories are plain
+    dataclasses) is never handed out twice.  The flops anchors are the
+    machine's *measured* (or list) system numbers; the projection model
+    derives its efficiency curves from them rather than hardcoding
+    Frontier's.
+    """
+
+    name: str
+    description: str
+    spec: Callable[[], MachineSpec]
+    node: Callable[[], Any]
+    model: baselines.MachineModel
+    power: Callable[[], SystemPowerModel]
+    rpeak_flops: float                 # FP64 system peak (Rpeak)
+    hpl_rmax_flops: float              # measured/list HPL Rmax
+    hpcg_flops: float                  # measured/list HPCG
+    staging_factor: float = 1.0        # app comm staging (AthenaPK story)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a machine family needs a name")
+        object.__setattr__(self, "name", self.name.lower())
+        for fld in ("rpeak_flops", "hpl_rmax_flops", "hpcg_flops"):
+            if getattr(self, fld) <= 0:
+                raise ConfigurationError(
+                    f"family {self.name!r}: {fld} must be positive")
+        if self.hpl_rmax_flops > self.rpeak_flops:
+            raise ConfigurationError(
+                f"family {self.name!r}: Rmax cannot exceed Rpeak")
+
+    @property
+    def hpl_efficiency(self) -> float:
+        """Measured Rmax / Rpeak — the compute-bound HPL ceiling."""
+        return self.hpl_rmax_flops / self.rpeak_flops
+
+    def summary(self) -> dict[str, Any]:
+        spec = self.spec()
+        return {
+            "family": self.name,
+            "description": self.description,
+            "nodes": spec.node_count,
+            "nics_per_node": spec.nics_per_node,
+            "fabric": spec.fabric.kind,
+            "rpeak_pflops": self.rpeak_flops / 1e15,
+            "hpl_rmax_pflops": self.hpl_rmax_flops / 1e15,
+            "hpcg_pflops": self.hpcg_flops / 1e15,
+            "hpl_efficiency": self.hpl_efficiency,
+        }
+
+
+_REGISTRY: dict[str, MachineFamily] = {}
+
+
+def register_family(fam: MachineFamily, *,
+                    replace: bool = False) -> MachineFamily:
+    """Register ``fam`` under its (lowercased) name; returns it."""
+    if fam.name in _REGISTRY and not replace:
+        raise ConfigurationError(
+            f"machine family {fam.name!r} is already registered "
+            "(pass replace=True to override)")
+    _REGISTRY[fam.name] = fam
+    return fam
+
+
+def family(name: str) -> MachineFamily:
+    """Look up a registered family by name (case-insensitive)."""
+    fam = _REGISTRY.get(str(name).lower())
+    if fam is None:
+        raise ConfigurationError(
+            f"unknown machine family {name!r}; "
+            f"registered: {', '.join(family_names())}")
+    return fam
+
+
+def family_names() -> tuple[str, ...]:
+    """Registered family names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def staging_factor_for(machine_name: str) -> float:
+    """The app-comm staging factor for a machine name, 1.0 if unknown.
+
+    Keyed by family so the scaling models stay free of ``machine is
+    SUMMIT`` identity checks; unregistered names degrade gracefully.
+    """
+    fam = _REGISTRY.get(str(machine_name).lower())
+    return fam.staging_factor if fam is not None else 1.0
+
+
+register_family(MachineFamily(
+    name="frontier",
+    description="ORNL Frontier: Bard Peak nodes, 74-group Slingshot",
+    spec=lambda: FRONTIER_SPEC,
+    node=BardPeakNode,
+    model=baselines.FRONTIER,
+    power=frontier_power,
+    rpeak_flops=1.6856e18,
+    hpl_rmax_flops=1.102e18,
+    hpcg_flops=14.054e15,
+))
+
+register_family(MachineFamily(
+    name="summit",
+    description="ORNL Summit: AC922 nodes, EDR fat tree",
+    spec=lambda: SUMMIT_SPEC,
+    node=lambda: NodeModel(SUMMIT_NODE),
+    model=baselines.SUMMIT,
+    power=summit_power,
+    rpeak_flops=200.8e15,
+    hpl_rmax_flops=148.6e15,
+    hpcg_flops=2.93e15,
+    # The paper's AthenaPK story: Summit's 1 NIC / 6 GPUs forces ~6.9x
+    # staged host traffic per rank vs Frontier's NIC-per-GPU design.
+    staging_factor=6.9,
+))
+
+register_family(MachineFamily(
+    name="aurora",
+    description="ANL Aurora: PVC + Sapphire Rapids, 166-group Slingshot",
+    spec=lambda: AURORA_SPEC,
+    node=lambda: NodeModel(AURORA_NODE),
+    model=baselines.AURORA,
+    power=aurora_power,
+    rpeak_flops=1.9824e18,
+    hpl_rmax_flops=1.206e18,
+    hpcg_flops=5.612e15,
+))

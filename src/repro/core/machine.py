@@ -1,50 +1,60 @@
-"""The integrated Frontier machine facade.
+"""The integrated machine facade.
 
-``FrontierMachine`` wires every subsystem model together behind one object:
-node design, Slingshot fabric, Orion + node-local storage, the Slurm
-scheduler, the power model, and the resilience model.  It is the
-**composition root** of the reproduction: build one from a serializable
+``Machine`` wires every subsystem model together behind one object: node
+design, fabric, center-wide + node-local storage, the Slurm scheduler,
+the power model, and the resilience model.  It is the **composition
+root** of the reproduction: build one from a serializable
 :class:`repro.core.scenario.MachineSpec` (``from_spec``/``spec`` round
 trip), then let its factories hand configured collaborators to the
 downstream layers — ``network()`` for the materialised fabric, ``comm()``
 for the MPI cost oracle, ``scheduler()`` for Slurm, and ``scaled()`` /
 ``degraded()`` for experiment variants.
+
+``from_spec`` resolves the node model and power inventory through the
+machine-family registry (:mod:`repro.core.family`) keyed by the spec's
+``family`` tag, so the same facade assembles Frontier, Summit, or Aurora
+(or any family registered later).  Bare ``Machine()`` still builds the
+paper's Frontier.  ``FrontierMachine`` remains as a deprecation alias.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.scenario import (DegradationSpec, DragonflyGeometry,
-                                 MachineSpec, StorageSpec)
+                                 FatTreeGeometry, MachineSpec, StorageSpec)
 from repro.core.specs_table import FRONTIER_NODE_COUNT, compute_table1
 from repro.errors import ConfigurationError
 from repro.fabric.dragonfly import DragonflyConfig
+from repro.fabric.fattree import FatTreeConfig
 from repro.fabric.routing import RoutingPolicy
 from repro.node.node import BardPeakNode
-from repro.power.model import FrontierPowerModel
+from repro.power.model import SystemPowerModel
 from repro.resilience.mtti import MttiModel
 from repro.scheduler.slurm import SlurmScheduler
 from repro.storage.lustre import OrionFilesystem
 from repro.storage.nvme import Raid0Array, node_local_storage
 from repro.storage.pfl import Tier
 
-__all__ = ["FrontierMachine"]
+__all__ = ["Machine", "FrontierMachine"]
 
 
 @dataclass
-class FrontierMachine:
-    """Frontier, assembled."""
+class Machine:
+    """One machine, assembled.  Defaults build the paper's Frontier."""
 
     node_count: int = FRONTIER_NODE_COUNT
-    node: BardPeakNode = field(default_factory=BardPeakNode)
-    fabric: DragonflyConfig = field(default_factory=DragonflyConfig)
+    node: Any = field(default_factory=BardPeakNode)
+    fabric: DragonflyConfig | FatTreeConfig = field(
+        default_factory=DragonflyConfig)
     filesystem: OrionFilesystem = field(default_factory=OrionFilesystem)
     node_local: Raid0Array = field(default_factory=node_local_storage)
-    power: FrontierPowerModel = field(default_factory=FrontierPowerModel)
-    routing: RoutingPolicy = RoutingPolicy.UGAL
+    power: SystemPowerModel = field(default_factory=SystemPowerModel)
+    routing: RoutingPolicy | None = RoutingPolicy.UGAL
     degradation: DegradationSpec = field(default_factory=DegradationSpec)
     name: str = "frontier"
+    family: str = "frontier"
 
     def __post_init__(self) -> None:
         if self.node_count < 1:
@@ -54,49 +64,58 @@ class FrontierMachine:
             raise ConfigurationError(
                 f"{self.node_count} nodes need {self.node_count * self.node.nic_count} "
                 f"endpoints; the fabric has {self.fabric.total_endpoints}")
+        if isinstance(self.fabric, FatTreeConfig):
+            self.routing = None   # fat trees route ECMP, not a policy knob
+        elif self.routing is None:
+            raise ConfigurationError("dragonfly machines need a routing policy")
         if any(n >= self.node_count for n in self.degradation.failed_nodes):
             raise ConfigurationError("failed node id beyond node_count")
+        # The FIT inventory is calibrated on Frontier; other families reuse
+        # it scaled to their node count (a documented approximation until a
+        # per-family inventory lands).
         self.resilience = MttiModel.frontier()
         self.resilience.total_nodes = self.node_count
 
     # -- the spec round trip --------------------------------------------------
 
     @classmethod
-    def from_spec(cls, spec: MachineSpec) -> "FrontierMachine":
+    def from_spec(cls, spec: MachineSpec) -> "Machine":
         """Assemble the machine a :class:`MachineSpec` describes.
 
-        Frontier is a dragonfly machine; fat-tree scenarios (the Summit
-        comparison) materialise their network via
-        :meth:`MachineSpec.build_network` instead.
+        The node model and power inventory come from the machine-family
+        registry entry named by ``spec.family``.
         """
-        cfg = spec.fabric_config()
-        if not isinstance(cfg, DragonflyConfig):
-            raise ConfigurationError(
-                f"FrontierMachine needs a dragonfly fabric; scenario "
-                f"{spec.name!r} is a {spec.fabric.kind}. Use "
-                f"spec.build_network() for fat-tree scenarios.")
-        node = BardPeakNode()
+        from repro.core.family import family as resolve_family
+        fam = resolve_family(spec.family)
+        node = fam.node()
         if spec.nics_per_node != node.nic_count:
             raise ConfigurationError(
-                f"Bard Peak nodes carry {node.nic_count} NICs; the spec "
+                f"{fam.name} nodes carry {node.nic_count} NICs; the spec "
                 f"says {spec.nics_per_node}")
         return cls(node_count=spec.node_count,
                    node=node,
-                   fabric=cfg,
+                   fabric=spec.fabric_config(),
                    filesystem=spec.storage.filesystem(),
                    node_local=spec.storage.node_local(),
-                   routing=RoutingPolicy(spec.routing),
+                   power=fam.power(),
+                   routing=spec.routing_policy,
                    degradation=spec.degradation,
-                   name=spec.name)
+                   name=spec.name,
+                   family=fam.name)
 
     def spec(self) -> MachineSpec:
         """The serializable scenario this machine realises."""
+        if isinstance(self.fabric, DragonflyConfig):
+            fabric = DragonflyGeometry.from_config(self.fabric)
+        else:
+            fabric = FatTreeGeometry.from_config(self.fabric)
         return MachineSpec(
             name=self.name,
+            family=self.family,
             node_count=self.node_count,
             nics_per_node=self.node.nic_count,
-            fabric=DragonflyGeometry.from_config(self.fabric),
-            routing=self.routing.value,
+            fabric=fabric,
+            routing=self.routing.value if self.routing is not None else "ecmp",
             storage=StorageSpec(ssu_count=self.filesystem.ssu_count,
                                 mds_count=self.filesystem.mds_count,
                                 nvme_per_node=len(self.node_local.drives)),
@@ -109,8 +128,13 @@ class FrontierMachine:
         return self.node_count * self.node.gcd_count
 
     @property
+    def gpus_per_node(self) -> int:
+        """Accelerator devices the OS sees per node."""
+        return self.node.gcd_count
+
+    @property
     def gpu_threads(self) -> int:
-        """>500M concurrent GPU threads (§5.3)."""
+        """>500M concurrent GPU threads on Frontier (§5.3)."""
         return self.node_count * self.node.gpu_threads
 
     @property
@@ -150,20 +174,25 @@ class FrontierMachine:
 
     def comm(self, layout):
         """A :class:`repro.mpi.simmpi.SimComm` wired to this machine."""
+        if not isinstance(self.fabric, DragonflyConfig):
+            raise ConfigurationError(
+                f"SimComm models dragonfly fabrics; machine {self.name!r} "
+                f"is a fat tree. Use spec.build_network() for fat-tree "
+                f"flow studies.")
         from repro.mpi.simmpi import SimComm
         return SimComm(layout, machine=self)
 
     def scaled(self, groups: int, switches_per_group: int,
-               endpoints_per_switch: int) -> "FrontierMachine":
+               endpoints_per_switch: int) -> "Machine":
         """A taper-preserving reduced-scale machine (see MachineSpec.scaled)."""
-        return FrontierMachine.from_spec(
+        return Machine.from_spec(
             self.spec().scaled(groups, switches_per_group,
                                endpoints_per_switch))
 
     def degraded(self, *, failed_links: tuple[int, ...] = (),
-                 failed_nodes: tuple[int, ...] = ()) -> "FrontierMachine":
+                 failed_nodes: tuple[int, ...] = ()) -> "Machine":
         """This machine with extra failed links/nodes applied."""
-        return FrontierMachine.from_spec(
+        return Machine.from_spec(
             self.spec().degraded(failed_links=tuple(failed_links),
                                  failed_nodes=tuple(failed_nodes)))
 
@@ -177,3 +206,7 @@ class FrontierMachine:
             "orion_capacity_PB": sum(
                 self.filesystem.tier_stats(t).capacity for t in Tier) / 1e15,
         }
+
+
+#: Deprecation alias — the facade is no longer Frontier-specific.
+FrontierMachine = Machine

@@ -7,8 +7,11 @@ routing policy, storage tiers, and degradation knobs (failed links and
 nodes).  Downstream layers (:class:`repro.mpi.simmpi.SimComm`,
 :mod:`repro.scheduler.placement`, :mod:`repro.microbench`,
 :mod:`repro.core.evaluation`, the probe suite) obtain their configuration
-from a spec — directly or through the :class:`FrontierMachine` built from
-it — instead of default-constructing :class:`DragonflyConfig` ad hoc.
+from a spec — directly or through the :class:`Machine` built from it —
+instead of default-constructing :class:`DragonflyConfig` ad hoc.  Every
+spec carries a ``family`` tag naming its machine family
+(:mod:`repro.core.family`), which resolves the node model, power
+inventory, and efficiency anchors.
 
 Typical use::
 
@@ -38,7 +41,8 @@ from repro.fabric.routing import RoutingPolicy
 __all__ = [
     "DragonflyGeometry", "FatTreeGeometry", "StorageSpec", "DegradationSpec",
     "CongestionSpec",
-    "MachineSpec", "FRONTIER_SPEC", "frontier_spec", "summit_spec",
+    "MachineSpec", "FRONTIER_SPEC", "SUMMIT_SPEC", "AURORA_SPEC",
+    "frontier_spec", "summit_spec", "aurora_spec",
     "resolve_dragonfly",
 ]
 
@@ -273,6 +277,7 @@ class MachineSpec:
     """One frozen, serializable description of a simulated machine."""
 
     name: str = "frontier"
+    family: str = "frontier"
     node_count: int = FRONTIER_NODE_COUNT
     nics_per_node: int = 4
     fabric: FabricGeometry = field(default_factory=DragonflyGeometry)
@@ -282,6 +287,10 @@ class MachineSpec:
     congestion: CongestionSpec = field(default_factory=CongestionSpec)
 
     def __post_init__(self) -> None:
+        if not self.family or not isinstance(self.family, str):
+            raise ConfigurationError(
+                "machine family must be a non-empty string")
+        object.__setattr__(self, "family", self.family.lower())
         if self.node_count < 1:
             raise ConfigurationError("a machine needs at least one node")
         if self.nics_per_node < 1:
@@ -343,9 +352,14 @@ class MachineSpec:
         return net
 
     def machine(self):
-        """The :class:`repro.core.machine.FrontierMachine` for this spec."""
-        from repro.core.machine import FrontierMachine
-        return FrontierMachine.from_spec(self)
+        """The :class:`repro.core.machine.Machine` for this spec.
+
+        Node model and power inventory are resolved through the
+        machine-family registry (:mod:`repro.core.family`) keyed by
+        ``self.family``.
+        """
+        from repro.core.machine import Machine
+        return Machine.from_spec(self)
 
     # -- variants ------------------------------------------------------------
 
@@ -386,6 +400,10 @@ class MachineSpec:
         return {
             "schema": SPEC_SCHEMA_VERSION,
             "name": self.name,
+            # The family tag serializes only off-default (like the chaos
+            # and congestion knobs): pre-registry frontier spec files and
+            # sweep task hashes stay byte-identical.
+            **({} if self.family == "frontier" else {"family": self.family}),
             "node_count": self.node_count,
             "nics_per_node": self.nics_per_node,
             "fabric": _geometry_to_dict(self.fabric),
@@ -430,6 +448,7 @@ class MachineSpec:
         degradation = doc.get("degradation", {})
         return cls(
             name=doc.get("name", "frontier"),
+            family=doc.get("family", "frontier"),
             node_count=doc.get("node_count", FRONTIER_NODE_COUNT),
             nics_per_node=doc.get("nics_per_node", 4),
             fabric=_geometry_from_dict(doc.get("fabric", {"kind": "dragonfly"})),
@@ -475,9 +494,20 @@ FRONTIER_SPEC = MachineSpec()
 
 #: Summit, the Figure 6 comparison system: EDR fat tree, one rail modeled.
 SUMMIT_SPEC = MachineSpec(
-    name="summit", node_count=4608, nics_per_node=1,
+    name="summit", family="summit", node_count=4608, nics_per_node=1,
     fabric=FatTreeGeometry(edge_switches=192, endpoints_per_edge=24),
     routing="ecmp")
+
+#: Aurora: 10,624 nodes x 8 Slingshot NICs on a 166-group dragonfly.  The
+#: endpoint pool (166 x 32 x 16 = 84,992) is exactly nodes x NICs; two
+#: global links per group pair give Aurora's shallower 0.645 taper (330
+#: global vs 512 injection links per group) against Frontier's 0.570.
+AURORA_SPEC = MachineSpec(
+    name="aurora", family="aurora", node_count=10624, nics_per_node=8,
+    fabric=DragonflyGeometry(groups=166, switches_per_group=32,
+                             endpoints_per_switch=16,
+                             global_links_per_pair=2),
+    storage=StorageSpec(ssu_count=74, mds_count=16, nvme_per_node=1))
 
 
 def frontier_spec() -> MachineSpec:
@@ -488,6 +518,11 @@ def frontier_spec() -> MachineSpec:
 def summit_spec() -> MachineSpec:
     """The Summit comparison scenario."""
     return SUMMIT_SPEC
+
+
+def aurora_spec() -> MachineSpec:
+    """The Aurora scenario (Ponte Vecchio nodes, 8-NIC dragonfly)."""
+    return AURORA_SPEC
 
 
 @lru_cache(maxsize=1)

@@ -1,15 +1,24 @@
-"""Table 1 — Frontier compute peak specifications, computed from components.
+"""Table 1 — compute peak specifications, computed from components.
 
 Every row of the paper's Table 1 is derived here from the node model, so a
 change to any component propagates.  Unit note: the paper's bandwidth rows
 mix prefixes (its "1.9 PiB/s" DDR row is actually 1.94 PB/s = 1.72 PiB/s);
 we emit both and EXPERIMENTS.md compares on the SI values.
+
+The aggregation is duck-typed over the node model: anything with the
+``BardPeakNode`` surface (``gcd_count``, ``peak_flops``, the
+memory/injection aggregates) works, including the declarative
+:class:`repro.node.spec.NodeModel` the family registry hands out for
+Summit and Aurora.  Fat-tree fabrics report their aggregate uplink
+capacity as the global-bandwidth row.
 """
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.fabric.dragonfly import FRONTIER_DRAGONFLY, DragonflyConfig
-from repro.node.node import BardPeakNode
+from repro.fabric.fattree import FatTreeConfig
 from repro.node.gpu import Precision
 from repro.units import EXA, PiB, TERA
 
@@ -20,15 +29,27 @@ FRONTIER_NODE_COUNT = 9472
 SUSTAINED_DGEMM_PER_GCD = 26.5 * TERA
 
 
+def _global_bandwidth(fabric: DragonflyConfig | FatTreeConfig) -> float:
+    if isinstance(fabric, FatTreeConfig):
+        return fabric.edge_switches * fabric.uplink_capacity_per_edge
+    return fabric.total_global_bandwidth
+
+
 def compute_table1(nodes: int = FRONTIER_NODE_COUNT,
-                   node: BardPeakNode | None = None,
-                   fabric: DragonflyConfig | None = None) -> dict[str, float]:
+                   node: Any = None,
+                   fabric: DragonflyConfig | FatTreeConfig | None = None,
+                   ) -> dict[str, float]:
     """Aggregate the Table 1 rows (values in the units the paper uses)."""
-    n = node if node is not None else BardPeakNode()
+    if node is None:
+        from repro.node.node import BardPeakNode
+        node = BardPeakNode()
+    n = node
     f = fabric if fabric is not None else FRONTIER_DRAGONFLY
+    sustained = getattr(n, "sustained_dgemm_per_device",
+                        SUSTAINED_DGEMM_PER_GCD)
     return {
         "nodes": float(nodes),
-        "fp64_dgemm_EF": nodes * n.gcd_count * SUSTAINED_DGEMM_PER_GCD / EXA,
+        "fp64_dgemm_EF": nodes * n.gcd_count * sustained / EXA,
         "fp64_peak_matrix_EF": nodes * n.peak_flops(Precision.FP64) / EXA,
         "ddr4_capacity_PiB": nodes * n.ddr_capacity_bytes / PiB,
         "ddr4_bandwidth_PBps": nodes * n.ddr_bandwidth / 1e15,
@@ -36,7 +57,7 @@ def compute_table1(nodes: int = FRONTIER_NODE_COUNT,
         "hbm2e_capacity_PiB": nodes * n.hbm_capacity_bytes / PiB,
         "hbm2e_bandwidth_PBps": nodes * n.hbm_bandwidth / 1e15,
         "injection_bandwidth_GBps_per_node": n.injection_bandwidth / 1e9,
-        "global_bandwidth_TBps": f.total_global_bandwidth / 1e12,
+        "global_bandwidth_TBps": _global_bandwidth(f) / 1e12,
         "hbm_to_ddr_bw_ratio": n.hbm_to_ddr_bandwidth_ratio,
         "gpu_threads_millions": nodes * n.gpu_threads / 1e6,
     }

@@ -55,7 +55,7 @@ def meets_facility_rule(power_mw: float, system_cost_musd: float,
 
 @dataclass(frozen=True)
 class SystemCostModel:
-    """Frontier's cost structure as the paper states it."""
+    """A machine's cost structure (defaults: Frontier, as the paper states)."""
 
     budget_musd: float = 600.0
     memory_share: float = 0.30     # "memory alone accounts for over 30%"
@@ -67,6 +67,20 @@ class SystemCostModel:
             raise ConfigurationError("budget must be positive")
         if not 0 <= self.memory_share + self.storage_share <= 1:
             raise ConfigurationError("cost shares must sum within [0,1]")
+
+    @classmethod
+    def for_family(cls, name: str) -> "SystemCostModel":
+        """The cost model for a registered machine family.
+
+        The power draw comes from the family's power inventory; the cost
+        shares keep the paper's structure (CORAL-2-era exascale budgets
+        for the exascale machines, Summit's CORAL-1 ~200 M$ award).
+        """
+        from repro.core.family import family
+        fam = family(name)
+        budgets = {"frontier": 600.0, "summit": 200.0, "aurora": 500.0}
+        return cls(budget_musd=budgets.get(fam.name, 600.0),
+                   power_mw=fam.power().hpl_power / 1e6)
 
     @property
     def memory_cost_musd(self) -> float:

@@ -18,19 +18,20 @@ from repro.fabric.collectives import allreduce_latency, alltoall_per_node_bandwi
 from repro.fabric.dragonfly import DragonflyConfig
 from repro.fabric.latency import LatencyModel
 from repro.mpi.job import JobLayout
-from repro.node.node import BardPeakNode
 
 __all__ = ["SimComm"]
 
 
 class SimComm:
-    """Communication-cost oracle for a job on the Frontier fabric.
+    """Communication-cost oracle for a job on a dragonfly fabric.
 
     Configuration comes from the scenario layer: pass ``machine=`` (a
-    :class:`repro.core.machine.FrontierMachine`, usually via
+    :class:`repro.core.machine.Machine`, usually via
     ``machine.comm(layout)``) to wire both the fabric geometry and the
     node model, or a bare ``config`` for fabric-only overrides.  With
-    neither, the canonical Frontier scenario is used.
+    neither, the canonical Frontier scenario is used; the node model then
+    comes from the machine-family registry, never by naming a node class
+    here — so Aurora's Xe-Link p2p numbers flow through automatically.
     """
 
     def __init__(self, layout: JobLayout,
@@ -46,9 +47,10 @@ class SimComm:
             self.config = machine.fabric
             self.node = machine.node
         else:
+            from repro.core.family import DEFAULT_FAMILY, family
             from repro.core.scenario import resolve_dragonfly
             self.config = resolve_dragonfly(config)
-            self.node = BardPeakNode()
+            self.node = family(DEFAULT_FAMILY).node()
         self.latency = latency if latency is not None else LatencyModel()
 
     # -- point to point --------------------------------------------------------
@@ -63,11 +65,11 @@ class SimComm:
         obs.counter("mpi.p2p_messages").inc()
         obs.histogram("mpi.message_bytes").observe(size_bytes)
         if self._same_node(src, dst):
-            # On-node transfers ride InfinityFabric; model one CU-kernel hop
-            # at the node's conservative single-link rate (37.5 GB/s on
-            # Bard Peak, see BardPeakNode.xgmi_p2p_bandwidth).
+            # On-node transfers ride the node's device-to-device links
+            # (xGMI on Bard Peak, NVLink on AC922, Xe-Link on Aurora);
+            # model one hop at the node's conservative single-link rate.
             obs.counter("mpi.p2p_on_node").inc()
-            return 2e-6 + size_bytes / self.node.xgmi_p2p_bandwidth
+            return 2e-6 + size_bytes / self.node.p2p_bandwidth
         lat = self.latency.average_minimal_latency(
             size_bytes=8.0, groups=self.config.groups,
             switches_per_group=self.config.switches_per_group)

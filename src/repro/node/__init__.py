@@ -16,6 +16,9 @@ This subpackage reproduces Section 3.1 (node design) and Section 4.1/4.2.1
 * :mod:`repro.node.stream` — executable NumPy STREAM kernels (semantics) and
   the calibrated reported-bandwidth models.
 * :mod:`repro.node.node` — the assembled Bard Peak node.
+* :mod:`repro.node.spec` — declarative :class:`NodeSpec`/:class:`NodeModel`
+  aggregates plus the Summit (AC922) and Aurora (PVC + Sapphire Rapids)
+  nodes consumed by the machine-family registry.
 """
 
 from repro.node.cpu import NpsMode, TrentoCpu
@@ -32,6 +35,8 @@ from repro.node.transfers import (
     aggregate_host_to_gcd_bandwidth,
 )
 from repro.node.node import BardPeakNode
+from repro.node.spec import (AURORA_NODE, SUMMIT_NODE, NodeModel, NodeSpec,
+                             bard_peak_spec)
 from repro.node.roofline import GcdRoofline, project_hpcg, project_hpl
 from repro.node.memory import MemoryPlanner, Placement
 
@@ -45,6 +50,7 @@ __all__ = [
     "TransferEngine", "cu_kernel_bandwidth", "sdma_bandwidth",
     "host_to_gcd_bandwidth", "aggregate_host_to_gcd_bandwidth",
     "BardPeakNode",
+    "NodeSpec", "NodeModel", "bard_peak_spec", "SUMMIT_NODE", "AURORA_NODE",
     "GcdRoofline", "project_hpl", "project_hpcg",
     "MemoryPlanner", "Placement",
 ]

@@ -119,6 +119,15 @@ class BardPeakNode:
         return CU_KERNEL_EFFICIENCY_BY_WIDTH[width] * link.bandwidth_per_direction
 
     @property
+    def p2p_bandwidth(self) -> float:
+        """Family-agnostic name for the on-node device-to-device rate.
+
+        The registry funnel (and SimComm) read ``p2p_bandwidth`` off any
+        node model; on Bard Peak it is the xGMI rate above.
+        """
+        return self.xgmi_p2p_bandwidth
+
+    @property
     def cpu_gcd_bandwidth(self) -> float:
         """Per-direction xGMI-2 rate of the CCD<->GCD pairing (36 GB/s)."""
         return XgmiClass.XGMI2.rate_per_direction
@@ -126,6 +135,12 @@ class BardPeakNode:
     def peak_flops(self, precision: Precision = Precision.FP64,
                    *, matrix: bool = True) -> float:
         return self.oam_count * self.oam.peak_flops(precision, matrix=matrix)
+
+    @property
+    def sustained_dgemm_per_device(self) -> float:
+        """Family-agnostic name for the measured per-GCD DGEMM rate."""
+        from repro.core.specs_table import SUSTAINED_DGEMM_PER_GCD
+        return SUSTAINED_DGEMM_PER_GCD
 
     @property
     def gpu_threads(self) -> int:

@@ -1,0 +1,242 @@
+"""Declarative node descriptions: the numbers behind a compute node.
+
+:class:`BardPeakNode` is a *rich* model — it composes CPU/GPU/xGMI parts
+and derives everything (Figure 2's topology, transfer-engine rates, NUMA
+pairings).  Other machines don't need that depth: a cross-machine study
+only consumes the node-level aggregates.  :class:`NodeSpec` captures those
+aggregates declaratively — GPU count and per-device flops, HBM bandwidth,
+host DRAM, on-node p2p bandwidth, NIC count — and :class:`NodeModel` wraps
+one in the same duck surface the rest of the stack reads off
+``BardPeakNode`` (``gcd_count``, ``hbm_bandwidth``, ``injection_bandwidth``,
+``p2p_bandwidth``, ``peak_flops``), so SimComm, Table 1, and the compare
+harness run unmodified on any registered machine family.
+
+Shipped nodes:
+
+* :func:`bard_peak_spec` — Frontier's Bard Peak numbers, *derived* from a
+  constructed :class:`BardPeakNode` so the spec can never drift from the
+  rich model.
+* :data:`SUMMIT_NODE` — IBM AC922: 6 V100 + 2 POWER9, NVLink2, dual EDR
+  (modelled as one 25 GB/s rail to match the spec's one NIC per node).
+* :data:`AURORA_NODE` — HPE Cray EX: 6 Ponte Vecchio + 2 Sapphire Rapids,
+  Xe-Link, eight Slingshot NICs (the Aurora architecture paper's node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["NodeSpec", "NodeModel", "bard_peak_spec",
+           "SUMMIT_NODE", "AURORA_NODE"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Node-level aggregates, declared rather than derived.
+
+    Rates are bytes/s per direction; capacities are bytes; flops are FP64
+    matrix FLOP/s per accelerator *device* (what the OS enumerates — a GCD
+    on Frontier, a whole GPU elsewhere).
+    """
+
+    name: str
+    gpus: int                          # accelerator devices the OS sees
+    fp64_per_gpu: float                # peak FP64 matrix FLOP/s per device
+    sustained_dgemm_per_gpu: float     # sustained DGEMM per device
+    gpu_threads_per_device: int        # concurrent hardware threads
+    hbm_capacity_bytes: float          # per node, fastest tier
+    hbm_bandwidth: float               # per node, aggregate
+    dram_capacity_bytes: float         # host DRAM per node
+    dram_bandwidth: float              # host DRAM aggregate
+    p2p_bandwidth: float               # on-node device-to-device, one hop
+    host_link_bandwidth: float         # CPU<->device link per direction
+    nic_count: int
+    nic_rate: float                    # bytes/s per NIC per direction
+
+    def __post_init__(self) -> None:
+        if self.gpus < 1:
+            raise ConfigurationError(f"{self.name}: need at least one GPU")
+        if self.nic_count < 1:
+            raise ConfigurationError(f"{self.name}: need at least one NIC")
+        for fld in ("fp64_per_gpu", "sustained_dgemm_per_gpu",
+                    "hbm_capacity_bytes", "hbm_bandwidth",
+                    "dram_capacity_bytes", "dram_bandwidth",
+                    "p2p_bandwidth", "host_link_bandwidth", "nic_rate"):
+            if getattr(self, fld) <= 0:
+                raise ConfigurationError(
+                    f"{self.name}: {fld} must be positive")
+        if self.sustained_dgemm_per_gpu > self.fp64_per_gpu:
+            raise ConfigurationError(
+                f"{self.name}: sustained DGEMM cannot exceed peak")
+
+    @property
+    def injection_bandwidth(self) -> float:
+        return self.nic_count * self.nic_rate
+
+    @property
+    def peak_flops(self) -> float:
+        return self.gpus * self.fp64_per_gpu
+
+    @property
+    def sustained_flops(self) -> float:
+        return self.gpus * self.sustained_dgemm_per_gpu
+
+    @property
+    def gpu_threads(self) -> int:
+        return self.gpus * self.gpu_threads_per_device
+
+
+@dataclass(frozen=True)
+class NodeModel:
+    """A :class:`NodeSpec` wearing the ``BardPeakNode`` duck surface.
+
+    Everything downstream of the registry funnel (SimComm's p2p cost,
+    Table 1 aggregation, the compare harness) reads these names; keeping
+    them identical to ``BardPeakNode``'s lets any family's node drop in.
+    """
+
+    spec: NodeSpec
+
+    # -- identity ----------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def nic_count(self) -> int:
+        return self.spec.nic_count
+
+    @property
+    def gcd_count(self) -> int:
+        """Accelerator devices the OS sees (kept as ``gcd_count`` for duck
+        compatibility with the Bard Peak model)."""
+        return self.spec.gpus
+
+    # -- memory ------------------------------------------------------------
+
+    @property
+    def ddr_capacity_bytes(self) -> float:
+        return self.spec.dram_capacity_bytes
+
+    @property
+    def ddr_bandwidth(self) -> float:
+        return self.spec.dram_bandwidth
+
+    @property
+    def hbm_capacity_bytes(self) -> float:
+        return self.spec.hbm_capacity_bytes
+
+    @property
+    def hbm_bandwidth(self) -> float:
+        return self.spec.hbm_bandwidth
+
+    @property
+    def hbm_to_ddr_bandwidth_ratio(self) -> float:
+        return self.hbm_bandwidth / self.ddr_bandwidth
+
+    # -- links -------------------------------------------------------------
+
+    @property
+    def injection_bandwidth(self) -> float:
+        return self.spec.injection_bandwidth
+
+    @property
+    def p2p_bandwidth(self) -> float:
+        """On-node device-to-device copy rate (NVLink / Xe-Link / xGMI)."""
+        return self.spec.p2p_bandwidth
+
+    @property
+    def cpu_gcd_bandwidth(self) -> float:
+        return self.spec.host_link_bandwidth
+
+    # -- compute -----------------------------------------------------------
+
+    def peak_flops(self, precision=None, *, matrix: bool = True) -> float:
+        """FP64 node peak.  ``precision``/``matrix`` are accepted for duck
+        compatibility with ``BardPeakNode.peak_flops``; the declarative
+        model carries FP64 matrix rates only."""
+        return self.spec.peak_flops
+
+    @property
+    def sustained_dgemm_per_device(self) -> float:
+        return self.spec.sustained_dgemm_per_gpu
+
+    @property
+    def gpu_threads(self) -> int:
+        return self.spec.gpu_threads
+
+    def node_spec(self) -> NodeSpec:
+        return self.spec
+
+
+def bard_peak_spec() -> NodeSpec:
+    """Frontier's node as a :class:`NodeSpec`, derived from the rich model.
+
+    The Bard Peak numbers live in :class:`BardPeakNode` and its parts; this
+    derivation keeps one source of truth — if the rich model recalibrates,
+    the declarative view follows.
+    """
+    from repro.core.specs_table import SUSTAINED_DGEMM_PER_GCD
+    from repro.node.gpu import Precision
+    from repro.node.node import BardPeakNode
+
+    node = BardPeakNode()
+    return NodeSpec(
+        name="bard-peak",
+        gpus=node.gcd_count,
+        fp64_per_gpu=node.peak_flops(Precision.FP64) / node.gcd_count,
+        sustained_dgemm_per_gpu=SUSTAINED_DGEMM_PER_GCD,
+        gpu_threads_per_device=node.oam.gcd.threads,
+        hbm_capacity_bytes=node.hbm_capacity_bytes,
+        hbm_bandwidth=node.hbm_bandwidth,
+        dram_capacity_bytes=node.ddr_capacity_bytes,
+        dram_bandwidth=node.ddr_bandwidth,
+        p2p_bandwidth=node.p2p_bandwidth,
+        host_link_bandwidth=node.cpu_gcd_bandwidth,
+        nic_count=node.nic_count,
+        nic_rate=node.nic.rate_bytes,
+    )
+
+
+#: Summit's AC922 node: 6 V100 (7.8 TF peak, ~6.2 TF sustained DGEMM),
+#: 96 GiB HBM2 @ 5.4 TB/s, 512 GiB DDR4, NVLink2 p2p at 50 GB/s.  The dual
+#: EDR rails are collapsed into one modelled 25 GB/s NIC so ``nic_count``
+#: matches the spec preset's one endpoint per node.
+SUMMIT_NODE = NodeSpec(
+    name="ac922",
+    gpus=6,
+    fp64_per_gpu=7.8e12,
+    sustained_dgemm_per_gpu=6.2e12,
+    gpu_threads_per_device=5120,
+    hbm_capacity_bytes=6 * 16 * 2**30,
+    hbm_bandwidth=6 * 900e9,
+    dram_capacity_bytes=512 * 2**30,
+    dram_bandwidth=340e9,
+    p2p_bandwidth=50e9,
+    host_link_bandwidth=50e9,
+    nic_count=1,
+    nic_rate=25e9,
+)
+
+#: Aurora's HPE Cray EX node: 6 Ponte Vecchio (31.1 TF FP64 matrix peak,
+#: ~18.9 TF sustained — the system Rpeak/Rmax accounting), 768 GB HBM2e at
+#: 19.7 TB/s, ~1 TiB DDR5, Xe-Link p2p at 45 GB/s, and *eight* 25 GB/s
+#: Slingshot NICs — double Frontier's injection per node.
+AURORA_NODE = NodeSpec(
+    name="aurora-ex",
+    gpus=6,
+    fp64_per_gpu=31.1e12,
+    sustained_dgemm_per_gpu=18.9e12,
+    gpu_threads_per_device=8192,
+    hbm_capacity_bytes=6 * 128e9,
+    hbm_bandwidth=6 * 3.2768e12,
+    dram_capacity_bytes=1024 * 2**30,
+    dram_bandwidth=614e9,
+    p2p_bandwidth=45e9,
+    host_link_bandwidth=64e9,
+    nic_count=8,
+    nic_rate=25e9,
+)

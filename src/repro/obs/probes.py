@@ -264,6 +264,40 @@ def probe_congestion() -> dict[str, float]:
     }
 
 
+def probe_machines() -> dict[str, float]:
+    """Machine-family registry regression gate.
+
+    For every registered family: the canonical spec must survive a JSON
+    round trip, and the HPL/HPCG roofline projection plus the node
+    model's headline bandwidths are snapshotted so CI fails if a preset
+    or an efficiency anchor drifts.  The Frontier ±10% HPL cross-check
+    (projection vs measured Rmax vs the independent GCD roofline) rides
+    along as a hard 0/1 flag.
+    """
+    from repro.core.compare import compare_machines, project_family
+    from repro.core.family import family, family_names
+    from repro.core.scenario import MachineSpec
+
+    values: dict[str, float] = {}
+    for name in family_names():
+        fam = family(name)
+        spec = fam.spec()
+        round_trip = MachineSpec.from_json(spec.to_json())
+        p = project_family(fam)
+        node = fam.node()
+        values[f"{name}_round_trip"] = float(round_trip == spec)
+        values[f"{name}_hpl_pflops"] = p.hpl_flops / 1e15
+        values[f"{name}_hpcg_pflops"] = p.hpcg_projected_flops / 1e15
+        values[f"{name}_hpl_vs_measured"] = p.hpl_vs_measured
+        values[f"{name}_p2p_gbs"] = node.p2p_bandwidth / 1e9
+        values[f"{name}_injection_gbs"] = node.injection_bandwidth / 1e9
+    doc = compare_machines()
+    values["frontier_hpl_within_10pct"] = float(
+        doc["frontier_hpl_within_10pct"])
+    values["families"] = float(len(family_names()))
+    return values
+
+
 #: Ordered registry: probe name -> callable returning scalar model outputs.
 PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "fabric": probe_fabric,
@@ -275,6 +309,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "sweep": probe_sweep,
     "chaos": probe_chaos,
     "congestion": probe_congestion,
+    "machines": probe_machines,
 }
 
 

@@ -1,15 +1,19 @@
 """Power and energy-efficiency models (paper §5.1).
 
-* :mod:`repro.power.model` — component power inventory rolling up to the
-  21.1 MW HPL figure.
+* :mod:`repro.power.model` — component power inventories rolling up to the
+  21.1 MW HPL figure (Frontier defaults; Summit and Aurora factories for
+  the machine-family registry).
 * :mod:`repro.power.efficiency` — GF/W, MW/EF, and the 2008 exascale
   report's targets (50 GF/W, 20 MW/EF) plus the straw-man comparison.
 """
 
-from repro.power.model import PowerComponent, FrontierPowerModel
+from repro.power.model import (PowerComponent, SystemPowerModel,
+                               FrontierPowerModel, frontier_power,
+                               summit_power, aurora_power)
 from repro.power.efficiency import EfficiencyScorecard, green500_entry
 from repro.power.energy import EnergyComparison, energy_gain, suite_energy_table
 
-__all__ = ["PowerComponent", "FrontierPowerModel",
+__all__ = ["PowerComponent", "SystemPowerModel", "FrontierPowerModel",
+           "frontier_power", "summit_power", "aurora_power",
            "EfficiencyScorecard", "green500_entry",
            "EnergyComparison", "energy_gain", "suite_energy_table"]

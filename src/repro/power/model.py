@@ -6,6 +6,12 @@ draw into plausible per-component averages under HPL load (note these are
 *sustained under HPL*, not TDPs: an MI250X can burst well above its HPL
 average) plus fabric, storage, and facility overheads.  Idle figures feed
 the energy model for partially-loaded scenarios.
+
+The roll-up itself is machine-agnostic: :class:`SystemPowerModel` sums any
+component inventory.  Frontier's inventory is the default;
+:func:`summit_power` and :func:`aurora_power` build the comparison systems'
+models for the machine-family registry (anchored to Summit's measured
+10.1 MW / 148.6 PF and Aurora's 38.7 MW / 1.206 EF list entries).
 """
 
 from __future__ import annotations
@@ -13,9 +19,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.units import EXA
+from repro.units import EXA, PETA
 
-__all__ = ["PowerComponent", "FrontierPowerModel"]
+__all__ = ["PowerComponent", "SystemPowerModel", "FrontierPowerModel",
+           "frontier_power", "summit_power", "aurora_power"]
 
 
 @dataclass(frozen=True)
@@ -63,13 +70,61 @@ def _default_inventory(nodes: int = 9472) -> list[PowerComponent]:
     ]
 
 
+def _summit_inventory(nodes: int = 4608) -> list[PowerComponent]:
+    """Summit under HPL: ~10.1 MW for 148.6 PF (TOP500 June 2018)."""
+    return [
+        PowerComponent("V100 GPU", nodes * 6, watts_load=240.0, watts_idle=50.0),
+        PowerComponent("POWER9 CPU", nodes * 2, watts_load=230.0, watts_idle=70.0),
+        PowerComponent("DDR4 DIMM", nodes * 16, watts_load=7.0, watts_idle=3.0),
+        PowerComponent("EDR NIC", nodes * 2, watts_load=15.0, watts_idle=8.0),
+        PowerComponent("Node NVMe", nodes, watts_load=8.0, watts_idle=2.0),
+        PowerComponent("Node overhead (VRM, drawer)", nodes,
+                       watts_load=35.0, watts_idle=20.0),
+        PowerComponent("EDR switch", 360, watts_load=130.0, watts_idle=100.0),
+        PowerComponent("Alpine SSU", 77, watts_load=2000.0, watts_idle=1200.0),
+        PowerComponent("Alpine MDS", 12, watts_load=800.0, watts_idle=500.0),
+        PowerComponent("Management/service nodes", 18, watts_load=600.0,
+                       watts_idle=400.0),
+        PowerComponent("Cooling pumps (CDUs)", 1, watts_load=250_000.0,
+                       watts_idle=150_000.0),
+    ]
+
+
+def _aurora_inventory(nodes: int = 10624) -> list[PowerComponent]:
+    """Aurora under HPL: ~38.7 MW for 1.206 EF (TOP500 June 2024)."""
+    switches = 166 * 32 + 8 * 16  # compute + service groups
+    return [
+        PowerComponent("Ponte Vecchio GPU", nodes * 6, watts_load=385.0,
+                       watts_idle=100.0),
+        PowerComponent("Sapphire Rapids CPU", nodes * 2, watts_load=330.0,
+                       watts_idle=90.0),
+        PowerComponent("DDR5 DIMM", nodes * 16, watts_load=8.0, watts_idle=3.0),
+        PowerComponent("Cassini NIC", nodes * 8, watts_load=25.0, watts_idle=15.0),
+        PowerComponent("Node overhead (VRM, blade)", nodes,
+                       watts_load=60.0, watts_idle=35.0),
+        PowerComponent("Slingshot switch", switches, watts_load=220.0,
+                       watts_idle=160.0),
+        PowerComponent("Optical bundles", 9000, watts_load=35.0, watts_idle=35.0),
+        PowerComponent("DAOS server", 1024, watts_load=800.0, watts_idle=500.0),
+        PowerComponent("Management/service nodes", 64, watts_load=600.0,
+                       watts_idle=400.0),
+        PowerComponent("Cooling pumps (CDUs)", 1, watts_load=600_000.0,
+                       watts_idle=350_000.0),
+    ]
+
+
 @dataclass
-class FrontierPowerModel:
-    """System power roll-up."""
+class SystemPowerModel:
+    """System power roll-up over a component inventory.
+
+    Defaults describe Frontier; the family factories below rebind the
+    inventory, HPL anchors, and compute-component names per machine.
+    """
 
     components: list[PowerComponent] = field(default_factory=_default_inventory)
     hpl_rmax_flops: float = 1.102 * EXA
     peak_rpeak_flops: float = 1.685 * EXA
+    compute_names: tuple[str, ...] = ("MI250X OAM", "Trento CPU")
 
     def total_power(self, utilisation: float = 1.0) -> float:
         return sum(c.power(utilisation) for c in self.components)
@@ -97,7 +152,7 @@ class FrontierPowerModel:
     def compute_fraction(self, utilisation: float = 1.0) -> float:
         """Fraction of power drawn by CPUs+GPUs (vs memory, fabric, I/O)."""
         compute = sum(c.power(utilisation) for c in self.components
-                      if c.name in ("MI250X OAM", "Trento CPU"))
+                      if c.name in self.compute_names)
         return compute / self.total_power(utilisation)
 
     def energy_for_run(self, seconds: float, utilisation: float = 1.0) -> float:
@@ -105,3 +160,29 @@ class FrontierPowerModel:
         if seconds < 0:
             raise ConfigurationError("run length must be non-negative")
         return self.total_power(utilisation) * seconds
+
+
+#: Deprecation alias — the roll-up is no longer Frontier-specific.
+FrontierPowerModel = SystemPowerModel
+
+
+def frontier_power() -> SystemPowerModel:
+    """Frontier's inventory (the defaults): ~21.1 MW, ~52 GF/W."""
+    return SystemPowerModel()
+
+
+def summit_power() -> SystemPowerModel:
+    """Summit's inventory: ~10.1 MW for 148.6 PF (~14.7 GF/W)."""
+    return SystemPowerModel(components=_summit_inventory(),
+                            hpl_rmax_flops=148.6 * PETA,
+                            peak_rpeak_flops=200.8 * PETA,
+                            compute_names=("V100 GPU", "POWER9 CPU"))
+
+
+def aurora_power() -> SystemPowerModel:
+    """Aurora's inventory: ~38.7 MW for 1.206 EF (~31 GF/W)."""
+    return SystemPowerModel(components=_aurora_inventory(),
+                            hpl_rmax_flops=1.206 * EXA,
+                            peak_rpeak_flops=1.9824 * EXA,
+                            compute_names=("Ponte Vecchio GPU",
+                                           "Sapphire Rapids CPU"))

@@ -17,9 +17,11 @@ directory of spec files.  Every grid point becomes a
   sweep seed, so a task draws the same stream no matter where in the
   grid it sits or which worker runs it.
 
-Axes are applied in the fixed order of :data:`AXES` (scale first — a
-rescale drops degradation knobs, so degradation axes must land after
-it), regardless of the order the caller wrote them down.
+Axes are applied in the fixed order of :data:`AXES`
+(``machine_family`` first — it swaps in a registered family's preset,
+which the other axes then vary; then scale — a rescale drops degradation
+knobs, so degradation axes must land after it), regardless of the order
+the caller wrote them down.
 """
 
 from __future__ import annotations
@@ -65,6 +67,14 @@ def scaled_fraction(spec: MachineSpec, fraction: float) -> MachineSpec:
     return spec.scaled(shrink(geometry.groups),
                        shrink(geometry.switches_per_group),
                        shrink(geometry.endpoints_per_switch))
+
+
+def _axis_machine_family(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Swap in a registered family's canonical spec (the base spec is
+    discarded — this axis selects *which machine*, so it applies first
+    and the remaining axes vary that preset)."""
+    from repro.core.family import family
+    return family(str(value)).spec()
 
 
 def _axis_scale(spec: MachineSpec, value: Any) -> MachineSpec:
@@ -167,9 +177,12 @@ def _axis_incast_fanin(spec: MachineSpec, value: Any) -> MachineSpec:
         spec.congestion, incast_fanin=int(value)))
 
 
-#: Axis name -> applier, in **application order** (scale first: rescaling
-#: resets degradation, so failure axes must be applied afterwards).
+#: Axis name -> applier, in **application order** (machine_family first —
+#: it replaces the spec wholesale, so every other axis varies the chosen
+#: preset; then scale: rescaling resets degradation, so failure axes must
+#: be applied afterwards).
 AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
+    "machine_family": _axis_machine_family,
     "scale": _axis_scale,
     "nics_per_node": _axis_nics,
     "routing": _axis_routing,

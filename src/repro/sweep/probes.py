@@ -141,6 +141,37 @@ def probe_chaos(spec: MachineSpec,
     }
 
 
+def probe_compare(spec: MachineSpec,
+                  rng: np.random.Generator) -> dict[str, float]:
+    """Cross-machine study metrics for the spec's family at its scale.
+
+    The sweep face of :mod:`repro.core.compare`: the ``machine_family``
+    axis picks the preset, this probe projects HPL/HPCG at the (possibly
+    rescaled or degraded) node count and scores the family's application
+    KPP margins.  Each metric is a scalar, so a
+    ``machine_family=frontier,summit,aurora`` grid tabulates directly.
+    """
+    from repro.apps import CAAR_APPS, ECP_APPS
+    from repro.core.compare import project_family
+    from repro.core.family import family
+    fam = family(spec.family)
+    p = project_family(fam, node_count=spec.healthy_node_count,
+                       nics_per_node=spec.nics_per_node)
+    margins = [a.kpp_result(fam.model).margin
+               for a in (*CAAR_APPS(), *ECP_APPS())]
+    return {
+        "hpl_projected_pflops": p.hpl_flops / 1e15,
+        "hpcg_projected_pflops": p.hpcg_projected_flops / 1e15,
+        "hpl_vs_measured": p.hpl_vs_measured,
+        "compute_bound_pflops": p.compute_bound_flops / 1e15,
+        "bandwidth_bound_pflops": p.bandwidth_bound_flops / 1e15,
+        "interconnect_bound_pflops": p.interconnect_bound_flops / 1e15,
+        "kpp_min_margin": float(min(margins)),
+        "kpp_mean_margin": float(np.mean(margins)),
+        "kpp_met": float(sum(1 for m in margins if m >= 1.0)),
+    }
+
+
 def probe_congest(spec: MachineSpec,
                   rng: np.random.Generator) -> dict[str, float]:
     """One timeflow incast run honouring the spec's congestion knobs.
@@ -220,6 +251,7 @@ SWEEP_PROBES: dict[str, SweepProbe] = {
     "storage": probe_storage,
     "placement": probe_placement,
     "chaos": probe_chaos,
+    "compare": probe_compare,
     "congest": probe_congest,
     "failing": probe_failing,
     "flaky": probe_flaky,

@@ -44,7 +44,7 @@ class TestComparisons:
 
     def test_registry_complete(self):
         assert set(BASELINES) == {"Frontier", "Summit", "Titan", "Mira",
-                                  "Theta", "Cori", "Sequoia"}
+                                  "Theta", "Cori", "Sequoia", "Aurora"}
 
     def test_efficiency_improved_each_generation(self):
         assert (TITAN.gflops_per_watt < SUMMIT.gflops_per_watt

@@ -1,0 +1,236 @@
+"""The machine-family registry and the cross-machine study harness."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.baselines import FRONTIER
+from repro.core.compare import (DEFAULT_COMPARE_FAMILIES, HPL_INJECTION_AI,
+                                compare_machines, project_family)
+from repro.core.family import (DEFAULT_FAMILY, MachineFamily, family,
+                               family_names, register_family,
+                               staging_factor_for)
+from repro.core.machine import FrontierMachine, Machine
+from repro.core.scenario import MachineSpec
+from repro.errors import ConfigurationError
+
+#: Byte-stability anchor: the canonical Frontier spec document must hash
+#: to exactly what it did before the family field existed — sweep task
+#: hashes (and therefore resumable artifacts) key on this.
+FRONTIER_SPEC_SHA256 = \
+    "11f5ea5726c6713e62208674846a22571a8cb589c9050d4043e95622ca371f3a"
+
+
+class TestRegistry:
+    def test_three_families_registered_in_order(self):
+        assert family_names() == ("frontier", "summit", "aurora")
+        assert DEFAULT_FAMILY == "frontier"
+
+    def test_lookup_is_case_insensitive(self):
+        assert family("Aurora") is family("aurora")
+
+    def test_unknown_family_lists_registered_names(self):
+        with pytest.raises(ConfigurationError, match="frontier"):
+            family("elcap")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_family(family("frontier"))
+
+    def test_replace_allows_reregistration(self):
+        fam = family("frontier")
+        register_family(fam, replace=True)
+        assert family("frontier") is fam
+
+    def test_anchors_validated(self):
+        fam = family("frontier")
+        with pytest.raises(ConfigurationError):
+            MachineFamily(name="bad", description="", spec=fam.spec,
+                          node=fam.node, power=fam.power, model=fam.model,
+                          rpeak_flops=1.0, hpl_rmax_flops=2.0,
+                          hpcg_flops=1.0)
+
+    def test_staging_factor_keyed_by_family(self):
+        assert staging_factor_for("summit") == 6.9
+        assert staging_factor_for("frontier") == 1.0
+        assert staging_factor_for("no-such-machine") == 1.0
+
+    def test_hpl_efficiency_derived_from_anchors(self):
+        fam = family("frontier")
+        assert fam.hpl_efficiency == pytest.approx(1.102e18 / 1.6856e18)
+
+
+class TestSpecRoundTrips:
+    @pytest.mark.parametrize("name", ["frontier", "summit", "aurora"])
+    def test_family_spec_round_trips(self, name):
+        spec = family(name).spec()
+        assert spec.family == name
+        assert MachineSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("name", ["frontier", "summit", "aurora"])
+    def test_round_trip_content_hash_is_stable(self, name):
+        spec = family(name).spec()
+        once = MachineSpec.from_json(spec.to_json())
+        h = [hashlib.sha256(s.to_json().encode()).hexdigest()
+             for s in (spec, once)]
+        assert h[0] == h[1]
+
+    def test_frontier_document_is_byte_stable(self):
+        # The default family serializes to *nothing*: pre-registry spec
+        # files and sweep task hashes must not notice the new field.
+        doc = family("frontier").spec().to_dict()
+        assert "family" not in doc
+        digest = hashlib.sha256(
+            family("frontier").spec().to_json().encode()).hexdigest()
+        assert digest == FRONTIER_SPEC_SHA256
+
+    def test_non_default_family_serializes(self):
+        assert family("aurora").spec().to_dict()["family"] == "aurora"
+        assert family("summit").spec().to_dict()["family"] == "summit"
+
+    def test_scaled_preserves_family_tag(self):
+        scaled = family("aurora").spec().scaled(8, 4, 4)
+        assert scaled.family == "aurora"
+        assert MachineSpec.from_json(scaled.to_json()).family == "aurora"
+
+    def test_degraded_preserves_family_tag(self):
+        degraded = family("aurora").spec().degraded(failed_nodes=(0,))
+        assert degraded.family == "aurora"
+
+
+class TestMachineAssembly:
+    @pytest.mark.parametrize("name", ["frontier", "summit", "aurora"])
+    def test_every_family_assembles_from_its_spec(self, name):
+        machine = Machine.from_spec(family(name).spec())
+        assert machine.family == name
+        assert machine.node_count == family(name).spec().node_count
+
+    def test_frontier_machine_alias_still_works(self):
+        assert FrontierMachine is Machine
+        assert FrontierMachine().family == "frontier"
+
+    def test_aurora_geometry_matches_nic_budget(self):
+        spec = family("aurora").spec()
+        cfg = spec.fabric_config()
+        assert spec.node_count == 10624 and spec.nics_per_node == 8
+        assert cfg.total_endpoints == spec.node_count * spec.nics_per_node
+
+    def test_node_model_duck_surface(self):
+        frontier_node = family("frontier").node()
+        for name in ("aurora", "summit"):
+            node = family(name).node()
+            for attr in ("nic_count", "gcd_count", "hbm_bandwidth",
+                         "injection_bandwidth", "p2p_bandwidth",
+                         "sustained_dgemm_per_device", "gpu_threads",
+                         "ddr_bandwidth", "ddr_capacity_bytes"):
+                assert hasattr(node, attr), attr
+                assert hasattr(frontier_node, attr), attr
+            assert node.peak_flops() > 0
+
+    def test_power_models_keyed_by_family(self):
+        mw = {n: family(n).power().hpl_power / 1e6
+              for n in family_names()}
+        assert 20.0 < mw["frontier"] < 23.0      # paper: 21.1 MW HPL run
+        assert 9.0 < mw["summit"] < 11.0         # Top500: ~10 MW
+        assert 30.0 < mw["aurora"] < 42.0        # Top500: ~38.7 MW
+
+
+class TestCompare:
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return compare_machines()
+
+    def test_document_shape(self, doc):
+        assert [f["family"] for f in doc["families"]] == \
+            list(DEFAULT_COMPARE_FAMILIES)
+        for section in ("table6", "table7", "projection"):
+            assert len(doc[section]) > 0
+        for row in doc["table6"] + doc["table7"]:
+            assert set(row["achieved"]) == set(DEFAULT_COMPARE_FAMILIES)
+
+    def test_frontier_rows_bit_identical_to_apps_path(self, doc):
+        # The registry's frontier model IS the baselines FRONTIER object,
+        # so compare's Table 6/7 numbers equal a.speedup() exactly —
+        # float equality, not approx.
+        from repro.apps import CAAR_APPS, ECP_APPS
+        for apps, rows in ((CAAR_APPS(), doc["table6"]),
+                           (ECP_APPS(), doc["table7"])):
+            for a, row in zip(apps, rows):
+                assert row["application"] == a.name
+                assert row["achieved"]["frontier"] == a.speedup()
+                assert row["achieved"]["frontier"] == a.speedup(FRONTIER)
+
+    def test_frontier_hpl_within_10pct_of_measured(self, doc):
+        assert doc["frontier_hpl_within_10pct"] is True
+        p = next(p for p in doc["projection"] if p["family"] == "frontier")
+        assert p["hpl_projected_pflops"] == pytest.approx(1102.0, rel=0.10)
+        assert doc["frontier_roofline_hpl_pflops"] == \
+            pytest.approx(p["hpl_projected_pflops"], rel=0.10)
+
+    def test_projection_reproduces_every_list_entry(self, doc):
+        for p in doc["projection"]:
+            assert p["hpl_vs_measured"] == pytest.approx(1.0)
+            assert p["binding"] == "compute"
+            assert p["hpcg_projected_pflops"] == \
+                pytest.approx(p["hpcg_measured_pflops"])
+
+    def test_bounds_separate_when_nics_starve(self):
+        fam = family("frontier")
+        full = project_family(fam)
+        assert full.binding == "compute"
+        assert full.interconnect_bound_flops == pytest.approx(
+            full.nodes * fam.node().injection_bandwidth * HPL_INJECTION_AI)
+        # Strangle injection bandwidth: on one NIC per node the
+        # interconnect bound undercuts compute and the binding flips.
+        starved = project_family(fam, nics_per_node=1)
+        assert starved.binding == "interconnect"
+        assert starved.hpl_flops < full.hpl_flops
+        assert starved.compute_bound_flops == full.compute_bound_flops
+
+    def test_subset_selection(self):
+        doc = compare_machines(["aurora"])
+        assert [f["family"] for f in doc["families"]] == ["aurora"]
+        assert "frontier_hpl_within_10pct" not in doc
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ConfigurationError, match="el-cap"):
+            compare_machines(["el-cap"])
+
+    def test_json_serializable(self, doc):
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestSweepIntegration:
+    def test_machine_family_axis_swaps_preset(self):
+        from repro.core.scenario import frontier_spec
+        from repro.sweep.plan import apply_axes
+        spec = apply_axes(frontier_spec(), {"machine_family": "aurora"})
+        assert spec == family("aurora").spec()
+
+    def test_machine_family_applies_before_other_axes(self):
+        from repro.core.scenario import frontier_spec
+        from repro.sweep.plan import apply_axes
+        spec = apply_axes(frontier_spec(),
+                          {"nics_per_node": 4, "machine_family": "aurora"})
+        assert spec.family == "aurora"
+        assert spec.nics_per_node == 4
+
+    def test_frontier_task_hash_unchanged_by_refactor(self):
+        from repro.core.scenario import frontier_spec
+        from repro.sweep.plan import task_hash
+        assert task_hash(frontier_spec(), "mpigraph", 0) == \
+            "a64fb20331f0b191"
+
+    def test_compare_probe_scalar_metrics(self):
+        import numpy as np
+        from repro.sweep.probes import probe_compare
+        rng = np.random.default_rng(0)
+        for name in family_names():
+            values = probe_compare(family(name).spec(), rng)
+            assert values["hpl_vs_measured"] == pytest.approx(1.0)
+            assert all(isinstance(v, float) for v in values.values())
+        frontier = probe_compare(family("frontier").spec(), rng)
+        assert frontier["kpp_met"] == 11.0

@@ -146,9 +146,15 @@ class TestMachineRoundTrip:
         rebuilt = FrontierMachine.from_spec(machine.spec())
         assert rebuilt.summary() == machine.summary()
 
-    def test_fat_tree_spec_rejected_with_pointer(self):
+    def test_fat_tree_machine_assembles_but_comm_points_elsewhere(self):
+        # from_spec now resolves Summit via the family registry; only the
+        # dragonfly-specific comm() surface refuses, with a pointer.
+        machine = FrontierMachine.from_spec(summit_spec())
+        assert machine.family == "summit"
+        assert machine.spec() == summit_spec()
+        from repro.mpi.job import JobLayout
         with pytest.raises(ConfigurationError, match="build_network"):
-            FrontierMachine.from_spec(summit_spec())
+            machine.comm(JobLayout.contiguous(4))
 
     def test_machine_factories_trace_back_to_spec(self):
         machine = frontier_spec().scaled(6, 4, 4).machine()
@@ -292,4 +298,26 @@ class TestCompositionRootGuard:
                 continue
             if re.search(r"DragonflyConfig\(\)", path.read_text()):
                 offenders.append(str(rel))
+        assert offenders == []
+
+    def test_no_layer_below_core_names_frontier_classes(self):
+        """Everything below the composition root goes through the family
+        registry: naming ``FRONTIER_SPEC``/``FrontierMachine``/
+        ``BardPeakNode`` in an import hardwires the machine choice and
+        breaks Summit/Aurora runs of the same code path.
+        """
+        src = Path(__file__).resolve().parents[2] / "src" / "repro"
+        assert src.is_dir()
+        pattern = re.compile(
+            r"\b(FRONTIER_SPEC|FrontierMachine|BardPeakNode)\b")
+        offenders = []
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src)
+            # The composition root itself (core, node) and the package
+            # facade re-export these names; everyone else must not.
+            if rel.parts[0] in ("core", "node") or rel == Path("__init__.py"):
+                continue
+            for i, line in enumerate(path.read_text().splitlines(), 1):
+                if "import" in line and pattern.search(line):
+                    offenders.append(f"{rel}:{i}: {line.strip()}")
         assert offenders == []

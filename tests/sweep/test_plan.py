@@ -70,7 +70,9 @@ class TestAxes:
             apply_axes(BASE, {"warp": 9})
 
     def test_axis_registry_application_order(self):
-        assert list(AXES)[0] == "scale"
+        # machine_family replaces the spec wholesale, so it must land
+        # before everything; scale resets degradation, so it goes next.
+        assert list(AXES)[:2] == ["machine_family", "scale"]
 
     def test_failure_scale_axis_sets_the_chaos_knob(self):
         spec = apply_axes(BASE, {"failure_scale": 300})

@@ -278,6 +278,58 @@ class TestCongestVerb:
         assert "validation PASSED" in out
 
 
+class TestCompareVerb:
+    """python -m repro compare (see repro.core.compare)."""
+
+    def test_compare_prints_all_sections(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "Machine families" in out
+        assert "Table 6" in out and "Table 7" in out
+        assert "HPL/HPCG roofline projection" in out
+        for fam in ("frontier", "summit", "aurora"):
+            assert fam in out
+        assert "within ±10%: True" in out
+
+    def test_frontier_column_bit_identical_to_apps(self, capsys):
+        """The compare table's Frontier cells must render exactly the
+        strings the ``apps`` verb prints (same model, same format)."""
+        assert main(["apps"]) == 0
+        apps_out = capsys.readouterr().out
+        apps_cells = {}
+        for line in apps_out.splitlines():
+            parts = [p.strip() for p in line.split("|")]
+            if len(parts) == 4 and parts[3].endswith("x"):
+                apps_cells[parts[0]] = parts[3]
+        assert len(apps_cells) == 11
+        assert main(["compare"]) == 0
+        compare_out = capsys.readouterr().out
+        for line in compare_out.splitlines():
+            parts = [p.strip() for p in line.split("|")]
+            if len(parts) == 6 and parts[0] in apps_cells:
+                assert parts[3] == apps_cells.pop(parts[0])
+        assert apps_cells == {}    # every app row was found and matched
+
+    def test_json_document(self, capsys):
+        assert main(["compare", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["frontier_hpl_within_10pct"] is True
+        assert [p["family"] for p in doc["projection"]] == \
+            ["frontier", "summit", "aurora"]
+        assert all(p["binding"] == "compute" for p in doc["projection"])
+
+    def test_families_subset(self, capsys):
+        assert main(["compare", "--families", "aurora,summit",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert [f["family"] for f in doc["families"]] == ["aurora", "summit"]
+        assert "frontier_hpl_within_10pct" not in doc
+
+    def test_unknown_family_is_a_usage_error(self, capsys):
+        assert main(["compare", "--families", "elcap"]) == 2
+        assert "elcap" in capsys.readouterr().err
+
+
 class TestVerbDocumentation:
     """Every registered verb must be documented (the tables drift
     otherwise: this is the sync contract named in ``repro.__main__``)."""

@@ -1,0 +1,201 @@
+"""Scenario service — batched throughput, cache latency, overload shape.
+
+The service (:mod:`repro.serve`) exists so interactive studies stop
+paying one Python interpreter + one model evaluation per question.  This
+bench measures the three claims behind it:
+
+* **batching** — 64 concurrent TCP clients against one in-process
+  service must beat the per-request cold CLI (``python -m repro query
+  --local`` in a fresh interpreter) by >= 5x on requests/second;
+* **caching** — re-asking an identical spec must come back >= 50x faster
+  than the cold evaluation (the answer is served from the sweep ledger
+  cache without touching a probe);
+* **backpressure** — at 2x queue oversubscription on a deliberately slow
+  probe, the overflow is shed immediately with structured 429 errors and
+  the p99 latency of the *accepted* requests stays bounded by the work
+  actually queued, not by the offered load.
+
+Correctness (batch formation, coalescing, ledger round-trips, drain
+semantics) is pinned by ``tests/serve/``; this file only measures speed
+and overload shape.
+"""
+
+import asyncio
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.core.scenario import frontier_spec
+from repro.reporting import Table
+from repro.serve import (ScenarioRequest, ScenarioService, ServeConfig,
+                         query)
+
+from _harness import save_artifact
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+CONCURRENCY = 64
+COLD_CLI_SAMPLES = 4
+CACHE_HITS = 20
+MIN_BATCH_SPEEDUP = 5.0
+MIN_CACHE_SPEEDUP = 50.0
+
+SPEC = frontier_spec().scaled(6, 4, 4)
+
+
+def _request(seed, rid="", probe="storage", timeout_s=None):
+    return ScenarioRequest(probe=probe, spec=SPEC, seed=seed, id=rid,
+                           timeout_s=timeout_s)
+
+
+def _cold_cli_rate():
+    """Requests/second for the no-service path: one interpreter, one
+    model evaluation, one answer — what every question costs without
+    ``repro.serve``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    argv = [sys.executable, "-m", "repro", "query", "--local",
+            "--probe", "storage", "--scaled", "6", "4", "4"]
+    t0 = time.perf_counter()
+    for i in range(COLD_CLI_SAMPLES):
+        proc = subprocess.run(argv + ["--seed", str(i)], cwd=REPO_ROOT,
+                              env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stderr
+    return COLD_CLI_SAMPLES / (time.perf_counter() - t0)
+
+
+def _served_rate(out_dir):
+    """Requests/second for 64 concurrent TCP clients, one distinct
+    request each, against a single batching service."""
+    async def run():
+        service = ScenarioService(ServeConfig(
+            workers=0, out_dir=out_dir, batch_window_s=0.02,
+            max_batch=CONCURRENCY, queue_depth=4 * CONCURRENCY))
+        await service.start()
+        server = await service.serve_tcp()
+        host, port = server.sockets[0].getsockname()[:2]
+        t0 = time.perf_counter()
+        answers = await asyncio.gather(*[
+            query(host, port, [_request(seed=i, rid=f"q{i}")])
+            for i in range(CONCURRENCY)])
+        elapsed = time.perf_counter() - t0
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        flat = [r for batch in answers for r in batch]
+        assert len(flat) == CONCURRENCY
+        assert all(r.ok for r in flat)
+        return CONCURRENCY / elapsed, max(r.batch_size for r in flat)
+
+    return asyncio.run(run())
+
+
+def _cache_speedup(out_dir):
+    """Cold evaluation time vs the mean warm (cached) answer time for
+    the identical spec, in-process so the ratio measures the cache, not
+    the socket."""
+    async def run():
+        service = ScenarioService(ServeConfig(
+            workers=0, out_dir=out_dir, batch_window_s=60.0))
+        await service.start()
+        t0 = time.perf_counter()
+        fut = service.submit(_request(seed=0, probe="mpigraph"))
+        await service.flush()
+        cold_response = await fut
+        cold_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for _ in range(CACHE_HITS):
+            warm_response = await service.submit(
+                _request(seed=0, probe="mpigraph"))
+            assert warm_response.cached
+            assert warm_response.values == cold_response.values
+        warm_s = (time.perf_counter() - t0) / CACHE_HITS
+        await service.drain()
+        return cold_s, warm_s
+
+    return asyncio.run(run())
+
+
+def _overload_shape(out_dir):
+    """2x queue oversubscription on a slow probe: sheds are immediate
+    structured 429s; accepted-request p99 is bounded by the queue."""
+    depth, offered, sleep_s = 16, 32, 0.05
+    os.environ["REPRO_SWEEP_SLEEP_S"] = str(sleep_s)
+    try:
+        async def run():
+            service = ScenarioService(ServeConfig(
+                workers=0, out_dir=out_dir, batch_window_s=60.0,
+                queue_depth=depth, max_batch=depth))
+            await service.start()
+            t0 = time.perf_counter()
+            futs = [service.submit(_request(seed=i, probe="sleepy"))
+                    for i in range(offered)]
+            shed_immediately = sum(1 for f in futs if f.done())
+            await service.flush()
+            responses = await asyncio.gather(*futs)
+            elapsed = time.perf_counter() - t0
+            await service.drain()
+            return responses, shed_immediately, elapsed
+
+        responses, shed_immediately, elapsed = asyncio.run(run())
+    finally:
+        del os.environ["REPRO_SWEEP_SLEEP_S"]
+    shed = [r for r in responses if r.status == "shed"]
+    served = [r for r in responses if r.ok]
+    assert len(served) == depth and len(shed) == offered - depth
+    assert shed_immediately == len(shed), "sheds must not wait in line"
+    assert all(r.error["code"] == 429 for r in shed)
+    assert all(r.error["type"] == "Overloaded" for r in shed)
+    # p99 of what was accepted: bounded by the queued work (depth
+    # sleeps, inline), with generous headroom — never by offered load.
+    p99_budget = 4.0 * depth * sleep_s
+    assert elapsed <= p99_budget, (
+        f"accepted-request tail {elapsed:.2f}s exceeds {p99_budget:.2f}s")
+    return len(shed), elapsed, p99_budget
+
+
+def _measure():
+    with tempfile.TemporaryDirectory() as tmp:
+        cold_rate = _cold_cli_rate()
+        served_rate, max_batch = _served_rate(os.path.join(tmp, "a"))
+        cold_s, warm_s = _cache_speedup(os.path.join(tmp, "b"))
+        sheds, tail_s, budget_s = _overload_shape(os.path.join(tmp, "c"))
+    return {
+        "cold_cli_rps": cold_rate,
+        "served_rps": served_rate,
+        "throughput_x": served_rate / cold_rate,
+        "max_batch": max_batch,
+        "cache_cold_ms": cold_s * 1e3,
+        "cache_warm_ms": warm_s * 1e3,
+        "cache_x": cold_s / warm_s,
+        "sheds": sheds,
+        "overload_tail_s": tail_s,
+        "overload_budget_s": budget_s,
+    }
+
+
+def test_serve_throughput(benchmark):
+    r = benchmark.pedantic(_measure, rounds=1, iterations=1)
+
+    table = Table(["arm", "metric", "value"],
+                  title="Scenario service vs per-request cold CLI",
+                  float_fmt="{:.2f}")
+    table.add_row(["cold CLI", "requests/s", r["cold_cli_rps"]])
+    table.add_row(["served (64 clients)", "requests/s", r["served_rps"]])
+    table.add_row(["served (64 clients)", "largest batch", r["max_batch"]])
+    table.add_row(["batching", "speedup vs cold CLI", r["throughput_x"]])
+    table.add_row(["cache", "cold answer ms", r["cache_cold_ms"]])
+    table.add_row(["cache", "warm answer ms", r["cache_warm_ms"]])
+    table.add_row(["cache", "speedup", r["cache_x"]])
+    table.add_row(["overload 2x", "sheds (429)", r["sheds"]])
+    table.add_row(["overload 2x", "accepted tail s", r["overload_tail_s"]])
+    table.add_row(["overload 2x", "tail budget s", r["overload_budget_s"]])
+    save_artifact("serve_throughput", table.render())
+
+    assert r["throughput_x"] >= MIN_BATCH_SPEEDUP, \
+        "batched service no longer >= 5x the per-request cold CLI"
+    assert r["max_batch"] > 1, "64 concurrent clients formed no batch"
+    assert r["cache_x"] >= MIN_CACHE_SPEEDUP, \
+        "cached answer no longer >= 50x faster than cold evaluation"

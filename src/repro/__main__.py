@@ -36,7 +36,8 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                spec, or ``--specs-dir``) and evaluate it on a worker
                pool (``--workers/--timeout/--retries``); one resumable
                JSON artifact per task under ``--out``
-               (``--fresh`` re-runs completed tasks)
+               (``--fresh`` re-runs completed tasks, ``--gc`` prunes
+               error/stale artifacts from the ledger)
 ``chaos``      discrete-event fault injection: replay a seeded failure
                timeline (node deaths, link failures, storage slowdowns,
                MTTR repairs) against scheduler + fabric with
@@ -56,6 +57,22 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                Table 6/7 app FOMs evaluated against every family plus a
                compute/bandwidth/interconnect HPL+HPCG roofline
                projection checked against the measured list entries
+=============  =======================================================
+
+Service verbs (see :mod:`repro.serve`):
+
+=============  =======================================================
+``serve``      long-running scenario service (line-delimited JSON over
+               TCP or ``--stdio``): coalesces compatible requests into
+               batched evaluations, caches answers by sweep content
+               hash in the shared artifact ledger, sheds overload from
+               a bounded queue (``--queue-depth``), drains gracefully
+               on SIGINT/SIGTERM
+``query``      one-shot client: send ``--count`` requests for a
+               ``--probe`` on a family/spec (``--distinct`` varies the
+               seed so they batch) and print an ok/cached/shed/batch
+               summary; ``--local`` evaluates inline without a service
+               (the cold path the throughput gate compares against)
 =============  =======================================================
 
 ``tests/test_cli.py`` asserts every registered verb is documented in
@@ -355,8 +372,12 @@ def _parse_axes(pairs: list[str]) -> dict[str, tuple]:
 def _cmd_sweep(args: "argparse.Namespace") -> int:
     from repro.errors import ReproError
     from repro.obs.export import render_metrics
-    from repro.sweep import (SweepConfig, SweepPlan, results_table,
-                             run_sweep)
+    from repro.sweep import (SweepConfig, SweepPlan, prune_artifacts,
+                             results_table, run_sweep)
+    if args.gc:
+        report = prune_artifacts(args.out)
+        print(f"sweep --gc {args.out}: {report.counts_line()}")
+        return 0
     try:
         probes = tuple(args.probe) if args.probe else ("mpigraph",)
         if args.specs_dir:
@@ -575,6 +596,126 @@ def _cmd_congest(args: "argparse.Namespace") -> int:
     return 0
 
 
+def _cmd_serve(args: "argparse.Namespace") -> int:
+    import asyncio
+    import signal
+
+    from repro import obs
+    from repro.obs.export import write_json
+    from repro.serve import ScenarioService, ServeConfig
+
+    # Metrics on (the drain summary reads them), tracer off: a
+    # long-running service must not accumulate spans without bound.
+    obs.enable(tracing=False)
+    config = ServeConfig(host=args.host, port=args.port, workers=args.workers,
+                         queue_depth=args.queue_depth,
+                         batch_window_s=args.batch_window_ms / 1000.0,
+                         max_batch=args.max_batch, timeout_s=args.timeout,
+                         retries=args.retries, out_dir=args.out)
+
+    def _summary() -> str:
+        snap = obs.registry().snapshot()
+
+        def count(name: str) -> int:
+            return int(snap.get(name, {}).get("value", 0.0))
+
+        return (f"requests: {count('serve.requests')} | "
+                f"cache hits: {count('serve.cache_hits')} | "
+                f"shed: {count('serve.shed')} | "
+                f"batches: {count('serve.batches')} | "
+                f"coalesced: {count('serve.coalesced')}")
+
+    async def _run() -> int:
+        service = ScenarioService(config)
+        await service.start()
+        if args.stdio:
+            answered = await service.serve_stdio()
+            await service.drain()
+            print(f"serve: answered {answered} request(s) over stdio | "
+                  f"{_summary()}", file=sys.stderr)
+            return 0
+        server = await service.serve_tcp()
+        host, port = server.sockets[0].getsockname()[:2]
+        if args.ready_file:
+            write_json(args.ready_file, {"host": host, "port": port})
+        print(f"serve: listening on {host}:{port} "
+              f"(workers: {config.workers}, queue: {config.queue_depth}, "
+              f"window: {config.batch_window_s * 1000:g} ms) — "
+              f"SIGINT/SIGTERM drains", file=sys.stderr)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        server.close()
+        await server.wait_closed()
+        await service.drain()
+        print(f"serve: drained | {_summary()}", file=sys.stderr)
+        return 0
+
+    return asyncio.run(_run())
+
+
+def _cmd_query(args: "argparse.Namespace") -> int:
+    import asyncio
+
+    from repro.errors import ReproError
+    from repro.serve import ScenarioRequest, query, run_local
+
+    base: dict[str, Any] = {"probe": args.probe}
+    if args.spec and args.family:
+        print("query: use --spec or --family, not both", file=sys.stderr)
+        return 2
+    if args.spec:
+        with open(args.spec) as fh:
+            base["spec"] = json.load(fh)
+    elif args.family:
+        base["family"] = args.family
+    if args.scaled:
+        base["scaled"] = args.scaled
+    if args.timeout is not None:
+        base["timeout_s"] = args.timeout
+    try:
+        requests = [ScenarioRequest.from_wire(
+            {**base, "id": f"q{i}",
+             "seed": args.seed + (i if args.distinct else 0)})
+            for i in range(args.count)]
+        if args.local:
+            responses = [run_local(req) for req in requests]
+        else:
+            host, port = args.host, args.port
+            if args.addr_file:
+                with open(args.addr_file) as fh:
+                    addr = json.load(fh)
+                host, port = addr["host"], int(addr["port"])
+            responses = asyncio.run(query(host, port, requests,
+                                          timeout_s=args.wait))
+    except (ReproError, OSError) as exc:
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        for response in responses:
+            print(json.dumps(response.to_wire(), sort_keys=True))
+    ok = sum(1 for r in responses if r.ok)
+    cached = sum(1 for r in responses if r.cached)
+    shed = sum(1 for r in responses if r.status == "shed")
+    max_batch = max((r.batch_size for r in responses), default=0)
+    wall = sum(r.wall_time_s for r in responses)
+    print(f"query: ok: {ok}/{len(responses)} | cached: {cached} | "
+          f"shed: {shed} | max batch: {max_batch} | "
+          f"probe wall: {wall:.3f}s")
+    failed = ok < len(responses)
+    if args.expect_batch_min is not None and max_batch < args.expect_batch_min:
+        print(f"query: expected a batch >= {args.expect_batch_min}, "
+              f"saw {max_batch}", file=sys.stderr)
+        failed = True
+    if args.expect_cached_min is not None and cached < args.expect_cached_min:
+        print(f"query: expected >= {args.expect_cached_min} cached, "
+              f"saw {cached}", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The full CLI parser (exposed so tests can audit the verb set)."""
     parser = argparse.ArgumentParser(
@@ -669,6 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
                                            "(default: benchmarks/out/sweep)")
     sweep.add_argument("--list", action="store_true",
                        help="print the expanded task list and exit")
+    sweep.add_argument("--gc", action="store_true",
+                       help="prune error/schema-stale artifacts from "
+                            "--out and exit (reports counts)")
     sweep.add_argument("--verbose", action="store_true",
                        help="print per-task progress lines")
 
@@ -759,6 +903,79 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: frontier,summit,aurora)")
     compare.add_argument("--json", action="store_true",
                          help="print the study document as JSON")
+
+    serve = sub.add_parser(
+        "serve", help="long-running scenario service: batches compatible "
+                      "requests, caches by spec hash, sheds overload")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default 0 = kernel-assigned; see "
+                            "--ready-file)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="serve request lines from stdin until EOF "
+                            "instead of TCP (responses on stdout)")
+    serve.add_argument("--ready-file", metavar="PATH",
+                       help="write {host, port} JSON once listening "
+                            "(how scripts find a --port 0 service)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes for cache misses "
+                            "(0 = evaluate inline off the event loop)")
+    serve.add_argument("--queue-depth", type=int, default=256,
+                       help="admission bound; beyond it requests shed "
+                            "with a 429-style error (default 256)")
+    serve.add_argument("--batch-window-ms", type=float, default=20.0,
+                       help="coalescing tick in milliseconds (default 20)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="unique tasks per evaluated batch (default 64)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-task evaluation timeout in seconds")
+    serve.add_argument("--retries", type=int, default=0,
+                       help="retry budget per task (default 0)")
+    serve.add_argument("--out", default="benchmarks/out/sweep",
+                       metavar="DIR", help="artifact ledger shared with "
+                                           "sweep (default: "
+                                           "benchmarks/out/sweep)")
+
+    qry = sub.add_parser(
+        "query", help="one-shot client for a running scenario service "
+                      "(or --local for the cold no-service path)")
+    qry.add_argument("--probe", default="storage",
+                     help="sweep probe to evaluate (default storage)")
+    qry.add_argument("--family", metavar="NAME",
+                     help="registered machine family (default: Frontier)")
+    qry.add_argument("--spec", metavar="FILE",
+                     help="machine spec file instead of a family")
+    qry.add_argument("--scaled", nargs=3, type=int,
+                     metavar=("GROUPS", "SWITCHES", "ENDPOINTS"),
+                     help="reduced-scale variant (taper preserved)")
+    qry.add_argument("--seed", type=int, default=0,
+                     help="base request seed (default 0)")
+    qry.add_argument("--count", type=int, default=1,
+                     help="how many requests to send (default 1)")
+    qry.add_argument("--distinct", action="store_true",
+                     help="vary the seed per request (distinct tasks "
+                          "that can batch) instead of repeating one")
+    qry.add_argument("--host", default="127.0.0.1",
+                     help="service address (default 127.0.0.1)")
+    qry.add_argument("--port", type=int, default=7901,
+                     help="service port (default 7901)")
+    qry.add_argument("--addr-file", metavar="PATH",
+                     help="read {host, port} from a serve --ready-file")
+    qry.add_argument("--timeout", type=float, default=None, metavar="S",
+                     help="per-request timeout_s sent to the service")
+    qry.add_argument("--wait", type=float, default=30.0, metavar="S",
+                     help="client-side stall timeout (default 30)")
+    qry.add_argument("--local", action="store_true",
+                     help="evaluate inline without a service (cold path)")
+    qry.add_argument("--json", action="store_true",
+                     help="print every response document as JSON")
+    qry.add_argument("--expect-batch-min", type=int, default=None,
+                     metavar="N", help="exit nonzero unless some response "
+                                       "rode a batch of >= N")
+    qry.add_argument("--expect-cached-min", type=int, default=None,
+                     metavar="N", help="exit nonzero unless >= N responses "
+                                       "came from cache")
     return parser
 
 
@@ -780,6 +997,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_congest(args)
     if args.command == "compare":
         return _cmd_compare(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "query":
+        return _cmd_query(args)
     COMMANDS[args.command]()
     return 0
 

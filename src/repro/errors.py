@@ -15,6 +15,9 @@ __all__ = [
     "SchedulerError",
     "StorageError",
     "SimulationError",
+    "ServeError",
+    "ProtocolError",
+    "OverloadedError",
 ]
 
 
@@ -48,3 +51,15 @@ class StorageError(ReproError):
 
 class SimulationError(ReproError):
     """A simulation reached an invalid state (non-convergence, overflow...)."""
+
+
+class ServeError(ReproError):
+    """Base class for scenario-service (``repro.serve``) failures."""
+
+
+class ProtocolError(ServeError):
+    """A request line is not a well-formed, schema-compatible request."""
+
+
+class OverloadedError(ServeError):
+    """Admission control refused the request (queue full); retry later."""

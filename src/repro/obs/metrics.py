@@ -11,6 +11,14 @@ A :class:`MetricsRegistry` hands out named instruments:
 Like the tracer, a disabled registry is allocation free: every lookup
 returns one shared no-op instrument, so instrumentation can stay inline
 in the hot loops.
+
+Instruments are **thread-safe**: every mutation, snapshot, and merge
+holds a per-instrument lock, so one registry can be shared between an
+asyncio event loop, batch-execution threads, and worker-pool callbacks
+(the scenario service does exactly that) without losing updates.  The
+bare ``+=`` this replaces really does drop increments under threads —
+CPython interleaves the load/add/store — which is why the hammer test in
+``tests/obs/test_metrics_threads.py`` asserts exact totals.
 """
 
 from __future__ import annotations
@@ -31,47 +39,56 @@ DEFAULT_EDGES = (0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0,
 class Counter:
     """A monotonically increasing total."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> dict[str, Any]:
-        return {"type": "counter", "value": self.value}
+        with self._lock:
+            return {"type": "counter", "value": self.value}
 
 
 class Gauge:
     """A last-value-wins sample."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> dict[str, Any]:
-        return {"type": "gauge", "value": self.value}
+        with self._lock:
+            return {"type": "gauge", "value": self.value}
 
 
 class Histogram:
     """Distribution summary: count, sum, min, max, and bucket counts."""
 
-    __slots__ = ("name", "edges", "count", "total", "min", "max", "_buckets")
+    __slots__ = ("name", "edges", "count", "total", "min", "max", "_buckets",
+                 "_lock")
 
     def __init__(self, name: str, edges: Sequence[float] | None = None):
         self.name = name
@@ -84,49 +101,55 @@ class Histogram:
         self.max = float("-inf")
         # one bucket per edge (value <= edge), plus an overflow bucket
         self._buckets = np.zeros(len(self.edges) + 1, dtype=np.int64)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._buckets[int(np.searchsorted(self.edges, value, side="left"))] += 1
+        bucket = int(np.searchsorted(self.edges, value, side="left"))
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._buckets[bucket] += 1
 
     def observe_many(self, values: Iterable[float]) -> None:
         arr = np.asarray(list(values) if not isinstance(values, np.ndarray)
                          else values, dtype=np.float64)
         if arr.size == 0:
             return
-        self.count += int(arr.size)
-        self.total += float(arr.sum())
-        self.min = min(self.min, float(arr.min()))
-        self.max = max(self.max, float(arr.max()))
         idx = np.searchsorted(self.edges, arr, side="left")
-        np.add.at(self._buckets, idx, 1)
+        with self._lock:
+            self.count += int(arr.size)
+            self.total += float(arr.sum())
+            self.min = min(self.min, float(arr.min()))
+            self.max = max(self.max, float(arr.max()))
+            np.add.at(self._buckets, idx, 1)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def snapshot(self) -> dict[str, Any]:
-        return {
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else None,
-            "max": self.max if self.count else None,
-            "mean": self.mean if self.count else None,
-            "edges": list(self.edges),
-            "buckets": {
-                (f"le_{edge:g}" if i < len(self.edges) else "overflow"): int(n)
-                for i, (edge, n) in enumerate(
-                    zip(list(self.edges) + [float("inf")], self._buckets))
-                if n
-            },
-        }
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": self.min if self.count else None,
+                "max": self.max if self.count else None,
+                "mean": (self.total / self.count) if self.count else None,
+                "edges": list(self.edges),
+                "buckets": {
+                    (f"le_{edge:g}" if i < len(self.edges)
+                     else "overflow"): int(n)
+                    for i, (edge, n) in enumerate(
+                        zip(list(self.edges) + [float("inf")], self._buckets))
+                    if n
+                },
+            }
 
     def merge_snapshot(self, snap: dict[str, Any]) -> None:
         """Fold another histogram's :meth:`snapshot` into this one.
@@ -142,19 +165,20 @@ class Histogram:
                 f"{edges!r} into histogram with edges {self.edges!r}")
         if not snap.get("count"):
             return
-        self.count += int(snap["count"])
-        self.total += float(snap["sum"])
-        self.min = min(self.min, float(snap["min"]))
-        self.max = max(self.max, float(snap["max"]))
         labels = {f"le_{edge:g}": i for i, edge in enumerate(self.edges)}
         labels["overflow"] = len(self.edges)
-        for label, n in snap.get("buckets", {}).items():
-            try:
-                self._buckets[labels[label]] += int(n)
-            except KeyError:
-                raise ValueError(
-                    f"histogram {self.name}: unknown bucket {label!r} "
-                    f"in merged snapshot") from None
+        with self._lock:
+            self.count += int(snap["count"])
+            self.total += float(snap["sum"])
+            self.min = min(self.min, float(snap["min"]))
+            self.max = max(self.max, float(snap["max"]))
+            for label, n in snap.get("buckets", {}).items():
+                try:
+                    self._buckets[labels[label]] += int(n)
+                except KeyError:
+                    raise ValueError(
+                        f"histogram {self.name}: unknown bucket {label!r} "
+                        f"in merged snapshot") from None
 
 
 class _NullMetric:

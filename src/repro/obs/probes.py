@@ -264,6 +264,71 @@ def probe_congestion() -> dict[str, float]:
     }
 
 
+def probe_serve() -> dict[str, float]:
+    """Scenario-service regression gate: batching, caching, shedding.
+
+    Drives :class:`~repro.serve.ScenarioService` inline (``workers=0``,
+    manual ``flush()`` — worker pools and the wall-clock ticker would
+    make the counts machine-dependent) against a throwaway ledger.  A
+    cold pass pins batch formation, duplicate coalescing, and synchronous
+    queue-overflow shedding; a warm pass with a fresh service (empty
+    memory cache) must answer everything from the disk ledger.  The
+    ``serve.*`` counters emitted here land in the baseline.
+    """
+    import asyncio
+    import tempfile
+
+    from repro.core.scenario import frontier_spec
+    from repro.serve import ScenarioRequest, ScenarioService, ServeConfig
+
+    spec = frontier_spec().scaled(6, 4, 4)
+
+    def req(seed: int, rid: str, probe: str = "storage") -> ScenarioRequest:
+        return ScenarioRequest(probe=probe, spec=spec, seed=seed, id=rid)
+
+    async def session(out: str, requests: list[ScenarioRequest],
+                      queue_depth: int = 64) -> list:
+        service = ScenarioService(ServeConfig(
+            workers=0, queue_depth=queue_depth, batch_window_s=60.0,
+            out_dir=out))
+        await service.start()
+        futs = [service.submit(r) for r in requests]
+        await service.flush()
+        responses = await asyncio.gather(*futs)
+        await service.drain()
+        return responses
+
+    with tempfile.TemporaryDirectory() as out:
+        # Cold pass: 4 distinct storage tasks, 2 coalescing repeats of
+        # the first, one placement task (its own batch), and a queue
+        # sized so the last two submissions shed synchronously.
+        cold_reqs = ([req(s, f"c{s}") for s in range(4)]
+                     + [req(0, "dup0"), req(0, "dup1")]
+                     + [req(0, "p0", probe="placement")]
+                     + [req(9, "shed0"), req(8, "shed1")])
+        cold = asyncio.run(session(out, cold_reqs, queue_depth=7))
+        # Warm pass: a fresh service re-asks the four storage tasks.
+        warm = asyncio.run(session(out, [req(s, f"w{s}") for s in range(4)]))
+
+    ok = [r for r in cold if r.ok]
+    shed = [r for r in cold if r.status == "shed"]
+    return {
+        "requests": float(len(cold) + len(warm)),
+        "cold_ok": float(len(ok)),
+        "cold_shed": float(len(shed)),
+        "shed_is_429": float(all(r.error["code"] == 429 for r in shed)),
+        "distinct_tasks": float(len({r.task_id for r in ok})),
+        "max_batch_size": float(max(r.batch_size for r in ok)),
+        "coalesced_share_task": float(
+            len({r.task_id for r in cold if r.id in ("c0", "dup0", "dup1")})
+            == 1),
+        "warm_all_cached": float(all(r.cached for r in warm)),
+        "warm_matches_cold": float(all(
+            w.values == c.values for w, c in zip(warm, cold[:4]))),
+        "burst_time_s": cold[0].values["burst_time_s"],
+    }
+
+
 def probe_machines() -> dict[str, float]:
     """Machine-family registry regression gate.
 
@@ -309,6 +374,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "sweep": probe_sweep,
     "chaos": probe_chaos,
     "congestion": probe_congestion,
+    "serve": probe_serve,
     "machines": probe_machines,
 }
 

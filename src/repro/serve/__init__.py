@@ -1,0 +1,56 @@
+"""``repro.serve`` — the long-running scenario service.
+
+The ROADMAP's "serves heavy traffic" north star made concrete: instead
+of one cold CLI process per what-if question, a long-lived asyncio
+service answers :class:`ScenarioRequest`\\ s (a machine spec or family
+name, a sweep probe, a seed) over a line-delimited-JSON protocol —
+TCP or stdio, no third-party dependencies.
+
+Three mechanisms keep it fast under load:
+
+* **batching** (:mod:`repro.serve.batching`) — queued requests that
+  share a topology (same fabric geometry) and probe coalesce into one
+  evaluation per tick, so the config-keyed topology/path caches are
+  built once per batch instead of once per caller;
+* **caching** (:mod:`repro.serve.cache`) — responses are keyed by the
+  sweep content hash (spec JSON, probe, seed) and stored in the same
+  ``benchmarks/out/sweep/`` artifact ledger the sweep engine resumes
+  from, so served results and sweep results are one namespace;
+* **backpressure** (:class:`~repro.serve.service.ScenarioService`) —
+  a bounded queue sheds load with structured 429-style errors instead
+  of letting latency collapse, and SIGINT/SIGTERM drain gracefully.
+
+Typical use::
+
+    python -m repro serve --port 7901 &
+    python -m repro query --port 7901 --probe storage --count 20
+
+or in-process::
+
+    from repro.serve import ScenarioRequest, ScenarioService, ServeConfig
+
+    async def ask(service):
+        req = ScenarioRequest.from_wire({"probe": "storage"})
+        return await service.submit(req)
+
+Cache-miss evaluation goes through the sweep engine's
+:func:`~repro.sweep.runner.execute_tasks` core (optionally on a
+long-lived worker pool), so the event loop never blocks on a heavy
+probe.
+"""
+
+from repro.serve.batching import batch_key, execute_batch, form_batches
+from repro.serve.cache import ResponseCache
+from repro.serve.client import query, run_local
+from repro.serve.protocol import (SERVE_SCHEMA_VERSION, ScenarioRequest,
+                                  ScenarioResponse, decode_line, encode_line)
+from repro.serve.service import ScenarioService, ServeConfig
+
+__all__ = [
+    "SERVE_SCHEMA_VERSION", "ScenarioRequest", "ScenarioResponse",
+    "decode_line", "encode_line",
+    "ResponseCache",
+    "batch_key", "execute_batch", "form_batches",
+    "ScenarioService", "ServeConfig",
+    "query", "run_local",
+]

@@ -1,0 +1,102 @@
+"""Coalesce compatible queued requests into shared evaluations.
+
+Two requests are **compatible** when they share a fabric geometry and a
+probe: the expensive shared state — ``Topology.flat``, CSR routing
+plans, path LRUs — is keyed by the fabric config, so evaluating the
+whole group in one call (or one worker) builds it once and every caller
+amortises it.  Requests for the *identical* task (same content hash)
+coalesce further: one evaluation fans out to every waiting caller.
+
+The execution itself is :func:`repro.sweep.runner.execute_tasks` — the
+same pool/timeout/retry core the sweep engine uses — so a batch of
+cache misses behaves exactly like a small sweep over those grid points.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Hashable, Sequence
+
+from repro.serve.protocol import ScenarioRequest
+from repro.sweep.plan import SweepTask
+from repro.sweep.runner import ExecPolicy, execute_tasks
+
+__all__ = ["PendingRequest", "batch_key", "form_batches", "execute_batch"]
+
+
+class PendingRequest:
+    """A queued request: the resolved task plus its completion future."""
+
+    __slots__ = ("request", "task", "future", "enqueued_at")
+
+    def __init__(self, request: ScenarioRequest, task: SweepTask,
+                 future: Any, enqueued_at: float):
+        self.request = request
+        self.task = task
+        self.future = future
+        self.enqueued_at = enqueued_at
+
+
+def batch_key(task: SweepTask) -> Hashable:
+    """Requests sharing this key may evaluate together.
+
+    The fabric geometry is a frozen dataclass (hashable) and is exactly
+    what the topology/path caches are keyed by; the probe decides which
+    planner runs.  Everything else about the spec (routing, degradation,
+    seeds) varies freely within a batch — it changes the answer, not the
+    shared planning state.
+    """
+    return (task.spec.fabric, task.probe)
+
+
+def form_batches(pending: Sequence[PendingRequest],
+                 max_batch: int = 64) -> list[list[PendingRequest]]:
+    """Group compatible pending requests, preserving arrival order.
+
+    Each returned batch shares one :func:`batch_key` and carries at most
+    ``max_batch`` **unique** tasks; coalesced duplicates always join the
+    batch that evaluates their task (a thousand callers asking the
+    identical question are still one evaluation).
+    """
+    max_batch = max(1, int(max_batch))
+    batches: list[list[PendingRequest]] = []
+    # key -> (open batch, its unique task ids); full batches are retired
+    open_for: dict[Hashable, tuple[list[PendingRequest], set[str]]] = {}
+    # task_id -> the batch evaluating it (where duplicates must ride)
+    home: dict[str, list[PendingRequest]] = {}
+    for item in pending:
+        tid = item.task.task_id
+        if tid in home:
+            home[tid].append(item)
+            continue
+        key = batch_key(item.task)
+        entry = open_for.get(key)
+        if entry is None or len(entry[1]) >= max_batch:
+            entry = ([], set())
+            open_for[key] = entry
+            batches.append(entry[0])
+        batch, seen = entry
+        batch.append(item)
+        seen.add(tid)
+        home[tid] = batch
+    return batches
+
+
+def execute_batch(tasks: Sequence[SweepTask], policy: ExecPolicy,
+                  executor: ProcessPoolExecutor | None = None,
+                  ) -> dict[str, dict[str, Any]]:
+    """Evaluate one batch's unique tasks; ``task_id -> artifact document``.
+
+    Synchronous and thread-safe — the service runs it off the event loop
+    (``run_in_executor``) so a heavy probe never blocks accepting
+    connections.  With ``executor`` the batch fans out across the
+    service's long-lived worker pool; without one it runs inline in the
+    calling thread (``policy.workers <= 0``), which is what keeps the
+    topology/path LRUs of *this* process hot across batches.
+    """
+    docs: dict[str, dict[str, Any]] = {}
+    execute_tasks(tasks, policy,
+                  on_result=lambda doc: docs.__setitem__(
+                      doc["task"]["id"], doc),
+                  executor=executor)
+    return docs

@@ -29,21 +29,24 @@ semantics, and :mod:`repro.sweep.probes` for what can be evaluated at
 each grid point.
 """
 
-from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
-                                   completed_ids, iter_artifacts,
-                                   load_artifact, write_artifact)
+from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, PruneReport,
+                                   artifact_path, completed_ids,
+                                   iter_artifacts, load_artifact,
+                                   prune_artifacts, write_artifact)
 from repro.sweep.plan import (AXES, SweepPlan, SweepTask, apply_axes,
                               derive_seed, scaled_fraction, task_hash)
 from repro.sweep.probes import SWEEP_PROBES
-from repro.sweep.runner import (SweepConfig, SweepSummary, execute_task,
-                                results_table, run_sweep)
+from repro.sweep.runner import (ExecPolicy, SweepConfig, SweepSummary,
+                                execute_task, execute_tasks, results_table,
+                                run_sweep)
 
 __all__ = [
-    "ARTIFACT_SCHEMA_VERSION", "artifact_path", "completed_ids",
-    "iter_artifacts", "load_artifact", "write_artifact",
+    "ARTIFACT_SCHEMA_VERSION", "PruneReport", "artifact_path",
+    "completed_ids", "iter_artifacts", "load_artifact", "prune_artifacts",
+    "write_artifact",
     "AXES", "SweepPlan", "SweepTask", "apply_axes", "derive_seed",
     "scaled_fraction", "task_hash",
     "SWEEP_PROBES",
-    "SweepConfig", "SweepSummary", "execute_task", "results_table",
-    "run_sweep",
+    "ExecPolicy", "SweepConfig", "SweepSummary", "execute_task",
+    "execute_tasks", "results_table", "run_sweep",
 ]

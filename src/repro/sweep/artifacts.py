@@ -26,12 +26,14 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from typing import Any, Iterator
 
 from repro.obs.export import write_json
 
 __all__ = ["ARTIFACT_SCHEMA_VERSION", "artifact_path", "write_artifact",
-           "load_artifact", "completed_ids", "iter_artifacts"]
+           "load_artifact", "completed_ids", "iter_artifacts",
+           "PruneReport", "prune_artifacts"]
 
 ARTIFACT_SCHEMA_VERSION = 1
 
@@ -85,3 +87,62 @@ def completed_ids(out_dir: str) -> set[str]:
     """Task ids a resumed sweep may skip (``status == "ok"`` only)."""
     return {doc["task"]["id"] for doc in iter_artifacts(out_dir)
             if doc.get("status") == "ok"}
+
+
+@dataclass
+class PruneReport:
+    """What :func:`prune_artifacts` found and removed."""
+
+    scanned: int = 0       #: ``*.json`` files examined
+    kept: int = 0          #: trustable ``status == "ok"`` artifacts left alone
+    errors: int = 0        #: ``status == "error"`` artifacts deleted
+    stale: int = 0         #: off-schema / id-mismatched artifacts deleted
+    unreadable: int = 0    #: unparseable files left alone (never delete blind)
+
+    @property
+    def removed(self) -> int:
+        return self.errors + self.stale
+
+    def counts_line(self) -> str:
+        return (f"scanned: {self.scanned}  removed: {self.removed} "
+                f"(errors: {self.errors}, stale: {self.stale})  "
+                f"kept: {self.kept}  unreadable: {self.unreadable}")
+
+
+def prune_artifacts(out_dir: str) -> PruneReport:
+    """Delete dead ledger entries so long-lived services don't accrete them.
+
+    Removes artifacts whose ``status == "error"`` (a re-run or a served
+    request will retry them anyway) and *stale* ones — parseable JSON
+    objects that fail :func:`load_artifact`'s trust checks (wrong schema
+    version, missing or filename-mismatched task id).  Files that are not
+    parseable JSON at all are counted but **left in place**: they may not
+    be ours, and deleting blind from a shared directory is how ledgers
+    eat data.
+    """
+    report = PruneReport()
+    if not os.path.isdir(out_dir):
+        return report
+    for name in sorted(os.listdir(out_dir)):
+        if not name.endswith(".json"):
+            continue
+        path = os.path.join(out_dir, name)
+        report.scanned += 1
+        try:
+            with open(path) as fh:
+                raw = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            report.unreadable += 1
+            continue
+        if not isinstance(raw, dict):
+            report.unreadable += 1
+            continue
+        if load_artifact(path) is None:
+            os.remove(path)
+            report.stale += 1
+        elif raw.get("status") == "error":
+            os.remove(path)
+            report.errors += 1
+        else:
+            report.kept += 1
+    return report

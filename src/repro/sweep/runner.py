@@ -25,6 +25,13 @@ artifact per task:
   parent folds them via :meth:`MetricsRegistry.merge` into
   ``summary.metrics`` (and into the process-wide registry when that is
   collecting).
+
+The pool/timeout/retry core is factored out as :func:`execute_tasks` +
+:class:`ExecPolicy`, with the sweep-specific parts (resume ledger,
+artifact writes, summary counters) kept here in :func:`run_sweep`.  The
+scenario service (:mod:`repro.serve`) drives cache-miss batches through
+the same :func:`execute_tasks`, passing its own long-lived executor so
+one warm pool serves every batch.
 """
 
 from __future__ import annotations
@@ -35,7 +42,7 @@ import traceback
 from concurrent.futures import (FIRST_COMPLETED, Future, ProcessPoolExecutor,
                                 wait)
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from repro import obs
 from repro.obs.metrics import MetricsRegistry
@@ -46,11 +53,26 @@ from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
                                    write_artifact)
 from repro.sweep.plan import SweepPlan, SweepTask
 
-__all__ = ["SweepConfig", "SweepSummary", "run_sweep", "execute_task",
-           "results_table"]
+__all__ = ["ExecPolicy", "SweepConfig", "SweepSummary", "run_sweep",
+           "execute_task", "execute_tasks", "results_table"]
 
 #: How often the dispatch loop polls for completions/timeouts (seconds).
 _POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class ExecPolicy:
+    """The task-execution policy: pool size, timeout, retry budget.
+
+    This is the part of :class:`SweepConfig` that is not about artifacts
+    or resume — the value :func:`execute_tasks` is parameterised by, and
+    the one the scenario service shares with the sweep engine.
+    """
+
+    workers: int = 2
+    timeout_s: float | None = None
+    retries: int = 1
+    backoff_s: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -63,6 +85,10 @@ class SweepConfig:
     retries: int = 1
     backoff_s: float = 0.05
     resume: bool = True
+
+    def policy(self) -> ExecPolicy:
+        return ExecPolicy(workers=self.workers, timeout_s=self.timeout_s,
+                          retries=self.retries, backoff_s=self.backoff_s)
 
 
 @dataclass
@@ -165,10 +191,16 @@ def run_sweep(plan: SweepPlan, config: SweepConfig | None = None, *,
             else:
                 pending.append(task)
         if pending:
-            if config.workers <= 0:
-                _run_serial(pending, config, summary, say)
-            else:
-                _run_pool(pending, config, summary, say)
+            def on_timeout(task: SweepTask) -> None:
+                summary.timed_out += 1
+                obs.counter("sweep.tasks_timed_out").inc()
+
+            execute_tasks(
+                pending, config.policy(),
+                on_result=lambda doc: _record(doc, config, summary, say),
+                on_retry=lambda task, reason: _note_retry(
+                    task, summary, say, reason),
+                on_timeout=on_timeout)
     summary.wall_time_s = time.perf_counter() - start
     return summary
 
@@ -194,9 +226,9 @@ def _record(doc: dict[str, Any], config: SweepConfig,
         f"attempt {doc['timing']['attempts']})")
 
 
-def _backoff(config: SweepConfig, attempt: int) -> None:
-    if config.backoff_s > 0:
-        time.sleep(config.backoff_s * 2 ** (attempt - 1))
+def _backoff(policy: ExecPolicy, attempt: int) -> None:
+    if policy.backoff_s > 0:
+        time.sleep(policy.backoff_s * 2 ** (attempt - 1))
 
 
 def _note_retry(task: SweepTask, summary: SweepSummary,
@@ -206,26 +238,67 @@ def _note_retry(task: SweepTask, summary: SweepSummary,
     say(f"retry {task.task_id} {task.probe} ({reason})")
 
 
-def _run_serial(tasks: list[SweepTask], config: SweepConfig,
-                summary: SweepSummary, say: Callable[[str], None]) -> None:
+def execute_tasks(tasks: Sequence[SweepTask], policy: ExecPolicy, *,
+                  on_result: Callable[[dict[str, Any]], None],
+                  on_retry: Callable[[SweepTask, str], None] | None = None,
+                  on_timeout: Callable[[SweepTask], None] | None = None,
+                  executor: ProcessPoolExecutor | None = None) -> None:
+    """Evaluate every task under ``policy``; one final document per task.
+
+    The reusable pool/timeout/retry core shared by :func:`run_sweep` and
+    the scenario service (:mod:`repro.serve.batching`):
+
+    * each task's **final** attempt — ``status == "ok"`` or the retry
+      budget spent — is delivered to ``on_result`` (exactly once per
+      task, in completion order);
+    * ``on_retry(task, reason)`` fires before each resubmission, and
+      ``on_timeout(task)`` whenever an attempt is abandoned for
+      exceeding ``policy.timeout_s`` (the caller owns any counters);
+    * ``policy.workers <= 0`` (with no ``executor``) runs inline in this
+      thread with ``isolate_obs=False`` — the calling process keeps its
+      registry — and cannot preempt an overrunning task;
+    * passing ``executor`` reuses the caller's long-lived
+      :class:`ProcessPoolExecutor` (the scenario service's warm pool);
+      its lifecycle stays with the caller, and a timed-out attempt's
+      worker slot stays busy until the task returns, exactly like the
+      private-pool case.
+    """
+    if on_retry is None:
+        on_retry = lambda task, reason: None       # noqa: E731
+    if on_timeout is None:
+        on_timeout = lambda task: None             # noqa: E731
+    if executor is None and policy.workers <= 0:
+        _execute_serial(tasks, policy, on_result, on_retry)
+    else:
+        _execute_pool(tasks, policy, on_result, on_retry, on_timeout,
+                      executor)
+
+
+def _execute_serial(tasks: Sequence[SweepTask], policy: ExecPolicy,
+                    on_result: Callable[[dict[str, Any]], None],
+                    on_retry: Callable[[SweepTask, str], None]) -> None:
     """Inline execution (workers=0): same retry policy, no subprocesses."""
     for task in tasks:
         attempt = 1
         while True:
             doc = execute_task(task, attempt=attempt, isolate_obs=False)
-            if doc["status"] == "ok" or attempt > config.retries:
-                _record(doc, config, summary, say)
+            if doc["status"] == "ok" or attempt > policy.retries:
+                on_result(doc)
                 break
-            _note_retry(task, summary, say, doc["error"]["type"])
-            _backoff(config, attempt)
+            on_retry(task, doc["error"]["type"])
+            _backoff(policy, attempt)
             attempt += 1
 
 
-def _run_pool(tasks: list[SweepTask], config: SweepConfig,
-              summary: SweepSummary, say: Callable[[str], None]) -> None:
+def _execute_pool(tasks: Sequence[SweepTask], policy: ExecPolicy,
+                  on_result: Callable[[dict[str, Any]], None],
+                  on_retry: Callable[[SweepTask, str], None],
+                  on_timeout: Callable[[SweepTask], None],
+                  shared: ProcessPoolExecutor | None) -> None:
     attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
     abandoned = False
-    executor = ProcessPoolExecutor(max_workers=config.workers)
+    executor = shared if shared is not None else ProcessPoolExecutor(
+        max_workers=policy.workers)
     # future -> (task, monotonic time it was first seen *running*, or None)
     inflight: dict[Future, tuple[SweepTask, float | None]] = {}
 
@@ -234,20 +307,19 @@ def _run_pool(tasks: list[SweepTask], config: SweepConfig,
             fut = executor.submit(execute_task, task,
                                   attempts[task.task_id])
         except RuntimeError as exc:   # pool already broken/shut down
-            _record(_error_doc(task, attempts[task.task_id], exc),
-                    config, summary, say)
+            on_result(_error_doc(task, attempts[task.task_id], exc))
             return
         inflight[fut] = (task, None)
 
     def finish_attempt(task: SweepTask, doc: dict[str, Any],
                        reason: str) -> None:
-        if doc["status"] == "error" and attempts[task.task_id] <= config.retries:
-            _note_retry(task, summary, say, reason)
-            _backoff(config, attempts[task.task_id])
+        if doc["status"] == "error" and attempts[task.task_id] <= policy.retries:
+            on_retry(task, reason)
+            _backoff(policy, attempts[task.task_id])
             attempts[task.task_id] += 1
             submit(task)
         else:
-            _record(doc, config, summary, say)
+            on_result(doc)
 
     try:
         for task in tasks:
@@ -266,30 +338,30 @@ def _run_pool(tasks: list[SweepTask], config: SweepConfig,
                     doc = fut.result()
                     reason = doc.get("error", {}).get("type", "error")
                 finish_attempt(task, doc, reason)
-            if config.timeout_s is None:
+            if policy.timeout_s is None:
                 continue
             for fut, (task, started) in list(inflight.items()):
                 if started is None:
                     if fut.running():
                         inflight[fut] = (task, now)
                     continue
-                if now - started <= config.timeout_s:
+                if now - started <= policy.timeout_s:
                     continue
                 # Overdue: the pool cannot kill a running call, so stop
                 # listening to this future and treat it as a failure.
                 inflight.pop(fut)
                 fut.cancel()
                 abandoned = True
-                summary.timed_out += 1
-                obs.counter("sweep.tasks_timed_out").inc()
+                on_timeout(task)
                 timeout = TimeoutError(
-                    f"task exceeded --timeout {config.timeout_s:g}s")
+                    f"task exceeded --timeout {policy.timeout_s:g}s")
                 finish_attempt(task,
                                _error_doc(task, attempts[task.task_id],
                                           timeout),
                                "TimeoutError")
     finally:
-        executor.shutdown(wait=not abandoned, cancel_futures=True)
+        if shared is None:
+            executor.shutdown(wait=not abandoned, cancel_futures=True)
 
 
 # -- reporting ----------------------------------------------------------------

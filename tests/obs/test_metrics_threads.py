@@ -1,0 +1,184 @@
+"""Concurrent MetricsRegistry use: the scenario-service sharing contract.
+
+``repro.serve`` shares one registry between the asyncio event loop,
+batch-execution threads, and pool callbacks.  These tests hammer the
+instruments from many threads while the main thread snapshots and
+``merge``-s, asserting **exact** totals — a bare ``+=`` on the instrument
+state loses updates under that load, so these tests pin the per-instrument
+locking in :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+N_THREADS = 8
+N_OPS = 5_000
+
+
+def _hammer(fn, n_threads=N_THREADS):
+    """Run ``fn(thread_index)`` on ``n_threads`` threads, re-raising errors."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def run(i: int) -> None:
+        try:
+            barrier.wait()
+            fn(i)
+        except BaseException as exc:   # noqa: BLE001 - surfaced to pytest
+            errors.append(exc)
+
+    threads = [threading.Thread(target=run, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+class TestConcurrentCounters:
+    def test_no_lost_increments(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def work(i: int) -> None:
+            c = reg.counter("serve.requests")
+            for _ in range(N_OPS):
+                c.inc()
+
+        _hammer(work)
+        assert reg.snapshot()["serve.requests"]["value"] == \
+            float(N_THREADS * N_OPS)
+
+    def test_concurrent_lookup_creates_one_instrument(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def work(i: int) -> None:
+            for _ in range(N_OPS):
+                reg.counter("serve.shared").inc(2.0)
+
+        _hammer(work)
+        assert reg.snapshot()["serve.shared"]["value"] == \
+            2.0 * N_THREADS * N_OPS
+
+    def test_snapshot_while_incrementing(self):
+        """Snapshots taken mid-hammer must be well-formed and monotone."""
+        reg = MetricsRegistry(enabled=True)
+        stop = threading.Event()
+        seen: list[float] = []
+
+        def snapshotter() -> None:
+            while not stop.is_set():
+                snap = reg.snapshot()
+                if "serve.live" in snap:
+                    seen.append(snap["serve.live"]["value"])
+
+        watcher = threading.Thread(target=snapshotter)
+        watcher.start()
+        try:
+            def work(i: int) -> None:
+                c = reg.counter("serve.live")
+                for _ in range(N_OPS):
+                    c.inc()
+            _hammer(work)
+        finally:
+            stop.set()
+            watcher.join()
+        assert reg.snapshot()["serve.live"]["value"] == \
+            float(N_THREADS * N_OPS)
+        assert all(a <= b for a, b in zip(seen, seen[1:]))
+
+
+class TestConcurrentHistograms:
+    def test_no_lost_observations(self):
+        reg = MetricsRegistry(enabled=True)
+        edges = (0.0, 1.0, 2.0, 4.0)
+
+        def work(i: int) -> None:
+            h = reg.histogram("serve.latency", edges=edges)
+            for k in range(N_OPS):
+                h.observe(float(k % 5))
+
+        _hammer(work)
+        snap = reg.snapshot()["serve.latency"]
+        assert snap["count"] == N_THREADS * N_OPS
+        assert snap["min"] == 0.0 and snap["max"] == 4.0
+        assert sum(snap["buckets"].values()) == N_THREADS * N_OPS
+        assert snap["sum"] == pytest.approx(
+            N_THREADS * sum(float(k % 5) for k in range(N_OPS)))
+
+    def test_observe_many_interleaved_with_observe(self):
+        reg = MetricsRegistry(enabled=True)
+
+        def work(i: int) -> None:
+            h = reg.histogram("serve.batch")
+            if i % 2:
+                for _ in range(N_OPS // 10):
+                    h.observe_many([0.5] * 10)
+            else:
+                for _ in range(N_OPS):
+                    h.observe(0.5)
+
+        _hammer(work)
+        snap = reg.snapshot()["serve.batch"]
+        assert snap["count"] == N_THREADS * N_OPS
+        assert snap["sum"] == pytest.approx(0.5 * N_THREADS * N_OPS)
+
+
+class TestConcurrentMerge:
+    def test_merge_while_hammering_source(self):
+        """merge() of live snapshots races the writers without exceptions,
+        and a final merge of the settled source is exact."""
+        source = MetricsRegistry(enabled=True)
+        sink = MetricsRegistry(enabled=True)
+        stop = threading.Event()
+
+        def merger() -> None:
+            while not stop.is_set():
+                fresh = MetricsRegistry(enabled=True)
+                fresh.merge(source.snapshot())   # must never raise
+
+        watcher = threading.Thread(target=merger)
+        watcher.start()
+        try:
+            def work(i: int) -> None:
+                for k in range(N_OPS):
+                    source.counter("serve.merged").inc()
+                    source.histogram("serve.hist").observe(float(k % 3))
+                    source.gauge("serve.depth").set(float(i))
+            _hammer(work)
+        finally:
+            stop.set()
+            watcher.join()
+        sink.merge(source.snapshot())
+        snap = sink.snapshot()
+        assert snap["serve.merged"]["value"] == float(N_THREADS * N_OPS)
+        assert snap["serve.hist"]["count"] == N_THREADS * N_OPS
+        assert snap["serve.depth"]["value"] in {float(i)
+                                                for i in range(N_THREADS)}
+
+    def test_parallel_merges_into_one_sink(self):
+        """Several threads merging worker snapshots into one summary
+        registry (the sweep/serve telemetry path) must not lose counts."""
+        worker_snap = None
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("serve.tasks").inc(3.0)
+        worker.histogram("serve.wall").observe_many([0.1, 0.2, 0.7])
+        worker_snap = worker.snapshot()
+        sink = MetricsRegistry(enabled=True)
+        merges_per_thread = 50
+
+        def work(i: int) -> None:
+            for _ in range(merges_per_thread):
+                sink.merge(worker_snap)
+
+        _hammer(work)
+        total = N_THREADS * merges_per_thread
+        snap = sink.snapshot()
+        assert snap["serve.tasks"]["value"] == 3.0 * total
+        assert snap["serve.wall"]["count"] == 3 * total
+        assert snap["serve.wall"]["sum"] == pytest.approx(1.0 * total)

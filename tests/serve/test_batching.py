@@ -1,0 +1,77 @@
+"""Batch formation (compatibility, coalescing, caps) and execution."""
+
+from __future__ import annotations
+
+from repro.core.scenario import frontier_spec
+from repro.serve.batching import (batch_key, execute_batch, form_batches,
+                                  PendingRequest)
+from repro.serve.protocol import ScenarioRequest
+from repro.sweep.runner import ExecPolicy
+
+SMALL = frontier_spec().scaled(6, 4, 4)
+OTHER = frontier_spec().scaled(4, 4, 4)
+
+
+def pending(probe="storage", spec=SMALL, seed=0):
+    req = ScenarioRequest(probe=probe, spec=spec, seed=seed)
+    return PendingRequest(req, req.task(), future=None, enqueued_at=0.0)
+
+
+class TestBatchKey:
+    def test_same_fabric_and_probe_share_a_key(self):
+        assert batch_key(pending(seed=0).task) == \
+            batch_key(pending(seed=7).task)
+
+    def test_different_fabric_or_probe_split(self):
+        assert batch_key(pending().task) != \
+            batch_key(pending(spec=OTHER).task)
+        assert batch_key(pending().task) != \
+            batch_key(pending(probe="placement").task)
+
+
+class TestFormBatches:
+    def test_compatible_requests_form_one_batch(self):
+        items = [pending(seed=i) for i in range(5)]
+        batches = form_batches(items)
+        assert len(batches) == 1
+        assert batches[0] == items
+
+    def test_incompatible_requests_split(self):
+        items = [pending(), pending(spec=OTHER), pending(probe="placement")]
+        assert len(form_batches(items)) == 3
+
+    def test_max_batch_caps_unique_tasks(self):
+        items = [pending(seed=i) for i in range(5)]
+        batches = form_batches(items, max_batch=2)
+        assert [len(b) for b in batches] == [2, 2, 1]
+
+    def test_duplicates_ride_their_home_batch(self):
+        """A repeat of a task always joins the batch evaluating it, even
+        after the cap opened a newer batch for its key."""
+        a, b, c = pending(seed=0), pending(seed=1), pending(seed=2)
+        a2 = pending(seed=0)   # same task as a
+        batches = form_batches([a, b, c, a2], max_batch=2)
+        assert [len(b) for b in batches] == [3, 1]
+        assert a2 in batches[0]
+        assert c in batches[1]
+
+    def test_coalesced_duplicates_do_not_count_toward_the_cap(self):
+        items = [pending(seed=0) for _ in range(10)]
+        batches = form_batches(items, max_batch=2)
+        assert len(batches) == 1
+        assert len(batches[0]) == 10
+
+
+class TestExecuteBatch:
+    def test_docs_keyed_by_task_id(self):
+        tasks = [pending(seed=i).task for i in range(3)]
+        docs = execute_batch(tasks, ExecPolicy(workers=0))
+        assert sorted(docs) == sorted(t.task_id for t in tasks)
+        assert all(doc["status"] == "ok" for doc in docs.values())
+
+    def test_matches_direct_execution(self):
+        task = pending(seed=3).task
+        from repro.sweep.runner import execute_task
+        direct = execute_task(task, isolate_obs=False)
+        batched = execute_batch([task], ExecPolicy(workers=0))[task.task_id]
+        assert batched["values"] == direct["values"]

@@ -7,7 +7,8 @@ import os
 
 from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
                                    completed_ids, iter_artifacts,
-                                   load_artifact, write_artifact)
+                                   load_artifact, prune_artifacts,
+                                   write_artifact)
 
 
 def make_doc(task_id: str, status: str = "ok") -> dict:
@@ -90,3 +91,48 @@ class TestLedger:
             write_artifact(out, make_doc(tid))
         ids = [doc["task"]["id"] for doc in iter_artifacts(out)]
         assert ids == sorted(ids)
+
+
+class TestPrune:
+    def test_removes_errors_and_stale_keeps_ok(self, tmp_path):
+        out = str(tmp_path)
+        write_artifact(out, make_doc("aaaa000011112222", status="ok"))
+        write_artifact(out, make_doc("bbbb000011112222", status="error"))
+        old = make_doc("cccc000011112222")
+        old["schema"] = 0   # a previous ledger generation
+        (tmp_path / "cccc000011112222.json").write_text(json.dumps(old))
+        (tmp_path / "dddd000011112222.json").write_text(
+            json.dumps(make_doc("eeee000011112222")))   # id/filename mismatch
+
+        report = prune_artifacts(out)
+        assert report.scanned == 4
+        assert report.errors == 1
+        assert report.stale == 2
+        assert report.removed == 3
+        assert report.kept == 1
+        assert sorted(os.listdir(out)) == ["aaaa000011112222.json"]
+        assert "removed: 3" in report.counts_line()
+
+    def test_unreadable_files_are_counted_not_deleted(self, tmp_path):
+        (tmp_path / "junk.json").write_text("{not json")
+        (tmp_path / "list.json").write_text('["not", "ours"]')
+        (tmp_path / "notes.txt").write_text("ignored entirely")
+        report = prune_artifacts(str(tmp_path))
+        assert report.scanned == 2
+        assert report.unreadable == 2
+        assert report.removed == 0
+        assert sorted(os.listdir(str(tmp_path))) == [
+            "junk.json", "list.json", "notes.txt"]
+
+    def test_missing_directory_is_a_noop(self, tmp_path):
+        report = prune_artifacts(str(tmp_path / "never"))
+        assert report.scanned == report.removed == 0
+
+    def test_pruned_errors_leave_resume_gap(self, tmp_path):
+        """After --gc, a re-run retries exactly the pruned failures."""
+        out = str(tmp_path)
+        write_artifact(out, make_doc("aaaa000011112222", status="ok"))
+        write_artifact(out, make_doc("bbbb000011112222", status="error"))
+        prune_artifacts(out)
+        assert completed_ids(out) == {"aaaa000011112222"}
+        assert not os.path.exists(artifact_path(out, "bbbb000011112222"))

@@ -11,9 +11,11 @@ from __future__ import annotations
 import json
 import os
 
+from concurrent.futures import ProcessPoolExecutor
+
 from repro.core.scenario import frontier_spec
-from repro.sweep import (SweepConfig, SweepPlan, execute_task, results_table,
-                         run_sweep)
+from repro.sweep import (ExecPolicy, SweepConfig, SweepPlan, execute_task,
+                         execute_tasks, results_table, run_sweep)
 from repro.sweep.artifacts import artifact_path
 
 SMALL = frontier_spec().scaled(6, 4, 4)
@@ -191,6 +193,67 @@ class TestPoolSweep:
         assert doc["status"] == "error"
         assert doc["error"]["type"] == "TimeoutError"
         assert "--timeout" in doc["error"]["message"]
+
+
+class TestExecuteTasks:
+    """The reusable pool/timeout/retry core shared with repro.serve."""
+
+    def test_serial_delivers_one_result_per_task(self):
+        tasks = storage_plan(3).tasks
+        docs: list[dict] = []
+        execute_tasks(tasks, ExecPolicy(workers=0), on_result=docs.append)
+        assert sorted(d["task"]["id"] for d in docs) == \
+            sorted(t.task_id for t in tasks)
+        assert all(d["status"] == "ok" for d in docs)
+
+    def test_serial_retry_callbacks_fire(self):
+        tasks = SweepPlan.grid(SMALL, {}, probes=("failing",)).tasks
+        docs: list[dict] = []
+        retries: list[tuple[str, str]] = []
+        execute_tasks(tasks, ExecPolicy(workers=0, retries=2, backoff_s=0.0),
+                      on_result=docs.append,
+                      on_retry=lambda t, reason: retries.append(
+                          (t.task_id, reason)))
+        assert len(docs) == 1
+        assert docs[0]["status"] == "error"
+        assert docs[0]["timing"]["attempts"] == 3
+        assert retries == [(tasks[0].task_id, "RuntimeError")] * 2
+
+    def test_callbacks_default_to_noops(self):
+        tasks = SweepPlan.grid(SMALL, {}, probes=("failing",)).tasks
+        docs: list[dict] = []
+        execute_tasks(tasks, ExecPolicy(workers=0, retries=1, backoff_s=0.0),
+                      on_result=docs.append)
+        assert docs[0]["status"] == "error"
+
+    def test_external_executor_is_reused_not_shut_down(self):
+        """The scenario service's warm pool: many execute_tasks calls
+        through one caller-owned executor, which stays usable after."""
+        tasks = storage_plan(2).tasks
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            for _ in range(2):
+                docs: list[dict] = []
+                execute_tasks(tasks, ExecPolicy(workers=2, backoff_s=0.0),
+                              on_result=docs.append, executor=pool)
+                assert len(docs) == 2
+                assert all(d["status"] == "ok" for d in docs)
+            # still alive: a direct submit round-trips
+            assert pool.submit(int, "7").result() == 7
+
+    def test_pool_timeout_fires_on_timeout_callback(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_SLEEP_S", "1.2")
+        tasks = SweepPlan.grid(SMALL, {}, probes=("sleepy",)).tasks
+        docs: list[dict] = []
+        timed_out: list[str] = []
+        execute_tasks(tasks,
+                      ExecPolicy(workers=1, timeout_s=0.25, retries=0,
+                                 backoff_s=0.0),
+                      on_result=docs.append,
+                      on_timeout=lambda t: timed_out.append(t.task_id))
+        assert timed_out == [tasks[0].task_id]
+        assert docs[0]["status"] == "error"
+        assert docs[0]["error"]["type"] == "TimeoutError"
 
 
 class TestReporting:

@@ -330,6 +330,97 @@ class TestCompareVerb:
         assert "elcap" in capsys.readouterr().err
 
 
+class TestSweepGc:
+    """python -m repro sweep --gc (see repro.sweep.artifacts)."""
+
+    def test_gc_prunes_errors_and_reports_counts(self, tmp_path, capsys):
+        assert main(["sweep", "--probe", "failing", "--workers", "0",
+                     "--retries", "0", "--backoff", "0",
+                     "--out", str(tmp_path)]) == 1
+        assert main(["sweep", "--probe", "storage", "--workers", "0",
+                     "--backoff", "0", "--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["sweep", "--gc", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "removed: 1" in out and "errors: 1" in out
+        assert "kept: 1" in out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_gc_on_missing_directory(self, tmp_path, capsys):
+        assert main(["sweep", "--gc", "--out", str(tmp_path / "never")]) == 0
+        assert "scanned: 0" in capsys.readouterr().out
+
+
+class TestServeQueryVerbs:
+    """python -m repro serve / query (see repro.serve)."""
+
+    def teardown_method(self):
+        from repro import obs
+        obs.disable()
+        obs.reset()
+
+    @staticmethod
+    def query_args(tmp_path, *extra):
+        return ["query", "--local", "--probe", "storage",
+                "--scaled", "6", "4", "4", *extra]
+
+    def test_query_local_cold_path(self, tmp_path, capsys):
+        assert main(self.query_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "ok: 1/1" in out
+
+    def test_query_local_json_documents(self, tmp_path, capsys):
+        assert main(self.query_args(tmp_path, "--count", "2", "--distinct",
+                                    "--json")) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        docs = [json.loads(line) for line in lines[:-1]]
+        assert len(docs) == 2
+        assert all(doc["status"] == "ok" for doc in docs)
+        assert docs[0]["task_id"] != docs[1]["task_id"]
+        assert "ok: 2/2" in lines[-1]
+
+    def test_query_spec_and_family_conflict(self, tmp_path, capsys):
+        assert main(["query", "--local", "--spec", "x.json",
+                     "--family", "summit"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_query_unknown_family_is_a_usage_error(self, capsys):
+        assert main(["query", "--local", "--family", "nope"]) == 2
+        assert "unknown machine family" in capsys.readouterr().err
+
+    def test_query_unreachable_service_is_a_usage_error(self, capsys):
+        assert main(["query", "--host", "127.0.0.1", "--port", "1",
+                     "--probe", "storage"]) == 2
+        assert "query:" in capsys.readouterr().err
+
+    def test_serve_stdio_end_to_end(self, tmp_path, capsys, monkeypatch):
+        """The README's curl-free example: request lines in, answers out."""
+        import os
+        import sys as _sys
+        lines = (
+            '{"id":"r1","probe":"storage","scaled":[6,4,4]}\n'
+            '{"id":"r2","probe":"storage","scaled":[6,4,4],"seed":1}\n'
+            '{"id":"r1b","probe":"storage","scaled":[6,4,4]}\n')
+        read_fd, write_fd = os.pipe()
+        os.write(write_fd, lines.encode())
+        os.close(write_fd)
+        stdin = os.fdopen(read_fd)
+        monkeypatch.setattr(_sys, "stdin", stdin)
+        assert main(["serve", "--stdio", "--out", str(tmp_path),
+                     "--batch-window-ms", "5"]) == 0
+        captured = capsys.readouterr()
+        docs = [json.loads(line)
+                for line in captured.out.strip().splitlines()]
+        by_id = {doc["id"]: doc for doc in docs}
+        assert set(by_id) == {"r1", "r2", "r1b"}
+        assert all(doc["status"] == "ok" for doc in docs)
+        # r1 and r1b are the identical task: one evaluation, shared answer
+        assert by_id["r1"]["task_id"] == by_id["r1b"]["task_id"]
+        assert "answered 3 request(s)" in captured.err
+        # misses were written back to the shared sweep ledger
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+
 class TestVerbDocumentation:
     """Every registered verb must be documented (the tables drift
     otherwise: this is the sync contract named in ``repro.__main__``)."""

@@ -47,11 +47,16 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                engine against the analytic MTTI/efficiency models)
 ``congest``    time-stepped congestion study: an incast (N senders ->
                one victim plus elephants) run once without backpressure
-               and once per ECN marking threshold (``--k`` sweep);
-               prints the victim-tail table and writes a resumable
-               artifact under ``benchmarks/out/congest`` (``--validate``
-               scores the fluid engine against the analytic
-               ``CongestionControl`` impact factor, tol ±15%)
+               and once per ECN marking threshold (``--k`` sweep), all
+               arms integrated as one batched ensemble
+               (``--sequential`` keeps the per-arm oracle loop, with a
+               byte-identical artifact); prints the victim-tail table
+               and writes a resumable artifact under
+               ``benchmarks/out/congest``; ``--backoffs B1,B2`` runs
+               the k x backoff ablation grid instead (one ensemble, not
+               cached); ``--validate`` scores the fluid engine against
+               the analytic ``CongestionControl`` impact factor
+               (tol ±15%)
 ``compare``    cross-machine study over the family registry
                (``--families``, default Frontier/Summit/Aurora):
                Table 6/7 app FOMs evaluated against every family plus a
@@ -402,6 +407,9 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
     summary = run_sweep(plan, config, progress=print if args.verbose else None)
     print(f"\nsweep: {summary.counts_line()} | "
           f"wall: {summary.wall_time_s:.2f}s | artifacts: {config.out_dir}")
+    cache_line = summary.topology_cache_line()
+    if cache_line is not None:
+        print(cache_line)
     docs = sorted(summary.artifacts.values(), key=lambda d: d["task"]["id"])
     if docs:
         print()
@@ -548,6 +556,7 @@ def _cmd_compare(args: "argparse.Namespace") -> int:
 
 def _cmd_congest(args: "argparse.Namespace") -> int:
     from repro.fabric.timeflow import (CongestConfig, run_congest_cached,
+                                       run_congest_grid,
                                        validate_victim_impact)
 
     if args.validate:
@@ -570,8 +579,32 @@ def _cmd_congest(args: "argparse.Namespace") -> int:
         include_fifo=not args.no_fifo, fanin=args.fanin, duty=args.duty,
         elephants=args.elephants, horizon_s=args.horizon_us * 1e-6,
         seed=args.seed)
+    if args.backoffs:
+        backoffs = tuple(float(b) for b in args.backoffs.split(",") if b)
+        doc = run_congest_grid(spec, config, backoffs=backoffs)
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        print(f"congest grid: {doc['network']} | "
+              f"{len(config.ks)} k x {len(backoffs)} backoff cells | "
+              f"{config.horizon_s * 1e6:g} us horizon (one ensemble)")
+        table = Table(["Cell", "Victim p50 us", "Victim p99 us",
+                       "Completed", "Congestor GB/s", "Max queue MTUs",
+                       "Marks"],
+                      title="k x backoff ablation grid", float_fmt="{:.4g}")
+        for cell in doc["cells"]:
+            name = ("fifo" if cell["mode"] == "fifo"
+                    else f"k{cell['ecn_k']:g} b{cell['backoff']:g}")
+            table.add_row([
+                name, cell["victim_p50_s"] * 1e6,
+                cell["victim_p99_s"] * 1e6, cell["victim_completed"],
+                cell["congestor_goodput_bytes_per_s"] / 1e9,
+                cell["max_queue_mtus"], cell["marks"]])
+        print(table.render())
+        return 0
     doc, path, resumed = run_congest_cached(spec, config, out_dir=args.out,
-                                            fresh=args.fresh)
+                                            fresh=args.fresh,
+                                            sequential=args.sequential)
     if args.json:
         print(json.dumps(doc, indent=2, sort_keys=True))
         return 0
@@ -882,6 +915,15 @@ def build_parser() -> argparse.ArgumentParser:
                                             "microseconds (default 300)")
     congest.add_argument("--seed", type=int, default=0,
                          help="RNG seed (elephant start times; default 0)")
+    congest.add_argument("--sequential", action="store_true",
+                         help="integrate one engine run per arm instead "
+                              "of one batched ensemble (the oracle the "
+                              "ensemble is bit-identical to)")
+    congest.add_argument("--backoffs", metavar="B1,B2",
+                         help="run the k x backoff ablation grid with "
+                              "these multiplicative-decrease factors "
+                              "(e.g. 0.25,0.5,0.75) instead of the "
+                              "k-sweep study; grids are not cached")
     congest.add_argument("--validate", action="store_true",
                          help="run the analytic cross-validation gate "
                               "and exit (nonzero on failure)")

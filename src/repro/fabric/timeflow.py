@@ -60,9 +60,11 @@ from repro.rng import RngLike, as_generator
 
 __all__ = [
     "FlowSpec", "TimeflowConfig", "ClassReport", "TimeflowResult",
-    "TimeflowEngine", "fct_stats", "incast_pattern",
+    "TimeflowEngine", "EnsembleEngine", "ENSEMBLE_SHARED_AXES",
+    "fct_stats", "incast_pattern",
     "ImpactValidation", "validate_victim_impact",
     "CongestConfig", "run_congest", "run_congest_cached",
+    "run_congest_grid",
     "congest_run_id", "congest_artifact_path", "load_congest_artifact",
     "DEFAULT_CONGEST_DIR", "CONGEST_SCHEMA_VERSION",
 ]
@@ -76,6 +78,31 @@ CONGEST_SCHEMA_VERSION = 1
 #: Fraction of line rate a single uncontrolled stream sustains (protocol
 #: overheads; matches ``repro.fabric.network.STREAM_EFFICIENCY``).
 PEAK_EFFICIENCY = 0.70
+
+
+try:
+    from scipy.sparse import _sparsetools as _spt
+
+    def _csr_matmul_into(A: "sparse.csr_matrix", x: np.ndarray,
+                         out: np.ndarray) -> np.ndarray:
+        """``out[...] = A @ x`` into a preallocated dense buffer.
+
+        Calls the same ``csr_matvecs`` kernel scipy's ``@`` dispatches
+        to (so per-column accumulation order — and therefore bits —
+        match the scalar matvec exactly) but skips the per-call result
+        allocation and dispatch that dominate small-operand matmuls in
+        the ensemble step loop.
+        """
+        out.fill(0.0)
+        _spt.csr_matvecs(A.shape[0], A.shape[1], x.shape[1],
+                         A.indptr, A.indices, A.data,
+                         x.ravel(), out.ravel())
+        return out
+except ImportError:  # pragma: no cover - scipy internals moved
+    def _csr_matmul_into(A: "sparse.csr_matrix", x: np.ndarray,
+                         out: np.ndarray) -> np.ndarray:
+        out[...] = A @ x
+        return out
 
 
 # -- traffic sources ----------------------------------------------------------
@@ -318,24 +345,115 @@ class TimeflowEngine:
         else:
             self.base_latency = hops * self.config.mtu_bytes / min_cap
 
-    def run(self) -> TimeflowResult:
-        """Step the fluid model to the horizon and extract statistics."""
-        cfg = self.config
-        flows = self.flows
-        n = len(flows)
-        dt = cfg.dt_s
-        n_steps = int(round(cfg.horizon_s / dt))
-        control_every = max(1, int(round(cfg.control_interval_s / dt)))
-        threshold = cfg.ecn_k * cfg.mtu_bytes
+    def _flow_arrays(self) -> dict[str, Any]:
+        """Static per-flow arrays shared by the scalar and ensemble loops.
 
+        Everything here is loop-invariant: sizes, start times, the
+        bursty index set with its precomputed on-window lengths, each
+        flow's class name and repeat flag.  Hoisting it out of the step
+        loop is a pure-overhead win (the per-step ``np.flatnonzero`` and
+        attribute lookups it replaces dominated the scalar profile) and
+        keeps both integration paths reading the identical values.
+        """
+        flows = self.flows
         size = np.array([f.size_bytes if f.size_bytes is not None
                          else np.inf for f in flows])
         start = np.array([f.start_s for f in flows])
         duty = np.array([f.burst_duty for f in flows])
         period = np.array([f.burst_period_s or 1.0 for f in flows])
-        bursty = duty < 1.0
+        b_idx = np.flatnonzero(duty < 1.0)
         cls_names = sorted({f.cls for f in flows})
-        cls_idx = np.array([cls_names.index(f.cls) for f in flows])
+        return {
+            "size": size, "start": start, "finite": np.isfinite(size),
+            "b_idx": b_idx, "start_b": start[b_idx],
+            "period_b": period[b_idx],
+            "on_b": duty[b_idx] * period[b_idx],
+            "cls_names": cls_names,
+            "cls_idx": np.array([cls_names.index(f.cls) for f in flows]),
+            "cls_of": [f.cls for f in flows],
+            "repeats": np.array([f.repeat for f in flows], dtype=bool),
+        }
+
+    def _finalise(self, cfg: TimeflowConfig, *, st: dict[str, Any],
+                  injected: np.ndarray, completed: np.ndarray,
+                  fct: dict[str, list[float]], wire: dict[str, list[float]],
+                  arr_sum: np.ndarray, max_q: float, marks: int,
+                  n_steps: int) -> TimeflowResult:
+        """One scenario's statistics + counters (scalar run or one column)."""
+        horizon = n_steps * cfg.dt_s
+        mean_rates = injected / horizon
+        classes: dict[str, ClassReport] = {}
+        fct_arr = {c: np.asarray(v) for c, v in fct.items()}
+        wire_arr = {c: np.asarray(v) for c, v in wire.items()}
+        for i, c in enumerate(st["cls_names"]):
+            sel = st["cls_idx"] == i
+            classes[c] = ClassReport(
+                cls=c, completed=int(completed[sel].sum()),
+                fct=fct_stats(fct_arr[c]), latency=fct_stats(wire_arr[c]),
+                bytes_injected=float(injected[sel].sum()),
+                goodput=float(injected[sel].sum()) / horizon)
+
+        obs.counter("fabric.timeflow.steps").inc(n_steps)
+        obs.counter("fabric.timeflow.flows").inc(len(self.flows))
+        obs.counter("fabric.timeflow.marks").inc(marks)
+        obs.counter("fabric.timeflow.completions").inc(
+            int(completed.sum()))
+        for c in st["cls_names"]:
+            if wire_arr[c].size:
+                obs.histogram("fabric.timeflow.latency_s").observe_many(
+                    wire_arr[c])
+        util = arr_sum / n_steps / self.caps
+        return TimeflowResult(
+            config=cfg, classes=classes, fct_samples=fct_arr,
+            latency_samples=wire_arr, mean_rates=mean_rates,
+            max_queue_bytes=max_q,
+            max_link_utilisation=float(np.minimum(util, 1.0).max()),
+            marks=marks, steps=n_steps)
+
+    def _check_shared_axes(self, cfg: TimeflowConfig) -> None:
+        """Reject a config whose time grid/precompute axes differ from ours.
+
+        Path planning is load-adaptive (UGAL draws Valiant candidates
+        from the router's RNG), so two engine constructions over the
+        same network may plan different paths.  Bit-identical
+        sequential-vs-ensemble comparisons therefore reuse ONE engine —
+        ``run(config=...)`` / ``run_ensemble`` — and only the control
+        knobs may vary; anything feeding the precompute must match.
+        """
+        for name in ENSEMBLE_SHARED_AXES:
+            if getattr(cfg, name) != getattr(self.config, name):
+                raise ConfigurationError(
+                    f"scenarios over one engine must share {name}: "
+                    f"{getattr(cfg, name)!r} != "
+                    f"{getattr(self.config, name)!r}")
+
+    def run(self, config: TimeflowConfig | None = None) -> TimeflowResult:
+        """Step the fluid model to the horizon and extract statistics.
+
+        ``config`` overrides the control knobs for this run while
+        reusing the engine's planned paths and incidence — the scalar
+        face of :meth:`run_ensemble`, and the oracle one ensemble column
+        is compared against (same plan, different code path).
+        """
+        if config is None:
+            cfg = self.config
+        else:
+            self._check_shared_axes(config)
+            cfg = config
+        n = len(self.flows)
+        dt = cfg.dt_s
+        n_steps = int(round(cfg.horizon_s / dt))
+        control_every = max(1, int(round(cfg.control_interval_s / dt)))
+        threshold = cfg.ecn_k * cfg.mtu_bytes
+
+        st = self._flow_arrays()
+        size, start, finite = st["size"], st["start"], st["finite"]
+        b_idx, start_b = st["b_idx"], st["start_b"]
+        period_b, on_b = st["period_b"], st["on_b"]
+        cls_of, repeats = st["cls_of"], st["repeats"]
+        # Control-loop bounds are loop-invariant too (scalar x peak).
+        rate_floor = cfg.min_rate_frac * self.peak
+        growth = cfg.growth_frac * self.peak
 
         rate = self.rate_cap.copy()
         remaining = size.copy()
@@ -345,22 +463,22 @@ class TimeflowEngine:
         completed = np.zeros(n, dtype=np.int64)
         q = np.zeros(len(self.caps))
         arr_sum = np.zeros(len(self.caps))
-        fct: dict[str, list[float]] = {c: [] for c in cls_names}
-        wire: dict[str, list[float]] = {c: [] for c in cls_names}
+        fct: dict[str, list[float]] = {c: [] for c in st["cls_names"]}
+        wire: dict[str, list[float]] = {c: [] for c in st["cls_names"]}
         max_q = 0.0
         marks = 0
-        finite = np.isfinite(size)
 
         with obs.span("fabric.timeflow.run", n_flows=n, steps=n_steps,
                       ecn=cfg.ecn, ecn_k=cfg.ecn_k):
             for step in range(n_steps):
                 t = step * dt
                 on = ~done & (start <= t)
-                if bursty.any():
-                    b = bursty & on
-                    phase = np.mod(t - start[b], period[b])
-                    gated = phase >= duty[b] * period[b]
-                    on[np.flatnonzero(b)[gated]] = False
+                if b_idx.size:
+                    # Gating a flow that is already off is a no-op, so
+                    # the phase test needs no per-step ``bursty & on``
+                    # recomputation — only the static bursty index set.
+                    phase = np.mod(t - start_b, period_b)
+                    on[b_idx[phase >= on_b]] = False
 
                 inj = np.where(on, np.minimum(rate, remaining / dt), 0.0)
                 arrivals = self.A @ inj
@@ -379,9 +497,8 @@ class TimeflowEngine:
                     else:
                         fm = np.zeros(n, dtype=bool)
                     grow = on & ~fm
-                    rate[grow] += cfg.growth_frac * self.peak[grow]
-                    np.clip(rate, cfg.min_rate_frac * self.peak,
-                            self.rate_cap, out=rate)
+                    rate[grow] += growth[grow]
+                    np.clip(rate, rate_floor, self.rate_cap, out=rate)
 
                 injected += inj * dt
                 remaining -= inj * dt
@@ -392,44 +509,204 @@ class TimeflowEngine:
                     for f in np.flatnonzero(finishing):
                         completed[f] += 1
                         if t_end >= cfg.warmup_s:
-                            fct[flows[f].cls].append(
+                            fct[cls_of[f]].append(
                                 t_end - xfer_start[f] + delay[f])
-                            wire[flows[f].cls].append(float(delay[f]))
-                        if flows[f].repeat:
+                            wire[cls_of[f]].append(float(delay[f]))
+                        if repeats[f]:
                             remaining[f] = size[f]
                             xfer_start[f] = t_end
                         else:
                             done[f] = True
 
-        horizon = n_steps * dt
-        mean_rates = injected / horizon
-        classes: dict[str, ClassReport] = {}
-        fct_arr = {c: np.asarray(v) for c, v in fct.items()}
-        wire_arr = {c: np.asarray(v) for c, v in wire.items()}
-        for i, c in enumerate(cls_names):
-            sel = cls_idx == i
-            classes[c] = ClassReport(
-                cls=c, completed=int(completed[sel].sum()),
-                fct=fct_stats(fct_arr[c]), latency=fct_stats(wire_arr[c]),
-                bytes_injected=float(injected[sel].sum()),
-                goodput=float(injected[sel].sum()) / horizon)
+        return self._finalise(cfg, st=st, injected=injected,
+                              completed=completed, fct=fct, wire=wire,
+                              arr_sum=arr_sum, max_q=max_q, marks=marks,
+                              n_steps=n_steps)
 
-        obs.counter("fabric.timeflow.steps").inc(n_steps)
-        obs.counter("fabric.timeflow.flows").inc(n)
-        obs.counter("fabric.timeflow.marks").inc(marks)
-        obs.counter("fabric.timeflow.completions").inc(
-            int(completed.sum()))
-        for c in cls_names:
-            if wire_arr[c].size:
-                obs.histogram("fabric.timeflow.latency_s").observe_many(
-                    wire_arr[c])
-        util = arr_sum / n_steps / self.caps
-        return TimeflowResult(
-            config=cfg, classes=classes, fct_samples=fct_arr,
-            latency_samples=wire_arr, mean_rates=mean_rates,
-            max_queue_bytes=max_q,
-            max_link_utilisation=float(np.minimum(util, 1.0).max()),
-            marks=marks, steps=n_steps)
+    def run_ensemble(self, configs: Sequence[TimeflowConfig]
+                     ) -> tuple[TimeflowResult, ...]:
+        """Integrate ``S = len(configs)`` scenarios as one batched run.
+
+        Rates, queues, and AIMD state become ``(S, flows)`` /
+        ``(links, S)`` arrays and the per-step arrival matvec becomes one
+        sparse matmul ``A @ R.T -> (links, S)``, so the whole ensemble
+        costs one step loop instead of S.  Per-scenario control
+        parameters (``ecn``, ``ecn_k``, ``backoff``, ``growth_frac``,
+        ``min_rate_frac``, ``warmup_s``) live in per-column vectors; the
+        axes that shape the time grid and the precompute
+        (:data:`ENSEMBLE_SHARED_AXES`) must match this engine's config.
+
+        Contract (the ``chunk=1`` idiom of :mod:`repro.fabric.batchroute`,
+        pinned by the oracle tests and ``bench_congest_ensemble.py``):
+        every returned :class:`TimeflowResult` is **bit-identical** to
+        ``TimeflowEngine(net, flows, configs[s]).run()`` — CSR
+        column-matmuls accumulate in the same order as the scalar
+        matvec, and every per-column arithmetic op mirrors the scalar
+        expression exactly.
+        """
+        configs = tuple(configs)
+        if not configs:
+            raise ConfigurationError("an ensemble needs at least one scenario")
+        for cfg in configs:
+            self._check_shared_axes(cfg)
+        S = len(configs)
+        n = len(self.flows)
+        n_links = len(self.caps)
+        dt = self.config.dt_s
+        n_steps = int(round(self.config.horizon_s / dt))
+        control_every = max(1, int(round(self.config.control_interval_s / dt)))
+
+        st = self._flow_arrays()
+        size, start, finite = st["size"], st["start"], st["finite"]
+        b_idx, start_b = st["b_idx"], st["start_b"]
+        period_b, on_b = st["period_b"], st["on_b"]
+        cls_of, repeats = st["cls_of"], st["repeats"]
+
+        # Only links on some flow's path ever see arrivals; everywhere
+        # else the queue is pinned at zero and contributes exact zeros
+        # to every max, mark, and delay sum.  Restricting the
+        # integration to those rows keeps the per-step arrays tiny and
+        # is bit-identity-preserving: CSR row/column slicing keeps each
+        # surviving row's accumulation order, and every dropped term is
+        # an exact ``0.0`` (adding it could not change any float sum).
+        active = np.flatnonzero(np.diff(self.A.indptr))
+        A_act = self.A[active]
+        AT_act = A_act.T.tocsr()
+        na = active.size
+
+        # Per-column (scenario) control parameters, broadcast-ready.
+        # Products mirror the scalar expressions element-for-element
+        # (``c.ecn_k * c.mtu_bytes``, ``1.0 - c.backoff``,
+        # ``c.growth_frac * peak[f]``) so columns stay bit-identical.
+        ecn_row = np.array([c.ecn for c in configs], dtype=bool)[None, :]
+        any_ecn = bool(ecn_row.any())
+        threshold = np.array([c.ecn_k * c.mtu_bytes for c in configs])
+        keep = np.array([1.0 - c.backoff for c in configs])[None, :]
+        growth = (self.peak[:, None]
+                  * np.array([c.growth_frac for c in configs])[None, :])
+        rate_floor = (self.peak[:, None]
+                      * np.array([c.min_rate_frac for c in configs])[None, :])
+        rate_cap_col = self.rate_cap[:, None]
+        warmup = [c.warmup_s for c in configs]
+
+        # Flow state is (flows, S): column s IS scenario s, and the
+        # per-step injections land C-contiguous for the matmul.
+        start_col = start[:, None]
+        finite_col = finite[:, None]
+        rate = np.repeat(rate_cap_col, S, axis=1)
+        remaining = np.repeat(size[:, None], S, axis=1)
+        xfer_start = np.repeat(start_col, S, axis=1)
+        injected = np.zeros((n, S))
+        done = np.zeros((n, S), dtype=bool)
+        completed = np.zeros((n, S), dtype=np.int64)
+        q = np.zeros((na, S))
+        arr_sum = np.zeros((na, S))
+        arrivals = np.empty((na, S))
+        diff = np.empty((na, S))
+        qpeak = np.zeros((na, S))
+        qn = np.empty((na, S))
+        caps_act = self.caps[active][:, None]
+        fct = [{c: [] for c in st["cls_names"]} for _ in range(S)]
+        wire = [{c: [] for c in st["cls_names"]} for _ in range(S)]
+        marks = np.zeros(S, dtype=np.int64)
+
+        with obs.span("fabric.timeflow.ensemble", scenarios=S,
+                      n_flows=n, steps=n_steps):
+            for step in range(n_steps):
+                t = step * dt
+                on = ~done & (start_col <= t)
+                if b_idx.size:
+                    phase = np.mod(t - start_b, period_b)
+                    on[b_idx[phase >= on_b], :] = False
+
+                inj = np.where(on, np.minimum(rate, remaining / dt), 0.0)
+                _csr_matmul_into(A_act, inj, arrivals)  # one matmul per step
+                arr_sum += arrivals
+                np.subtract(arrivals, caps_act, out=diff)
+                diff *= dt
+                q += diff
+                np.maximum(q, 0.0, out=q)     # == np.clip(q, 0.0, None)
+                np.maximum(qpeak, q, out=qpeak)
+
+                if any_ecn and step % control_every == 0:
+                    marked = q > threshold[None, :]
+                    fm = (AT_act @ marked.astype(np.int8)) > 0
+                    fm &= on
+                    fm &= ecn_row
+                    marks += fm.sum(axis=0)
+                    rate = np.where(fm, rate * keep, rate)
+                    grow = on & ~fm & ecn_row
+                    rate = np.where(grow, rate + growth, rate)
+                    # FIFO columns never clip: a sub-floor rate_limit
+                    # must stay where the scalar FIFO path leaves it.
+                    rate = np.where(
+                        ecn_row,
+                        np.clip(rate, rate_floor, rate_cap_col),
+                        rate)
+
+                injected += inj * dt
+                remaining -= inj * dt
+                finishing = finite_col & ~done & (remaining <= 1e-9) & on
+                if finishing.any():
+                    t_end = t + dt
+                    np.divide(q, caps_act, out=qn)
+                    delay = self.base_latency[:, None] + AT_act @ qn
+                    for s in np.flatnonzero(finishing.any(axis=0)):
+                        for f in np.flatnonzero(finishing[:, s]):
+                            completed[f, s] += 1
+                            if t_end >= warmup[s]:
+                                fct[s][cls_of[f]].append(
+                                    t_end - xfer_start[f, s] + delay[f, s])
+                                wire[s][cls_of[f]].append(float(delay[f, s]))
+                            if repeats[f]:
+                                remaining[f, s] = size[f]
+                                xfer_start[f, s] = t_end
+                            else:
+                                done[f, s] = True
+
+        max_q = qpeak.max(axis=0) if na else np.zeros(S)
+        arr_sum_full = np.zeros((n_links, S))
+        arr_sum_full[active] = arr_sum
+        obs.counter("fabric.timeflow.ensemble_runs").inc()
+        obs.counter("fabric.timeflow.ensemble_scenarios").inc(S)
+        return tuple(
+            self._finalise(cfg, st=st, injected=injected[:, s],
+                           completed=completed[:, s], fct=fct[s], wire=wire[s],
+                           arr_sum=arr_sum_full[:, s], max_q=float(max_q[s]),
+                           marks=int(marks[s]), n_steps=n_steps)
+            for s, cfg in enumerate(configs))
+
+
+#: :class:`TimeflowConfig` axes every scenario of one ensemble must share:
+#: they define the time grid, marking cadence, and the per-flow precompute
+#: (peak rates, unloaded latencies), so they cannot vary per column.
+ENSEMBLE_SHARED_AXES = ("dt_s", "horizon_s", "mtu_bytes",
+                        "control_interval_s", "base_latency_s")
+
+
+class EnsembleEngine:
+    """S scenarios over one traffic phase: one precompute, one step loop.
+
+    The batched face of :class:`TimeflowEngine`: paths are planned and
+    the CSR incidence built once (for ``configs[0]`` — every scenario
+    must share the :data:`ENSEMBLE_SHARED_AXES`), then
+    :meth:`TimeflowEngine.run_ensemble` integrates all scenarios
+    simultaneously.  Each returned result is bit-identical to a
+    sequential run of its config.
+    """
+
+    def __init__(self, network, flows: Sequence[FlowSpec],
+                 configs: Sequence[TimeflowConfig],
+                 chunk: int | None = None):
+        configs = tuple(configs)
+        if not configs:
+            raise ConfigurationError("an ensemble needs at least one scenario")
+        self.configs = configs
+        self.engine = TimeflowEngine(network, flows, configs[0], chunk=chunk)
+
+    def run(self) -> tuple[TimeflowResult, ...]:
+        """One :class:`TimeflowResult` per config, in config order."""
+        return self.engine.run_ensemble(self.configs)
 
 
 # -- traffic patterns ---------------------------------------------------------
@@ -617,10 +894,13 @@ class CongestConfig:
     seed: int = 0
 
     def __post_init__(self) -> None:
-        if not self.ks and not self.include_fifo:
-            raise ConfigurationError("a congest study needs at least one arm")
         if any(k < 1 for k in self.ks):
             raise ConfigurationError("ECN thresholds must be >= 1 MTU")
+        # Dedupe, keeping first-occurrence order: a duplicated k used to
+        # silently double the study's work (sequential *and* ensemble).
+        object.__setattr__(self, "ks", tuple(dict.fromkeys(self.ks)))
+        if not self.ks and not self.include_fifo:
+            raise ConfigurationError("a congest study needs at least one arm")
         if not 0.0 <= self.warmup_frac < 1.0:
             raise ConfigurationError("warmup_frac must be in [0, 1)")
 
@@ -645,13 +925,25 @@ def _study_network(spec, seed: int):
     return spec, spec.build_network(rng=seed)
 
 
-def run_congest(spec, config: CongestConfig | None = None) -> dict[str, Any]:
+def run_congest(spec, config: CongestConfig | None = None, *,
+                sequential: bool = False) -> dict[str, Any]:
     """Run the k-sweep incast study for ``spec``; returns the artifact doc.
 
     Arms: one FIFO (no backpressure) run plus one ECN run per threshold
     in ``config.ks``, all over the identical traffic pattern, so the
     victim's tail across arms is the GPCNeT Table-5 story told by
     simulation: unbounded under FIFO, pinned near ``k`` MTUs under ECN.
+
+    Every arm shares the topology, the flows, and one path plan (UGAL
+    planning is RNG-fed, so the paths are planned once and reused —
+    never re-planned per arm), so by default the whole sweep integrates
+    as **one ensemble** (:meth:`TimeflowEngine.run_ensemble` — one step
+    loop, one sparse matmul per step).  ``sequential=True`` runs the
+    scalar per-arm loop over the same engine: the oracle the ensemble
+    is bit-identical to, asserted by the CI congest smoke and
+    ``bench_congest_ensemble.py``.  Both paths produce byte-identical
+    artifact documents, so run ids, resume, and the sweep ledger are
+    untouched.
     """
     config = config if config is not None else CongestConfig()
     run_spec, net = _study_network(spec, config.seed)
@@ -659,22 +951,26 @@ def run_congest(spec, config: CongestConfig | None = None) -> dict[str, Any]:
         net, fanin=config.fanin, duty=config.duty,
         burst_period_s=config.burst_period_s, elephants=config.elephants,
         rng=config.seed)
-    arms: list[dict[str, Any]] = []
-    with obs.span("fabric.timeflow.study", arms=len(config.ks)
-                  + bool(config.include_fifo)):
-        modes: list[tuple[str, float]] = []
-        if config.include_fifo:
-            modes.append(("fifo", 0.0))
-        modes.extend(("ecn", float(k)) for k in config.ks)
-        for mode, k in modes:
-            cfg = TimeflowConfig(dt_s=config.dt_s,
-                                 horizon_s=config.horizon_s,
-                                 ecn=(mode == "ecn"), ecn_k=k,
-                                 warmup_s=config.warmup_frac
-                                 * config.horizon_s)
-            result = TimeflowEngine(net, flows, cfg).run()
-            arms.append({"mode": mode, "ecn_k": k if mode == "ecn" else None,
-                         **result.to_doc()})
+    modes: list[tuple[str, float]] = []
+    if config.include_fifo:
+        modes.append(("fifo", 0.0))
+    modes.extend(("ecn", float(k)) for k in config.ks)
+    cfgs = [TimeflowConfig(dt_s=config.dt_s, horizon_s=config.horizon_s,
+                           ecn=(mode == "ecn"), ecn_k=k,
+                           warmup_s=config.warmup_frac * config.horizon_s)
+            for mode, k in modes]
+    engine = TimeflowEngine(net, flows, cfgs[0])
+    with obs.span("fabric.timeflow.study", arms=len(modes),
+                  ensemble=not sequential):
+        if sequential:
+            results: Sequence[TimeflowResult] = [
+                engine.run(cfg) for cfg in cfgs]
+        else:
+            results = engine.run_ensemble(cfgs)
+    arms: list[dict[str, Any]] = [
+        {"mode": mode, "ecn_k": k if mode == "ecn" else None,
+         **result.to_doc()}
+        for (mode, k), result in zip(modes, results)]
     doc: dict[str, Any] = {
         "schema": CONGEST_SCHEMA_VERSION,
         "status": "ok",
@@ -728,9 +1024,14 @@ def load_congest_artifact(out_dir: str, run_id: str) -> dict[str, Any] | None:
 
 def run_congest_cached(spec, config: CongestConfig | None = None, *,
                        out_dir: str = DEFAULT_CONGEST_DIR,
-                       fresh: bool = False
+                       fresh: bool = False, sequential: bool = False
                        ) -> tuple[dict[str, Any], str, bool]:
-    """Run (or resume) a congest study; returns (doc, path, resumed)."""
+    """Run (or resume) a congest study; returns (doc, path, resumed).
+
+    ``sequential`` selects the per-arm integration loop instead of the
+    ensemble; the documents are byte-identical either way, so the run id
+    and the resume contract do not see the switch.
+    """
     from repro.obs.export import write_json
     config = config if config is not None else CongestConfig()
     run_id = congest_run_id(spec, config)
@@ -740,7 +1041,72 @@ def run_congest_cached(spec, config: CongestConfig | None = None, *,
         if doc is not None:
             obs.counter("fabric.timeflow.artifacts_resumed").inc()
             return doc, path, True
-    doc = run_congest(spec, config)
+    doc = run_congest(spec, config, sequential=sequential)
     write_json(path, doc)
     obs.counter("fabric.timeflow.artifacts_written").inc()
     return doc, path, False
+
+
+def run_congest_grid(spec, config: CongestConfig | None = None, *,
+                     backoffs: Sequence[float] = (0.25, 0.5, 0.75),
+                     ) -> dict[str, Any]:
+    """The ``k x backoff`` congestion-control ablation grid, one ensemble.
+
+    The PR-6 follow-on the batched engine makes affordable: every
+    ``(ecn_k, backoff)`` cell — plus the FIFO reference when
+    ``config.include_fifo`` — shares the incast flows and incidence, so
+    a ``len(ks) x len(backoffs)`` grid costs one integration instead of
+    one engine run per cell.  Each cell is bit-identical to a
+    sequential :class:`TimeflowEngine` run of the same config (same
+    oracle contract as :func:`run_congest`).  Grids are not cached:
+    they are interactive ablations, and the ensemble keeps recomputing
+    them cheap.
+    """
+    config = config if config is not None else CongestConfig()
+    backoffs = tuple(float(b) for b in backoffs)
+    if not backoffs:
+        raise ConfigurationError("an ablation grid needs >= 1 backoff")
+    if any(not 0.0 < b < 1.0 for b in backoffs):
+        raise ConfigurationError("backoffs must be in (0, 1)")
+    if not config.ks:
+        raise ConfigurationError("an ablation grid needs >= 1 ECN threshold")
+    run_spec, net = _study_network(spec, config.seed)
+    flows = incast_pattern(
+        net, fanin=config.fanin, duty=config.duty,
+        burst_period_s=config.burst_period_s, elephants=config.elephants,
+        rng=config.seed)
+    warmup = config.warmup_frac * config.horizon_s
+    cells: list[tuple[float | None, float | None]] = []
+    if config.include_fifo:
+        cells.append((None, None))
+    cells.extend((float(k), b) for k in config.ks for b in backoffs)
+    cfgs = [TimeflowConfig(dt_s=config.dt_s, horizon_s=config.horizon_s,
+                           ecn=k is not None, ecn_k=k or 0.0,
+                           backoff=b if b is not None else 0.5,
+                           warmup_s=warmup)
+            for k, b in cells]
+    with obs.span("fabric.timeflow.grid", cells=len(cells)):
+        results = EnsembleEngine(net, flows, cfgs).run()
+    doc: dict[str, Any] = {
+        "schema": CONGEST_SCHEMA_VERSION,
+        "status": "ok",
+        "network": run_spec.name,
+        "config": config.to_dict(),
+        "backoffs": list(backoffs),
+        "cells": [],
+    }
+    for (k, b), result in zip(cells, results):
+        victim = result.cls("victim")
+        cell = {
+            "mode": "fifo" if k is None else "ecn",
+            "ecn_k": k, "backoff": b,
+            "victim_p50_s": victim.latency["p50"],
+            "victim_p99_s": victim.latency["p99"],
+            "victim_completed": victim.completed,
+            "congestor_goodput_bytes_per_s": result.cls("congestor").goodput,
+            "max_queue_mtus": result.max_queue_bytes
+            / result.config.mtu_bytes,
+            "marks": result.marks,
+        }
+        doc["cells"].append(cell)
+    return doc

@@ -264,6 +264,43 @@ def probe_congestion() -> dict[str, float]:
     }
 
 
+def probe_ensemble() -> dict[str, float]:
+    """Ensemble timeflow regression gate: batched == sequential, always.
+
+    Runs one small congest k-sweep twice through
+    :func:`~repro.fabric.timeflow.run_congest` — once as a batched
+    ensemble, once through the scalar per-arm loop over the same engine
+    precompute — and pins both the headline victim statistics and the
+    hard 0/1 fact that the two documents are byte-identical (the
+    ``chunk=1``-style oracle ``bench_congest_ensemble.py`` gates at
+    scale).  The ``fabric.timeflow.ensemble_*`` counters emitted here
+    land in the baseline.
+    """
+    import json as _json
+
+    from repro.core.scenario import frontier_spec
+    from repro.fabric.timeflow import CongestConfig, run_congest
+
+    spec = frontier_spec().scaled(8, 4, 4)
+    config = CongestConfig(ks=(10.0, 60.0), horizon_s=150e-6)
+    batched = run_congest(spec, config)
+    sequential = run_congest(spec, config, sequential=True)
+    matches = (_json.dumps(batched, sort_keys=True)
+               == _json.dumps(sequential, sort_keys=True))
+    values: dict[str, float] = {
+        "arms": float(len(batched["arms"])),
+        "matches_sequential": float(matches),
+        "fifo_vs_ecn_worst": max(batched["fifo_vs_ecn_p99"].values()),
+    }
+    for arm in batched["arms"]:
+        name = ("fifo" if arm["mode"] == "fifo"
+                else f"k{int(arm['ecn_k'])}")
+        victim = arm["classes"]["victim"]
+        values[f"{name}_victim_p99_us"] = victim["latency_s"]["p99"] * 1e6
+        values[f"{name}_marks"] = float(arm["marks"])
+    return values
+
+
 def probe_serve() -> dict[str, float]:
     """Scenario-service regression gate: batching, caching, shedding.
 
@@ -374,6 +411,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "sweep": probe_sweep,
     "chaos": probe_chaos,
     "congestion": probe_congestion,
+    "ensemble": probe_ensemble,
     "serve": probe_serve,
     "machines": probe_machines,
 }

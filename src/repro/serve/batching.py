@@ -17,8 +17,11 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Hashable, Sequence
 
+from repro import obs
 from repro.serve.protocol import ScenarioRequest
 from repro.sweep.plan import SweepTask
+from repro.sweep.probes import (congest_ensemble_key,
+                                evaluate_congest_ensemble)
 from repro.sweep.runner import ExecPolicy, execute_tasks
 
 __all__ = ["PendingRequest", "batch_key", "form_batches", "execute_batch"]
@@ -82,6 +85,33 @@ def form_batches(pending: Sequence[PendingRequest],
     return batches
 
 
+def _ensemble_groups(tasks: Sequence[SweepTask]
+                     ) -> tuple[list[list[SweepTask]], list[SweepTask]]:
+    """Split a batch into ensemble-integrable groups and the rest.
+
+    A group is >= 2 congest tasks sharing one
+    :func:`~repro.sweep.probes.congest_ensemble_key` — the same fabric,
+    traffic, and time grid, differing only in the ECN control law — so
+    one :meth:`TimeflowEngine.run_ensemble` call answers all of them.
+    Singletons and non-congest tasks take the ordinary per-task path.
+    """
+    by_key: dict[str, list[SweepTask]] = {}
+    rest: list[SweepTask] = []
+    for task in tasks:
+        key = congest_ensemble_key(task)
+        if key is None:
+            rest.append(task)
+        else:
+            by_key.setdefault(key, []).append(task)
+    groups: list[list[SweepTask]] = []
+    for group in by_key.values():
+        if len(group) >= 2:
+            groups.append(group)
+        else:
+            rest.extend(group)
+    return groups, rest
+
+
 def execute_batch(tasks: Sequence[SweepTask], policy: ExecPolicy,
                   executor: ProcessPoolExecutor | None = None,
                   ) -> dict[str, dict[str, Any]]:
@@ -93,10 +123,32 @@ def execute_batch(tasks: Sequence[SweepTask], policy: ExecPolicy,
     service's long-lived worker pool; without one it runs inline in the
     calling thread (``policy.workers <= 0``), which is what keeps the
     topology/path LRUs of *this* process hot across batches.
+
+    Fast path: congest tasks that share a scenario
+    (:func:`_ensemble_groups`) integrate as **one ensemble** on a single
+    worker — per-task documents and values identical to the per-task
+    path by the engine's oracle contract.  Any ensemble failure falls
+    back to ordinary per-task execution for that group.
     """
     docs: dict[str, dict[str, Any]] = {}
-    execute_tasks(tasks, policy,
-                  on_result=lambda doc: docs.__setitem__(
-                      doc["task"]["id"], doc),
-                  executor=executor)
+    groups, rest = _ensemble_groups(tasks)
+    for group in groups:
+        try:
+            if executor is None:
+                got = evaluate_congest_ensemble(group, isolate_obs=False)
+            else:
+                got = executor.submit(
+                    evaluate_congest_ensemble, group).result(
+                        timeout=policy.timeout_s)
+        except Exception:
+            rest.extend(group)     # per-task path retries/records errors
+            continue
+        docs.update(got)
+        obs.counter("serve.ensemble_batches").inc()
+        obs.counter("serve.ensemble_tasks").inc(len(group))
+    if rest:
+        execute_tasks(rest, policy,
+                      on_result=lambda doc: docs.__setitem__(
+                          doc["task"]["id"], doc),
+                      executor=executor)
     return docs

@@ -18,14 +18,21 @@ test suite and the CI smoke job to exercise exactly that path.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import os
-from typing import Any, Callable, Mapping
+import time
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.core.scenario import MachineSpec
 
-__all__ = ["SWEEP_PROBES", "SweepProbe"]
+if TYPE_CHECKING:
+    from repro.sweep.plan import SweepTask
+
+__all__ = ["SWEEP_PROBES", "SweepProbe", "congest_ensemble_key",
+           "evaluate_congest_ensemble"]
 
 SweepProbe = Callable[[MachineSpec, np.random.Generator], Mapping[str, Any]]
 
@@ -172,28 +179,69 @@ def probe_compare(spec: MachineSpec,
     }
 
 
-def probe_congest(spec: MachineSpec,
-                  rng: np.random.Generator) -> dict[str, float]:
-    """One timeflow incast run honouring the spec's congestion knobs.
+def _congest_neutral_dict(spec: MachineSpec) -> dict[str, Any]:
+    """``spec.to_dict()`` with the ECN control knobs erased.
 
-    This is the sweep face of :mod:`repro.fabric.timeflow`: the
-    ``ecn_k`` / ``burst_duty`` / ``incast_fanin`` axes land in
-    ``spec.congestion`` and this probe runs exactly that configuration
-    (one arm, not the k-sweep study — the grid *is* the sweep).  Specs
-    beyond the flow-sim endpoint wall reduce like the mpigraph probe.
+    Two congest tasks whose specs differ *only* in ``congestion.ecn`` /
+    ``congestion.ecn_k`` describe the same fabric, the same incast
+    traffic, and the same time grid — only the AIMD control law varies.
+    This neutral dict is the identity an ensemble batch groups on, and
+    the seed source for the scenario build, so every ECN variant draws
+    the identical network and flow set.
     """
-    from repro.fabric.timeflow import (CONGEST_MAX_ENDPOINTS,
-                                       TimeflowConfig, TimeflowEngine,
-                                       incast_pattern)
+    from repro.core.scenario import CongestionSpec
+    defaults = CongestionSpec()
+    doc = spec.to_dict()
+    cong = dict(doc.get("congestion", {}))
+    cong.pop("ecn", None)
+    cong.pop("ecn_k", None)
+    # An all-defaults CongestionSpec serialises to *no* congestion entry,
+    # while any off-default knob serialises every field; normalise the
+    # remainder to off-default-only so both spellings key identically.
+    for name, value in list(cong.items()):
+        if getattr(defaults, name, object()) == value:
+            del cong[name]
+    if cong:
+        doc["congestion"] = cong
+    else:
+        doc.pop("congestion", None)
+    return doc
+
+
+def _congest_seed(spec: MachineSpec) -> int:
+    """Content-derived scenario seed from the ECN-neutral spec dict."""
+    blob = json.dumps(_congest_neutral_dict(spec), sort_keys=True,
+                      separators=(",", ":"))
+    return int.from_bytes(hashlib.sha256(blob.encode()).digest()[:8],
+                          "big") >> 1
+
+
+def _congest_scenario(spec: MachineSpec):
+    """(reduced spec, network, flows) for one congest evaluation.
+
+    Deterministic in the ECN-neutral spec content alone — *not* in the
+    per-task RNG stream — so tasks that differ only in ECN knobs build
+    bit-identical scenarios and can integrate as one ensemble.
+    """
+    from repro.fabric.timeflow import CONGEST_MAX_ENDPOINTS, incast_pattern
     if spec.fabric_config().total_endpoints > CONGEST_MAX_ENDPOINTS:
         spec = spec.scaled(8, 4, 4)
+    seed = _congest_seed(spec)
     knobs = spec.congestion
-    net = spec.build_network(rng=rng)
+    net = spec.build_network(rng=seed)
     flows = incast_pattern(net, fanin=knobs.incast_fanin,
-                           duty=knobs.burst_duty, elephants=2, rng=rng)
-    cfg = TimeflowConfig(ecn=knobs.ecn, ecn_k=float(knobs.ecn_k),
-                         warmup_s=1e-4)
-    result = TimeflowEngine(net, flows, cfg).run()
+                           duty=knobs.burst_duty, elephants=2, rng=seed)
+    return spec, net, flows
+
+
+def _congest_config(spec: MachineSpec):
+    from repro.fabric.timeflow import TimeflowConfig
+    knobs = spec.congestion
+    return TimeflowConfig(ecn=knobs.ecn, ecn_k=float(knobs.ecn_k),
+                          warmup_s=1e-4)
+
+
+def _congest_values(result, cfg) -> dict[str, float]:
     victim = result.cls("victim")
     return {
         "victim_latency_p50_s": victim.latency["p50"],
@@ -203,6 +251,95 @@ def probe_congest(spec: MachineSpec,
         "max_queue_mtus": result.max_queue_bytes / cfg.mtu_bytes,
         "marks": float(result.marks),
     }
+
+
+def probe_congest(spec: MachineSpec,
+                  rng: np.random.Generator) -> dict[str, float]:
+    """One timeflow incast run honouring the spec's congestion knobs.
+
+    This is the sweep face of :mod:`repro.fabric.timeflow`: the
+    ``ecn_k`` / ``burst_duty`` / ``incast_fanin`` axes land in
+    ``spec.congestion`` and this probe runs exactly that configuration
+    (one arm, not the k-sweep study — the grid *is* the sweep).  Specs
+    beyond the flow-sim endpoint wall reduce like the mpigraph probe.
+
+    The scenario (network + flows) seeds from the ECN-neutral spec
+    content, not from ``rng``: ECN variants of one spec then share a
+    bit-identical scenario, which is what lets the serve layer evaluate
+    a batch of them as one :meth:`TimeflowEngine.run_ensemble` call
+    (:func:`evaluate_congest_ensemble`) with unchanged per-task values.
+    """
+    from repro.fabric.timeflow import TimeflowEngine
+    spec, net, flows = _congest_scenario(spec)
+    cfg = _congest_config(spec)
+    result = TimeflowEngine(net, flows, cfg).run()
+    return _congest_values(result, cfg)
+
+
+def congest_ensemble_key(task: "SweepTask") -> str | None:
+    """The grouping identity for ensemble-batchable congest tasks.
+
+    Tasks with equal keys share everything but the ECN control law, so
+    :func:`evaluate_congest_ensemble` can integrate them as one batched
+    run.  ``None`` marks a task that cannot join an ensemble (any other
+    probe).
+    """
+    if task.probe != "congest":
+        return None
+    blob = json.dumps(_congest_neutral_dict(task.spec), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+def evaluate_congest_ensemble(tasks: Sequence["SweepTask"],
+                              isolate_obs: bool = True
+                              ) -> dict[str, dict[str, Any]]:
+    """Evaluate same-scenario congest tasks as one ensemble integration.
+
+    Returns ``{task_id: artifact document}`` with the same schema as
+    :func:`repro.sweep.runner.execute_task` — and, by the engine's
+    oracle contract, the same ``values`` each task would produce alone —
+    plus ``timing.ensemble_size`` recording the batch width.  All tasks
+    must share one :func:`congest_ensemble_key`.  Exceptions propagate:
+    the caller (``serve.batching``) falls back to per-task execution.
+    """
+    from repro import obs
+    from repro.fabric.timeflow import TimeflowEngine
+    from repro.sweep.artifacts import ARTIFACT_SCHEMA_VERSION
+    keys = {congest_ensemble_key(t) for t in tasks}
+    if len(keys) != 1 or None in keys:
+        raise ValueError(f"tasks of one ensemble must share a congest "
+                         f"scenario; keys: {sorted(map(str, keys))}")
+    if isolate_obs:
+        obs.reset()
+        obs.enable(tracing=False, metrics=True)
+    start = time.perf_counter()
+    try:
+        _, net, flows = _congest_scenario(tasks[0].spec)
+        cfgs = [_congest_config(t.spec) for t in tasks]
+        engine = TimeflowEngine(net, flows, cfgs[0])
+        results = engine.run_ensemble(cfgs)
+        wall = time.perf_counter() - start
+        snapshot = obs.registry().snapshot() if isolate_obs else {}
+        docs: dict[str, dict[str, Any]] = {}
+        for i, (task, result) in enumerate(zip(tasks, results)):
+            values = _congest_values(result, cfgs[i])
+            docs[task.task_id] = {
+                "schema": ARTIFACT_SCHEMA_VERSION,
+                "task": task.to_dict(),
+                "status": "ok",
+                "values": {k: float(v) for k, v in values.items()},
+                "timing": {"wall_time_s": wall, "attempts": 1,
+                           "ensemble_size": len(tasks)},
+                # one snapshot for the whole batch: attach it once so a
+                # merge of every document counts the work exactly once.
+                "metrics": snapshot if i == 0 else {},
+            }
+        return docs
+    finally:
+        if isolate_obs:
+            obs.disable()
+            obs.reset()
 
 
 # -- fault injection (tests + CI smoke) ---------------------------------------

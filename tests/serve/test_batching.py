@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 from repro.core.scenario import frontier_spec
-from repro.serve.batching import (batch_key, execute_batch, form_batches,
+from repro.serve.batching import (_ensemble_groups, batch_key,
+                                  execute_batch, form_batches,
                                   PendingRequest)
 from repro.serve.protocol import ScenarioRequest
 from repro.sweep.runner import ExecPolicy
@@ -75,3 +76,50 @@ class TestExecuteBatch:
         direct = execute_task(task, isolate_obs=False)
         batched = execute_batch([task], ExecPolicy(workers=0))[task.task_id]
         assert batched["values"] == direct["values"]
+
+
+def congest_task(ecn=True, ecn_k=30.0, spec=SMALL):
+    import dataclasses
+    cong = dataclasses.replace(spec.congestion, ecn=ecn, ecn_k=ecn_k)
+    variant = dataclasses.replace(spec, congestion=cong)
+    return pending(probe="congest", spec=variant).task
+
+
+class TestEnsembleFastPath:
+    def test_ecn_variants_group_under_one_key(self):
+        tasks = [congest_task(True, 10.0), congest_task(True, 60.0),
+                 congest_task(False), pending(probe="storage").task]
+        groups, rest = _ensemble_groups(tasks)
+        assert len(groups) == 1
+        assert len(groups[0]) == 3            # the three congest variants
+        assert rest == [tasks[3]]             # storage takes the normal path
+
+    def test_singleton_congest_task_takes_normal_path(self):
+        tasks = [congest_task(True, 10.0)]
+        groups, rest = _ensemble_groups(tasks)
+        assert groups == [] and rest == tasks
+
+    def test_different_fabrics_never_group(self):
+        tasks = [congest_task(spec=SMALL), congest_task(spec=OTHER)]
+        groups, rest = _ensemble_groups(tasks)
+        assert groups == [] and len(rest) == 2
+
+    def test_fast_path_values_equal_per_task_execution(self):
+        from repro.sweep.runner import execute_task
+        tasks = [congest_task(True, 10.0), congest_task(True, 60.0),
+                 congest_task(False)]
+        docs = execute_batch(tasks, ExecPolicy(workers=0))
+        assert sorted(docs) == sorted(t.task_id for t in tasks)
+        for task in tasks:
+            direct = execute_task(task, isolate_obs=False)
+            assert docs[task.task_id]["values"] == direct["values"]
+            assert docs[task.task_id]["status"] == "ok"
+        sizes = {docs[t.task_id]["timing"]["ensemble_size"] for t in tasks}
+        assert sizes == {3}
+
+    def test_mixed_batch_answers_everything(self):
+        tasks = [congest_task(True, 10.0), congest_task(True, 60.0),
+                 pending(probe="storage", seed=5).task]
+        docs = execute_batch(tasks, ExecPolicy(workers=0))
+        assert sorted(docs) == sorted(t.task_id for t in tasks)
+        assert all(doc["status"] == "ok" for doc in docs.values())

@@ -280,3 +280,53 @@ class TestReporting:
         ok = summary.ok_artifacts()
         assert len(ok) == 1
         assert ok[0]["task"]["probe"] == "storage"
+
+
+class TestSubmissionOrder:
+    def test_same_fabric_tasks_land_consecutively(self):
+        from repro.sweep.plan import SweepTask
+        from repro.sweep.runner import _submission_order
+        other = frontier_spec().scaled(4, 4, 4)
+        tasks = []
+        for seed in range(3):
+            tasks.append(SweepTask(spec=SMALL, probe="storage", seed=seed))
+            tasks.append(SweepTask(spec=other, probe="storage", seed=seed))
+        ordered = _submission_order(tasks)
+        fabrics = [repr(t.spec.fabric) for t in ordered]
+        # interleaved input comes out grouped: one contiguous run per fabric
+        changes = sum(1 for a, b in zip(fabrics, fabrics[1:]) if a != b)
+        assert changes == 1
+        assert sorted(t.task_id for t in ordered) == \
+            sorted(t.task_id for t in tasks)
+
+    def test_order_is_deterministic(self):
+        from repro.sweep.plan import SweepTask
+        from repro.sweep.runner import _submission_order
+        tasks = [SweepTask(spec=SMALL, probe="storage", seed=s)
+                 for s in range(5)]
+        a = _submission_order(list(reversed(tasks)))
+        b = _submission_order(tasks)
+        assert [t.task_id for t in a] == [t.task_id for t in b]
+
+
+class TestTopologyCacheLine:
+    def test_no_samples_yields_none(self):
+        from repro.sweep.runner import SweepSummary
+        assert SweepSummary(planned=0).topology_cache_line() is None
+
+    def test_merged_worker_hit_rate_rendered(self):
+        from repro.sweep.runner import SweepSummary
+        summary = SweepSummary(planned=0)
+        summary.metrics.counter("fabric.topology_cache.hits").inc(3)
+        summary.metrics.counter("fabric.topology_cache.misses").inc(1)
+        line = summary.topology_cache_line()
+        assert line == "topology cache: 3/4 hits (75%) across workers"
+
+    def test_pool_sweep_surfaces_cache_hits(self, tmp_path):
+        plan = storage_plan(4)
+        summary = run_sweep(plan, inline(tmp_path, workers=2))
+        line = summary.topology_cache_line()
+        # 4 same-fabric tasks over 2 workers: every worker's first build
+        # misses, the rest hit; the line must render either way.
+        if line is not None:
+            assert "topology cache:" in line and "across workers" in line

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Spare-pool sizing study — availability vs capacity, on one timeline.
+
+Sweeps ``MachineSpec.resilience.spare_fraction`` through the self-healing
+chaos loop and tabulates the operational tradeoff: every reserved spare
+is capacity the workload cannot use, but each replacement it funds turns
+a queue-until-repair outage into a checkpoint rewind.  The policy arm
+replays the *same* fault timeline healed and unhealed, so the deltas are
+paired, not statistical.
+
+Run:  python examples/chaos_heal_study.py
+"""
+
+from repro.chaos import run_chaos, validation_config
+from repro.chaos.heal import heal_validation_spec
+from repro.reporting import Table
+
+#: Workload fractions that fill the machine: with zero spares every
+#: failure queues until repair, which is exactly the regime spares fix.
+JOB_FRACTIONS = (0.25, 0.25, 0.5)
+
+
+def main() -> None:
+    config = validation_config(seed=0, horizon_h=400.0,
+                               job_fractions=JOB_FRACTIONS)
+
+    table = Table(["spares", "usable", "replaced", "requeued",
+                   "availability", "delta", "committed h", ""],
+                  title="Job availability vs spare_fraction "
+                        "(32 nodes, 600x FIT, one shared timeline)",
+                  float_fmt="{:.4f}")
+    results = []
+    for fraction in (0.03125, 0.0625, 0.125, 0.25):
+        spec = heal_validation_spec(spare_fraction=fraction)
+        result = run_chaos(spec, config)
+        heal = result.heal
+        results.append((fraction, heal))
+        bar = "#" * round(40 * heal.healed_job_availability)
+        table.add_row([
+            heal.spare_target, spec.node_count - heal.spare_target,
+            heal.replacements, heal.requeues,
+            heal.healed_job_availability, heal.availability_delta,
+            heal.healed_committed_h, bar])
+
+    baseline = results[0][1]
+    print(f"unhealed baseline: job availability "
+          f"{baseline.baseline_job_availability:.4f} "
+          f"(every victim queues until its node repairs)\n")
+    print(table.render())
+
+    best = max(results, key=lambda r: r[1].healed_committed_h)
+    print(f"\nBest committed work: spare_fraction {best[0]:g} "
+          f"({best[1].spare_target} spares). Availability saturates once "
+          f"the pool covers concurrent failures. At this accelerated FIT "
+          f"rate the failure cost dominates the capacity cost, so deeper "
+          f"pools keep winning; at production rates the tradeoff reverses "
+          f"— which is exactly why spare_fraction is a sweep axis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -44,7 +44,12 @@ Scenario verbs (see :mod:`repro.core.scenario`):
                checkpoint/restart; prints the achieved-vs-ideal
                efficiency table and writes a resumable artifact under
                ``benchmarks/out/chaos`` (``--validate`` scores the
-               engine against the analytic MTTI/efficiency models)
+               engine against the analytic MTTI/efficiency models);
+               ``--heal`` arms the self-healing policy — spare-pool
+               node replacement plus measurement-driven adaptive
+               checkpoint intervals — and reports the healed-vs-unhealed
+               availability/goodput deltas (``--heal --validate`` runs
+               the three-arm heal convergence gate instead)
 ``congest``    time-stepped congestion study: an incast (N senders ->
                one victim plus elephants) run once without backpressure
                and once per ECN marking threshold (``--k`` sweep), all
@@ -397,7 +402,9 @@ def _cmd_sweep(args: "argparse.Namespace") -> int:
         return 2
     config = SweepConfig(out_dir=args.out, workers=args.workers,
                          timeout_s=args.timeout, retries=args.retries,
-                         backoff_s=args.backoff, resume=not args.fresh)
+                         backoff_s=args.backoff,
+                         backoff_cap_s=args.backoff_cap,
+                         resume=not args.fresh)
     if args.list:
         for task in plan.tasks:
             axes = " ".join(f"{k}={v}" for k, v in task.axes)
@@ -429,6 +436,33 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
 
     from repro.chaos import ChaosConfig, run_chaos_cached
     from repro.chaos.validate import cross_validate
+
+    if args.validate and args.heal:
+        from repro.chaos.heal import cross_validate_heal
+        heal_report = cross_validate_heal(seed=args.seed)
+        ratios = ", ".join(f"{r:.3f}" for r in heal_report.interval_ratios)
+        print(render_kv({
+            "Interrupts": f"{heal_report.interrupts}",
+            "Adaptive/analytic interval ratios": ratios,
+            "Intervals converged (±10%)":
+                "yes" if heal_report.intervals_converged else "NO",
+            "Adaptive efficiency": f"{heal_report.adaptive_efficiency:.4f}",
+            "Fixed-analytic efficiency":
+                f"{heal_report.fixed_efficiency:.4f}",
+            "Adaptive beats fixed":
+                "yes" if heal_report.adaptive_beats_fixed else "NO",
+            "Job availability (requeue)":
+                f"{heal_report.baseline_availability:.4f}",
+            "Job availability (spares)":
+                f"{heal_report.healed_availability:.4f}",
+            "Replacements / requeues / replenished":
+                f"{heal_report.replacements} / {heal_report.requeues} / "
+                f"{heal_report.replenished}",
+        }, title="Self-healing cross-validation (three arms)"))
+        print(f"\nvalidation "
+              f"{'PASSED' if heal_report.passed else 'FAILED'} "
+              f"(interval tol ±10%, >= 200 interrupts)")
+        return 0 if heal_report.passed else 1
 
     if args.validate:
         report = cross_validate(seed=args.seed)
@@ -462,11 +496,18 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     if overrides:
         spec = replace(spec, degradation=replace(spec.degradation,
                                                  **overrides))
+    if args.heal:
+        from repro.core.scenario import ResiliencePolicySpec
+        spec = replace(spec, resilience=ResiliencePolicySpec(
+            spare_fraction=args.spare_fraction,
+            adaptive_checkpointing=not args.no_adaptive,
+            replace_policy=args.replace_policy))
     config = ChaosConfig(horizon_h=args.hours, seed=args.seed,
                          checkpoint_cost_s=args.checkpoint_cost,
                          restart_s=args.restart,
                          uniform_blast=args.uniform_blast,
-                         mttr_scale=args.mttr_scale)
+                         mttr_scale=args.mttr_scale,
+                         adaptive_prior_scale=args.prior_scale)
     doc, path, resumed = run_chaos_cached(spec, config, out_dir=args.out,
                                           fresh=args.fresh)
     if args.json:
@@ -488,6 +529,17 @@ def _cmd_chaos(args: "argparse.Namespace") -> int:
     print(table.render())
     print(f"\nmachine availability: {doc['machine_availability']:.6f} "
           f"({doc['node_down_hours']:.2f} node-hours down)")
+    heal = doc.get("heal")
+    if heal is not None:
+        print(f"heal: {heal['spare_target']} spares | "
+              f"{heal['replacements']} replacements, "
+              f"{heal['requeues']} requeues, "
+              f"{heal['replenished']} replenished | "
+              f"job availability {heal['baseline_job_availability']:.4f} -> "
+              f"{heal['healed_job_availability']:.4f} "
+              f"({heal['availability_delta']:+.4f}) | "
+              f"goodput {heal['goodput_delta']:+.4f} | "
+              f"adaptive: {'on' if heal['adaptive'] else 'off'}")
     print(f"artifact: {path} ({'resumed' if resumed else 'written'})")
     return 0
 
@@ -818,8 +870,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="one grid axis (repeatable); keys: "
                             "machine_family, scale, nics_per_node, "
                             "routing, disabled_links, disabled_nodes, "
-                            "failure_scale, checkpoint_policy, ecn_k, "
-                            "burst_duty, incast_fanin")
+                            "failure_scale, checkpoint_policy, "
+                            "spare_fraction, adaptive_checkpointing, "
+                            "ecn_k, burst_duty, incast_fanin")
     sweep.add_argument("--probe", action="append", metavar="NAME",
                        help="sweep probe(s) to evaluate per grid point "
                             "(default: mpigraph)")
@@ -832,7 +885,10 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--retries", type=int, default=1,
                        help="retry budget per task (default 1)")
     sweep.add_argument("--backoff", type=float, default=0.05, metavar="S",
-                       help="base retry backoff, doubled per attempt")
+                       help="base retry backoff; attempts add "
+                            "decorrelated jitter up to --backoff-cap")
+    sweep.add_argument("--backoff-cap", type=float, default=2.0, metavar="S",
+                       help="retry backoff ceiling (default 2)")
     sweep.add_argument("--resume", dest="fresh", action="store_false",
                        default=False,
                        help="skip tasks with completed artifacts (default)")
@@ -878,9 +934,34 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--uniform-blast", action="store_true",
                        help="radius-1 node blasts for every class "
                             "(the MttiModel-exact validation mode)")
+    chaos.add_argument("--heal", action="store_true",
+                       help="arm the self-healing policy: spare-pool "
+                            "node replacement plus adaptive checkpoint "
+                            "intervals; the artifact gains a "
+                            "healed-vs-unhealed comparison")
+    chaos.add_argument("--spare-fraction", type=float, default=0.125,
+                       metavar="F",
+                       help="node fraction reserved as spares with "
+                            "--heal (default 0.125)")
+    chaos.add_argument("--replace-policy",
+                       choices=("pack", "spread", "any"), default="pack",
+                       help="spare placement policy with --heal "
+                            "(default pack: topology-closest to the "
+                            "surviving job block)")
+    chaos.add_argument("--no-adaptive", action="store_true",
+                       help="with --heal, keep the analytic checkpoint "
+                            "interval instead of the measurement-driven "
+                            "controller")
+    chaos.add_argument("--prior-scale", type=float, default=1.0,
+                       metavar="X",
+                       help="FIT scale the adaptive controller's prior "
+                            "model assumes (default 1 = the unscaled "
+                            "model; mismatch vs --failure-scale is what "
+                            "adaptation corrects)")
     chaos.add_argument("--validate", action="store_true",
                        help="run the MTTI/efficiency cross-validation "
-                            "gate and exit (nonzero on failure)")
+                            "gate and exit (nonzero on failure); with "
+                            "--heal, run the heal convergence gate")
     chaos.add_argument("--json", action="store_true",
                        help="print the artifact document as JSON")
     chaos.add_argument("--out", default="benchmarks/out/chaos",

@@ -21,6 +21,10 @@ from repro.chaos.validate import (EFFICIENCY_TOLERANCE, MIN_EVENTS,
                                   RATE_TOLERANCE, JobValidation,
                                   ValidationReport, cross_validate,
                                   report_from_result)
+from repro.chaos.heal import (INTERVAL_TOLERANCE, HealReport,
+                              HealValidationReport, SparePool,
+                              build_heal_report, cross_validate_heal,
+                              heal_validation_spec)
 
 __all__ = [
     "ChaosConfig", "ChaosResult", "JobReport", "run_chaos",
@@ -32,4 +36,6 @@ __all__ = [
     "JobValidation", "ValidationReport", "cross_validate",
     "report_from_result", "RATE_TOLERANCE", "EFFICIENCY_TOLERANCE",
     "MIN_EVENTS",
+    "SparePool", "HealReport", "HealValidationReport", "build_heal_report",
+    "heal_validation_spec", "cross_validate_heal", "INTERVAL_TOLERANCE",
 ]

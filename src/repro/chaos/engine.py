@@ -91,10 +91,17 @@ class ChaosConfig:
     #: small enough to route batches quickly).
     measure_fabric: bool | None = None
     max_fabric_endpoints: int = 4096
+    #: FIT-inventory scale the *operator's model* assumes when adaptive
+    #: checkpointing is on (reality runs at ``degradation.failure_scale``).
+    #: ``1.0`` = the unscaled inventory; serialized only off-default so
+    #: existing run ids stay byte-stable.
+    adaptive_prior_scale: float = 1.0
 
     def __post_init__(self) -> None:
         if self.horizon_h <= 0:
             raise ConfigurationError("chaos horizon must be positive")
+        if self.adaptive_prior_scale <= 0:
+            raise ConfigurationError("adaptive_prior_scale must be positive")
         if self.checkpoint_cost_s <= 0 or self.restart_s < 0:
             raise ConfigurationError(
                 "checkpoint cost must be positive and restart non-negative")
@@ -109,7 +116,7 @@ class ChaosConfig:
         object.__setattr__(self, "job_fractions", fracs)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc = {
             "horizon_h": self.horizon_h,
             "seed": self.seed,
             "checkpoint_cost_s": self.checkpoint_cost_s,
@@ -121,13 +128,17 @@ class ChaosConfig:
             "measure_fabric": self.measure_fabric,
             "max_fabric_endpoints": self.max_fabric_endpoints,
         }
+        if self.adaptive_prior_scale != 1.0:
+            doc["adaptive_prior_scale"] = self.adaptive_prior_scale
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "ChaosConfig":
         known = {f: doc[f] for f in (
             "horizon_h", "seed", "checkpoint_cost_s", "restart_s",
             "storage_slowdown", "uniform_blast", "mttr_scale",
-            "measure_fabric", "max_fabric_endpoints") if f in doc}
+            "measure_fabric", "max_fabric_endpoints",
+            "adaptive_prior_scale") if f in doc}
         if "job_fractions" in doc:
             known["job_fractions"] = tuple(doc["job_fractions"])
         return cls(**known)
@@ -197,10 +208,14 @@ class ChaosResult:
     job_series: dict[str, list[tuple[float, float, float]]]
     fabric_series: list[dict[str, float]]
     run_id: str
+    #: healed-vs-unhealed comparison (:class:`repro.chaos.heal.HealReport`);
+    #: only set by the policy arm, i.e. when ``spec.resilience`` is
+    #: non-default.
+    heal: Any = None
 
     def to_doc(self) -> dict[str, Any]:
         """The persistable artifact document (``status: ok``)."""
-        return {
+        doc = {
             "schema": CHAOS_SCHEMA_VERSION,
             "status": "ok",
             "run_id": self.run_id,
@@ -217,6 +232,9 @@ class ChaosResult:
             "fabric_series": self.fabric_series,
             "events": self.timeline.to_doc(),
         }
+        if self.heal is not None:
+            doc["heal"] = self.heal.to_doc()
+        return doc
 
 
 # -- internal job tracker -----------------------------------------------------
@@ -243,13 +261,21 @@ class _JobRun:
     seg_start_s: float | None = None
     seg_restart_s: float = 0.0
     seg_delta_s: float = 0.0
+    seg_interval_s: float = 0.0
     pending_since_s: float = 0.0
     series: list[tuple[float, float, float]] = field(default_factory=list)
+    #: adaptive checkpoint controller; ``None`` -> the interval is pinned
+    #: to the spec's analytic policy for the whole run.
+    controller: Any = None
 
     def open_segment(self, t_s: float, delta_s: float,
                      after_interrupt: bool) -> None:
         self.seg_start_s = t_s
         self.seg_delta_s = delta_s
+        # Snapshot the interval: a controller may move ``interval_s``
+        # mid-run, but the cycles of an open segment were cut at the
+        # interval that was live when the segment started.
+        self.seg_interval_s = self.interval_s
         self.seg_restart_s = self.restart_s if after_interrupt else 0.0
         self.queued_s += t_s - self.pending_since_s
 
@@ -267,8 +293,8 @@ class _JobRun:
         wall = t_s - self.seg_start_s
         self.running_s += wall
         effective = max(0.0, wall - self.seg_restart_s)
-        period = self.interval_s + self.seg_delta_s
-        self.committed_s += float(int(effective / period)) * self.interval_s
+        period = self.seg_interval_s + self.seg_delta_s
+        self.committed_s += float(int(effective / period)) * self.seg_interval_s
         self.seg_start_s = None
         self.pending_since_s = t_s
         self.series.append((t_s / 3600.0, self.committed_s / 3600.0,
@@ -294,10 +320,17 @@ class _JobRun:
 
 def _job_sizes(node_count: int, fractions: tuple[float, ...]) -> list[int]:
     sizes = [max(1, int(round(f * node_count))) for f in fractions]
-    if sum(sizes) > node_count:
-        raise ConfigurationError(
-            f"job fractions {fractions} need {sum(sizes)} nodes; "
-            f"the machine has {node_count}")
+    # Fractions are bounded (sum <= 1 by ChaosConfig), so any overflow is
+    # rounding spill of at most one node per job: shave it off the
+    # largest jobs so odd usable counts (spare pools carve capacity in
+    # whole nodes) still place.
+    while sum(sizes) > node_count:
+        largest = max(range(len(sizes)), key=lambda i: sizes[i])
+        if sizes[largest] <= 1:
+            raise ConfigurationError(
+                f"job fractions {fractions} need {sum(sizes)} nodes; "
+                f"the machine has {node_count}")
+        sizes[largest] -= 1
     return sizes
 
 
@@ -320,14 +353,51 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
     Deterministic in ``(spec, config)``: the timeline comes from
     :func:`repro.chaos.events.sample_timeline` seeded by ``config.seed``
     (or an explicit ``rng``), and the engine itself draws nothing.
+
+    When ``spec.resilience`` is non-default this is the **policy arm**:
+    the run replays twice on the same timeline — once with the healing
+    policy stripped, once with it active — and the returned (healed)
+    result carries a :class:`repro.chaos.heal.HealReport` comparing the
+    two (``result.heal``).
     """
+    config = config if config is not None else ChaosConfig()
+    if spec.resilience.is_default:
+        return _run_chaos_once(spec, config, rng=rng)
+    from repro.chaos.heal import build_heal_report
+    from repro.core.scenario import ResiliencePolicySpec
+    from repro.rng import as_generator
+    if rng is not None:
+        # One derived seed drives *both* arms so they replay the exact
+        # same fault timeline.
+        config = replace(config, seed=int(as_generator(rng).integers(2 ** 31 - 1)))
+    baseline = _run_chaos_once(
+        replace(spec, resilience=ResiliencePolicySpec()), config)
+    counters: dict[str, int] = {}
+    healed = _run_chaos_once(spec, config, heal_counters=counters)
+    healed.heal = build_heal_report(baseline=baseline, healed=healed,
+                                    counters=counters)
+    return healed
+
+
+def _run_chaos_once(spec: MachineSpec, config: ChaosConfig, *,
+                    rng: RngLike = None,
+                    heal_counters: dict[str, int] | None = None
+                    ) -> ChaosResult:
+    """One replay of the timeline; applies ``spec.resilience`` in-loop."""
     from repro.scheduler.slurm import JobRequest, JobState, SlurmScheduler
 
-    config = config if config is not None else ChaosConfig()
     deg = spec.degradation
-    inventory = frontier_fit_inventory(nodes=spec.node_count)
+    resilience = spec.resilience
+    base_inventory = frontier_fit_inventory(nodes=spec.node_count)
+    inventory = base_inventory
     if deg.failure_scale != 1.0:
-        inventory = inventory.scaled(deg.failure_scale)
+        inventory = base_inventory.scaled(deg.failure_scale)
+
+    # Healing knobs: the operator sizes the workload to the capacity left
+    # after carving out the warm spare pool.
+    spare_target = int(resilience.spare_fraction * spec.node_count)
+    usable_nodes = spec.node_count - spare_target
+    replacements = requeues = replenished = spares_lost = 0
 
     # Fabric (optional at large scale: routing batches over the full
     # 9,472-node machine would dominate runtime without changing the
@@ -353,14 +423,36 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
     # Analytic per-job MTTI -> checkpoint plans (policy from the spec).
     mtti_model = MttiModel(inventory=inventory, total_nodes=spec.node_count)
     fdm = FailureDomainModel(inventory=inventory, total_nodes=spec.node_count)
+    prior_mtti_model = prior_fdm = None
+    if resilience.adaptive_checkpointing:
+        # The controller starts from the *operator's model* of the
+        # machine, which may disagree with the injected reality.
+        prior_inventory = base_inventory
+        if config.adaptive_prior_scale != 1.0:
+            prior_inventory = base_inventory.scaled(config.adaptive_prior_scale)
+        prior_mtti_model = MttiModel(inventory=prior_inventory,
+                                     total_nodes=spec.node_count)
+        prior_fdm = FailureDomainModel(inventory=prior_inventory,
+                                       total_nodes=spec.node_count)
     runs: list[_JobRun] = []
-    for i, n in enumerate(_job_sizes(spec.node_count, config.job_fractions)):
+    for i, n in enumerate(_job_sizes(usable_nodes, config.job_fractions)):
         mtti_h = (mtti_model.job_mtti_hours(n) if config.uniform_blast
                   else fdm.job_mtti_hours(n))
         plan = CheckpointPlan(checkpoint_cost_s=config.checkpoint_cost_s,
                               mtti_s=mtti_h * 3600.0,
                               restart_s=config.restart_s)
-        interval = _resolve_interval(spec, plan)
+        controller = None
+        if resilience.adaptive_checkpointing:
+            from repro.resilience.adaptive import AdaptiveCheckpointController
+            prior_mtti_h = (prior_mtti_model.job_mtti_hours(n)
+                            if config.uniform_blast
+                            else prior_fdm.job_mtti_hours(n))
+            controller = AdaptiveCheckpointController(
+                delta_s=config.checkpoint_cost_s,
+                prior_mtti_s=prior_mtti_h * 3600.0)
+            interval = controller.interval_s
+        else:
+            interval = _resolve_interval(spec, plan)
         runs.append(_JobRun(
             name=f"job{i}-{n}n", n_nodes=n, interval_s=interval,
             delta_s=config.checkpoint_cost_s, restart_s=config.restart_s,
@@ -368,7 +460,8 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
             analytic_rate_per_h=0.0 if mtti_h == float("inf") else 1.0 / mtti_h,
             analytic_efficiency=checkpoint_efficiency(
                 interval, config.checkpoint_cost_s, mtti_h * 3600.0,
-                config.restart_s)))
+                config.restart_s),
+            controller=controller))
 
     # Scheduler: chaos owns the clock; checknode consults live fault state
     # (statically failed nodes stay drained even across a chaos repair).
@@ -380,6 +473,10 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
         and n not in static_failed)
     for node in static_failed:
         sched.drain(node)
+    pool = None
+    if spare_target > 0:
+        from repro.chaos.heal import SparePool
+        pool = SparePool.reserve(sched, spare_target)
     horizon_s = config.horizon_h * 3600.0
     by_sched_id: dict[int, _JobRun] = {}
 
@@ -477,16 +574,64 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
                         if net is not None:
                             net.disable_node(node)
                 interrupted: list[_JobRun] = []
+                healed_jobs: list[int] = []
+                dying = set(ev.victims)
                 for node in ev.victims:
+                    if pool is not None and pool.holds(node):
+                        # The blast hit the spare pool itself.
+                        pool.discard(node)
+                        spares_lost += 1
+                        sched.fail_node(node)
+                        continue
+                    if pool is not None:
+                        owner = sched.running_job_on(node)
+                        if owner is not None and owner in by_sched_id:
+                            spare = pool.take(
+                                sched.job(owner).nodes,
+                                policy=resilience.replace_policy,
+                                exclude=dying)
+                            if spare is not None:
+                                # Heal: swap the spare in under the live
+                                # allocation — the job rewinds to its last
+                                # checkpoint but never re-queues.
+                                sched.replace_node(node, spare)
+                                replacements += 1
+                                if owner not in healed_jobs:
+                                    healed_jobs.append(owner)
+                                    run = by_sched_id[owner]
+                                    run.close_segment(t_s)
+                                    run.interrupts += 1
+                                    obs.counter("chaos.interrupts").inc()
+                                    if run.controller is not None:
+                                        run.interval_s = run.controller.update(
+                                            run.running_s / 3600.0,
+                                            run.interrupts)
+                                continue
                     job_id = sched.fail_node(node)
                     if job_id is not None and job_id in by_sched_id:
-                        interrupted.append(by_sched_id.pop(job_id))
+                        run = by_sched_id.pop(job_id)
+                        requeues += 1
+                        if job_id in healed_jobs:
+                            # Pool went dry mid-event: the job we healed a
+                            # moment ago is now cancelled after all.  The
+                            # interrupt is already accounted; just requeue.
+                            healed_jobs.remove(job_id)
+                            run.close_segment(t_s)
+                            submit(run, t_s)
+                        else:
+                            interrupted.append(run)
                 for run in interrupted:
                     run.close_segment(t_s)
                     run.interrupts += 1
                     obs.counter("chaos.interrupts").inc()
+                    if run.controller is not None:
+                        run.interval_s = run.controller.update(
+                            run.running_s / 3600.0, run.interrupts)
                     submit(run, t_s)
                 mult = config.storage_slowdown if storage_down else 1.0
+                # poll_starts reopens healed jobs too: they are RUNNING in
+                # the scheduler with a closed segment, and pay the restart
+                # penalty (after_interrupt) like any post-interrupt start.
                 poll_starts(t_s, mult)
                 if ev.link is not None:
                     measure_fabric(t_h)
@@ -510,7 +655,15 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
                         if net is not None:
                             net.enable_node(node)
                         if sched.node_state(node).value == "drain":
-                            sched.resume(node)
+                            if (pool is not None and pool.size < pool.target
+                                    and sched.queue_depth == 0):
+                                # Repairs replenish the pool first — but
+                                # never while a job is starving in queue.
+                                if sched.resume_to_spare(node):
+                                    pool.add(node)
+                                    replenished += 1
+                            else:
+                                sched.resume(node)
                 poll_starts(t_s, mult_before)
                 if ev.link is not None:
                     measure_fabric(t_h)
@@ -519,6 +672,12 @@ def run_chaos(spec: MachineSpec, config: ChaosConfig | None = None, *,
         close_all_running(horizon_s)
         for node, since in down_since.items():
             node_down_hours += (horizon_s - since) / 3600.0
+
+    if heal_counters is not None:
+        heal_counters.update(
+            spare_target=spare_target, replacements=replacements,
+            requeues=requeues, replenished=replenished,
+            spares_lost=spares_lost)
 
     availability = 1.0 - node_down_hours / (spec.node_count * config.horizon_h)
     result = ChaosResult(

@@ -40,7 +40,7 @@ from repro.fabric.routing import RoutingPolicy
 
 __all__ = [
     "DragonflyGeometry", "FatTreeGeometry", "StorageSpec", "DegradationSpec",
-    "CongestionSpec",
+    "CongestionSpec", "ResiliencePolicySpec", "REPLACE_POLICIES",
     "MachineSpec", "FRONTIER_SPEC", "SUMMIT_SPEC", "AURORA_SPEC",
     "frontier_spec", "summit_spec", "aurora_spec",
     "resolve_dragonfly",
@@ -269,6 +269,50 @@ class CongestionSpec:
         return self == CongestionSpec()
 
 
+#: How a spare-pool replacement node is chosen relative to the surviving
+#: job block (see :mod:`repro.chaos.heal`): ``pack`` prefers a spare in
+#: the dragonfly group holding the most survivors, ``spread`` prefers the
+#: group holding the fewest, ``any`` takes the lowest-numbered spare.
+REPLACE_POLICIES = ("pack", "spread", "any")
+
+
+@dataclass(frozen=True)
+class ResiliencePolicySpec:
+    """Self-healing knobs (:mod:`repro.chaos.heal`).
+
+    ``spare_fraction`` reserves that fraction of nodes as a warm spare
+    pool the scheduler backfills blast-radius victims from;
+    ``adaptive_checkpointing`` turns on the measurement-driven
+    checkpoint-interval controller
+    (:mod:`repro.resilience.adaptive`); ``replace_policy`` picks how a
+    replacement spare is chosen relative to the surviving job block.
+    All defaults are "no healing", and like the chaos and congestion
+    knobs the block serializes only off-default, so pre-existing spec
+    files, task hashes, and sweep artifacts are unaffected.
+    """
+
+    spare_fraction: float = 0.0
+    adaptive_checkpointing: bool = False
+    replace_policy: str = "pack"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.spare_fraction <= 0.5:
+            raise ConfigurationError(
+                f"spare_fraction must be in [0, 0.5], "
+                f"got {self.spare_fraction!r}")
+        if self.replace_policy not in REPLACE_POLICIES:
+            raise ConfigurationError(
+                f"replace_policy must be one of {REPLACE_POLICIES}, "
+                f"got {self.replace_policy!r}")
+        object.__setattr__(self, "spare_fraction", float(self.spare_fraction))
+        object.__setattr__(self, "adaptive_checkpointing",
+                           bool(self.adaptive_checkpointing))
+
+    @property
+    def is_default(self) -> bool:
+        return self == ResiliencePolicySpec()
+
+
 # -- the machine spec ---------------------------------------------------------
 
 
@@ -285,6 +329,8 @@ class MachineSpec:
     storage: StorageSpec = field(default_factory=StorageSpec)
     degradation: DegradationSpec = field(default_factory=DegradationSpec)
     congestion: CongestionSpec = field(default_factory=CongestionSpec)
+    resilience: ResiliencePolicySpec = field(
+        default_factory=ResiliencePolicySpec)
 
     def __post_init__(self) -> None:
         if not self.family or not isinstance(self.family, str):
@@ -419,6 +465,13 @@ class MachineSpec:
                            "ecn_k": self.congestion.ecn_k,
                            "burst_duty": self.congestion.burst_duty,
                            "incast_fanin": self.congestion.incast_fanin},
+        }) | ({} if self.resilience.is_default else {
+            # Healing knobs follow the same off-default rule.
+            "resilience": {
+                "spare_fraction": self.resilience.spare_fraction,
+                "adaptive_checkpointing":
+                    self.resilience.adaptive_checkpointing,
+                "replace_policy": self.resilience.replace_policy},
         })
 
     def _degradation_dict(self) -> dict[str, Any]:
@@ -463,6 +516,7 @@ class MachineSpec:
                 checkpoint_interval_s=degradation.get(
                     "checkpoint_interval_s")),
             congestion=CongestionSpec(**doc.get("congestion", {})),
+            resilience=ResiliencePolicySpec(**doc.get("resilience", {})),
         )
 
     def to_json(self, *, indent: int | None = 2) -> str:

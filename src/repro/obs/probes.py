@@ -221,6 +221,41 @@ def probe_chaos() -> dict[str, float]:
     return values
 
 
+def probe_heal() -> dict[str, float]:
+    """Self-healing chaos gate: spare pools + adaptive checkpointing.
+
+    Runs the three-arm heal cross-validation
+    (:func:`repro.chaos.heal.cross_validate_heal`) on the pinned 32-node
+    scenario and pins hard 0/1 flags for the ISSUE acceptance criteria:
+    the adaptive controller's steady-state interval within ±10% of the
+    analytic Daly optimum when measured == modeled, adaptive beating the
+    mis-modeled fixed-analytic interval, and spare-pool healing strictly
+    improving fleet job availability over cancel-and-requeue.  The
+    ``scheduler.nodes_replaced`` counter rides along in the baseline.
+    """
+    from repro.chaos import cross_validate_heal
+
+    report = cross_validate_heal(seed=0)
+    values: dict[str, float] = {
+        "interrupts": float(report.interrupts),
+        "intervals_converged": float(report.intervals_converged),
+        "adaptive_efficiency": report.adaptive_efficiency,
+        "fixed_efficiency": report.fixed_efficiency,
+        "adaptive_beats_fixed": float(report.adaptive_beats_fixed),
+        "baseline_availability": report.baseline_availability,
+        "healed_availability": report.healed_availability,
+        "healing_improves_availability": float(
+            report.healing_improves_availability),
+        "replacements": float(report.replacements),
+        "requeues": float(report.requeues),
+        "replenished": float(report.replenished),
+        "passed": float(report.passed),
+    }
+    for i, ratio in enumerate(report.interval_ratios):
+        values[f"interval_ratio_job{i}"] = ratio
+    return values
+
+
 def probe_congestion() -> dict[str, float]:
     """Timeflow congestion engine cross-validation and GPCNeT shape.
 
@@ -410,6 +445,7 @@ PROBES: dict[str, Callable[[], dict[str, float]]] = {
     "scheduler": probe_scheduler,
     "sweep": probe_sweep,
     "chaos": probe_chaos,
+    "heal": probe_heal,
     "congestion": probe_congestion,
     "ensemble": probe_ensemble,
     "serve": probe_serve,

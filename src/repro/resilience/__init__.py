@@ -6,6 +6,9 @@
   Interrupt, plus job-interrupt probabilities.
 * :mod:`repro.resilience.checkpoint` — Young/Daly optimal checkpoint
   intervals tied to the storage models.
+* :mod:`repro.resilience.adaptive` — the online interrupt-rate
+  estimator and adaptive checkpoint controller behind the self-healing
+  chaos loop (:mod:`repro.chaos.heal`).
 """
 
 from repro.resilience.fit import FitEntry, FitInventory, frontier_fit_inventory
@@ -17,6 +20,10 @@ from repro.resilience.checkpoint import (
     CheckpointPlan,
 )
 from repro.resilience.blast_radius import BlastRadius, FailureDomainModel
+from repro.resilience.adaptive import (
+    AdaptiveCheckpointController,
+    InterruptRateEstimator,
+)
 
 __all__ = [
     "FitEntry", "FitInventory", "frontier_fit_inventory",
@@ -24,4 +31,5 @@ __all__ = [
     "daly_optimal_interval", "young_optimal_interval",
     "checkpoint_efficiency", "CheckpointPlan",
     "BlastRadius", "FailureDomainModel",
+    "InterruptRateEstimator", "AdaptiveCheckpointController",
 ]

@@ -1,0 +1,134 @@
+"""Measurement-driven checkpoint adaptation (the heal loop's policy half).
+
+The analytic plan (:class:`~repro.resilience.checkpoint.CheckpointPlan`)
+is only as good as the MTTI model behind it: when the machine's real
+interrupt rate drifts off the FIT inventory (aging parts, a bad batch of
+DIMMs, a ``failure_scale != 1`` chaos arm), a job pinned to the modeled
+Daly interval checkpoints too rarely (rate up) or too often (rate down).
+This module closes that loop:
+
+* :class:`InterruptRateEstimator` — an online interrupt-rate estimate
+  over RUNNING hours.  The modeled rate enters as pseudo-evidence worth
+  ``prior_weight_h`` hours, so the estimate *starts* at the analytic
+  model and converges to the measured rate as real evidence accumulates
+  (a gamma-posterior mean; equivalently an EWMA whose memory grows with
+  the evidence window).
+* :class:`AdaptiveCheckpointController` — recomputes
+  :func:`~repro.resilience.checkpoint.daly_optimal_interval` from the
+  current estimate at every control point, **clamped** to a band around
+  the prior optimum and **hysteresis-damped** (the interval only moves
+  when the recomputed optimum escapes a relative deadband), so sampling
+  noise does not thrash the checkpoint schedule.
+
+Convergence contract (gated by :func:`repro.chaos.heal.cross_validate_heal`
+and ``tests/chaos/test_heal.py``): when measured == modeled the
+controller's steady-state interval stays within ±10% of the analytic
+``CheckpointPlan.daly_interval_s``; when the measured rate is ``k``
+times the modeled one, the interval converges to the Daly optimum at
+the *measured* MTTI and the achieved efficiency beats the mis-modeled
+fixed-analytic policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.resilience.checkpoint import daly_optimal_interval
+
+__all__ = ["InterruptRateEstimator", "AdaptiveCheckpointController"]
+
+
+@dataclass
+class InterruptRateEstimator:
+    """Online interrupts-per-RUNNING-hour estimate with a modeled prior.
+
+    ``observe(running_h, interrupts)`` takes *cumulative* totals (the
+    natural bookkeeping of the chaos engine's job tracker) and returns
+    the posterior-mean rate::
+
+        rate = (prior_rate * W + interrupts) / (W + running_h)
+
+    with ``W = prior_weight_h`` pseudo-hours of modeled evidence.  At
+    zero evidence the estimate is exactly the modeled rate; as
+    ``running_h`` grows the measured rate dominates, with variance
+    shrinking like ``1/sqrt(interrupts)``.
+    """
+
+    prior_rate_per_h: float
+    prior_weight_h: float = 24.0
+
+    def __post_init__(self) -> None:
+        if self.prior_rate_per_h < 0:
+            raise ConfigurationError("prior rate must be non-negative")
+        if self.prior_weight_h <= 0:
+            raise ConfigurationError("prior weight must be positive")
+
+    def observe(self, running_h: float, interrupts: int) -> float:
+        """The posterior rate given cumulative evidence so far."""
+        if running_h < 0 or interrupts < 0:
+            raise ConfigurationError("evidence must be non-negative")
+        pseudo = self.prior_rate_per_h * self.prior_weight_h
+        return (pseudo + interrupts) / (self.prior_weight_h + running_h)
+
+
+@dataclass
+class AdaptiveCheckpointController:
+    """Clamped, hysteresis-damped Daly-interval controller for one job.
+
+    Starts at the Daly optimum of the *modeled* MTTI
+    (``prior_mtti_s``).  Each call to :meth:`update` re-estimates the
+    interrupt rate from cumulative evidence, recomputes the Daly optimum
+    at the estimated MTTI, clamps it to ``[prior/clamp, prior*clamp]``
+    (a runaway estimate cannot drive the interval to silly values), and
+    adopts it only when it escapes the relative ``deadband`` around the
+    current interval (hysteresis: noise does not thrash the schedule).
+    """
+
+    delta_s: float
+    prior_mtti_s: float
+    prior_weight_h: float = 24.0
+    deadband: float = 0.05
+    clamp: float = 8.0
+
+    interval_s: float = field(init=False)
+    _estimator: InterruptRateEstimator = field(init=False, repr=False)
+    updates: int = field(init=False, default=0)
+    moves: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.delta_s <= 0 or self.prior_mtti_s <= 0:
+            raise ConfigurationError(
+                "checkpoint cost and prior MTTI must be positive")
+        if not 0.0 <= self.deadband < 1.0:
+            raise ConfigurationError("deadband must be in [0, 1)")
+        if self.clamp < 1.0:
+            raise ConfigurationError("clamp must be >= 1")
+        self.interval_s = daly_optimal_interval(self.delta_s,
+                                                self.prior_mtti_s)
+        self._estimator = InterruptRateEstimator(
+            prior_rate_per_h=3600.0 / self.prior_mtti_s,
+            prior_weight_h=self.prior_weight_h)
+
+    @property
+    def prior_interval_s(self) -> float:
+        """The analytic (modeled) Daly optimum the controller starts at."""
+        return daly_optimal_interval(self.delta_s, self.prior_mtti_s)
+
+    def estimated_mtti_s(self, running_h: float, interrupts: int) -> float:
+        rate_per_h = self._estimator.observe(running_h, interrupts)
+        return 3600.0 / rate_per_h if rate_per_h > 0 else float("inf")
+
+    def update(self, running_h: float, interrupts: int) -> float:
+        """One control step; returns the (possibly unchanged) interval."""
+        self.updates += 1
+        mtti_s = self.estimated_mtti_s(running_h, interrupts)
+        if mtti_s == float("inf"):
+            return self.interval_s
+        prior = self.prior_interval_s
+        target = daly_optimal_interval(self.delta_s, mtti_s)
+        target = min(max(target, prior / self.clamp), prior * self.clamp)
+        if abs(target - self.interval_s) > self.deadband * self.interval_s:
+            self.interval_s = target
+            self.moves += 1
+        return self.interval_s

@@ -42,6 +42,10 @@ class NodeState(enum.Enum):
     IDLE = "idle"
     ALLOCATED = "alloc"
     DRAIN = "drain"
+    #: Held in the warm spare pool (:mod:`repro.chaos.heal`): healthy,
+    #: but invisible to placement until taken via ``replace_node`` or
+    #: released back to general service.
+    RESERVED = "reserved"
 
 
 @dataclass(frozen=True)
@@ -111,6 +115,15 @@ class SlurmScheduler:
     def drained_nodes(self) -> set[int]:
         return {n for n, s in self._node_state.items() if s is NodeState.DRAIN}
 
+    @property
+    def spare_nodes(self) -> set[int]:
+        return {n for n, s in self._node_state.items()
+                if s is NodeState.RESERVED}
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
     def drain(self, node: int) -> None:
         if self.node_state(node) is NodeState.ALLOCATED:
             raise SchedulerError(f"cannot drain allocated node {node}")
@@ -121,9 +134,15 @@ class SlurmScheduler:
 
         A successful return frees capacity, so pending jobs get a
         placement attempt immediately (a repair can unblock the queue).
+        Resuming a node that was never drained is an idempotent no-op
+        (chaos repairs can race a between-jobs checknode recovery);
+        resuming an allocated or reserved node is a caller bug.
         """
-        if self.node_state(node) is not NodeState.DRAIN:
-            raise SchedulerError(f"node {node} is not drained")
+        state = self.node_state(node)
+        if state is NodeState.IDLE:
+            return
+        if state is not NodeState.DRAIN:
+            raise SchedulerError(f"cannot resume {state.value} node {node}")
         if self.checknode(node):
             self._node_state[node] = NodeState.IDLE
             self._try_start()
@@ -134,9 +153,14 @@ class SlurmScheduler:
         The owning RUNNING job, if any, is cancelled (its surviving nodes
         are re-gated through checknode as usual) and the dead node is
         drained unconditionally.  Returns the interrupted job's id, or
-        ``None`` if the node was not allocated.
+        ``None`` if the node was not allocated.  Failing an
+        already-drained node is an idempotent no-op — overlapping blast
+        radii hit the same node without corrupting state or double
+        counting.
         """
         state = self.node_state(node)
+        if state is NodeState.DRAIN:
+            return None
         # Drain *before* cancelling: _finish re-gates the job's nodes and
         # backfills, and must never hand the dead node to a pending job.
         self._node_state[node] = NodeState.DRAIN
@@ -149,6 +173,69 @@ class SlurmScheduler:
                     break
         obs.counter("scheduler.nodes_failed").inc()
         return interrupted
+
+    # -- spare pool (the heal layer's scheduler face) ------------------------
+
+    def reserve_spare(self, node: int) -> None:
+        """Move an idle node into the warm spare pool."""
+        if self.node_state(node) is not NodeState.IDLE:
+            raise SchedulerError(
+                f"cannot reserve {self.node_state(node).value} node {node}")
+        self._node_state[node] = NodeState.RESERVED
+
+    def release_spare(self, node: int) -> None:
+        """Return a spare to general service (checknode-gated)."""
+        if self.node_state(node) is not NodeState.RESERVED:
+            raise SchedulerError(f"node {node} is not a spare")
+        if self.checknode(node):
+            self._node_state[node] = NodeState.IDLE
+            self._try_start()
+        else:
+            self._node_state[node] = NodeState.DRAIN
+
+    def resume_to_spare(self, node: int) -> bool:
+        """Repair a drained node straight into the spare pool.
+
+        Returns ``True`` when the node passed checknode and now sits in
+        the pool; an unhealthy node stays drained (``False``).  Unlike
+        :meth:`resume`, a replenished spare does not trigger placement —
+        it is held back capacity by design.
+        """
+        if self.node_state(node) is not NodeState.DRAIN:
+            raise SchedulerError(f"node {node} is not drained")
+        if not self.checknode(node):
+            return False
+        self._node_state[node] = NodeState.RESERVED
+        return True
+
+    def running_job_on(self, node: int) -> int | None:
+        """The RUNNING job currently holding ``node``, or ``None``."""
+        if self.node_state(node) is not NodeState.ALLOCATED:
+            return None
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING and node in job.nodes:
+                return job.job_id
+        return None
+
+    def replace_node(self, dead: int, spare: int) -> int:
+        """Backfill a dying allocated node from the spare pool.
+
+        The running job on ``dead`` keeps its allocation with ``spare``
+        swapped in (the heal path: no cancellation, no re-queue); the
+        dead node drains.  Returns the job id.
+        """
+        if self.node_state(spare) is not NodeState.RESERVED:
+            raise SchedulerError(f"node {spare} is not a spare")
+        job_id = self.running_job_on(dead)
+        if job_id is None:
+            raise SchedulerError(f"node {dead} has no running job")
+        job = self._jobs[job_id]
+        self._node_state[dead] = NodeState.DRAIN
+        job.nodes[job.nodes.index(dead)] = spare
+        self._node_state[spare] = NodeState.ALLOCATED
+        obs.counter("scheduler.nodes_failed").inc()
+        obs.counter("scheduler.nodes_replaced").inc()
+        return job_id
 
     # -- job lifecycle -------------------------------------------------------
 

@@ -37,8 +37,8 @@ from repro.sweep.plan import (AXES, SweepPlan, SweepTask, apply_axes,
                               derive_seed, scaled_fraction, task_hash)
 from repro.sweep.probes import SWEEP_PROBES
 from repro.sweep.runner import (ExecPolicy, SweepConfig, SweepSummary,
-                                execute_task, execute_tasks, results_table,
-                                run_sweep)
+                                backoff_delay, execute_task, execute_tasks,
+                                results_table, run_sweep)
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION", "PruneReport", "artifact_path",
@@ -48,5 +48,5 @@ __all__ = [
     "scaled_fraction", "task_hash",
     "SWEEP_PROBES",
     "ExecPolicy", "SweepConfig", "SweepSummary", "execute_task",
-    "execute_tasks", "results_table", "run_sweep",
+    "execute_tasks", "results_table", "run_sweep", "backoff_delay",
 ]

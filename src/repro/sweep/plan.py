@@ -154,6 +154,31 @@ def _axis_checkpoint_policy(spec: MachineSpec, value: Any) -> MachineSpec:
         spec.degradation, checkpoint_policy=str(value)))
 
 
+def _axis_spare_fraction(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Fraction of nodes carved into the warm spare pool for chaos-heal
+    runs (:mod:`repro.chaos.heal`); ``0.0`` disables healing."""
+    return replace(spec, resilience=replace(
+        spec.resilience, spare_fraction=float(value)))
+
+
+def _axis_adaptive_checkpointing(spec: MachineSpec, value: Any) -> MachineSpec:
+    """Toggle the measurement-driven checkpoint controller for chaos
+    runs (accepts bools or the strings ``on``/``off``/``true``/...)."""
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "on", "yes"):
+            flag = True
+        elif lowered in ("0", "false", "off", "no"):
+            flag = False
+        else:
+            raise ConfigurationError(
+                f"adaptive_checkpointing axis wants a boolean, got {value!r}")
+    else:
+        flag = bool(value)
+    return replace(spec, resilience=replace(
+        spec.resilience, adaptive_checkpointing=flag))
+
+
 def _axis_ecn_k(spec: MachineSpec, value: Any) -> MachineSpec:
     """ECN marking threshold in MTUs for congest runs; ``0`` disables
     backpressure entirely (the FIFO arm of the k-sweep)."""
@@ -190,6 +215,8 @@ AXES: dict[str, Callable[[MachineSpec, Any], MachineSpec]] = {
     "disabled_nodes": _axis_disabled_nodes,
     "failure_scale": _axis_failure_scale,
     "checkpoint_policy": _axis_checkpoint_policy,
+    "spare_fraction": _axis_spare_fraction,
+    "adaptive_checkpointing": _axis_adaptive_checkpointing,
     "ecn_k": _axis_ecn_k,
     "burst_duty": _axis_burst_duty,
     "incast_fanin": _axis_incast_fanin,

@@ -148,6 +148,41 @@ def probe_chaos(spec: MachineSpec,
     }
 
 
+def probe_heal(spec: MachineSpec,
+               rng: np.random.Generator) -> dict[str, float]:
+    """A 24-hour *policy-armed* chaos run: healed vs. unhealed deltas.
+
+    The sweep face of :mod:`repro.chaos.heal`: the ``spare_fraction`` /
+    ``adaptive_checkpointing`` axes land in ``spec.resilience`` and this
+    probe replays the same fault timeline with the policy stripped and
+    active, reporting the availability/goodput deltas the policy bought.
+    A default-resilience spec reports zero deltas (no policy arm).
+    """
+    from repro.chaos import ChaosConfig, run_chaos
+    config = ChaosConfig(horizon_h=24.0, measure_fabric=False,
+                         job_fractions=(0.25, 0.25, 0.5))
+    result = run_chaos(spec, config, rng=rng)
+    heal = result.heal
+    values = {
+        "events": float(len(result.timeline)),
+        "interrupts": float(sum(j.interrupts for j in result.jobs)),
+        "machine_availability": result.machine_availability,
+    }
+    if heal is None:
+        values.update(job_availability=0.0, availability_delta=0.0,
+                      goodput_delta=0.0, replacements=0.0, requeues=0.0,
+                      replenished=0.0)
+    else:
+        values.update(
+            job_availability=heal.healed_job_availability,
+            availability_delta=heal.availability_delta,
+            goodput_delta=heal.goodput_delta,
+            replacements=float(heal.replacements),
+            requeues=float(heal.requeues),
+            replenished=float(heal.replenished))
+    return values
+
+
 def probe_compare(spec: MachineSpec,
                   rng: np.random.Generator) -> dict[str, float]:
     """Cross-machine study metrics for the spec's family at its scale.
@@ -388,6 +423,7 @@ SWEEP_PROBES: dict[str, SweepProbe] = {
     "storage": probe_storage,
     "placement": probe_placement,
     "chaos": probe_chaos,
+    "heal": probe_heal,
     "compare": probe_compare,
     "congest": probe_congest,
     "failing": probe_failing,

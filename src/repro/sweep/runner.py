@@ -36,6 +36,7 @@ one warm pool serves every batch.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import traceback
@@ -54,7 +55,8 @@ from repro.sweep.artifacts import (ARTIFACT_SCHEMA_VERSION, artifact_path,
 from repro.sweep.plan import SweepPlan, SweepTask
 
 __all__ = ["ExecPolicy", "SweepConfig", "SweepSummary", "run_sweep",
-           "execute_task", "execute_tasks", "results_table"]
+           "execute_task", "execute_tasks", "results_table",
+           "backoff_delay"]
 
 #: How often the dispatch loop polls for completions/timeouts (seconds).
 _POLL_S = 0.05
@@ -73,6 +75,8 @@ class ExecPolicy:
     timeout_s: float | None = None
     retries: int = 1
     backoff_s: float = 0.05
+    #: upper bound on any single jittered retry delay.
+    backoff_cap_s: float = 2.0
 
 
 @dataclass(frozen=True)
@@ -84,11 +88,13 @@ class SweepConfig:
     timeout_s: float | None = None
     retries: int = 1
     backoff_s: float = 0.05
+    backoff_cap_s: float = 2.0
     resume: bool = True
 
     def policy(self) -> ExecPolicy:
         return ExecPolicy(workers=self.workers, timeout_s=self.timeout_s,
-                          retries=self.retries, backoff_s=self.backoff_s)
+                          retries=self.retries, backoff_s=self.backoff_s,
+                          backoff_cap_s=self.backoff_cap_s)
 
 
 @dataclass
@@ -244,9 +250,36 @@ def _record(doc: dict[str, Any], config: SweepConfig,
         f"attempt {doc['timing']['attempts']})")
 
 
-def _backoff(policy: ExecPolicy, attempt: int) -> None:
-    if policy.backoff_s > 0:
-        time.sleep(policy.backoff_s * 2 ** (attempt - 1))
+def backoff_delay(policy: ExecPolicy, task: SweepTask, attempt: int,
+                  prev_s: float) -> float:
+    """Decorrelated-jitter retry delay: ``U[base, min(cap, prev * 3)]``.
+
+    Exponential backoff with every retryer on the same schedule makes
+    fleet-scale retries *synchronise* — each wave of failures retries in
+    lockstep.  Decorrelated jitter spreads the wave: each delay is drawn
+    uniformly between the base and three times the *previous* delay,
+    capped.  The draw is seeded from ``(task_id, attempt)`` — not wall
+    clock, not global RNG state — so any execution path (inline
+    ``workers=0`` included) replays the identical delay sequence for the
+    same plan.
+    """
+    if policy.backoff_s <= 0:
+        return 0.0
+    base = policy.backoff_s
+    high = min(policy.backoff_cap_s, max(base, prev_s * 3.0))
+    digest = hashlib.sha256(
+        f"{task.task_id}:{attempt}".encode()).digest()
+    unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return base + (high - base) * unit
+
+
+def _backoff(policy: ExecPolicy, task: SweepTask, attempt: int,
+             prev_s: float) -> float:
+    """Sleep the jittered delay; returns it (the next draw's ``prev_s``)."""
+    delay = backoff_delay(policy, task, attempt, prev_s)
+    if delay > 0:
+        time.sleep(delay)
+    return delay
 
 
 def _note_retry(task: SweepTask, summary: SweepSummary,
@@ -298,13 +331,14 @@ def _execute_serial(tasks: Sequence[SweepTask], policy: ExecPolicy,
     """Inline execution (workers=0): same retry policy, no subprocesses."""
     for task in tasks:
         attempt = 1
+        prev_delay = policy.backoff_s
         while True:
             doc = execute_task(task, attempt=attempt, isolate_obs=False)
             if doc["status"] == "ok" or attempt > policy.retries:
                 on_result(doc)
                 break
             on_retry(task, doc["error"]["type"])
-            _backoff(policy, attempt)
+            prev_delay = _backoff(policy, task, attempt, prev_delay)
             attempt += 1
 
 
@@ -336,6 +370,8 @@ def _execute_pool(tasks: Sequence[SweepTask], policy: ExecPolicy,
                   shared: ProcessPoolExecutor | None) -> None:
     tasks = _submission_order(tasks)
     attempts: dict[str, int] = {t.task_id: 1 for t in tasks}
+    prev_delay: dict[str, float] = {t.task_id: policy.backoff_s
+                                    for t in tasks}
     abandoned = False
     executor = shared if shared is not None else ProcessPoolExecutor(
         max_workers=policy.workers)
@@ -355,7 +391,9 @@ def _execute_pool(tasks: Sequence[SweepTask], policy: ExecPolicy,
                        reason: str) -> None:
         if doc["status"] == "error" and attempts[task.task_id] <= policy.retries:
             on_retry(task, reason)
-            _backoff(policy, attempts[task.task_id])
+            prev_delay[task.task_id] = _backoff(
+                policy, task, attempts[task.task_id],
+                prev_delay[task.task_id])
             attempts[task.task_id] += 1
             submit(task)
         else:

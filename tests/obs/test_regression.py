@@ -15,7 +15,8 @@ class TestProbes:
     def test_probe_registry_covers_the_instrumented_layers(self):
         assert set(PROBES) == {"fabric", "routing", "cache", "mpi",
                                "storage", "scheduler", "sweep", "chaos",
-                               "congestion", "ensemble", "serve", "machines"}
+                               "heal", "congestion", "ensemble", "serve",
+                               "machines"}
 
     def test_unknown_probe_rejected(self):
         with pytest.raises(KeyError):

@@ -201,3 +201,144 @@ class TestFailNode:
         sick.clear()
         s.resume(0)
         assert 0 in s.free_nodes
+
+
+class TestFailureIdempotence:
+    """Overlapping blasts and racing repairs must not corrupt state."""
+
+    def test_double_fail_is_a_no_op(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        victim = s.job(j).nodes[0]
+        assert s.fail_node(victim) == j
+        # second blast hits the same (now drained) node: nothing happens
+        assert s.fail_node(victim) is None
+        assert s.node_state(victim) is NodeState.DRAIN
+        assert s.job(j).state is JobState.CANCELLED
+
+    def test_fail_while_drained_does_not_cancel_the_new_owner(self):
+        """A node drained between jobs must not take down its ex-job."""
+        s = scheduler(16)
+        s.fail_node(0)
+        j = s.submit(JobRequest(15, 100.0))
+        assert s.fail_node(0) is None
+        assert s.job(j).state is JobState.RUNNING
+
+    def test_resume_of_never_failed_node_is_a_no_op(self):
+        s = scheduler(16)
+        s.resume(5)           # idle, never drained: idempotent no-op
+        assert 5 in s.free_nodes
+        j = s.submit(JobRequest(4, 100.0))
+        assert s.job(j).state is JobState.RUNNING
+
+    def test_resume_of_allocated_node_is_a_caller_bug(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        with pytest.raises(SchedulerError):
+            s.resume(s.job(j).nodes[0])
+
+    def test_resume_of_reserved_node_is_a_caller_bug(self):
+        s = scheduler(16)
+        s.reserve_spare(15)
+        with pytest.raises(SchedulerError):
+            s.resume(15)
+
+    def test_overlapping_blast_radius_counts_each_node_once(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        a, b = s.job(j).nodes[:2]
+        # one event kills both; a replayed/overlapping event re-hits them
+        assert s.fail_node(a) == j
+        assert s.fail_node(b) is None    # job already cancelled
+        assert s.fail_node(a) is None
+        assert s.node_state(a) is NodeState.DRAIN
+        assert s.node_state(b) is NodeState.DRAIN
+
+
+class TestSparePool:
+    """The heal layer's scheduler face: reserve / replace / replenish."""
+
+    def test_reserve_takes_the_node_out_of_placement(self):
+        s = scheduler(16)
+        s.reserve_spare(15)
+        assert s.spare_nodes == {15}
+        j = s.submit(JobRequest(15, 100.0))
+        assert s.job(j).state is JobState.RUNNING
+        assert 15 not in s.job(j).nodes
+
+    def test_reserve_of_non_idle_node_rejected(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        with pytest.raises(SchedulerError):
+            s.reserve_spare(s.job(j).nodes[0])
+        s.drain(15)
+        with pytest.raises(SchedulerError):
+            s.reserve_spare(15)
+
+    def test_release_returns_the_spare_through_checknode(self):
+        sick = set()
+        s = scheduler(16, checknode=lambda n: n not in sick)
+        s.reserve_spare(15)
+        s.reserve_spare(14)
+        sick.add(14)
+        s.release_spare(15)
+        s.release_spare(14)
+        assert 15 in s.free_nodes
+        assert s.node_state(14) is NodeState.DRAIN
+
+    def test_replace_node_swaps_the_spare_into_the_job(self):
+        s = scheduler(16)
+        s.reserve_spare(15)
+        j = s.submit(JobRequest(8, 100.0))
+        dead = s.job(j).nodes[0]
+        assert s.replace_node(dead, 15) == j
+        # the job never left RUNNING; the dead node drained
+        assert s.job(j).state is JobState.RUNNING
+        assert 15 in s.job(j).nodes
+        assert dead not in s.job(j).nodes
+        assert s.node_state(dead) is NodeState.DRAIN
+        assert s.node_state(15) is NodeState.ALLOCATED
+
+    def test_replace_requires_a_reserved_spare_and_a_running_job(self):
+        s = scheduler(16)
+        j = s.submit(JobRequest(8, 100.0))
+        dead = s.job(j).nodes[0]
+        with pytest.raises(SchedulerError):
+            s.replace_node(dead, 15)     # 15 is idle, not reserved
+        s.reserve_spare(15)
+        idle = next(iter(s.free_nodes))
+        with pytest.raises(SchedulerError):
+            s.replace_node(idle, 15)     # no running job on the victim
+
+    def test_resume_to_spare_replenishes_without_placement(self):
+        s = scheduler(16)
+        s.fail_node(15)
+        j = s.submit(JobRequest(16, 100.0))
+        assert s.job(j).state is JobState.PENDING
+        assert s.resume_to_spare(15) is True
+        # the repaired node went to the pool, NOT to the pending job
+        assert s.node_state(15) is NodeState.RESERVED
+        assert s.job(j).state is JobState.PENDING
+
+    def test_resume_to_spare_keeps_unhealthy_nodes_drained(self):
+        s = scheduler(16, checknode=lambda n: n != 15)
+        s.fail_node(15)
+        assert s.resume_to_spare(15) is False
+        assert s.node_state(15) is NodeState.DRAIN
+
+    def test_running_job_on_sees_only_running_allocations(self):
+        s = scheduler(16)
+        assert s.running_job_on(0) is None
+        j = s.submit(JobRequest(8, 100.0))
+        node = s.job(j).nodes[0]
+        assert s.running_job_on(node) == j
+        s.cancel(j)
+        assert s.running_job_on(node) is None
+
+    def test_queue_depth_tracks_pending_jobs(self):
+        s = scheduler(16)
+        assert s.queue_depth == 0
+        s.submit(JobRequest(16, 100.0))
+        s.submit(JobRequest(8, 100.0))
+        s.submit(JobRequest(8, 100.0))
+        assert s.queue_depth == 2

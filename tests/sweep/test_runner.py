@@ -14,8 +14,9 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 
 from repro.core.scenario import frontier_spec
-from repro.sweep import (ExecPolicy, SweepConfig, SweepPlan, execute_task,
-                         execute_tasks, results_table, run_sweep)
+from repro.sweep import (ExecPolicy, SweepConfig, SweepPlan, backoff_delay,
+                         execute_task, execute_tasks, results_table,
+                         run_sweep)
 from repro.sweep.artifacts import artifact_path
 
 SMALL = frontier_spec().scaled(6, 4, 4)
@@ -254,6 +255,51 @@ class TestExecuteTasks:
         assert timed_out == [tasks[0].task_id]
         assert docs[0]["status"] == "error"
         assert docs[0]["error"]["type"] == "TimeoutError"
+
+
+class TestBackoffJitter:
+    """Decorrelated retry jitter: deterministic, bounded, off when off."""
+
+    POLICY = ExecPolicy(backoff_s=0.1, backoff_cap_s=2.0)
+    TASK = storage_plan(1).tasks[0]
+
+    def test_zero_backoff_stays_zero(self):
+        policy = ExecPolicy(backoff_s=0.0)
+        assert backoff_delay(policy, self.TASK, 1, 0.0) == 0.0
+        assert backoff_delay(policy, self.TASK, 5, 100.0) == 0.0
+
+    def test_delay_is_deterministic_per_task_and_attempt(self):
+        a = backoff_delay(self.POLICY, self.TASK, 1, 0.1)
+        b = backoff_delay(self.POLICY, self.TASK, 1, 0.1)
+        assert a == b
+
+    def test_different_tasks_decorrelate(self):
+        """A herd of tasks retrying at once must not sleep in lockstep."""
+        tasks = storage_plan(8).tasks
+        delays = {backoff_delay(self.POLICY, t, 1, 0.1) for t in tasks}
+        assert len(delays) > 1
+
+    def test_attempts_draw_fresh_jitter(self):
+        delays = {backoff_delay(self.POLICY, self.TASK, a, 0.1)
+                  for a in range(1, 6)}
+        assert len(delays) > 1
+
+    def test_delay_bounded_by_base_and_cap(self):
+        prev = self.POLICY.backoff_s
+        for attempt in range(1, 20):
+            prev = backoff_delay(self.POLICY, self.TASK, attempt, prev)
+            assert self.POLICY.backoff_s <= prev <= self.POLICY.backoff_cap_s
+
+    def test_window_grows_toward_the_cap(self):
+        """With prev at the cap, the draw spans [base, cap] — not 3x prev."""
+        delay = backoff_delay(self.POLICY, self.TASK, 3, 100.0)
+        assert self.POLICY.backoff_s <= delay <= self.POLICY.backoff_cap_s
+
+    def test_sweep_config_threads_the_cap(self):
+        config = SweepConfig(out_dir="x", backoff_s=0.2, backoff_cap_s=5.0)
+        policy = config.policy()
+        assert policy.backoff_s == 0.2
+        assert policy.backoff_cap_s == 5.0
 
 
 class TestReporting:

@@ -237,6 +237,43 @@ class TestChaosVerb:
         assert "Chaos cross-validation" in out
         assert "validation PASSED" in out
 
+    @staticmethod
+    def heal_args(tmp_path, *extra):
+        return ["chaos", "--heal", "--scaled", "8", "4", "4", "--seed", "0",
+                "--hours", "48", "--failure-scale", "200",
+                "--uniform-blast", "--mttr-scale", "0.1",
+                "--out", str(tmp_path), *extra]
+
+    def test_heal_runs_then_resumes_with_report(self, tmp_path, capsys):
+        assert main(self.heal_args(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "heal:" in out
+        assert "replacements" in out
+        assert "job availability" in out
+        assert "(written)" in out
+        assert main(self.heal_args(tmp_path)) == 0
+        assert "(resumed)" in capsys.readouterr().out
+
+    def test_heal_artifact_distinct_from_unhealed(self, tmp_path, capsys):
+        assert main(self.heal_args(tmp_path)) == 0
+        assert main(["chaos", "--scaled", "8", "4", "4", "--seed", "0",
+                     "--hours", "48", "--failure-scale", "200",
+                     "--uniform-blast", "--mttr-scale", "0.1",
+                     "--out", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("chaos-*.json"))) == 2
+
+    def test_heal_json_carries_the_heal_report(self, tmp_path, capsys):
+        assert main(self.heal_args(tmp_path, "--json")) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["heal"]["spare_target"] == 4
+        assert doc["heal"]["adaptive"] is True
+
+    def test_heal_validate_runs_the_three_arm_gate(self, capsys):
+        assert main(["chaos", "--heal", "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "Self-healing cross-validation" in out
+        assert "validation PASSED" in out
+
 
 class TestCongestVerb:
     """python -m repro congest (see repro.fabric.timeflow)."""
@@ -437,6 +474,15 @@ class TestVerbDocumentation:
         import repro.__main__ as cli
         missing = [v for v in self.registered_verbs()
                    if f"``{v}``" not in cli.__doc__]
+        assert missing == []
+
+    def test_every_sweep_axis_in_help(self):
+        """The --axis help string must name every registered axis."""
+        from repro.sweep.plan import AXES
+        subparsers = build_parser()._subparsers._group_actions[0]
+        sweep = subparsers.choices["sweep"]
+        help_text = sweep.format_help()
+        missing = [axis for axis in AXES if axis not in help_text]
         assert missing == []
 
     def test_every_verb_in_readme(self):
